@@ -1,0 +1,85 @@
+// Shared plumbing for the paper-reproduction bench binaries: flag parsing,
+// dataset loading, and the one-evaluation-covers-all-k trick.
+//
+// Every bench accepts:
+//   --queries=N          queries per dataset (default set per bench)
+//   --datasets=a,b,c     comma-separated dataset names (default per bench)
+//   --seed=S             workload seed (default 1)
+
+#ifndef COD_BENCH_BENCH_UTIL_H_
+#define COD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/cod_engine.h"
+#include "eval/datasets.h"
+#include "eval/query_gen.h"
+
+namespace cod::bench {
+
+struct Flags {
+  size_t queries = 0;
+  std::vector<std::string> datasets;
+  uint64_t seed = 1;
+};
+
+inline Flags ParseFlags(int argc, char** argv, size_t default_queries,
+                        std::vector<std::string> default_datasets) {
+  Flags flags;
+  flags.queries = default_queries;
+  flags.datasets = std::move(default_datasets);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--queries=", 0) == 0) {
+      flags.queries = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      flags.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--datasets=", 0) == 0) {
+      flags.datasets.clear();
+      std::string list = arg.substr(11);
+      size_t pos = 0;
+      while (pos != std::string::npos) {
+        const size_t comma = list.find(',', pos);
+        flags.datasets.push_back(list.substr(
+            pos, comma == std::string::npos ? comma : comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (expected --queries= --datasets= "
+                   "--seed=)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+inline AttributedGraph LoadDatasetOrDie(const std::string& name) {
+  Result<AttributedGraph> data = MakeDataset(name);
+  if (!data.ok()) {
+    std::fprintf(stderr, "failed to build dataset %s: %s\n", name.c_str(),
+                 data.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(data).value();
+}
+
+// Derives, for each k in [1, max_k], the best (largest) chain level where
+// the query is top-k, from ONE evaluation run at k = max_k: levels with
+// rank_per_level[h] < k qualify. Returns -1 when none qualifies.
+inline int BestLevelForK(const ChainEvalOutcome& outcome, uint32_t k) {
+  int best = -1;
+  for (size_t h = 0; h < outcome.rank_per_level.size(); ++h) {
+    if (outcome.rank_per_level[h] < k) best = static_cast<int>(h);
+  }
+  return best;
+}
+
+}  // namespace cod::bench
+
+#endif  // COD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,94 @@
+// Reproduces the Section V-E case study (Fig. 10) on the Cora stand-in with
+// k = 1: for concrete query nodes, contrast the characteristic community
+// found by CODL with the communities of ATC, ACQ, and CAC — reporting size,
+// the query's verified influence rank inside each community, and conductance.
+
+#include <algorithm>
+
+#include "baselines/atc.h"
+#include "baselines/kcore.h"
+#include "baselines/ktruss.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "eval/metrics.h"
+#include "graph/connectivity.h"
+
+namespace cod::bench {
+namespace {
+
+constexpr uint32_t kK = 1;
+constexpr uint32_t kVerifyTheta = 300;
+
+int Run(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv, /*default_queries=*/2,
+                                 {"cora-sim"});
+  const AttributedGraph data = LoadDatasetOrDie(flags.datasets.front());
+  CodEngine engine(data.graph, data.attributes, {});
+  Rng rng(flags.seed);
+  engine.BuildHimor(rng);
+
+  std::printf("== Case study (Sec. V-E analog): %s, k = %u ==\n\n",
+              flags.datasets.front().c_str(), kK);
+
+  // Pick the first queries for which CODL returns a community.
+  Rng query_rng(flags.seed + 1);
+  const std::vector<Query> candidates =
+      GenerateQueries(data.attributes, 100, query_rng);
+  // Prefer queries every method can serve, so the comparison is head-on;
+  // fall back to CODL-only queries if too few exist.
+  std::vector<std::pair<Query, CodResult>> selected;
+  std::vector<std::pair<Query, CodResult>> fallback;
+  for (const Query& query : candidates) {
+    if (selected.size() >= flags.queries) break;
+    CodResult codl = engine.QueryCodL(query.node, query.attribute, kK, rng);
+    if (!codl.found || codl.members.size() < 5) continue;
+    if (!AtcSearch(data.graph, data.attributes, query.node, query.attribute)
+             .empty()) {
+      selected.emplace_back(query, std::move(codl));
+    } else if (fallback.size() < flags.queries) {
+      fallback.emplace_back(query, std::move(codl));
+    }
+  }
+  while (selected.size() < flags.queries && !fallback.empty()) {
+    selected.push_back(std::move(fallback.back()));
+    fallback.pop_back();
+  }
+  for (const auto& [query, codl] : selected) {
+
+    std::printf("query node %u, attribute '%s'\n", query.node,
+                data.attributes.Name(query.attribute).c_str());
+    TablePrinter table(
+        {"method", "|C|", "verified rank of q", "conductance"});
+    auto add_row = [&](const char* method, std::span<const NodeId> members) {
+      if (members.empty()) {
+        table.AddRow({method, "0", "-", "-"});
+        return;
+      }
+      const uint32_t rank =
+          VerifiedRank(engine.model(), members, query.node, kVerifyTheta, rng);
+      table.AddRow({method, TablePrinter::Fmt(members.size()),
+                    TablePrinter::Fmt(static_cast<size_t>(rank + 1)),
+                    TablePrinter::Fmt(Conductance(data.graph, members), 3)});
+    };
+    add_row("CODL", codl.members);
+    add_row("ATC",
+            AtcSearch(data.graph, data.attributes, query.node, query.attribute));
+    add_row("ACQ",
+            AcqSearch(data.graph, data.attributes, query.node, query.attribute));
+    add_row("CAC",
+            CacSearch(data.graph, data.attributes, query.node, query.attribute));
+    table.Print(stdout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper Fig. 10): the query is rank 1 in CODL's\n"
+      "community; CODL's community is larger with lower conductance, while\n"
+      "CAC returns tiny communities and ACQ large ones where the query\n"
+      "ranks poorly.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cod::bench
+
+int main(int argc, char** argv) { return cod::bench::Run(argc, argv); }

@@ -1,0 +1,141 @@
+// google-benchmark micro-suite for the substrate components (not a paper
+// figure): RR-graph sampling, LCA queries, agglomerative clustering, LORE
+// score computation, compressed evaluation, and HIMOR construction.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cod_engine.h"
+#include "eval/datasets.h"
+#include "eval/query_gen.h"
+#include "hierarchy/lca.h"
+#include "influence/im.h"
+
+namespace cod {
+namespace {
+
+const AttributedGraph& Cora() {
+  static const AttributedGraph* data =
+      new AttributedGraph(std::move(MakeDataset("cora-sim")).value());
+  return *data;
+}
+
+const CodEngine& CoraEngine() {
+  static CodEngine* engine = [] {
+    auto* e = new CodEngine(Cora().graph, Cora().attributes, {});
+    return e;
+  }();
+  return *engine;
+}
+
+void BM_RrGraphSample(benchmark::State& state) {
+  const auto& data = Cora();
+  const DiffusionModel model = DiffusionModel::WeightedCascadeIc(data.graph);
+  RrSampler sampler(model);
+  Rng rng(1);
+  RrGraph rr;
+  NodeId source = 0;
+  for (auto _ : state) {
+    sampler.Sample(source, rng, &rr);
+    source = static_cast<NodeId>((source + 1) % data.graph.NumNodes());
+    benchmark::DoNotOptimize(rr.nodes.data());
+  }
+}
+BENCHMARK(BM_RrGraphSample);
+
+void BM_LcaQuery(benchmark::State& state) {
+  const CodEngine& engine = CoraEngine();
+  const LcaIndex& lca = engine.base_lca();
+  Rng rng(2);
+  const size_t n = engine.graph().NumNodes();
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    benchmark::DoNotOptimize(lca.LcaOfNodes(u, v));
+  }
+}
+BENCHMARK(BM_LcaQuery);
+
+void BM_AgglomerativeCluster(benchmark::State& state) {
+  const auto& data = Cora();
+  for (auto _ : state) {
+    const Dendrogram d = AgglomerativeCluster(data.graph);
+    benchmark::DoNotOptimize(d.Root());
+  }
+}
+BENCHMARK(BM_AgglomerativeCluster)->Unit(benchmark::kMillisecond);
+
+void BM_LoreScores(benchmark::State& state) {
+  const auto& data = Cora();
+  const CodEngine& engine = CoraEngine();
+  Rng rng(3);
+  const auto queries = GenerateQueries(data.attributes, 64, rng);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize(
+        ComputeReclusteringScores(data.graph, data.attributes,
+                                  engine.base_hierarchy(), engine.base_lca(),
+                                  q.node, q.attribute)
+            .selected);
+  }
+}
+BENCHMARK(BM_LoreScores);
+
+void BM_CompressedEvaluate(benchmark::State& state) {
+  const auto& data = Cora();
+  CodEngine& engine = const_cast<CodEngine&>(CoraEngine());
+  CompressedEvaluator evaluator(engine.model(), 10);
+  Rng rng(4);
+  const auto queries = GenerateQueries(data.attributes, 16, rng);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = queries[i++ % queries.size()];
+    const CodChain chain = engine.BuildCoduChain(q.node);
+    benchmark::DoNotOptimize(
+        evaluator.Evaluate(chain, q.node, 5, rng).best_level);
+  }
+}
+BENCHMARK(BM_CompressedEvaluate)->Unit(benchmark::kMillisecond);
+
+void BM_HimorBuild(benchmark::State& state) {
+  const CodEngine& engine = CoraEngine();
+  const DiffusionModel& model = engine.model();
+  Rng rng(5);
+  for (auto _ : state) {
+    const HimorIndex index = HimorIndex::Build(
+        model, engine.base_hierarchy(), engine.base_lca(), 10, rng);
+    benchmark::DoNotOptimize(index.NumEntries());
+  }
+}
+BENCHMARK(BM_HimorBuild)->Unit(benchmark::kMillisecond);
+
+void BM_InfluenceMaximizationRis(benchmark::State& state) {
+  const CodEngine& engine = CoraEngine();
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MaximizeInfluenceRis(engine.model(), 10, 20000, rng)
+            .estimated_influence);
+  }
+}
+BENCHMARK(BM_InfluenceMaximizationRis)->Unit(benchmark::kMillisecond);
+
+void BM_CodlQuery(benchmark::State& state) {
+  const auto& data = Cora();
+  CodEngine& engine = const_cast<CodEngine&>(CoraEngine());
+  Rng rng(6);
+  if (engine.himor() == nullptr) engine.BuildHimor(rng);
+  const auto queries = GenerateQueries(data.attributes, 32, rng);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize(
+        engine.QueryCodL(q.node, q.attribute, 5, rng).found);
+  }
+}
+BENCHMARK(BM_CodlQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cod
+
+BENCHMARK_MAIN();

@@ -1,0 +1,302 @@
+// cod_cli: command-line front end for the whole pipeline — generate or load
+// attributed graphs, build and persist HIMOR indices, and answer COD queries.
+//
+//   cod_cli dataset <registry-name> <out-prefix>
+//       writes <out-prefix>.edges and <out-prefix>.attrs
+//   cod_cli stats <edges> <attrs>
+//   cod_cli index <edges> <attrs> <index-out> [--theta=N] [--seed=S]
+//   cod_cli query <edges> <attrs> <node> <attribute-name>
+//           [--variant=codl|codl-|codr|codu] [--k=N] [--index=path]
+//           [--seed=S] [--explain] [--dot=community.dot]
+//   cod_cli promoters <edges> <attrs> <attribute-name> [--k=N] [--count=N]
+//
+// Example session:
+//   cod_cli dataset cora-sim /tmp/cora
+//   cod_cli index /tmp/cora.edges /tmp/cora.attrs /tmp/cora.himor
+//   cod_cli query /tmp/cora.edges /tmp/cora.attrs 42 label3
+//           --index=/tmp/cora.himor --k=5     (one line)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/cod_engine.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "graph/export.h"
+#include "graph/graph_io.h"
+
+namespace {
+
+using cod::AttributedGraph;
+using cod::CodEngine;
+using cod::CodResult;
+using cod::EngineOptions;
+using cod::Rng;
+using cod::Status;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  cod_cli dataset <registry-name> <out-prefix>\n"
+      "  cod_cli stats <edges> <attrs>\n"
+      "  cod_cli index <edges> <attrs> <index-out> [--theta=N] [--seed=S]\n"
+      "  cod_cli query <edges> <attrs> <node> <attribute-name>\n"
+      "          [--variant=codl|codl-|codr|codu] [--k=N] [--index=path]\n"
+      "          [--seed=S] [--explain] [--dot=out.dot]\n"
+      "  cod_cli promoters <edges> <attrs> <attribute-name>\n"
+      "          [--k=N] [--count=N] [--index=path]\n");
+  return 2;
+}
+
+// Parses trailing --key=value flags starting at argv[first].
+struct CliFlags {
+  uint32_t theta = 10;
+  uint32_t k = 5;
+  uint64_t seed = 1;
+  size_t count = 10;
+  std::string variant = "codl";
+  std::string index_path;
+  std::string dot_path;
+  bool explain = false;
+  bool ok = true;
+};
+
+CliFlags ParseCliFlags(int argc, char** argv, int first) {
+  CliFlags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--theta=", 0) == 0) {
+      flags.theta = static_cast<uint32_t>(std::strtoul(arg.c_str() + 8,
+                                                       nullptr, 10));
+    } else if (arg.rfind("--k=", 0) == 0) {
+      flags.k = static_cast<uint32_t>(std::strtoul(arg.c_str() + 4, nullptr,
+                                                   10));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      flags.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--variant=", 0) == 0) {
+      flags.variant = arg.substr(10);
+    } else if (arg.rfind("--index=", 0) == 0) {
+      flags.index_path = arg.substr(8);
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      flags.dot_path = arg.substr(6);
+    } else if (arg.rfind("--count=", 0) == 0) {
+      flags.count = std::strtoull(arg.c_str() + 8, nullptr, 10);
+    } else if (arg == "--explain") {
+      flags.explain = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      flags.ok = false;
+    }
+  }
+  return flags;
+}
+
+cod::Result<AttributedGraph> LoadPair(const std::string& edges,
+                                      const std::string& attrs) {
+  cod::Result<cod::Graph> graph = cod::LoadEdgeList(edges);
+  if (!graph.ok()) return graph.status();
+  cod::Result<cod::AttributeTable> table =
+      cod::LoadAttributes(attrs, graph->NumNodes());
+  if (!table.ok()) return table.status();
+  AttributedGraph data;
+  data.graph = std::move(graph).value();
+  data.attributes = std::move(table).value();
+  return data;
+}
+
+int CmdDataset(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  cod::Result<AttributedGraph> data = cod::MakeDataset(argv[2]);
+  if (!data.ok()) return Fail(data.status());
+  const std::string prefix = argv[3];
+  const Status s1 = cod::SaveEdgeList(data->graph, prefix + ".edges");
+  if (!s1.ok()) return Fail(s1);
+  const Status s2 = cod::SaveAttributes(data->attributes, prefix + ".attrs");
+  if (!s2.ok()) return Fail(s2);
+  std::printf("wrote %s.edges (%zu nodes, %zu edges) and %s.attrs (%zu "
+              "attributes)\n",
+              prefix.c_str(), data->graph.NumNodes(), data->graph.NumEdges(),
+              prefix.c_str(), data->attributes.NumAttributes());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  cod::Result<AttributedGraph> data = LoadPair(argv[2], argv[3]);
+  if (!data.ok()) return Fail(data.status());
+  size_t with_attrs = 0;
+  uint32_t max_degree = 0;
+  for (cod::NodeId v = 0; v < data->graph.NumNodes(); ++v) {
+    with_attrs += !data->attributes.AttributesOf(v).empty();
+    max_degree = std::max(max_degree, data->graph.Degree(v));
+  }
+  std::printf("|V| = %zu\n|E| = %zu\n|A| = %zu\n", data->graph.NumNodes(),
+              data->graph.NumEdges(), data->attributes.NumAttributes());
+  std::printf("avg degree = %.2f, max degree = %u\n",
+              2.0 * data->graph.NumEdges() / data->graph.NumNodes(),
+              max_degree);
+  std::printf("nodes with attributes: %zu (%.1f%%)\n", with_attrs,
+              100.0 * with_attrs / data->graph.NumNodes());
+  return 0;
+}
+
+int CmdIndex(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const CliFlags flags = ParseCliFlags(argc, argv, 5);
+  if (!flags.ok) return 2;
+  cod::Result<AttributedGraph> data = LoadPair(argv[2], argv[3]);
+  if (!data.ok()) return Fail(data.status());
+  EngineOptions options;
+  options.theta = flags.theta;
+  std::printf("clustering %zu nodes and building HIMOR (theta = %u)...\n",
+              data->graph.NumNodes(), flags.theta);
+  CodEngine engine(data->graph, data->attributes, options);
+  Rng rng(flags.seed);
+  engine.BuildHimor(rng);
+  const Status saved = engine.SaveHimor(argv[4]);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("wrote %s (%zu entries, %.2f MB)\n", argv[4],
+              engine.himor()->NumEntries(),
+              engine.himor()->MemoryBytes() / 1e6);
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  const CliFlags flags = ParseCliFlags(argc, argv, 6);
+  if (!flags.ok) return 2;
+  cod::Result<AttributedGraph> data = LoadPair(argv[2], argv[3]);
+  if (!data.ok()) return Fail(data.status());
+  const cod::NodeId node =
+      static_cast<cod::NodeId>(std::strtoul(argv[4], nullptr, 10));
+  if (node >= data->graph.NumNodes()) {
+    std::fprintf(stderr, "node %u out of range\n", node);
+    return 1;
+  }
+  const cod::AttributeId attr = data->attributes.Find(argv[5]);
+  if (attr == cod::kInvalidAttribute) {
+    std::fprintf(stderr, "unknown attribute '%s'\n", argv[5]);
+    return 1;
+  }
+
+  EngineOptions options;
+  options.theta = flags.theta;
+  CodEngine engine(data->graph, data->attributes, options);
+  Rng rng(flags.seed);
+  CodResult result;
+  if (flags.variant == "codl") {
+    if (!flags.index_path.empty()) {
+      const Status loaded = engine.LoadHimor(flags.index_path);
+      if (!loaded.ok()) return Fail(loaded);
+    } else {
+      std::printf("(no --index given: building HIMOR in memory)\n");
+      engine.BuildHimor(rng);
+    }
+    if (flags.explain) {
+      const auto explanation = engine.ExplainCodL(node, attr, flags.k, rng);
+      std::printf("%s", explanation.ToString(engine.base_hierarchy()).c_str());
+      result = explanation.result;
+    } else {
+      result = engine.QueryCodL(node, attr, flags.k, rng);
+    }
+  } else if (flags.variant == "codl-") {
+    result = engine.QueryCodLMinus(node, attr, flags.k, rng);
+  } else if (flags.variant == "codr") {
+    result = engine.QueryCodR(node, attr, flags.k, rng);
+  } else if (flags.variant == "codu") {
+    result = engine.QueryCodU(node, flags.k, rng);
+  } else {
+    std::fprintf(stderr, "unknown variant '%s'\n", flags.variant.c_str());
+    return 2;
+  }
+
+  if (!result.found) {
+    std::printf("no characteristic community: node %u is not top-%u "
+                "influential at any scale of its %s hierarchy\n",
+                node, flags.k, flags.variant.c_str());
+    return 0;
+  }
+  std::printf("characteristic community (%s, k=%u): %zu members, query rank "
+              "#%u%s\n",
+              flags.variant.c_str(), flags.k, result.members.size(),
+              result.rank + 1,
+              result.answered_from_index ? " [index hit]" : "");
+  std::printf("  topology density %.3f, attribute density %.3f\n",
+              cod::TopologyDensity(data->graph, result.members),
+              cod::AttributeDensity(data->attributes, attr, result.members));
+  std::printf("  members:");
+  const size_t preview = std::min<size_t>(result.members.size(), 25);
+  for (size_t i = 0; i < preview; ++i) {
+    std::printf(" %u", result.members[i]);
+  }
+  if (preview < result.members.size()) {
+    std::printf(" ... (%zu more)", result.members.size() - preview);
+  }
+  std::printf("\n");
+  if (!flags.dot_path.empty()) {
+    const Status exported =
+        cod::ExportCommunityDot(data->graph, result.members, node,
+                                flags.dot_path);
+    if (!exported.ok()) return Fail(exported);
+    std::printf("wrote %s (render with: neato -Tpng %s -o community.png)\n",
+                flags.dot_path.c_str(), flags.dot_path.c_str());
+  }
+  return 0;
+}
+
+int CmdPromoters(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const CliFlags flags = ParseCliFlags(argc, argv, 5);
+  if (!flags.ok) return 2;
+  cod::Result<AttributedGraph> data = LoadPair(argv[2], argv[3]);
+  if (!data.ok()) return Fail(data.status());
+  const cod::AttributeId attr = data->attributes.Find(argv[4]);
+  if (attr == cod::kInvalidAttribute) {
+    std::fprintf(stderr, "unknown attribute '%s'\n", argv[4]);
+    return 1;
+  }
+  EngineOptions options;
+  options.theta = flags.theta;
+  CodEngine engine(data->graph, data->attributes, options);
+  if (!flags.index_path.empty()) {
+    const Status loaded = engine.LoadHimor(flags.index_path);
+    if (!loaded.ok()) return Fail(loaded);
+  } else {
+    Rng rng(flags.seed);
+    engine.BuildHimor(rng);
+  }
+  const auto promoters =
+      engine.FindTopPromoters(attr, flags.count, flags.k);
+  if (promoters.empty()) {
+    std::printf("no '%s' holder is top-%u anywhere\n", argv[4], flags.k);
+    return 0;
+  }
+  std::printf("top promoters for '%s' (k = %u):\n", argv[4], flags.k);
+  for (const auto& p : promoters) {
+    std::printf("  node %-8u audience %-7u rank #%u\n", p.node, p.size,
+                p.rank + 1);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "dataset") return CmdDataset(argc, argv);
+  if (command == "stats") return CmdStats(argc, argv);
+  if (command == "index") return CmdIndex(argc, argv);
+  if (command == "query") return CmdQuery(argc, argv);
+  if (command == "promoters") return CmdPromoters(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full replication driver: configure, build, run the test suite, and
+# regenerate every table/figure of the paper's evaluation.
+#
+#   scripts/replicate.sh [build-dir]
+#
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -G Ninja -S "$repo_root"
+cmake --build "$build_dir"
+
+ctest --test-dir "$build_dir" 2>&1 | tee "$repo_root/test_output.txt"
+
+{
+  for b in "$build_dir"/bench/*; do
+    echo "##### $(basename "$b")"
+    "$b"
+  done
+} 2>&1 | tee "$repo_root/bench_output.txt"
+
+echo
+echo "Done. See test_output.txt, bench_output.txt, and EXPERIMENTS.md."

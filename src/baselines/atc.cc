@@ -1,0 +1,150 @@
+#include "baselines/atc.h"
+
+#include <algorithm>
+
+#include "baselines/ktruss.h"
+
+namespace cod {
+namespace {
+
+// The connected k-truss around `q` within the subgraph of `base` induced by
+// `nodes` (ids of `base`). Returns base-local node ids; empty if q is not in
+// the k-truss.
+std::vector<NodeId> ConnectedKTruss(const Graph& base,
+                                    std::span<const NodeId> nodes, NodeId q,
+                                    uint32_t k) {
+  const InducedSubgraph sub = BuildInducedSubgraph(base, nodes);
+  NodeId local_q = kInvalidNode;
+  for (size_t i = 0; i < sub.to_parent.size(); ++i) {
+    if (sub.to_parent[i] == q) {
+      local_q = static_cast<NodeId>(i);
+      break;
+    }
+  }
+  if (local_q == kInvalidNode) return {};
+  const std::vector<uint32_t> truss = TrussNumbers(sub.graph);
+
+  // BFS from q over edges with truss number >= k.
+  std::vector<char> visited(sub.graph.NumNodes(), 0);
+  std::vector<NodeId> component;
+  bool q_has_alive_edge = false;
+  for (const AdjEntry& a : sub.graph.Neighbors(local_q)) {
+    if (truss[a.edge] >= k) {
+      q_has_alive_edge = true;
+      break;
+    }
+  }
+  if (!q_has_alive_edge) return {};
+  visited[local_q] = 1;
+  component.push_back(local_q);
+  for (size_t head = 0; head < component.size(); ++head) {
+    const NodeId v = component[head];
+    for (const AdjEntry& a : sub.graph.Neighbors(v)) {
+      if (truss[a.edge] >= k && !visited[a.to]) {
+        visited[a.to] = 1;
+        component.push_back(a.to);
+      }
+    }
+  }
+  for (NodeId& v : component) v = sub.to_parent[v];
+  std::sort(component.begin(), component.end());
+  return component;
+}
+
+double AttributeScore(const AttributeTable& attrs, AttributeId attr,
+                      std::span<const NodeId> nodes) {
+  if (nodes.empty()) return 0.0;
+  double covered = 0.0;
+  for (NodeId v : nodes) {
+    if (attrs.Has(v, attr)) covered += 1.0;
+  }
+  return covered * covered / static_cast<double>(nodes.size());
+}
+
+}  // namespace
+
+std::vector<NodeId> AtcSearch(const Graph& g, const AttributeTable& attrs,
+                              NodeId q, AttributeId attr,
+                              const AtcOptions& options) {
+  COD_CHECK(q < g.NumNodes());
+  COD_CHECK(options.d >= 1);
+
+  // Distance-<=d ball around q.
+  std::vector<uint32_t> dist(g.NumNodes(), static_cast<uint32_t>(-1));
+  std::vector<NodeId> ball{q};
+  dist[q] = 0;
+  for (size_t head = 0; head < ball.size(); ++head) {
+    const NodeId v = ball[head];
+    if (dist[v] == options.d) continue;
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      if (dist[a.to] == static_cast<uint32_t>(-1)) {
+        dist[a.to] = dist[v] + 1;
+        ball.push_back(a.to);
+      }
+    }
+  }
+  if (options.max_ball > 0 && ball.size() > options.max_ball) {
+    ball.resize(options.max_ball);  // closest nodes first (BFS order)
+  }
+  std::sort(ball.begin(), ball.end());
+
+  // Choose k automatically from q's strongest incident edge in the ball.
+  uint32_t k = options.k;
+  if (k == 0) {
+    const InducedSubgraph sub = BuildInducedSubgraph(g, ball);
+    NodeId local_q = kInvalidNode;
+    for (size_t i = 0; i < sub.to_parent.size(); ++i) {
+      if (sub.to_parent[i] == q) local_q = static_cast<NodeId>(i);
+    }
+    COD_CHECK(local_q != kInvalidNode);
+    const std::vector<uint32_t> truss = TrussNumbers(sub.graph);
+    uint32_t kq = 2;
+    for (const AdjEntry& a : sub.graph.Neighbors(local_q)) {
+      kq = std::max(kq, truss[a.edge]);
+    }
+    if (kq < 3) return {};  // q closes no triangle within its ball
+    k = std::min(kq, options.max_k);
+  }
+
+  std::vector<NodeId> current = ConnectedKTruss(g, ball, q, k);
+  if (current.empty()) return {};
+  std::vector<NodeId> best = current;
+  double best_score = AttributeScore(attrs, attr, current);
+
+  std::vector<char> in_current(g.NumNodes(), 0);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Bulk-remove the lowest-degree nodes lacking the attribute.
+    for (NodeId v : current) in_current[v] = 1;
+    std::vector<std::pair<uint32_t, NodeId>> lacking;  // (degree, node)
+    for (NodeId v : current) {
+      if (v == q || attrs.Has(v, attr)) continue;
+      uint32_t deg = 0;
+      for (const AdjEntry& a : g.Neighbors(v)) deg += in_current[a.to];
+      lacking.emplace_back(deg, v);
+    }
+    for (NodeId v : current) in_current[v] = 0;
+    if (lacking.empty()) break;
+    std::sort(lacking.begin(), lacking.end());
+    const size_t remove_count = std::max<size_t>(1, lacking.size() / 4);
+
+    std::vector<char> removed(g.NumNodes(), 0);
+    for (size_t i = 0; i < remove_count; ++i) removed[lacking[i].second] = 1;
+    std::vector<NodeId> candidate;
+    candidate.reserve(current.size() - remove_count);
+    for (NodeId v : current) {
+      if (!removed[v]) candidate.push_back(v);
+    }
+    std::vector<NodeId> next = ConnectedKTruss(g, candidate, q, k);
+    if (next.empty()) break;
+    const double score = AttributeScore(attrs, attr, next);
+    if (score > best_score) {
+      best_score = score;
+      best = next;
+    }
+    if (next.size() == current.size()) break;  // no progress
+    current = std::move(next);
+  }
+  return best;
+}
+
+}  // namespace cod

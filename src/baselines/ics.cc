@@ -1,0 +1,111 @@
+#include "baselines/ics.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "baselines/kcore.h"
+#include "influence/influence_oracle.h"
+
+namespace cod {
+namespace {
+
+// Peels `alive` down to the k-core of the alive-induced subgraph in place.
+// `degree` holds alive-degrees and is maintained.
+void PeelToKCore(const Graph& g, uint32_t k, std::vector<char>& alive,
+                 std::vector<uint32_t>& degree) {
+  std::vector<NodeId> queue;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (alive[v] && degree[v] < k) queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    const NodeId v = queue.back();
+    queue.pop_back();
+    if (!alive[v]) continue;
+    alive[v] = 0;
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      if (!alive[a.to]) continue;
+      if (--degree[a.to] < k) queue.push_back(a.to);
+    }
+  }
+}
+
+std::vector<NodeId> AliveComponentOf(const Graph& g, NodeId start,
+                                     const std::vector<char>& alive) {
+  std::vector<char> visited(g.NumNodes(), 0);
+  std::vector<NodeId> component{start};
+  visited[start] = 1;
+  for (size_t head = 0; head < component.size(); ++head) {
+    for (const AdjEntry& a : g.Neighbors(component[head])) {
+      if (alive[a.to] && !visited[a.to]) {
+        visited[a.to] = 1;
+        component.push_back(a.to);
+      }
+    }
+  }
+  std::sort(component.begin(), component.end());
+  return component;
+}
+
+}  // namespace
+
+std::vector<IcsCommunity> InfluentialCommunitySearch(
+    const Graph& g, std::span<const double> node_weight, uint32_t k,
+    size_t r) {
+  COD_CHECK_EQ(node_weight.size(), g.NumNodes());
+  COD_CHECK(k >= 1);
+  COD_CHECK(r >= 1);
+
+  std::vector<char> alive(g.NumNodes(), 1);
+  std::vector<uint32_t> degree(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) degree[v] = g.Degree(v);
+  PeelToKCore(g, k, alive, degree);
+
+  // Process nodes by increasing weight: the component of the current global
+  // minimum is a maximal k-influential community with value w(min).
+  std::vector<NodeId> order;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) order.push_back(v);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (node_weight[a] != node_weight[b]) {
+      return node_weight[a] < node_weight[b];
+    }
+    return a < b;
+  });
+
+  std::deque<IcsCommunity> best;  // keeps the r most recent (strongest)
+  for (NodeId v : order) {
+    if (!alive[v]) continue;
+    IcsCommunity community;
+    community.influence_value = node_weight[v];
+    community.members = AliveComponentOf(g, v, alive);
+    best.push_back(std::move(community));
+    if (best.size() > r) best.pop_front();
+    // Delete the minimum node and restore the k-core invariant.
+    alive[v] = 0;
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      if (alive[a.to]) --degree[a.to];
+    }
+    PeelToKCore(g, k, alive, degree);
+  }
+
+  // Strongest (recorded last) first.
+  std::vector<IcsCommunity> result(best.rbegin(), best.rend());
+  return result;
+}
+
+std::vector<IcsCommunity> InfluentialCommunitySearch(
+    const DiffusionModel& model, uint32_t k, size_t r, uint32_t theta,
+    Rng& rng) {
+  const Graph& g = model.graph();
+  std::vector<NodeId> everyone;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) everyone.push_back(v);
+  InfluenceOracle oracle(model);
+  const std::vector<uint32_t> counts =
+      oracle.CountsWithin(everyone, theta, rng);
+  std::vector<double> weights(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    weights[v] = static_cast<double>(counts[v]) / theta;
+  }
+  return InfluentialCommunitySearch(g, weights, k, r);
+}
+
+}  // namespace cod

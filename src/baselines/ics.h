@@ -1,0 +1,46 @@
+// Influential community search (ICS), after Li et al., PVLDB'15 — the
+// "tangential" line of work the paper contrasts COD against (Sec. II-B):
+// instead of asking where a *given node* is influential, ICS finds the
+// communities whose *least influential member* is as influential as
+// possible.
+//
+// A k-influential community is a connected k-core H; its influence value is
+// f(H) = min over members of a per-node weight (here: each node's estimated
+// global influence). The classic online algorithm repeatedly records the
+// component of the current minimum-weight node and deletes that node,
+// re-peeling to the k-core; the last r recorded components are the top-r.
+//
+// Provided as a library feature and for the COD-vs-ICS comparison in the
+// examples: ICS communities need not contain any particular query node.
+
+#ifndef COD_BASELINES_ICS_H_
+#define COD_BASELINES_ICS_H_
+
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+#include "influence/cascade_model.h"
+
+namespace cod {
+
+struct IcsCommunity {
+  std::vector<NodeId> members;  // sorted
+  double influence_value;       // min member weight
+};
+
+// Top-r k-influential communities under the given per-node weights,
+// strongest first. Fewer than r are returned when the k-core is small.
+std::vector<IcsCommunity> InfluentialCommunitySearch(
+    const Graph& g, std::span<const double> node_weight, uint32_t k, size_t r);
+
+// Convenience wrapper: weights = RR-estimated global influence under
+// `model` (theta samples per node).
+std::vector<IcsCommunity> InfluentialCommunitySearch(
+    const DiffusionModel& model, uint32_t k, size_t r, uint32_t theta,
+    Rng& rng);
+
+}  // namespace cod
+
+#endif  // COD_BASELINES_ICS_H_

@@ -1,0 +1,101 @@
+#include "baselines/kcore.h"
+
+#include <algorithm>
+
+namespace cod {
+
+std::vector<uint32_t> CoreNumbers(const Graph& g) {
+  const size_t n = g.NumNodes();
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = g.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort by degree (Batagelj–Zaveršnik peeling).
+  std::vector<uint32_t> bucket_start(max_degree + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<NodeId> order(n);
+  std::vector<uint32_t> position(n);
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]]++;
+      order[position[v]] = v;
+    }
+  }
+  std::vector<uint32_t> core(n, 0);
+  std::vector<uint32_t> bin(bucket_start.begin(), bucket_start.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId v = order[i];
+    core[v] = degree[v];
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      const NodeId u = a.to;
+      if (degree[u] <= degree[v]) continue;
+      // Move u to the front of its bucket, then shrink its degree.
+      const uint32_t du = degree[u];
+      const uint32_t pu = position[u];
+      const uint32_t pw = bin[du];
+      const NodeId w = order[pw];
+      if (u != w) {
+        std::swap(order[pu], order[pw]);
+        position[u] = pw;
+        position[w] = pu;
+      }
+      ++bin[du];
+      --degree[u];
+    }
+  }
+  return core;
+}
+
+std::vector<NodeId> ConnectedKCore(const Graph& g, NodeId q, uint32_t k,
+                                   const std::vector<uint32_t>& core) {
+  COD_CHECK(q < g.NumNodes());
+  if (core[q] < k) return {};
+  std::vector<char> visited(g.NumNodes(), 0);
+  std::vector<NodeId> component;
+  component.push_back(q);
+  visited[q] = 1;
+  for (size_t head = 0; head < component.size(); ++head) {
+    const NodeId v = component[head];
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      if (!visited[a.to] && core[a.to] >= k) {
+        visited[a.to] = 1;
+        component.push_back(a.to);
+      }
+    }
+  }
+  std::sort(component.begin(), component.end());
+  return component;
+}
+
+std::vector<NodeId> AcqSearch(const Graph& g, const AttributeTable& attrs,
+                              NodeId q, AttributeId attr, uint32_t k) {
+  if (!attrs.Has(q, attr)) return {};
+  std::vector<NodeId> filtered;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (attrs.Has(v, attr)) filtered.push_back(v);
+  }
+  const InducedSubgraph sub = BuildInducedSubgraph(g, filtered);
+  NodeId local_q = kInvalidNode;
+  for (size_t i = 0; i < sub.to_parent.size(); ++i) {
+    if (sub.to_parent[i] == q) {
+      local_q = static_cast<NodeId>(i);
+      break;
+    }
+  }
+  COD_CHECK(local_q != kInvalidNode);
+  const std::vector<uint32_t> core = CoreNumbers(sub.graph);
+  if (k == 0) k = core[local_q];
+  if (k == 0) return {};  // q is isolated among attribute holders
+  std::vector<NodeId> local = ConnectedKCore(sub.graph, local_q, k, core);
+  for (NodeId& v : local) v = sub.to_parent[v];
+  std::sort(local.begin(), local.end());
+  return local;
+}
+
+}  // namespace cod

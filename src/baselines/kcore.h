@@ -1,0 +1,38 @@
+// Core decomposition and the ACQ baseline (Fang et al., PVLDB'16).
+//
+// ACQ ("attributed community query") finds a connected k-core containing the
+// query node in which every node shares the query attribute. The original
+// system maximizes the number of shared attributes over attribute subsets;
+// with the single query attribute used throughout the paper's evaluation
+// (Sec. V-A), it reduces to: filter the graph to nodes carrying l_q, then
+// return the connected component of q inside the k-core of the filtered
+// graph. With k = 0 (automatic) the largest k keeping q in a k-core is used.
+
+#ifndef COD_BASELINES_KCORE_H_
+#define COD_BASELINES_KCORE_H_
+
+#include <vector>
+
+#include "graph/attributes.h"
+#include "graph/graph.h"
+
+namespace cod {
+
+// Core number of every node (largest k such that the node survives in the
+// k-core), by linear-time bucket peeling.
+std::vector<uint32_t> CoreNumbers(const Graph& g);
+
+// The connected component containing `q` of the subgraph induced by nodes
+// with core number >= k. Empty if q's core number < k.
+std::vector<NodeId> ConnectedKCore(const Graph& g, NodeId q, uint32_t k,
+                                   const std::vector<uint32_t>& core);
+
+// ACQ community of (q, attr). Empty when q does not carry `attr` or no
+// qualifying community exists. k = 0 picks q's core number in the filtered
+// graph (the densest constraint q can satisfy).
+std::vector<NodeId> AcqSearch(const Graph& g, const AttributeTable& attrs,
+                              NodeId q, AttributeId attr, uint32_t k = 0);
+
+}  // namespace cod
+
+#endif  // COD_BASELINES_KCORE_H_

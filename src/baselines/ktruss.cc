@@ -1,0 +1,164 @@
+#include "baselines/ktruss.h"
+
+#include <algorithm>
+
+namespace cod {
+namespace {
+
+// Calls fn(edge_uw, edge_vw) for every triangle {u, v, w} closing the edge
+// (u, v); adjacency lists are sorted by node id, so this is a merge walk.
+template <typename Fn>
+void ForEachTriangleOf(const Graph& g, NodeId u, NodeId v, Fn&& fn) {
+  const auto nu = g.Neighbors(u);
+  const auto nv = g.Neighbors(v);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i].to == nv[j].to) {
+      if (nu[i].to != u && nu[i].to != v) fn(nu[i].edge, nv[j].edge);
+      ++i;
+      ++j;
+    } else if (nu[i].to < nv[j].to) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+}
+
+std::vector<uint32_t> ComputeSupports(const Graph& g) {
+  std::vector<uint32_t> support(g.NumEdges(), 0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    uint32_t s = 0;
+    ForEachTriangleOf(g, u, v, [&](EdgeId, EdgeId) { ++s; });
+    support[e] = s;
+  }
+  return support;
+}
+
+}  // namespace
+
+std::vector<uint32_t> TrussNumbers(const Graph& g) {
+  const size_t m = g.NumEdges();
+  std::vector<uint32_t> support = ComputeSupports(g);
+  uint32_t max_support = 0;
+  for (uint32_t s : support) max_support = std::max(max_support, s);
+
+  // Bucket peeling over edge supports (mirrors the core-number peeling).
+  std::vector<uint32_t> bucket_start(max_support + 2, 0);
+  for (EdgeId e = 0; e < m; ++e) ++bucket_start[support[e] + 1];
+  for (size_t s = 1; s < bucket_start.size(); ++s) {
+    bucket_start[s] += bucket_start[s - 1];
+  }
+  std::vector<EdgeId> order(m);
+  std::vector<uint32_t> position(m);
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (EdgeId e = 0; e < m; ++e) {
+      position[e] = cursor[support[e]]++;
+      order[position[e]] = e;
+    }
+  }
+  std::vector<uint32_t> bin(bucket_start.begin(), bucket_start.end() - 1);
+  std::vector<char> removed(m, 0);
+  std::vector<uint32_t> truss(m, 2);
+
+  auto decrease_support = [&](EdgeId f, uint32_t floor_support) {
+    if (support[f] <= floor_support) return;
+    const uint32_t sf = support[f];
+    const uint32_t pf = position[f];
+    const uint32_t pw = bin[sf];
+    const EdgeId w = order[pw];
+    if (f != w) {
+      std::swap(order[pf], order[pw]);
+      position[f] = pw;
+      position[w] = pf;
+    }
+    ++bin[sf];
+    --support[f];
+  };
+
+  for (size_t i = 0; i < m; ++i) {
+    const EdgeId e = order[i];
+    truss[e] = support[e] + 2;
+    removed[e] = 1;
+    const auto [u, v] = g.Endpoints(e);
+    ForEachTriangleOf(g, u, v, [&](EdgeId euw, EdgeId evw) {
+      if (removed[euw] || removed[evw]) return;
+      decrease_support(euw, support[e]);
+      decrease_support(evw, support[e]);
+    });
+  }
+  return truss;
+}
+
+std::vector<NodeId> TriangleConnectedTruss(const Graph& g, NodeId q,
+                                           uint32_t k,
+                                           const std::vector<uint32_t>& truss) {
+  COD_CHECK(k >= 3);
+  std::vector<char> edge_visited(g.NumEdges(), 0);
+  auto alive = [&](EdgeId e) { return truss[e] >= k; };
+
+  std::vector<NodeId> best_nodes;
+  for (const AdjEntry& seed : g.Neighbors(q)) {
+    if (!alive(seed.edge) || edge_visited[seed.edge]) continue;
+    // BFS over edges via shared (alive) triangles.
+    std::vector<EdgeId> frontier{seed.edge};
+    edge_visited[seed.edge] = 1;
+    std::vector<NodeId> nodes;
+    for (size_t head = 0; head < frontier.size(); ++head) {
+      const EdgeId e = frontier[head];
+      const auto [u, v] = g.Endpoints(e);
+      nodes.push_back(u);
+      nodes.push_back(v);
+      ForEachTriangleOf(g, u, v, [&](EdgeId euw, EdgeId evw) {
+        if (!alive(euw) || !alive(evw)) return;
+        if (!edge_visited[euw]) {
+          edge_visited[euw] = 1;
+          frontier.push_back(euw);
+        }
+        if (!edge_visited[evw]) {
+          edge_visited[evw] = 1;
+          frontier.push_back(evw);
+        }
+      });
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    if (nodes.size() > best_nodes.size()) best_nodes = std::move(nodes);
+  }
+  return best_nodes;
+}
+
+std::vector<NodeId> CacSearch(const Graph& g, const AttributeTable& attrs,
+                              NodeId q, AttributeId attr) {
+  if (!attrs.Has(q, attr)) return {};
+  std::vector<NodeId> filtered;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (attrs.Has(v, attr)) filtered.push_back(v);
+  }
+  const InducedSubgraph sub = BuildInducedSubgraph(g, filtered);
+  NodeId local_q = kInvalidNode;
+  for (size_t i = 0; i < sub.to_parent.size(); ++i) {
+    if (sub.to_parent[i] == q) {
+      local_q = static_cast<NodeId>(i);
+      break;
+    }
+  }
+  COD_CHECK(local_q != kInvalidNode);
+
+  const std::vector<uint32_t> truss = TrussNumbers(sub.graph);
+  uint32_t kq = 2;
+  for (const AdjEntry& a : sub.graph.Neighbors(local_q)) {
+    kq = std::max(kq, truss[a.edge]);
+  }
+  if (kq < 3) return {};  // q closes no triangle among attribute holders
+  std::vector<NodeId> local =
+      TriangleConnectedTruss(sub.graph, local_q, kq, truss);
+  for (NodeId& v : local) v = sub.to_parent[v];
+  std::sort(local.begin(), local.end());
+  return local;
+}
+
+}  // namespace cod

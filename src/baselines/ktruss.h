@@ -1,0 +1,39 @@
+// Truss decomposition and the CAC baseline (Zhu et al., CIKM'20).
+//
+// The k-truss of a graph is the maximal subgraph whose every edge closes at
+// least k-2 triangles inside it. CAC ("cohesive attributed community") finds
+// a triangle-connected k-truss containing the query node in which all nodes
+// share the query attribute; as in the paper's evaluation we use the single
+// query attribute and the largest k the query can satisfy, which yields the
+// small, very dense communities the paper reports for CAC.
+
+#ifndef COD_BASELINES_KTRUSS_H_
+#define COD_BASELINES_KTRUSS_H_
+
+#include <vector>
+
+#include "graph/attributes.h"
+#include "graph/graph.h"
+
+namespace cod {
+
+// Truss number of every edge (largest k such that the edge survives in the
+// k-truss); 2 for edges in no triangle. Peeling with bucketed supports.
+std::vector<uint32_t> TrussNumbers(const Graph& g);
+
+// Nodes of the largest triangle-connected component of {edges with truss
+// number >= k} that contains an edge incident to q. Requires k >= 3 (below
+// that triangle connectivity is void); empty if q has no qualifying edge.
+std::vector<NodeId> TriangleConnectedTruss(const Graph& g, NodeId q,
+                                           uint32_t k,
+                                           const std::vector<uint32_t>& truss);
+
+// CAC community of (q, attr): filter to attribute holders, take k as the
+// maximum truss number over q's incident filtered edges, return the largest
+// triangle-connected k-truss community of q. Empty if none exists.
+std::vector<NodeId> CacSearch(const Graph& g, const AttributeTable& attrs,
+                              NodeId q, AttributeId attr);
+
+}  // namespace cod
+
+#endif  // COD_BASELINES_KTRUSS_H_

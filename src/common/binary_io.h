@@ -1,0 +1,98 @@
+// Minimal binary (de)serialization helpers for index and hierarchy
+// persistence. Format discipline: fixed-width little-endian integers (we
+// only target little-endian platforms, checked at build time), a 4-byte
+// magic + 4-byte version per file, and length-prefixed arrays of PODs.
+
+#ifndef COD_COMMON_BINARY_IO_H_
+#define COD_COMMON_BINARY_IO_H_
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+static_assert(std::endian::native == std::endian::little,
+              "codlib's binary formats assume a little-endian platform");
+
+namespace cod {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : out_(path, std::ios::binary) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  template <typename T>
+  void WritePod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WritePod<uint64_t>(values.size());
+    out_.write(reinterpret_cast<const char*>(values.data()),
+               static_cast<std::streamsize>(values.size() * sizeof(T)));
+  }
+
+  Status Finish(const std::string& path) {
+    out_.flush();
+    if (!out_) return Status::IoError("write to " + path + " failed");
+    return Status::Ok();
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : in_(path, std::ios::binary) {
+    if (in_) {
+      in_.seekg(0, std::ios::end);
+      file_size_ = static_cast<uint64_t>(in_.tellg());
+      in_.seekg(0, std::ios::beg);
+    }
+  }
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+  template <typename T>
+  bool ReadPod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    in_.read(reinterpret_cast<char*>(value), sizeof(T));
+    return static_cast<bool>(in_);
+  }
+
+  // Rejects lengths that cannot possibly fit in the rest of the file before
+  // allocating anything: a corrupted length field must not OOM or throw.
+  template <typename T>
+  bool ReadVector(std::vector<T>* values,
+                  uint64_t max_elements = UINT64_MAX) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t size = 0;
+    if (!ReadPod(&size) || size > max_elements) return false;
+    const uint64_t remaining =
+        file_size_ - static_cast<uint64_t>(in_.tellg());
+    if (size > remaining / sizeof(T)) return false;
+    values->resize(size);
+    in_.read(reinterpret_cast<char*>(values->data()),
+             static_cast<std::streamsize>(size * sizeof(T)));
+    return static_cast<bool>(in_);
+  }
+
+ private:
+  std::ifstream in_;
+  uint64_t file_size_ = 0;
+};
+
+}  // namespace cod
+
+#endif  // COD_COMMON_BINARY_IO_H_

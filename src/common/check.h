@@ -1,0 +1,47 @@
+// Invariant-checking macros used across codlib.
+//
+// The library follows the no-exceptions error model: recoverable failures are
+// reported through cod::Status (see common/status.h), while violated
+// programming invariants abort the process with a diagnostic. COD_CHECK is
+// always on; COD_DCHECK compiles out in NDEBUG builds.
+
+#ifndef COD_COMMON_CHECK_H_
+#define COD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cod::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "COD_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cod::internal
+
+#define COD_CHECK(expr)                                      \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::cod::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                        \
+  } while (false)
+
+#define COD_CHECK_EQ(a, b) COD_CHECK((a) == (b))
+#define COD_CHECK_NE(a, b) COD_CHECK((a) != (b))
+#define COD_CHECK_LT(a, b) COD_CHECK((a) < (b))
+#define COD_CHECK_LE(a, b) COD_CHECK((a) <= (b))
+#define COD_CHECK_GT(a, b) COD_CHECK((a) > (b))
+#define COD_CHECK_GE(a, b) COD_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define COD_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define COD_DCHECK(expr) COD_CHECK(expr)
+#endif
+
+#endif  // COD_COMMON_CHECK_H_

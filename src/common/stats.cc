@@ -1,0 +1,48 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cod {
+
+void Accumulator::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double Accumulator::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Accumulator::StdDev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double Accumulator::Min() const { return min_; }
+double Accumulator::Max() const { return max_; }
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  COD_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace cod

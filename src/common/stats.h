@@ -1,0 +1,38 @@
+// Small summary-statistics helpers used by the evaluation harness.
+
+#ifndef COD_COMMON_STATS_H_
+#define COD_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cod {
+
+// One-pass accumulator for mean/min/max/stddev of a stream of doubles.
+class Accumulator {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const;
+  // Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation.
+// Returns 0 for an empty input. The input is copied and sorted.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace cod
+
+#endif  // COD_COMMON_STATS_H_

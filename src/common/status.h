@@ -1,0 +1,115 @@
+// Status and Result<T>: the error model of codlib.
+//
+// Modeled on the RocksDB/Arrow convention: functions that can fail in ways a
+// caller should handle return Status (or Result<T> when they also produce a
+// value). Exceptions are not used anywhere in the library.
+
+#ifndef COD_COMMON_STATUS_H_
+#define COD_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace cod {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kTimeout,
+};
+
+// A lightweight success-or-error value. Copyable and movable.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" string, for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-error wrapper. Access to the value of a failed Result aborts.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` or
+  // `return Status::...;` interchangeably (matching absl::StatusOr).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : data_(std::move(status)) {
+    COD_CHECK(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    COD_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    COD_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    COD_CHECK(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagates a non-ok Status from an expression; usable in functions that
+// themselves return Status or Result<T>.
+#define COD_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::cod::Status _status = (expr);          \
+    if (!_status.ok()) return _status;       \
+  } while (false)
+
+}  // namespace cod
+
+#endif  // COD_COMMON_STATUS_H_

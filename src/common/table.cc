@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace cod {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  COD_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  std::string sep(total > 2 ? total - 2 : total, '-');
+  std::fprintf(out, "%s\n", sep.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(size_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu", v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(int v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", v);
+  return buf;
+}
+
+}  // namespace cod

@@ -1,0 +1,40 @@
+// Aligned plain-text table printer.
+//
+// The bench binaries regenerate the paper's tables and figure series as rows
+// on stdout; this helper keeps the columns aligned and the formatting in one
+// place.
+
+#ifndef COD_COMMON_TABLE_H_
+#define COD_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cod {
+
+// Collects rows of cells and renders them with per-column alignment.
+// Example:
+//   TablePrinter t({"dataset", "|V|", "|E|"});
+//   t.AddRow({"cora-sim", "2485", "5069"});
+//   t.Print(stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders the header, a separator, and all rows to `out`.
+  void Print(std::FILE* out) const;
+
+  // Convenience cell formatters.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(size_t v);
+  static std::string Fmt(int v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cod
+
+#endif  // COD_COMMON_TABLE_H_

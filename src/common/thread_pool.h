@@ -1,0 +1,100 @@
+// A small fixed-size thread pool for embarrassingly parallel batch work
+// (parallel RR sampling, parallel index construction).
+//
+// Deliberately minimal: submit void() tasks, then WaitIdle(). Tasks must not
+// throw (the library is exception-free) and must synchronize their own
+// outputs (the canonical pattern here is one pre-allocated output slot per
+// task, merged after WaitIdle).
+
+#ifndef COD_COMMON_THREAD_POOL_H_
+#define COD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cod {
+
+class ThreadPool {
+ public:
+  // `num_threads` == 0 uses the hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads) {
+    if (num_threads == 0) {
+      num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      COD_CHECK(!stopping_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    wake_.notify_one();
+  }
+
+  // Blocks until every submitted task has finished.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          if (stopping_) return;
+          continue;
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t pending_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cod
+
+#endif  // COD_COMMON_THREAD_POOL_H_

@@ -1,0 +1,29 @@
+// Wall-clock timing helper for benches and experiments.
+
+#ifndef COD_COMMON_TIMER_H_
+#define COD_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace cod {
+
+// Measures elapsed wall time since construction or the last Restart().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cod
+
+#endif  // COD_COMMON_TIMER_H_

@@ -1,0 +1,34 @@
+#include "core/adaptive_eval.h"
+
+namespace cod {
+
+AdaptiveEvaluator::AdaptiveEvaluator(const DiffusionModel& model,
+                                     const AdaptiveOptions& options)
+    : model_(&model), options_(options) {
+  COD_CHECK(options.initial_theta >= 1);
+  COD_CHECK(options.max_theta >= options.initial_theta);
+  COD_CHECK(options.stable_rounds >= 1);
+}
+
+AdaptiveOutcome AdaptiveEvaluator::Evaluate(const CodChain& chain, NodeId q,
+                                            uint32_t k, Rng& rng) {
+  AdaptiveOutcome result;
+  int agreement = 0;
+  int previous_best = -2;  // sentinel distinct from "not found" (-1)
+  for (uint32_t theta = options_.initial_theta;; theta *= 2) {
+    CompressedEvaluator evaluator(*model_, theta);
+    result.outcome = evaluator.Evaluate(chain, q, k, rng);
+    result.final_theta = theta;
+    ++result.rounds;
+    if (result.outcome.best_level == previous_best) {
+      if (++agreement >= options_.stable_rounds) break;
+    } else {
+      agreement = 0;
+      previous_best = result.outcome.best_level;
+    }
+    if (theta >= options_.max_theta) break;
+  }
+  return result;
+}
+
+}  // namespace cod

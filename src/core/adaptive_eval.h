@@ -1,0 +1,47 @@
+// Sample-adaptive compressed COD evaluation.
+//
+// The paper fixes theta = 10 RR graphs per node; the stop-and-stare line of
+// work it cites ([23], [24]) instead grows the sample until the decision is
+// confident. This evaluator applies that idea to COD pragmatically: run the
+// compressed evaluation with theta, 2*theta, 4*theta, ... independent sample
+// pools until the reported best level is identical for `stable_rounds`
+// consecutive doublings (or a budget is reached), then answer from the
+// largest pool. This is a stabilization heuristic, not a formal
+// (epsilon, delta) guarantee — the test suite pins its behaviour at the
+// distribution extremes and its monotone cost.
+
+#ifndef COD_CORE_ADAPTIVE_EVAL_H_
+#define COD_CORE_ADAPTIVE_EVAL_H_
+
+#include "core/compressed_eval.h"
+
+namespace cod {
+
+struct AdaptiveOptions {
+  uint32_t initial_theta = 5;
+  uint32_t max_theta = 80;
+  // Consecutive doublings that must agree on best_level before stopping.
+  int stable_rounds = 2;
+};
+
+struct AdaptiveOutcome {
+  ChainEvalOutcome outcome;   // from the final (largest) pool
+  uint32_t final_theta = 0;   // theta of that pool
+  int rounds = 0;             // evaluation rounds executed
+};
+
+class AdaptiveEvaluator {
+ public:
+  AdaptiveEvaluator(const DiffusionModel& model, const AdaptiveOptions& options);
+
+  AdaptiveOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
+                           Rng& rng);
+
+ private:
+  const DiffusionModel* model_;
+  AdaptiveOptions options_;
+};
+
+}  // namespace cod
+
+#endif  // COD_CORE_ADAPTIVE_EVAL_H_

@@ -1,0 +1,97 @@
+#include "core/cod_chain.h"
+
+#include <algorithm>
+
+namespace cod {
+
+std::vector<NodeId> CodChain::MembersOfLevel(uint32_t h) const {
+  COD_CHECK(h < NumLevels());
+  std::vector<NodeId> members;
+  members.reserve(community_size[h]);
+  for (NodeId v : universe) {
+    if (level[v] <= h) members.push_back(v);
+  }
+  COD_CHECK_EQ(members.size(), community_size[h]);
+  return members;
+}
+
+CodChain BuildChainFromDendrogram(const Dendrogram& dendrogram, NodeId q,
+                                  CommunityId top,
+                                  const std::vector<NodeId>* node_map,
+                                  size_t parent_num_nodes) {
+  std::vector<CommunityId> path = dendrogram.PathToRoot(q);
+  if (top != kInvalidCommunity) {
+    const auto it = std::find(path.begin(), path.end(), top);
+    COD_CHECK(it != path.end());  // `top` must be an ancestor of q
+    path.erase(it + 1, path.end());
+  }
+  const size_t num_nodes =
+      node_map == nullptr ? dendrogram.NumLeaves() : parent_num_nodes;
+  auto map_id = [&](NodeId local) {
+    return node_map == nullptr ? local : (*node_map)[local];
+  };
+
+  CodChain chain;
+  chain.level.assign(num_nodes, 0);
+  chain.in_universe.assign(num_nodes, 0);
+  chain.community_size.reserve(path.size());
+
+  // Members(C_{h-1}) is a contiguous sub-span of Members(C_h) over the same
+  // underlying leaf order, so each level's fresh nodes are a prefix plus a
+  // suffix of its member span.
+  const NodeId* prev_begin = nullptr;
+  const NodeId* prev_end = nullptr;
+  for (size_t h = 0; h < path.size(); ++h) {
+    const auto span = dendrogram.Members(path[h]);
+    const NodeId* begin = span.data();
+    const NodeId* end = span.data() + span.size();
+    auto assign = [&](const NodeId* lo, const NodeId* hi) {
+      for (const NodeId* p = lo; p < hi; ++p) {
+        const NodeId v = map_id(*p);
+        chain.level[v] = static_cast<uint32_t>(h);
+        chain.in_universe[v] = 1;
+        chain.universe.push_back(v);
+      }
+    };
+    if (h == 0) {
+      assign(begin, end);
+    } else {
+      COD_CHECK(begin <= prev_begin && prev_end <= end);
+      assign(begin, prev_begin);
+      assign(prev_end, end);
+    }
+    prev_begin = begin;
+    prev_end = end;
+    chain.community_size.push_back(static_cast<uint32_t>(span.size()));
+  }
+  return chain;
+}
+
+void AppendLevelWithNewMembers(CodChain* chain,
+                               std::span<const NodeId> new_members,
+                               uint32_t expected_size) {
+  const uint32_t h = static_cast<uint32_t>(chain->NumLevels());
+  for (NodeId v : new_members) {
+    COD_CHECK(v < chain->level.size());
+    COD_CHECK(!chain->in_universe[v]);
+    chain->in_universe[v] = 1;
+    chain->level[v] = h;
+    chain->universe.push_back(v);
+  }
+  COD_CHECK_EQ(chain->universe.size(), expected_size);
+  chain->community_size.push_back(expected_size);
+}
+
+void AppendLevel(CodChain* chain, std::span<const NodeId> members) {
+  const uint32_t h = static_cast<uint32_t>(chain->NumLevels());
+  for (NodeId v : members) {
+    COD_CHECK(v < chain->level.size());
+    if (chain->in_universe[v]) continue;
+    chain->in_universe[v] = 1;
+    chain->level[v] = h;
+    chain->universe.push_back(v);
+  }
+  chain->community_size.push_back(static_cast<uint32_t>(chain->universe.size()));
+}
+
+}  // namespace cod

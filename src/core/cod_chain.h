@@ -1,0 +1,63 @@
+// Nested community chains: the input shape of COD evaluation.
+//
+// For a query node q, H(q) is a chain of nested communities
+// C_0 subset C_1 subset ... subset C_{L-1} (paper Sec. II-A). Evaluators do
+// not care where the chain came from (plain hierarchy, global recluster, or
+// LORE's spliced local + global hierarchy), only about:
+//  * the universe: the members of the largest community, and
+//  * level(v): the index of the smallest chain community containing v.
+//
+// CodChain captures exactly that, in the *parent graph's* node ids, so one
+// representation serves CODU, CODR, CODL- and the reclustered tail of CODL.
+
+#ifndef COD_CORE_COD_CHAIN_H_
+#define COD_CORE_COD_CHAIN_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "hierarchy/dendrogram.h"
+
+namespace cod {
+
+struct CodChain {
+  // level_[v] is only meaningful for nodes with in_universe[v] != 0.
+  std::vector<uint32_t> level;    // size: parent graph's NumNodes()
+  std::vector<char> in_universe;  // size: parent graph's NumNodes()
+  std::vector<NodeId> universe;   // members of C_{L-1}
+  std::vector<uint32_t> community_size;  // |C_h| per level, non-decreasing
+
+  size_t NumLevels() const { return community_size.size(); }
+
+  // Materializes the members of C_h (all universe nodes with level <= h).
+  std::vector<NodeId> MembersOfLevel(uint32_t h) const;
+};
+
+// Builds the chain H(q) from a dendrogram: levels are q's ancestors from
+// Parent(leaf(q)) up to `top` inclusive (`top` defaults to the root and must
+// be an ancestor of q). `node_map`, when non-null, translates the
+// dendrogram's leaf ids to parent-graph ids (used when the dendrogram was
+// built on an induced subgraph); `parent_num_nodes` sizes the per-node
+// arrays in that case.
+CodChain BuildChainFromDendrogram(const Dendrogram& dendrogram, NodeId q,
+                                  CommunityId top = kInvalidCommunity,
+                                  const std::vector<NodeId>* node_map = nullptr,
+                                  size_t parent_num_nodes = 0);
+
+// Appends further enclosing communities on top of `chain`: each call adds
+// one level containing every node of `members` (parent ids) not yet in the
+// universe. Used to splice the global ancestors of C_ell above a locally
+// reclustered chain.
+void AppendLevel(CodChain* chain, std::span<const NodeId> members);
+
+// Cheaper variant when the caller already knows which members are new at the
+// appended level (e.g., from nested dendrogram leaf intervals):
+// `expected_size` is the total size of the appended community and must equal
+// the universe size after insertion.
+void AppendLevelWithNewMembers(CodChain* chain,
+                               std::span<const NodeId> new_members,
+                               uint32_t expected_size);
+
+}  // namespace cod
+
+#endif  // COD_CORE_COD_CHAIN_H_

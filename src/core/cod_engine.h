@@ -1,0 +1,177 @@
+// CodEngine: the top-level facade of the library.
+//
+// Wires together the substrates and exposes the four COD variants the paper
+// evaluates (Sec. V-A):
+//   * CODU  — non-attributed hierarchy + compressed COD evaluation;
+//   * CODR  — global recluster of the attribute-weighted graph g_l, then
+//             compressed evaluation;
+//   * CODL- — LORE local recluster, compressed evaluation over the whole
+//             spliced chain (no index);
+//   * CODL  — LORE + HIMOR index: answer from precomputed ranks above C_ell,
+//             compressed evaluation inside C_ell otherwise.
+//
+// Typical use:
+//   CodEngine engine(graph, attrs, {.k = 5, .theta = 10});
+//   engine.BuildHimor(rng);                       // once, for CODL
+//   CodResult r = engine.QueryCodL(q, attr, 5, rng);
+//
+// Influence is always evaluated on the ORIGINAL graph's probabilities;
+// attribute weights only shape the hierarchy.
+
+#ifndef COD_CORE_COD_ENGINE_H_
+#define COD_CORE_COD_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cod_chain.h"
+#include "core/compressed_eval.h"
+#include "core/global_recluster.h"
+#include "core/himor.h"
+#include "core/lore.h"
+#include "graph/attributes.h"
+#include "hierarchy/agglomerative.h"
+#include "hierarchy/lca.h"
+#include "influence/cascade_model.h"
+
+namespace cod {
+
+struct EngineOptions {
+  uint32_t k = 5;          // default top-k requirement
+  uint32_t theta = 10;     // RR graphs per source node
+  // The g_l transform (see core/global_recluster.h): how the query
+  // attribute reshapes edge weights before (re)clustering.
+  TransformOptions transform;
+  DiffusionKind diffusion = DiffusionKind::kIndependentCascade;
+  // Largest k the HIMOR index can answer (ranks >= this are not stored;
+  // see HimorIndex::Build).
+  uint32_t himor_max_rank = 16;
+  // Reuse CODR hierarchies across queries with the same attribute (results
+  // are identical; only timing changes — keep false for runtime benches).
+  bool cache_codr_hierarchies = false;
+};
+
+struct CodResult {
+  bool found = false;
+  std::vector<NodeId> members;  // the characteristic community C*(q)
+  uint32_t rank = 0;            // q's estimated rank in C*(q) (0-based)
+  size_t num_levels = 0;        // |H_l(q)| levels examined
+  bool answered_from_index = false;  // CODL: resolved by HIMOR alone
+};
+
+// A LORE-spliced chain plus provenance.
+struct LoreChain {
+  CodChain chain;
+  CommunityId c_ell = kInvalidCommunity;
+  size_t local_levels = 0;  // chain positions below (and incl.) C_ell
+};
+
+class CodEngine {
+ public:
+  // `graph` and `attrs` must outlive the engine. The non-attributed base
+  // hierarchy, its LCA index, and the diffusion model are built eagerly.
+  CodEngine(const Graph& graph, const AttributeTable& attrs,
+            const EngineOptions& options);
+
+  const Graph& graph() const { return *graph_; }
+  const AttributeTable& attributes() const { return *attrs_; }
+  const DiffusionModel& model() const { return model_; }
+  const Dendrogram& base_hierarchy() const { return base_; }
+  const LcaIndex& base_lca() const { return lca_; }
+  const EngineOptions& options() const { return options_; }
+
+  // ---- Chain builders (exposed for benches and tests). ----
+  CodChain BuildCoduChain(NodeId q) const;
+  CodChain BuildCodrChain(NodeId q, AttributeId attr);
+  LoreChain BuildCodlChain(NodeId q, AttributeId attr) const;
+  LoreChain BuildCodlChain(NodeId q,
+                           std::span<const AttributeId> attrs) const;
+
+  // ---- Query variants. Each attributed variant also accepts a topic SET
+  // (an edge counts as query-attributed when both endpoints carry at least
+  // one of the attributes). ----
+  CodResult QueryCodU(NodeId q, uint32_t k, Rng& rng);
+  CodResult QueryCodR(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
+  CodResult QueryCodR(NodeId q, std::span<const AttributeId> attrs,
+                      uint32_t k, Rng& rng);
+  CodResult QueryCodLMinus(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
+  CodResult QueryCodLMinus(NodeId q, std::span<const AttributeId> attrs,
+                           uint32_t k, Rng& rng);
+  // Index-only CODU: the largest base-hierarchy community where q is top-k,
+  // answered entirely from HIMOR in O(dep(q)) — no sampling at query time.
+  // Same semantics as QueryCodU up to the index's own estimation. Requires
+  // BuildHimor() and k <= options().himor_max_rank.
+  CodResult QueryCodUIndexed(NodeId q, uint32_t k) const;
+
+  // Requires BuildHimor() to have been called.
+  CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
+  CodResult QueryCodL(NodeId q, std::span<const AttributeId> attrs,
+                      uint32_t k, Rng& rng);
+
+  // ---- Explanation. ----
+  // Runs QueryCodL with full instrumentation: which community LORE chose
+  // and why (the whole score profile), whether HIMOR answered, and the
+  // final result. For debugging, demos, and the hierarchy explorer.
+  struct QueryExplanation {
+    LoreScores scores;
+    uint32_t c_ell_size = 0;
+    bool index_hit = false;
+    CommunityId index_community = kInvalidCommunity;
+    uint32_t index_rank = 0;
+    CodResult result;
+
+    // Human-readable multi-line report.
+    std::string ToString(const Dendrogram& hierarchy) const;
+  };
+  QueryExplanation ExplainCodL(NodeId q, AttributeId attr, uint32_t k,
+                               Rng& rng);
+
+  // ---- Reverse (promoter) search. ----
+  // Which attribute holders have the LARGEST characteristic communities in
+  // the base (non-attributed) hierarchy? Answered entirely from HIMOR, so it
+  // scans all candidates in O(sum depth). Useful as a CBSM shortlist; refine
+  // the survivors with QueryCodL. Requires BuildHimor().
+  struct Promoter {
+    NodeId node;
+    CommunityId community;
+    uint32_t size;
+    uint32_t rank;
+  };
+  std::vector<Promoter> FindTopPromoters(AttributeId attr, size_t count,
+                                         uint32_t k) const;
+
+  // Builds (or rebuilds) the HIMOR index over the base hierarchy.
+  void BuildHimor(Rng& rng);
+  // Multi-threaded variant; the result depends on `seed` only, never on the
+  // thread count (see HimorIndex::BuildParallel).
+  void BuildHimorParallel(uint64_t seed, size_t num_threads = 0);
+  const HimorIndex* himor() const {
+    return himor_.has_value() ? &*himor_ : nullptr;
+  }
+
+  // Persists / restores the HIMOR index (the base hierarchy is deterministic
+  // from the graph, so the index alone suffices to resume query serving).
+  Status SaveHimor(const std::string& path) const;
+  Status LoadHimor(const std::string& path);
+
+ private:
+  CodResult EvaluateChain(const CodChain& chain, NodeId q, uint32_t k,
+                          Rng& rng);
+
+  const Graph* graph_;
+  const AttributeTable* attrs_;
+  EngineOptions options_;
+  DiffusionModel model_;
+  Dendrogram base_;
+  LcaIndex lca_;
+  CompressedEvaluator evaluator_;
+  std::optional<HimorIndex> himor_;
+  std::unordered_map<AttributeId, std::unique_ptr<Dendrogram>> codr_cache_;
+};
+
+}  // namespace cod
+
+#endif  // COD_CORE_COD_ENGINE_H_

@@ -1,0 +1,149 @@
+#include "core/compressed_eval.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace cod {
+namespace {
+
+// Small sorted top-k candidate set (descending count, ties toward smaller
+// node id). k is tiny, so linear maintenance beats a heap and, unlike one,
+// supports in-place value increases.
+class TopKCandidates {
+ public:
+  explicit TopKCandidates(uint32_t k) : k_(k) {}
+
+  void Update(NodeId v, uint32_t count) {
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i].second == v) {
+        items_[i].first = count;
+        Resort(i);
+        return;
+      }
+    }
+    if (items_.size() < k_) {
+      items_.emplace_back(count, v);
+      Resort(items_.size() - 1);
+      return;
+    }
+    const auto& worst = items_.back();
+    if (count > worst.first ||
+        (count == worst.first && v < worst.second)) {
+      items_.back() = {count, v};
+      Resort(items_.size() - 1);
+    }
+  }
+
+  // Number of candidates with a strictly larger count than `count`. When the
+  // candidate set holds the k largest cumulative counts, this equals the
+  // query's true rank whenever that rank is < k (see DESIGN.md note 4).
+  uint32_t RankAgainst(uint32_t count) const {
+    uint32_t rank = 0;
+    for (const auto& [c, v] : items_) {
+      if (c > count) ++rank;
+    }
+    return rank;
+  }
+
+ private:
+  void Resort(size_t i) {
+    // Bubble the updated entry toward the front to restore descending order.
+    while (i > 0 && (items_[i].first > items_[i - 1].first ||
+                     (items_[i].first == items_[i - 1].first &&
+                      items_[i].second < items_[i - 1].second))) {
+      std::swap(items_[i], items_[i - 1]);
+      --i;
+    }
+  }
+
+  uint32_t k_;
+  std::vector<std::pair<uint32_t, NodeId>> items_;  // (count, node), desc
+};
+
+}  // namespace
+
+CompressedEvaluator::CompressedEvaluator(const DiffusionModel& model,
+                                         uint32_t theta)
+    : model_(&model), theta_(theta), sampler_(model) {
+  COD_CHECK(theta > 0);
+}
+
+ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
+                                               uint32_t k, Rng& rng) {
+  const size_t num_levels = chain.NumLevels();
+  COD_CHECK(num_levels >= 1);
+  COD_CHECK(chain.in_universe[q]);
+  COD_CHECK_EQ(chain.level[q], 0u);
+  COD_CHECK(k >= 1);
+
+  // --- Stage 1: shared sample generation with hierarchical-first search. ---
+  std::vector<std::unordered_map<NodeId, uint32_t>> buckets(num_levels);
+  if (level_queue_.size() < num_levels) level_queue_.resize(num_levels);
+  last_explored_nodes_ = 0;
+
+  // Min-heap of pending non-empty levels so sparse chains don't pay O(L)
+  // per RR graph.
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>>
+      pending_levels;
+
+  for (NodeId source : chain.universe) {
+    for (uint32_t t = 0; t < theta_; ++t) {
+      sampler_.SampleRestricted(source, chain.in_universe, rng, &rr_);
+      last_explored_nodes_ += rr_.NumNodes();
+
+      const size_t n_local = rr_.NumNodes();
+      if (queued_.size() < n_local) queued_.resize(n_local);
+      std::fill(queued_.begin(), queued_.begin() + n_local, 0);
+
+      const uint32_t source_level = chain.level[rr_.source];
+      queued_[0] = 1;
+      level_queue_[source_level].push_back(0);
+      pending_levels.push(source_level);
+
+      while (!pending_levels.empty()) {
+        const uint32_t h = pending_levels.top();
+        pending_levels.pop();
+        auto& queue = level_queue_[h];
+        // Index loop: same-level discoveries extend `queue` while iterating.
+        for (size_t idx = 0; idx < queue.size(); ++idx) {
+          const uint32_t i = queue[idx];
+          const NodeId v = rr_.nodes[i];
+          ++buckets[h][v];
+          for (uint32_t u : rr_.NeighborsOf(i)) {
+            if (queued_[u]) continue;
+            queued_[u] = 1;
+            const uint32_t h2 = std::max(h, chain.level[rr_.nodes[u]]);
+            if (h2 != h && level_queue_[h2].empty()) pending_levels.push(h2);
+            level_queue_[h2].push_back(u);
+          }
+        }
+        queue.clear();
+      }
+    }
+  }
+
+  // --- Stage 2: incremental top-k evaluation. ---
+  ChainEvalOutcome outcome;
+  outcome.rank_per_level.resize(num_levels);
+  TopKCandidates candidates(k);
+  std::unordered_map<NodeId, uint32_t> tau;  // cumulative counts
+  tau.reserve(1024);
+  uint32_t tau_q = 0;
+  for (uint32_t h = 0; h < num_levels; ++h) {
+    for (const auto& [v, count] : buckets[h]) {
+      uint32_t& total = tau[v];
+      total += count;
+      candidates.Update(v, total);
+      if (v == q) tau_q = total;
+    }
+    const uint32_t rank = candidates.RankAgainst(tau_q);
+    outcome.rank_per_level[h] = rank;
+    if (rank < k) {
+      outcome.best_level = static_cast<int>(h);
+      outcome.rank_at_best = rank;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace cod

@@ -1,0 +1,68 @@
+// Compressed COD evaluation (paper Section III, Algorithm 1).
+//
+// Evaluates whether the query node is top-k influential in every community of
+// a nested chain using ONE shared pool of RR graphs:
+//
+//  1. Shared sample generation / hierarchical-first search (HFS): theta RR
+//     graphs are sampled from each universe node; each RR graph is traversed
+//     level-by-level so that every reached node is recorded exactly once, in
+//     the bucket of the smallest chain community containing a live path from
+//     the source (Theorem 2 makes the induced counts unbiased).
+//  2. Incremental top-k evaluation: buckets are scanned from the deepest
+//     community outward, carrying cumulative counts and the current top-k
+//     candidates; Theorem 3 guarantees no other node can enter the top-k.
+//
+// Cost is O(Theta * omega + L) — the chain length L is decoupled from the
+// sampling cost (Theorem 4). RR graphs are streamed: each is traversed right
+// after sampling and then discarded, so memory stays O(|V| + bucket totals).
+
+#ifndef COD_CORE_COMPRESSED_EVAL_H_
+#define COD_CORE_COMPRESSED_EVAL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/cod_chain.h"
+#include "influence/rr_graph.h"
+
+namespace cod {
+
+// Per-level outcome of a chain evaluation, shared with IndependentEvaluator.
+struct ChainEvalOutcome {
+  // Largest level h where q's rank < k, or -1 if none.
+  int best_level = -1;
+  // q's estimated rank (number of strictly more influential nodes) at the
+  // best level; undefined when best_level == -1.
+  uint32_t rank_at_best = 0;
+  // q's estimated rank at every level, clamped to k (any value >= k only
+  // means "not in the top-k"); for tests and diagnostics.
+  std::vector<uint32_t> rank_per_level;
+};
+
+class CompressedEvaluator {
+ public:
+  // `theta`: RR graphs sampled per universe node.
+  CompressedEvaluator(const DiffusionModel& model, uint32_t theta);
+
+  ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
+                            Rng& rng);
+
+  // Total RR-graph nodes explored by the last Evaluate call (|R| in the
+  // paper's analysis); exposed for the Fig. 8 sample-cost comparison.
+  size_t last_explored_nodes() const { return last_explored_nodes_; }
+
+ private:
+  const DiffusionModel* model_;
+  uint32_t theta_;
+  RrSampler sampler_;
+  size_t last_explored_nodes_ = 0;
+
+  // Reusable per-query scratch (sized lazily to the graph).
+  RrGraph rr_;
+  std::vector<std::vector<uint32_t>> level_queue_;  // local node ids per level
+  std::vector<char> queued_;                        // per local node id
+};
+
+}  // namespace cod
+
+#endif  // COD_CORE_COMPRESSED_EVAL_H_

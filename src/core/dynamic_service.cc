@@ -1,0 +1,82 @@
+#include "core/dynamic_service.h"
+
+namespace cod {
+
+uint64_t DynamicCodService::EdgeKey(NodeId u, NodeId v, size_t n) {
+  if (u > v) std::swap(u, v);
+  return static_cast<uint64_t>(u) * n + v;
+}
+
+DynamicCodService::DynamicCodService(Graph initial_graph,
+                                     AttributeTable attrs,
+                                     const Options& options)
+    : attrs_(std::move(attrs)),
+      options_(options),
+      num_nodes_(initial_graph.NumNodes()) {
+  COD_CHECK_EQ(num_nodes_, attrs_.NumNodes());
+  for (EdgeId e = 0; e < initial_graph.NumEdges(); ++e) {
+    const auto [u, v] = initial_graph.Endpoints(e);
+    edges_[EdgeKey(u, v, num_nodes_)] = initial_graph.Weight(e);
+  }
+  Refresh();
+}
+
+bool DynamicCodService::AddEdge(NodeId u, NodeId v, double weight) {
+  COD_CHECK(u < num_nodes_);
+  COD_CHECK(v < num_nodes_);
+  if (u == v) return false;
+  edges_[EdgeKey(u, v, num_nodes_)] = weight;
+  ++pending_updates_;
+  return true;
+}
+
+bool DynamicCodService::RemoveEdge(NodeId u, NodeId v) {
+  COD_CHECK(u < num_nodes_);
+  COD_CHECK(v < num_nodes_);
+  if (edges_.erase(EdgeKey(u, v, num_nodes_)) == 0) return false;
+  ++pending_updates_;
+  return true;
+}
+
+void DynamicCodService::Refresh() {
+  GraphBuilder builder(num_nodes_);
+  for (const auto& [key, weight] : edges_) {
+    builder.AddEdge(static_cast<NodeId>(key / num_nodes_),
+                    static_cast<NodeId>(key % num_nodes_), weight);
+  }
+  // The engine holds pointers into graph_/attrs_: tear it down before the
+  // graph it references, then rebuild both.
+  engine_.reset();
+  graph_ = std::make_unique<Graph>(std::move(builder).Build());
+  engine_ = std::make_unique<CodEngine>(*graph_, attrs_, options_.engine);
+  // Per-epoch deterministic sampling stream.
+  Rng rng(options_.seed + epoch_);
+  engine_->BuildHimor(rng);
+  snapshot_edges_ = edges_.size();
+  pending_updates_ = 0;
+  ++epoch_;
+}
+
+void DynamicCodService::MaybeRefresh() {
+  const double drift =
+      snapshot_edges_ == 0
+          ? (pending_updates_ > 0 ? 1.0 : 0.0)
+          : static_cast<double>(pending_updates_) /
+                static_cast<double>(snapshot_edges_);
+  if (pending_updates_ > 0 && drift > options_.rebuild_threshold) {
+    Refresh();
+  }
+}
+
+CodResult DynamicCodService::QueryCodL(NodeId q, AttributeId attr, uint32_t k,
+                                       Rng& rng) {
+  MaybeRefresh();
+  return engine_->QueryCodL(q, attr, k, rng);
+}
+
+CodResult DynamicCodService::QueryCodU(NodeId q, uint32_t k, Rng& rng) {
+  MaybeRefresh();
+  return engine_->QueryCodU(q, k, rng);
+}
+
+}  // namespace cod

@@ -1,0 +1,78 @@
+// Epoch-based COD serving over a changing graph.
+//
+// The paper (Sec. IV-B discussion, conclusion) leaves truly incremental
+// maintenance of the hierarchy and HIMOR under updates as an open problem —
+// the compressed influence computation over the hierarchy does not update
+// efficiently. This service takes the standard engineering route instead
+// (compare LSM compaction): queries are answered from the last built
+// *epoch* (graph snapshot + hierarchy + index) while edge updates
+// accumulate; when the accumulated drift exceeds `rebuild_threshold`
+// (fraction of the snapshot's edge count), the next query triggers a
+// rebuild, or the caller forces one with Refresh(). Between rebuilds,
+// answers are stale by at most the pending-update set, which is always
+// inspectable.
+
+#ifndef COD_CORE_DYNAMIC_SERVICE_H_
+#define COD_CORE_DYNAMIC_SERVICE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/cod_engine.h"
+
+namespace cod {
+
+class DynamicCodService {
+ public:
+  struct Options {
+    EngineOptions engine;
+    // Rebuild when pending updates exceed this fraction of the snapshot's
+    // edges (0 = rebuild on every update; large = manual Refresh only).
+    double rebuild_threshold = 0.05;
+    uint64_t seed = 1;  // drives HIMOR sampling at every rebuild
+  };
+
+  // Takes ownership of the initial graph; `attrs` must cover the same node
+  // set and is fixed for the service's lifetime (node set is fixed too).
+  DynamicCodService(Graph initial_graph, AttributeTable attrs,
+                    const Options& options);
+
+  // ---- Updates (O(1), no rebuild). Duplicate inserts overwrite weight;
+  // removing an absent edge returns false. Self-loops are rejected. ----
+  bool AddEdge(NodeId u, NodeId v, double weight = 1.0);
+  bool RemoveEdge(NodeId u, NodeId v);
+
+  size_t pending_updates() const { return pending_updates_; }
+  uint64_t epoch() const { return epoch_; }
+  size_t NumEdges() const { return edges_.size(); }
+
+  // Rebuilds the snapshot, hierarchy, and index from the current edge set.
+  void Refresh();
+
+  // Serves from the current epoch, first refreshing if drift crossed the
+  // threshold.
+  CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
+  CodResult QueryCodU(NodeId q, uint32_t k, Rng& rng);
+
+  // The engine of the current epoch (stale by up to pending_updates()).
+  const CodEngine& engine() const { return *engine_; }
+
+ private:
+  void MaybeRefresh();
+  static uint64_t EdgeKey(NodeId u, NodeId v, size_t n);
+
+  AttributeTable attrs_;
+  Options options_;
+  size_t num_nodes_;
+  std::unordered_map<uint64_t, double> edges_;  // canonical key -> weight
+
+  uint64_t epoch_ = 0;
+  size_t pending_updates_ = 0;
+  size_t snapshot_edges_ = 0;
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<CodEngine> engine_;
+};
+
+}  // namespace cod
+
+#endif  // COD_CORE_DYNAMIC_SERVICE_H_

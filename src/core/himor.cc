@@ -1,0 +1,331 @@
+#include "core/himor.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/binary_io.h"
+#include "common/thread_pool.h"
+
+namespace cod {
+namespace {
+
+// (count, node) runs sorted by descending count, ascending node id on ties.
+using Run = std::vector<std::pair<uint32_t, NodeId>>;
+
+bool RunLess(const std::pair<uint32_t, NodeId>& a,
+             const std::pair<uint32_t, NodeId>& b) {
+  if (a.first != b.first) return a.first > b.first;
+  return a.second < b.second;
+}
+
+// Merges `a` and `b` into `out` (appending), skipping entries whose node is
+// in `exclude`.
+void MergeRuns(const Run& a, const Run& b,
+               const std::unordered_map<NodeId, uint32_t>& exclude, Run* out) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    const bool take_a =
+        j == b.size() || (i < a.size() && RunLess(a[i], b[j]));
+    const auto& item = take_a ? a[i++] : b[j++];
+    if (exclude.contains(item.second)) continue;
+    out->push_back(item);
+  }
+}
+
+// Stage-1 worker: samples RR graphs from a contiguous source range and
+// performs hierarchical-first search on the tree, emitting one
+// (community, node) pair per first visit. Each worker owns its scratch, so
+// independent workers can run on a thread pool; pairs are merged into
+// count maps afterwards (addition commutes, so any merge order works).
+class TreeHfsSampler {
+ public:
+  TreeHfsSampler(const DiffusionModel& model, const Dendrogram& dendrogram,
+                 const LcaIndex& lca)
+      : dendrogram_(&dendrogram), lca_(&lca), sampler_(model) {
+    max_depth_ = 0;
+    for (CommunityId c = 0; c < dendrogram.NumVertices(); ++c) {
+      max_depth_ = std::max(max_depth_, dendrogram.Depth(c));
+    }
+    depth_queue_.resize(max_depth_ + 1);
+  }
+
+  void ProcessSources(NodeId begin, NodeId end, uint32_t theta, Rng& rng,
+                      std::vector<std::pair<CommunityId, NodeId>>* pairs) {
+    const Dendrogram& dendrogram = *dendrogram_;
+    for (NodeId source = begin; source < end; ++source) {
+      // Ancestors of the source, indexed by depth.
+      source_chain_.assign(max_depth_ + 1, kInvalidCommunity);
+      uint32_t source_level = 0;
+      {
+        CommunityId c = dendrogram.Parent(dendrogram.LeafOf(source));
+        source_level = dendrogram.Depth(c);
+        while (c != kInvalidCommunity) {
+          source_chain_[dendrogram.Depth(c)] = c;
+          c = dendrogram.Parent(c);
+        }
+      }
+      for (uint32_t t = 0; t < theta; ++t) {
+        sampler_.Sample(source, rng, &rr_);
+        const size_t n_local = rr_.NumNodes();
+        if (queued_.size() < n_local) queued_.resize(n_local);
+        std::fill(queued_.begin(), queued_.begin() + n_local, 0);
+
+        queued_[0] = 1;
+        depth_queue_[source_level].push_back(0);
+        pending_.push(source_level);
+        while (!pending_.empty()) {
+          const uint32_t d = pending_.top();
+          pending_.pop();
+          auto& queue = depth_queue_[d];
+          const CommunityId community = source_chain_[d];
+          for (size_t idx = 0; idx < queue.size(); ++idx) {
+            const uint32_t i = queue[idx];
+            pairs->emplace_back(community, rr_.nodes[i]);
+            for (uint32_t u : rr_.NeighborsOf(i)) {
+              if (queued_[u]) continue;
+              queued_[u] = 1;
+              // Smallest source-ancestor containing u has depth
+              // Depth(lca(u, source)); the live path so far is within depth
+              // d, so u's tag is the shallower of the two.
+              const uint32_t lvl_u =
+                  dendrogram.Depth(lca_->LcaOfNodes(rr_.nodes[u], source));
+              const uint32_t d2 = std::min(d, lvl_u);
+              if (d2 != d && depth_queue_[d2].empty()) pending_.push(d2);
+              depth_queue_[d2].push_back(u);
+            }
+          }
+          queue.clear();
+        }
+      }
+    }
+  }
+
+ private:
+  const Dendrogram* dendrogram_;
+  const LcaIndex* lca_;
+  RrSampler sampler_;
+  RrGraph rr_;
+  uint32_t max_depth_ = 0;
+  std::vector<std::vector<uint32_t>> depth_queue_;
+  std::priority_queue<uint32_t> pending_;  // max-heap: deepest first
+  std::vector<char> queued_;
+  std::vector<CommunityId> source_chain_;
+};
+
+}  // namespace
+
+// Stage 2 entry point shared by the serial and parallel builders.
+HimorIndex HimorIndex::BuildFromBuckets(
+    const Dendrogram& dendrogram, uint32_t max_rank,
+    std::vector<std::unordered_map<NodeId, uint32_t>> buckets) {
+  const size_t n = dendrogram.NumLeaves();
+  const size_t num_vertices = dendrogram.NumVertices();
+  // ---- Stage 2: bottom-up merge of tree-structured buckets. ----
+  // Internal vertex ids increase bottom-up (children precede parents), so a
+  // simple ascending sweep is a valid post-order replacement.
+  std::vector<Run> runs(num_vertices);
+  std::vector<uint32_t> acc(n, 0);        // cumulative count along each
+                                          // node's processed chain
+  std::vector<uint32_t> rank_of(n, 0);    // scratch, epoch-guarded
+  std::vector<uint32_t> rank_epoch(n, 0);
+  uint32_t epoch = 0;
+
+  std::vector<std::vector<Entry>> per_node(n);
+  for (NodeId v = 0; v < n; ++v) {
+    per_node[v].reserve(dendrogram.Depth(dendrogram.LeafOf(v)));
+  }
+
+  Run scratch;
+  for (CommunityId c = 0; c < num_vertices; ++c) {
+    if (dendrogram.IsLeaf(c)) continue;
+    auto& bucket = buckets[c];
+
+    // Nodes recorded at c get their accumulated totals bumped; they will be
+    // re-inserted with fresh values, so child-run copies are excluded.
+    Run updated;
+    updated.reserve(bucket.size());
+    for (const auto& [v, count] : bucket) {
+      acc[v] += count;
+      updated.emplace_back(acc[v], v);
+    }
+    std::sort(updated.begin(), updated.end(), RunLess);
+
+    // Merge child runs (2-way cascade; agglomerative trees are binary except
+    // possibly at the root).
+    Run merged;
+    const auto kids = dendrogram.Children(c);
+    bool first = true;
+    for (CommunityId child : kids) {
+      Run& child_run = runs[child];
+      if (first) {
+        merged.clear();
+        MergeRuns(child_run, Run{}, bucket, &merged);
+        first = false;
+      } else {
+        scratch.clear();
+        MergeRuns(merged, child_run, bucket, &scratch);
+        merged.swap(scratch);
+      }
+      Run().swap(child_run);  // free child memory
+    }
+    scratch.clear();
+    MergeRuns(merged, updated, /*exclude=*/{}, &scratch);
+    merged.swap(scratch);
+
+    // Ranks in c: position of the first entry with the same count.
+    ++epoch;
+    uint32_t tie_rank = 0;
+    for (size_t i = 0; i < merged.size(); ++i) {
+      if (i == 0 || merged[i].first != merged[i - 1].first) {
+        tie_rank = static_cast<uint32_t>(i);
+      }
+      rank_of[merged[i].second] = tie_rank;
+      rank_epoch[merged[i].second] = epoch;
+    }
+    const uint32_t absent_rank = static_cast<uint32_t>(merged.size());
+    for (NodeId v : dendrogram.Members(c)) {
+      const uint32_t r =
+          rank_epoch[v] == epoch ? rank_of[v] : absent_rank;
+      // "Selected communities": entries a query with k <= max_rank could
+      // ever need. An ancestor absent from v's list implies rank >= max_rank.
+      if (r < max_rank) per_node[v].push_back(Entry{c, r});
+    }
+    runs[c] = std::move(merged);
+    bucket.clear();
+  }
+
+  // ---- CSR-pack the per-node entry lists. ----
+  HimorIndex index;
+  index.max_rank_ = max_rank;
+  index.offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    index.offsets_[v + 1] = index.offsets_[v] + per_node[v].size();
+  }
+  index.entries_.resize(index.offsets_[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    std::copy(per_node[v].begin(), per_node[v].end(),
+              index.entries_.begin() + index.offsets_[v]);
+  }
+  return index;
+}
+
+HimorIndex HimorIndex::Build(const DiffusionModel& model,
+                             const Dendrogram& dendrogram, const LcaIndex& lca,
+                             uint32_t theta, Rng& rng, uint32_t max_rank) {
+  COD_CHECK(theta > 0);
+  COD_CHECK(max_rank > 0);
+  COD_CHECK_EQ(model.graph().NumNodes(), dendrogram.NumLeaves());
+
+  TreeHfsSampler worker(model, dendrogram, lca);
+  std::vector<std::pair<CommunityId, NodeId>> pairs;
+  worker.ProcessSources(0, static_cast<NodeId>(model.graph().NumNodes()),
+                        theta, rng, &pairs);
+  std::vector<std::unordered_map<NodeId, uint32_t>> buckets(
+      dendrogram.NumVertices());
+  for (const auto& [community, node] : pairs) ++buckets[community][node];
+  return BuildFromBuckets(dendrogram, max_rank, std::move(buckets));
+}
+
+HimorIndex HimorIndex::BuildParallel(const DiffusionModel& model,
+                                     const Dendrogram& dendrogram,
+                                     const LcaIndex& lca, uint32_t theta,
+                                     uint64_t seed, uint32_t max_rank,
+                                     size_t num_threads) {
+  COD_CHECK(theta > 0);
+  COD_CHECK(max_rank > 0);
+  const size_t n = model.graph().NumNodes();
+  COD_CHECK_EQ(n, dendrogram.NumLeaves());
+
+  // Fixed batching (independent of thread count) with one RNG stream per
+  // batch makes the result a pure function of (seed, theta): running with 1
+  // or 16 threads produces the identical index.
+  const size_t num_batches = std::min<size_t>(64, n);
+  std::vector<std::vector<std::pair<CommunityId, NodeId>>> batch_pairs(
+      num_batches);
+  {
+    ThreadPool pool(num_threads);
+    for (size_t b = 0; b < num_batches; ++b) {
+      pool.Submit([&, b] {
+        TreeHfsSampler worker(model, dendrogram, lca);
+        uint64_t mix = seed + b;
+        Rng rng(SplitMix64(mix));
+        const NodeId begin = static_cast<NodeId>(b * n / num_batches);
+        const NodeId end = static_cast<NodeId>((b + 1) * n / num_batches);
+        worker.ProcessSources(begin, end, theta, rng, &batch_pairs[b]);
+      });
+    }
+    pool.WaitIdle();
+  }
+  std::vector<std::unordered_map<NodeId, uint32_t>> buckets(
+      dendrogram.NumVertices());
+  for (const auto& pairs : batch_pairs) {
+    for (const auto& [community, node] : pairs) ++buckets[community][node];
+  }
+  return BuildFromBuckets(dendrogram, max_rank, std::move(buckets));
+}
+
+
+namespace {
+constexpr uint32_t kHimorMagic = 0x434F4449;  // "CODI"
+constexpr uint32_t kHimorVersion = 1;
+}  // namespace
+
+Status HimorIndex::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  if (!writer.ok()) return Status::IoError("cannot open " + path);
+  writer.WritePod(kHimorMagic);
+  writer.WritePod(kHimorVersion);
+  writer.WritePod(max_rank_);
+  writer.WriteVector(offsets_);
+  writer.WriteVector(entries_);
+  return writer.Finish(path);
+}
+
+Result<HimorIndex> HimorIndex::Load(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) return Status::IoError("cannot open " + path);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  HimorIndex index;
+  if (!reader.ReadPod(&magic) || magic != kHimorMagic) {
+    return Status::InvalidArgument(path + ": not a codlib HIMOR file");
+  }
+  if (!reader.ReadPod(&version) || version != kHimorVersion) {
+    return Status::InvalidArgument(path + ": unsupported HIMOR version");
+  }
+  if (!reader.ReadPod(&index.max_rank_) || index.max_rank_ == 0 ||
+      !reader.ReadVector(&index.offsets_) ||
+      !reader.ReadVector(&index.entries_)) {
+    return Status::InvalidArgument(path + ": corrupt HIMOR index");
+  }
+  // Structural validation: offsets must be a monotone prefix-sum ending at
+  // the entry count.
+  if (index.offsets_.empty() || index.offsets_.front() != 0 ||
+      index.offsets_.back() != index.entries_.size()) {
+    return Status::InvalidArgument(path + ": inconsistent HIMOR offsets");
+  }
+  for (size_t i = 1; i < index.offsets_.size(); ++i) {
+    if (index.offsets_[i] < index.offsets_[i - 1]) {
+      return Status::InvalidArgument(path + ": inconsistent HIMOR offsets");
+    }
+  }
+  return index;
+}
+
+const HimorIndex::Entry* HimorIndex::FindTopKAncestor(
+    NodeId q, CommunityId c_ell, uint32_t k,
+    const Dendrogram& dendrogram) const {
+  COD_CHECK(k <= max_rank_);
+  const auto entries = RanksOf(q);
+  // Entries are deepest-first; scan from the root downward and return the
+  // first (largest) qualifying community, stopping once below c_ell.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (!dendrogram.IsAncestorOrSelf(it->community, c_ell)) break;
+    if (it->rank < k) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace cod

@@ -1,0 +1,106 @@
+// HIMOR index: precomputed Hierarchical Influence-rank Materialization Over
+// the non-attributed community hierarchy (paper Section IV-B).
+//
+// For every node v and every community C on v's ancestor chain in the
+// non-attributed dendrogram T, the index stores v's influence rank in C.
+// LORE only alters the hierarchy *below* the reclustered community C_ell, so
+// a CODL query can answer from the index whenever some ancestor of C_ell
+// already has the query in its top-k, and only falls back to compressed
+// evaluation inside C_ell otherwise (Algorithm 3).
+//
+// Construction (compressed, Theorem 6) extends compressed COD evaluation to
+// the whole tree: one shared pool of Theta = theta * |V| RR graphs is
+// traversed by hierarchical-first search with *tree-structured* buckets (one
+// per community, holding each reached node's count at the deepest community
+// containing a live source path); buckets are then merged bottom-up as
+// sorted runs, producing every community's full ranking in
+// O(Theta*omega + |R| log |V| + sum_v dep(v)).
+
+#ifndef COD_CORE_HIMOR_H_
+#define COD_CORE_HIMOR_H_
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/dendrogram.h"
+#include "hierarchy/lca.h"
+#include "influence/rr_graph.h"
+
+namespace cod {
+
+class HimorIndex {
+ public:
+  struct Entry {
+    CommunityId community;
+    uint32_t rank;  // number of members with strictly larger influence
+  };
+
+  // Builds the index over `dendrogram` (which, with `model`'s graph and
+  // `lca`, must outlive the returned index's *construction* only — the index
+  // itself owns its data). `theta` RR graphs are sampled per node.
+  //
+  // `max_rank` implements the paper's "selected communities": only
+  // (community, rank) pairs with rank < max_rank are materialized, since a
+  // query with requirement k <= max_rank never needs the others (an absent
+  // ancestor means rank >= max_rank > k - 1). This keeps the index size near
+  // the input data size even on skewed hierarchies; pass
+  // std::numeric_limits<uint32_t>::max() to materialize every ancestor.
+  static HimorIndex Build(const DiffusionModel& model,
+                          const Dendrogram& dendrogram, const LcaIndex& lca,
+                          uint32_t theta, Rng& rng, uint32_t max_rank = 16);
+
+  // Multi-threaded construction. Sources are split into a FIXED number of
+  // batches, each with its own seeded RNG stream, so the produced index is a
+  // pure function of (seed, theta) — identical for any thread count
+  // (num_threads == 0 uses the hardware concurrency).
+  static HimorIndex BuildParallel(const DiffusionModel& model,
+                                  const Dendrogram& dendrogram,
+                                  const LcaIndex& lca, uint32_t theta,
+                                  uint64_t seed, uint32_t max_rank = 16,
+                                  size_t num_threads = 0);
+
+  uint32_t max_rank() const { return max_rank_; }
+
+  // v's stored (community, rank) pairs along its ancestor chain, deepest
+  // first (only ancestors where v's rank < max_rank appear).
+  std::span<const Entry> RanksOf(NodeId v) const {
+    COD_DCHECK(v + 1 < offsets_.size());
+    return {entries_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  // Algorithm 3, lines 1-2: the largest community that (a) contains
+  // `c_ell` (ancestor-or-equal on q's chain) and (b) has q in its top-k.
+  // Returns nullptr if none qualifies. Requires k <= max_rank().
+  const Entry* FindTopKAncestor(NodeId q, CommunityId c_ell, uint32_t k,
+                                const Dendrogram& dendrogram) const;
+
+  size_t NumEntries() const { return entries_.size(); }
+  size_t NumNodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t MemoryBytes() const {
+    return entries_.size() * sizeof(Entry) + offsets_.size() * sizeof(size_t);
+  }
+
+  // Binary persistence; a loaded index is only valid together with the
+  // dendrogram it was built over (persist that with SaveDendrogram).
+  Status Save(const std::string& path) const;
+  static Result<HimorIndex> Load(const std::string& path);
+
+ private:
+  // Stage 2 (bottom-up bucket merging), shared by both builders.
+  static HimorIndex BuildFromBuckets(
+      const Dendrogram& dendrogram, uint32_t max_rank,
+      std::vector<std::unordered_map<NodeId, uint32_t>> buckets);
+
+  uint32_t max_rank_ = 0;
+  std::vector<size_t> offsets_;  // per node, into entries_
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cod
+
+#endif  // COD_CORE_HIMOR_H_

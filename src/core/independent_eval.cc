@@ -1,0 +1,46 @@
+#include "core/independent_eval.h"
+
+#include "common/timer.h"
+
+namespace cod {
+
+IndependentEvaluator::IndependentEvaluator(const DiffusionModel& model,
+                                           uint32_t theta)
+    : model_(&model), theta_(theta), oracle_(model) {
+  COD_CHECK(theta > 0);
+}
+
+ChainEvalOutcome IndependentEvaluator::Evaluate(const CodChain& chain,
+                                                NodeId q, uint32_t k, Rng& rng,
+                                                double deadline_seconds) {
+  const size_t num_levels = chain.NumLevels();
+  COD_CHECK(num_levels >= 1);
+  COD_CHECK(chain.in_universe[q]);
+  COD_CHECK_EQ(chain.level[q], 0u);
+
+  WallTimer timer;
+  last_timed_out_ = false;
+  last_explored_nodes_ = 0;
+
+  ChainEvalOutcome outcome;
+  outcome.rank_per_level.assign(num_levels, k);
+  for (uint32_t h = 0; h < num_levels; ++h) {
+    if (deadline_seconds > 0.0 && timer.ElapsedSeconds() > deadline_seconds) {
+      last_timed_out_ = true;
+      break;
+    }
+    const std::vector<NodeId> members = chain.MembersOfLevel(h);
+    const std::vector<uint32_t> counts =
+        oracle_.CountsWithin(members, theta_, rng);
+    for (uint32_t c : counts) last_explored_nodes_ += c;
+    const uint32_t rank = InfluenceOracle::RankOf(members, counts, q);
+    outcome.rank_per_level[h] = rank;
+    if (rank < k) {
+      outcome.best_level = static_cast<int>(h);
+      outcome.rank_at_best = rank;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace cod

@@ -1,0 +1,40 @@
+// The "Independent" baseline of the paper's Fig. 8 experiment: evaluate the
+// query's influence rank in every chain community from scratch, sampling
+// theta RR sets per member *per community*. Asymptotically this costs
+// Theta * sum_h |C_h| * omega — the chain length multiplies the sampling
+// cost, which is exactly what compressed evaluation removes.
+
+#ifndef COD_CORE_INDEPENDENT_EVAL_H_
+#define COD_CORE_INDEPENDENT_EVAL_H_
+
+#include "core/cod_chain.h"
+#include "core/compressed_eval.h"
+#include "influence/influence_oracle.h"
+
+namespace cod {
+
+class IndependentEvaluator {
+ public:
+  IndependentEvaluator(const DiffusionModel& model, uint32_t theta);
+
+  // Same contract as CompressedEvaluator::Evaluate. `deadline_seconds`, when
+  // positive, aborts the evaluation (best_level of whatever was computed so
+  // far, timed_out flag set) once exceeded — the paper's Independent runs hit
+  // multi-hour timeouts on larger datasets.
+  ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
+                            Rng& rng, double deadline_seconds = 0.0);
+
+  bool last_timed_out() const { return last_timed_out_; }
+  size_t last_explored_nodes() const { return last_explored_nodes_; }
+
+ private:
+  const DiffusionModel* model_;
+  uint32_t theta_;
+  InfluenceOracle oracle_;
+  bool last_timed_out_ = false;
+  size_t last_explored_nodes_ = 0;
+};
+
+}  // namespace cod
+
+#endif  // COD_CORE_INDEPENDENT_EVAL_H_

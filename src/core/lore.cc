@@ -1,0 +1,70 @@
+#include "core/lore.h"
+
+namespace cod {
+
+LoreScores ComputeReclusteringScores(const Graph& g,
+                                     const AttributeTable& attrs,
+                                     const Dendrogram& dendrogram,
+                                     const LcaIndex& lca, NodeId q,
+                                     AttributeId query_attr) {
+  return ComputeReclusteringScores(g, attrs, dendrogram, lca, q,
+                                   std::span<const AttributeId>(&query_attr,
+                                                                1));
+}
+
+LoreScores ComputeReclusteringScores(
+    const Graph& g, const AttributeTable& attrs, const Dendrogram& dendrogram,
+    const LcaIndex& lca, NodeId q,
+    std::span<const AttributeId> query_attrs) {
+  LoreScores result;
+  result.chain = dendrogram.PathToRoot(q);
+  const size_t num_levels = result.chain.size();
+  COD_CHECK(num_levels >= 1);
+  // Degenerate chain (q's parent is the root): the only recluster candidate
+  // is the root itself, i.e., LORE degrades to global reclustering.
+  if (num_levels == 1) {
+    result.score.assign(1, 0.0);
+    result.selected = 0;
+    return result;
+  }
+
+  // Delta[i]: query-attributed edges whose lca is exactly chain[i].
+  // chain[i] has Depth == num_levels - i, so an lca community c on the chain
+  // maps to position num_levels - Depth(c).
+  std::vector<uint64_t> delta(num_levels, 0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    if (!attrs.HasAny(u, query_attrs) || !attrs.HasAny(v, query_attrs)) {
+      continue;
+    }
+    const CommunityId c = lca.LcaOfNodes(u, v);
+    if (!dendrogram.Contains(c, q)) continue;  // lca must be an ancestor of q
+    const uint32_t depth = dendrogram.Depth(c);
+    COD_DCHECK(depth >= 1 && depth <= num_levels);
+    ++delta[num_levels - depth];
+  }
+
+  // Eq. 3 recursion: r(C_i)*|C_i| = r(C_{i-1})*|C_{i-1}| + Delta_i*dep(C_i),
+  // unrolled as a running numerator S = sum_{j<=i} Delta_j * dep(C_j).
+  // Edges whose lca is the deepest community C_0 are never "divided" from
+  // q's perspective (Algorithm 2 accumulates from i = 1), so delta[0] is
+  // excluded and r(C_0) = 0.
+  result.score.resize(num_levels);
+  result.score[0] = 0.0;
+  double numerator = 0.0;
+  double best = 0.0;
+  result.selected = 1;
+  for (size_t i = 1; i < num_levels; ++i) {
+    numerator += static_cast<double>(delta[i]) *
+                 static_cast<double>(dendrogram.Depth(result.chain[i]));
+    result.score[i] =
+        numerator / static_cast<double>(dendrogram.LeafCount(result.chain[i]));
+    if (result.score[i] > best) {
+      best = result.score[i];
+      result.selected = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace cod

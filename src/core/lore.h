@@ -1,0 +1,60 @@
+// LORE: LOcal hierarchical REclustering (paper Section IV-A, Algorithm 2).
+//
+// Global reclustering skews hierarchies around hubs, so even the deepest
+// community containing an average query node is huge (paper Fig. 4). LORE
+// instead picks ONE community C_ell on q's ancestor chain — the one most
+// entangled with the query attribute — reclusters only its induced subgraph
+// with attribute weights, and splices the local hierarchy back under C_ell's
+// untouched global ancestors.
+//
+// The reclustering score of ancestor C_i (Definition 4, fixed against the
+// paper's worked Examples 5/6) is
+//     r(C_i) = ( sum_{j<=i} Delta_j * dep(C_j(q)) ) / |C_i|,
+// where Delta_j counts query-attributed edges (both endpoints carry l_q)
+// whose lca is exactly C_j(q). Scores for the whole chain are computed in
+// O(|E|) with one lca per query-attributed edge plus the Eq. 3 recursion
+// (Theorem 5).
+
+#ifndef COD_CORE_LORE_H_
+#define COD_CORE_LORE_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/attributes.h"
+#include "hierarchy/dendrogram.h"
+#include "hierarchy/lca.h"
+
+namespace cod {
+
+struct LoreScores {
+  std::vector<CommunityId> chain;  // H(q): q's ancestors, deepest first
+  std::vector<double> score;       // r(C_i) per chain position
+  // argmax over positions 1..L-1 (the deepest community C_0 and positions
+  // with zero score are not recluster candidates; falls back to position 1
+  // when no query-attributed edge is split on the chain).
+  size_t selected = 1;
+
+  CommunityId Selected() const { return chain[selected]; }
+};
+
+// Computes all reclustering scores for query q and attribute `query_attr`.
+// Requires |H(q)| >= 1; degenerate one-level chains fall back to the root.
+LoreScores ComputeReclusteringScores(const Graph& g,
+                                     const AttributeTable& attrs,
+                                     const Dendrogram& dendrogram,
+                                     const LcaIndex& lca, NodeId q,
+                                     AttributeId query_attr);
+
+// Multi-attribute ("topic set") variant: an edge is query-attributed when
+// both endpoints carry at least one of `query_attrs`. With a single-element
+// set this is identical to the single-attribute form.
+LoreScores ComputeReclusteringScores(const Graph& g,
+                                     const AttributeTable& attrs,
+                                     const Dendrogram& dendrogram,
+                                     const LcaIndex& lca, NodeId q,
+                                     std::span<const AttributeId> query_attrs);
+
+}  // namespace cod
+
+#endif  // COD_CORE_LORE_H_

@@ -1,0 +1,35 @@
+// Named synthetic dataset registry.
+//
+// Rebuilds laptop-scale stand-ins for the paper's seven evaluation networks
+// (Table I) from the generators in graph/generators.h; see DESIGN.md
+// sections 3 and 5 for the exact scales and the substitution argument.
+// Every dataset is connected, deterministic for a given name, and carries
+// attributes assigned by the scheme its real counterpart uses.
+
+#ifndef COD_EVAL_DATASETS_H_
+#define COD_EVAL_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/attributes.h"
+
+namespace cod {
+
+// All registered dataset names, smallest first:
+//   cora-sim, citeseer-sim, pubmed-sim, retweet-sim, amazon-sim, dblp-sim,
+//   livejournal-sim
+std::vector<std::string> DatasetNames();
+
+// The first four (the paper's "real-attribute" group, used in Fig. 4).
+std::vector<std::string> SmallDatasetNames();
+
+// Builds the named dataset. `seed_override` != 0 replaces the default
+// per-name seed. NotFound for unknown names.
+Result<AttributedGraph> MakeDataset(const std::string& name,
+                                    uint64_t seed_override = 0);
+
+}  // namespace cod
+
+#endif  // COD_EVAL_DATASETS_H_

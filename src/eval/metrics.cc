@@ -1,0 +1,43 @@
+#include "eval/metrics.h"
+
+#include <vector>
+
+#include "influence/influence_oracle.h"
+
+namespace cod {
+
+double TopologyDensity(const Graph& g, std::span<const NodeId> nodes) {
+  if (nodes.size() < 2) return 0.0;
+  std::vector<char> in_set(g.NumNodes(), 0);
+  for (NodeId v : nodes) in_set[v] = 1;
+  size_t internal_twice = 0;
+  for (NodeId v : nodes) {
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      if (in_set[a.to]) ++internal_twice;
+    }
+  }
+  const double pairs =
+      static_cast<double>(nodes.size()) * (nodes.size() - 1) / 2.0;
+  return static_cast<double>(internal_twice / 2) / pairs;
+}
+
+double AttributeDensity(const AttributeTable& attrs, AttributeId attr,
+                        std::span<const NodeId> nodes) {
+  if (nodes.empty()) return 0.0;
+  size_t covered = 0;
+  for (NodeId v : nodes) {
+    if (attrs.Has(v, attr)) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(nodes.size());
+}
+
+uint32_t VerifiedRank(const DiffusionModel& model,
+                      std::span<const NodeId> members, NodeId q,
+                      uint32_t theta_verify, Rng& rng) {
+  InfluenceOracle oracle(model);
+  const std::vector<uint32_t> counts =
+      oracle.CountsWithin(members, theta_verify, rng);
+  return InfluenceOracle::RankOf(members, counts, q);
+}
+
+}  // namespace cod

@@ -1,0 +1,35 @@
+// Effectiveness measures of the paper's evaluation (Sec. V-A):
+// community size, topology density rho, attribute density phi, query-node
+// influence I(q), conductance (case study), and the top-k precision check
+// used by the Compressed-vs-Independent experiment (Fig. 8).
+
+#ifndef COD_EVAL_METRICS_H_
+#define COD_EVAL_METRICS_H_
+
+#include <span>
+
+#include "common/random.h"
+#include "graph/attributes.h"
+#include "graph/graph.h"
+#include "influence/cascade_model.h"
+
+namespace cod {
+
+// Edges inside `nodes` divided by the number of node pairs; 0 for |S| < 2.
+double TopologyDensity(const Graph& g, std::span<const NodeId> nodes);
+
+// Fraction of `nodes` carrying `attr`; 0 for empty input.
+double AttributeDensity(const AttributeTable& attrs, AttributeId attr,
+                        std::span<const NodeId> nodes);
+
+// Re-checks whether q is truly top-k influential inside the community by
+// sampling `theta_verify` restricted RR sets per member (the paper verifies
+// with 1000 RR sets per node). Returns q's verified rank (clamped to the
+// member count).
+uint32_t VerifiedRank(const DiffusionModel& model,
+                      std::span<const NodeId> members, NodeId q,
+                      uint32_t theta_verify, Rng& rng);
+
+}  // namespace cod
+
+#endif  // COD_EVAL_METRICS_H_

@@ -1,0 +1,32 @@
+#include "eval/query_gen.h"
+
+#include <algorithm>
+
+namespace cod {
+
+std::vector<Query> GenerateQueries(const AttributeTable& attrs, size_t count,
+                                   Rng& rng) {
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < attrs.NumNodes(); ++v) {
+    if (!attrs.AttributesOf(v).empty()) candidates.push_back(v);
+  }
+  COD_CHECK(!candidates.empty());
+  // Fisher-Yates prefix shuffle for sampling without replacement.
+  const size_t take = std::min(count, candidates.size());
+  for (size_t i = 0; i < take; ++i) {
+    const size_t j = i + rng.UniformInt(candidates.size() - i);
+    std::swap(candidates[i], candidates[j]);
+  }
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // Wrap around (with replacement) if more queries than candidates.
+    const NodeId node = candidates[i % take];
+    const auto node_attrs = attrs.AttributesOf(node);
+    queries.push_back(
+        Query{node, node_attrs[rng.UniformInt(node_attrs.size())]});
+  }
+  return queries;
+}
+
+}  // namespace cod

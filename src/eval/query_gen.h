@@ -1,0 +1,27 @@
+// Query workloads as in the paper (Sec. V-A): random query nodes, each paired
+// with one of its own attributes chosen at random.
+
+#ifndef COD_EVAL_QUERY_GEN_H_
+#define COD_EVAL_QUERY_GEN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/attributes.h"
+
+namespace cod {
+
+struct Query {
+  NodeId node;
+  AttributeId attribute;
+};
+
+// Draws `count` queries: nodes uniform among nodes with at least one
+// attribute (without replacement while possible), attribute uniform from the
+// node's own set.
+std::vector<Query> GenerateQueries(const AttributeTable& attrs, size_t count,
+                                   Rng& rng);
+
+}  // namespace cod
+
+#endif  // COD_EVAL_QUERY_GEN_H_

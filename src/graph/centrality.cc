@@ -1,0 +1,49 @@
+#include "graph/centrality.h"
+
+#include <cmath>
+
+namespace cod {
+
+std::vector<double> PageRank(const Graph& g, const PageRankOptions& options) {
+  const size_t n = g.NumNodes();
+  if (n == 0) return {};
+  COD_CHECK(options.damping >= 0.0 && options.damping < 1.0);
+
+  std::vector<double> weight_sum(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      weight_sum[v] += g.Weight(a.edge);
+    }
+  }
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  const double teleport = (1.0 - options.damping) / static_cast<double>(n);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (weight_sum[v] == 0.0) {
+        dangling += rank[v];
+        continue;
+      }
+      const double share = options.damping * rank[v] / weight_sum[v];
+      for (const AdjEntry& a : g.Neighbors(v)) {
+        next[a.to] += share * g.Weight(a.edge);
+      }
+    }
+    // Dangling mass is spread uniformly (standard convention).
+    const double base =
+        teleport + options.damping * dangling / static_cast<double>(n);
+    double delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      next[v] += base;
+      delta += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace cod

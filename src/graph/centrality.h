@@ -1,0 +1,30 @@
+// Structural centrality measures. COD ranks nodes by *diffusion* influence;
+// PageRank is the classic structural proxy, provided for comparisons (e.g.,
+// "would a PageRank shortlist have found the same promoters?") and as a
+// cheap node weighting for influential community search.
+
+#ifndef COD_GRAPH_CENTRALITY_H_
+#define COD_GRAPH_CENTRALITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cod {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  size_t max_iterations = 100;
+  // Stop when the L1 change between iterations falls below this.
+  double tolerance = 1e-9;
+};
+
+// Weighted PageRank on the undirected graph (each edge acts as two directed
+// edges; transition probability proportional to edge weight). Returns a
+// probability vector (sums to 1). Isolated nodes hold their teleport mass.
+std::vector<double> PageRank(const Graph& g,
+                             const PageRankOptions& options = {});
+
+}  // namespace cod
+
+#endif  // COD_GRAPH_CENTRALITY_H_

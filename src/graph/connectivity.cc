@@ -1,0 +1,69 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+
+namespace cod {
+
+Components ConnectedComponents(const Graph& g) {
+  Components result;
+  result.label.assign(g.NumNodes(), kInvalidNode);
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < g.NumNodes(); ++start) {
+    if (result.label[start] != kInvalidNode) continue;
+    const uint32_t comp = result.count++;
+    result.label[start] = comp;
+    queue.assign(1, start);
+    while (!queue.empty()) {
+      const NodeId v = queue.back();
+      queue.pop_back();
+      for (const AdjEntry& a : g.Neighbors(v)) {
+        if (result.label[a.to] == kInvalidNode) {
+          result.label[a.to] = comp;
+          queue.push_back(a.to);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumNodes() == 0) return true;
+  return ConnectedComponents(g).count == 1;
+}
+
+InducedSubgraph LargestComponent(const Graph& g) {
+  const Components comps = ConnectedComponents(g);
+  std::vector<size_t> size(comps.count, 0);
+  for (uint32_t label : comps.label) ++size[label];
+  const uint32_t best = static_cast<uint32_t>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+  std::vector<NodeId> nodes;
+  nodes.reserve(size[best]);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (comps.label[v] == best) nodes.push_back(v);
+  }
+  return BuildInducedSubgraph(g, nodes);
+}
+
+double Conductance(const Graph& g, std::span<const NodeId> nodes) {
+  std::vector<char> in_set(g.NumNodes(), 0);
+  double vol_s = 0.0;
+  for (NodeId v : nodes) {
+    COD_CHECK(v < g.NumNodes());
+    in_set[v] = 1;
+    vol_s += g.Degree(v);
+  }
+  const double vol_total = 2.0 * static_cast<double>(g.NumEdges());
+  const double vol_rest = vol_total - vol_s;
+  if (vol_s == 0.0 || vol_rest == 0.0) return 0.0;
+  double cut = 0.0;
+  for (NodeId v : nodes) {
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      if (!in_set[a.to]) cut += 1.0;
+    }
+  }
+  return cut / std::min(vol_s, vol_rest);
+}
+
+}  // namespace cod

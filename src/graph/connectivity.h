@@ -1,0 +1,37 @@
+// Connectivity utilities: components, largest component extraction, and the
+// conductance quality measure used in the paper's case study.
+
+#ifndef COD_GRAPH_CONNECTIVITY_H_
+#define COD_GRAPH_CONNECTIVITY_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cod {
+
+struct Components {
+  std::vector<uint32_t> label;  // per node, in [0, count)
+  uint32_t count = 0;
+};
+
+// Labels connected components with BFS; labels are assigned in order of the
+// smallest node id in each component.
+Components ConnectedComponents(const Graph& g);
+
+bool IsConnected(const Graph& g);
+
+// Extracts the largest connected component as an induced subgraph
+// (ties broken toward the smaller component label).
+InducedSubgraph LargestComponent(const Graph& g);
+
+// Conductance of the cut (S, V \ S):
+//   cut(S) / min(vol(S), vol(V \ S)),
+// where vol is the sum of degrees. Returns 0 if S or its complement has zero
+// volume. `nodes` must contain distinct valid ids.
+double Conductance(const Graph& g, std::span<const NodeId> nodes);
+
+}  // namespace cod
+
+#endif  // COD_GRAPH_CONNECTIVITY_H_

@@ -1,0 +1,75 @@
+#include "graph/embeddings.h"
+
+#include <cmath>
+
+namespace cod {
+namespace {
+
+// Box-Muller standard normal from two uniforms.
+double Gaussian(Rng& rng) {
+  const double u1 = 1.0 - rng.UniformDouble();  // (0, 1]
+  const double u2 = rng.UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+void Normalize(std::span<float> v) {
+  double norm = 0.0;
+  for (float x : v) norm += static_cast<double>(x) * x;
+  if (norm == 0.0) return;
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+  for (float& x : v) x *= inv;
+}
+
+}  // namespace
+
+EmbeddingTable::EmbeddingTable(size_t num_nodes, size_t dimension,
+                               std::vector<float> row_major)
+    : dimension_(dimension), data_(std::move(row_major)) {
+  COD_CHECK(dimension >= 1);
+  COD_CHECK_EQ(data_.size(), num_nodes * dimension);
+}
+
+double EmbeddingTable::Cosine(NodeId u, NodeId v) const {
+  const auto a = Of(u);
+  const auto b = Of(v);
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < dimension_; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+EmbeddingTable MakeBlockEmbeddings(const std::vector<uint32_t>& block,
+                                   size_t dimension, double noise, Rng& rng) {
+  COD_CHECK(dimension >= 1);
+  uint32_t num_blocks = 0;
+  for (uint32_t b : block) num_blocks = std::max(num_blocks, b + 1);
+
+  std::vector<float> topics(static_cast<size_t>(num_blocks) * dimension);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    std::span<float> topic(topics.data() + static_cast<size_t>(b) * dimension,
+                           dimension);
+    for (float& x : topic) x = static_cast<float>(Gaussian(rng));
+    Normalize(topic);
+  }
+
+  std::vector<float> data(block.size() * dimension);
+  for (NodeId v = 0; v < block.size(); ++v) {
+    std::span<float> row(data.data() + static_cast<size_t>(v) * dimension,
+                         dimension);
+    const float* topic = topics.data() +
+                         static_cast<size_t>(block[v]) * dimension;
+    for (size_t i = 0; i < dimension; ++i) {
+      row[i] = topic[i] + static_cast<float>(noise * Gaussian(rng));
+    }
+    Normalize(row);
+  }
+  return EmbeddingTable(block.size(), dimension, std::move(data));
+}
+
+}  // namespace cod

@@ -1,0 +1,58 @@
+// Dense node embeddings for non-categorical attributes.
+//
+// The paper handles categorical attributes directly and states (Sec. II-A)
+// that other attribute types — text, numerical — are supported through
+// embeddings. This module supplies that pathway: a fixed-dimension embedding
+// per node, cosine similarity between endpoints, and (via
+// TransformOptions::embeddings in core/global_recluster.h) an
+// embedding-similarity edge-weight transform that substitutes for the
+// categorical query-attribute boost when attributes live in a vector space.
+
+#ifndef COD_GRAPH_EMBEDDINGS_H_
+#define COD_GRAPH_EMBEDDINGS_H_
+
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace cod {
+
+class EmbeddingTable {
+ public:
+  EmbeddingTable() = default;
+  // Takes row-major data of shape [num_nodes x dimension].
+  EmbeddingTable(size_t num_nodes, size_t dimension,
+                 std::vector<float> row_major);
+
+  EmbeddingTable(const EmbeddingTable&) = delete;
+  EmbeddingTable& operator=(const EmbeddingTable&) = delete;
+  EmbeddingTable(EmbeddingTable&&) = default;
+  EmbeddingTable& operator=(EmbeddingTable&&) = default;
+
+  size_t NumNodes() const { return dimension_ == 0 ? 0 : data_.size() / dimension_; }
+  size_t Dimension() const { return dimension_; }
+
+  std::span<const float> Of(NodeId v) const {
+    COD_DCHECK(v < NumNodes());
+    return {data_.data() + static_cast<size_t>(v) * dimension_, dimension_};
+  }
+
+  // Cosine similarity in [-1, 1]; 0 when either vector is all-zero.
+  double Cosine(NodeId u, NodeId v) const;
+
+ private:
+  size_t dimension_ = 0;
+  std::vector<float> data_;
+};
+
+// Synthetic embeddings correlated with block structure: each block gets a
+// random unit "topic direction"; node = topic + noise * Gaussian, normalized.
+// noise = 0 gives identical embeddings per block; large noise decorrelates.
+EmbeddingTable MakeBlockEmbeddings(const std::vector<uint32_t>& block,
+                                   size_t dimension, double noise, Rng& rng);
+
+}  // namespace cod
+
+#endif  // COD_GRAPH_EMBEDDINGS_H_

@@ -1,0 +1,85 @@
+#include "graph/export.h"
+
+#include <fstream>
+#include <vector>
+
+namespace cod {
+
+Status ExportCommunityDot(const Graph& g, std::span<const NodeId> community,
+                          NodeId query, const std::string& path,
+                          const DotOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+
+  std::vector<char> in_community(g.NumNodes(), 0);
+  for (NodeId v : community) {
+    COD_CHECK(v < g.NumNodes());
+    in_community[v] = 1;
+  }
+  // For large graphs plot only the community's closed neighborhood.
+  std::vector<char> keep(g.NumNodes(), 1);
+  if (options.neighborhood_only_above > 0 &&
+      g.NumNodes() > options.neighborhood_only_above) {
+    std::fill(keep.begin(), keep.end(), 0);
+    for (NodeId v : community) {
+      keep[v] = 1;
+      for (const AdjEntry& a : g.Neighbors(v)) keep[a.to] = 1;
+    }
+  }
+
+  out << "graph community {\n"
+      << "  layout=neato;\n  overlap=false;\n"
+      << "  node [shape=circle, style=filled, fillcolor=white, "
+         "fontsize=10];\n";
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (!keep[v]) continue;
+    out << "  n" << v;
+    if (v == query) {
+      out << " [fillcolor=" << options.query_color << "]";
+    } else if (in_community[v]) {
+      out << " [fillcolor=" << options.highlight_color << "]";
+    }
+    out << ";\n";
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    if (!keep[u] || !keep[v]) continue;
+    out << "  n" << u << " -- n" << v;
+    if (in_community[u] && in_community[v]) {
+      out << " [color=" << options.highlight_color << ", penwidth=2]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Status ExportDendrogramDot(const Dendrogram& dendrogram, uint32_t min_size,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "digraph hierarchy {\n"
+      << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  for (CommunityId c = 0; c < dendrogram.NumVertices(); ++c) {
+    if (dendrogram.LeafCount(c) < min_size) continue;
+    out << "  c" << c << " [label=\"";
+    if (dendrogram.IsLeaf(c)) {
+      out << "node " << dendrogram.LeafNode(c);
+    } else {
+      out << "|C|=" << dendrogram.LeafCount(c) << "\\ndep="
+          << dendrogram.Depth(c);
+    }
+    out << "\"];\n";
+    const CommunityId parent = dendrogram.Parent(c);
+    if (parent != kInvalidCommunity &&
+        dendrogram.LeafCount(parent) >= min_size) {
+      out << "  c" << parent << " -> c" << c << ";\n";
+    }
+  }
+  out << "}\n";
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+}  // namespace cod

@@ -1,0 +1,39 @@
+// Graphviz DOT export for inspection and figures: a graph with an optional
+// highlighted community (the paper's Fig. 1 / Fig. 10 style plots), and a
+// dendrogram's top levels.
+
+#ifndef COD_GRAPH_EXPORT_H_
+#define COD_GRAPH_EXPORT_H_
+
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "hierarchy/dendrogram.h"
+
+namespace cod {
+
+struct DotOptions {
+  // When the graph is large, restrict the plot to the highlighted community
+  // plus its direct neighbors (0 = plot everything).
+  size_t neighborhood_only_above = 300;
+  std::string highlight_color = "dodgerblue";
+  std::string query_color = "gold";
+};
+
+// Writes `g` as an undirected DOT graph; nodes in `community` are filled
+// with the highlight color and `query` (if not kInvalidNode) with the query
+// color.
+Status ExportCommunityDot(const Graph& g, std::span<const NodeId> community,
+                          NodeId query, const std::string& path,
+                          const DotOptions& options = {});
+
+// Writes the top levels of the dendrogram (communities with at least
+// `min_size` leaves) as a DOT tree, labeling each vertex with its size.
+Status ExportDendrogramDot(const Dendrogram& dendrogram, uint32_t min_size,
+                           const std::string& path);
+
+}  // namespace cod
+
+#endif  // COD_GRAPH_EXPORT_H_

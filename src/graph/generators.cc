@@ -1,0 +1,470 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <cmath>
+#include <string>
+
+#include "graph/connectivity.h"
+
+namespace cod {
+namespace {
+
+// Number of leaf blocks for the given shape.
+size_t LeafBlockCount(int levels, int fanout) {
+  size_t blocks = 1;
+  for (int i = 0; i < levels; ++i) blocks *= static_cast<size_t>(fanout);
+  return blocks;
+}
+
+// Tracks distinct undirected edges so generators hit their edge targets
+// exactly instead of losing duplicates to GraphBuilder's merge step.
+class EdgeSet {
+ public:
+  explicit EdgeSet(size_t num_nodes) : n_(num_nodes) {}
+
+  // Returns true if {u, v} was new.
+  bool Insert(NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return seen_.insert(static_cast<uint64_t>(u) * n_ + v).second;
+  }
+
+ private:
+  size_t n_;
+  std::unordered_set<uint64_t> seen_;
+};
+
+}  // namespace
+
+GeneratedGraph HierarchicalPlantedPartition(const HppParams& params,
+                                            Rng& rng) {
+  COD_CHECK(params.num_nodes >= 2);
+  COD_CHECK(params.levels >= 1);
+  COD_CHECK(params.fanout >= 2);
+  const size_t n = params.num_nodes;
+  const size_t leaf_blocks = LeafBlockCount(params.levels, params.fanout);
+  COD_CHECK(leaf_blocks <= n);
+
+  // Depth distribution: depth `levels` = inside a leaf block; shallower
+  // depths get geometrically less mass; depth 0 = anywhere in the graph.
+  std::vector<double> depth_cdf(params.levels + 1);
+  {
+    // Unnormalized shallow masses decay geometrically away from the leaves:
+    // depth levels-1 gets weight `decay`, levels-2 gets decay^2, etc.
+    std::vector<double> mass(params.levels + 1);
+    mass[params.levels] = params.leaf_fraction;
+    double shallow_total = 0.0;
+    double factor = 1.0;
+    for (int d = params.levels - 1; d >= 0; --d) {
+      factor *= params.decay;
+      mass[d] = factor;
+      shallow_total += factor;
+    }
+    for (int d = 0; d < params.levels; ++d) {
+      mass[d] = mass[d] / shallow_total * (1.0 - params.leaf_fraction);
+    }
+    double acc = 0.0;
+    for (int d = 0; d <= params.levels; ++d) {
+      acc += mass[d];
+      depth_cdf[d] = acc;
+    }
+    depth_cdf[params.levels] = 1.0;
+  }
+
+  // Nodes are laid out contiguously by leaf block, so the depth-d block of
+  // node v is the index range [lo, hi) computed from v's position.
+  auto block_range = [&](NodeId v, int depth) -> std::pair<size_t, size_t> {
+    size_t blocks = 1;
+    for (int i = 0; i < depth; ++i) blocks *= static_cast<size_t>(params.fanout);
+    const size_t b = static_cast<size_t>(v) * blocks / n;
+    const size_t lo = (b * n + blocks - 1) / blocks;      // ceil
+    const size_t hi = ((b + 1) * n + blocks - 1) / blocks;  // ceil
+    return {lo, hi};
+  };
+
+  GraphBuilder builder(n);
+  EdgeSet edges(n);
+  size_t added = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = params.num_edges * 40 + 1000;
+  while (added < params.num_edges && attempts < max_attempts) {
+    ++attempts;
+    const double r = rng.UniformDouble();
+    int depth = 0;
+    while (depth < params.levels && r > depth_cdf[depth]) ++depth;
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    const auto [lo, hi] = block_range(u, depth);
+    if (hi - lo < 2) continue;
+    const NodeId v = static_cast<NodeId>(lo + rng.UniformInt(hi - lo));
+    if (u == v || !edges.Insert(u, v)) continue;
+    builder.AddEdge(u, v);
+    ++added;
+  }
+
+  GeneratedGraph out;
+  out.num_blocks = static_cast<uint32_t>(leaf_blocks);
+  out.block.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    out.block[v] =
+        static_cast<uint32_t>(static_cast<size_t>(v) * leaf_blocks / n);
+  }
+  out.graph = EnsureConnected(std::move(builder).Build(), rng);
+  return out;
+}
+
+Graph BarabasiAlbert(size_t num_nodes, int edges_per_node, Rng& rng) {
+  COD_CHECK(edges_per_node >= 1);
+  COD_CHECK(num_nodes > static_cast<size_t>(edges_per_node));
+  GraphBuilder builder(num_nodes);
+  // Repeated-endpoint list: sampling a uniform element is degree-proportional.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * num_nodes * static_cast<size_t>(edges_per_node));
+  const size_t seed = static_cast<size_t>(edges_per_node) + 1;
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = u + 1; v < seed; ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId v = static_cast<NodeId>(seed); v < num_nodes; ++v) {
+    for (int i = 0; i < edges_per_node; ++i) {
+      const NodeId target = endpoints[rng.UniformInt(endpoints.size())];
+      if (target == v) continue;
+      builder.AddEdge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph ErdosRenyi(size_t num_nodes, size_t num_edges, Rng& rng) {
+  COD_CHECK(num_nodes >= 2);
+  GraphBuilder builder(num_nodes);
+  EdgeSet edges(num_nodes);
+  size_t added = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = num_edges * 40 + 1000;
+  while (added < num_edges && attempts < max_attempts) {
+    ++attempts;
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    if (u == v || !edges.Insert(u, v)) continue;
+    builder.AddEdge(u, v);
+    ++added;
+  }
+  return std::move(builder).Build();
+}
+
+GeneratedGraph HubbyCommunityGraph(const HubbyParams& params, Rng& rng) {
+  COD_CHECK(params.num_blocks >= 1);
+  COD_CHECK(params.num_nodes >= params.num_blocks);
+  const size_t n = params.num_nodes;
+
+  GraphBuilder builder(n);
+  EdgeSet edges(n);
+  // Preferential-attachment backbone (dominates the degree distribution).
+  {
+    Graph backbone = BarabasiAlbert(n, params.backbone_edges_per_node, rng);
+    for (EdgeId e = 0; e < backbone.NumEdges(); ++e) {
+      const auto [u, v] = backbone.Endpoints(e);
+      if (edges.Insert(u, v)) builder.AddEdge(u, v);
+    }
+  }
+  // Intra-block edges on contiguous block ranges.
+  size_t added = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = params.extra_block_edges * 40 + 1000;
+  while (added < params.extra_block_edges && attempts < max_attempts) {
+    ++attempts;
+    const size_t b = rng.UniformInt(params.num_blocks);
+    const size_t lo = b * n / params.num_blocks;
+    const size_t hi = (b + 1) * n / params.num_blocks;
+    if (hi - lo < 2) continue;
+    const NodeId u = static_cast<NodeId>(lo + rng.UniformInt(hi - lo));
+    const NodeId v = static_cast<NodeId>(lo + rng.UniformInt(hi - lo));
+    if (u == v || !edges.Insert(u, v)) continue;
+    builder.AddEdge(u, v);
+    ++added;
+  }
+
+  GeneratedGraph out;
+  out.num_blocks = static_cast<uint32_t>(params.num_blocks);
+  out.block.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    out.block[v] = static_cast<uint32_t>(static_cast<size_t>(v) *
+                                         params.num_blocks / n);
+  }
+  out.graph = EnsureConnected(std::move(builder).Build(), rng);
+  return out;
+}
+
+GeneratedGraph CorePeripheryGraph(const CorePeripheryParams& params,
+                                  Rng& rng) {
+  const size_t n = params.num_nodes;
+  const size_t core = params.core_size;
+  COD_CHECK(core >= 2);
+  COD_CHECK(core < n);
+  COD_CHECK(params.num_blocks >= 1);
+  COD_CHECK(params.num_blocks <= core);
+
+  GraphBuilder builder(n);
+  EdgeSet edges(n);
+  GeneratedGraph out;
+  out.num_blocks = static_cast<uint32_t>(params.num_blocks);
+  out.block.assign(n, 0);
+  // Core nodes are 0..core-1, partitioned into contiguous blocks.
+  for (NodeId v = 0; v < core; ++v) {
+    out.block[v] = static_cast<uint32_t>(static_cast<size_t>(v) *
+                                         params.num_blocks / core);
+  }
+
+  // Dense-ish random core.
+  size_t added = 0;
+  size_t attempts = 0;
+  size_t max_attempts = params.core_edges * 40 + 1000;
+  while (added < params.core_edges && attempts < max_attempts) {
+    ++attempts;
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(core));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(core));
+    if (u == v || !edges.Insert(u, v)) continue;
+    builder.AddEdge(u, v);
+    ++added;
+  }
+
+  // Periphery attaches preferentially to the (growing) endpoint list of the
+  // core; each periphery node inherits its first target's block.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * n);
+  for (NodeId v = 0; v < core; ++v) endpoints.push_back(v);
+  for (NodeId v = static_cast<NodeId>(core); v < n; ++v) {
+    const NodeId target = endpoints[rng.UniformInt(endpoints.size())];
+    if (edges.Insert(v, target)) builder.AddEdge(v, target);
+    endpoints.push_back(target);
+    out.block[v] = out.block[target];
+    if (rng.Bernoulli(params.second_edge_prob)) {
+      const NodeId target2 = endpoints[rng.UniformInt(endpoints.size())];
+      if (target2 != v && edges.Insert(v, target2)) {
+        builder.AddEdge(v, target2);
+      }
+      endpoints.push_back(target2);
+    }
+  }
+
+  // Optional attribute-coherent periphery structure: random edges between
+  // nodes of the same block. Members of a block are scattered, so collect
+  // them once.
+  if (params.intra_block_edges > 0) {
+    std::vector<std::vector<NodeId>> members(params.num_blocks);
+    for (NodeId v = 0; v < n; ++v) members[out.block[v]].push_back(v);
+    added = 0;
+    attempts = 0;
+    max_attempts = params.intra_block_edges * 40 + 1000;
+    while (added < params.intra_block_edges && attempts < max_attempts) {
+      ++attempts;
+      const auto& blk = members[rng.UniformInt(params.num_blocks)];
+      if (blk.size() < 2) continue;
+      const NodeId u = blk[rng.UniformInt(blk.size())];
+      const NodeId v = blk[rng.UniformInt(blk.size())];
+      if (u == v || !edges.Insert(u, v)) continue;
+      builder.AddEdge(u, v);
+      ++added;
+    }
+  }
+
+  out.graph = EnsureConnected(std::move(builder).Build(), rng);
+  return out;
+}
+
+namespace {
+
+// Bounded discrete power law: P(x) ~ x^{-exponent} on [lo, hi], by inverse
+// transform on the continuous approximation.
+size_t PowerLawSample(size_t lo, size_t hi, double exponent, Rng& rng) {
+  COD_CHECK(lo >= 1);
+  COD_CHECK(hi >= lo);
+  if (lo == hi) return lo;
+  const double a = 1.0 - exponent;
+  const double lo_pow = std::pow(static_cast<double>(lo), a);
+  const double hi_pow = std::pow(static_cast<double>(hi + 1), a);
+  const double u = rng.UniformDouble();
+  const double x = std::pow(lo_pow + u * (hi_pow - lo_pow), 1.0 / a);
+  return std::min(hi, std::max(lo, static_cast<size_t>(x)));
+}
+
+}  // namespace
+
+GeneratedGraph LfrLikeGraph(const LfrParams& params, Rng& rng) {
+  const size_t n = params.num_nodes;
+  COD_CHECK(n >= 2);
+  COD_CHECK(params.min_degree >= 1);
+  COD_CHECK(params.max_degree >= params.min_degree);
+  COD_CHECK(params.min_community >= 2);
+  COD_CHECK(params.max_community >= params.min_community);
+  COD_CHECK(params.mu >= 0.0 && params.mu <= 1.0);
+
+  // Degrees and community sizes from bounded power laws.
+  std::vector<uint32_t> degree(n);
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(PowerLawSample(
+        params.min_degree, params.max_degree, params.degree_exponent, rng));
+  }
+  std::vector<size_t> community_size;
+  size_t covered = 0;
+  while (covered < n) {
+    size_t size = PowerLawSample(params.min_community, params.max_community,
+                                 params.community_exponent, rng);
+    size = std::min(size, n - covered);
+    if (n - covered - size > 0 && n - covered - size < params.min_community) {
+      size = n - covered;  // avoid a trailing fragment below the minimum
+    }
+    community_size.push_back(size);
+    covered += size;
+  }
+  const size_t num_communities = community_size.size();
+
+  GeneratedGraph out;
+  out.num_blocks = static_cast<uint32_t>(num_communities);
+  out.block.resize(n);
+  // Capped first-fit: high-degree nodes first so their intra-degree
+  // (1 - mu) * d fits the community they land in.
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (degree[a] != degree[b]) return degree[a] > degree[b];
+    return a < b;
+  });
+  std::vector<size_t> remaining = community_size;
+  size_t cursor = 0;
+  for (NodeId v : order) {
+    const size_t need =
+        static_cast<size_t>((1.0 - params.mu) * degree[v]) + 1;
+    size_t tries = 0;
+    while (tries < num_communities &&
+           (remaining[cursor] == 0 || community_size[cursor] < need)) {
+      cursor = (cursor + 1) % num_communities;
+      ++tries;
+    }
+    // If nothing fits (degree too large for every community), take any
+    // community with room.
+    if (remaining[cursor] == 0 || community_size[cursor] < need) {
+      for (size_t c = 0; c < num_communities; ++c) {
+        if (remaining[c] > 0) {
+          cursor = c;
+          break;
+        }
+      }
+    }
+    out.block[v] = static_cast<uint32_t>(cursor);
+    --remaining[cursor];
+    cursor = (cursor + 1) % num_communities;
+  }
+
+  // Stub matching: intra stubs per community, inter stubs global.
+  std::vector<std::vector<NodeId>> intra_stubs(num_communities);
+  std::vector<NodeId> inter_stubs;
+  for (NodeId v = 0; v < n; ++v) {
+    const uint32_t intra =
+        static_cast<uint32_t>((1.0 - params.mu) * degree[v] + 0.5);
+    for (uint32_t i = 0; i < intra; ++i) {
+      intra_stubs[out.block[v]].push_back(v);
+    }
+    for (uint32_t i = intra; i < degree[v]; ++i) inter_stubs.push_back(v);
+  }
+  GraphBuilder builder(n);
+  EdgeSet edges(n);
+  auto match = [&](std::vector<NodeId>& stubs) {
+    // Fisher-Yates shuffle, then pair consecutive stubs; collisions drop.
+    for (size_t i = stubs.size(); i > 1; --i) {
+      std::swap(stubs[i - 1], stubs[rng.UniformInt(i)]);
+    }
+    for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const NodeId u = stubs[i];
+      const NodeId v = stubs[i + 1];
+      if (u == v || !edges.Insert(u, v)) continue;
+      builder.AddEdge(u, v);
+    }
+  };
+  for (auto& stubs : intra_stubs) match(stubs);
+  match(inter_stubs);
+
+  out.graph = EnsureConnected(std::move(builder).Build(), rng);
+  return out;
+}
+
+Graph EnsureConnected(Graph g, Rng& rng) {
+  const Components comps = ConnectedComponents(g);
+  if (comps.count <= 1) return g;
+  std::vector<size_t> size(comps.count, 0);
+  for (uint32_t label : comps.label) ++size[label];
+  const uint32_t giant = static_cast<uint32_t>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+
+  std::vector<std::vector<NodeId>> members(comps.count);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    members[comps.label[v]].push_back(v);
+  }
+  GraphBuilder builder(g.NumNodes());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    builder.AddEdge(u, v, g.Weight(e));
+  }
+  for (uint32_t c = 0; c < comps.count; ++c) {
+    if (c == giant) continue;
+    const NodeId u = members[c][rng.UniformInt(members[c].size())];
+    const NodeId v = members[giant][rng.UniformInt(members[giant].size())];
+    builder.AddEdge(u, v);
+  }
+  return std::move(builder).Build();
+}
+
+AttributeTable AssignBlockAttributes(const std::vector<uint32_t>& block,
+                                     size_t num_attributes, Rng& rng) {
+  COD_CHECK(num_attributes >= 1);
+  uint32_t num_blocks = 0;
+  for (uint32_t b : block) num_blocks = std::max(num_blocks, b + 1);
+  std::vector<AttributeId> block_attr(num_blocks);
+  AttributeTableBuilder builder;
+  std::vector<AttributeId> vocab(num_attributes);
+  for (size_t a = 0; a < num_attributes; ++a) {
+    vocab[a] = builder.Intern("attr" + std::to_string(a));
+  }
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    block_attr[b] = vocab[rng.UniformInt(num_attributes)];
+  }
+  for (NodeId v = 0; v < block.size(); ++v) {
+    builder.Add(v, block_attr[block[v]]);
+  }
+  return std::move(builder).Build(block.size());
+}
+
+AttributeTable AssignCorrelatedAttributes(const std::vector<uint32_t>& block,
+                                          size_t vocabulary_size,
+                                          double fidelity, double extra_prob,
+                                          Rng& rng) {
+  COD_CHECK(vocabulary_size >= 1);
+  AttributeTableBuilder builder;
+  std::vector<AttributeId> vocab(vocabulary_size);
+  for (size_t a = 0; a < vocabulary_size; ++a) {
+    vocab[a] = builder.Intern("label" + std::to_string(a));
+  }
+  uint32_t num_blocks = 0;
+  for (uint32_t b : block) num_blocks = std::max(num_blocks, b + 1);
+  std::vector<AttributeId> dominant(num_blocks);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    dominant[b] = vocab[rng.UniformInt(vocabulary_size)];
+  }
+  for (NodeId v = 0; v < block.size(); ++v) {
+    const AttributeId main = rng.Bernoulli(fidelity)
+                                 ? dominant[block[v]]
+                                 : vocab[rng.UniformInt(vocabulary_size)];
+    builder.Add(v, main);
+    if (rng.Bernoulli(extra_prob)) {
+      builder.Add(v, vocab[rng.UniformInt(vocabulary_size)]);
+    }
+  }
+  return std::move(builder).Build(block.size());
+}
+
+}  // namespace cod

@@ -1,0 +1,122 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on public networks (Cora, CiteSeer, PubMed, Retweet,
+// Amazon, DBLP, LiveJournal) that are not shipped with this repository; the
+// registry in eval/datasets.* rebuilds stand-ins for each of them from the
+// generators below (see DESIGN.md section 3 for the substitution argument).
+//
+// HierarchicalPlantedPartition produces a graph with a genuine community
+// hierarchy: nodes are recursively partitioned into f^levels leaf blocks and
+// each edge is sampled at a hierarchy depth drawn from a geometric mixture,
+// connecting two nodes that agree on that many top levels. Deeper edges make
+// tighter communities; the leaf blocks serve as ground-truth communities for
+// attribute assignment.
+
+#ifndef COD_GRAPH_GENERATORS_H_
+#define COD_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/attributes.h"
+#include "graph/graph.h"
+
+namespace cod {
+
+struct HppParams {
+  size_t num_nodes = 0;
+  int levels = 3;    // depth of the planted hierarchy
+  int fanout = 4;    // children per internal block
+  size_t num_edges = 0;
+  // Fraction of edges sampled inside leaf blocks; the remaining mass decays
+  // geometrically toward the root (factor `decay` per level up).
+  double leaf_fraction = 0.6;
+  double decay = 0.5;
+};
+
+struct GeneratedGraph {
+  Graph graph;
+  // Ground-truth leaf-block label per node (contiguous ranges).
+  std::vector<uint32_t> block;
+  uint32_t num_blocks = 0;
+};
+
+GeneratedGraph HierarchicalPlantedPartition(const HppParams& params, Rng& rng);
+
+// Barabási–Albert preferential attachment: each new node attaches to
+// `edges_per_node` existing nodes chosen proportionally to degree.
+Graph BarabasiAlbert(size_t num_nodes, int edges_per_node, Rng& rng);
+
+// G(n, m): m distinct uniform random edges.
+Graph ErdosRenyi(size_t num_nodes, size_t num_edges, Rng& rng);
+
+// Hub-heavy graph with planted communities: a preferential-attachment
+// backbone (skewed degrees, which skews agglomerative hierarchies, as on the
+// paper's Retweet dataset) overlaid with intra-block edges.
+struct HubbyParams {
+  size_t num_nodes = 0;
+  int backbone_edges_per_node = 1;
+  size_t num_blocks = 0;
+  size_t extra_block_edges = 0;  // intra-block edges added on top
+};
+GeneratedGraph HubbyCommunityGraph(const HubbyParams& params, Rng& rng);
+
+// Core-periphery graph with mega-hubs: a small dense core plus a large
+// periphery whose nodes attach to the core with preferential attachment
+// (celebrity/follower structure, as in retweet and citation networks).
+// Under average-linkage clustering, each core hub accretes its periphery one
+// node at a time, producing exactly the skewed global hierarchies the paper
+// observes on PubMed/Retweet (Fig. 4). Blocks partition the core; periphery
+// nodes inherit the block of their first core target, and optional
+// intra-block periphery edges give LORE attribute-coherent local structure.
+struct CorePeripheryParams {
+  size_t num_nodes = 0;
+  size_t core_size = 0;
+  size_t core_edges = 0;          // random edges inside the core
+  double second_edge_prob = 0.6;  // extra preferential edge per periphery node
+  size_t num_blocks = 0;
+  size_t intra_block_edges = 0;   // extra random edges within blocks
+};
+GeneratedGraph CorePeripheryGraph(const CorePeripheryParams& params, Rng& rng);
+
+// LFR-like benchmark graph (Lancichinetti-Fortunato-Radicchi): power-law
+// degrees, power-law community sizes, and a mixing parameter mu giving each
+// node a ~mu fraction of inter-community edges. Simplifications vs the
+// original benchmark: stub matching resolves collisions by dropping (so
+// realized degrees are slightly below nominal), and nodes are assigned to
+// communities by capped first-fit rather than the original rewiring loop.
+struct LfrParams {
+  size_t num_nodes = 0;
+  double degree_exponent = 2.5;     // tau1
+  uint32_t min_degree = 3;
+  uint32_t max_degree = 50;
+  double community_exponent = 1.5;  // tau2
+  size_t min_community = 20;
+  size_t max_community = 200;
+  double mu = 0.2;                  // inter-community edge fraction
+};
+GeneratedGraph LfrLikeGraph(const LfrParams& params, Rng& rng);
+
+// Adds the minimum number of random edges needed to make `g` connected
+// (one edge from each non-giant component to the giant one). Node count is
+// preserved.
+Graph EnsureConnected(Graph g, Rng& rng);
+
+// The paper's attribute scheme for Amazon/DBLP/LiveJournal: draw
+// `num_attributes` distinct attribute names and give every node of a
+// ground-truth block the block's randomly chosen attribute.
+AttributeTable AssignBlockAttributes(const std::vector<uint32_t>& block,
+                                     size_t num_attributes, Rng& rng);
+
+// Small-vocabulary correlated attributes (Cora/CiteSeer/PubMed/Retweet-style
+// class labels): every block has a dominant attribute; each node takes it
+// with probability `fidelity`, otherwise a uniform random one, and with
+// probability `extra_prob` also gains one extra uniform attribute.
+AttributeTable AssignCorrelatedAttributes(const std::vector<uint32_t>& block,
+                                          size_t vocabulary_size,
+                                          double fidelity, double extra_prob,
+                                          Rng& rng);
+
+}  // namespace cod
+
+#endif  // COD_GRAPH_GENERATORS_H_

@@ -1,0 +1,102 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace cod {
+
+EdgeId Graph::FindEdge(NodeId u, NodeId v) const {
+  if (u >= NumNodes() || v >= NumNodes() || u == v) return kInvalidEdge;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  for (const AdjEntry& a : Neighbors(u)) {
+    if (a.to == v) return a.edge;
+  }
+  return kInvalidEdge;
+}
+
+double Graph::TotalWeight() const {
+  if (weights_.empty()) return static_cast<double>(NumEdges());
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  return total;
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v, double weight) {
+  if (u == v) return;  // Self-loops carry no structural information here.
+  if (u > v) std::swap(u, v);
+  const size_t needed = static_cast<size_t>(v) + 1;
+  if (needed > num_nodes_) num_nodes_ = needed;
+  pending_.emplace_back(u, v);
+  pending_weights_.push_back(weight);
+}
+
+void GraphBuilder::SetNumNodes(size_t n) {
+  COD_CHECK_GE(n, num_nodes_);
+  num_nodes_ = n;
+}
+
+Graph GraphBuilder::Build() && {
+  // Sort edge records to merge duplicates deterministically.
+  std::vector<size_t> order(pending_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return pending_[a] < pending_[b];
+  });
+
+  Graph g;
+  g.offsets_.assign(num_nodes_ + 1, 0);
+  bool weighted = false;
+  for (size_t idx : order) {
+    const auto& e = pending_[idx];
+    if (!g.edges_.empty() && g.edges_.back() == e) {
+      g.weights_.back() += pending_weights_[idx];
+      weighted = true;
+      continue;
+    }
+    g.edges_.push_back(e);
+    g.weights_.push_back(pending_weights_[idx]);
+    if (pending_weights_[idx] != 1.0) weighted = true;
+  }
+  if (!weighted) g.weights_.clear();
+
+  // Two-pass CSR fill.
+  for (const auto& [u, v] : g.edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (size_t i = 1; i <= num_nodes_; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.adjacency_.resize(2 * g.edges_.size());
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
+    const auto [u, v] = g.edges_[e];
+    g.adjacency_[cursor[u]++] = AdjEntry{v, e};
+    g.adjacency_[cursor[v]++] = AdjEntry{u, e};
+  }
+  // Neighbor lists come out sorted by id because edges were sorted and each
+  // node's slots are filled in edge order; sortedness is handy for tests.
+  return g;
+}
+
+InducedSubgraph BuildInducedSubgraph(const Graph& g,
+                                     std::span<const NodeId> nodes) {
+  InducedSubgraph sub;
+  sub.to_parent.assign(nodes.begin(), nodes.end());
+  std::vector<NodeId> to_local(g.NumNodes(), kInvalidNode);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    COD_CHECK(nodes[i] < g.NumNodes());
+    COD_CHECK(to_local[nodes[i]] == kInvalidNode);  // no duplicates
+    to_local[nodes[i]] = static_cast<NodeId>(i);
+  }
+  GraphBuilder builder(nodes.size());
+  for (NodeId parent_u : nodes) {
+    const NodeId lu = to_local[parent_u];
+    for (const AdjEntry& a : g.Neighbors(parent_u)) {
+      const NodeId lv = to_local[a.to];
+      if (lv == kInvalidNode || lv <= lu) continue;  // keep each edge once
+      builder.AddEdge(lu, lv, g.Weight(a.edge));
+    }
+  }
+  sub.graph = std::move(builder).Build();
+  return sub;
+}
+
+}  // namespace cod

@@ -1,0 +1,105 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cod {
+namespace {
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  GraphBuilder builder;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream ss(line);
+    uint64_t u = 0;
+    uint64_t v = 0;
+    double w = 1.0;
+    if (!(ss >> u >> v)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": expected 'u v [weight]'");
+    }
+    // A corrupt file must not be able to OOM the process through one huge
+    // node id (node count drives allocation).
+    constexpr uint64_t kMaxNodeId = 100'000'000;
+    if (u > kMaxNodeId || v > kMaxNodeId) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": node id exceeds the 1e8 limit");
+    }
+    ss >> w;  // optional
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+  }
+  return std::move(builder).Build();
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# codlib edge list: " << g.NumNodes() << " nodes, " << g.NumEdges()
+      << " edges\n";
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    out << u << ' ' << v;
+    if (g.HasWeights()) out << ' ' << g.Weight(e);
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Result<AttributeTable> LoadAttributes(const std::string& path,
+                                      size_t num_nodes) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  AttributeTableBuilder builder;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream ss(line);
+    uint64_t node = 0;
+    if (!(ss >> node)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": expected 'node attr...'");
+    }
+    if (node >= num_nodes) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": node id out of range");
+    }
+    std::string name;
+    while (ss >> name) builder.Add(static_cast<NodeId>(node), name);
+  }
+  return std::move(builder).Build(num_nodes);
+}
+
+Status SaveAttributes(const AttributeTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (NodeId v = 0; v < table.NumNodes(); ++v) {
+    const auto attrs = table.AttributesOf(v);
+    if (attrs.empty()) continue;
+    out << v;
+    for (AttributeId a : attrs) out << ' ' << table.Name(a);
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+}  // namespace cod

@@ -1,0 +1,36 @@
+// Plain-text persistence for graphs and attribute tables.
+//
+// Formats (whitespace-separated, '#'-prefixed comment lines ignored):
+//  * Edge list: one "u v [weight]" per line; node ids are dense integers.
+//  * Attributes: one "node attr_name..." per line; names are interned.
+//
+// These match the common formats of SNAP / Network Repository exports so real
+// datasets can be dropped in alongside the synthetic registry.
+
+#ifndef COD_GRAPH_GRAPH_IO_H_
+#define COD_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/attributes.h"
+#include "graph/graph.h"
+
+namespace cod {
+
+// Loads an undirected edge list. Fails with IoError / InvalidArgument on
+// unreadable files or malformed lines.
+Result<Graph> LoadEdgeList(const std::string& path);
+
+// Writes "u v" (or "u v weight" for weighted graphs) lines.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+// Loads node attributes for a graph with `num_nodes` nodes.
+Result<AttributeTable> LoadAttributes(const std::string& path,
+                                      size_t num_nodes);
+
+Status SaveAttributes(const AttributeTable& table, const std::string& path);
+
+}  // namespace cod
+
+#endif  // COD_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,129 @@
+#include "graph/hin.h"
+
+#include <algorithm>
+
+namespace cod {
+
+NodeTypeId HinGraph::FindType(const std::string& name) const {
+  const auto it = type_index_.find(name);
+  return it == type_index_.end() ? static_cast<NodeTypeId>(NumTypes())
+                                 : it->second;
+}
+
+std::vector<NodeId> HinGraph::NodesOfType(NodeTypeId t) const {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < node_type_.size(); ++v) {
+    if (node_type_[v] == t) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+NodeTypeId HinGraphBuilder::InternType(const std::string& name) {
+  const auto [it, inserted] =
+      type_index_.emplace(name, static_cast<NodeTypeId>(type_names_.size()));
+  if (inserted) type_names_.push_back(name);
+  return it->second;
+}
+
+NodeId HinGraphBuilder::AddNode(NodeTypeId type) {
+  COD_CHECK(type < type_names_.size());
+  const NodeId id = static_cast<NodeId>(node_type_.size());
+  node_type_.push_back(type);
+  return id;
+}
+
+void HinGraphBuilder::AddEdge(NodeId u, NodeId v, double weight) {
+  COD_CHECK(u < node_type_.size());
+  COD_CHECK(v < node_type_.size());
+  graph_builder_.AddEdge(u, v, weight);
+}
+
+HinGraph HinGraphBuilder::Build() && {
+  HinGraph hin;
+  graph_builder_.SetNumNodes(node_type_.size());
+  hin.graph_ = std::move(graph_builder_).Build();
+  hin.node_type_ = std::move(node_type_);
+  hin.type_names_ = std::move(type_names_);
+  hin.type_index_ = std::move(type_index_);
+  return hin;
+}
+
+Result<MetaPathProjection> ProjectMetaPath(
+    const HinGraph& hin, std::span<const NodeTypeId> metapath,
+    const MetaPathOptions& options) {
+  if (metapath.size() < 3) {
+    return Status::InvalidArgument("meta-path needs at least three types");
+  }
+  if (metapath.front() != metapath.back()) {
+    return Status::InvalidArgument("meta-path must be symmetric in its "
+                                   "endpoint type (t0 == tk)");
+  }
+  for (NodeTypeId t : metapath) {
+    if (t >= hin.NumTypes()) {
+      return Status::InvalidArgument("meta-path references an unknown type");
+    }
+  }
+
+  const Graph& g = hin.graph();
+  const std::vector<NodeId> endpoints = hin.NodesOfType(metapath.front());
+  std::vector<NodeId> to_local(g.NumNodes(), kInvalidNode);
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    to_local[endpoints[i]] = static_cast<NodeId>(i);
+  }
+
+  MetaPathProjection projection;
+  projection.to_hin = endpoints;
+  GraphBuilder builder(endpoints.size());
+
+  // Layered walk counting: counts[v] = number of meta-path prefixes from x
+  // ending at v with the correct type sequence (commuting-matrix semantics).
+  std::vector<double> counts(g.NumNodes(), 0.0);
+  std::vector<double> next(g.NumNodes(), 0.0);
+  std::vector<NodeId> frontier;
+  std::vector<NodeId> next_frontier;
+  for (NodeId x : endpoints) {
+    frontier.assign(1, x);
+    counts[x] = 1.0;
+    bool truncated = false;
+    for (size_t step = 1; step < metapath.size() && !truncated; ++step) {
+      const NodeTypeId want = metapath[step];
+      next_frontier.clear();
+      double total = 0.0;
+      for (NodeId v : frontier) {
+        const double c = counts[v];
+        for (const AdjEntry& a : g.Neighbors(v)) {
+          if (hin.TypeOf(a.to) != want) continue;
+          if (next[a.to] == 0.0) next_frontier.push_back(a.to);
+          next[a.to] += c;
+          total += c;
+        }
+      }
+      if (options.max_paths_per_node > 0 &&
+          total > static_cast<double>(options.max_paths_per_node)) {
+        truncated = true;
+        ++projection.truncated_sources;
+      }
+      for (NodeId v : frontier) counts[v] = 0.0;
+      frontier.swap(next_frontier);
+      for (NodeId v : frontier) {
+        counts[v] = next[v];
+        next[v] = 0.0;
+      }
+    }
+    // Emit edges toward larger local ids only (the symmetric count appears
+    // once from each endpoint).
+    const NodeId lx = to_local[x];
+    for (NodeId y : frontier) {
+      if (!truncated) {
+        const NodeId ly = to_local[y];
+        COD_DCHECK(ly != kInvalidNode);  // frontier nodes have type t0
+        if (ly > lx) builder.AddEdge(lx, ly, counts[y]);
+      }
+      counts[y] = 0.0;
+    }
+  }
+  projection.graph = std::move(builder).Build();
+  return projection;
+}
+
+}  // namespace cod

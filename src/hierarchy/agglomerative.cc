@@ -1,0 +1,165 @@
+#include "hierarchy/agglomerative.h"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cod {
+namespace {
+
+// Mutable clustering state: active clusters with hash-map adjacency.
+//
+// adj[c][d] holds the linkage *state* for the pair (c, d), kept symmetric:
+//  * kUnweightedAverage: total inter-cluster edge weight (similarity is
+//    state / (|c| * |d|));
+//  * kSingle / kWeightedAverage: the similarity itself.
+struct ClusterState {
+  Linkage linkage;
+  std::vector<std::unordered_map<CommunityId, double>> adj;
+  std::vector<uint32_t> size;       // leaf count of each cluster
+  std::vector<CommunityId> vertex;  // dendrogram vertex the cluster maps to
+  std::vector<char> active;
+
+  double Similarity(CommunityId a, CommunityId b, double state) const {
+    if (linkage == Linkage::kUnweightedAverage) {
+      return state / (static_cast<double>(size[a]) * size[b]);
+    }
+    return state;
+  }
+
+  // Nearest active neighbor of `c` by similarity; ties break toward the
+  // smaller id. Returns kInvalidCommunity if `c` has no neighbors.
+  CommunityId NearestNeighbor(CommunityId c) const {
+    CommunityId best = kInvalidCommunity;
+    double best_sim = -1.0;
+    for (const auto& [d, w] : adj[c]) {
+      const double sim = Similarity(c, d, w);
+      if (sim > best_sim || (sim == best_sim && d < best)) {
+        best_sim = sim;
+        best = d;
+      }
+    }
+    return best;
+  }
+
+  // Merges `a` and `b`; returns the id that survives (the one with the
+  // larger adjacency map). The dendrogram vertex is updated by the caller.
+  CommunityId Merge(CommunityId a, CommunityId b) {
+    if (adj[a].size() < adj[b].size()) std::swap(a, b);
+    adj[a].erase(b);
+    adj[b].erase(a);
+    if (linkage == Linkage::kWeightedAverage) {
+      // WPGMA: sim(ab, d) = (sim(a, d) + sim(b, d)) / 2 with absent pairs
+      // counting as 0, so every surviving entry of `a` halves first.
+      for (auto& [d, w] : adj[a]) {
+        w /= 2.0;
+        adj[d][a] = w;
+      }
+    }
+    for (const auto& [d, w] : adj[b]) {
+      double& slot = adj[a][d];  // zero-initialized when absent
+      switch (linkage) {
+        case Linkage::kUnweightedAverage:
+          slot += w;
+          break;
+        case Linkage::kSingle:
+          slot = std::max(slot, w);
+          break;
+        case Linkage::kWeightedAverage:
+          slot += w / 2.0;
+          break;
+      }
+      auto& dmap = adj[d];
+      dmap.erase(b);
+      dmap[a] = slot;
+    }
+    adj[b].clear();
+    size[a] += size[b];
+    active[b] = 0;
+    return a;
+  }
+};
+
+}  // namespace
+
+Dendrogram AgglomerativeCluster(const Graph& g,
+                                const AgglomerativeOptions& options) {
+  const size_t n = g.NumNodes();
+  COD_CHECK(n >= 1);
+  DendrogramBuilder builder(n);
+  if (n == 1) {
+    return std::move(builder).Build();
+  }
+
+  ClusterState state;
+  state.linkage = options.linkage;
+  state.adj.resize(n);
+  state.size.assign(n, 1);
+  state.vertex.resize(n);
+  state.active.assign(n, 1);
+  for (NodeId v = 0; v < n; ++v) {
+    state.vertex[v] = static_cast<CommunityId>(v);
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      if (options.linkage == Linkage::kSingle) {
+        double& slot = state.adj[v][a.to];
+        slot = std::max(slot, g.Weight(a.edge));
+      } else {
+        state.adj[v][a.to] += g.Weight(a.edge);
+      }
+    }
+  }
+
+  // Roots of finished (neighborless) components, to be joined at the end.
+  std::vector<CommunityId> component_roots;
+  std::vector<CommunityId> chain;
+  size_t scan_from = 0;  // next candidate to start a fresh chain
+  size_t merges_done = 0;
+
+  while (merges_done + 1 < n) {
+    if (chain.empty()) {
+      while (scan_from < n && !state.active[scan_from]) ++scan_from;
+      if (scan_from == n) break;  // everything merged or finished
+      chain.push_back(static_cast<CommunityId>(scan_from));
+    }
+    const CommunityId tip = chain.back();
+    const CommunityId nn = state.NearestNeighbor(tip);
+    if (nn == kInvalidCommunity) {
+      // `tip` is the root of a finished component; anything earlier in the
+      // chain belonged to the same (now exhausted) component.
+      component_roots.push_back(state.vertex[tip]);
+      state.active[tip] = 0;
+      chain.pop_back();
+      COD_CHECK(chain.empty());
+      continue;
+    }
+    if (chain.size() >= 2 && nn == chain[chain.size() - 2]) {
+      // Mutual nearest neighbors: merge.
+      chain.pop_back();
+      chain.pop_back();
+      const CommunityId other = nn;
+      const CommunityId merged_vertex =
+          builder.Merge(state.vertex[tip], state.vertex[other]);
+      const CommunityId kept = state.Merge(tip, other);
+      state.vertex[kept] = merged_vertex;
+      ++merges_done;
+    } else {
+      chain.push_back(nn);
+    }
+  }
+
+  // Collect the surviving active cluster (if any) and join all component
+  // roots under a single root.
+  for (size_t c = scan_from; c < n; ++c) {
+    if (state.active[c]) {
+      component_roots.push_back(state.vertex[c]);
+      state.active[c] = 0;
+    }
+  }
+  COD_CHECK(!component_roots.empty());
+  if (component_roots.size() > 1) {
+    builder.Merge(component_roots);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace cod

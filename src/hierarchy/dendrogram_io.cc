@@ -1,0 +1,80 @@
+#include "hierarchy/dendrogram_io.h"
+
+#include <vector>
+
+#include "common/binary_io.h"
+
+namespace cod {
+namespace {
+
+constexpr uint32_t kMagic = 0x434F4444;  // "CODD"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveDendrogram(const Dendrogram& dendrogram, const std::string& path) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) return Status::IoError("cannot open " + path);
+  writer.WritePod(kMagic);
+  writer.WritePod(kVersion);
+  writer.WritePod<uint64_t>(dendrogram.NumLeaves());
+  writer.WritePod<uint64_t>(dendrogram.NumVertices());
+  // Internal vertices in id order; ids of children are stable because the
+  // builder assigns internal ids sequentially after the leaves.
+  for (CommunityId c = static_cast<CommunityId>(dendrogram.NumLeaves());
+       c < dendrogram.NumVertices(); ++c) {
+    const auto kids = dendrogram.Children(c);
+    std::vector<CommunityId> children(kids.begin(), kids.end());
+    writer.WriteVector(children);
+  }
+  return writer.Finish(path);
+}
+
+Result<Dendrogram> LoadDendrogram(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) return Status::IoError("cannot open " + path);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t num_leaves = 0;
+  uint64_t num_vertices = 0;
+  if (!reader.ReadPod(&magic) || magic != kMagic) {
+    return Status::InvalidArgument(path + ": not a codlib dendrogram file");
+  }
+  if (!reader.ReadPod(&version) || version != kVersion) {
+    return Status::InvalidArgument(path + ": unsupported dendrogram version");
+  }
+  // Header sanity: every internal vertex has >= 2 children, so
+  // num_vertices <= 2 * num_leaves - 1; the leaf cap matches the edge-list
+  // loader's 1e8 node limit (corrupt headers must not drive allocations).
+  constexpr uint64_t kMaxLeaves = 100'000'000;
+  if (!reader.ReadPod(&num_leaves) || !reader.ReadPod(&num_vertices) ||
+      num_leaves == 0 || num_leaves > kMaxLeaves ||
+      num_vertices < num_leaves || num_vertices > 2 * num_leaves) {
+    return Status::InvalidArgument(path + ": corrupt dendrogram header");
+  }
+  DendrogramBuilder builder(num_leaves);
+  std::vector<char> has_parent(num_vertices, 0);
+  for (uint64_t c = num_leaves; c < num_vertices; ++c) {
+    std::vector<CommunityId> children;
+    if (!reader.ReadVector(&children, num_vertices) || children.size() < 2) {
+      return Status::InvalidArgument(path + ": corrupt children list");
+    }
+    for (CommunityId child : children) {
+      if (child >= c || has_parent[child]) {
+        return Status::InvalidArgument(path + ": invalid child reference");
+      }
+      has_parent[child] = 1;
+    }
+    const CommunityId id = builder.Merge(children);
+    COD_CHECK_EQ(static_cast<uint64_t>(id), c);
+  }
+  // Exactly one root must remain or Build() would abort on corrupt input.
+  size_t roots = 0;
+  for (uint64_t c = 0; c < num_vertices; ++c) roots += !has_parent[c];
+  if (roots != 1) {
+    return Status::InvalidArgument(path + ": hierarchy is not a single tree");
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace cod

@@ -1,0 +1,25 @@
+// Binary persistence for community hierarchies.
+//
+// Building a hierarchy is the expensive part of engine construction on large
+// graphs; saving it alongside the HIMOR index lets a service restart without
+// re-clustering. The format stores the merge structure (per internal vertex,
+// its children); depths and leaf intervals are recomputed on load, so a
+// loaded dendrogram is bit-identical in behaviour to the original.
+
+#ifndef COD_HIERARCHY_DENDROGRAM_IO_H_
+#define COD_HIERARCHY_DENDROGRAM_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "hierarchy/dendrogram.h"
+
+namespace cod {
+
+Status SaveDendrogram(const Dendrogram& dendrogram, const std::string& path);
+
+Result<Dendrogram> LoadDendrogram(const std::string& path);
+
+}  // namespace cod
+
+#endif  // COD_HIERARCHY_DENDROGRAM_IO_H_

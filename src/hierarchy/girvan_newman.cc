@@ -1,0 +1,124 @@
+#include "hierarchy/girvan_newman.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace cod {
+namespace {
+
+// Brandes accumulation over a mask of removed edges.
+std::vector<double> EdgeBetweennessMasked(const Graph& g,
+                                          const std::vector<char>& removed) {
+  const size_t n = g.NumNodes();
+  std::vector<double> score(g.NumEdges(), 0.0);
+  std::vector<int64_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    std::queue<NodeId> queue;
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    queue.push(s);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      for (const AdjEntry& a : g.Neighbors(v)) {
+        if (removed[a.edge]) continue;
+        if (dist[a.to] < 0) {
+          dist[a.to] = dist[v] + 1;
+          queue.push(a.to);
+        }
+        if (dist[a.to] == dist[v] + 1) sigma[a.to] += sigma[v];
+      }
+    }
+    // Dependency accumulation in reverse BFS order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId w = *it;
+      for (const AdjEntry& a : g.Neighbors(w)) {
+        if (removed[a.edge]) continue;
+        const NodeId v = a.to;
+        if (dist[v] == dist[w] - 1) {
+          const double c = sigma[v] / sigma[w] * (1.0 + delta[w]);
+          delta[v] += c;
+          score[a.edge] += c;
+        }
+      }
+    }
+  }
+  // Each undirected edge was counted from both directions of each BFS pair.
+  for (double& x : score) x /= 2.0;
+  return score;
+}
+
+}  // namespace
+
+std::vector<double> EdgeBetweenness(const Graph& g) {
+  return EdgeBetweennessMasked(g, std::vector<char>(g.NumEdges(), 0));
+}
+
+Dendrogram GirvanNewmanCluster(const Graph& g) {
+  const size_t n = g.NumNodes();
+  COD_CHECK(n >= 1);
+  const size_t m = g.NumEdges();
+
+  // Repeatedly remove the currently most central edge.
+  std::vector<char> removed(m, 0);
+  std::vector<EdgeId> removal_order;
+  removal_order.reserve(m);
+  for (size_t step = 0; step < m; ++step) {
+    const std::vector<double> score = EdgeBetweennessMasked(g, removed);
+    EdgeId best = kInvalidEdge;
+    double best_score = -1.0;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (!removed[e] && score[e] > best_score) {
+        best_score = score[e];
+        best = e;
+      }
+    }
+    COD_CHECK(best != kInvalidEdge);
+    removed[best] = 1;
+    removal_order.push_back(best);
+  }
+
+  // Replay removals in reverse as merges: the last removal that separated two
+  // node sets corresponds to the shallowest merge joining them.
+  DendrogramBuilder builder(n);
+  // Union-find over current subtree roots.
+  std::vector<CommunityId> uf_parent(n);
+  std::vector<CommunityId> root_vertex(n);
+  for (NodeId v = 0; v < n; ++v) {
+    uf_parent[v] = v;
+    root_vertex[v] = static_cast<CommunityId>(v);
+  }
+  auto find_set = [&](NodeId v) {
+    while (uf_parent[v] != v) {
+      uf_parent[v] = uf_parent[uf_parent[v]];
+      v = uf_parent[v];
+    }
+    return v;
+  };
+  for (auto it = removal_order.rbegin(); it != removal_order.rend(); ++it) {
+    const auto [u, v] = g.Endpoints(*it);
+    const NodeId ru = find_set(u);
+    const NodeId rv = find_set(v);
+    if (ru == rv) continue;
+    const CommunityId merged = builder.Merge(root_vertex[ru], root_vertex[rv]);
+    uf_parent[rv] = ru;
+    root_vertex[ru] = merged;
+  }
+  // Join disconnected components (if any) under one root.
+  std::vector<CommunityId> roots;
+  for (NodeId v = 0; v < n; ++v) {
+    if (find_set(v) == v) roots.push_back(root_vertex[v]);
+  }
+  if (roots.size() > 1) builder.Merge(roots);
+  return std::move(builder).Build();
+}
+
+}  // namespace cod

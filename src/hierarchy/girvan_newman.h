@@ -1,0 +1,27 @@
+// Divisive hierarchical clustering by iterated edge-betweenness removal
+// (Girvan & Newman 2004), the classic top-down alternative the paper cites
+// as [15]. Provided as an ablation hierarchy for small graphs; its cost is
+// O(|E|^2 |V|), so it is only practical for a few hundred nodes.
+//
+// The community hierarchy is recovered by replaying the edge removals in
+// reverse as union-find merges, which yields the same split tree.
+
+#ifndef COD_HIERARCHY_GIRVAN_NEWMAN_H_
+#define COD_HIERARCHY_GIRVAN_NEWMAN_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "hierarchy/dendrogram.h"
+
+namespace cod {
+
+// Edge betweenness centrality of every edge (Brandes' algorithm, unweighted
+// shortest paths). Exposed separately for testing.
+std::vector<double> EdgeBetweenness(const Graph& g);
+
+Dendrogram GirvanNewmanCluster(const Graph& g);
+
+}  // namespace cod
+
+#endif  // COD_HIERARCHY_GIRVAN_NEWMAN_H_

@@ -1,0 +1,71 @@
+#include "hierarchy/lca.h"
+
+#include <utility>
+
+namespace cod {
+
+LcaIndex::LcaIndex(const Dendrogram& dendrogram) : dendrogram_(&dendrogram) {
+  const size_t num_vertices = dendrogram.NumVertices();
+  first_.assign(num_vertices, 0);
+  euler_.reserve(2 * num_vertices);
+  euler_depth_.reserve(2 * num_vertices);
+
+  // Euler tour: record a vertex on entry and after each child returns.
+  std::vector<std::pair<CommunityId, size_t>> stack;  // (vertex, next child)
+  stack.emplace_back(dendrogram.Root(), 0);
+  first_[dendrogram.Root()] = 0;
+  euler_.push_back(dendrogram.Root());
+  euler_depth_.push_back(dendrogram.Depth(dendrogram.Root()));
+  while (!stack.empty()) {
+    auto& [c, next] = stack.back();
+    const auto kids = dendrogram.Children(c);
+    if (next < kids.size()) {
+      const CommunityId child = kids[next++];
+      first_[child] = static_cast<uint32_t>(euler_.size());
+      euler_.push_back(child);
+      euler_depth_.push_back(dendrogram.Depth(child));
+      stack.emplace_back(child, 0);
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        euler_.push_back(stack.back().first);
+        euler_depth_.push_back(dendrogram.Depth(stack.back().first));
+      }
+    }
+  }
+
+  // Sparse table over euler positions, storing the position of the minimum
+  // depth in each power-of-two window.
+  const size_t m = euler_.size();
+  log2_.assign(m + 1, 0);
+  for (size_t i = 2; i <= m; ++i) log2_[i] = log2_[i / 2] + 1;
+  const uint32_t levels = log2_[m] + 1;
+  table_.resize(levels);
+  table_[0].resize(m);
+  for (uint32_t i = 0; i < m; ++i) table_[0][i] = i;
+  for (uint32_t k = 1; k < levels; ++k) {
+    const size_t span = size_t{1} << k;
+    table_[k].resize(m - span + 1);
+    for (size_t i = 0; i + span <= m; ++i) {
+      const uint32_t left = table_[k - 1][i];
+      const uint32_t right = table_[k - 1][i + span / 2];
+      table_[k][i] = euler_depth_[left] <= euler_depth_[right] ? left : right;
+    }
+  }
+}
+
+uint32_t LcaIndex::ArgMin(uint32_t lo, uint32_t hi) const {
+  const uint32_t k = log2_[hi - lo + 1];
+  const uint32_t left = table_[k][lo];
+  const uint32_t right = table_[k][hi + 1 - (uint32_t{1} << k)];
+  return euler_depth_[left] <= euler_depth_[right] ? left : right;
+}
+
+CommunityId LcaIndex::Lca(CommunityId a, CommunityId b) const {
+  uint32_t pa = first_[a];
+  uint32_t pb = first_[b];
+  if (pa > pb) std::swap(pa, pb);
+  return euler_[ArgMin(pa, pb)];
+}
+
+}  // namespace cod

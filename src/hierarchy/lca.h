@@ -1,0 +1,49 @@
+// O(1) lowest-common-ancestor queries over a Dendrogram.
+//
+// Classic Euler-tour + sparse-table RMQ (Bender & Farach-Colton). The paper's
+// complexity results (Theorems 5 and 6) assume constant-time lca, which this
+// provides after O(V log V) preprocessing on the 2n-1 dendrogram vertices.
+
+#ifndef COD_HIERARCHY_LCA_H_
+#define COD_HIERARCHY_LCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/dendrogram.h"
+
+namespace cod {
+
+class LcaIndex {
+ public:
+  // Builds the index; `dendrogram` must outlive the index.
+  explicit LcaIndex(const Dendrogram& dendrogram);
+
+  // Lowest common ancestor of two dendrogram vertices (leaves or internal).
+  CommunityId Lca(CommunityId a, CommunityId b) const;
+
+  // lca of two graph nodes: the smallest community containing both.
+  CommunityId LcaOfNodes(NodeId u, NodeId v) const {
+    return Lca(dendrogram_->LeafOf(u), dendrogram_->LeafOf(v));
+  }
+
+  // The smallest community containing both node `u` and community `c`
+  // (used by HIMOR's hierarchical-first search).
+  CommunityId LcaNodeCommunity(NodeId u, CommunityId c) const {
+    return Lca(dendrogram_->LeafOf(u), c);
+  }
+
+ private:
+  uint32_t ArgMin(uint32_t lo, uint32_t hi) const;  // [lo, hi], by depth
+
+  const Dendrogram* dendrogram_;
+  std::vector<CommunityId> euler_;       // vertex at each tour position
+  std::vector<uint32_t> euler_depth_;    // depth at each tour position
+  std::vector<uint32_t> first_;          // first tour position of each vertex
+  std::vector<std::vector<uint32_t>> table_;  // sparse table of argmin indices
+  std::vector<uint32_t> log2_;           // floor(log2(i)) lookup
+};
+
+}  // namespace cod
+
+#endif  // COD_HIERARCHY_LCA_H_

@@ -1,0 +1,84 @@
+#include "hierarchy/quality.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace cod {
+
+double DasguptaCost(const Graph& g, const Dendrogram& dendrogram,
+                    const LcaIndex& lca) {
+  COD_CHECK_EQ(g.NumNodes(), dendrogram.NumLeaves());
+  double cost = 0.0;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    const CommunityId c = lca.LcaOfNodes(u, v);
+    cost += g.Weight(e) * static_cast<double>(dendrogram.LeafCount(c));
+  }
+  return cost;
+}
+
+std::vector<uint32_t> CutToClusters(const Dendrogram& dendrogram,
+                                    size_t target_clusters) {
+  COD_CHECK(target_clusters >= 1);
+  // Max-heap of current clusters by leaf count; expand the largest until
+  // the target is reached or only leaves remain.
+  auto cmp = [&](CommunityId a, CommunityId b) {
+    return dendrogram.LeafCount(a) < dendrogram.LeafCount(b);
+  };
+  std::priority_queue<CommunityId, std::vector<CommunityId>, decltype(cmp)>
+      heap(cmp);
+  heap.push(dendrogram.Root());
+  size_t count = 1;
+  std::vector<CommunityId> frozen;
+  while (count < target_clusters && !heap.empty()) {
+    const CommunityId top = heap.top();
+    heap.pop();
+    if (dendrogram.IsLeaf(top)) {
+      frozen.push_back(top);
+      continue;
+    }
+    const auto kids = dendrogram.Children(top);
+    count += kids.size() - 1;
+    for (CommunityId child : kids) heap.push(child);
+  }
+  std::vector<uint32_t> labels(dendrogram.NumLeaves(), 0);
+  uint32_t next = 0;
+  auto assign = [&](CommunityId c) {
+    for (NodeId v : dendrogram.Members(c)) labels[v] = next;
+    ++next;
+  };
+  for (CommunityId c : frozen) assign(c);
+  while (!heap.empty()) {
+    assign(heap.top());
+    heap.pop();
+  }
+  if (next == 0) {  // degenerate: target 1
+    std::fill(labels.begin(), labels.end(), 0);
+  }
+  return labels;
+}
+
+double Modularity(const Graph& g, std::span<const uint32_t> labels) {
+  COD_CHECK_EQ(labels.size(), g.NumNodes());
+  if (g.NumEdges() == 0) return 0.0;
+  uint32_t num_clusters = 0;
+  for (uint32_t label : labels) {
+    num_clusters = std::max(num_clusters, label + 1);
+  }
+  std::vector<double> intra(num_clusters, 0.0);
+  std::vector<double> degree(num_clusters, 0.0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    if (labels[u] == labels[v]) intra[labels[u]] += 1.0;
+    degree[labels[u]] += 1.0;
+    degree[labels[v]] += 1.0;
+  }
+  const double m = static_cast<double>(g.NumEdges());
+  double q = 0.0;
+  for (uint32_t c = 0; c < num_clusters; ++c) {
+    q += intra[c] / m - (degree[c] / (2.0 * m)) * (degree[c] / (2.0 * m));
+  }
+  return q;
+}
+
+}  // namespace cod

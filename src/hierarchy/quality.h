@@ -1,0 +1,40 @@
+// Quality measures for hierarchies and flat partitions.
+//
+//  * Dasgupta cost — the standard objective for hierarchical clustering
+//    (Dasgupta, STOC'16): cost(T) = sum over edges w(u,v) * |lca_T(u,v)|.
+//    Lower is better; cutting dense areas deep in the tree is rewarded.
+//    The paper's hierarchy choice (average linkage) carries a Dasgupta
+//    approximation guarantee (its citation [45]), so this is the natural
+//    instrument for the linkage ablation.
+//  * Newman modularity — for flat partitions obtained by cutting a
+//    dendrogram (CutToClusters) or any labeling.
+
+#ifndef COD_HIERARCHY_QUALITY_H_
+#define COD_HIERARCHY_QUALITY_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hierarchy/dendrogram.h"
+#include "hierarchy/lca.h"
+
+namespace cod {
+
+// Dasgupta cost of `dendrogram` over `g` (uses edge weights).
+double DasguptaCost(const Graph& g, const Dendrogram& dendrogram,
+                    const LcaIndex& lca);
+
+// Cuts the dendrogram into (at most) `target_clusters` clusters by
+// repeatedly expanding the largest current cluster top-down. Returns a
+// per-node cluster label in [0, count); count <= target_clusters.
+std::vector<uint32_t> CutToClusters(const Dendrogram& dendrogram,
+                                    size_t target_clusters);
+
+// Newman modularity of a labeling: sum over clusters of
+// (intra-edge fraction) - (degree fraction)^2. In [-1/2, 1).
+double Modularity(const Graph& g, std::span<const uint32_t> labels);
+
+}  // namespace cod
+
+#endif  // COD_HIERARCHY_QUALITY_H_

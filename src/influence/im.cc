@@ -1,0 +1,124 @@
+#include "influence/im.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "influence/monte_carlo.h"
+
+namespace cod {
+namespace {
+
+std::vector<NodeId> CandidateNodes(const Graph& g,
+                                   const std::vector<char>* allowed) {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (allowed == nullptr || (*allowed)[v]) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+}  // namespace
+
+ImResult MaximizeInfluenceRis(const DiffusionModel& model, size_t num_seeds,
+                              size_t num_samples, Rng& rng,
+                              const std::vector<char>* allowed) {
+  const Graph& g = model.graph();
+  COD_CHECK(num_seeds >= 1);
+  COD_CHECK(num_samples >= 1);
+  const std::vector<NodeId> candidates = CandidateNodes(g, allowed);
+  COD_CHECK(!candidates.empty());
+
+  // Sample RR sets and build the inverted index node -> RR sets containing
+  // it. Sources are uniform over the candidate universe.
+  RrSampler sampler(model);
+  std::vector<std::vector<uint32_t>> sets_of(g.NumNodes());
+  std::vector<NodeId> scratch;
+  for (uint32_t s = 0; s < num_samples; ++s) {
+    const NodeId source = candidates[rng.UniformInt(candidates.size())];
+    scratch.clear();
+    sampler.SampleSetRestricted(source, allowed, rng, &scratch);
+    for (NodeId v : scratch) sets_of[v].push_back(s);
+  }
+
+  // Greedy maximum coverage with CELF-style lazy gain re-evaluation.
+  std::vector<char> covered(num_samples, 0);
+  std::vector<size_t> gain(g.NumNodes(), 0);
+  // Max-heap of (stale gain, node); gains only decrease, so a popped entry
+  // whose recomputed gain still tops the heap is exactly optimal.
+  std::priority_queue<std::pair<size_t, NodeId>> heap;
+  for (NodeId v : candidates) {
+    gain[v] = sets_of[v].size();
+    heap.emplace(gain[v], v);
+  }
+
+  ImResult result;
+  size_t covered_count = 0;
+  std::vector<char> chosen(g.NumNodes(), 0);
+  while (result.seeds.size() < num_seeds && !heap.empty()) {
+    auto [stale_gain, v] = heap.top();
+    heap.pop();
+    if (chosen[v]) continue;
+    // Recompute the true marginal gain.
+    size_t fresh = 0;
+    for (uint32_t s : sets_of[v]) fresh += !covered[s];
+    if (!heap.empty() && fresh < heap.top().first) {
+      heap.emplace(fresh, v);  // push back with the corrected key
+      continue;
+    }
+    chosen[v] = 1;
+    result.seeds.push_back(v);
+    for (uint32_t s : sets_of[v]) {
+      if (!covered[s]) {
+        covered[s] = 1;
+        ++covered_count;
+      }
+    }
+  }
+  result.estimated_influence = static_cast<double>(covered_count) /
+                               static_cast<double>(num_samples) *
+                               static_cast<double>(candidates.size());
+  return result;
+}
+
+ImResult MaximizeInfluenceGreedyMc(const DiffusionModel& model,
+                                   size_t num_seeds, size_t trials, Rng& rng,
+                                   const std::vector<char>* allowed) {
+  const Graph& g = model.graph();
+  COD_CHECK(num_seeds >= 1);
+  const std::vector<NodeId> candidates = CandidateNodes(g, allowed);
+  COD_CHECK(!candidates.empty());
+  MonteCarloSimulator simulator(model);
+
+  ImResult result;
+  result.estimated_influence = 0.0;
+  std::vector<char> chosen(g.NumNodes(), 0);
+  // CELF: (stale marginal gain, node) max-heap, valid because marginal
+  // gains are monotonically non-increasing under submodularity.
+  std::priority_queue<std::pair<double, NodeId>> heap;
+  for (NodeId v : candidates) {
+    heap.emplace(static_cast<double>(g.NumNodes()), v);  // optimistic init
+  }
+  std::vector<NodeId> with_candidate;
+  double current = 0.0;
+  while (result.seeds.size() < num_seeds && !heap.empty()) {
+    auto [stale, v] = heap.top();
+    heap.pop();
+    if (chosen[v]) continue;
+    with_candidate = result.seeds;
+    with_candidate.push_back(v);
+    const double spread =
+        simulator.EstimateInfluenceOfSet(with_candidate, trials, rng, allowed);
+    const double fresh = spread - current;
+    if (!heap.empty() && fresh < heap.top().first) {
+      heap.emplace(fresh, v);
+      continue;
+    }
+    chosen[v] = 1;
+    result.seeds.push_back(v);
+    current = spread;
+  }
+  result.estimated_influence = current;
+  return result;
+}
+
+}  // namespace cod

@@ -1,0 +1,44 @@
+// Influence maximization (IM): pick `num_seeds` nodes maximizing expected
+// spread under the diffusion model.
+//
+// IM is one of the three research pillars the COD problem connects (paper
+// Sec. II-B) and shares the RR-set machinery with compressed COD evaluation,
+// so it comes almost for free on top of the substrate:
+//
+//  * MaximizeInfluenceRis — reverse influence sampling (Borgs et al. [21],
+//    TIM/IMM-style): sample Theta RR sets, then greedy maximum coverage,
+//    a (1 - 1/e - eps) approximation for the sampled objective.
+//  * MaximizeInfluenceGreedyMc — the classic Kempe-Kleinberg-Tardos greedy
+//    with Monte-Carlo spread estimates and CELF lazy evaluation; O(n * k *
+//    trials) and only practical on small graphs, kept as the reference
+//    implementation for tests.
+
+#ifndef COD_INFLUENCE_IM_H_
+#define COD_INFLUENCE_IM_H_
+
+#include <vector>
+
+#include "influence/rr_graph.h"
+
+namespace cod {
+
+struct ImResult {
+  std::vector<NodeId> seeds;    // in selection order
+  double estimated_influence;  // expected spread of the full seed set
+};
+
+// RIS greedy over `num_samples` RR sets with uniformly random sources.
+// `allowed`, when non-null, restricts both sampling and seed choice to a
+// community (the within-community IM variant COD's setting suggests).
+ImResult MaximizeInfluenceRis(const DiffusionModel& model, size_t num_seeds,
+                              size_t num_samples, Rng& rng,
+                              const std::vector<char>* allowed = nullptr);
+
+// Reference CELF greedy with `trials` Monte-Carlo simulations per estimate.
+ImResult MaximizeInfluenceGreedyMc(const DiffusionModel& model,
+                                   size_t num_seeds, size_t trials, Rng& rng,
+                                   const std::vector<char>* allowed = nullptr);
+
+}  // namespace cod
+
+#endif  // COD_INFLUENCE_IM_H_

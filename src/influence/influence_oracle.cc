@@ -1,0 +1,50 @@
+#include "influence/influence_oracle.h"
+
+namespace cod {
+
+InfluenceOracle::InfluenceOracle(const DiffusionModel& model)
+    : model_(&model),
+      sampler_(model),
+      allowed_(model.graph().NumNodes(), 0),
+      local_(model.graph().NumNodes(), 0) {}
+
+std::vector<uint32_t> InfluenceOracle::CountsWithin(
+    std::span<const NodeId> members, uint32_t theta, Rng& rng) {
+  COD_CHECK(theta > 0);
+  for (size_t i = 0; i < members.size(); ++i) {
+    allowed_[members[i]] = 1;
+    local_[members[i]] = static_cast<uint32_t>(i);
+  }
+  std::vector<uint32_t> counts(members.size(), 0);
+  for (NodeId source : members) {
+    for (uint32_t t = 0; t < theta; ++t) {
+      scratch_set_.clear();
+      sampler_.SampleSetRestricted(source, &allowed_, rng, &scratch_set_);
+      for (NodeId v : scratch_set_) ++counts[local_[v]];
+    }
+  }
+  for (NodeId v : members) allowed_[v] = 0;
+  return counts;
+}
+
+uint32_t InfluenceOracle::RankOf(std::span<const NodeId> members,
+                                 std::span<const uint32_t> counts, NodeId q) {
+  COD_CHECK_EQ(members.size(), counts.size());
+  uint32_t q_count = 0;
+  bool found = false;
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == q) {
+      q_count = counts[i];
+      found = true;
+      break;
+    }
+  }
+  COD_CHECK(found);
+  uint32_t rank = 0;
+  for (uint32_t c : counts) {
+    if (c > q_count) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace cod

@@ -1,0 +1,49 @@
+// Per-community influence estimation by restricted RR sampling.
+//
+// For a community C, sampling theta RR sets from every member (sources
+// stratified over C, traversal confined to C, original edge probabilities)
+// gives count_C(v) = number of RR sets containing v, and
+// sigma_C(v) ~= count_C(v) / theta (Theorems 1-2). Influence *ranks* within
+// C depend only on the raw counts.
+//
+// This is the workhorse of the Independent baseline evaluator and of the
+// top-k precision measurement in the Fig. 8 experiment; the compressed
+// evaluator (core/compressed_eval.h) replaces it with hierarchy-shared
+// samples.
+
+#ifndef COD_INFLUENCE_INFLUENCE_ORACLE_H_
+#define COD_INFLUENCE_INFLUENCE_ORACLE_H_
+
+#include <span>
+#include <vector>
+
+#include "influence/rr_graph.h"
+
+namespace cod {
+
+class InfluenceOracle {
+ public:
+  explicit InfluenceOracle(const DiffusionModel& model);
+
+  // counts[i] = number of restricted RR sets (theta per member as source)
+  // that contain members[i]. Members must be distinct.
+  std::vector<uint32_t> CountsWithin(std::span<const NodeId> members,
+                                     uint32_t theta, Rng& rng);
+
+  // Influence rank of `q` given per-member counts: the number of members
+  // with a strictly larger count (paper's rank_C definition; rank 0 = most
+  // influential). `q` must be in `members`.
+  static uint32_t RankOf(std::span<const NodeId> members,
+                         std::span<const uint32_t> counts, NodeId q);
+
+ private:
+  const DiffusionModel* model_;
+  RrSampler sampler_;
+  std::vector<char> allowed_;
+  std::vector<uint32_t> local_;  // member index per node, valid under mask
+  std::vector<NodeId> scratch_set_;
+};
+
+}  // namespace cod
+
+#endif  // COD_INFLUENCE_INFLUENCE_ORACLE_H_

@@ -1,0 +1,78 @@
+#include "influence/monte_carlo.h"
+
+namespace cod {
+
+MonteCarloSimulator::MonteCarloSimulator(const DiffusionModel& model)
+    : model_(&model),
+      graph_(&model.graph()),
+      active_epoch_(model.graph().NumNodes(), 0),
+      threshold_(model.graph().NumNodes(), 0.0),
+      in_weight_(model.graph().NumNodes(), 0.0),
+      lt_epoch_(model.graph().NumNodes(), 0) {}
+
+size_t MonteCarloSimulator::RunOnce(std::span<const NodeId> seeds, Rng& rng,
+                                    const std::vector<char>* allowed) {
+  ++epoch_;
+  frontier_.clear();
+  size_t activated = 0;
+  for (NodeId seed : seeds) {
+    if (active_epoch_[seed] == epoch_) continue;  // duplicate seed
+    active_epoch_[seed] = epoch_;
+    frontier_.push_back(seed);
+    ++activated;
+  }
+  const bool is_lt = model_->kind() == DiffusionKind::kLinearThreshold;
+
+  size_t head = 0;
+  while (head < frontier_.size()) {
+    const NodeId u = frontier_[head++];
+    for (const AdjEntry& a : graph_->Neighbors(u)) {
+      const NodeId v = a.to;
+      if (allowed != nullptr && !(*allowed)[v]) continue;
+      if (active_epoch_[v] == epoch_) continue;
+      bool fires = false;
+      if (is_lt) {
+        // Lazily draw v's threshold once per trial; v activates when the
+        // accumulated weight of its active in-neighbors crosses it.
+        if (lt_epoch_[v] != epoch_) {
+          lt_epoch_[v] = epoch_;
+          threshold_[v] = rng.UniformDouble();
+          in_weight_[v] = 0.0;
+        }
+        in_weight_[v] += model_->ProbToward(a.edge, v);
+        fires = in_weight_[v] >= threshold_[v];
+      } else {
+        fires = rng.Bernoulli(model_->ProbToward(a.edge, v));
+      }
+      if (fires) {
+        active_epoch_[v] = epoch_;
+        frontier_.push_back(v);
+        ++activated;
+      }
+    }
+  }
+  return activated;
+}
+
+double MonteCarloSimulator::EstimateInfluence(NodeId seed, size_t trials,
+                                              Rng& rng,
+                                              const std::vector<char>* allowed) {
+  const NodeId seeds[1] = {seed};
+  return EstimateInfluenceOfSet(seeds, trials, rng, allowed);
+}
+
+double MonteCarloSimulator::EstimateInfluenceOfSet(
+    std::span<const NodeId> seeds, size_t trials, Rng& rng,
+    const std::vector<char>* allowed) {
+  COD_CHECK(trials > 0);
+  COD_CHECK(!seeds.empty());
+  for (NodeId seed : seeds) {
+    COD_CHECK(seed < graph_->NumNodes());
+    if (allowed != nullptr) COD_CHECK((*allowed)[seed]);
+  }
+  size_t total = 0;
+  for (size_t t = 0; t < trials; ++t) total += RunOnce(seeds, rng, allowed);
+  return static_cast<double>(total) / static_cast<double>(trials);
+}
+
+}  // namespace cod

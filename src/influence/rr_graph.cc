@@ -1,0 +1,127 @@
+#include "influence/rr_graph.h"
+
+namespace cod {
+
+RrSampler::RrSampler(const DiffusionModel& model)
+    : model_(&model),
+      graph_(&model.graph()),
+      visit_epoch_(model.graph().NumNodes(), 0),
+      local_index_(model.graph().NumNodes(), 0) {}
+
+template <bool kRestricted, bool kRecordEdges>
+void RrSampler::SampleImpl(NodeId source, const std::vector<char>* allowed,
+                           Rng& rng, RrGraph* graph_out,
+                           std::vector<NodeId>* set_out) {
+  COD_DCHECK(source < graph_->NumNodes());
+  if constexpr (kRestricted) COD_DCHECK((*allowed)[source]);
+  ++epoch_;
+
+  auto visit = [&](NodeId v) -> uint32_t {
+    visit_epoch_[v] = epoch_;
+    uint32_t local = 0;
+    if constexpr (kRecordEdges) {
+      local = static_cast<uint32_t>(graph_out->nodes.size());
+      local_index_[v] = local;
+      graph_out->nodes.push_back(v);
+    } else {
+      set_out->push_back(v);
+    }
+    return local;
+  };
+
+  if constexpr (kRecordEdges) {
+    graph_out->Clear();
+    graph_out->source = source;
+  }
+  visit(source);
+
+  const bool is_lt = model_->kind() == DiffusionKind::kLinearThreshold;
+  // BFS by position: nodes are appended in discovery order and processed in
+  // the same order, so (for kRecordEdges) CSR rows line up with `nodes`.
+  size_t head = 0;
+  frontier_.clear();
+  if constexpr (!kRecordEdges) frontier_.push_back(source);
+  while (true) {
+    NodeId v;
+    if constexpr (kRecordEdges) {
+      if (head >= graph_out->nodes.size()) break;
+      v = graph_out->nodes[head];
+      graph_out->offsets.push_back(
+          static_cast<uint32_t>(graph_out->neighbors.size()));
+    } else {
+      if (head >= frontier_.size()) break;
+      v = frontier_[head];
+    }
+    ++head;
+
+    if (is_lt) {
+      // LT possible world: at most one live in-edge, chosen with probability
+      // proportional to its weight (weights of a node sum to <= 1).
+      double r = rng.UniformDouble();
+      for (const AdjEntry& a : graph_->Neighbors(v)) {
+        if constexpr (kRestricted) {
+          if (!(*allowed)[a.to]) continue;
+        }
+        r -= model_->ProbToward(a.edge, v);
+        if (r < 0.0) {
+          const NodeId u = a.to;
+          if (visit_epoch_[u] != epoch_) {
+            visit(u);
+            if constexpr (!kRecordEdges) frontier_.push_back(u);
+          }
+          if constexpr (kRecordEdges) {
+            graph_out->neighbors.push_back(local_index_[u]);
+          }
+          break;
+        }
+      }
+    } else {
+      // IC: independent coin for every in-edge of v (live edges recorded
+      // even when the other endpoint is already active; see header).
+      for (const AdjEntry& a : graph_->Neighbors(v)) {
+        if constexpr (kRestricted) {
+          if (!(*allowed)[a.to]) continue;
+        }
+        if (!rng.Bernoulli(model_->ProbToward(a.edge, v))) continue;
+        const NodeId u = a.to;
+        if (visit_epoch_[u] != epoch_) {
+          visit(u);
+          if constexpr (!kRecordEdges) frontier_.push_back(u);
+        }
+        if constexpr (kRecordEdges) {
+          graph_out->neighbors.push_back(local_index_[u]);
+        }
+      }
+    }
+  }
+  if constexpr (kRecordEdges) {
+    graph_out->offsets.push_back(
+        static_cast<uint32_t>(graph_out->neighbors.size()));
+  }
+}
+
+void RrSampler::Sample(NodeId source, Rng& rng, RrGraph* out) {
+  SampleImpl</*kRestricted=*/false, /*kRecordEdges=*/true>(source, nullptr,
+                                                           rng, out, nullptr);
+}
+
+void RrSampler::SampleRestricted(NodeId source,
+                                 const std::vector<char>& allowed, Rng& rng,
+                                 RrGraph* out) {
+  SampleImpl</*kRestricted=*/true, /*kRecordEdges=*/true>(source, &allowed,
+                                                          rng, out, nullptr);
+}
+
+void RrSampler::SampleSetRestricted(NodeId source,
+                                    const std::vector<char>* allowed, Rng& rng,
+                                    std::vector<NodeId>* out) {
+  if (allowed == nullptr) {
+    SampleImpl</*kRestricted=*/false, /*kRecordEdges=*/false>(
+        source, nullptr, rng, nullptr, out);
+  } else {
+    SampleImpl</*kRestricted=*/true, /*kRecordEdges=*/false>(source, allowed,
+                                                             rng, nullptr, out);
+  }
+}
+
+}  // namespace cod

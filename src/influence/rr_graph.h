@@ -1,0 +1,90 @@
+// Reverse-reachable (RR) graph sampling (paper Definitions 2 and 3).
+//
+// An RR *set* from source s is the set of nodes that reach s in a sampled
+// possible world; an RR *graph* additionally keeps the sampled live edges so
+// that, for any community C, the subgraph induced on C answers "does v reach
+// s inside C?" — the key to sharing one sample across the whole hierarchy
+// (Theorem 2).
+//
+// Correctness requirement (DESIGN.md note 1): for every *reached* node v, the
+// coin of every in-edge (u -> v) must be flipped and, when live, recorded —
+// even when u is already active. Recording only BFS tree edges would break
+// induced reachability.
+//
+// For the LT model a node's possible world has at most one live in-edge,
+// picked with probability proportional to its weight; restriction to a
+// community composes the same way, so the shared traversal logic is reused.
+
+#ifndef COD_INFLUENCE_RR_GRAPH_H_
+#define COD_INFLUENCE_RR_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "influence/cascade_model.h"
+
+namespace cod {
+
+// One sampled RR graph; node 0 of the local index space is the source.
+// `neighbors[offsets[i]..offsets[i+1])` are local indices of nodes u such
+// that the live edge (u -> nodes[i]) was sampled: traversing these spans
+// walks *away* from the source along reversed live edges.
+struct RrGraph {
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> nodes;
+  std::vector<uint32_t> offsets;
+  std::vector<uint32_t> neighbors;
+
+  size_t NumNodes() const { return nodes.size(); }
+  size_t NumEdges() const { return neighbors.size(); }
+  std::span<const uint32_t> NeighborsOf(uint32_t local) const {
+    return {neighbors.data() + offsets[local],
+            offsets[local + 1] - offsets[local]};
+  }
+
+  void Clear() {
+    source = kInvalidNode;
+    nodes.clear();
+    offsets.clear();
+    neighbors.clear();
+  }
+};
+
+// Samples RR graphs / RR sets under a DiffusionModel. Owns scratch buffers,
+// so one sampler should be reused across many samples; not thread-safe.
+class RrSampler {
+ public:
+  explicit RrSampler(const DiffusionModel& model);
+
+  // Samples a full RR graph from `source` into `out` (buffers reused).
+  void Sample(NodeId source, Rng& rng, RrGraph* out);
+
+  // Samples an RR graph restricted to nodes with `allowed[v] != 0`
+  // (`source` must be allowed). Edge coins use the *original* graph's
+  // probabilities, which is exactly the induced-community process of Thm 2.
+  void SampleRestricted(NodeId source, const std::vector<char>& allowed,
+                        Rng& rng, RrGraph* out);
+
+  // Cheaper variant when only the reached node set is needed (no edges).
+  // Appends reached nodes (including `source`) to `out`.
+  void SampleSetRestricted(NodeId source, const std::vector<char>* allowed,
+                           Rng& rng, std::vector<NodeId>* out);
+
+ private:
+  template <bool kRestricted, bool kRecordEdges>
+  void SampleImpl(NodeId source, const std::vector<char>* allowed, Rng& rng,
+                  RrGraph* graph_out, std::vector<NodeId>* set_out);
+
+  const DiffusionModel* model_;
+  const Graph* graph_;
+  // Epoch-marked visit stamps avoid O(|V|) clears per sample.
+  std::vector<uint32_t> visit_epoch_;
+  std::vector<uint32_t> local_index_;
+  uint32_t epoch_ = 0;
+  std::vector<NodeId> frontier_;
+};
+
+}  // namespace cod
+
+#endif  // COD_INFLUENCE_RR_GRAPH_H_

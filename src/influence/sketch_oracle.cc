@@ -1,0 +1,117 @@
+#include "influence/sketch_oracle.h"
+
+#include <algorithm>
+
+namespace cod {
+namespace {
+
+// Per-node bottom-k accumulator over one world. Ranks arrive in strictly
+// increasing order (nodes are processed by ascending rank), so insertion is
+// an append until the sketch is full.
+struct Sketch {
+  uint32_t count = 0;     // inserted ranks (saturates at k)
+  double kth_rank = 0.0;  // valid when count == k
+};
+
+}  // namespace
+
+std::vector<double> SketchInfluence(const DiffusionModel& model,
+                                    const SketchOptions& options, Rng& rng) {
+  const Graph& g = model.graph();
+  const size_t n = g.NumNodes();
+  COD_CHECK(options.num_worlds >= 1);
+  COD_CHECK(options.sketch_size >= 2);
+  const uint32_t k = static_cast<uint32_t>(options.sketch_size);
+  const bool is_lt = model.kind() == DiffusionKind::kLinearThreshold;
+
+  std::vector<double> total(n, 0.0);
+
+  // Reverse adjacency of the live world: rev[v] = nodes u with live u -> v
+  // stored CSR-style (rebuilt per world).
+  std::vector<uint32_t> rev_offsets(n + 1);
+  std::vector<NodeId> rev_targets;
+  std::vector<std::pair<double, NodeId>> by_rank(n);
+  std::vector<Sketch> sketch(n);
+  std::vector<NodeId> frontier;
+  std::vector<uint32_t> visit_epoch(n, 0);
+  uint32_t epoch = 0;
+
+  // Scratch for live-edge sampling: for node v, the live in-edges point
+  // FROM rev sources; we need reverse-of-influence edges, i.e., for the
+  // pruned reverse BFS we walk from u to nodes that can reach u: those are
+  // predecessors in the influence direction, so we need in-edges of the
+  // influence DAG = rev adjacency below.
+  std::vector<std::pair<NodeId, NodeId>> live;  // (from, to) influence edges
+
+  for (size_t world = 0; world < options.num_worlds; ++world) {
+    live.clear();
+    if (is_lt) {
+      for (NodeId v = 0; v < n; ++v) {
+        double r = rng.UniformDouble();
+        for (const AdjEntry& a : g.Neighbors(v)) {
+          r -= model.ProbToward(a.edge, v);
+          if (r < 0.0) {
+            live.emplace_back(a.to, v);
+            break;
+          }
+        }
+      }
+    } else {
+      for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+        const auto [lo, hi] = g.Endpoints(e);
+        if (rng.Bernoulli(model.ProbToward(e, hi))) live.emplace_back(lo, hi);
+        if (rng.Bernoulli(model.ProbToward(e, lo))) live.emplace_back(hi, lo);
+      }
+    }
+
+    // CSR of predecessors: for influence edge (from, to), `from` reaches
+    // whatever `to` reaches, so the pruned BFS from a target u must expand
+    // to u's influence-predecessors.
+    std::fill(rev_offsets.begin(), rev_offsets.end(), 0);
+    for (const auto& [from, to] : live) ++rev_offsets[to + 1];
+    for (size_t i = 1; i <= n; ++i) rev_offsets[i] += rev_offsets[i - 1];
+    rev_targets.resize(live.size());
+    {
+      std::vector<uint32_t> cursor(rev_offsets.begin(), rev_offsets.end() - 1);
+      for (const auto& [from, to] : live) {
+        rev_targets[cursor[to]++] = from;
+      }
+    }
+
+    // Random ranks, processed ascending with pruned reverse BFS.
+    for (NodeId v = 0; v < n; ++v) by_rank[v] = {rng.UniformDouble(), v};
+    std::sort(by_rank.begin(), by_rank.end());
+    for (Sketch& s : sketch) s = Sketch{};
+
+    for (const auto& [rank, u] : by_rank) {
+      ++epoch;
+      frontier.assign(1, u);
+      visit_epoch[u] = epoch;
+      for (size_t head = 0; head < frontier.size(); ++head) {
+        const NodeId w = frontier[head];
+        Sketch& s = sketch[w];
+        if (s.count >= k) continue;  // full: all predecessors already full
+        ++s.count;
+        if (s.count == k) s.kth_rank = rank;
+        for (uint32_t i = rev_offsets[w]; i < rev_offsets[w + 1]; ++i) {
+          const NodeId p = rev_targets[i];
+          if (visit_epoch[p] != epoch) {
+            visit_epoch[p] = epoch;
+            frontier.push_back(p);
+          }
+        }
+      }
+    }
+
+    for (NodeId v = 0; v < n; ++v) {
+      const Sketch& s = sketch[v];
+      total[v] += s.count < k
+                      ? static_cast<double>(s.count)
+                      : static_cast<double>(k - 1) / s.kth_rank;
+    }
+  }
+  for (double& x : total) x /= static_cast<double>(options.num_worlds);
+  return total;
+}
+
+}  // namespace cod

@@ -1,0 +1,37 @@
+// Bottom-k reachability-sketch influence oracle (Cohen et al., SKIM-style).
+//
+// A second, independent estimator for *global* influence, complementing the
+// RR-set machinery: sample W live-edge worlds; in each world assign every
+// node a uniform random rank and compute, per node, the bottom-k set of the
+// smallest ranks among the nodes it reaches. The classic bottom-k cardinality
+// estimator (k - 1) / (k-th smallest rank) then recovers each node's
+// per-world reachable-set size, and averaging over worlds estimates
+// sigma(v).
+//
+// Unlike RR counting, the sketch gives ALL nodes' influences from the same
+// W world samples (useful as node weights for ICS or promoter shortlists),
+// at the cost of O(W * (|E| + |V| k log k)) preprocessing and community-
+// obliviousness (global influence only).
+
+#ifndef COD_INFLUENCE_SKETCH_ORACLE_H_
+#define COD_INFLUENCE_SKETCH_ORACLE_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "influence/cascade_model.h"
+
+namespace cod {
+
+struct SketchOptions {
+  size_t num_worlds = 64;
+  size_t sketch_size = 32;  // k of bottom-k
+};
+
+// Estimated global influence of every node.
+std::vector<double> SketchInfluence(const DiffusionModel& model,
+                                    const SketchOptions& options, Rng& rng);
+
+}  // namespace cod
+
+#endif  // COD_INFLUENCE_SKETCH_ORACLE_H_

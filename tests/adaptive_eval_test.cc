@@ -1,0 +1,92 @@
+#include "core/adaptive_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "hierarchy/agglomerative.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(AdaptiveEvalTest, DeterministicWorldStopsEarly) {
+  // p = 1: every round reports the identical best level, so the evaluator
+  // stops after exactly stable_rounds + 1 rounds.
+  const auto ex = testing::MakePaperExample();
+  const DiffusionModel m = DiffusionModel::UniformIc(ex.graph, 1.0);
+  AdaptiveOptions options;
+  options.initial_theta = 2;
+  options.max_theta = 64;
+  options.stable_rounds = 2;
+  AdaptiveEvaluator evaluator(m, options);
+  Rng rng(1);
+  const CodChain chain = BuildChainFromDendrogram(ex.dendrogram, 0);
+  const AdaptiveOutcome result = evaluator.Evaluate(chain, 0, 1, rng);
+  EXPECT_EQ(result.rounds, 3);
+  EXPECT_EQ(result.final_theta, 8u);
+  EXPECT_EQ(result.outcome.best_level,
+            static_cast<int>(chain.NumLevels()) - 1);
+}
+
+TEST(AdaptiveEvalTest, RespectsBudget) {
+  Rng gen_rng(2);
+  const Graph g = EnsureConnected(ErdosRenyi(80, 240, gen_rng), gen_rng);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  AdaptiveOptions options;
+  options.initial_theta = 1;
+  options.max_theta = 4;
+  options.stable_rounds = 50;  // unreachable: budget must stop it
+  AdaptiveEvaluator evaluator(m, options);
+  Rng rng(3);
+  const CodChain chain = BuildChainFromDendrogram(d, 0);
+  const AdaptiveOutcome result = evaluator.Evaluate(chain, 0, 5, rng);
+  EXPECT_LE(result.final_theta, 4u);
+  EXPECT_EQ(result.rounds, 3);  // theta = 1, 2, 4
+}
+
+TEST(AdaptiveEvalTest, AgreesWithFixedThetaInSeparatedInstances) {
+  // Star hub: the decision is unambiguous, so adaptive and a large fixed
+  // theta must land on the same community.
+  GraphBuilder b(12);
+  for (NodeId v = 1; v < 8; ++v) b.AddEdge(0, v);
+  for (NodeId u = 8; u < 12; ++u) {
+    for (NodeId v = u + 1; v < 12; ++v) b.AddEdge(u, v);
+  }
+  b.AddEdge(7, 8);
+  const Graph g = std::move(b).Build();
+  const Dendrogram d = AgglomerativeCluster(g);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  const CodChain chain = BuildChainFromDendrogram(d, 0);
+
+  AdaptiveOptions options;
+  options.initial_theta = 20;
+  options.max_theta = 640;
+  AdaptiveEvaluator adaptive(m, options);
+  CompressedEvaluator fixed(m, 2000);
+  Rng rng1(4);
+  Rng rng2(5);
+  const AdaptiveOutcome a = adaptive.Evaluate(chain, 0, 1, rng1);
+  const ChainEvalOutcome f = fixed.Evaluate(chain, 0, 1, rng2);
+  EXPECT_EQ(a.outcome.best_level, f.best_level);
+}
+
+TEST(AdaptiveEvalTest, FinalThetaGrowsWithAmbiguity) {
+  // Clique: everyone ties, rank estimates flap near the boundary; adaptive
+  // should spend more rounds than in the deterministic world.
+  const Graph g = testing::MakeClique(12);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  AdaptiveOptions options;
+  options.initial_theta = 2;
+  options.max_theta = 256;
+  options.stable_rounds = 3;
+  AdaptiveEvaluator evaluator(m, options);
+  Rng rng(6);
+  const CodChain chain = BuildChainFromDendrogram(d, 0);
+  const AdaptiveOutcome result = evaluator.Evaluate(chain, 0, 1, rng);
+  EXPECT_GE(result.rounds, 4);  // at least stable_rounds + 1
+}
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,205 @@
+#include "hierarchy/agglomerative.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+// Checks the structural invariants every clustering must satisfy.
+void ExpectValidDendrogram(const Dendrogram& d, size_t n) {
+  EXPECT_EQ(d.NumLeaves(), n);
+  EXPECT_EQ(d.LeafCount(d.Root()), n);
+  for (CommunityId c = 0; c < d.NumVertices(); ++c) {
+    if (c == d.Root()) {
+      EXPECT_EQ(d.Parent(c), kInvalidCommunity);
+    } else {
+      const CommunityId p = d.Parent(c);
+      ASSERT_NE(p, kInvalidCommunity);
+      EXPECT_TRUE(d.IsAncestorOrSelf(p, c));
+      EXPECT_EQ(d.Depth(c), d.Depth(p) + 1);
+    }
+  }
+}
+
+TEST(AgglomerativeTest, SingleNode) {
+  GraphBuilder b(1);
+  const Graph g = std::move(b).Build();
+  const Dendrogram d = AgglomerativeCluster(g);
+  EXPECT_EQ(d.NumLeaves(), 1u);
+}
+
+TEST(AgglomerativeTest, TwoNodes) {
+  const Graph g = testing::MakePath(2);
+  const Dendrogram d = AgglomerativeCluster(g);
+  ExpectValidDendrogram(d, 2);
+  EXPECT_EQ(d.NumVertices(), 3u);
+}
+
+TEST(AgglomerativeTest, CliquesMergeBeforeBridge) {
+  // Average linkage merges the dense cliques fully before crossing the
+  // bridge: the top split must separate {0..3} from {4..7}.
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const Dendrogram d = AgglomerativeCluster(g);
+  ExpectValidDendrogram(d, 8);
+  const auto kids = d.Children(d.Root());
+  ASSERT_EQ(kids.size(), 2u);
+  std::vector<NodeId> side_a(d.Members(kids[0]).begin(),
+                             d.Members(kids[0]).end());
+  std::sort(side_a.begin(), side_a.end());
+  const std::vector<NodeId> left{0, 1, 2, 3};
+  const std::vector<NodeId> right{4, 5, 6, 7};
+  EXPECT_TRUE(side_a == left || side_a == right);
+}
+
+TEST(AgglomerativeTest, BinaryForConnectedGraph) {
+  const Graph g = testing::MakeClique(6);
+  const Dendrogram d = AgglomerativeCluster(g);
+  EXPECT_EQ(d.NumVertices(), 11u);  // 2n-1 for a binary tree
+  for (CommunityId c = 0; c < d.NumVertices(); ++c) {
+    if (!d.IsLeaf(c)) {
+      EXPECT_EQ(d.Children(c).size(), 2u);
+    }
+  }
+}
+
+TEST(AgglomerativeTest, DisconnectedComponentsJoinedAtRoot) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  const Graph g = std::move(b).Build();
+  const Dendrogram d = AgglomerativeCluster(g);
+  ExpectValidDendrogram(d, 6);
+  // Root joins the two component roots.
+  EXPECT_EQ(d.Children(d.Root()).size(), 2u);
+}
+
+TEST(AgglomerativeTest, WeightsSteerMerges) {
+  // Triangle-free path 0-1-2 with a heavy (1,2) edge: first merge is {1,2}.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 10.0);
+  const Graph g = std::move(b).Build();
+  const Dendrogram d = AgglomerativeCluster(g);
+  const CommunityId first = 3;  // first internal vertex created
+  std::vector<NodeId> members(d.Members(first).begin(),
+                              d.Members(first).end());
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(AgglomerativeTest, SingleLinkageFollowsHeaviestEdges) {
+  // Path 0-1-2-3 with weights 5, 1, 5: single linkage merges (0,1) and
+  // (2,3) first regardless of cluster sizes.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 5.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(2, 3, 5.0);
+  const Graph g = std::move(b).Build();
+  AgglomerativeOptions options;
+  options.linkage = Linkage::kSingle;
+  const Dendrogram d = AgglomerativeCluster(g, options);
+  ExpectValidDendrogram(d, 4);
+  const auto kids = d.Children(d.Root());
+  ASSERT_EQ(kids.size(), 2u);
+  std::vector<NodeId> side(d.Members(kids[0]).begin(),
+                           d.Members(kids[0]).end());
+  std::sort(side.begin(), side.end());
+  EXPECT_TRUE(side == (std::vector<NodeId>{0, 1}) ||
+              side == (std::vector<NodeId>{2, 3}));
+}
+
+TEST(AgglomerativeTest, SingleLinkageChainsThroughDensity) {
+  // Single linkage is famous for chaining: on a uniform-weight path it can
+  // produce any order, but it must still yield a valid hierarchy.
+  const Graph g = testing::MakePath(16);
+  AgglomerativeOptions options;
+  options.linkage = Linkage::kSingle;
+  ExpectValidDendrogram(AgglomerativeCluster(g, options), 16);
+}
+
+TEST(AgglomerativeTest, WeightedAverageValidAndSeparatesCliques) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  AgglomerativeOptions options;
+  options.linkage = Linkage::kWeightedAverage;
+  const Dendrogram d = AgglomerativeCluster(g, options);
+  ExpectValidDendrogram(d, 8);
+  const auto kids = d.Children(d.Root());
+  ASSERT_EQ(kids.size(), 2u);
+  std::vector<NodeId> side(d.Members(kids[0]).begin(),
+                           d.Members(kids[0]).end());
+  std::sort(side.begin(), side.end());
+  EXPECT_TRUE(side == (std::vector<NodeId>{0, 1, 2, 3}) ||
+              side == (std::vector<NodeId>{4, 5, 6, 7}));
+}
+
+TEST(AgglomerativeTest, LinkagesProduceDifferentTreesWhenTheyShould) {
+  // Star with one heavy satellite pair: UPGMA's size normalization and
+  // single linkage disagree about when the pair joins the hub cluster.
+  GraphBuilder b(6);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(0, 2, 1.0);
+  b.AddEdge(0, 3, 1.0);
+  b.AddEdge(3, 4, 0.9);
+  b.AddEdge(4, 5, 0.8);
+  const Graph g = std::move(b).Build();
+  AgglomerativeOptions upgma;
+  AgglomerativeOptions single;
+  single.linkage = Linkage::kSingle;
+  const Dendrogram a = AgglomerativeCluster(g, upgma);
+  const Dendrogram c = AgglomerativeCluster(g, single);
+  ExpectValidDendrogram(a, 6);
+  ExpectValidDendrogram(c, 6);
+}
+
+TEST(AgglomerativeTest, DeterministicAcrossRuns) {
+  Rng rng(3);
+  const Graph g = ErdosRenyi(120, 400, rng);
+  const Dendrogram a = AgglomerativeCluster(g);
+  const Dendrogram b = AgglomerativeCluster(g);
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  for (CommunityId c = 0; c < a.NumVertices(); ++c) {
+    EXPECT_EQ(a.Parent(c), b.Parent(c));
+  }
+}
+
+class AgglomerativeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AgglomerativeRandomTest, ValidOnRandomGraphs) {
+  Rng rng(GetParam());
+  const size_t n = 50 + rng.UniformInt(150);
+  const Graph g = EnsureConnected(ErdosRenyi(n, 3 * n, rng), rng);
+  const Dendrogram d = AgglomerativeCluster(g);
+  ExpectValidDendrogram(d, n);
+  // Every node's path reaches the root.
+  for (NodeId v = 0; v < n; ++v) {
+    const auto path = d.PathToRoot(v);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back(), d.Root());
+  }
+}
+
+TEST_P(AgglomerativeRandomTest, ValidOnPlantedPartitions) {
+  Rng rng(GetParam() + 1000);
+  HppParams params;
+  params.num_nodes = 200;
+  params.num_edges = 700;
+  params.levels = 2;
+  params.fanout = 3;
+  const GeneratedGraph gen = HierarchicalPlantedPartition(params, rng);
+  const Dendrogram d = AgglomerativeCluster(gen.graph);
+  ExpectValidDendrogram(d, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AgglomerativeRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,103 @@
+#include "baselines/atc.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+AttributeTable UniformAttr(size_t n, const char* name) {
+  AttributeTableBuilder b;
+  for (NodeId v = 0; v < n; ++v) b.Add(v, name);
+  return std::move(b).Build(n);
+}
+
+TEST(AtcTest, FindsTrussAroundQuery) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const AttributeTable attrs = UniformAttr(8, "X");
+  const std::vector<NodeId> community = AtcSearch(g, attrs, 0, attrs.Find("X"));
+  // Query's clique is the 4-truss within distance 2.
+  EXPECT_EQ(community, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(AtcTest, CommunityContainsQuery) {
+  const auto ex = testing::MakePaperExample();
+  const AttributeTable attrs = testing::MakePaperAttributes();
+  for (NodeId q = 0; q < 10; ++q) {
+    const auto node_attrs = attrs.AttributesOf(q);
+    if (node_attrs.empty()) continue;
+    const std::vector<NodeId> community =
+        AtcSearch(ex.graph, attrs, q, node_attrs[0]);
+    if (community.empty()) continue;  // q may close no triangle
+    EXPECT_TRUE(std::binary_search(community.begin(), community.end(), q));
+  }
+}
+
+TEST(AtcTest, NoTriangleMeansEmpty) {
+  const Graph g = testing::MakePath(5);
+  const AttributeTable attrs = UniformAttr(5, "X");
+  EXPECT_TRUE(AtcSearch(g, attrs, 2, attrs.Find("X")).empty());
+}
+
+TEST(AtcTest, PeelingPrefersAttributeHolders) {
+  // Clique of 6 where {0,1,2} carry "X": peeling should discard some
+  // non-holders and never drop the query, improving the attribute score.
+  const Graph g = testing::MakeClique(6);
+  AttributeTableBuilder ab;
+  ab.Add(0, "X");
+  ab.Add(1, "X");
+  ab.Add(2, "X");
+  ab.Add(3, "Y");
+  ab.Add(4, "Y");
+  ab.Add(5, "Y");
+  const AttributeTable attrs = std::move(ab).Build(6);
+  AtcOptions options;
+  options.k = 3;  // keep the truss constraint satisfiable after peeling
+  const std::vector<NodeId> community =
+      AtcSearch(g, attrs, 0, attrs.Find("X"), options);
+  ASSERT_FALSE(community.empty());
+  EXPECT_TRUE(std::binary_search(community.begin(), community.end(), 0u));
+  // The attribute score of the result is at least the full clique's 9/6.
+  size_t holders = 0;
+  for (NodeId v : community) holders += v <= 2;
+  const double score = static_cast<double>(holders) * holders /
+                       static_cast<double>(community.size());
+  EXPECT_GE(score, 1.5);
+}
+
+TEST(AtcTest, DistanceBoundRestricts) {
+  // Query triangle chained far from another clique: with d=1 only the
+  // immediate triangle is reachable.
+  GraphBuilder b(8);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  for (NodeId u = 4; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) b.AddEdge(u, v);
+  }
+  const Graph g = std::move(b).Build();
+  const AttributeTable attrs = UniformAttr(8, "X");
+  AtcOptions options;
+  options.d = 1;
+  const std::vector<NodeId> community =
+      AtcSearch(g, attrs, 0, attrs.Find("X"), options);
+  EXPECT_EQ(community, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(AtcTest, ExplicitKRespected) {
+  const Graph g = testing::MakeClique(5);
+  const AttributeTable attrs = UniformAttr(5, "X");
+  AtcOptions options;
+  options.k = 5;
+  const std::vector<NodeId> community =
+      AtcSearch(g, attrs, 0, attrs.Find("X"), options);
+  EXPECT_EQ(community.size(), 5u);
+}
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,73 @@
+#include "graph/attributes.h"
+
+#include <gtest/gtest.h>
+
+namespace cod {
+namespace {
+
+TEST(AttributeTableTest, InternIsStable) {
+  AttributeTableBuilder b;
+  const AttributeId db = b.Intern("DB");
+  const AttributeId ir = b.Intern("IR");
+  EXPECT_NE(db, ir);
+  EXPECT_EQ(b.Intern("DB"), db);
+}
+
+TEST(AttributeTableTest, BuildAndLookup) {
+  AttributeTableBuilder b;
+  b.Add(0, "DB");
+  b.Add(0, "IR");
+  b.Add(2, "DB");
+  const AttributeTable t = std::move(b).Build(4);
+  EXPECT_EQ(t.NumNodes(), 4u);
+  EXPECT_EQ(t.NumAttributes(), 2u);
+  const AttributeId db = t.Find("DB");
+  const AttributeId ir = t.Find("IR");
+  ASSERT_NE(db, kInvalidAttribute);
+  ASSERT_NE(ir, kInvalidAttribute);
+  EXPECT_TRUE(t.Has(0, db));
+  EXPECT_TRUE(t.Has(0, ir));
+  EXPECT_FALSE(t.Has(1, db));
+  EXPECT_TRUE(t.Has(2, db));
+  EXPECT_FALSE(t.Has(2, ir));
+  EXPECT_TRUE(t.AttributesOf(3).empty());
+}
+
+TEST(AttributeTableTest, FindUnknownReturnsInvalid) {
+  AttributeTableBuilder b;
+  b.Add(0, "X");
+  const AttributeTable t = std::move(b).Build(1);
+  EXPECT_EQ(t.Find("missing"), kInvalidAttribute);
+}
+
+TEST(AttributeTableTest, DuplicatePairsCollapse) {
+  AttributeTableBuilder b;
+  b.Add(1, "A");
+  b.Add(1, "A");
+  b.Add(1, "A");
+  const AttributeTable t = std::move(b).Build(2);
+  EXPECT_EQ(t.AttributesOf(1).size(), 1u);
+}
+
+TEST(AttributeTableTest, AttributesOfIsSorted) {
+  AttributeTableBuilder b;
+  // Intern in one order, attach in another.
+  b.Intern("z");
+  b.Intern("a");
+  b.Add(0, "a");
+  b.Add(0, "z");
+  const AttributeTable t = std::move(b).Build(1);
+  const auto attrs = t.AttributesOf(0);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_LT(attrs[0], attrs[1]);
+}
+
+TEST(AttributeTableTest, NamesRoundTrip) {
+  AttributeTableBuilder b;
+  const AttributeId x = b.Intern("hello");
+  const AttributeTable t = std::move(b).Build(0);
+  EXPECT_EQ(t.Name(x), "hello");
+}
+
+}  // namespace
+}  // namespace cod

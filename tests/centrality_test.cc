@@ -1,0 +1,67 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(PageRankTest, SumsToOne) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const std::vector<double> pr = PageRank(g);
+  const double sum = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SymmetryOnRegularGraphs) {
+  // Clique: every node identical.
+  const Graph g = testing::MakeClique(6);
+  const std::vector<double> pr = PageRank(g);
+  for (double p : pr) EXPECT_NEAR(p, 1.0 / 6.0, 1e-9);
+}
+
+TEST(PageRankTest, HubDominatesStar) {
+  GraphBuilder b(6);
+  for (NodeId v = 1; v < 6; ++v) b.AddEdge(0, v);
+  const Graph g = std::move(b).Build();
+  const std::vector<double> pr = PageRank(g);
+  for (NodeId v = 1; v < 6; ++v) {
+    EXPECT_GT(pr[0], pr[v]);
+    EXPECT_NEAR(pr[v], pr[1], 1e-12);  // leaves identical
+  }
+  // Known closed form for an undirected star: hub mass
+  // = (1-d)/n + d * (leaf mass sum); verify the fixed point numerically.
+  const double d = 0.85;
+  EXPECT_NEAR(pr[0], (1.0 - d) / 6.0 + d * 5.0 * pr[1], 1e-6);
+}
+
+TEST(PageRankTest, IsolatedNodesKeepTeleportMass) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph g = std::move(b).Build();
+  const std::vector<double> pr = PageRank(g);
+  EXPECT_NEAR(std::accumulate(pr.begin(), pr.end(), 0.0), 1.0, 1e-9);
+  EXPECT_GT(pr[0], pr[2]);
+}
+
+TEST(PageRankTest, WeightsSteerMass) {
+  // Path 0-1-2 where (1,2) is heavy: node 2 outranks node 0.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 10.0);
+  const Graph g = std::move(b).Build();
+  const std::vector<double> pr = PageRank(g);
+  EXPECT_GT(pr[2], pr[0]);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  const Graph g = GraphBuilder(0).Build();
+  EXPECT_TRUE(PageRank(g).empty());
+}
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,97 @@
+#include "core/cod_chain.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(CodChainTest, PaperExampleChainForV0) {
+  const auto ex = testing::MakePaperExample();
+  const CodChain chain = BuildChainFromDendrogram(ex.dendrogram, 0);
+  // H(v0) = {C0, C3, C4, C6} with sizes 4, 6, 8, 10.
+  ASSERT_EQ(chain.NumLevels(), 4u);
+  EXPECT_EQ(chain.community_size,
+            (std::vector<uint32_t>{4, 6, 8, 10}));
+  EXPECT_EQ(chain.universe.size(), 10u);
+  EXPECT_EQ(chain.level[0], 0u);
+  EXPECT_EQ(chain.level[3], 0u);
+  EXPECT_EQ(chain.level[6], 1u);
+  EXPECT_EQ(chain.level[7], 1u);
+  EXPECT_EQ(chain.level[4], 2u);
+  EXPECT_EQ(chain.level[5], 2u);
+  EXPECT_EQ(chain.level[8], 3u);
+  EXPECT_EQ(chain.level[9], 3u);
+}
+
+TEST(CodChainTest, MembersOfLevelMatchesDendrogram) {
+  const auto ex = testing::MakePaperExample();
+  const CodChain chain = BuildChainFromDendrogram(ex.dendrogram, 0);
+  for (uint32_t h = 0; h < chain.NumLevels(); ++h) {
+    std::vector<NodeId> members = chain.MembersOfLevel(h);
+    std::sort(members.begin(), members.end());
+    const auto path = ex.dendrogram.PathToRoot(0);
+    std::vector<NodeId> expected(ex.dendrogram.Members(path[h]).begin(),
+                                 ex.dendrogram.Members(path[h]).end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(members, expected) << "level " << h;
+  }
+}
+
+TEST(CodChainTest, TruncationAtTop) {
+  const auto ex = testing::MakePaperExample();
+  const CodChain chain = BuildChainFromDendrogram(ex.dendrogram, 0, ex.c4);
+  ASSERT_EQ(chain.NumLevels(), 3u);
+  EXPECT_EQ(chain.community_size.back(), 8u);
+  EXPECT_FALSE(chain.in_universe[8]);
+  EXPECT_FALSE(chain.in_universe[9]);
+  EXPECT_TRUE(chain.in_universe[5]);
+}
+
+TEST(CodChainTest, NodeMapTranslation) {
+  // Local dendrogram over a 3-node subgraph mapped into a 10-node parent.
+  DendrogramBuilder b(3);
+  const CommunityId m01 = b.Merge(0, 1);
+  b.Merge(m01, 2);
+  const Dendrogram local = std::move(b).Build();
+  const std::vector<NodeId> map = {7, 2, 9};
+  const CodChain chain =
+      BuildChainFromDendrogram(local, 1, kInvalidCommunity, &map, 10);
+  ASSERT_EQ(chain.NumLevels(), 2u);
+  EXPECT_EQ(chain.level.size(), 10u);
+  EXPECT_TRUE(chain.in_universe[7]);
+  EXPECT_TRUE(chain.in_universe[2]);
+  EXPECT_TRUE(chain.in_universe[9]);
+  EXPECT_FALSE(chain.in_universe[0]);
+  EXPECT_EQ(chain.level[2], 0u);  // local leaf 1 -> parent node 2, level 0
+  EXPECT_EQ(chain.level[7], 0u);
+  EXPECT_EQ(chain.level[9], 1u);
+}
+
+TEST(CodChainTest, AppendLevelAddsFreshNodesOnly) {
+  const auto ex = testing::MakePaperExample();
+  CodChain chain = BuildChainFromDendrogram(ex.dendrogram, 0, ex.c4);
+  const std::vector<NodeId> everyone = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  AppendLevel(&chain, everyone);
+  ASSERT_EQ(chain.NumLevels(), 4u);
+  EXPECT_EQ(chain.community_size.back(), 10u);
+  EXPECT_EQ(chain.level[8], 3u);
+  EXPECT_EQ(chain.level[9], 3u);
+  EXPECT_EQ(chain.level[0], 0u);  // unchanged
+}
+
+TEST(CodChainTest, AppendLevelWithNewMembers) {
+  const auto ex = testing::MakePaperExample();
+  CodChain chain = BuildChainFromDendrogram(ex.dendrogram, 0, ex.c4);
+  const std::vector<NodeId> fresh = {8, 9};
+  AppendLevelWithNewMembers(&chain, fresh, 10);
+  ASSERT_EQ(chain.NumLevels(), 4u);
+  EXPECT_EQ(chain.universe.size(), 10u);
+  EXPECT_EQ(chain.level[8], 3u);
+}
+
+}  // namespace
+}  // namespace cod

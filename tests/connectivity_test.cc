@@ -1,0 +1,84 @@
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+Graph TwoComponents() {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);  // second component {3,4,5}
+  b.AddEdge(4, 5);
+  return std::move(b).Build();
+}
+
+TEST(ConnectivityTest, SingleComponent) {
+  const Graph g = testing::MakePath(5);
+  const Components c = ConnectedComponents(g);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ConnectivityTest, MultipleComponentsLabeled) {
+  const Graph g = TwoComponents();
+  const Components c = ConnectedComponents(g);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[0], c.label[2]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ConnectivityTest, IsolatedNodesAreComponents) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(ConnectedComponents(g).count, 2u);
+}
+
+TEST(ConnectivityTest, LargestComponentExtraction) {
+  GraphBuilder b(7);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);  // component {2,3,4,5} is largest; 6 isolated
+  const Graph g = std::move(b).Build();
+  const InducedSubgraph sub = LargestComponent(g);
+  EXPECT_EQ(sub.graph.NumNodes(), 4u);
+  EXPECT_EQ(sub.graph.NumEdges(), 3u);
+  EXPECT_EQ(sub.to_parent, (std::vector<NodeId>{2, 3, 4, 5}));
+}
+
+TEST(ConnectivityTest, EmptyGraphIsConnected) {
+  const Graph g = GraphBuilder(0).Build();
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ConductanceTest, BridgeCutOfTwoCliques) {
+  // Two 3-cliques + bridge: cutting at one clique severs exactly the bridge.
+  const Graph g = testing::MakeTwoCliquesWithBridge(3);
+  const std::vector<NodeId> s = {0, 1, 2};
+  // vol(S) = 2+2+3 = 7, cut = 1, vol(rest) = 7 -> 1/7.
+  EXPECT_NEAR(Conductance(g, s), 1.0 / 7.0, 1e-12);
+}
+
+TEST(ConductanceTest, WholeGraphIsZero) {
+  const Graph g = testing::MakeClique(4);
+  const std::vector<NodeId> s = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(Conductance(g, s), 0.0);
+}
+
+TEST(ConductanceTest, SingleNodeOfClique) {
+  const Graph g = testing::MakeClique(4);
+  const std::vector<NodeId> s = {0};
+  // vol(S)=3, cut=3, vol(rest)=9 -> 3/3 = 1.
+  EXPECT_DOUBLE_EQ(Conductance(g, s), 1.0);
+}
+
+}  // namespace
+}  // namespace cod

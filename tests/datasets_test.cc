@@ -1,0 +1,106 @@
+#include "eval/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+
+namespace cod {
+namespace {
+
+struct Expected {
+  const char* name;
+  size_t nodes;
+  size_t min_edges;
+  size_t max_attributes;
+};
+
+class DatasetShapeTest : public ::testing::TestWithParam<Expected> {};
+
+TEST_P(DatasetShapeTest, MatchesTableOne) {
+  const Expected& e = GetParam();
+  Result<AttributedGraph> data = MakeDataset(e.name);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->graph.NumNodes(), e.nodes);
+  EXPECT_GE(data->graph.NumEdges(), e.min_edges);
+  EXPECT_TRUE(IsConnected(data->graph));
+  EXPECT_LE(data->attributes.NumAttributes(), e.max_attributes);
+  EXPECT_EQ(data->attributes.NumNodes(), e.nodes);
+  // Every node has at least one attribute in all registered datasets.
+  size_t with_attr = 0;
+  for (NodeId v = 0; v < data->graph.NumNodes(); ++v) {
+    with_attr += !data->attributes.AttributesOf(v).empty();
+  }
+  EXPECT_EQ(with_attr, e.nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, DatasetShapeTest,
+    ::testing::Values(Expected{"cora-sim", 2485, 4800, 7},
+                      Expected{"citeseer-sim", 2110, 3500, 6},
+                      Expected{"pubmed-sim", 19717, 42000, 3},
+                      Expected{"retweet-sim", 18470, 45000, 2}),
+    [](const ::testing::TestParamInfo<Expected>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(DatasetTest, UnknownNameIsNotFound) {
+  Result<AttributedGraph> r = MakeDataset("no-such-dataset");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetTest, NamesListedAndBuildable) {
+  const auto names = DatasetNames();
+  EXPECT_EQ(names.size(), 7u);
+  const auto small = SmallDatasetNames();
+  EXPECT_EQ(small.size(), 4u);
+  for (const auto& name : small) {
+    EXPECT_TRUE(MakeDataset(name).ok()) << name;
+  }
+}
+
+TEST(DatasetTest, SeedOverrideChangesGraph) {
+  Result<AttributedGraph> a = MakeDataset("cora-sim");
+  Result<AttributedGraph> b = MakeDataset("cora-sim", /*seed_override=*/99);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->graph.NumNodes(), b->graph.NumNodes());
+  bool any_difference = a->graph.NumEdges() != b->graph.NumEdges();
+  if (!any_difference) {
+    for (EdgeId e = 0; e < a->graph.NumEdges(); ++e) {
+      if (a->graph.Endpoints(e) != b->graph.Endpoints(e)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DatasetTest, DeterministicDefaultSeed) {
+  Result<AttributedGraph> a = MakeDataset("citeseer-sim");
+  Result<AttributedGraph> b = MakeDataset("citeseer-sim");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->graph.NumEdges(), b->graph.NumEdges());
+  for (EdgeId e = 0; e < a->graph.NumEdges(); ++e) {
+    ASSERT_EQ(a->graph.Endpoints(e), b->graph.Endpoints(e));
+  }
+}
+
+TEST(DatasetTest, AmazonSimUsesBlockAttributeScheme) {
+  Result<AttributedGraph> data = MakeDataset("amazon-sim");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->graph.NumNodes(), 33486u);
+  // Paper scheme: exactly one attribute per node.
+  for (NodeId v = 0; v < 200; ++v) {
+    EXPECT_EQ(data->attributes.AttributesOf(v).size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace cod

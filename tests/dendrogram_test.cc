@@ -1,0 +1,170 @@
+#include "hierarchy/dendrogram.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(DendrogramTest, SingleLeaf) {
+  const Dendrogram d = DendrogramBuilder(1).Build();
+  EXPECT_EQ(d.NumLeaves(), 1u);
+  EXPECT_EQ(d.NumVertices(), 1u);
+  EXPECT_EQ(d.Root(), 0u);
+  EXPECT_TRUE(d.IsLeaf(0));
+  EXPECT_EQ(d.LeafCount(0), 1u);
+}
+
+TEST(DendrogramTest, BinaryMergeShape) {
+  DendrogramBuilder b(4);
+  const CommunityId m01 = b.Merge(0, 1);
+  const CommunityId m23 = b.Merge(2, 3);
+  const CommunityId root = b.Merge(m01, m23);
+  const Dendrogram d = std::move(b).Build();
+
+  EXPECT_EQ(d.NumVertices(), 7u);
+  EXPECT_EQ(d.Root(), root);
+  EXPECT_EQ(d.Parent(root), kInvalidCommunity);
+  EXPECT_EQ(d.Parent(m01), root);
+  EXPECT_EQ(d.Parent(0), m01);
+  EXPECT_EQ(d.Depth(root), 1u);
+  EXPECT_EQ(d.Depth(m01), 2u);
+  EXPECT_EQ(d.Depth(0), 3u);
+  EXPECT_EQ(d.LeafCount(root), 4u);
+  EXPECT_EQ(d.LeafCount(m01), 2u);
+  EXPECT_EQ(d.Children(root).size(), 2u);
+}
+
+TEST(DendrogramTest, MembersContiguousAndComplete) {
+  const auto ex = testing::MakePaperExample();
+  const auto members = ex.dendrogram.Members(ex.c3);
+  std::vector<NodeId> sorted(members.begin(), members.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<NodeId>{0, 1, 2, 3, 6, 7}));
+  EXPECT_EQ(ex.dendrogram.LeafCount(ex.c3), 6u);
+}
+
+TEST(DendrogramTest, ContainsMatchesMembers) {
+  const auto ex = testing::MakePaperExample();
+  for (CommunityId c : {ex.c0, ex.c1, ex.c2, ex.c3, ex.c4, ex.c5, ex.c6}) {
+    std::vector<char> expected(10, 0);
+    for (NodeId v : ex.dendrogram.Members(c)) expected[v] = 1;
+    for (NodeId v = 0; v < 10; ++v) {
+      EXPECT_EQ(ex.dendrogram.Contains(c, v), static_cast<bool>(expected[v]))
+          << "community " << c << " node " << v;
+    }
+  }
+}
+
+TEST(DendrogramTest, PaperExampleDepths) {
+  // Example 2: dep(C3) = 3, H(v0) = {C0, C3, C4, C6}.
+  const auto ex = testing::MakePaperExample();
+  EXPECT_EQ(ex.dendrogram.Depth(ex.c6), 1u);
+  EXPECT_EQ(ex.dendrogram.Depth(ex.c4), 2u);
+  EXPECT_EQ(ex.dendrogram.Depth(ex.c3), 3u);
+  EXPECT_EQ(ex.dendrogram.Depth(ex.c0), 4u);
+  const auto path = ex.dendrogram.PathToRoot(0);
+  EXPECT_EQ(path,
+            (std::vector<CommunityId>{ex.c0, ex.c3, ex.c4, ex.c6}));
+}
+
+TEST(DendrogramTest, PathDepthsAreConsecutive) {
+  const auto ex = testing::MakePaperExample();
+  for (NodeId q = 0; q < 10; ++q) {
+    const auto path = ex.dendrogram.PathToRoot(q);
+    for (size_t i = 0; i < path.size(); ++i) {
+      EXPECT_EQ(ex.dendrogram.Depth(path[i]), path.size() - i);
+    }
+  }
+}
+
+TEST(DendrogramTest, IsAncestorOrSelf) {
+  const auto ex = testing::MakePaperExample();
+  EXPECT_TRUE(ex.dendrogram.IsAncestorOrSelf(ex.c6, ex.c0));
+  EXPECT_TRUE(ex.dendrogram.IsAncestorOrSelf(ex.c3, ex.c0));
+  EXPECT_TRUE(ex.dendrogram.IsAncestorOrSelf(ex.c3, ex.c3));
+  EXPECT_FALSE(ex.dendrogram.IsAncestorOrSelf(ex.c0, ex.c3));
+  EXPECT_FALSE(ex.dendrogram.IsAncestorOrSelf(ex.c1, ex.c2));
+}
+
+TEST(DendrogramTest, MultiWayMerge) {
+  DendrogramBuilder b(5);
+  const CommunityId all[5] = {0, 1, 2, 3, 4};
+  const CommunityId root = b.Merge(all);
+  const Dendrogram d = std::move(b).Build();
+  EXPECT_EQ(d.Children(root).size(), 5u);
+  EXPECT_EQ(d.LeafCount(root), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(d.Depth(v), 2u);
+}
+
+TEST(DendrogramTest, LeafCountsSumAcrossChildren) {
+  const auto ex = testing::MakePaperExample();
+  for (CommunityId c = 0; c < ex.dendrogram.NumVertices(); ++c) {
+    if (ex.dendrogram.IsLeaf(c)) continue;
+    uint32_t total = 0;
+    for (CommunityId child : ex.dendrogram.Children(c)) {
+      total += ex.dendrogram.LeafCount(child);
+    }
+    EXPECT_EQ(total, ex.dendrogram.LeafCount(c));
+  }
+}
+
+// Structural property sweep on random hierarchies.
+class DendrogramPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DendrogramPropertyTest, NestedIntervalsAndDepthInvariants) {
+  Rng rng(GetParam());
+  const size_t n = 20 + rng.UniformInt(100);
+  // Random binary merge tree over n leaves.
+  DendrogramBuilder b(n);
+  std::vector<CommunityId> roots(n);
+  for (NodeId v = 0; v < n; ++v) roots[v] = v;
+  while (roots.size() > 1) {
+    const size_t i = rng.UniformInt(roots.size());
+    std::swap(roots[i], roots.back());
+    const CommunityId a = roots.back();
+    roots.pop_back();
+    const size_t j = rng.UniformInt(roots.size());
+    const CommunityId merged = b.Merge(a, roots[j]);
+    roots[j] = merged;
+  }
+  const Dendrogram d = std::move(b).Build();
+
+  for (CommunityId c = 0; c < d.NumVertices(); ++c) {
+    const CommunityId parent = d.Parent(c);
+    if (parent == kInvalidCommunity) {
+      EXPECT_EQ(c, d.Root());
+      EXPECT_EQ(d.Depth(c), 1u);
+      continue;
+    }
+    // Child members are a sub-span of the parent's members.
+    const auto mine = d.Members(c);
+    const auto theirs = d.Members(parent);
+    EXPECT_GE(mine.data(), theirs.data());
+    EXPECT_LE(mine.data() + mine.size(), theirs.data() + theirs.size());
+    EXPECT_EQ(d.Depth(c), d.Depth(parent) + 1);
+    EXPECT_TRUE(d.IsAncestorOrSelf(parent, c));
+    EXPECT_FALSE(d.IsAncestorOrSelf(c, parent));
+  }
+  // Every node's membership agrees with Members().
+  for (int trial = 0; trial < 50; ++trial) {
+    const CommunityId c =
+        static_cast<CommunityId>(rng.UniformInt(d.NumVertices()));
+    const auto members = d.Members(c);
+    std::vector<char> inside(n, 0);
+    for (NodeId v : members) inside[v] = 1;
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(d.Contains(c, v), static_cast<bool>(inside[v]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DendrogramPropertyTest,
+                         ::testing::Values(51, 52, 53, 54, 55));
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,133 @@
+#include "core/dynamic_service.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+struct World {
+  Graph graph;
+  AttributeTable attrs;
+};
+
+World MakeWorld(uint64_t seed) {
+  Rng rng(seed);
+  HppParams params;
+  params.num_nodes = 200;
+  params.num_edges = 800;
+  params.levels = 2;
+  params.fanout = 3;
+  GeneratedGraph gen = HierarchicalPlantedPartition(params, rng);
+  World w;
+  w.attrs = AssignCorrelatedAttributes(gen.block, 4, 0.8, 0.1, rng);
+  w.graph = std::move(gen.graph);
+  return w;
+}
+
+DynamicCodService::Options SmallOptions(double threshold) {
+  DynamicCodService::Options options;
+  options.rebuild_threshold = threshold;
+  options.seed = 7;
+  return options;
+}
+
+TEST(DynamicServiceTest, InitialEpochServesQueries) {
+  World w = MakeWorld(1);
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                            SmallOptions(0.05));
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_EQ(service.pending_updates(), 0u);
+  Rng rng(2);
+  int found = 0;
+  for (NodeId q = 0; q < 10; ++q) {
+    const auto attrs = service.engine().attributes().AttributesOf(q);
+    if (attrs.empty()) continue;
+    found += service.QueryCodL(q, attrs[0], 5, rng).found;
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(DynamicServiceTest, UpdatesAccumulateWithoutRebuild) {
+  World w = MakeWorld(2);
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                            SmallOptions(0.5));  // high threshold
+  const size_t edges_before = service.NumEdges();
+  EXPECT_TRUE(service.AddEdge(0, 100));
+  EXPECT_TRUE(service.AddEdge(1, 101));
+  EXPECT_TRUE(service.RemoveEdge(0, 100));
+  EXPECT_FALSE(service.RemoveEdge(0, 100));  // already gone
+  EXPECT_FALSE(service.AddEdge(5, 5));       // self-loop rejected
+  EXPECT_EQ(service.pending_updates(), 3u);
+  EXPECT_EQ(service.epoch(), 1u);  // no rebuild yet
+  EXPECT_EQ(service.NumEdges(), edges_before + 1);
+}
+
+TEST(DynamicServiceTest, RefreshAppliesUpdatesToEngine) {
+  World w = MakeWorld(3);
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                            SmallOptions(0.5));
+  ASSERT_TRUE(service.AddEdge(0, 150, 2.5));
+  service.Refresh();
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_EQ(service.pending_updates(), 0u);
+  const Graph& g = service.engine().graph();
+  const EdgeId e = g.FindEdge(0, 150);
+  ASSERT_NE(e, kInvalidEdge);
+  EXPECT_DOUBLE_EQ(g.Weight(e), 2.5);
+}
+
+TEST(DynamicServiceTest, ThresholdTriggersAutoRebuild) {
+  World w = MakeWorld(4);
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                            SmallOptions(0.01));  // ~8 updates suffice
+  Rng rng(5);
+  for (NodeId v = 0; v < 12; ++v) {
+    service.AddEdge(v, static_cast<NodeId>(180 - v));
+  }
+  EXPECT_EQ(service.epoch(), 1u);
+  service.QueryCodU(0, 5, rng);  // crossing query triggers the rebuild
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_EQ(service.pending_updates(), 0u);
+}
+
+TEST(DynamicServiceTest, RemovalChangesServedGraph) {
+  World w = MakeWorld(5);
+  // Find an existing edge to delete.
+  const auto [u, v] = w.graph.Endpoints(0);
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                            SmallOptions(10.0));
+  ASSERT_TRUE(service.RemoveEdge(u, v));
+  service.Refresh();
+  EXPECT_EQ(service.engine().graph().FindEdge(u, v), kInvalidEdge);
+}
+
+TEST(DynamicServiceTest, DeterministicAcrossInstances) {
+  World w1 = MakeWorld(6);
+  World w2 = MakeWorld(6);
+  DynamicCodService s1(std::move(w1.graph), std::move(w1.attrs),
+                       SmallOptions(0.5));
+  DynamicCodService s2(std::move(w2.graph), std::move(w2.attrs),
+                       SmallOptions(0.5));
+  s1.AddEdge(3, 77);
+  s2.AddEdge(3, 77);
+  s1.Refresh();
+  s2.Refresh();
+  Rng rng1(9);
+  Rng rng2(9);
+  for (NodeId q = 0; q < 8; ++q) {
+    const auto attrs = s1.engine().attributes().AttributesOf(q);
+    if (attrs.empty()) continue;
+    const CodResult a = s1.QueryCodL(q, attrs[0], 5, rng1);
+    const CodResult b = s2.QueryCodL(q, attrs[0], 5, rng2);
+    EXPECT_EQ(a.found, b.found);
+    EXPECT_EQ(a.members, b.members);
+  }
+}
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,95 @@
+#include "graph/export.h"
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/agglomerative.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(ExportCommunityDotTest, HighlightsCommunityAndQuery) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(3);
+  const std::vector<NodeId> community = {0, 1, 2};
+  const std::string path = TempPath("community.dot");
+  ASSERT_TRUE(ExportCommunityDot(g, community, /*query=*/0, path).ok());
+  const std::string dot = Slurp(path);
+  EXPECT_NE(dot.find("graph community {"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(dot, "fillcolor=gold"), 1u);        // query
+  EXPECT_EQ(CountOccurrences(dot, "fillcolor=dodgerblue"), 2u);  // 1, 2
+  // 7 edges: 3 + 3 clique edges + bridge.
+  EXPECT_EQ(CountOccurrences(dot, " -- "), 7u);
+  // Intra-community edges bolded.
+  EXPECT_EQ(CountOccurrences(dot, "penwidth=2"), 3u);
+}
+
+TEST(ExportCommunityDotTest, NeighborhoodRestrictionOnLargeGraphs) {
+  const Graph g = testing::MakePath(500);
+  const std::vector<NodeId> community = {100, 101, 102};
+  const std::string path = TempPath("restricted.dot");
+  DotOptions options;
+  options.neighborhood_only_above = 50;
+  ASSERT_TRUE(ExportCommunityDot(g, community, 101, path, options).ok());
+  const std::string dot = Slurp(path);
+  // Only community + neighbors (99..103) appear.
+  EXPECT_NE(dot.find("n99"), std::string::npos);
+  EXPECT_NE(dot.find("n103"), std::string::npos);
+  EXPECT_EQ(dot.find("n250"), std::string::npos);
+}
+
+TEST(ExportCommunityDotTest, BadPathIsIoError) {
+  const Graph g = testing::MakeClique(3);
+  EXPECT_EQ(ExportCommunityDot(g, std::vector<NodeId>{0}, 0,
+                               "/no/such/dir/x.dot")
+                .code(),
+            StatusCode::kIoError);
+}
+
+TEST(ExportDendrogramDotTest, FiltersBySize) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const std::string path = TempPath("dendrogram.dot");
+  ASSERT_TRUE(ExportDendrogramDot(d, /*min_size=*/4, path).ok());
+  const std::string dot = Slurp(path);
+  EXPECT_NE(dot.find("digraph hierarchy {"), std::string::npos);
+  // Exactly three surviving vertices: root (8) and the two cliques (4, 4).
+  EXPECT_EQ(CountOccurrences(dot, "|C|="), 3u);
+  EXPECT_EQ(CountOccurrences(dot, " -> "), 2u);
+  EXPECT_EQ(dot.find("label=\"node "), std::string::npos);  // no leaves
+}
+
+TEST(ExportDendrogramDotTest, MinSizeOneIncludesLeaves) {
+  const Graph g = testing::MakeClique(3);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const std::string path = TempPath("full_dendrogram.dot");
+  ASSERT_TRUE(ExportDendrogramDot(d, 1, path).ok());
+  const std::string dot = Slurp(path);
+  EXPECT_EQ(CountOccurrences(dot, "label=\"node "), 3u);
+}
+
+}  // namespace
+}  // namespace cod

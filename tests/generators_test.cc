@@ -1,0 +1,278 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+
+namespace cod {
+namespace {
+
+TEST(HppTest, ShapeAndConnectivity) {
+  Rng rng(1);
+  HppParams params;
+  params.num_nodes = 1000;
+  params.num_edges = 4000;
+  params.levels = 3;
+  params.fanout = 4;
+  const GeneratedGraph gen = HierarchicalPlantedPartition(params, rng);
+  EXPECT_EQ(gen.graph.NumNodes(), 1000u);
+  EXPECT_EQ(gen.num_blocks, 64u);
+  // Dedup and connectivity patching change |E| slightly.
+  EXPECT_NEAR(static_cast<double>(gen.graph.NumEdges()), 4000.0, 400.0);
+  EXPECT_TRUE(IsConnected(gen.graph));
+  EXPECT_EQ(gen.block.size(), 1000u);
+  for (uint32_t blk : gen.block) EXPECT_LT(blk, gen.num_blocks);
+}
+
+TEST(HppTest, BlocksAreContiguousAndBalanced) {
+  Rng rng(2);
+  HppParams params;
+  params.num_nodes = 640;
+  params.num_edges = 2000;
+  params.levels = 2;
+  params.fanout = 4;
+  const GeneratedGraph gen = HierarchicalPlantedPartition(params, rng);
+  EXPECT_EQ(gen.num_blocks, 16u);
+  for (NodeId v = 1; v < 640; ++v) {
+    EXPECT_GE(gen.block[v], gen.block[v - 1]);  // contiguous ranges
+  }
+  std::vector<int> sizes(gen.num_blocks, 0);
+  for (uint32_t blk : gen.block) ++sizes[blk];
+  for (int s : sizes) EXPECT_EQ(s, 40);
+}
+
+TEST(HppTest, LeafEdgesDominate) {
+  Rng rng(3);
+  HppParams params;
+  params.num_nodes = 2000;
+  params.num_edges = 8000;
+  params.levels = 3;
+  params.fanout = 4;
+  params.leaf_fraction = 0.7;
+  const GeneratedGraph gen = HierarchicalPlantedPartition(params, rng);
+  size_t intra = 0;
+  for (EdgeId e = 0; e < gen.graph.NumEdges(); ++e) {
+    const auto [u, v] = gen.graph.Endpoints(e);
+    intra += gen.block[u] == gen.block[v];
+  }
+  // At least the leaf fraction (up to dedup noise) should land intra-block.
+  EXPECT_GT(static_cast<double>(intra) / gen.graph.NumEdges(), 0.55);
+}
+
+TEST(BarabasiAlbertTest, SizeAndSkew) {
+  Rng rng(4);
+  const Graph g = BarabasiAlbert(2000, 2, rng);
+  EXPECT_EQ(g.NumNodes(), 2000u);
+  uint32_t max_degree = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  const double avg = 2.0 * g.NumEdges() / g.NumNodes();
+  EXPECT_GT(max_degree, 10 * avg);  // hubs exist
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ErdosRenyiTest, EdgeCount) {
+  Rng rng(5);
+  const Graph g = ErdosRenyi(500, 1500, rng);
+  EXPECT_EQ(g.NumNodes(), 500u);
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), 1500.0, 60.0);
+}
+
+TEST(HubbyTest, HubHeavyWithBlocks) {
+  Rng rng(6);
+  HubbyParams params;
+  params.num_nodes = 3000;
+  params.backbone_edges_per_node = 1;
+  params.num_blocks = 30;
+  params.extra_block_edges = 4000;
+  const GeneratedGraph gen = HubbyCommunityGraph(params, rng);
+  EXPECT_EQ(gen.graph.NumNodes(), 3000u);
+  EXPECT_EQ(gen.num_blocks, 30u);
+  EXPECT_TRUE(IsConnected(gen.graph));
+  uint32_t max_degree = 0;
+  for (NodeId v = 0; v < gen.graph.NumNodes(); ++v) {
+    max_degree = std::max(max_degree, gen.graph.Degree(v));
+  }
+  EXPECT_GT(max_degree, 50u);
+}
+
+TEST(LfrTest, DegreesAndCommunitiesArePowerLawish) {
+  Rng rng(21);
+  LfrParams params;
+  params.num_nodes = 3000;
+  params.mu = 0.2;
+  const GeneratedGraph gen = LfrLikeGraph(params, rng);
+  EXPECT_EQ(gen.graph.NumNodes(), 3000u);
+  EXPECT_TRUE(IsConnected(gen.graph));
+
+  // Heavy-tailed degrees: max well above the mean.
+  uint32_t max_degree = 0;
+  double total_degree = 0.0;
+  for (NodeId v = 0; v < gen.graph.NumNodes(); ++v) {
+    max_degree = std::max(max_degree, gen.graph.Degree(v));
+    total_degree += gen.graph.Degree(v);
+  }
+  const double mean_degree = total_degree / gen.graph.NumNodes();
+  EXPECT_GT(max_degree, 5 * mean_degree);
+
+  // Heterogeneous community sizes within the configured bounds.
+  std::vector<size_t> sizes(gen.num_blocks, 0);
+  for (uint32_t b : gen.block) ++sizes[b];
+  size_t smallest = params.num_nodes;
+  size_t largest = 0;
+  for (size_t s : sizes) {
+    ASSERT_GT(s, 0u);
+    smallest = std::min(smallest, s);
+    largest = std::max(largest, s);
+  }
+  EXPECT_GE(smallest, params.min_community);
+  EXPECT_LE(largest, params.max_community);
+  EXPECT_GT(largest, 2 * smallest);  // heterogeneity
+}
+
+TEST(LfrTest, MixingParameterControlsInterEdges) {
+  auto inter_fraction = [](double mu, uint64_t seed) {
+    Rng rng(seed);
+    LfrParams params;
+    params.num_nodes = 4000;
+    params.mu = mu;
+    const GeneratedGraph gen = LfrLikeGraph(params, rng);
+    size_t inter = 0;
+    for (EdgeId e = 0; e < gen.graph.NumEdges(); ++e) {
+      const auto [u, v] = gen.graph.Endpoints(e);
+      inter += gen.block[u] != gen.block[v];
+    }
+    return static_cast<double>(inter) / gen.graph.NumEdges();
+  };
+  const double low = inter_fraction(0.1, 22);
+  const double high = inter_fraction(0.5, 23);
+  EXPECT_NEAR(low, 0.1, 0.08);
+  EXPECT_NEAR(high, 0.5, 0.1);
+  EXPECT_LT(low, high);
+}
+
+TEST(LfrTest, WorksAsCodSubstrate) {
+  // Smoke: the generated structure supports the whole pipeline.
+  Rng rng(24);
+  LfrParams params;
+  params.num_nodes = 500;
+  params.min_community = 15;
+  params.max_community = 80;
+  const GeneratedGraph gen = LfrLikeGraph(params, rng);
+  const AttributeTable attrs =
+      AssignCorrelatedAttributes(gen.block, 5, 0.8, 0.1, rng);
+  EXPECT_EQ(attrs.NumNodes(), 500u);
+}
+
+TEST(CorePeripheryTest, HubAccretionStructure) {
+  Rng rng(12);
+  CorePeripheryParams params;
+  params.num_nodes = 4000;
+  params.core_size = 40;
+  params.core_edges = 300;
+  params.second_edge_prob = 1.0;
+  params.num_blocks = 20;
+  params.intra_block_edges = 2000;
+  const GeneratedGraph gen = CorePeripheryGraph(params, rng);
+  EXPECT_EQ(gen.graph.NumNodes(), 4000u);
+  EXPECT_TRUE(IsConnected(gen.graph));
+  EXPECT_EQ(gen.num_blocks, 20u);
+  // Mega-hubs: some core node should collect a large periphery.
+  uint32_t max_degree = 0;
+  for (NodeId v = 0; v < 40; ++v) {
+    max_degree = std::max(max_degree, gen.graph.Degree(v));
+  }
+  EXPECT_GT(max_degree, 200u);
+  // Periphery inherits its hub's block, so every block is populated.
+  std::vector<size_t> sizes(20, 0);
+  for (uint32_t b : gen.block) {
+    ASSERT_LT(b, 20u);
+    ++sizes[b];
+  }
+  for (size_t s : sizes) EXPECT_GT(s, 0u);
+}
+
+TEST(EnsureConnectedTest, PatchesComponents) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  b.AddEdge(4, 5);
+  Rng rng(7);
+  const Graph g = EnsureConnected(std::move(b).Build(), rng);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.NumNodes(), 6u);
+  EXPECT_EQ(g.NumEdges(), 5u);  // 3 original + 2 patches
+}
+
+TEST(EnsureConnectedTest, NoOpWhenConnected) {
+  Rng rng(8);
+  Graph g = EnsureConnected(ErdosRenyi(50, 400, rng), rng);
+  const size_t edges = g.NumEdges();
+  g = EnsureConnected(std::move(g), rng);
+  EXPECT_EQ(g.NumEdges(), edges);
+}
+
+TEST(BlockAttributesTest, OneAttributePerBlock) {
+  Rng rng(9);
+  std::vector<uint32_t> block = {0, 0, 0, 1, 1, 2, 2, 2};
+  const AttributeTable t = AssignBlockAttributes(block, 5, rng);
+  EXPECT_EQ(t.NumNodes(), 8u);
+  for (NodeId v = 0; v < 8; ++v) {
+    ASSERT_EQ(t.AttributesOf(v).size(), 1u);
+  }
+  // All members of a block share the block's attribute.
+  EXPECT_EQ(t.AttributesOf(0)[0], t.AttributesOf(1)[0]);
+  EXPECT_EQ(t.AttributesOf(0)[0], t.AttributesOf(2)[0]);
+  EXPECT_EQ(t.AttributesOf(3)[0], t.AttributesOf(4)[0]);
+  EXPECT_EQ(t.AttributesOf(5)[0], t.AttributesOf(7)[0]);
+}
+
+TEST(CorrelatedAttributesTest, FidelityApproximatelyHolds) {
+  Rng rng(10);
+  // One big block: with fidelity 0.9, ~90% + 10%/vocab of nodes carry the
+  // dominant attribute.
+  std::vector<uint32_t> block(5000, 0);
+  const AttributeTable t = AssignCorrelatedAttributes(block, 4, 0.9, 0.0, rng);
+  std::vector<size_t> counts(4, 0);
+  for (NodeId v = 0; v < 5000; ++v) {
+    for (AttributeId a : t.AttributesOf(v)) ++counts[a];
+  }
+  const size_t dominant = *std::max_element(counts.begin(), counts.end());
+  EXPECT_NEAR(static_cast<double>(dominant) / 5000.0, 0.925, 0.03);
+}
+
+TEST(CorrelatedAttributesTest, ExtraAttributeProbability) {
+  Rng rng(11);
+  std::vector<uint32_t> block(4000, 0);
+  const AttributeTable t =
+      AssignCorrelatedAttributes(block, 8, 1.0, 0.5, rng);
+  size_t with_two = 0;
+  for (NodeId v = 0; v < 4000; ++v) {
+    if (t.AttributesOf(v).size() >= 2) ++with_two;
+  }
+  // Extra attr drawn with p=0.5 but collides with the dominant 1/8 of the
+  // time: expect ~0.5 * 7/8 = 0.4375 of nodes with two attributes.
+  EXPECT_NEAR(with_two / 4000.0, 0.4375, 0.04);
+}
+
+TEST(DeterminismTest, SameSeedSameGraph) {
+  HppParams params;
+  params.num_nodes = 300;
+  params.num_edges = 900;
+  params.levels = 2;
+  params.fanout = 3;
+  Rng rng1(42);
+  Rng rng2(42);
+  const GeneratedGraph a = HierarchicalPlantedPartition(params, rng1);
+  const GeneratedGraph b = HierarchicalPlantedPartition(params, rng2);
+  ASSERT_EQ(a.graph.NumEdges(), b.graph.NumEdges());
+  for (EdgeId e = 0; e < a.graph.NumEdges(); ++e) {
+    EXPECT_EQ(a.graph.Endpoints(e), b.graph.Endpoints(e));
+  }
+}
+
+}  // namespace
+}  // namespace cod

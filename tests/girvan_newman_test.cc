@@ -1,0 +1,77 @@
+#include "hierarchy/girvan_newman.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(EdgeBetweennessTest, PathGraphCenterEdgeHighest) {
+  // Path 0-1-2-3: edge (1,2) carries 2*2 = 4 shortest paths; ends carry 3.
+  const Graph g = testing::MakePath(4);
+  const std::vector<double> score = EdgeBetweenness(g);
+  const EdgeId mid = g.FindEdge(1, 2);
+  const EdgeId end = g.FindEdge(0, 1);
+  EXPECT_DOUBLE_EQ(score[mid], 4.0);
+  EXPECT_DOUBLE_EQ(score[end], 3.0);
+}
+
+TEST(EdgeBetweennessTest, CliqueEdgesAreUniform) {
+  const Graph g = testing::MakeClique(5);
+  const std::vector<double> score = EdgeBetweenness(g);
+  for (double s : score) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(EdgeBetweennessTest, BridgeDominates) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const std::vector<double> score = EdgeBetweenness(g);
+  const EdgeId bridge = g.FindEdge(3, 4);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (e != bridge) {
+      EXPECT_LT(score[e], score[bridge]);
+    }
+  }
+  // The bridge carries all 4*4 cross pairs plus its own endpoints' path.
+  EXPECT_DOUBLE_EQ(score[bridge], 16.0);
+}
+
+TEST(GirvanNewmanTest, TopSplitSeparatesCliques) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const Dendrogram d = GirvanNewmanCluster(g);
+  EXPECT_EQ(d.NumLeaves(), 8u);
+  EXPECT_EQ(d.LeafCount(d.Root()), 8u);
+  const auto kids = d.Children(d.Root());
+  ASSERT_EQ(kids.size(), 2u);
+  std::vector<NodeId> side(d.Members(kids[0]).begin(),
+                           d.Members(kids[0]).end());
+  std::sort(side.begin(), side.end());
+  const std::vector<NodeId> left{0, 1, 2, 3};
+  const std::vector<NodeId> right{4, 5, 6, 7};
+  EXPECT_TRUE(side == left || side == right);
+}
+
+TEST(GirvanNewmanTest, HandlesDisconnectedInput) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  const Graph g = std::move(b).Build();
+  const Dendrogram d = GirvanNewmanCluster(g);
+  EXPECT_EQ(d.LeafCount(d.Root()), 4u);
+}
+
+TEST(GirvanNewmanTest, ValidHierarchyOnPaperGraph) {
+  const auto ex = testing::MakePaperExample();
+  const Dendrogram d = GirvanNewmanCluster(ex.graph);
+  EXPECT_EQ(d.NumLeaves(), 10u);
+  for (NodeId v = 0; v < 10; ++v) {
+    const auto path = d.PathToRoot(v);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back(), d.Root());
+  }
+}
+
+}  // namespace
+}  // namespace cod

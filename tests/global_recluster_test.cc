@@ -1,0 +1,146 @@
+#include "core/global_recluster.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+AttributeTable TwoSidedAttributes() {
+  AttributeTableBuilder b;
+  for (NodeId v : {0, 1, 4, 5}) b.Add(v, "X");
+  for (NodeId v : {2, 3, 6, 7}) b.Add(v, "Y");
+  return std::move(b).Build(8);
+}
+
+TEST(GlobalReclusterTest, BoostsOnlyQueryAttributedEdges) {
+  // Cycle 0-1-2-3-0; X on {0,1}, Y on {2,3}.
+  GraphBuilder gb(4);
+  gb.AddEdge(0, 1);
+  gb.AddEdge(1, 2);
+  gb.AddEdge(2, 3);
+  gb.AddEdge(3, 0);
+  const Graph g = std::move(gb).Build();
+  AttributeTableBuilder ab;
+  ab.Add(0, "X");
+  ab.Add(1, "X");
+  ab.Add(2, "Y");
+  ab.Add(3, "Y");
+  const AttributeTable attrs = std::move(ab).Build(4);
+
+  const Graph weighted =
+      BuildAttributeWeightedGraph(g, attrs, attrs.Find("X"),
+                                  TransformOptions{});
+  EXPECT_EQ(weighted.NumEdges(), 4u);
+  EXPECT_DOUBLE_EQ(weighted.Weight(weighted.FindEdge(0, 1)), 3.0);
+  EXPECT_DOUBLE_EQ(weighted.Weight(weighted.FindEdge(1, 2)), 1.0);
+  EXPECT_DOUBLE_EQ(weighted.Weight(weighted.FindEdge(2, 3)), 1.0);
+  EXPECT_DOUBLE_EQ(weighted.Weight(weighted.FindEdge(0, 3)), 1.0);
+}
+
+TEST(GlobalReclusterTest, InvalidAttributeMeansNoBoost) {
+  const Graph g = testing::MakeClique(4);
+  AttributeTableBuilder ab;
+  ab.Add(0, "X");
+  ab.Add(1, "X");
+  const AttributeTable attrs = std::move(ab).Build(4);
+  const Graph weighted =
+      BuildAttributeWeightedGraph(g, attrs, kInvalidAttribute,
+                                  TransformOptions{});
+  EXPECT_FALSE(weighted.HasWeights());
+}
+
+TEST(GlobalReclusterTest, SubgraphVariantRestrictsAndWeights) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const AttributeTable attrs = TwoSidedAttributes();
+  const std::vector<NodeId> members = {0, 1, 2, 3};
+  const InducedSubgraph sub = BuildAttributeWeightedSubgraph(
+      g, attrs, attrs.Find("X"), TransformOptions{}, members);
+  EXPECT_EQ(sub.graph.NumNodes(), 4u);
+  EXPECT_EQ(sub.graph.NumEdges(), 6u);  // the 4-clique
+  // Local edge (0,1) corresponds to parent (0,1): both X -> boosted.
+  EXPECT_DOUBLE_EQ(sub.graph.Weight(sub.graph.FindEdge(0, 1)), 3.0);
+  // Parent (2,3): both Y, not the query attribute -> weight 1.
+  EXPECT_DOUBLE_EQ(sub.graph.Weight(sub.graph.FindEdge(2, 3)), 1.0);
+}
+
+TEST(GlobalReclusterTest, JaccardTransformUsesFullAttributeSets) {
+  GraphBuilder gb(4);
+  gb.AddEdge(0, 1);  // identical sets -> J = 1
+  gb.AddEdge(1, 2);  // {X,Y} vs {Y}  -> J = 1/2
+  gb.AddEdge(2, 3);  // disjoint      -> J = 0
+  const Graph g = std::move(gb).Build();
+  AttributeTableBuilder ab;
+  ab.Add(0, "X");
+  ab.Add(0, "Y");
+  ab.Add(1, "X");
+  ab.Add(1, "Y");
+  ab.Add(2, "Y");
+  ab.Add(3, "Z");
+  const AttributeTable attrs = std::move(ab).Build(4);
+  TransformOptions options;
+  options.transform = AttributeTransform::kJaccard;
+  options.beta = 3.0;
+  const Graph w =
+      BuildAttributeWeightedGraph(g, attrs, attrs.Find("X"), options);
+  EXPECT_DOUBLE_EQ(w.Weight(w.FindEdge(0, 1)), 1.0 + 3.0);        // J = 1
+  EXPECT_DOUBLE_EQ(w.Weight(w.FindEdge(1, 2)), 1.0 + 3.0 / 2.0);  // J = 1/2
+  EXPECT_DOUBLE_EQ(w.Weight(w.FindEdge(2, 3)), 1.0);              // J = 0
+}
+
+TEST(GlobalReclusterTest, QueryJaccardGatesOnQueryAttribute) {
+  GraphBuilder gb(4);
+  gb.AddEdge(0, 1);  // both carry X -> boosted by their Jaccard
+  gb.AddEdge(2, 3);  // identical sets but no X -> unboosted
+  const Graph g = std::move(gb).Build();
+  AttributeTableBuilder ab;
+  ab.Add(0, "X");
+  ab.Add(1, "X");
+  ab.Add(2, "Y");
+  ab.Add(3, "Y");
+  const AttributeTable attrs = std::move(ab).Build(4);
+  TransformOptions options;
+  options.transform = AttributeTransform::kQueryJaccard;
+  options.beta = 2.0;
+  const Graph w =
+      BuildAttributeWeightedGraph(g, attrs, attrs.Find("X"), options);
+  EXPECT_DOUBLE_EQ(w.Weight(w.FindEdge(0, 1)), 3.0);  // J = 1, gated in
+  EXPECT_DOUBLE_EQ(w.Weight(w.FindEdge(2, 3)), 1.0);  // gated out
+}
+
+TEST(GlobalReclusterTest, AttributeWeightsSteerHierarchy) {
+  // 4-cycle of unit edges plus attribute X on the two "diagonal-opposite"
+  // pairs: boosting X makes {0,1} and {2,3} the first merges.
+  GraphBuilder gb(4);
+  gb.AddEdge(0, 1);
+  gb.AddEdge(1, 2);
+  gb.AddEdge(2, 3);
+  gb.AddEdge(3, 0);
+  const Graph g = std::move(gb).Build();
+  AttributeTableBuilder ab;
+  ab.Add(0, "X");
+  ab.Add(1, "X");
+  ab.Add(2, "Y");
+  ab.Add(3, "Y");
+  const AttributeTable attrs = std::move(ab).Build(4);
+
+  TransformOptions strong;
+  strong.beta = 4.0;
+  const Dendrogram d = GlobalRecluster(g, attrs, attrs.Find("X"), strong);
+  // First merge pairs {0,1}; second {2,3} (also tied via Y edge weight 1
+  // vs cross edges weight 1 — but {0,1} must be a community).
+  bool found_01 = false;
+  for (CommunityId c = 0; c < d.NumVertices(); ++c) {
+    if (d.IsLeaf(c)) continue;
+    std::vector<NodeId> mem(d.Members(c).begin(), d.Members(c).end());
+    std::sort(mem.begin(), mem.end());
+    if (mem == std::vector<NodeId>{0, 1}) found_01 = true;
+  }
+  EXPECT_TRUE(found_01);
+}
+
+}  // namespace
+}  // namespace cod

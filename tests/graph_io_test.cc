@@ -1,0 +1,96 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(GraphIoTest, EdgeListRoundTrip) {
+  const Graph g = cod::testing::MakeTwoCliquesWithBridge(4);
+  const std::string path = TempPath("roundtrip.edges");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Result<Graph> loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumNodes(), g.NumNodes());
+  EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    EXPECT_NE(loaded->FindEdge(u, v), kInvalidEdge);
+  }
+}
+
+TEST(GraphIoTest, WeightedRoundTrip) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 2.5);
+  b.AddEdge(1, 2, 1.5);
+  const Graph g = std::move(b).Build();
+  const std::string path = TempPath("weighted.edges");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Result<Graph> loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->Weight(loaded->FindEdge(0, 1)), 2.5);
+}
+
+TEST(GraphIoTest, IgnoresCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.edges");
+  WriteFile(path, "# header\n\n0 1\n  \n1 2\n# trailing\n");
+  Result<Graph> loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumEdges(), 2u);
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  Result<Graph> r = LoadEdgeList("/nonexistent/really/not/here.edges");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, MalformedLineIsInvalidArgument) {
+  const std::string path = TempPath("bad.edges");
+  WriteFile(path, "0 1\nnot numbers\n");
+  Result<Graph> r = LoadEdgeList(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIoTest, AttributesRoundTrip) {
+  AttributeTableBuilder b;
+  b.Add(0, "DB");
+  b.Add(0, "IR");
+  b.Add(3, "ML");
+  const AttributeTable table = std::move(b).Build(4);
+  const std::string path = TempPath("attrs.txt");
+  ASSERT_TRUE(SaveAttributes(table, path).ok());
+  Result<AttributeTable> loaded = LoadAttributes(path, 4);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumAttributes(), 3u);
+  EXPECT_TRUE(loaded->Has(0, loaded->Find("DB")));
+  EXPECT_TRUE(loaded->Has(0, loaded->Find("IR")));
+  EXPECT_TRUE(loaded->Has(3, loaded->Find("ML")));
+  EXPECT_TRUE(loaded->AttributesOf(1).empty());
+}
+
+TEST(GraphIoTest, AttributeNodeOutOfRangeRejected) {
+  const std::string path = TempPath("attrs_oob.txt");
+  WriteFile(path, "9 DB\n");
+  Result<AttributeTable> r = LoadAttributes(path, 4);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cod

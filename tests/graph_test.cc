@@ -1,0 +1,139 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  const Graph g = GraphBuilder(0).Build();
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphBuilderTest, BuildsSimpleGraph) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 2u);
+}
+
+TEST(GraphBuilderTest, GrowsNodeCountFromEdges) {
+  GraphBuilder b;
+  b.AddEdge(5, 9);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumNodes(), 10u);
+  EXPECT_EQ(g.Degree(9), 1u);
+  EXPECT_EQ(g.Degree(0), 0u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder b(3);
+  b.AddEdge(1, 1);
+  b.AddEdge(0, 2);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, MergesParallelEdgesSummingWeights) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 0, 2.5);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasWeights());
+  EXPECT_DOUBLE_EQ(g.Weight(0), 3.5);
+}
+
+TEST(GraphBuilderTest, UnitWeightsStayImplicit) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  const Graph g = std::move(b).Build();
+  EXPECT_FALSE(g.HasWeights());
+  EXPECT_DOUBLE_EQ(g.Weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 2.0);
+}
+
+TEST(GraphTest, EndpointsAreCanonical) {
+  GraphBuilder b(3);
+  b.AddEdge(2, 0);
+  const Graph g = std::move(b).Build();
+  const auto [lo, hi] = g.Endpoints(0);
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 2u);
+}
+
+TEST(GraphTest, NeighborsSortedAndShareEdgeIds) {
+  const Graph g = testing::MakeClique(4);
+  for (NodeId v = 0; v < 4; ++v) {
+    const auto ns = g.Neighbors(v);
+    ASSERT_EQ(ns.size(), 3u);
+    for (size_t i = 1; i < ns.size(); ++i) EXPECT_LT(ns[i - 1].to, ns[i].to);
+    for (const AdjEntry& a : ns) {
+      const auto [lo, hi] = g.Endpoints(a.edge);
+      EXPECT_TRUE((lo == v && hi == a.to) || (lo == a.to && hi == v));
+    }
+  }
+}
+
+TEST(GraphTest, FindEdge) {
+  const Graph g = testing::MakePath(5);
+  EXPECT_NE(g.FindEdge(0, 1), kInvalidEdge);
+  EXPECT_NE(g.FindEdge(1, 0), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(0, 2), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(0, 0), kInvalidEdge);
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdgesOnly) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(3);  // nodes 0..5
+  const std::vector<NodeId> nodes = {0, 1, 2, 3};
+  const InducedSubgraph sub = BuildInducedSubgraph(g, nodes);
+  EXPECT_EQ(sub.graph.NumNodes(), 4u);
+  // Clique {0,1,2} has 3 edges; bridge (2,3) included; clique edges of
+  // {3,4,5} excluded.
+  EXPECT_EQ(sub.graph.NumEdges(), 4u);
+  EXPECT_EQ(sub.to_parent.size(), 4u);
+}
+
+TEST(InducedSubgraphTest, PreservesWeights) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 2.0);
+  b.AddEdge(1, 2, 3.0);
+  const Graph g = std::move(b).Build();
+  const std::vector<NodeId> nodes = {1, 2};
+  const InducedSubgraph sub = BuildInducedSubgraph(g, nodes);
+  ASSERT_EQ(sub.graph.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(sub.graph.Weight(0), 3.0);
+}
+
+TEST(InducedSubgraphTest, IsolatedNodesKept) {
+  const Graph g = testing::MakePath(5);
+  const std::vector<NodeId> nodes = {0, 4};
+  const InducedSubgraph sub = BuildInducedSubgraph(g, nodes);
+  EXPECT_EQ(sub.graph.NumNodes(), 2u);
+  EXPECT_EQ(sub.graph.NumEdges(), 0u);
+}
+
+TEST(InducedSubgraphTest, LocalIdsFollowInputOrder) {
+  const Graph g = testing::MakePath(4);
+  const std::vector<NodeId> nodes = {3, 1, 2};
+  const InducedSubgraph sub = BuildInducedSubgraph(g, nodes);
+  EXPECT_EQ(sub.to_parent[0], 3u);
+  EXPECT_EQ(sub.to_parent[1], 1u);
+  EXPECT_EQ(sub.to_parent[2], 2u);
+  // Edges (1,2) and (2,3) survive as local (1,2) and (0,2).
+  EXPECT_EQ(sub.graph.NumEdges(), 2u);
+  EXPECT_NE(sub.graph.FindEdge(1, 2), kInvalidEdge);
+  EXPECT_NE(sub.graph.FindEdge(0, 2), kInvalidEdge);
+}
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,106 @@
+#include "influence/im.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "influence/monte_carlo.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+// Two stars joined by a weak path: the two hubs are the optimal 2-seed set.
+Graph TwoStars() {
+  GraphBuilder b(12);
+  for (NodeId v = 1; v <= 4; ++v) b.AddEdge(0, v);
+  for (NodeId v = 7; v <= 10; ++v) b.AddEdge(6, v);
+  b.AddEdge(4, 11);
+  b.AddEdge(11, 7);
+  return std::move(b).Build();
+}
+
+TEST(ImRisTest, PicksBothHubs) {
+  const Graph g = TwoStars();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  Rng rng(1);
+  const ImResult result = MaximizeInfluenceRis(m, 2, 20000, rng);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  const std::set<NodeId> seeds(result.seeds.begin(), result.seeds.end());
+  EXPECT_TRUE(seeds.contains(0));
+  EXPECT_TRUE(seeds.contains(6));
+}
+
+TEST(ImRisTest, SeedsAreDistinct) {
+  const Graph g = testing::MakeClique(6);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  Rng rng(2);
+  const ImResult result = MaximizeInfluenceRis(m, 4, 5000, rng);
+  std::set<NodeId> distinct(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(distinct.size(), result.seeds.size());
+}
+
+TEST(ImRisTest, EstimateTracksMonteCarloSpread) {
+  const auto ex = testing::MakePaperExample();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(ex.graph);
+  Rng rng(3);
+  const ImResult result = MaximizeInfluenceRis(m, 2, 30000, rng);
+  MonteCarloSimulator simulator(m);
+  const double mc =
+      simulator.EstimateInfluenceOfSet(result.seeds, 60000, rng);
+  EXPECT_NEAR(result.estimated_influence, mc, 0.25);
+}
+
+TEST(ImRisTest, RestrictionConfinesSeeds) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  Rng rng(4);
+  std::vector<char> allowed(8, 0);
+  for (NodeId v = 4; v < 8; ++v) allowed[v] = 1;
+  const ImResult result = MaximizeInfluenceRis(m, 2, 4000, rng, &allowed);
+  for (NodeId seed : result.seeds) EXPECT_GE(seed, 4u);
+}
+
+TEST(ImGreedyMcTest, PicksBothHubs) {
+  const Graph g = TwoStars();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  Rng rng(5);
+  const ImResult result = MaximizeInfluenceGreedyMc(m, 2, 3000, rng);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  const std::set<NodeId> seeds(result.seeds.begin(), result.seeds.end());
+  EXPECT_TRUE(seeds.contains(0));
+  EXPECT_TRUE(seeds.contains(6));
+}
+
+TEST(ImAgreementTest, RisAndGreedyAgreeOnSpread) {
+  Rng gen_rng(6);
+  const Graph g = EnsureConnected(ErdosRenyi(40, 120, gen_rng), gen_rng);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  Rng rng(7);
+  const ImResult ris = MaximizeInfluenceRis(m, 3, 30000, rng);
+  const ImResult greedy = MaximizeInfluenceGreedyMc(m, 3, 2000, rng);
+  // Seed sets may differ; expected spreads should be within noise + the
+  // approximation slack of each other.
+  MonteCarloSimulator simulator(m);
+  const double ris_spread =
+      simulator.EstimateInfluenceOfSet(ris.seeds, 30000, rng);
+  const double greedy_spread =
+      simulator.EstimateInfluenceOfSet(greedy.seeds, 30000, rng);
+  EXPECT_NEAR(ris_spread, greedy_spread, 0.6);
+}
+
+TEST(ImTest, SingleSeedIsMaxInfluenceNode) {
+  // On a star the hub must be the single best seed for both algorithms.
+  GraphBuilder b(8);
+  for (NodeId v = 1; v < 8; ++v) b.AddEdge(0, v);
+  const Graph g = std::move(b).Build();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  Rng rng(8);
+  EXPECT_EQ(MaximizeInfluenceRis(m, 1, 10000, rng).seeds[0], 0u);
+  EXPECT_EQ(MaximizeInfluenceGreedyMc(m, 1, 2000, rng).seeds[0], 0u);
+}
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,73 @@
+#include "influence/influence_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "influence/monte_carlo.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(InfluenceOracleTest, CountsMatchMonteCarloWithinCommunity) {
+  const auto ex = testing::MakePaperExample();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(ex.graph);
+  InfluenceOracle oracle(m);
+  MonteCarloSimulator sim(m);
+  Rng rng(1);
+
+  const std::vector<NodeId> members = {0, 1, 2, 3, 6, 7};  // C3
+  std::vector<char> allowed(10, 0);
+  for (NodeId v : members) allowed[v] = 1;
+
+  const uint32_t theta = 5000;
+  const std::vector<uint32_t> counts = oracle.CountsWithin(members, theta, rng);
+  ASSERT_EQ(counts.size(), members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    const double rr_estimate = static_cast<double>(counts[i]) / theta;
+    const double mc_estimate =
+        sim.EstimateInfluence(members[i], 60000, rng, &allowed);
+    EXPECT_NEAR(rr_estimate, mc_estimate, 0.1) << "node " << members[i];
+  }
+}
+
+TEST(InfluenceOracleTest, MaskIsResetBetweenCalls) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(3);
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 1.0);
+  InfluenceOracle oracle(m);
+  Rng rng(2);
+  const std::vector<NodeId> left = {0, 1, 2};
+  const std::vector<NodeId> right = {3, 4, 5};
+  // With p=1, everyone reaches everyone within a clique: count = theta*|C|.
+  const std::vector<uint32_t> c1 = oracle.CountsWithin(left, 10, rng);
+  for (uint32_t c : c1) EXPECT_EQ(c, 30u);
+  const std::vector<uint32_t> c2 = oracle.CountsWithin(right, 10, rng);
+  for (uint32_t c : c2) EXPECT_EQ(c, 30u);
+}
+
+TEST(InfluenceOracleTest, RankOfCountsStrictlyGreater) {
+  const std::vector<NodeId> members = {10, 20, 30, 40};
+  const std::vector<uint32_t> counts = {5, 9, 5, 2};
+  EXPECT_EQ(InfluenceOracle::RankOf(members, counts, 20), 0u);
+  EXPECT_EQ(InfluenceOracle::RankOf(members, counts, 10), 1u);  // tie with 30
+  EXPECT_EQ(InfluenceOracle::RankOf(members, counts, 30), 1u);
+  EXPECT_EQ(InfluenceOracle::RankOf(members, counts, 40), 3u);
+}
+
+TEST(InfluenceOracleTest, HubOutranksLeaves) {
+  // Star graph: the center's influence dominates under weighted cascade.
+  GraphBuilder b(6);
+  for (NodeId v = 1; v < 6; ++v) b.AddEdge(0, v);
+  const Graph g = std::move(b).Build();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  InfluenceOracle oracle(m);
+  Rng rng(3);
+  const std::vector<NodeId> members = {0, 1, 2, 3, 4, 5};
+  const std::vector<uint32_t> counts = oracle.CountsWithin(members, 400, rng);
+  EXPECT_EQ(InfluenceOracle::RankOf(members, counts, 0), 0u);
+  for (NodeId v = 1; v < 6; ++v) {
+    EXPECT_GT(InfluenceOracle::RankOf(members, counts, v), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cod

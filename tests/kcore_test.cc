@@ -1,0 +1,144 @@
+#include "baselines/kcore.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(CoreNumbersTest, Clique) {
+  const Graph g = testing::MakeClique(5);
+  const std::vector<uint32_t> core = CoreNumbers(g);
+  for (uint32_t c : core) EXPECT_EQ(c, 4u);
+}
+
+TEST(CoreNumbersTest, Path) {
+  const Graph g = testing::MakePath(5);
+  const std::vector<uint32_t> core = CoreNumbers(g);
+  for (uint32_t c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(CoreNumbersTest, CliqueWithTail) {
+  // 4-clique {0..3} plus tail 3-4-5: tail is 1-core, clique is 3-core.
+  GraphBuilder b(6);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) b.AddEdge(u, v);
+  }
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  const Graph g = std::move(b).Build();
+  const std::vector<uint32_t> core = CoreNumbers(g);
+  EXPECT_EQ(core[0], 3u);
+  EXPECT_EQ(core[3], 3u);
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+}
+
+TEST(CoreNumbersTest, IsolatedNodeIsZeroCore) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(CoreNumbers(g)[2], 0u);
+}
+
+TEST(ConnectedKCoreTest, ComponentOfQueryOnly) {
+  // Two disjoint triangles: the 2-core component of node 0 is one triangle.
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(3, 5);
+  const Graph g = std::move(b).Build();
+  const std::vector<uint32_t> core = CoreNumbers(g);
+  EXPECT_EQ(ConnectedKCore(g, 0, 2, core),
+            (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_TRUE(ConnectedKCore(g, 0, 3, core).empty());
+}
+
+TEST(AcqTest, FiltersByAttribute) {
+  // 4-clique where only {0,1,2} share "X": ACQ returns the X-triangle.
+  const Graph g = testing::MakeClique(4);
+  AttributeTableBuilder ab;
+  ab.Add(0, "X");
+  ab.Add(1, "X");
+  ab.Add(2, "X");
+  ab.Add(3, "Y");
+  const AttributeTable attrs = std::move(ab).Build(4);
+  const std::vector<NodeId> community =
+      AcqSearch(g, attrs, 0, attrs.Find("X"));
+  EXPECT_EQ(community, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(AcqTest, QueryWithoutAttributeFails) {
+  const Graph g = testing::MakeClique(3);
+  AttributeTableBuilder ab;
+  ab.Add(1, "X");
+  ab.Add(2, "X");
+  const AttributeTable attrs = std::move(ab).Build(3);
+  EXPECT_TRUE(AcqSearch(g, attrs, 0, attrs.Find("X")).empty());
+}
+
+TEST(AcqTest, IsolatedAttributeHolderFails) {
+  // q has the attribute but no attributed neighbor: 0-core -> empty.
+  const Graph g = testing::MakePath(3);
+  AttributeTableBuilder ab;
+  ab.Add(0, "X");
+  ab.Add(2, "X");
+  const AttributeTable attrs = std::move(ab).Build(3);
+  EXPECT_TRUE(AcqSearch(g, attrs, 0, attrs.Find("X")).empty());
+}
+
+TEST(AcqTest, ExplicitKRelaxesCommunity) {
+  // Attribute-filtered graph: 4-clique + pendant attributed node 4.
+  GraphBuilder b(5);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) b.AddEdge(u, v);
+  }
+  b.AddEdge(3, 4);
+  const Graph g = std::move(b).Build();
+  AttributeTableBuilder ab;
+  for (NodeId v = 0; v < 5; ++v) ab.Add(v, "X");
+  const AttributeTable attrs = std::move(ab).Build(5);
+  const AttributeId x = attrs.Find("X");
+  // Auto k = core number of q (3): pendant excluded.
+  EXPECT_EQ(AcqSearch(g, attrs, 0, x), (std::vector<NodeId>{0, 1, 2, 3}));
+  // k = 1 keeps the pendant.
+  EXPECT_EQ(AcqSearch(g, attrs, 0, x, 1),
+            (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(CoreNumbersTest, PropertyEveryKCoreHasMinDegreeK) {
+  Rng rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t n = 40 + rng.UniformInt(80);
+    GraphBuilder b(n);
+    const size_t m = 3 * n;
+    for (size_t i = 0; i < m; ++i) {
+      b.AddEdge(static_cast<NodeId>(rng.UniformInt(n)),
+                static_cast<NodeId>(rng.UniformInt(n)));
+    }
+    const Graph g = std::move(b).Build();
+    const std::vector<uint32_t> core = CoreNumbers(g);
+    uint32_t max_core = 0;
+    for (uint32_t c : core) max_core = std::max(max_core, c);
+    for (uint32_t k = 1; k <= max_core; ++k) {
+      // Inside the subgraph induced by {core >= k}, every node has degree
+      // >= k (the defining property of the k-core).
+      for (NodeId v = 0; v < n; ++v) {
+        if (core[v] < k) continue;
+        uint32_t degree = 0;
+        for (const AdjEntry& a : g.Neighbors(v)) degree += core[a.to] >= k;
+        EXPECT_GE(degree, k) << "node " << v << " k " << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cod

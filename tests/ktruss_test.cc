@@ -1,0 +1,137 @@
+#include "baselines/ktruss.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(TrussNumbersTest, Clique) {
+  // Every edge of K5 survives to the 5-truss.
+  const Graph g = testing::MakeClique(5);
+  for (uint32_t t : TrussNumbers(g)) EXPECT_EQ(t, 5u);
+}
+
+TEST(TrussNumbersTest, TriangleFreeGraphIsTwoTruss) {
+  const Graph g = testing::MakePath(6);
+  for (uint32_t t : TrussNumbers(g)) EXPECT_EQ(t, 2u);
+}
+
+TEST(TrussNumbersTest, TriangleWithPendant) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  const Graph g = std::move(b).Build();
+  const std::vector<uint32_t> truss = TrussNumbers(g);
+  EXPECT_EQ(truss[g.FindEdge(0, 1)], 3u);
+  EXPECT_EQ(truss[g.FindEdge(1, 2)], 3u);
+  EXPECT_EQ(truss[g.FindEdge(0, 2)], 3u);
+  EXPECT_EQ(truss[g.FindEdge(2, 3)], 2u);
+}
+
+TEST(TrussNumbersTest, TwoCliquesWithBridge) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const std::vector<uint32_t> truss = TrussNumbers(g);
+  EXPECT_EQ(truss[g.FindEdge(0, 1)], 4u);   // inside K4
+  EXPECT_EQ(truss[g.FindEdge(3, 4)], 2u);   // the bridge
+}
+
+TEST(TriangleConnectedTrussTest, StopsAtTriangleBoundaries) {
+  // Two K4s sharing one node (7 nodes): 4-truss edges form two triangle-
+  // connected classes; from node 0 only the first K4 is returned.
+  GraphBuilder b(7);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) b.AddEdge(u, v);
+  }
+  const NodeId map2[4] = {3, 4, 5, 6};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) b.AddEdge(map2[i], map2[j]);
+  }
+  const Graph g = std::move(b).Build();
+  const std::vector<uint32_t> truss = TrussNumbers(g);
+  const std::vector<NodeId> community =
+      TriangleConnectedTruss(g, 0, 4, truss);
+  EXPECT_EQ(community, (std::vector<NodeId>{0, 1, 2, 3}));
+  // From the shared node 3, the largest class is returned (both have size
+  // 4; either is acceptable but it must be one full K4).
+  const std::vector<NodeId> shared =
+      TriangleConnectedTruss(g, 3, 4, truss);
+  EXPECT_EQ(shared.size(), 4u);
+}
+
+TEST(CacTest, ReturnsAttributeSharedTruss) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  AttributeTableBuilder ab;
+  for (NodeId v = 0; v < 8; ++v) ab.Add(v, "X");
+  const AttributeTable attrs = std::move(ab).Build(8);
+  const std::vector<NodeId> community = CacSearch(g, attrs, 0, attrs.Find("X"));
+  EXPECT_EQ(community, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(CacTest, AttributeFilterShrinksCommunity) {
+  // Remove the attribute from node 3: the filtered 0-side is a triangle.
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  AttributeTableBuilder ab;
+  for (NodeId v = 0; v < 8; ++v) {
+    if (v != 3) ab.Add(v, "X");
+  }
+  const AttributeTable attrs = std::move(ab).Build(8);
+  const std::vector<NodeId> community = CacSearch(g, attrs, 0, attrs.Find("X"));
+  EXPECT_EQ(community, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(CacTest, NoTriangleMeansNoCommunity) {
+  const Graph g = testing::MakePath(4);
+  AttributeTableBuilder ab;
+  for (NodeId v = 0; v < 4; ++v) ab.Add(v, "X");
+  const AttributeTable attrs = std::move(ab).Build(4);
+  EXPECT_TRUE(CacSearch(g, attrs, 1, attrs.Find("X")).empty());
+}
+
+TEST(CacTest, QueryWithoutAttributeFails) {
+  const Graph g = testing::MakeClique(4);
+  AttributeTableBuilder ab;
+  ab.Add(1, "X");
+  const AttributeTable attrs = std::move(ab).Build(4);
+  EXPECT_TRUE(CacSearch(g, attrs, 0, attrs.Find("X")).empty());
+}
+
+TEST(TrussNumbersTest, PropertyEveryKTrussEdgeClosesEnoughTriangles) {
+  Rng rng(41);
+  for (int trial = 0; trial < 5; ++trial) {
+    const size_t n = 25 + rng.UniformInt(40);
+    GraphBuilder b(n);
+    for (size_t i = 0; i < 5 * n; ++i) {
+      b.AddEdge(static_cast<NodeId>(rng.UniformInt(n)),
+                static_cast<NodeId>(rng.UniformInt(n)));
+    }
+    const Graph g = std::move(b).Build();
+    const std::vector<uint32_t> truss = TrussNumbers(g);
+    uint32_t max_truss = 2;
+    for (uint32_t t : truss) max_truss = std::max(max_truss, t);
+    for (uint32_t k = 3; k <= max_truss; ++k) {
+      // Within {edges with truss >= k}, every surviving edge must close at
+      // least k-2 surviving triangles (defining property of the k-truss).
+      for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+        if (truss[e] < k) continue;
+        const auto [u, v] = g.Endpoints(e);
+        uint32_t triangles = 0;
+        for (const AdjEntry& a : g.Neighbors(u)) {
+          if (a.to == v || truss[a.edge] < k) continue;
+          const EdgeId other = g.FindEdge(a.to, v);
+          if (other != kInvalidEdge && truss[other] >= k) ++triangles;
+        }
+        EXPECT_GE(triangles, k - 2) << "edge " << e << " k " << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cod

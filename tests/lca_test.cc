@@ -1,0 +1,80 @@
+#include "hierarchy/lca.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "hierarchy/agglomerative.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+// Reference implementation: walk parents upward.
+CommunityId NaiveLca(const Dendrogram& d, CommunityId a, CommunityId b) {
+  std::vector<char> on_path(d.NumVertices(), 0);
+  for (CommunityId c = a; c != kInvalidCommunity; c = d.Parent(c)) {
+    on_path[c] = 1;
+  }
+  for (CommunityId c = b; c != kInvalidCommunity; c = d.Parent(c)) {
+    if (on_path[c]) return c;
+  }
+  return kInvalidCommunity;
+}
+
+TEST(LcaTest, PaperExample) {
+  // Example 2: lca(v0, v6) = C3.
+  const auto ex = testing::MakePaperExample();
+  const LcaIndex lca(ex.dendrogram);
+  EXPECT_EQ(lca.LcaOfNodes(0, 6), ex.c3);
+  EXPECT_EQ(lca.LcaOfNodes(0, 1), ex.c0);
+  EXPECT_EQ(lca.LcaOfNodes(0, 4), ex.c4);
+  EXPECT_EQ(lca.LcaOfNodes(0, 9), ex.c6);
+  EXPECT_EQ(lca.LcaOfNodes(8, 9), ex.c5);
+}
+
+TEST(LcaTest, SelfLcaIsSelf) {
+  const auto ex = testing::MakePaperExample();
+  const LcaIndex lca(ex.dendrogram);
+  for (CommunityId c = 0; c < ex.dendrogram.NumVertices(); ++c) {
+    EXPECT_EQ(lca.Lca(c, c), c);
+  }
+}
+
+TEST(LcaTest, NodeCommunityLca) {
+  const auto ex = testing::MakePaperExample();
+  const LcaIndex lca(ex.dendrogram);
+  EXPECT_EQ(lca.LcaNodeCommunity(4, ex.c3), ex.c4);
+  EXPECT_EQ(lca.LcaNodeCommunity(0, ex.c0), ex.c0);
+  EXPECT_EQ(lca.LcaNodeCommunity(8, ex.c4), ex.c6);
+}
+
+TEST(LcaTest, AncestorLcaIsAncestor) {
+  const auto ex = testing::MakePaperExample();
+  const LcaIndex lca(ex.dendrogram);
+  EXPECT_EQ(lca.Lca(ex.c0, ex.c3), ex.c3);
+  EXPECT_EQ(lca.Lca(ex.c3, ex.c6), ex.c6);
+}
+
+class LcaRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LcaRandomTest, MatchesNaiveOnRandomDendrograms) {
+  Rng rng(GetParam());
+  const size_t n = 30 + rng.UniformInt(170);
+  const Graph g = EnsureConnected(ErdosRenyi(n, 3 * n, rng), rng);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const LcaIndex lca(d);
+  for (int trial = 0; trial < 500; ++trial) {
+    const CommunityId a =
+        static_cast<CommunityId>(rng.UniformInt(d.NumVertices()));
+    const CommunityId b =
+        static_cast<CommunityId>(rng.UniformInt(d.NumVertices()));
+    EXPECT_EQ(lca.Lca(a, b), NaiveLca(d, a, b)) << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcaRandomTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,137 @@
+#include "core/lore.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "hierarchy/agglomerative.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+// Direct Definition-4 computation (with the Algorithm-2 exclusion of edges
+// whose lca is the deepest community): for each chain position i >= 1,
+// r(C_i) = sum over query-attributed edges with lca = C_j(q), 1 <= j <= i,
+// of dep(C_j), divided by |C_i|.
+std::vector<double> DirectScores(const Graph& g, const AttributeTable& attrs,
+                                 const Dendrogram& d, const LcaIndex& lca,
+                                 NodeId q, AttributeId attr) {
+  const std::vector<CommunityId> chain = d.PathToRoot(q);
+  std::vector<double> scores(chain.size(), 0.0);
+  for (size_t i = 1; i < chain.size(); ++i) {
+    double numerator = 0.0;
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      const auto [u, v] = g.Endpoints(e);
+      if (!attrs.Has(u, attr) || !attrs.Has(v, attr)) continue;
+      const CommunityId c = lca.LcaOfNodes(u, v);
+      for (size_t j = 1; j <= i; ++j) {
+        if (chain[j] == c) {
+          numerator += d.Depth(c);
+          break;
+        }
+      }
+    }
+    scores[i] = numerator / d.LeafCount(chain[i]);
+  }
+  return scores;
+}
+
+TEST(LoreTest, PaperExampleSix) {
+  // Example 6: Delta(C3) = 1, Delta(C4) = 2, r(C3) = 3/6, r(C4) = 7/8, and
+  // C4 is selected for reclustering.
+  const auto ex = testing::MakePaperExample();
+  const AttributeTable attrs = testing::MakePaperAttributes();
+  const LcaIndex lca(ex.dendrogram);
+  const AttributeId db = attrs.Find("DB");
+  ASSERT_NE(db, kInvalidAttribute);
+
+  const LoreScores scores = ComputeReclusteringScores(
+      ex.graph, attrs, ex.dendrogram, lca, /*q=*/0, db);
+  ASSERT_EQ(scores.chain.size(), 4u);
+  EXPECT_EQ(scores.chain[0], ex.c0);
+  EXPECT_EQ(scores.chain[1], ex.c3);
+  EXPECT_EQ(scores.chain[2], ex.c4);
+  EXPECT_EQ(scores.chain[3], ex.c6);
+  EXPECT_DOUBLE_EQ(scores.score[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores.score[1], 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(scores.score[2], 7.0 / 8.0);
+  EXPECT_DOUBLE_EQ(scores.score[3], 7.0 / 10.0);
+  EXPECT_EQ(scores.Selected(), ex.c4);
+}
+
+TEST(LoreTest, InC0EdgesAreExcluded) {
+  // Give the DB attribute to v0 too: edges (v0,v2), (v0,v3), (v2,v3) become
+  // query-attributed with lca C0 and must not change any score.
+  const auto ex = testing::MakePaperExample();
+  AttributeTableBuilder b;
+  for (NodeId v : {0, 2, 3, 4, 5, 7}) b.Add(v, "DB");
+  const AttributeTable attrs = std::move(b).Build(10);
+  const LcaIndex lca(ex.dendrogram);
+  const LoreScores scores = ComputeReclusteringScores(
+      ex.graph, attrs, ex.dendrogram, lca, 0, attrs.Find("DB"));
+  EXPECT_DOUBLE_EQ(scores.score[1], 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(scores.score[2], 7.0 / 8.0);
+  EXPECT_EQ(scores.Selected(), ex.c4);
+}
+
+TEST(LoreTest, NoQueryAttributedEdgesFallsBack) {
+  const auto ex = testing::MakePaperExample();
+  AttributeTableBuilder b;
+  b.Add(0, "rare");  // only the query node has it
+  const AttributeTable attrs = std::move(b).Build(10);
+  const LcaIndex lca(ex.dendrogram);
+  const LoreScores scores = ComputeReclusteringScores(
+      ex.graph, attrs, ex.dendrogram, lca, 0, attrs.Find("rare"));
+  for (double s : scores.score) EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_EQ(scores.selected, 1u);  // smallest non-trivial candidate
+}
+
+TEST(LoreTest, EdgesOffTheChainAreIgnored) {
+  // DB edge (8,9) has lca C5, which does not contain v0.
+  const auto ex = testing::MakePaperExample();
+  AttributeTableBuilder b;
+  b.Add(8, "DB");
+  b.Add(9, "DB");
+  const AttributeTable attrs = std::move(b).Build(10);
+  const LcaIndex lca(ex.dendrogram);
+  const LoreScores scores = ComputeReclusteringScores(
+      ex.graph, attrs, ex.dendrogram, lca, 0, attrs.Find("DB"));
+  for (double s : scores.score) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+class LoreRecursionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LoreRecursionTest, RecursionMatchesDirectDefinition) {
+  Rng rng(GetParam());
+  HppParams params;
+  params.num_nodes = 150;
+  params.num_edges = 500;
+  params.levels = 2;
+  params.fanout = 3;
+  const GeneratedGraph gen = HierarchicalPlantedPartition(params, rng);
+  const AttributeTable attrs =
+      AssignCorrelatedAttributes(gen.block, 4, 0.7, 0.2, rng);
+  const Dendrogram d = AgglomerativeCluster(gen.graph);
+  const LcaIndex lca(d);
+  for (int trial = 0; trial < 8; ++trial) {
+    const NodeId q = static_cast<NodeId>(rng.UniformInt(150));
+    const auto node_attrs = attrs.AttributesOf(q);
+    if (node_attrs.empty()) continue;
+    const AttributeId attr = node_attrs[0];
+    const LoreScores fast =
+        ComputeReclusteringScores(gen.graph, attrs, d, lca, q, attr);
+    const std::vector<double> direct =
+        DirectScores(gen.graph, attrs, d, lca, q, attr);
+    ASSERT_EQ(fast.score.size(), direct.size());
+    for (size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_NEAR(fast.score[i], direct[i], 1e-9) << "i=" << i << " q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoreRecursionTest,
+                         ::testing::Values(7, 8, 9, 10, 11, 12));
+
+}  // namespace
+}  // namespace cod

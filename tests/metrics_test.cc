@@ -1,0 +1,65 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(TopologyDensityTest, CliqueIsOne) {
+  const Graph g = testing::MakeClique(5);
+  const std::vector<NodeId> all = {0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(TopologyDensity(g, all), 1.0);
+}
+
+TEST(TopologyDensityTest, SubsetCountsInternalEdgesOnly) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(3);
+  const std::vector<NodeId> left = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(TopologyDensity(g, left), 1.0);
+  const std::vector<NodeId> mixed = {0, 1, 3};  // edge (0,1) only
+  EXPECT_NEAR(TopologyDensity(g, mixed), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TopologyDensityTest, DegenerateSets) {
+  const Graph g = testing::MakePath(3);
+  EXPECT_DOUBLE_EQ(TopologyDensity(g, std::vector<NodeId>{}), 0.0);
+  EXPECT_DOUBLE_EQ(TopologyDensity(g, std::vector<NodeId>{1}), 0.0);
+}
+
+TEST(AttributeDensityTest, Fractions) {
+  AttributeTableBuilder b;
+  b.Add(0, "X");
+  b.Add(1, "X");
+  b.Add(2, "Y");
+  const AttributeTable attrs = std::move(b).Build(4);
+  const AttributeId x = attrs.Find("X");
+  const std::vector<NodeId> all = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(AttributeDensity(attrs, x, all), 0.5);
+  const std::vector<NodeId> two = {0, 1};
+  EXPECT_DOUBLE_EQ(AttributeDensity(attrs, x, two), 1.0);
+  EXPECT_DOUBLE_EQ(AttributeDensity(attrs, x, std::vector<NodeId>{}), 0.0);
+}
+
+TEST(VerifiedRankTest, DeterministicWorld) {
+  // p=1 on a connected community: everyone ties, rank 0.
+  const Graph g = testing::MakeClique(4);
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 1.0);
+  Rng rng(1);
+  const std::vector<NodeId> members = {0, 1, 2, 3};
+  EXPECT_EQ(VerifiedRank(m, members, 2, 5, rng), 0u);
+}
+
+TEST(VerifiedRankTest, HubBeatsLeaves) {
+  GraphBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) b.AddEdge(0, v);
+  const Graph g = std::move(b).Build();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  Rng rng(2);
+  const std::vector<NodeId> members = {0, 1, 2, 3, 4};
+  EXPECT_EQ(VerifiedRank(m, members, 0, 500, rng), 0u);
+  EXPECT_GT(VerifiedRank(m, members, 3, 500, rng), 0u);
+}
+
+}  // namespace
+}  // namespace cod

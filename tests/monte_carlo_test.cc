@@ -1,0 +1,125 @@
+#include "influence/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(MonteCarloTest, DeterministicEdgesActivateEverything) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(3);
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 1.0);
+  MonteCarloSimulator sim(m);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(sim.EstimateInfluence(0, 10, rng), 6.0);
+}
+
+TEST(MonteCarloTest, ZeroProbabilityActivatesOnlySeed) {
+  const Graph g = testing::MakeClique(5);
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 0.0);
+  MonteCarloSimulator sim(m);
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(sim.EstimateInfluence(0, 10, rng), 1.0);
+}
+
+TEST(MonteCarloTest, PathGraphAnalytic) {
+  // Path 0-1-2 with uniform p: seeding node 0 activates 1 w.p. p and then 2
+  // w.p. p^2: E = 1 + p + p^2.
+  const Graph g = testing::MakePath(3);
+  const double p = 0.5;
+  const DiffusionModel m = DiffusionModel::UniformIc(g, p);
+  MonteCarloSimulator sim(m);
+  Rng rng(3);
+  const double expect = 1.0 + p + p * p;
+  EXPECT_NEAR(sim.EstimateInfluence(0, 200000, rng), expect, 0.01);
+}
+
+TEST(MonteCarloTest, StarCenterAnalytic) {
+  // Star: center 0 with 4 leaves, uniform p = 0.3: E = 1 + 4p.
+  GraphBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) b.AddEdge(0, v);
+  const Graph g = std::move(b).Build();
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 0.3);
+  MonteCarloSimulator sim(m);
+  Rng rng(4);
+  EXPECT_NEAR(sim.EstimateInfluence(0, 200000, rng), 2.2, 0.02);
+}
+
+TEST(MonteCarloTest, RestrictionConfinesProcess) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(3);
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 1.0);
+  MonteCarloSimulator sim(m);
+  Rng rng(5);
+  std::vector<char> allowed(6, 0);
+  allowed[0] = allowed[1] = allowed[2] = 1;
+  EXPECT_DOUBLE_EQ(sim.EstimateInfluence(0, 10, rng, &allowed), 3.0);
+}
+
+TEST(MonteCarloTest, LtDeterministicCircuit) {
+  // LT weighted cascade on a path seeded at an end: node 1 has in-weights
+  // 1/2 from each side; with only node 0 active it fires iff its threshold
+  // is <= 1/2, so E[activations of 1] = 1/2; then node 2's single in-weight
+  // is 1 but conditioned on 1 firing... E = 1 + 1/2 + 1/2*1 = 2.
+  const Graph g = testing::MakePath(3);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeLt(g);
+  MonteCarloSimulator sim(m);
+  Rng rng(6);
+  EXPECT_NEAR(sim.EstimateInfluence(0, 200000, rng), 2.0, 0.02);
+}
+
+TEST(MonteCarloTest, LtCliqueSeedAloneMatchesRrEstimate) {
+  // Smoke check that the LT forward process is confined and nontrivial.
+  const Graph g = testing::MakeClique(4);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeLt(g);
+  MonteCarloSimulator sim(m);
+  Rng rng(7);
+  const double influence = sim.EstimateInfluence(0, 50000, rng);
+  EXPECT_GT(influence, 1.0);
+  EXPECT_LT(influence, 4.0);
+}
+
+TEST(MonteCarloSetTest, DuplicateSeedsCountOnce) {
+  const Graph g = testing::MakeClique(4);
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 0.0);
+  MonteCarloSimulator sim(m);
+  Rng rng(8);
+  const std::vector<NodeId> seeds = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(sim.EstimateInfluenceOfSet(seeds, 10, rng), 1.0);
+}
+
+TEST(MonteCarloSetTest, SupersetSeedsSpreadAtLeastAsMuch) {
+  const auto ex = testing::MakePaperExample();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(ex.graph);
+  MonteCarloSimulator sim(m);
+  Rng rng(9);
+  const std::vector<NodeId> small = {0};
+  const std::vector<NodeId> large = {0, 8};
+  const double s = sim.EstimateInfluenceOfSet(small, 30000, rng);
+  const double l = sim.EstimateInfluenceOfSet(large, 30000, rng);
+  EXPECT_GT(l, s + 0.5);  // node 8 adds at least itself
+}
+
+TEST(MonteCarloSetTest, FullSeedSetActivatesEverything) {
+  const Graph g = testing::MakePath(6);
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 0.0);
+  MonteCarloSimulator sim(m);
+  Rng rng(10);
+  const std::vector<NodeId> all = {0, 1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(sim.EstimateInfluenceOfSet(all, 5, rng), 6.0);
+}
+
+TEST(MonteCarloTest, LtRestrictedProcessStaysInside) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(3);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeLt(g);
+  MonteCarloSimulator sim(m);
+  Rng rng(11);
+  std::vector<char> allowed(6, 0);
+  allowed[0] = allowed[1] = allowed[2] = 1;
+  const double inside = sim.EstimateInfluence(0, 20000, rng, &allowed);
+  EXPECT_GE(inside, 1.0);
+  EXPECT_LE(inside, 3.0);
+}
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,144 @@
+#include "hierarchy/quality.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "hierarchy/agglomerative.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(DasguptaCostTest, HandComputedOnPath) {
+  // Path 0-1-2. Tree A: merge (0,1) first -> lca(0,1) has 2 leaves,
+  // lca(1,2) has 3: cost = 2 + 3 = 5. Tree B: merge (1,2) first: also 5 by
+  // symmetry. Tree C: merge (0,2) first (the non-edge!): both edges pay 3:
+  // cost = 6.
+  const Graph g = testing::MakePath(3);
+  {
+    DendrogramBuilder b(3);
+    const CommunityId m = b.Merge(0, 1);
+    b.Merge(m, 2);
+    const Dendrogram d = std::move(b).Build();
+    const LcaIndex lca(d);
+    EXPECT_DOUBLE_EQ(DasguptaCost(g, d, lca), 5.0);
+  }
+  {
+    DendrogramBuilder b(3);
+    const CommunityId m = b.Merge(0, 2);
+    b.Merge(m, 1);
+    const Dendrogram d = std::move(b).Build();
+    const LcaIndex lca(d);
+    EXPECT_DOUBLE_EQ(DasguptaCost(g, d, lca), 6.0);
+  }
+}
+
+TEST(DasguptaCostTest, GoodSplitBeatsBadSplit) {
+  // Two cliques + bridge: separating the cliques at the top is cheaper than
+  // a tree that mixes them.
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const Dendrogram good = AgglomerativeCluster(g);
+  // Bad tree: caterpillar interleaving the cliques.
+  DendrogramBuilder b(8);
+  CommunityId acc = b.Merge(0, 4);
+  for (NodeId v : {1, 5, 2, 6, 3, 7}) acc = b.Merge(acc, v);
+  const Dendrogram bad = std::move(b).Build();
+  const LcaIndex lca_good(good);
+  const LcaIndex lca_bad(bad);
+  EXPECT_LT(DasguptaCost(g, good, lca_good), DasguptaCost(g, bad, lca_bad));
+}
+
+TEST(DasguptaCostTest, WeightsMatter) {
+  // Heavy edge cut at the root dominates the cost.
+  GraphBuilder gb(3);
+  gb.AddEdge(0, 1, 10.0);
+  gb.AddEdge(1, 2, 1.0);
+  const Graph g = std::move(gb).Build();
+  DendrogramBuilder b(3);
+  const CommunityId m = b.Merge(1, 2);  // cuts the heavy edge at the root
+  b.Merge(m, 0);
+  const Dendrogram d = std::move(b).Build();
+  const LcaIndex lca(d);
+  EXPECT_DOUBLE_EQ(DasguptaCost(g, d, lca), 10.0 * 3 + 1.0 * 2);
+}
+
+TEST(CutToClustersTest, SplitsTwoCliques) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const std::vector<uint32_t> labels = CutToClusters(d, 2);
+  // The two cliques get distinct labels.
+  for (NodeId v = 1; v < 4; ++v) EXPECT_EQ(labels[v], labels[0]);
+  for (NodeId v = 5; v < 8; ++v) EXPECT_EQ(labels[v], labels[4]);
+  EXPECT_NE(labels[0], labels[4]);
+}
+
+TEST(CutToClustersTest, TargetOneIsSingleCluster) {
+  const Graph g = testing::MakeClique(5);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const std::vector<uint32_t> labels = CutToClusters(d, 1);
+  for (uint32_t label : labels) EXPECT_EQ(label, 0u);
+}
+
+TEST(CutToClustersTest, LargeTargetGivesSingletons) {
+  const Graph g = testing::MakeClique(5);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const std::vector<uint32_t> labels = CutToClusters(d, 100);
+  std::vector<uint32_t> sorted(labels.begin(), labels.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());  // all distinct
+}
+
+TEST(ModularityTest, TwoCliquesPartitionIsPositive) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  std::vector<uint32_t> split(8, 0);
+  for (NodeId v = 4; v < 8; ++v) split[v] = 1;
+  std::vector<uint32_t> together(8, 0);
+  EXPECT_GT(Modularity(g, split), 0.3);
+  EXPECT_DOUBLE_EQ(Modularity(g, together), 0.0);
+  EXPECT_GT(Modularity(g, split), Modularity(g, together));
+}
+
+TEST(ModularityTest, HandComputedTwoTriangles) {
+  // Two disjoint triangles, correct split: Q = 2 * (3/6 - (6/12)^2) = 0.5.
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(3, 5);
+  const Graph g = std::move(b).Build();
+  const std::vector<uint32_t> labels = {0, 0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(Modularity(g, labels), 0.5);
+}
+
+TEST(QualityIntegrationTest, AverageLinkageBeatsRandomTreeOnPlanted) {
+  Rng rng(1);
+  HppParams params;
+  params.num_nodes = 200;
+  params.num_edges = 800;
+  params.levels = 2;
+  params.fanout = 4;
+  const GeneratedGraph gen = HierarchicalPlantedPartition(params, rng);
+  const Dendrogram good = AgglomerativeCluster(gen.graph);
+  // Random caterpillar as the straw man.
+  DendrogramBuilder b(200);
+  CommunityId acc = b.Merge(0, 1);
+  for (NodeId v = 2; v < 200; ++v) acc = b.Merge(acc, v);
+  const Dendrogram bad = std::move(b).Build();
+  const LcaIndex lg(good);
+  const LcaIndex lb(bad);
+  EXPECT_LT(DasguptaCost(gen.graph, good, lg),
+            DasguptaCost(gen.graph, bad, lb));
+  // Cutting the good hierarchy at the planted block count recovers a
+  // higher-modularity partition than a size-16 cut of the caterpillar.
+  EXPECT_GT(Modularity(gen.graph, CutToClusters(good, gen.num_blocks)),
+            Modularity(gen.graph, CutToClusters(bad, gen.num_blocks)));
+}
+
+}  // namespace
+}  // namespace cod

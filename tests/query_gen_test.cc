@@ -1,0 +1,64 @@
+#include "eval/query_gen.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace cod {
+namespace {
+
+AttributeTable MakeAttrs() {
+  AttributeTableBuilder b;
+  b.Add(0, "A");
+  b.Add(1, "A");
+  b.Add(1, "B");
+  b.Add(3, "C");
+  b.Add(4, "A");
+  b.Add(5, "B");
+  return std::move(b).Build(8);  // nodes 2, 6, 7 have no attributes
+}
+
+TEST(QueryGenTest, QueriesUseOwnAttributes) {
+  const AttributeTable attrs = MakeAttrs();
+  Rng rng(1);
+  const std::vector<Query> queries = GenerateQueries(attrs, 50, rng);
+  ASSERT_EQ(queries.size(), 50u);
+  for (const Query& q : queries) {
+    EXPECT_TRUE(attrs.Has(q.node, q.attribute))
+        << "node " << q.node << " attr " << q.attribute;
+  }
+}
+
+TEST(QueryGenTest, SkipsAttributelessNodes) {
+  const AttributeTable attrs = MakeAttrs();
+  Rng rng(2);
+  for (const Query& q : GenerateQueries(attrs, 100, rng)) {
+    EXPECT_NE(q.node, 2u);
+    EXPECT_NE(q.node, 6u);
+    EXPECT_NE(q.node, 7u);
+  }
+}
+
+TEST(QueryGenTest, WithoutReplacementWhenEnoughCandidates) {
+  const AttributeTable attrs = MakeAttrs();  // 5 candidates
+  Rng rng(3);
+  const std::vector<Query> queries = GenerateQueries(attrs, 5, rng);
+  std::set<NodeId> nodes;
+  for (const Query& q : queries) nodes.insert(q.node);
+  EXPECT_EQ(nodes.size(), 5u);
+}
+
+TEST(QueryGenTest, Deterministic) {
+  const AttributeTable attrs = MakeAttrs();
+  Rng rng1(4);
+  Rng rng2(4);
+  const auto a = GenerateQueries(attrs, 20, rng1);
+  const auto b = GenerateQueries(attrs, 20, rng2);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].attribute, b[i].attribute);
+  }
+}
+
+}  // namespace
+}  // namespace cod

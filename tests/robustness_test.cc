@@ -1,0 +1,142 @@
+// Failure-injection / fuzz-lite robustness tests: every loader must reject
+// malformed input with a Status — never crash, never OOM, never return a
+// structurally invalid object (Arrow-style "corrupt files are data, not
+// bugs" discipline).
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/himor.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "hierarchy/agglomerative.h"
+#include "hierarchy/dendrogram_io.h"
+#include "hierarchy/lca.h"
+
+namespace cod {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out << bytes;
+}
+
+std::string RandomBytes(Rng& rng, size_t count) {
+  std::string bytes(count, '\0');
+  for (char& c : bytes) c = static_cast<char>(rng.UniformInt(256));
+  return bytes;
+}
+
+class FuzzSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSeedTest, RandomBytesNeverCrashLoaders) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t size = rng.UniformInt(512);
+    const std::string path = TempPath("fuzz.bin");
+    WriteBytes(path, RandomBytes(rng, size));
+    // Binary loaders: must return a Status (usually InvalidArgument).
+    { Result<Dendrogram> r = LoadDendrogram(path); (void)r.ok(); }
+    { Result<HimorIndex> r = HimorIndex::Load(path); (void)r.ok(); }
+    // Text loaders: random bytes are usually malformed lines.
+    { Result<Graph> r = LoadEdgeList(path); (void)r.ok(); }
+    { Result<AttributeTable> r = LoadAttributes(path, 16); (void)r.ok(); }
+  }
+}
+
+TEST_P(FuzzSeedTest, BitFlippedDendrogramsNeverCrash) {
+  Rng rng(GetParam() + 100);
+  const Graph g = EnsureConnected(ErdosRenyi(30, 90, rng), rng);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const std::string path = TempPath("valid_dendrogram.bin");
+  ASSERT_TRUE(SaveDendrogram(d, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string mutated = bytes;
+    // Flip a few random bytes (past the magic so some headers survive).
+    const int flips = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.UniformInt(mutated.size())] ^=
+          static_cast<char>(1 + rng.UniformInt(255));
+    }
+    const std::string mpath = TempPath("mutated_dendrogram.bin");
+    WriteBytes(mpath, mutated);
+    Result<Dendrogram> r = LoadDendrogram(mpath);
+    if (r.ok()) {
+      // If it loaded, it must be structurally sound.
+      EXPECT_EQ(r->LeafCount(r->Root()), r->NumLeaves());
+    }
+  }
+}
+
+TEST_P(FuzzSeedTest, BitFlippedHimorNeverCrashes) {
+  Rng rng(GetParam() + 200);
+  const Graph g = EnsureConnected(ErdosRenyi(30, 90, rng), rng);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const LcaIndex lca(d);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  const HimorIndex index = HimorIndex::Build(m, d, lca, 5, rng);
+  const std::string path = TempPath("valid_himor.bin");
+  ASSERT_TRUE(index.Save(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string mutated = bytes;
+    mutated[rng.UniformInt(mutated.size())] ^=
+        static_cast<char>(1 + rng.UniformInt(255));
+    // Also try random truncation.
+    if (rng.Bernoulli(0.5)) {
+      mutated.resize(rng.UniformInt(mutated.size() + 1));
+    }
+    const std::string mpath = TempPath("mutated_himor.bin");
+    WriteBytes(mpath, mutated);
+    Result<HimorIndex> r = HimorIndex::Load(mpath);
+    if (r.ok()) {
+      EXPECT_GE(r->max_rank(), 1u);
+    }
+  }
+}
+
+TEST_P(FuzzSeedTest, GarbledTextEdgesNeverCrash) {
+  Rng rng(GetParam() + 300);
+  const char* fragments[] = {"0 1",    "abc",     "1 2 3.5", "-5 2",
+                             "# x",    "",        "7",       "1 999999999",
+                             "2 3 xx", "\t  \t", "0 0",     "18446744073709551615 1"};
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string content;
+    const int lines = static_cast<int>(rng.UniformInt(12));
+    for (int l = 0; l < lines; ++l) {
+      content += fragments[rng.UniformInt(std::size(fragments))];
+      content += "\n";
+    }
+    const std::string path = TempPath("garbled.edges");
+    WriteBytes(path, content);
+    Result<Graph> r = LoadEdgeList(path);
+    if (r.ok()) {
+      // Loaded graphs must be self-consistent.
+      for (EdgeId e = 0; e < r->NumEdges(); ++e) {
+        const auto [u, v] = r->Endpoints(e);
+        EXPECT_LT(u, r->NumNodes());
+        EXPECT_LT(v, r->NumNodes());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cod

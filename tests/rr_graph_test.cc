@@ -1,0 +1,282 @@
+#include "influence/rr_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "influence/monte_carlo.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+// Reachability from the source inside `allowed` using only recorded live
+// edges — the induced RR graph of Definition 3.
+size_t InducedReach(const RrGraph& rr, const std::vector<char>& allowed,
+                    std::vector<char>* hit_nodes = nullptr) {
+  if (!allowed[rr.source]) return 0;
+  std::vector<char> visited(rr.NumNodes(), 0);
+  std::vector<uint32_t> stack{0};
+  visited[0] = 1;
+  size_t reached = 1;
+  if (hit_nodes != nullptr) (*hit_nodes)[rr.source] = 1;
+  while (!stack.empty()) {
+    const uint32_t i = stack.back();
+    stack.pop_back();
+    for (uint32_t u : rr.NeighborsOf(i)) {
+      if (visited[u] || !allowed[rr.nodes[u]]) continue;
+      visited[u] = 1;
+      ++reached;
+      if (hit_nodes != nullptr) (*hit_nodes)[rr.nodes[u]] = 1;
+      stack.push_back(u);
+    }
+  }
+  return reached;
+}
+
+TEST(RrGraphTest, SourceAlwaysFirst) {
+  const Graph g = testing::MakeClique(5);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  RrSampler sampler(m);
+  Rng rng(1);
+  RrGraph rr;
+  for (int i = 0; i < 50; ++i) {
+    sampler.Sample(3, rng, &rr);
+    ASSERT_GE(rr.NumNodes(), 1u);
+    EXPECT_EQ(rr.nodes[0], 3u);
+    EXPECT_EQ(rr.source, 3u);
+  }
+}
+
+TEST(RrGraphTest, RecordedEdgesExistInGraph) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  RrSampler sampler(m);
+  Rng rng(2);
+  RrGraph rr;
+  for (int i = 0; i < 200; ++i) {
+    sampler.Sample(static_cast<NodeId>(i % 8), rng, &rr);
+    for (uint32_t v = 0; v < rr.NumNodes(); ++v) {
+      for (uint32_t u : rr.NeighborsOf(v)) {
+        EXPECT_NE(g.FindEdge(rr.nodes[v], rr.nodes[u]), kInvalidEdge);
+      }
+    }
+  }
+}
+
+TEST(RrGraphTest, DeterministicEdgesReachWholeComponent) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(3);
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 1.0);
+  RrSampler sampler(m);
+  Rng rng(3);
+  RrGraph rr;
+  sampler.Sample(0, rng, &rr);
+  EXPECT_EQ(rr.NumNodes(), 6u);
+  // Every edge of the graph is live, in both directions.
+  EXPECT_EQ(rr.NumEdges(), 2 * g.NumEdges());
+}
+
+TEST(RrGraphTest, RestrictedSamplingStaysInMask) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 1.0);
+  RrSampler sampler(m);
+  Rng rng(4);
+  std::vector<char> allowed(8, 0);
+  for (NodeId v = 0; v < 4; ++v) allowed[v] = 1;
+  RrGraph rr;
+  for (int i = 0; i < 20; ++i) {
+    sampler.SampleRestricted(1, allowed, rng, &rr);
+    EXPECT_EQ(rr.NumNodes(), 4u);
+    for (NodeId v : rr.nodes) EXPECT_LT(v, 4u);
+  }
+}
+
+TEST(RrGraphTest, SetVariantMatchesGraphVariantNodeCounts) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  // Same seed => same coin sequence: the node-set sampler must visit the
+  // same nodes as the graph sampler.
+  RrSampler s1(m);
+  RrSampler s2(m);
+  Rng rng1(5);
+  Rng rng2(5);
+  RrGraph rr;
+  std::vector<NodeId> set;
+  for (int i = 0; i < 100; ++i) {
+    set.clear();
+    s1.Sample(2, rng1, &rr);
+    s2.SampleSetRestricted(2, nullptr, rng2, &set);
+    EXPECT_EQ(rr.NumNodes(), set.size());
+  }
+}
+
+// Theorem 1: counting RR-set membership estimates influence.
+TEST(RrGraphTest, UnbiasedInfluenceEstimation) {
+  const auto ex = testing::MakePaperExample();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(ex.graph);
+  RrSampler sampler(m);
+  MonteCarloSimulator sim(m);
+  Rng rng(6);
+
+  const size_t n = ex.graph.NumNodes();
+  const uint32_t theta = 3000;
+  std::vector<uint32_t> counts(n, 0);
+  std::vector<NodeId> set;
+  for (NodeId source = 0; source < n; ++source) {
+    for (uint32_t t = 0; t < theta; ++t) {
+      set.clear();
+      sampler.SampleSetRestricted(source, nullptr, rng, &set);
+      for (NodeId v : set) ++counts[v];
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const double rr_estimate = static_cast<double>(counts[v]) / theta;
+    const double mc_estimate = sim.EstimateInfluence(v, 60000, rng);
+    EXPECT_NEAR(rr_estimate, mc_estimate, 0.12)
+        << "node " << v;
+  }
+}
+
+// Theorem 2: the induced RR graph estimates community influence — this is
+// the property that forces recording ALL live edges, not just tree edges.
+TEST(RrGraphTest, InducedRrGraphMatchesRestrictedProcess) {
+  const auto ex = testing::MakePaperExample();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(ex.graph);
+  RrSampler sampler(m);
+  MonteCarloSimulator sim(m);
+  Rng rng(7);
+
+  // Community C4 = {0..7} of the paper example.
+  std::vector<char> allowed(10, 0);
+  for (NodeId v = 0; v < 8; ++v) allowed[v] = 1;
+
+  const uint32_t theta = 4000;
+  std::vector<uint32_t> counts(10, 0);
+  RrGraph rr;
+  std::vector<char> hits(10, 0);
+  for (NodeId source = 0; source < 8; ++source) {
+    for (uint32_t t = 0; t < theta; ++t) {
+      // Sample UNRESTRICTED, then restrict by induced reachability.
+      sampler.Sample(source, rng, &rr);
+      std::fill(hits.begin(), hits.end(), 0);
+      InducedReach(rr, allowed, &hits);
+      for (NodeId v = 0; v < 10; ++v) counts[v] += hits[v];
+    }
+  }
+  for (NodeId v = 0; v < 8; ++v) {
+    const double induced_estimate = static_cast<double>(counts[v]) / theta;
+    const double mc_estimate = sim.EstimateInfluence(v, 60000, rng, &allowed);
+    EXPECT_NEAR(induced_estimate, mc_estimate, 0.1) << "node " << v;
+  }
+  EXPECT_EQ(counts[8], 0u);
+  EXPECT_EQ(counts[9], 0u);
+}
+
+TEST(RrGraphTest, LtSamplesAtMostOneInEdgePerNode) {
+  const Graph g = testing::MakeClique(6);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeLt(g);
+  RrSampler sampler(m);
+  Rng rng(8);
+  RrGraph rr;
+  for (int i = 0; i < 200; ++i) {
+    sampler.Sample(static_cast<NodeId>(i % 6), rng, &rr);
+    for (uint32_t v = 0; v < rr.NumNodes(); ++v) {
+      EXPECT_LE(rr.NeighborsOf(v).size(), 1u);
+    }
+  }
+}
+
+TEST(RrGraphTest, LtUnbiasedAgainstForwardSimulation) {
+  const auto ex = testing::MakePaperExample();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeLt(ex.graph);
+  RrSampler sampler(m);
+  MonteCarloSimulator sim(m);
+  Rng rng(9);
+  const size_t n = ex.graph.NumNodes();
+  const uint32_t theta = 3000;
+  std::vector<uint32_t> counts(n, 0);
+  std::vector<NodeId> set;
+  for (NodeId source = 0; source < n; ++source) {
+    for (uint32_t t = 0; t < theta; ++t) {
+      set.clear();
+      sampler.SampleSetRestricted(source, nullptr, rng, &set);
+      for (NodeId v : set) ++counts[v];
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const double rr_estimate = static_cast<double>(counts[v]) / theta;
+    const double mc_estimate = sim.EstimateInfluence(v, 60000, rng);
+    EXPECT_NEAR(rr_estimate, mc_estimate, 0.12) << "node " << v;
+  }
+}
+
+// Parameterized unbiasedness sweep over every supported diffusion model
+// family: RR counting must agree with forward Monte-Carlo on each.
+enum class ModelKind { kWeightedCascade, kUniform, kTrivalency, kLt };
+
+class ModelSweepTest : public ::testing::TestWithParam<ModelKind> {
+ protected:
+  static DiffusionModel MakeModel(const Graph& g, ModelKind kind) {
+    Rng model_rng(99);
+    switch (kind) {
+      case ModelKind::kWeightedCascade:
+        return DiffusionModel::WeightedCascadeIc(g);
+      case ModelKind::kUniform:
+        return DiffusionModel::UniformIc(g, 0.3);
+      case ModelKind::kTrivalency:
+        return DiffusionModel::TrivalencyIc(g, model_rng);
+      case ModelKind::kLt:
+        return DiffusionModel::WeightedCascadeLt(g);
+    }
+    COD_CHECK(false);
+    return DiffusionModel::WeightedCascadeIc(g);
+  }
+};
+
+TEST_P(ModelSweepTest, RrCountingUnbiasedUnderModel) {
+  const auto ex = testing::MakePaperExample();
+  const DiffusionModel m = MakeModel(ex.graph, GetParam());
+  RrSampler sampler(m);
+  MonteCarloSimulator sim(m);
+  Rng rng(12);
+  const size_t n = ex.graph.NumNodes();
+  const uint32_t theta = 3000;
+  std::vector<uint32_t> counts(n, 0);
+  std::vector<NodeId> set;
+  for (NodeId source = 0; source < n; ++source) {
+    for (uint32_t t = 0; t < theta; ++t) {
+      set.clear();
+      sampler.SampleSetRestricted(source, nullptr, rng, &set);
+      for (NodeId v : set) ++counts[v];
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const double rr_estimate = static_cast<double>(counts[v]) / theta;
+    const double mc_estimate = sim.EstimateInfluence(v, 60000, rng);
+    EXPECT_NEAR(rr_estimate, mc_estimate, 0.12) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelSweepTest,
+                         ::testing::Values(ModelKind::kWeightedCascade,
+                                           ModelKind::kUniform,
+                                           ModelKind::kTrivalency,
+                                           ModelKind::kLt));
+
+TEST(RrGraphTest, DeterministicWithSameSeed) {
+  const Graph g = testing::MakeTwoCliquesWithBridge(4);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  RrSampler s1(m);
+  RrSampler s2(m);
+  Rng rng1(10);
+  Rng rng2(10);
+  RrGraph a;
+  RrGraph b;
+  for (int i = 0; i < 50; ++i) {
+    s1.Sample(0, rng1, &a);
+    s2.Sample(0, rng2, &b);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.neighbors, b.neighbors);
+  }
+}
+
+}  // namespace
+}  // namespace cod

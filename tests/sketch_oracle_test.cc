@@ -1,0 +1,108 @@
+#include "influence/sketch_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "influence/influence_oracle.h"
+#include "influence/monte_carlo.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+TEST(SketchOracleTest, DeterministicWorldExactWhenSketchCoversGraph) {
+  // p = 1, connected, n < k: every sketch stays below capacity, so the
+  // counts are exact: sigma(v) = n for all v.
+  const Graph g = testing::MakeTwoCliquesWithBridge(3);
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 1.0);
+  SketchOptions options;
+  options.num_worlds = 4;
+  options.sketch_size = 16;
+  Rng rng(1);
+  const std::vector<double> sigma = SketchInfluence(m, options, rng);
+  for (double s : sigma) EXPECT_DOUBLE_EQ(s, 6.0);
+}
+
+TEST(SketchOracleTest, ZeroProbabilityGivesOne) {
+  const Graph g = testing::MakeClique(5);
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 0.0);
+  SketchOptions options;
+  options.num_worlds = 3;
+  Rng rng(2);
+  for (double s : SketchInfluence(m, options, rng)) {
+    EXPECT_DOUBLE_EQ(s, 1.0);
+  }
+}
+
+TEST(SketchOracleTest, MatchesMonteCarloOnPaperExample) {
+  const auto ex = testing::MakePaperExample();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(ex.graph);
+  SketchOptions options;
+  options.num_worlds = 4000;
+  options.sketch_size = 16;  // > n: exact per world
+  Rng rng(3);
+  const std::vector<double> sigma = SketchInfluence(m, options, rng);
+  MonteCarloSimulator sim(m);
+  for (NodeId v = 0; v < ex.graph.NumNodes(); ++v) {
+    EXPECT_NEAR(sigma[v], sim.EstimateInfluence(v, 60000, rng), 0.12)
+        << "node " << v;
+  }
+}
+
+TEST(SketchOracleTest, BottomKEstimatorTracksLargeReachableSets) {
+  // Star with 60 leaves and p = 1: everyone reaches everyone (undirected
+  // live edges both ways with p=1), true sigma = 61 everywhere; with
+  // k = 16 << n the bottom-k estimator kicks in.
+  GraphBuilder b(61);
+  for (NodeId v = 1; v <= 60; ++v) b.AddEdge(0, v);
+  const Graph g = std::move(b).Build();
+  const DiffusionModel m = DiffusionModel::UniformIc(g, 1.0);
+  SketchOptions options;
+  options.num_worlds = 400;
+  options.sketch_size = 16;
+  Rng rng(4);
+  const std::vector<double> sigma = SketchInfluence(m, options, rng);
+  for (double s : sigma) EXPECT_NEAR(s, 61.0, 8.0);
+}
+
+TEST(SketchOracleTest, LtModelSupported) {
+  const auto ex = testing::MakePaperExample();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeLt(ex.graph);
+  SketchOptions options;
+  options.num_worlds = 4000;
+  options.sketch_size = 16;
+  Rng rng(5);
+  const std::vector<double> sigma = SketchInfluence(m, options, rng);
+  MonteCarloSimulator sim(m);
+  for (NodeId v = 0; v < ex.graph.NumNodes(); ++v) {
+    EXPECT_NEAR(sigma[v], sim.EstimateInfluence(v, 60000, rng), 0.12)
+        << "node " << v;
+  }
+}
+
+TEST(SketchOracleTest, AgreesWithRrCountingOnRanking) {
+  // Hub-vs-leaf ordering must agree between the two estimator families.
+  GraphBuilder b(10);
+  for (NodeId v = 1; v <= 6; ++v) b.AddEdge(0, v);
+  b.AddEdge(7, 8);
+  b.AddEdge(8, 9);
+  const Graph g = std::move(b).Build();
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  SketchOptions options;
+  options.num_worlds = 3000;
+  options.sketch_size = 16;
+  Rng rng(6);
+  const std::vector<double> sketch_sigma = SketchInfluence(m, options, rng);
+  InfluenceOracle oracle(m);
+  std::vector<NodeId> everyone;
+  for (NodeId v = 0; v < 10; ++v) everyone.push_back(v);
+  const std::vector<uint32_t> counts =
+      oracle.CountsWithin(everyone, 3000, rng);
+  // The hub must dominate both rankings.
+  for (NodeId v = 1; v < 10; ++v) {
+    EXPECT_GT(sketch_sigma[0], sketch_sigma[v]);
+    EXPECT_GT(counts[0], counts[v]);
+  }
+}
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,147 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/himor.h"
+#include "graph/generators.h"
+#include "hierarchy/agglomerative.h"
+#include "hierarchy/lca.h"
+
+namespace cod {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(counter.load(), (wave + 1) * 100);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+class ParallelHimorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(5);
+    graph_ = new Graph(EnsureConnected(ErdosRenyi(300, 900, rng), rng));
+    dendrogram_ = new Dendrogram(AgglomerativeCluster(*graph_));
+    lca_ = new LcaIndex(*dendrogram_);
+    model_ = new DiffusionModel(DiffusionModel::WeightedCascadeIc(*graph_));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete lca_;
+    delete dendrogram_;
+    delete graph_;
+    model_ = nullptr;
+    lca_ = nullptr;
+    dendrogram_ = nullptr;
+    graph_ = nullptr;
+  }
+  static Graph* graph_;
+  static Dendrogram* dendrogram_;
+  static LcaIndex* lca_;
+  static DiffusionModel* model_;
+};
+
+Graph* ParallelHimorTest::graph_ = nullptr;
+Dendrogram* ParallelHimorTest::dendrogram_ = nullptr;
+LcaIndex* ParallelHimorTest::lca_ = nullptr;
+DiffusionModel* ParallelHimorTest::model_ = nullptr;
+
+TEST_F(ParallelHimorTest, ThreadCountDoesNotChangeTheIndex) {
+  const HimorIndex one = HimorIndex::BuildParallel(
+      *model_, *dendrogram_, *lca_, 8, /*seed=*/42, 16, /*num_threads=*/1);
+  const HimorIndex four = HimorIndex::BuildParallel(
+      *model_, *dendrogram_, *lca_, 8, /*seed=*/42, 16, /*num_threads=*/4);
+  ASSERT_EQ(one.NumEntries(), four.NumEntries());
+  for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
+    const auto a = one.RanksOf(v);
+    const auto b = four.RanksOf(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].community, b[i].community);
+      EXPECT_EQ(a[i].rank, b[i].rank);
+    }
+  }
+}
+
+TEST_F(ParallelHimorTest, DifferentSeedsDiffer) {
+  const HimorIndex a = HimorIndex::BuildParallel(*model_, *dendrogram_, *lca_,
+                                                 8, /*seed=*/1, 16, 2);
+  const HimorIndex b = HimorIndex::BuildParallel(*model_, *dendrogram_, *lca_,
+                                                 8, /*seed=*/2, 16, 2);
+  bool any_difference = a.NumEntries() != b.NumEntries();
+  if (!any_difference) {
+    for (NodeId v = 0; v < graph_->NumNodes() && !any_difference; ++v) {
+      const auto ra = a.RanksOf(v);
+      const auto rb = b.RanksOf(v);
+      if (ra.size() != rb.size()) {
+        any_difference = true;
+        break;
+      }
+      for (size_t i = 0; i < ra.size(); ++i) {
+        if (ra[i].rank != rb[i].rank) {
+          any_difference = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(ParallelHimorTest, ParallelAgreesWithSerialInDeterministicWorld) {
+  // p = 1 removes sampling noise entirely: serial and parallel builders must
+  // produce the exact same ranks even though their RNG streams differ.
+  const DiffusionModel sure = DiffusionModel::UniformIc(*graph_, 1.0);
+  Rng rng(7);
+  const HimorIndex serial =
+      HimorIndex::Build(sure, *dendrogram_, *lca_, 2, rng, 16);
+  const HimorIndex parallel = HimorIndex::BuildParallel(
+      sure, *dendrogram_, *lca_, 2, /*seed=*/99, 16, 4);
+  ASSERT_EQ(serial.NumEntries(), parallel.NumEntries());
+  for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
+    const auto a = serial.RanksOf(v);
+    const auto b = parallel.RanksOf(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].rank, b[i].rank);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cod
