@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lore"
+  "../bench/ablation_lore.pdb"
+  "CMakeFiles/ablation_lore.dir/ablation_lore.cc.o"
+  "CMakeFiles/ablation_lore.dir/ablation_lore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

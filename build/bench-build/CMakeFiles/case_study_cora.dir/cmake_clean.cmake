@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/case_study_cora"
+  "../bench/case_study_cora.pdb"
+  "CMakeFiles/case_study_cora.dir/case_study_cora.cc.o"
+  "CMakeFiles/case_study_cora.dir/case_study_cora.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_cora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_hierarchy_skew"
+  "../bench/fig4_hierarchy_skew.pdb"
+  "CMakeFiles/fig4_hierarchy_skew.dir/fig4_hierarchy_skew.cc.o"
+  "CMakeFiles/fig4_hierarchy_skew.dir/fig4_hierarchy_skew.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hierarchy_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

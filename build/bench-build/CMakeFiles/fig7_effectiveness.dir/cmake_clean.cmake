@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_effectiveness"
+  "../bench/fig7_effectiveness.pdb"
+  "CMakeFiles/fig7_effectiveness.dir/fig7_effectiveness.cc.o"
+  "CMakeFiles/fig7_effectiveness.dir/fig7_effectiveness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

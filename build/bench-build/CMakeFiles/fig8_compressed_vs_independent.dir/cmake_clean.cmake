@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_compressed_vs_independent"
+  "../bench/fig8_compressed_vs_independent.pdb"
+  "CMakeFiles/fig8_compressed_vs_independent.dir/fig8_compressed_vs_independent.cc.o"
+  "CMakeFiles/fig8_compressed_vs_independent.dir/fig8_compressed_vs_independent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_compressed_vs_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

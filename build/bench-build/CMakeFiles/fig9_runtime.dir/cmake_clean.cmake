@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_runtime"
+  "../bench/fig9_runtime.pdb"
+  "CMakeFiles/fig9_runtime.dir/fig9_runtime.cc.o"
+  "CMakeFiles/fig9_runtime.dir/fig9_runtime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

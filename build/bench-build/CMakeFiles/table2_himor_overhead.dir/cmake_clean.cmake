@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_himor_overhead"
+  "../bench/table2_himor_overhead.pdb"
+  "CMakeFiles/table2_himor_overhead.dir/table2_himor_overhead.cc.o"
+  "CMakeFiles/table2_himor_overhead.dir/table2_himor_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_himor_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/academic_communities.dir/academic_communities.cc.o"
+  "CMakeFiles/academic_communities.dir/academic_communities.cc.o.d"
+  "academic_communities"
+  "academic_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/academic_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cod_cli.dir/cod_cli.cc.o"
+  "CMakeFiles/cod_cli.dir/cod_cli.cc.o.d"
+  "cod_cli"
+  "cod_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cod_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hin_bibliographic.dir/hin_bibliographic.cc.o"
+  "CMakeFiles/hin_bibliographic.dir/hin_bibliographic.cc.o.d"
+  "hin_bibliographic"
+  "hin_bibliographic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hin_bibliographic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

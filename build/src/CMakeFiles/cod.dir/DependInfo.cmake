@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/atc.cc" "src/CMakeFiles/cod.dir/baselines/atc.cc.o" "gcc" "src/CMakeFiles/cod.dir/baselines/atc.cc.o.d"
+  "/root/repo/src/baselines/ics.cc" "src/CMakeFiles/cod.dir/baselines/ics.cc.o" "gcc" "src/CMakeFiles/cod.dir/baselines/ics.cc.o.d"
+  "/root/repo/src/baselines/kcore.cc" "src/CMakeFiles/cod.dir/baselines/kcore.cc.o" "gcc" "src/CMakeFiles/cod.dir/baselines/kcore.cc.o.d"
+  "/root/repo/src/baselines/ktruss.cc" "src/CMakeFiles/cod.dir/baselines/ktruss.cc.o" "gcc" "src/CMakeFiles/cod.dir/baselines/ktruss.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/cod.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/cod.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cod.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cod.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/cod.dir/common/table.cc.o" "gcc" "src/CMakeFiles/cod.dir/common/table.cc.o.d"
+  "/root/repo/src/core/adaptive_eval.cc" "src/CMakeFiles/cod.dir/core/adaptive_eval.cc.o" "gcc" "src/CMakeFiles/cod.dir/core/adaptive_eval.cc.o.d"
+  "/root/repo/src/core/cod_chain.cc" "src/CMakeFiles/cod.dir/core/cod_chain.cc.o" "gcc" "src/CMakeFiles/cod.dir/core/cod_chain.cc.o.d"
+  "/root/repo/src/core/cod_engine.cc" "src/CMakeFiles/cod.dir/core/cod_engine.cc.o" "gcc" "src/CMakeFiles/cod.dir/core/cod_engine.cc.o.d"
+  "/root/repo/src/core/compressed_eval.cc" "src/CMakeFiles/cod.dir/core/compressed_eval.cc.o" "gcc" "src/CMakeFiles/cod.dir/core/compressed_eval.cc.o.d"
+  "/root/repo/src/core/dynamic_service.cc" "src/CMakeFiles/cod.dir/core/dynamic_service.cc.o" "gcc" "src/CMakeFiles/cod.dir/core/dynamic_service.cc.o.d"
+  "/root/repo/src/core/global_recluster.cc" "src/CMakeFiles/cod.dir/core/global_recluster.cc.o" "gcc" "src/CMakeFiles/cod.dir/core/global_recluster.cc.o.d"
+  "/root/repo/src/core/himor.cc" "src/CMakeFiles/cod.dir/core/himor.cc.o" "gcc" "src/CMakeFiles/cod.dir/core/himor.cc.o.d"
+  "/root/repo/src/core/independent_eval.cc" "src/CMakeFiles/cod.dir/core/independent_eval.cc.o" "gcc" "src/CMakeFiles/cod.dir/core/independent_eval.cc.o.d"
+  "/root/repo/src/core/lore.cc" "src/CMakeFiles/cod.dir/core/lore.cc.o" "gcc" "src/CMakeFiles/cod.dir/core/lore.cc.o.d"
+  "/root/repo/src/eval/datasets.cc" "src/CMakeFiles/cod.dir/eval/datasets.cc.o" "gcc" "src/CMakeFiles/cod.dir/eval/datasets.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/cod.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/cod.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/query_gen.cc" "src/CMakeFiles/cod.dir/eval/query_gen.cc.o" "gcc" "src/CMakeFiles/cod.dir/eval/query_gen.cc.o.d"
+  "/root/repo/src/graph/attributes.cc" "src/CMakeFiles/cod.dir/graph/attributes.cc.o" "gcc" "src/CMakeFiles/cod.dir/graph/attributes.cc.o.d"
+  "/root/repo/src/graph/centrality.cc" "src/CMakeFiles/cod.dir/graph/centrality.cc.o" "gcc" "src/CMakeFiles/cod.dir/graph/centrality.cc.o.d"
+  "/root/repo/src/graph/connectivity.cc" "src/CMakeFiles/cod.dir/graph/connectivity.cc.o" "gcc" "src/CMakeFiles/cod.dir/graph/connectivity.cc.o.d"
+  "/root/repo/src/graph/embeddings.cc" "src/CMakeFiles/cod.dir/graph/embeddings.cc.o" "gcc" "src/CMakeFiles/cod.dir/graph/embeddings.cc.o.d"
+  "/root/repo/src/graph/export.cc" "src/CMakeFiles/cod.dir/graph/export.cc.o" "gcc" "src/CMakeFiles/cod.dir/graph/export.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/cod.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/cod.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/cod.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/cod.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/cod.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/cod.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/hin.cc" "src/CMakeFiles/cod.dir/graph/hin.cc.o" "gcc" "src/CMakeFiles/cod.dir/graph/hin.cc.o.d"
+  "/root/repo/src/hierarchy/agglomerative.cc" "src/CMakeFiles/cod.dir/hierarchy/agglomerative.cc.o" "gcc" "src/CMakeFiles/cod.dir/hierarchy/agglomerative.cc.o.d"
+  "/root/repo/src/hierarchy/dendrogram.cc" "src/CMakeFiles/cod.dir/hierarchy/dendrogram.cc.o" "gcc" "src/CMakeFiles/cod.dir/hierarchy/dendrogram.cc.o.d"
+  "/root/repo/src/hierarchy/dendrogram_io.cc" "src/CMakeFiles/cod.dir/hierarchy/dendrogram_io.cc.o" "gcc" "src/CMakeFiles/cod.dir/hierarchy/dendrogram_io.cc.o.d"
+  "/root/repo/src/hierarchy/girvan_newman.cc" "src/CMakeFiles/cod.dir/hierarchy/girvan_newman.cc.o" "gcc" "src/CMakeFiles/cod.dir/hierarchy/girvan_newman.cc.o.d"
+  "/root/repo/src/hierarchy/lca.cc" "src/CMakeFiles/cod.dir/hierarchy/lca.cc.o" "gcc" "src/CMakeFiles/cod.dir/hierarchy/lca.cc.o.d"
+  "/root/repo/src/hierarchy/quality.cc" "src/CMakeFiles/cod.dir/hierarchy/quality.cc.o" "gcc" "src/CMakeFiles/cod.dir/hierarchy/quality.cc.o.d"
+  "/root/repo/src/influence/cascade_model.cc" "src/CMakeFiles/cod.dir/influence/cascade_model.cc.o" "gcc" "src/CMakeFiles/cod.dir/influence/cascade_model.cc.o.d"
+  "/root/repo/src/influence/im.cc" "src/CMakeFiles/cod.dir/influence/im.cc.o" "gcc" "src/CMakeFiles/cod.dir/influence/im.cc.o.d"
+  "/root/repo/src/influence/influence_oracle.cc" "src/CMakeFiles/cod.dir/influence/influence_oracle.cc.o" "gcc" "src/CMakeFiles/cod.dir/influence/influence_oracle.cc.o.d"
+  "/root/repo/src/influence/monte_carlo.cc" "src/CMakeFiles/cod.dir/influence/monte_carlo.cc.o" "gcc" "src/CMakeFiles/cod.dir/influence/monte_carlo.cc.o.d"
+  "/root/repo/src/influence/rr_graph.cc" "src/CMakeFiles/cod.dir/influence/rr_graph.cc.o" "gcc" "src/CMakeFiles/cod.dir/influence/rr_graph.cc.o.d"
+  "/root/repo/src/influence/sketch_oracle.cc" "src/CMakeFiles/cod.dir/influence/sketch_oracle.cc.o" "gcc" "src/CMakeFiles/cod.dir/influence/sketch_oracle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcod.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_eval_test.dir/adaptive_eval_test.cc.o"
+  "CMakeFiles/adaptive_eval_test.dir/adaptive_eval_test.cc.o.d"
+  "adaptive_eval_test"
+  "adaptive_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atc_test.dir/atc_test.cc.o"
+  "CMakeFiles/atc_test.dir/atc_test.cc.o.d"
+  "atc_test"
+  "atc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_model_test.dir/cascade_model_test.cc.o"
+  "CMakeFiles/cascade_model_test.dir/cascade_model_test.cc.o.d"
+  "cascade_model_test"
+  "cascade_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

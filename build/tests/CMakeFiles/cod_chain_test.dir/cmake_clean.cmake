@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cod_chain_test.dir/cod_chain_test.cc.o"
+  "CMakeFiles/cod_chain_test.dir/cod_chain_test.cc.o.d"
+  "cod_chain_test"
+  "cod_chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cod_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cod_engine_test.dir/cod_engine_test.cc.o"
+  "CMakeFiles/cod_engine_test.dir/cod_engine_test.cc.o.d"
+  "cod_engine_test"
+  "cod_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cod_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

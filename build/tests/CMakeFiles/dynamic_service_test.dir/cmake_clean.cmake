@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_service_test.dir/dynamic_service_test.cc.o"
+  "CMakeFiles/dynamic_service_test.dir/dynamic_service_test.cc.o.d"
+  "dynamic_service_test"
+  "dynamic_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_world_test.dir/exact_world_test.cc.o"
+  "CMakeFiles/exact_world_test.dir/exact_world_test.cc.o.d"
+  "exact_world_test"
+  "exact_world_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

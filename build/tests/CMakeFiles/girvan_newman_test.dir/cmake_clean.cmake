@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/girvan_newman_test.dir/girvan_newman_test.cc.o"
+  "CMakeFiles/girvan_newman_test.dir/girvan_newman_test.cc.o.d"
+  "girvan_newman_test"
+  "girvan_newman_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/girvan_newman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

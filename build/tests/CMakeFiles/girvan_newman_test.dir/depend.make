@@ -1,0 +1,2 @@
+# Empty dependencies file for girvan_newman_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_recluster_test.dir/global_recluster_test.cc.o"
+  "CMakeFiles/global_recluster_test.dir/global_recluster_test.cc.o.d"
+  "global_recluster_test"
+  "global_recluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_recluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

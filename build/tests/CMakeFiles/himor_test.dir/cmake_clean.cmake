@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/himor_test.dir/himor_test.cc.o"
+  "CMakeFiles/himor_test.dir/himor_test.cc.o.d"
+  "himor_test"
+  "himor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/himor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

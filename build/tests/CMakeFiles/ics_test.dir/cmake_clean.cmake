@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ics_test.dir/ics_test.cc.o"
+  "CMakeFiles/ics_test.dir/ics_test.cc.o.d"
+  "ics_test"
+  "ics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/independent_eval_test.dir/independent_eval_test.cc.o"
+  "CMakeFiles/independent_eval_test.dir/independent_eval_test.cc.o.d"
+  "independent_eval_test"
+  "independent_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/independent_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/influence_oracle_test.dir/influence_oracle_test.cc.o"
+  "CMakeFiles/influence_oracle_test.dir/influence_oracle_test.cc.o.d"
+  "influence_oracle_test"
+  "influence_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/influence_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

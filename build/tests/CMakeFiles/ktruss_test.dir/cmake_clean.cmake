@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktruss_test.dir/ktruss_test.cc.o"
+  "CMakeFiles/ktruss_test.dir/ktruss_test.cc.o.d"
+  "ktruss_test"
+  "ktruss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktruss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lore_test.dir/lore_test.cc.o"
+  "CMakeFiles/lore_test.dir/lore_test.cc.o.d"
+  "lore_test"
+  "lore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monte_carlo_test.dir/monte_carlo_test.cc.o"
+  "CMakeFiles/monte_carlo_test.dir/monte_carlo_test.cc.o.d"
+  "monte_carlo_test"
+  "monte_carlo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monte_carlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_oracle_test.dir/sketch_oracle_test.cc.o"
+  "CMakeFiles/sketch_oracle_test.dir/sketch_oracle_test.cc.o.d"
+  "sketch_oracle_test"
+  "sketch_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
