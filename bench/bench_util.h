@@ -25,6 +25,7 @@ struct Flags {
   size_t queries = 0;
   std::vector<std::string> datasets;
   uint64_t seed = 1;
+  size_t threads = 1;  // worker threads for batch benches
 };
 
 inline Flags ParseFlags(int argc, char** argv, size_t default_queries,
@@ -38,6 +39,9 @@ inline Flags ParseFlags(int argc, char** argv, size_t default_queries,
       flags.queries = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (arg.rfind("--seed=", 0) == 0) {
       flags.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      flags.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
+      if (flags.threads == 0) flags.threads = 1;
     } else if (arg.rfind("--datasets=", 0) == 0) {
       flags.datasets.clear();
       std::string list = arg.substr(11);
@@ -51,7 +55,7 @@ inline Flags ParseFlags(int argc, char** argv, size_t default_queries,
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (expected --queries= --datasets= "
-                   "--seed=)\n",
+                   "--seed= --threads=)\n",
                    arg.c_str());
       std::exit(2);
     }

@@ -10,10 +10,21 @@
 //   * CODL  — LORE + HIMOR index: answer from precomputed ranks above C_ell,
 //             compressed evaluation inside C_ell otherwise.
 //
-// Typical use:
+// Since the EngineCore/QueryWorkspace split, the engine is a thin facade
+// over an immutable, shareable EngineCore (see core/engine_core.h). Two ways
+// to query:
+//
+//   // Single-threaded convenience (legacy API; uses an internal workspace):
 //   CodEngine engine(graph, attrs, {.k = 5, .theta = 10});
 //   engine.BuildHimor(rng);                       // once, for CODL
 //   CodResult r = engine.QueryCodL(q, attr, 5, rng);
+//
+//   // Concurrent serving: const engine, one workspace per thread —
+//   const CodEngine& shared = engine;
+//   QueryWorkspace ws = shared.MakeWorkspace(seed);
+//   CodResult r2 = shared.QueryCodL(q, attr, 5, ws);
+//   // — or fan a whole workload across a pool, deterministically:
+//   std::vector<CodResult> rs = shared.QueryBatch(specs, pool, batch_seed);
 //
 // Influence is always evaluated on the ORIGINAL graph's probabilities;
 // attribute weights only shape the hierarchy.
@@ -22,52 +33,16 @@
 #define COD_CORE_COD_ENGINE_H_
 
 #include <memory>
-#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "core/cod_chain.h"
-#include "core/compressed_eval.h"
-#include "core/global_recluster.h"
-#include "core/himor.h"
-#include "core/lore.h"
-#include "graph/attributes.h"
-#include "hierarchy/agglomerative.h"
-#include "hierarchy/lca.h"
-#include "influence/cascade_model.h"
+#include "core/engine_core.h"
+#include "core/query_batch.h"
+#include "core/query_workspace.h"
 
 namespace cod {
 
-struct EngineOptions {
-  uint32_t k = 5;          // default top-k requirement
-  uint32_t theta = 10;     // RR graphs per source node
-  // The g_l transform (see core/global_recluster.h): how the query
-  // attribute reshapes edge weights before (re)clustering.
-  TransformOptions transform;
-  DiffusionKind diffusion = DiffusionKind::kIndependentCascade;
-  // Largest k the HIMOR index can answer (ranks >= this are not stored;
-  // see HimorIndex::Build).
-  uint32_t himor_max_rank = 16;
-  // Reuse CODR hierarchies across queries with the same attribute (results
-  // are identical; only timing changes — keep false for runtime benches).
-  bool cache_codr_hierarchies = false;
-};
-
-struct CodResult {
-  bool found = false;
-  std::vector<NodeId> members;  // the characteristic community C*(q)
-  uint32_t rank = 0;            // q's estimated rank in C*(q) (0-based)
-  size_t num_levels = 0;        // |H_l(q)| levels examined
-  bool answered_from_index = false;  // CODL: resolved by HIMOR alone
-};
-
-// A LORE-spliced chain plus provenance.
-struct LoreChain {
-  CodChain chain;
-  CommunityId c_ell = kInvalidCommunity;
-  size_t local_levels = 0;  // chain positions below (and incl.) C_ell
-};
+class ThreadPool;
 
 class CodEngine {
  public:
@@ -75,24 +50,77 @@ class CodEngine {
   // hierarchy, its LCA index, and the diffusion model are built eagerly.
   CodEngine(const Graph& graph, const AttributeTable& attrs,
             const EngineOptions& options);
+  // Owning variant: the engine (and its published core) keep the inputs
+  // alive — the serving path.
+  CodEngine(std::shared_ptr<const Graph> graph,
+            std::shared_ptr<const AttributeTable> attrs,
+            const EngineOptions& options);
 
-  const Graph& graph() const { return *graph_; }
-  const AttributeTable& attributes() const { return *attrs_; }
-  const DiffusionModel& model() const { return model_; }
-  const Dendrogram& base_hierarchy() const { return base_; }
-  const LcaIndex& base_lca() const { return lca_; }
-  const EngineOptions& options() const { return options_; }
+  const Graph& graph() const { return core_->graph(); }
+  const AttributeTable& attributes() const { return core_->attributes(); }
+  const DiffusionModel& model() const { return core_->model(); }
+  const Dendrogram& base_hierarchy() const { return core_->base_hierarchy(); }
+  const LcaIndex& base_lca() const { return core_->base_lca(); }
+  const EngineOptions& options() const { return core_->options(); }
+
+  // The immutable core, shareable across threads. Grab a snapshot before
+  // spawning readers; setup mutators (BuildHimor, LoadHimor) must
+  // happen-before sharing.
+  std::shared_ptr<const EngineCore> core() const { return core_; }
+
+  // A fresh workspace bound to the current core (one per serving thread).
+  QueryWorkspace MakeWorkspace(uint64_t seed) const {
+    return QueryWorkspace(*core_, seed);
+  }
 
   // ---- Chain builders (exposed for benches and tests). ----
-  CodChain BuildCoduChain(NodeId q) const;
-  CodChain BuildCodrChain(NodeId q, AttributeId attr);
-  LoreChain BuildCodlChain(NodeId q, AttributeId attr) const;
+  CodChain BuildCoduChain(NodeId q) const { return core_->BuildCoduChain(q); }
+  CodChain BuildCodrChain(NodeId q, AttributeId attr) const {
+    return core_->BuildCodrChain(q, attr);
+  }
+  LoreChain BuildCodlChain(NodeId q, AttributeId attr) const {
+    return core_->BuildCodlChain(q, attr);
+  }
   LoreChain BuildCodlChain(NodeId q,
-                           std::span<const AttributeId> attrs) const;
+                           std::span<const AttributeId> attrs) const {
+    return core_->BuildCodlChain(q, attrs);
+  }
 
-  // ---- Query variants. Each attributed variant also accepts a topic SET
+  // ---- Query variants, workspace form: const and thread-safe (one
+  // workspace per thread). Each attributed variant also accepts a topic SET
   // (an edge counts as query-attributed when both endpoints carry at least
   // one of the attributes). ----
+  CodResult QueryCodU(NodeId q, uint32_t k, QueryWorkspace& ws) const {
+    return core_->QueryCodU(q, k, ws);
+  }
+  CodResult QueryCodR(NodeId q, AttributeId attr, uint32_t k,
+                      QueryWorkspace& ws) const {
+    return core_->QueryCodR(q, attr, k, ws);
+  }
+  CodResult QueryCodR(NodeId q, std::span<const AttributeId> attrs,
+                      uint32_t k, QueryWorkspace& ws) const {
+    return core_->QueryCodR(q, attrs, k, ws);
+  }
+  CodResult QueryCodLMinus(NodeId q, AttributeId attr, uint32_t k,
+                           QueryWorkspace& ws) const {
+    return core_->QueryCodLMinus(q, attr, k, ws);
+  }
+  CodResult QueryCodLMinus(NodeId q, std::span<const AttributeId> attrs,
+                           uint32_t k, QueryWorkspace& ws) const {
+    return core_->QueryCodLMinus(q, attrs, k, ws);
+  }
+  CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k,
+                      QueryWorkspace& ws) const {
+    return core_->QueryCodL(q, attr, k, ws);
+  }
+  CodResult QueryCodL(NodeId q, std::span<const AttributeId> attrs,
+                      uint32_t k, QueryWorkspace& ws) const {
+    return core_->QueryCodL(q, attrs, k, ws);
+  }
+
+  // ---- Query variants, legacy Rng form: single-threaded convenience that
+  // routes through one internal workspace while consuming the caller's RNG
+  // stream exactly as before the core/workspace split. ----
   CodResult QueryCodU(NodeId q, uint32_t k, Rng& rng);
   CodResult QueryCodR(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
   CodResult QueryCodR(NodeId q, std::span<const AttributeId> attrs,
@@ -100,76 +128,70 @@ class CodEngine {
   CodResult QueryCodLMinus(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
   CodResult QueryCodLMinus(NodeId q, std::span<const AttributeId> attrs,
                            uint32_t k, Rng& rng);
-  // Index-only CODU: the largest base-hierarchy community where q is top-k,
-  // answered entirely from HIMOR in O(dep(q)) — no sampling at query time.
-  // Same semantics as QueryCodU up to the index's own estimation. Requires
-  // BuildHimor() and k <= options().himor_max_rank.
-  CodResult QueryCodUIndexed(NodeId q, uint32_t k) const;
-
-  // Requires BuildHimor() to have been called.
   CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
   CodResult QueryCodL(NodeId q, std::span<const AttributeId> attrs,
                       uint32_t k, Rng& rng);
 
-  // ---- Explanation. ----
-  // Runs QueryCodL with full instrumentation: which community LORE chose
-  // and why (the whole score profile), whether HIMOR answered, and the
-  // final result. For debugging, demos, and the hierarchy explorer.
-  struct QueryExplanation {
-    LoreScores scores;
-    uint32_t c_ell_size = 0;
-    bool index_hit = false;
-    CommunityId index_community = kInvalidCommunity;
-    uint32_t index_rank = 0;
-    CodResult result;
+  // Index-only CODU: the largest base-hierarchy community where q is top-k,
+  // answered entirely from HIMOR in O(dep(q)) — no sampling at query time.
+  // Same semantics as QueryCodU up to the index's own estimation. Requires
+  // BuildHimor() and k <= options().himor_max_rank.
+  CodResult QueryCodUIndexed(NodeId q, uint32_t k) const {
+    return core_->QueryCodUIndexed(q, k);
+  }
 
-    // Human-readable multi-line report.
-    std::string ToString(const Dendrogram& hierarchy) const;
-  };
+  // ---- Concurrent batch queries. Fans `specs` across `pool` with one
+  // workspace per worker and an independently seeded RNG per query;
+  // bit-identical results for any pool size (see core/query_batch.h). ----
+  std::vector<CodResult> QueryBatch(std::span<const QuerySpec> specs,
+                                    ThreadPool& pool,
+                                    uint64_t batch_seed) const;
+
+  // ---- Explanation (see QueryExplanation in core/engine_core.h). ----
+  using QueryExplanation = cod::QueryExplanation;
   QueryExplanation ExplainCodL(NodeId q, AttributeId attr, uint32_t k,
                                Rng& rng);
+  QueryExplanation ExplainCodL(NodeId q, AttributeId attr, uint32_t k,
+                               QueryWorkspace& ws) const {
+    return core_->ExplainCodL(q, attr, k, ws);
+  }
 
   // ---- Reverse (promoter) search. ----
   // Which attribute holders have the LARGEST characteristic communities in
   // the base (non-attributed) hierarchy? Answered entirely from HIMOR, so it
   // scans all candidates in O(sum depth). Useful as a CBSM shortlist; refine
   // the survivors with QueryCodL. Requires BuildHimor().
-  struct Promoter {
-    NodeId node;
-    CommunityId community;
-    uint32_t size;
-    uint32_t rank;
-  };
+  using Promoter = cod::Promoter;
   std::vector<Promoter> FindTopPromoters(AttributeId attr, size_t count,
-                                         uint32_t k) const;
+                                         uint32_t k) const {
+    return core_->FindTopPromoters(attr, count, k);
+  }
 
-  // Builds (or rebuilds) the HIMOR index over the base hierarchy.
-  void BuildHimor(Rng& rng);
+  // Builds (or rebuilds) the HIMOR index over the base hierarchy. Setup
+  // step: must happen-before sharing core() across threads.
+  void BuildHimor(Rng& rng) { core_->BuildHimor(rng); }
   // Multi-threaded variant; the result depends on `seed` only, never on the
   // thread count (see HimorIndex::BuildParallel).
-  void BuildHimorParallel(uint64_t seed, size_t num_threads = 0);
-  const HimorIndex* himor() const {
-    return himor_.has_value() ? &*himor_ : nullptr;
+  void BuildHimorParallel(uint64_t seed, size_t num_threads = 0) {
+    core_->BuildHimorParallel(seed, num_threads);
   }
+  const HimorIndex* himor() const { return core_->himor(); }
 
   // Persists / restores the HIMOR index (the base hierarchy is deterministic
   // from the graph, so the index alone suffices to resume query serving).
-  Status SaveHimor(const std::string& path) const;
-  Status LoadHimor(const std::string& path);
+  Status SaveHimor(const std::string& path) const {
+    return core_->SaveHimor(path);
+  }
+  Status LoadHimor(const std::string& path) {
+    return core_->LoadHimor(path);
+  }
 
  private:
-  CodResult EvaluateChain(const CodChain& chain, NodeId q, uint32_t k,
-                          Rng& rng);
+  template <typename Fn>
+  CodResult WithCallerRng(Rng& rng, Fn&& fn);
 
-  const Graph* graph_;
-  const AttributeTable* attrs_;
-  EngineOptions options_;
-  DiffusionModel model_;
-  Dendrogram base_;
-  LcaIndex lca_;
-  CompressedEvaluator evaluator_;
-  std::optional<HimorIndex> himor_;
-  std::unordered_map<AttributeId, std::unique_ptr<Dendrogram>> codr_cache_;
+  std::shared_ptr<EngineCore> core_;
+  QueryWorkspace ws_;  // scratch for the legacy Rng-form queries
 };
 
 }  // namespace cod

@@ -68,6 +68,14 @@ CompressedEvaluator::CompressedEvaluator(const DiffusionModel& model,
   COD_CHECK(theta > 0);
 }
 
+void CompressedEvaluator::Rebind(const DiffusionModel& model, uint32_t theta) {
+  COD_CHECK(theta > 0);
+  model_ = &model;
+  theta_ = theta;
+  sampler_.Rebind(model);
+  last_explored_nodes_ = 0;
+}
+
 ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
                                                uint32_t k, Rng& rng) {
   const size_t num_levels = chain.NumLevels();

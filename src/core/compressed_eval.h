@@ -39,10 +39,17 @@ struct ChainEvalOutcome {
   std::vector<uint32_t> rank_per_level;
 };
 
+// Owns per-query scratch, so it is not thread-safe; concurrent serving uses
+// one evaluator per thread (see core/query_workspace.h).
 class CompressedEvaluator {
  public:
   // `theta`: RR graphs sampled per universe node.
   CompressedEvaluator(const DiffusionModel& model, uint32_t theta);
+
+  // Re-targets the evaluator at a (possibly different) model and theta,
+  // reusing scratch allocations. Lets a per-thread workspace follow serving
+  // epoch swaps without being reconstructed.
+  void Rebind(const DiffusionModel& model, uint32_t theta);
 
   ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
                             Rng& rng);

@@ -1,5 +1,9 @@
 #include "core/dynamic_service.h"
 
+#include <utility>
+
+#include "common/thread_pool.h"
+
 namespace cod {
 
 uint64_t DynamicCodService::EdgeKey(NodeId u, NodeId v, size_t n) {
@@ -10,21 +14,27 @@ uint64_t DynamicCodService::EdgeKey(NodeId u, NodeId v, size_t n) {
 DynamicCodService::DynamicCodService(Graph initial_graph,
                                      AttributeTable attrs,
                                      const Options& options)
-    : attrs_(std::move(attrs)),
+    : attrs_(std::make_shared<const AttributeTable>(std::move(attrs))),
       options_(options),
       num_nodes_(initial_graph.NumNodes()) {
-  COD_CHECK_EQ(num_nodes_, attrs_.NumNodes());
+  COD_CHECK_EQ(num_nodes_, attrs_->NumNodes());
+  if (options_.async_rebuild) {
+    COD_CHECK(options_.rebuild_pool != nullptr);
+  }
   for (EdgeId e = 0; e < initial_graph.NumEdges(); ++e) {
     const auto [u, v] = initial_graph.Endpoints(e);
     edges_[EdgeKey(u, v, num_nodes_)] = initial_graph.Weight(e);
   }
-  Refresh();
+  Refresh();  // the first epoch is always built synchronously
 }
+
+DynamicCodService::~DynamicCodService() { WaitForRebuild(); }
 
 bool DynamicCodService::AddEdge(NodeId u, NodeId v, double weight) {
   COD_CHECK(u < num_nodes_);
   COD_CHECK(v < num_nodes_);
   if (u == v) return false;
+  std::lock_guard<std::mutex> lock(mu_);
   edges_[EdgeKey(u, v, num_nodes_)] = weight;
   ++pending_updates_;
   return true;
@@ -33,37 +43,124 @@ bool DynamicCodService::AddEdge(NodeId u, NodeId v, double weight) {
 bool DynamicCodService::RemoveEdge(NodeId u, NodeId v) {
   COD_CHECK(u < num_nodes_);
   COD_CHECK(v < num_nodes_);
+  std::lock_guard<std::mutex> lock(mu_);
   if (edges_.erase(EdgeKey(u, v, num_nodes_)) == 0) return false;
   ++pending_updates_;
   return true;
 }
 
-void DynamicCodService::Refresh() {
+size_t DynamicCodService::pending_updates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_updates_;
+}
+
+size_t DynamicCodService::NumEdges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return edges_.size();
+}
+
+bool DynamicCodService::BeginRebuild(EdgeMap* edges_out,
+                                     uint64_t* build_index_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rebuild_in_flight_) return false;
+  rebuild_in_flight_ = true;
+  *edges_out = edges_;
+  *build_index_out = builds_started_++;
+  // The epoch being built absorbs everything pending as of this capture;
+  // updates arriving during the build count against the NEXT epoch.
+  snapshot_edges_ = edges_.size();
+  pending_updates_ = 0;
+  return true;
+}
+
+std::shared_ptr<const EngineCore> DynamicCodService::BuildEpochCore(
+    const EdgeMap& edges, uint64_t build_index) const {
   GraphBuilder builder(num_nodes_);
-  for (const auto& [key, weight] : edges_) {
+  for (const auto& [key, weight] : edges) {
     builder.AddEdge(static_cast<NodeId>(key / num_nodes_),
                     static_cast<NodeId>(key % num_nodes_), weight);
   }
-  // The engine holds pointers into graph_/attrs_: tear it down before the
-  // graph it references, then rebuild both.
-  engine_.reset();
-  graph_ = std::make_unique<Graph>(std::move(builder).Build());
-  engine_ = std::make_unique<CodEngine>(*graph_, attrs_, options_.engine);
+  auto graph = std::make_shared<const Graph>(std::move(builder).Build());
+  auto core = std::make_shared<EngineCore>(graph, attrs_, options_.engine);
   // Per-epoch deterministic sampling stream.
-  Rng rng(options_.seed + epoch_);
-  engine_->BuildHimor(rng);
+  Rng rng(options_.seed + build_index);
+  core->BuildHimor(rng);
+  return core;
+}
+
+void DynamicCodService::PublishEpoch(std::shared_ptr<const EngineCore> core) {
+  const std::shared_ptr<const Epoch> prev = published_.load();
+  auto next = std::make_shared<Epoch>();
+  next->epoch = (prev == nullptr ? 0 : prev->epoch) + 1;
+  next->core = std::move(core);
+  published_.store(std::move(next));
+}
+
+void DynamicCodService::Refresh() {
+  EdgeMap edges;
+  uint64_t build_index = 0;
+  // Wait out any background rebuild, then claim the build ticket ourselves.
+  std::unique_lock<std::mutex> lock(mu_);
+  rebuild_done_.wait(lock, [this] { return !rebuild_in_flight_; });
+  rebuild_in_flight_ = true;
+  edges = edges_;
+  build_index = builds_started_++;
   snapshot_edges_ = edges_.size();
   pending_updates_ = 0;
-  ++epoch_;
+  lock.unlock();
+
+  PublishEpoch(BuildEpochCore(edges, build_index));
+
+  // Notify under the lock: a waiter may destroy the service (and this cv)
+  // as soon as it observes the flag cleared.
+  lock.lock();
+  rebuild_in_flight_ = false;
+  rebuild_done_.notify_all();
+  lock.unlock();
+}
+
+bool DynamicCodService::RefreshAsync() {
+  COD_CHECK(options_.async_rebuild);
+  EdgeMap edges;
+  uint64_t build_index = 0;
+  if (!BeginRebuild(&edges, &build_index)) return false;
+  options_.rebuild_pool->Submit(
+      [this, edges = std::move(edges), build_index] {
+        PublishEpoch(BuildEpochCore(edges, build_index));
+        // Notify under the lock — see Refresh().
+        std::lock_guard<std::mutex> lock(mu_);
+        rebuild_in_flight_ = false;
+        rebuild_done_.notify_all();
+      });
+  return true;
+}
+
+void DynamicCodService::WaitForRebuild() {
+  std::unique_lock<std::mutex> lock(mu_);
+  rebuild_done_.wait(lock, [this] { return !rebuild_in_flight_; });
+}
+
+DynamicCodService::EpochSnapshot DynamicCodService::Snapshot() const {
+  const std::shared_ptr<const Epoch> epoch = published_.load();
+  return EpochSnapshot{epoch->core, epoch->epoch};
 }
 
 void DynamicCodService::MaybeRefresh() {
-  const double drift =
-      snapshot_edges_ == 0
-          ? (pending_updates_ > 0 ? 1.0 : 0.0)
-          : static_cast<double>(pending_updates_) /
-                static_cast<double>(snapshot_edges_);
-  if (pending_updates_ > 0 && drift > options_.rebuild_threshold) {
+  bool over_threshold = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double drift =
+        snapshot_edges_ == 0
+            ? (pending_updates_ > 0 ? 1.0 : 0.0)
+            : static_cast<double>(pending_updates_) /
+                  static_cast<double>(snapshot_edges_);
+    over_threshold =
+        pending_updates_ > 0 && drift > options_.rebuild_threshold;
+  }
+  if (!over_threshold) return;
+  if (options_.async_rebuild) {
+    RefreshAsync();  // keep serving the stale epoch; swap when ready
+  } else {
     Refresh();
   }
 }
@@ -71,12 +168,29 @@ void DynamicCodService::MaybeRefresh() {
 CodResult DynamicCodService::QueryCodL(NodeId q, AttributeId attr, uint32_t k,
                                        Rng& rng) {
   MaybeRefresh();
-  return engine_->QueryCodL(q, attr, k, rng);
+  const EpochSnapshot snap = Snapshot();
+  QueryWorkspace ws(*snap.core, /*seed=*/0);
+  ws.rng() = rng;
+  const CodResult result = snap.core->QueryCodL(q, attr, k, ws);
+  rng = ws.rng();
+  return result;
 }
 
 CodResult DynamicCodService::QueryCodU(NodeId q, uint32_t k, Rng& rng) {
   MaybeRefresh();
-  return engine_->QueryCodU(q, k, rng);
+  const EpochSnapshot snap = Snapshot();
+  QueryWorkspace ws(*snap.core, /*seed=*/0);
+  ws.rng() = rng;
+  const CodResult result = snap.core->QueryCodU(q, k, ws);
+  rng = ws.rng();
+  return result;
+}
+
+std::vector<CodResult> DynamicCodService::QueryBatch(
+    std::span<const QuerySpec> specs, ThreadPool& pool,
+    uint64_t batch_seed) const {
+  const EpochSnapshot snap = Snapshot();  // keeps the epoch alive throughout
+  return RunQueryBatch(*snap.core, specs, pool, batch_seed);
 }
 
 }  // namespace cod

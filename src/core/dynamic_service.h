@@ -11,11 +11,31 @@
 // rebuild, or the caller forces one with Refresh(). Between rebuilds,
 // answers are stale by at most the pending-update set, which is always
 // inspectable.
+//
+// Concurrency model (RCU-style epoch publication): each epoch is an
+// immutable EngineCore published through an atomic shared_ptr. Readers call
+// Snapshot() — a single atomic load — and query the returned core with
+// their own QueryWorkspace; they never block, and a snapshot stays valid
+// (and answer-stable) for as long as the caller holds it, across any number
+// of later rebuilds. Writers (AddEdge / RemoveEdge) mutate only the pending
+// edge set under a mutex. With `async_rebuild`, a threshold-crossing query
+// schedules the rebuild on `rebuild_pool` and keeps serving the stale epoch;
+// the new epoch is swapped in atomically when ready. Without it, the
+// crossing query rebuilds synchronously before answering — the original,
+// strictly bounded staleness semantics.
+//
+// Epoch determinism: epoch i (1-based publication order) is always built
+// with RNG seed `options.seed + i - 1`, so a service replaying the same
+// update/refresh sequence publishes bit-identical epochs regardless of
+// whether rebuilds ran inline or on the pool.
 
 #ifndef COD_CORE_DYNAMIC_SERVICE_H_
 #define COD_CORE_DYNAMIC_SERVICE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/cod_engine.h"
@@ -30,47 +50,106 @@ class DynamicCodService {
     // edges (0 = rebuild on every update; large = manual Refresh only).
     double rebuild_threshold = 0.05;
     uint64_t seed = 1;  // drives HIMOR sampling at every rebuild
+    // Build threshold-crossing rebuilds on `rebuild_pool` instead of the
+    // querying thread; queries keep serving the stale epoch meanwhile.
+    bool async_rebuild = false;
+    ThreadPool* rebuild_pool = nullptr;  // required iff async_rebuild
+  };
+
+  // A published epoch: queries against `core` are answered as of that
+  // epoch's graph snapshot. Holding the shared_ptr keeps the epoch alive
+  // after later rebuilds retire it.
+  struct EpochSnapshot {
+    std::shared_ptr<const EngineCore> core;
+    uint64_t epoch = 0;
   };
 
   // Takes ownership of the initial graph; `attrs` must cover the same node
   // set and is fixed for the service's lifetime (node set is fixed too).
+  // The first epoch is built synchronously, so the service is immediately
+  // queryable.
   DynamicCodService(Graph initial_graph, AttributeTable attrs,
                     const Options& options);
+  // Blocks until any in-flight background rebuild has finished.
+  ~DynamicCodService();
 
   // ---- Updates (O(1), no rebuild). Duplicate inserts overwrite weight;
-  // removing an absent edge returns false. Self-loops are rejected. ----
+  // removing an absent edge returns false. Self-loops are rejected.
+  // Thread-safe against queries and each other. ----
   bool AddEdge(NodeId u, NodeId v, double weight = 1.0);
   bool RemoveEdge(NodeId u, NodeId v);
 
-  size_t pending_updates() const { return pending_updates_; }
-  uint64_t epoch() const { return epoch_; }
-  size_t NumEdges() const { return edges_.size(); }
+  size_t pending_updates() const;
+  uint64_t epoch() const { return published_.load()->epoch; }
+  size_t NumEdges() const;
 
-  // Rebuilds the snapshot, hierarchy, and index from the current edge set.
+  // Synchronously rebuilds the snapshot, hierarchy, and index from the
+  // current edge set and publishes the new epoch before returning (waits
+  // out an in-flight background rebuild first).
   void Refresh();
 
-  // Serves from the current epoch, first refreshing if drift crossed the
+  // Schedules a rebuild on `rebuild_pool` and returns immediately; false if
+  // one is already in flight (callers keep serving the stale epoch either
+  // way). Requires Options::async_rebuild.
+  bool RefreshAsync();
+
+  // Blocks until no background rebuild is in flight (test/shutdown hook).
+  void WaitForRebuild();
+
+  // The current epoch, via one atomic load — never blocks, including during
+  // a background rebuild.
+  EpochSnapshot Snapshot() const;
+
+  // Serves from the current epoch, first refreshing (or scheduling a
+  // background refresh, under async_rebuild) if drift crossed the
   // threshold.
   CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
   CodResult QueryCodU(NodeId q, uint32_t k, Rng& rng);
 
-  // The engine of the current epoch (stale by up to pending_updates()).
-  const CodEngine& engine() const { return *engine_; }
+  // Fans a workload across `pool` against ONE snapshot of the current
+  // epoch; deterministic given (snapshot, specs, batch_seed) — see
+  // core/query_batch.h. Never triggers or waits for rebuilds.
+  std::vector<CodResult> QueryBatch(std::span<const QuerySpec> specs,
+                                    ThreadPool& pool,
+                                    uint64_t batch_seed) const;
+
+  // The engine core of the current epoch (stale by up to
+  // pending_updates()). The reference is only guaranteed until the next
+  // rebuild publishes — concurrent callers must use Snapshot() instead.
+  const EngineCore& engine() const { return *published_.load()->core; }
 
  private:
+  struct Epoch {
+    uint64_t epoch = 0;
+    std::shared_ptr<const EngineCore> core;
+  };
+  using EdgeMap = std::unordered_map<uint64_t, double>;
+
   void MaybeRefresh();
+  // Captures the edge set + build ticket under mu_; returns false when a
+  // rebuild is already in flight (async dedupe).
+  bool BeginRebuild(EdgeMap* edges_out, uint64_t* build_index_out);
+  // Builds an epoch core from an edge snapshot (no locks held).
+  std::shared_ptr<const EngineCore> BuildEpochCore(const EdgeMap& edges,
+                                                   uint64_t build_index) const;
+  void PublishEpoch(std::shared_ptr<const EngineCore> core);
   static uint64_t EdgeKey(NodeId u, NodeId v, size_t n);
 
-  AttributeTable attrs_;
+  std::shared_ptr<const AttributeTable> attrs_;  // shared by every epoch
   Options options_;
   size_t num_nodes_;
-  std::unordered_map<uint64_t, double> edges_;  // canonical key -> weight
 
-  uint64_t epoch_ = 0;
+  mutable std::mutex mu_;  // guards the pending state below
+  EdgeMap edges_;          // canonical key -> weight
   size_t pending_updates_ = 0;
   size_t snapshot_edges_ = 0;
-  std::unique_ptr<Graph> graph_;
-  std::unique_ptr<CodEngine> engine_;
+  uint64_t builds_started_ = 0;
+  bool rebuild_in_flight_ = false;
+  std::condition_variable rebuild_done_;
+
+  // RCU-style publication point; readers atomically load, writers
+  // atomically store a fresh Epoch. Never null after construction.
+  std::atomic<std::shared_ptr<const Epoch>> published_;
 };
 
 }  // namespace cod

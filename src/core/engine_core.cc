@@ -1,0 +1,345 @@
+#include "core/engine_core.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "core/query_workspace.h"
+
+namespace cod {
+namespace {
+
+DiffusionModel MakeModel(const Graph& g, DiffusionKind kind) {
+  switch (kind) {
+    case DiffusionKind::kIndependentCascade:
+      return DiffusionModel::WeightedCascadeIc(g);
+    case DiffusionKind::kLinearThreshold:
+      return DiffusionModel::WeightedCascadeLt(g);
+  }
+  COD_CHECK(false);
+  return DiffusionModel::WeightedCascadeIc(g);
+}
+
+// Non-owning alias: the caller guarantees the referent outlives the core.
+template <typename T>
+std::shared_ptr<const T> Alias(const T& ref) {
+  return std::shared_ptr<const T>(std::shared_ptr<const T>(), &ref);
+}
+
+}  // namespace
+
+EngineCore::EngineCore(std::shared_ptr<const Graph> graph,
+                       std::shared_ptr<const AttributeTable> attrs,
+                       const EngineOptions& options)
+    : graph_(std::move(graph)),
+      attrs_(std::move(attrs)),
+      options_(options),
+      model_(MakeModel(*graph_, options.diffusion)),
+      base_(AgglomerativeCluster(*graph_)),
+      lca_(base_) {
+  COD_CHECK_EQ(graph_->NumNodes(), attrs_->NumNodes());
+  COD_CHECK(graph_->NumNodes() >= 2);
+}
+
+EngineCore::EngineCore(const Graph& graph, const AttributeTable& attrs,
+                       const EngineOptions& options)
+    : EngineCore(Alias(graph), Alias(attrs), options) {}
+
+CodChain EngineCore::BuildCoduChain(NodeId q) const {
+  return BuildChainFromDendrogram(base_, q);
+}
+
+CodChain EngineCore::BuildCodrChain(NodeId q, AttributeId attr) const {
+  if (options_.cache_codr_hierarchies) {
+    std::shared_ptr<const Dendrogram> cached;
+    {
+      std::lock_guard<std::mutex> lock(codr_mu_);
+      auto it = codr_cache_.find(attr);
+      if (it != codr_cache_.end()) cached = it->second;
+    }
+    if (cached == nullptr) {
+      // Build outside the lock (clustering is the expensive part); racing
+      // builders produce identical dendrograms and the first insert wins.
+      auto built = std::make_shared<const Dendrogram>(
+          GlobalRecluster(*graph_, *attrs_, attr, options_.transform));
+      std::lock_guard<std::mutex> lock(codr_mu_);
+      cached = codr_cache_.emplace(attr, std::move(built)).first->second;
+    }
+    return BuildChainFromDendrogram(*cached, q);
+  }
+  const Dendrogram dendrogram =
+      GlobalRecluster(*graph_, *attrs_, attr, options_.transform);
+  return BuildChainFromDendrogram(dendrogram, q);
+}
+
+LoreChain EngineCore::BuildCodlChain(NodeId q, AttributeId attr) const {
+  return BuildCodlChain(q, std::span<const AttributeId>(&attr, 1));
+}
+
+LoreChain EngineCore::BuildCodlChain(
+    NodeId q, std::span<const AttributeId> attrs) const {
+  const LoreScores scores =
+      ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attrs);
+  LoreChain out;
+  out.c_ell = scores.Selected();
+
+  // Locally recluster C_ell's induced subgraph with attribute weights.
+  const auto members = base_.Members(out.c_ell);
+  const InducedSubgraph sub = BuildAttributeWeightedSubgraph(
+      *graph_, *attrs_, attrs, options_.transform, members);
+  const Dendrogram local = AgglomerativeCluster(sub.graph);
+  NodeId local_q = kInvalidNode;
+  for (size_t i = 0; i < sub.to_parent.size(); ++i) {
+    if (sub.to_parent[i] == q) {
+      local_q = static_cast<NodeId>(i);
+      break;
+    }
+  }
+  COD_CHECK(local_q != kInvalidNode);
+  out.chain = BuildChainFromDendrogram(local, local_q, kInvalidCommunity,
+                                       &sub.to_parent, graph_->NumNodes());
+  out.local_levels = out.chain.NumLevels();
+
+  // Splice the untouched global ancestors of C_ell on top. Each ancestor's
+  // fresh nodes are the prefix + suffix of its member span around its
+  // on-path child's span (nested leaf intervals).
+  const NodeId* prev_begin = members.data();
+  const NodeId* prev_end = members.data() + members.size();
+  std::vector<NodeId> fresh;
+  for (CommunityId a = base_.Parent(out.c_ell); a != kInvalidCommunity;
+       a = base_.Parent(a)) {
+    const auto span = base_.Members(a);
+    const NodeId* begin = span.data();
+    const NodeId* end = span.data() + span.size();
+    COD_CHECK(begin <= prev_begin && prev_end <= end);
+    fresh.assign(begin, prev_begin);
+    fresh.insert(fresh.end(), prev_end, end);
+    AppendLevelWithNewMembers(&out.chain, fresh,
+                              static_cast<uint32_t>(span.size()));
+    prev_begin = begin;
+    prev_end = end;
+  }
+  return out;
+}
+
+CodResult EngineCore::EvaluateChain(const CodChain& chain, NodeId q,
+                                    uint32_t k, QueryWorkspace& ws) const {
+  COD_DCHECK(ws.bound_core() == this);  // Rebind the workspace to this core
+  const ChainEvalOutcome outcome =
+      ws.evaluator().Evaluate(chain, q, k, ws.rng());
+  CodResult result;
+  result.num_levels = chain.NumLevels();
+  if (outcome.best_level >= 0) {
+    result.found = true;
+    result.rank = outcome.rank_at_best;
+    result.members =
+        chain.MembersOfLevel(static_cast<uint32_t>(outcome.best_level));
+  }
+  return result;
+}
+
+CodResult EngineCore::QueryCodU(NodeId q, uint32_t k,
+                                QueryWorkspace& ws) const {
+  return EvaluateChain(BuildCoduChain(q), q, k, ws);
+}
+
+CodResult EngineCore::QueryCodR(NodeId q, AttributeId attr, uint32_t k,
+                                QueryWorkspace& ws) const {
+  return EvaluateChain(BuildCodrChain(q, attr), q, k, ws);
+}
+
+CodResult EngineCore::QueryCodR(NodeId q, std::span<const AttributeId> attrs,
+                                uint32_t k, QueryWorkspace& ws) const {
+  // Topic-set CODR never uses the per-attribute cache.
+  const Dendrogram dendrogram =
+      GlobalRecluster(*graph_, *attrs_, attrs, options_.transform);
+  return EvaluateChain(BuildChainFromDendrogram(dendrogram, q), q, k, ws);
+}
+
+CodResult EngineCore::QueryCodLMinus(NodeId q, AttributeId attr, uint32_t k,
+                                     QueryWorkspace& ws) const {
+  return EvaluateChain(BuildCodlChain(q, attr).chain, q, k, ws);
+}
+
+CodResult EngineCore::QueryCodLMinus(NodeId q,
+                                     std::span<const AttributeId> attrs,
+                                     uint32_t k, QueryWorkspace& ws) const {
+  return EvaluateChain(BuildCodlChain(q, attrs).chain, q, k, ws);
+}
+
+CodResult EngineCore::QueryCodL(NodeId q, AttributeId attr, uint32_t k,
+                                QueryWorkspace& ws) const {
+  return QueryCodL(q, std::span<const AttributeId>(&attr, 1), k, ws);
+}
+
+CodResult EngineCore::QueryCodL(NodeId q, std::span<const AttributeId> attrs,
+                                uint32_t k, QueryWorkspace& ws) const {
+  COD_CHECK(himor_.has_value());  // build/load HIMOR during setup
+  const LoreScores scores =
+      ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attrs);
+  const CommunityId c_ell = scores.Selected();
+
+  // Fast path: some untouched ancestor of C_ell already has q in its top-k.
+  if (const HimorIndex::Entry* hit =
+          himor_->FindTopKAncestor(q, c_ell, k, base_)) {
+    CodResult result;
+    result.found = true;
+    result.answered_from_index = true;
+    result.rank = hit->rank;
+    const auto span = base_.Members(hit->community);
+    result.members.assign(span.begin(), span.end());
+    result.num_levels =
+        base_.Depth(base_.Parent(base_.LeafOf(q)));  // chain length consulted
+    return result;
+  }
+
+  // Slow path: locally recluster C_ell and run compressed evaluation on the
+  // attribute-aware chain inside it.
+  const auto members = base_.Members(c_ell);
+  const InducedSubgraph sub = BuildAttributeWeightedSubgraph(
+      *graph_, *attrs_, attrs, options_.transform, members);
+  const Dendrogram local = AgglomerativeCluster(sub.graph);
+  NodeId local_q = kInvalidNode;
+  for (size_t i = 0; i < sub.to_parent.size(); ++i) {
+    if (sub.to_parent[i] == q) {
+      local_q = static_cast<NodeId>(i);
+      break;
+    }
+  }
+  COD_CHECK(local_q != kInvalidNode);
+  const CodChain chain = BuildChainFromDendrogram(
+      local, local_q, kInvalidCommunity, &sub.to_parent, graph_->NumNodes());
+  return EvaluateChain(chain, q, k, ws);
+}
+
+CodResult EngineCore::QueryCodUIndexed(NodeId q, uint32_t k) const {
+  COD_CHECK(himor_.has_value());  // build/load HIMOR during setup
+  CodResult result;
+  result.num_levels = base_.Depth(base_.Parent(base_.LeafOf(q)));
+  const HimorIndex::Entry* hit =
+      himor_->FindTopKAncestor(q, base_.Parent(base_.LeafOf(q)), k, base_);
+  if (hit == nullptr) return result;
+  result.found = true;
+  result.answered_from_index = true;
+  result.rank = hit->rank;
+  const auto span = base_.Members(hit->community);
+  result.members.assign(span.begin(), span.end());
+  return result;
+}
+
+QueryExplanation EngineCore::ExplainCodL(NodeId q, AttributeId attr,
+                                         uint32_t k,
+                                         QueryWorkspace& ws) const {
+  COD_CHECK(himor_.has_value());  // build/load HIMOR during setup
+  QueryExplanation explanation;
+  explanation.scores =
+      ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attr);
+  const CommunityId c_ell = explanation.scores.Selected();
+  explanation.c_ell_size = base_.LeafCount(c_ell);
+
+  if (const HimorIndex::Entry* hit =
+          himor_->FindTopKAncestor(q, c_ell, k, base_)) {
+    explanation.index_hit = true;
+    explanation.index_community = hit->community;
+    explanation.index_rank = hit->rank;
+    explanation.result.found = true;
+    explanation.result.answered_from_index = true;
+    explanation.result.rank = hit->rank;
+    const auto span = base_.Members(hit->community);
+    explanation.result.members.assign(span.begin(), span.end());
+    return explanation;
+  }
+  // Fall back to the uninstrumented slow path (identical code path).
+  explanation.result = QueryCodL(q, attr, k, ws);
+  return explanation;
+}
+
+std::string QueryExplanation::ToString(const Dendrogram& hierarchy) const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "LORE chain: %zu levels; reclustering scores:\n",
+                scores.chain.size());
+  out += line;
+  for (size_t i = 0; i < scores.chain.size(); ++i) {
+    std::snprintf(line, sizeof(line), "  level %2zu  |C|=%-7u r=%.4f%s\n", i,
+                  hierarchy.LeafCount(scores.chain[i]), scores.score[i],
+                  i == scores.selected ? "  <- C_ell" : "");
+    out += line;
+  }
+  if (index_hit) {
+    std::snprintf(line, sizeof(line),
+                  "HIMOR hit: community of %u nodes above C_ell, stored rank "
+                  "%u\n",
+                  hierarchy.LeafCount(index_community), index_rank + 1);
+    out += line;
+  } else {
+    out += "HIMOR miss: evaluated the reclustered chain inside C_ell\n";
+  }
+  if (result.found) {
+    std::snprintf(line, sizeof(line),
+                  "result: characteristic community of %zu members, query "
+                  "rank #%u\n",
+                  result.members.size(), result.rank + 1);
+    out += line;
+  } else {
+    out += "result: no characteristic community\n";
+  }
+  return out;
+}
+
+std::vector<Promoter> EngineCore::FindTopPromoters(AttributeId attr,
+                                                   size_t count,
+                                                   uint32_t k) const {
+  COD_CHECK(himor_.has_value());  // build/load HIMOR during setup
+  COD_CHECK(count >= 1);
+  std::vector<Promoter> promoters;
+  for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
+    if (!attrs_->Has(v, attr)) continue;
+    // Largest base-hierarchy community where v is top-k: the whole chain is
+    // eligible, so scan from the root side of v's index entries.
+    const HimorIndex::Entry* hit = himor_->FindTopKAncestor(
+        v, base_.Parent(base_.LeafOf(v)), k, base_);
+    if (hit == nullptr) continue;
+    promoters.push_back(Promoter{v, hit->community,
+                                 base_.LeafCount(hit->community), hit->rank});
+  }
+  std::sort(promoters.begin(), promoters.end(),
+            [](const Promoter& a, const Promoter& b) {
+              if (a.size != b.size) return a.size > b.size;
+              return a.node < b.node;
+            });
+  if (promoters.size() > count) promoters.resize(count);
+  return promoters;
+}
+
+Status EngineCore::SaveHimor(const std::string& path) const {
+  if (!himor_.has_value()) {
+    return Status::FailedPrecondition("no HIMOR index built");
+  }
+  return himor_->Save(path);
+}
+
+Status EngineCore::LoadHimor(const std::string& path) {
+  Result<HimorIndex> loaded = HimorIndex::Load(path);
+  if (!loaded.ok()) return loaded.status();
+  if (loaded->NumNodes() != graph_->NumNodes()) {
+    return Status::InvalidArgument(
+        "HIMOR index was built for a different graph (node count mismatch)");
+  }
+  himor_ = std::move(loaded).value();
+  return Status::Ok();
+}
+
+void EngineCore::BuildHimor(Rng& rng) {
+  himor_ = HimorIndex::Build(model_, base_, lca_, options_.theta, rng,
+                             options_.himor_max_rank);
+}
+
+void EngineCore::BuildHimorParallel(uint64_t seed, size_t num_threads) {
+  himor_ = HimorIndex::BuildParallel(model_, base_, lca_, options_.theta,
+                                     seed, options_.himor_max_rank,
+                                     num_threads);
+}
+
+}  // namespace cod

@@ -1,0 +1,200 @@
+// EngineCore: the immutable, shareable heart of the COD serving stack.
+//
+// Everything a query READS lives here — graph, attribute table, diffusion
+// model, non-attributed base dendrogram, its LCA index, and the optional
+// HIMOR index — and every query method is const. Everything a query WRITES
+// (RR-sampling scratch, chain/eval buffers, the RNG) lives in a
+// QueryWorkspace the caller passes in, so N threads answer queries
+// concurrently against one core with one workspace each:
+//
+//     shared_ptr<const EngineCore> core = ...;   // built once per epoch
+//     QueryWorkspace ws(*core, seed);            // one per thread, reusable
+//     CodResult r = core->QueryCodL(q, attr, k, ws);
+//
+// The only mutable member is the optional CODR hierarchy cache, which is
+// guarded by a mutex (deterministic clustering makes racing builders
+// harmless: the first insert wins and every thread reads the same
+// dendrogram).
+//
+// Construction-time mutation: BuildHimor / BuildHimorParallel / LoadHimor
+// are setup steps. They must happen-before the core is shared across
+// threads (publish the shared_ptr only after setup), exactly like filling a
+// const object before handing out references.
+//
+// Ownership: the owning constructor shares the graph/attribute table (the
+// serving path — epochs share the attribute table, the graph dies with the
+// core); the reference constructor aliases caller-owned data that must
+// outlive the core (tests, benches, one-shot tools).
+
+#ifndef COD_CORE_ENGINE_CORE_H_
+#define COD_CORE_ENGINE_CORE_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cod_chain.h"
+#include "core/global_recluster.h"
+#include "core/himor.h"
+#include "core/lore.h"
+#include "graph/attributes.h"
+#include "hierarchy/agglomerative.h"
+#include "hierarchy/lca.h"
+#include "influence/cascade_model.h"
+
+namespace cod {
+
+class QueryWorkspace;
+
+struct EngineOptions {
+  uint32_t k = 5;          // default top-k requirement
+  uint32_t theta = 10;     // RR graphs per source node
+  // The g_l transform (see core/global_recluster.h): how the query
+  // attribute reshapes edge weights before (re)clustering.
+  TransformOptions transform;
+  DiffusionKind diffusion = DiffusionKind::kIndependentCascade;
+  // Largest k the HIMOR index can answer (ranks >= this are not stored;
+  // see HimorIndex::Build).
+  uint32_t himor_max_rank = 16;
+  // Reuse CODR hierarchies across queries with the same attribute (results
+  // are identical; only timing changes — keep false for runtime benches).
+  // The cache is mutex-guarded, so concurrent CODR queries are safe.
+  bool cache_codr_hierarchies = false;
+};
+
+struct CodResult {
+  bool found = false;
+  std::vector<NodeId> members;  // the characteristic community C*(q)
+  uint32_t rank = 0;            // q's estimated rank in C*(q) (0-based)
+  size_t num_levels = 0;        // |H_l(q)| levels examined
+  bool answered_from_index = false;  // CODL: resolved by HIMOR alone
+};
+
+// A LORE-spliced chain plus provenance.
+struct LoreChain {
+  CodChain chain;
+  CommunityId c_ell = kInvalidCommunity;
+  size_t local_levels = 0;  // chain positions below (and incl.) C_ell
+};
+
+// Full instrumentation of one CODL query: which community LORE chose and
+// why (the whole score profile), whether HIMOR answered, and the final
+// result. For debugging, demos, and the hierarchy explorer.
+struct QueryExplanation {
+  LoreScores scores;
+  uint32_t c_ell_size = 0;
+  bool index_hit = false;
+  CommunityId index_community = kInvalidCommunity;
+  uint32_t index_rank = 0;
+  CodResult result;
+
+  // Human-readable multi-line report.
+  std::string ToString(const Dendrogram& hierarchy) const;
+};
+
+// One hit of the reverse (promoter) search; see FindTopPromoters.
+struct Promoter {
+  NodeId node;
+  CommunityId community;
+  uint32_t size;
+  uint32_t rank;
+};
+
+class EngineCore {
+ public:
+  // Owning constructor: the core keeps the graph and attribute table alive.
+  EngineCore(std::shared_ptr<const Graph> graph,
+             std::shared_ptr<const AttributeTable> attrs,
+             const EngineOptions& options);
+  // Aliasing constructor: `graph` and `attrs` must outlive the core.
+  EngineCore(const Graph& graph, const AttributeTable& attrs,
+             const EngineOptions& options);
+
+  EngineCore(const EngineCore&) = delete;
+  EngineCore& operator=(const EngineCore&) = delete;
+
+  const Graph& graph() const { return *graph_; }
+  const AttributeTable& attributes() const { return *attrs_; }
+  const DiffusionModel& model() const { return model_; }
+  const Dendrogram& base_hierarchy() const { return base_; }
+  const LcaIndex& base_lca() const { return lca_; }
+  const EngineOptions& options() const { return options_; }
+
+  // ---- Chain builders (exposed for benches and tests). ----
+  CodChain BuildCoduChain(NodeId q) const;
+  CodChain BuildCodrChain(NodeId q, AttributeId attr) const;
+  LoreChain BuildCodlChain(NodeId q, AttributeId attr) const;
+  LoreChain BuildCodlChain(NodeId q,
+                           std::span<const AttributeId> attrs) const;
+
+  // ---- Query variants. Each attributed variant also accepts a topic SET
+  // (an edge counts as query-attributed when both endpoints carry at least
+  // one of the attributes). All use `ws` for scratch and randomness; the
+  // workspace must be bound to this core (QueryWorkspace ctor / Rebind). ----
+  CodResult QueryCodU(NodeId q, uint32_t k, QueryWorkspace& ws) const;
+  CodResult QueryCodR(NodeId q, AttributeId attr, uint32_t k,
+                      QueryWorkspace& ws) const;
+  CodResult QueryCodR(NodeId q, std::span<const AttributeId> attrs,
+                      uint32_t k, QueryWorkspace& ws) const;
+  CodResult QueryCodLMinus(NodeId q, AttributeId attr, uint32_t k,
+                           QueryWorkspace& ws) const;
+  CodResult QueryCodLMinus(NodeId q, std::span<const AttributeId> attrs,
+                           uint32_t k, QueryWorkspace& ws) const;
+  // Index-only CODU: the largest base-hierarchy community where q is top-k,
+  // answered entirely from HIMOR in O(dep(q)) — no sampling at query time.
+  // Requires himor() and k <= options().himor_max_rank.
+  CodResult QueryCodUIndexed(NodeId q, uint32_t k) const;
+
+  // Require himor() (BuildHimor / LoadHimor during setup).
+  CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k,
+                      QueryWorkspace& ws) const;
+  CodResult QueryCodL(NodeId q, std::span<const AttributeId> attrs,
+                      uint32_t k, QueryWorkspace& ws) const;
+
+  QueryExplanation ExplainCodL(NodeId q, AttributeId attr, uint32_t k,
+                               QueryWorkspace& ws) const;
+
+  // Reverse (promoter) search: which attribute holders have the LARGEST
+  // characteristic communities in the base hierarchy? Answered entirely
+  // from HIMOR (O(sum depth) scan). Requires himor().
+  std::vector<Promoter> FindTopPromoters(AttributeId attr, size_t count,
+                                         uint32_t k) const;
+
+  // Evaluates an externally built chain with the workspace's evaluator.
+  CodResult EvaluateChain(const CodChain& chain, NodeId q, uint32_t k,
+                          QueryWorkspace& ws) const;
+
+  // ---- Setup-time mutators: must happen-before sharing the core. ----
+  void BuildHimor(Rng& rng);
+  // Multi-threaded variant; the result depends on `seed` only, never on the
+  // thread count (see HimorIndex::BuildParallel).
+  void BuildHimorParallel(uint64_t seed, size_t num_threads = 0);
+  Status LoadHimor(const std::string& path);
+
+  Status SaveHimor(const std::string& path) const;
+  const HimorIndex* himor() const {
+    return himor_.has_value() ? &*himor_ : nullptr;
+  }
+
+ private:
+  std::shared_ptr<const Graph> graph_;
+  std::shared_ptr<const AttributeTable> attrs_;
+  EngineOptions options_;
+  DiffusionModel model_;
+  Dendrogram base_;
+  LcaIndex lca_;
+  std::optional<HimorIndex> himor_;
+
+  // CODR per-attribute hierarchy cache (options_.cache_codr_hierarchies).
+  // shared_ptr values let readers drop the lock before walking a dendrogram.
+  mutable std::mutex codr_mu_;
+  mutable std::unordered_map<AttributeId, std::shared_ptr<const Dendrogram>>
+      codr_cache_;
+};
+
+}  // namespace cod
+
+#endif  // COD_CORE_ENGINE_CORE_H_

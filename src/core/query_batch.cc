@@ -1,0 +1,80 @@
+#include "core/query_batch.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_pool.h"
+#include "core/query_workspace.h"
+
+namespace cod {
+
+CodResult RunQuerySpec(const EngineCore& core, const QuerySpec& spec,
+                       QueryWorkspace& ws) {
+  const uint32_t k = spec.k == 0 ? core.options().k : spec.k;
+  switch (spec.variant) {
+    case CodVariant::kCodU:
+      return core.QueryCodU(spec.node, k, ws);
+    case CodVariant::kCodUIndexed:
+      return core.QueryCodUIndexed(spec.node, k);
+    case CodVariant::kCodR:
+      if (spec.attrs.size() == 1) {
+        return core.QueryCodR(spec.node, spec.attrs[0], k, ws);
+      }
+      return core.QueryCodR(spec.node, std::span<const AttributeId>(spec.attrs),
+                            k, ws);
+    case CodVariant::kCodLMinus:
+      if (spec.attrs.size() == 1) {
+        return core.QueryCodLMinus(spec.node, spec.attrs[0], k, ws);
+      }
+      return core.QueryCodLMinus(
+          spec.node, std::span<const AttributeId>(spec.attrs), k, ws);
+    case CodVariant::kCodL:
+      if (spec.attrs.size() == 1) {
+        return core.QueryCodL(spec.node, spec.attrs[0], k, ws);
+      }
+      return core.QueryCodL(spec.node, std::span<const AttributeId>(spec.attrs),
+                            k, ws);
+  }
+  COD_CHECK(false);
+  return CodResult{};
+}
+
+std::vector<CodResult> RunQueryBatch(const EngineCore& core,
+                                     std::span<const QuerySpec> specs,
+                                     ThreadPool& pool, uint64_t batch_seed) {
+  std::vector<CodResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  const size_t num_chunks = std::min(pool.num_threads(), specs.size());
+  // Private completion latch: the batch must not wait on pool idleness,
+  // which would couple it to unrelated tasks (e.g., a background rebuild).
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining = num_chunks;
+
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = specs.size() * c / num_chunks;
+    const size_t end = specs.size() * (c + 1) / num_chunks;
+    pool.Submit([&core, &results, specs, batch_seed, begin, end, &mu, &done,
+                 &remaining] {
+      QueryWorkspace ws(core, /*seed=*/0);
+      for (size_t i = begin; i < end; ++i) {
+        ws.ReseedRng(BatchQuerySeed(batch_seed, i));
+        results[i] = RunQuerySpec(core, specs[i], ws);
+      }
+      // Notify under the lock: the caller owns mu/done on its stack and may
+      // destroy them the instant it observes remaining == 0, so the notify
+      // must complete before the waiter can get past the mutex.
+      std::lock_guard<std::mutex> lock(mu);
+      --remaining;
+      done.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&remaining] { return remaining == 0; });
+  return results;
+}
+
+}  // namespace cod

@@ -1,0 +1,70 @@
+// Concurrent batch-query API: fan a COD query workload across a ThreadPool.
+//
+// Determinism contract: query i of a batch always runs with
+// Rng(BatchQuerySeed(batch_seed, i)) in a freshly reseeded per-thread
+// workspace, so the result vector is a pure function of
+// (core, specs, batch_seed) — bit-identical for every pool size, including
+// a single thread. Workers get contiguous spec ranges and one reusable
+// QueryWorkspace each; nothing is shared mutably across workers except the
+// pre-sized result slots (one writer per slot).
+//
+// Do not call RunQueryBatch from inside a task running on the same pool —
+// the caller blocks until its chunk tasks finish, which deadlocks once the
+// pool is saturated with blocked callers.
+
+#ifndef COD_CORE_QUERY_BATCH_H_
+#define COD_CORE_QUERY_BATCH_H_
+
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "core/engine_core.h"
+
+namespace cod {
+
+class ThreadPool;
+class QueryWorkspace;
+
+enum class CodVariant : uint8_t {
+  kCodU,
+  kCodR,
+  kCodLMinus,
+  kCodL,        // requires the core's HIMOR index
+  kCodUIndexed  // requires the core's HIMOR index
+};
+
+struct QuerySpec {
+  CodVariant variant = CodVariant::kCodL;
+  NodeId node = kInvalidNode;
+  // 0 means "use the engine default" (EngineOptions::k).
+  uint32_t k = 0;
+  // Query topic set; ignored by kCodU / kCodUIndexed. A single element uses
+  // the single-attribute paths (including the CODR hierarchy cache).
+  std::vector<AttributeId> attrs;
+};
+
+// The RNG seed batch query `index` runs with; exposed so tests and callers
+// can reproduce any single query of a batch in isolation.
+inline uint64_t BatchQuerySeed(uint64_t batch_seed, size_t index) {
+  uint64_t state =
+      batch_seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(index + 1);
+  return SplitMix64(state);
+}
+
+// Runs one spec against `core` using `ws` (the workspace's current RNG
+// stream; RunQueryBatch reseeds it per query). Exposed for sequential
+// re-verification of batch answers.
+CodResult RunQuerySpec(const EngineCore& core, const QuerySpec& spec,
+                       QueryWorkspace& ws);
+
+// Fans `specs` across `pool` and blocks until every result is filled.
+// Thread-safe: concurrent batches may share one pool (each batch waits on
+// its own completion latch, not on pool idleness).
+std::vector<CodResult> RunQueryBatch(const EngineCore& core,
+                                     std::span<const QuerySpec> specs,
+                                     ThreadPool& pool, uint64_t batch_seed);
+
+}  // namespace cod
+
+#endif  // COD_CORE_QUERY_BATCH_H_

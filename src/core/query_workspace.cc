@@ -1,0 +1,17 @@
+#include "core/query_workspace.h"
+
+#include "core/engine_core.h"
+
+namespace cod {
+
+QueryWorkspace::QueryWorkspace(const EngineCore& core, uint64_t seed)
+    : core_(&core),
+      evaluator_(core.model(), core.options().theta),
+      rng_(seed) {}
+
+void QueryWorkspace::Rebind(const EngineCore& core) {
+  core_ = &core;
+  evaluator_.Rebind(core.model(), core.options().theta);
+}
+
+}  // namespace cod

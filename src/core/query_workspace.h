@@ -1,0 +1,57 @@
+// QueryWorkspace: the mutable half of a COD query.
+//
+// EngineCore holds everything a query reads; this object holds everything a
+// query writes — the compressed evaluator with its RR-sampling scratch and
+// bucket buffers, plus the RNG that drives sampling. One workspace serves
+// one thread: allocate it once, reuse it across any number of queries
+// against the same core, and Rebind() it when an epoch swap replaces the
+// core (scratch capacity is kept).
+//
+// A workspace is bound to the core it was created from (the evaluator
+// references that core's diffusion model); EngineCore query methods
+// DCHECK the binding.
+
+#ifndef COD_CORE_QUERY_WORKSPACE_H_
+#define COD_CORE_QUERY_WORKSPACE_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "core/compressed_eval.h"
+
+namespace cod {
+
+class EngineCore;
+
+class QueryWorkspace {
+ public:
+  // Binds to `core`'s diffusion model and theta; `seed` initializes the
+  // workspace RNG. `core` must outlive the workspace or be replaced via
+  // Rebind before further use.
+  QueryWorkspace(const EngineCore& core, uint64_t seed);
+
+  // Re-binds to a (possibly different) core, reusing scratch allocations.
+  // The RNG stream is left untouched; ReseedRng to restart it.
+  void Rebind(const EngineCore& core);
+
+  Rng& rng() { return rng_; }
+  void ReseedRng(uint64_t seed) { rng_ = Rng(seed); }
+
+  CompressedEvaluator& evaluator() { return evaluator_; }
+  const EngineCore* bound_core() const { return core_; }
+
+  // |R| explored by the most recent evaluation (diagnostics; see
+  // CompressedEvaluator::last_explored_nodes).
+  size_t last_explored_nodes() const {
+    return evaluator_.last_explored_nodes();
+  }
+
+ private:
+  const EngineCore* core_;
+  CompressedEvaluator evaluator_;
+  Rng rng_;
+};
+
+}  // namespace cod
+
+#endif  // COD_CORE_QUERY_WORKSPACE_H_

@@ -8,6 +8,15 @@ RrSampler::RrSampler(const DiffusionModel& model)
       visit_epoch_(model.graph().NumNodes(), 0),
       local_index_(model.graph().NumNodes(), 0) {}
 
+void RrSampler::Rebind(const DiffusionModel& model) {
+  model_ = &model;
+  graph_ = &model.graph();
+  visit_epoch_.assign(graph_->NumNodes(), 0);
+  local_index_.assign(graph_->NumNodes(), 0);
+  epoch_ = 0;
+  frontier_.clear();
+}
+
 template <bool kRestricted, bool kRecordEdges>
 void RrSampler::SampleImpl(NodeId source, const std::vector<char>* allowed,
                            Rng& rng, RrGraph* graph_out,

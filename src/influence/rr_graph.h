@@ -53,9 +53,16 @@ struct RrGraph {
 
 // Samples RR graphs / RR sets under a DiffusionModel. Owns scratch buffers,
 // so one sampler should be reused across many samples; not thread-safe.
+// Concurrent sampling uses one RrSampler per thread (they share the const
+// model; see core/query_workspace.h for the serving-path pattern).
 class RrSampler {
  public:
   explicit RrSampler(const DiffusionModel& model);
+
+  // Re-targets the sampler at a (possibly different) model, reusing scratch
+  // capacity where node counts allow. Lets a long-lived per-thread workspace
+  // follow epoch swaps without reallocating.
+  void Rebind(const DiffusionModel& model);
 
   // Samples a full RR graph from `source` into `out` (buffers reused).
   void Sample(NodeId source, Rng& rng, RrGraph* out);

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
+#include "core/query_batch.h"
+#include "core/query_workspace.h"
 #include "graph/generators.h"
 #include "tests/test_util.h"
 
@@ -126,6 +129,121 @@ TEST(DynamicServiceTest, DeterministicAcrossInstances) {
     const CodResult b = s2.QueryCodL(q, attrs[0], 5, rng2);
     EXPECT_EQ(a.found, b.found);
     EXPECT_EQ(a.members, b.members);
+  }
+}
+
+TEST(DynamicServiceTest, SnapshotSurvivesRefresh) {
+  World w = MakeWorld(7);
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                            SmallOptions(10.0));
+  const DynamicCodService::EpochSnapshot old_snap = service.Snapshot();
+  EXPECT_EQ(old_snap.epoch, 1u);
+  const size_t old_edges = old_snap.core->graph().NumEdges();
+
+  ASSERT_TRUE(service.AddEdge(0, 150));
+  service.Refresh();
+  EXPECT_EQ(service.Snapshot().epoch, 2u);
+
+  // The retired epoch stays alive and queryable through its shared_ptr.
+  EXPECT_EQ(old_snap.core->graph().NumEdges(), old_edges);
+  EXPECT_EQ(old_snap.core->graph().FindEdge(0, 150), kInvalidEdge);
+  EXPECT_NE(service.Snapshot().core->graph().FindEdge(0, 150), kInvalidEdge);
+  QueryWorkspace ws(*old_snap.core, 3);
+  EXPECT_NO_FATAL_FAILURE(old_snap.core->QueryCodU(0, 5, ws));
+}
+
+TEST(DynamicServiceTest, AsyncRefreshServesStaleThenSwaps) {
+  World w = MakeWorld(8);
+  ThreadPool rebuild_pool(1);
+  DynamicCodService::Options options = SmallOptions(10.0);
+  options.async_rebuild = true;
+  options.rebuild_pool = &rebuild_pool;
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
+
+  ASSERT_TRUE(service.AddEdge(0, 150));
+  ASSERT_TRUE(service.RefreshAsync());
+  // A query issued right away is answered from SOME published epoch without
+  // blocking on the rebuild — at this point either epoch 1 (stale) or 2.
+  Rng rng(4);
+  service.QueryCodU(0, 5, rng);
+  service.WaitForRebuild();
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_NE(service.engine().graph().FindEdge(0, 150), kInvalidEdge);
+  EXPECT_EQ(service.pending_updates(), 0u);
+
+  // Dedupe: a second RefreshAsync while one is in flight is a no-op.
+  ASSERT_TRUE(service.AddEdge(1, 151));
+  const bool first = service.RefreshAsync();
+  const bool second = service.RefreshAsync();
+  service.WaitForRebuild();
+  EXPECT_TRUE(first);
+  if (second) {
+    EXPECT_EQ(service.epoch(), 4u);  // both rebuilds ran back to back
+  } else {
+    EXPECT_EQ(service.epoch(), 3u);  // deduped against the in-flight one
+  }
+}
+
+TEST(DynamicServiceTest, AsyncAndSyncRebuildsPublishIdenticalEpochs) {
+  World w1 = MakeWorld(9);
+  World w2 = MakeWorld(9);
+  DynamicCodService sync_service(std::move(w1.graph), std::move(w1.attrs),
+                                 SmallOptions(10.0));
+  ThreadPool rebuild_pool(1);
+  DynamicCodService::Options async_options = SmallOptions(10.0);
+  async_options.async_rebuild = true;
+  async_options.rebuild_pool = &rebuild_pool;
+  DynamicCodService async_service(std::move(w2.graph), std::move(w2.attrs),
+                                  async_options);
+
+  const std::pair<NodeId, NodeId> updates[] = {{2, 90}, {5, 120}, {9, 44}};
+  for (const auto& [u, v] : updates) {
+    sync_service.AddEdge(u, v);
+    async_service.AddEdge(u, v);
+  }
+  sync_service.Refresh();
+  ASSERT_TRUE(async_service.RefreshAsync());
+  async_service.WaitForRebuild();
+  ASSERT_EQ(sync_service.epoch(), async_service.epoch());
+
+  // Same build ticket + same edge set => bit-identical epoch cores.
+  Rng rng1(11);
+  Rng rng2(11);
+  for (NodeId q = 0; q < 10; ++q) {
+    const auto attrs = sync_service.engine().attributes().AttributesOf(q);
+    if (attrs.empty()) continue;
+    const CodResult a = sync_service.QueryCodL(q, attrs[0], 5, rng1);
+    const CodResult b = async_service.QueryCodL(q, attrs[0], 5, rng2);
+    EXPECT_TRUE(cod::testing::SameResult(a, b)) << "q=" << q;
+  }
+}
+
+TEST(DynamicServiceTest, ServiceQueryBatchMatchesSnapshotBatch) {
+  World w = MakeWorld(10);
+  std::vector<QuerySpec> specs;
+  for (NodeId q = 0; q < 10; ++q) {
+    const auto own = w.attrs.AttributesOf(q);
+    QuerySpec spec;
+    spec.node = q;
+    spec.k = 5;
+    if (own.empty()) {
+      spec.variant = CodVariant::kCodU;
+    } else {
+      spec.variant = CodVariant::kCodL;
+      spec.attrs.assign(own.begin(), own.begin() + 1);
+    }
+    specs.push_back(std::move(spec));
+  }
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                            SmallOptions(10.0));
+  ThreadPool pool(3);
+  const auto via_service = service.QueryBatch(specs, pool, 21);
+  const auto via_snapshot =
+      RunQueryBatch(*service.Snapshot().core, specs, pool, 21);
+  ASSERT_EQ(via_service.size(), via_snapshot.size());
+  for (size_t i = 0; i < via_service.size(); ++i) {
+    EXPECT_TRUE(cod::testing::SameResult(via_service[i], via_snapshot[i]))
+        << "spec " << i;
   }
 }
 

@@ -1,0 +1,213 @@
+#include "core/engine_core.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cod_engine.h"
+#include "core/query_workspace.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+using ::cod::testing::SameResult;
+
+struct World {
+  Graph graph;
+  AttributeTable attrs;
+};
+
+World MakeWorld(uint64_t seed, size_t n = 250) {
+  Rng rng(seed);
+  HppParams params;
+  params.num_nodes = n;
+  params.num_edges = 4 * n;
+  params.levels = 2;
+  params.fanout = 3;
+  GeneratedGraph gen = HierarchicalPlantedPartition(params, rng);
+  World w;
+  w.attrs = AssignCorrelatedAttributes(gen.block, 5, 0.8, 0.1, rng);
+  w.graph = std::move(gen.graph);
+  return w;
+}
+
+AttributeId AnyAttributeOf(const AttributeTable& attrs, NodeId q) {
+  const auto a = attrs.AttributesOf(q);
+  return a.empty() ? kInvalidAttribute : a[0];
+}
+
+TEST(EngineCoreTest, ConstQueriesMatchLegacyEngine) {
+  const World w = MakeWorld(1);
+  CodEngine engine(w.graph, w.attrs, {});
+  Rng build_rng(2);
+  engine.BuildHimor(build_rng);
+
+  const std::shared_ptr<const EngineCore> core = engine.core();
+  QueryWorkspace ws(*core, /*seed=*/0);
+  for (NodeId q = 0; q < 12; ++q) {
+    const AttributeId attr = AnyAttributeOf(w.attrs, q);
+    if (attr == kInvalidAttribute) continue;
+    // Legacy Rng form and const workspace form consume identical streams.
+    Rng legacy_rng(500 + q);
+    const CodResult legacy = engine.QueryCodL(q, attr, 5, legacy_rng);
+    ws.ReseedRng(500 + q);
+    const CodResult modern = core->QueryCodL(q, attr, 5, ws);
+    EXPECT_TRUE(SameResult(legacy, modern)) << "q=" << q;
+
+    Rng legacy_u(900 + q);
+    const CodResult legacy_codu = engine.QueryCodU(q, 5, legacy_u);
+    ws.ReseedRng(900 + q);
+    const CodResult modern_codu = core->QueryCodU(q, 5, ws);
+    EXPECT_TRUE(SameResult(legacy_codu, modern_codu)) << "q=" << q;
+  }
+}
+
+TEST(EngineCoreTest, OwningConstructorKeepsInputsAlive) {
+  std::shared_ptr<const EngineCore> core;
+  {
+    World w = MakeWorld(3);
+    auto graph = std::make_shared<const Graph>(std::move(w.graph));
+    auto attrs = std::make_shared<const AttributeTable>(std::move(w.attrs));
+    core = std::make_shared<const EngineCore>(graph, attrs, EngineOptions{});
+    // graph/attrs shared_ptrs go out of scope here; the core keeps them.
+  }
+  QueryWorkspace ws(*core, 4);
+  int found = 0;
+  for (NodeId q = 0; q < 10; ++q) {
+    found += core->QueryCodU(q, 5, ws).found;
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(EngineCoreTest, WorkspaceReuseDoesNotChangeAnswers) {
+  const World w = MakeWorld(5);
+  const EngineCore core(w.graph, w.attrs, {});
+  // One long-lived workspace against fresh per-query workspaces.
+  QueryWorkspace reused(core, 0);
+  for (NodeId q = 0; q < 10; ++q) {
+    const AttributeId attr = AnyAttributeOf(w.attrs, q);
+    if (attr == kInvalidAttribute) continue;
+    reused.ReseedRng(100 + q);
+    const CodResult a = core.QueryCodLMinus(q, attr, 5, reused);
+    QueryWorkspace fresh(core, 100 + q);
+    const CodResult b = core.QueryCodLMinus(q, attr, 5, fresh);
+    EXPECT_TRUE(SameResult(a, b)) << "q=" << q;
+  }
+}
+
+TEST(EngineCoreTest, WorkspaceRebindFollowsEpochSwap) {
+  const World w1 = MakeWorld(6);
+  const World w2 = MakeWorld(7, 180);
+  const EngineCore core1(w1.graph, w1.attrs, {});
+  const EngineCore core2(w2.graph, w2.attrs, {});
+
+  QueryWorkspace ws(core1, 8);
+  EXPECT_EQ(ws.bound_core(), &core1);
+  const CodResult before = core1.QueryCodU(3, 5, ws);
+  (void)before;
+
+  ws.Rebind(core2);  // epoch swap: same workspace, new immutable core
+  EXPECT_EQ(ws.bound_core(), &core2);
+  ws.ReseedRng(9);
+  const CodResult rebound = core2.QueryCodU(3, 5, ws);
+  QueryWorkspace fresh(core2, 9);
+  const CodResult reference = core2.QueryCodU(3, 5, fresh);
+  EXPECT_TRUE(SameResult(rebound, reference));
+}
+
+// Satellite regression: the CODR hierarchy cache used to be a plain
+// unordered_map mutated inside the query path. Hammer it from several
+// threads and require every answer to match the uncached reference.
+TEST(EngineCoreTest, ConcurrentCodrCachingGivesIdenticalResults) {
+  const World w = MakeWorld(10);
+  EngineOptions cached_opts;
+  cached_opts.cache_codr_hierarchies = true;
+  const EngineCore cached(w.graph, w.attrs, cached_opts);
+  const EngineCore uncached(w.graph, w.attrs, {});
+
+  // Reference answers, single-threaded and cache-free.
+  struct Case {
+    NodeId q;
+    AttributeId attr;
+    CodResult want;
+  };
+  std::vector<Case> cases;
+  {
+    QueryWorkspace ws(uncached, 0);
+    for (NodeId q = 0; q < 8; ++q) {
+      const AttributeId attr = AnyAttributeOf(w.attrs, q);
+      if (attr == kInvalidAttribute) continue;
+      ws.ReseedRng(1000 + q);
+      cases.push_back(Case{q, attr, uncached.QueryCodR(q, attr, 5, ws)});
+    }
+  }
+  ASSERT_GE(cases.size(), 4u);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;  // later rounds hit the warm cache
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      QueryWorkspace ws(cached, 0);
+      for (int round = 0; round < kRounds; ++round) {
+        for (const Case& c : cases) {
+          ws.ReseedRng(1000 + c.q);
+          const CodResult got = cached.QueryCodR(c.q, c.attr, 5, ws);
+          if (!SameResult(got, c.want)) ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+TEST(EngineCoreTest, ConcurrentMixedQueriesMatchSequentialRerun) {
+  const World w = MakeWorld(11);
+  EngineCore core(w.graph, w.attrs, {});
+  Rng build_rng(12);
+  core.BuildHimor(build_rng);
+  const EngineCore& shared = core;
+
+  constexpr int kThreads = 4;
+  constexpr NodeId kQueriesPerThread = 6;
+  std::vector<std::vector<CodResult>> concurrent(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      QueryWorkspace ws(shared, 0);
+      for (NodeId q = 0; q < kQueriesPerThread; ++q) {
+        const AttributeId attr = AnyAttributeOf(w.attrs, q);
+        ws.ReseedRng(t * 1000 + q);
+        concurrent[t].push_back(
+            attr == kInvalidAttribute ? shared.QueryCodU(q, 5, ws)
+                                      : shared.QueryCodL(q, attr, 5, ws));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  QueryWorkspace ws(shared, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(concurrent[t].size(), kQueriesPerThread);
+    for (NodeId q = 0; q < kQueriesPerThread; ++q) {
+      const AttributeId attr = AnyAttributeOf(w.attrs, q);
+      ws.ReseedRng(t * 1000 + q);
+      const CodResult want = attr == kInvalidAttribute
+                                 ? shared.QueryCodU(q, 5, ws)
+                                 : shared.QueryCodL(q, attr, 5, ws);
+      EXPECT_TRUE(SameResult(concurrent[t][q], want))
+          << "thread " << t << " q " << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cod

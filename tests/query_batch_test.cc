@@ -1,0 +1,173 @@
+#include "core/query_batch.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/cod_engine.h"
+#include "core/query_workspace.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+using ::cod::testing::SameResult;
+
+struct World {
+  Graph graph;
+  AttributeTable attrs;
+};
+
+World MakeWorld(uint64_t seed, size_t n = 220) {
+  Rng rng(seed);
+  HppParams params;
+  params.num_nodes = n;
+  params.num_edges = 4 * n;
+  params.levels = 2;
+  params.fanout = 3;
+  GeneratedGraph gen = HierarchicalPlantedPartition(params, rng);
+  World w;
+  w.attrs = AssignCorrelatedAttributes(gen.block, 5, 0.8, 0.1, rng);
+  w.graph = std::move(gen.graph);
+  return w;
+}
+
+// A workload covering every variant, topic sets, and the k=0 default.
+std::vector<QuerySpec> MakeSpecs(const AttributeTable& attrs, size_t count) {
+  std::vector<QuerySpec> specs;
+  for (NodeId q = 0; specs.size() < count; ++q) {
+    const auto own = attrs.AttributesOf(q % attrs.NumNodes());
+    QuerySpec spec;
+    spec.node = q % static_cast<NodeId>(attrs.NumNodes());
+    switch (specs.size() % 5) {
+      case 0:
+        spec.variant = CodVariant::kCodU;
+        break;
+      case 1:
+        spec.variant = CodVariant::kCodUIndexed;
+        break;
+      case 2:
+        if (own.empty()) continue;
+        spec.variant = CodVariant::kCodR;
+        spec.attrs.assign(own.begin(), own.begin() + 1);
+        break;
+      case 3:
+        if (own.empty()) continue;
+        spec.variant = CodVariant::kCodLMinus;
+        spec.attrs.assign(own.begin(), own.end());  // topic set
+        spec.k = 3;
+        break;
+      default:
+        if (own.empty()) continue;
+        spec.variant = CodVariant::kCodL;
+        spec.attrs.assign(own.begin(), own.begin() + 1);
+        break;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+class QueryBatchTest : public ::testing::Test {
+ protected:
+  QueryBatchTest() : world_(MakeWorld(1)) {
+    engine_ = std::make_unique<CodEngine>(world_.graph, world_.attrs,
+                                          EngineOptions{});
+    Rng rng(2);
+    engine_->BuildHimor(rng);
+    specs_ = MakeSpecs(world_.attrs, 20);
+  }
+
+  World world_;
+  std::unique_ptr<CodEngine> engine_;
+  std::vector<QuerySpec> specs_;
+};
+
+TEST_F(QueryBatchTest, MatchesSequentialRerunPerQuery) {
+  ThreadPool pool(3);
+  const std::vector<CodResult> batch =
+      engine_->QueryBatch(specs_, pool, /*batch_seed=*/77);
+  ASSERT_EQ(batch.size(), specs_.size());
+
+  // Every batch answer is reproducible in isolation from its derived seed.
+  const std::shared_ptr<const EngineCore> core = engine_->core();
+  QueryWorkspace ws(*core, 0);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    ws.ReseedRng(BatchQuerySeed(77, i));
+    const CodResult want = RunQuerySpec(*core, specs_[i], ws);
+    EXPECT_TRUE(SameResult(batch[i], want)) << "spec " << i;
+  }
+}
+
+TEST_F(QueryBatchTest, BitIdenticalAcrossThreadCounts) {
+  std::vector<std::vector<CodResult>> runs;
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    runs.push_back(engine_->QueryBatch(specs_, pool, /*batch_seed=*/5));
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_TRUE(SameResult(runs[r][i], runs[0][i]))
+          << "pool variant " << r << " spec " << i;
+    }
+  }
+}
+
+TEST_F(QueryBatchTest, DifferentBatchSeedsChangeSampling) {
+  ThreadPool pool(2);
+  const auto a = engine_->QueryBatch(specs_, pool, 1);
+  const auto b = engine_->QueryBatch(specs_, pool, 2);
+  // Sampled variants may legitimately flip some answers between seeds; the
+  // index-only ones must not.
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].variant == CodVariant::kCodUIndexed) {
+      EXPECT_TRUE(SameResult(a[i], b[i])) << "spec " << i;
+    }
+  }
+}
+
+TEST_F(QueryBatchTest, DefaultKUsesEngineOptions) {
+  ThreadPool pool(2);
+  std::vector<QuerySpec> defaulted{{CodVariant::kCodU, 3, 0, {}}};
+  std::vector<QuerySpec> explicit_k{
+      {CodVariant::kCodU, 3, engine_->options().k, {}}};
+  const auto a = engine_->QueryBatch(defaulted, pool, 9);
+  const auto b = engine_->QueryBatch(explicit_k, pool, 9);
+  EXPECT_TRUE(SameResult(a[0], b[0]));
+}
+
+TEST_F(QueryBatchTest, EmptyBatchReturnsEmpty) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(engine_->QueryBatch({}, pool, 1).empty());
+}
+
+TEST_F(QueryBatchTest, ConcurrentBatchesShareOnePool) {
+  ThreadPool pool(4);
+  const auto solo_a = engine_->QueryBatch(specs_, pool, 11);
+  const auto solo_b = engine_->QueryBatch(specs_, pool, 22);
+
+  std::vector<CodResult> concurrent_a;
+  std::vector<CodResult> concurrent_b;
+  // Two caller threads block on their own latches against the same pool.
+  std::thread ta(
+      [&] { concurrent_a = engine_->QueryBatch(specs_, pool, 11); });
+  std::thread tb(
+      [&] { concurrent_b = engine_->QueryBatch(specs_, pool, 22); });
+  ta.join();
+  tb.join();
+
+  ASSERT_EQ(concurrent_a.size(), solo_a.size());
+  ASSERT_EQ(concurrent_b.size(), solo_b.size());
+  for (size_t i = 0; i < solo_a.size(); ++i) {
+    EXPECT_TRUE(SameResult(concurrent_a[i], solo_a[i])) << "a spec " << i;
+    EXPECT_TRUE(SameResult(concurrent_b[i], solo_b[i])) << "b spec " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,192 @@
+// Satellite stress test for the RCU-style serving stack: several reader
+// threads fan QueryBatch workloads across a shared pool while a writer
+// thread ingests edge updates and kicks off background rebuilds. Readers
+// pin a Snapshot() per iteration, so every answer must be bit-consistent
+// with a sequential rerun against that same pinned epoch — a torn read or
+// a query straddling two epochs would break the comparison.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/dynamic_service.h"
+#include "core/query_batch.h"
+#include "core/query_workspace.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace cod {
+namespace {
+
+using ::cod::testing::SameResult;
+
+struct World {
+  Graph graph;
+  AttributeTable attrs;
+};
+
+// Kept deliberately small: each refresh rebuilds the hierarchy + HIMOR, and
+// the test runs several epochs' worth of rebuilds under TSAN.
+World MakeWorld(uint64_t seed, size_t n = 150) {
+  Rng rng(seed);
+  HppParams params;
+  params.num_nodes = n;
+  params.num_edges = 4 * n;
+  params.levels = 2;
+  params.fanout = 3;
+  GeneratedGraph gen = HierarchicalPlantedPartition(params, rng);
+  World w;
+  w.attrs = AssignCorrelatedAttributes(gen.block, 4, 0.8, 0.1, rng);
+  w.graph = std::move(gen.graph);
+  return w;
+}
+
+std::vector<QuerySpec> MakeSpecs(const AttributeTable& attrs, size_t count) {
+  std::vector<QuerySpec> specs;
+  for (NodeId q = 0; specs.size() < count; ++q) {
+    const NodeId node = q % static_cast<NodeId>(attrs.NumNodes());
+    const auto own = attrs.AttributesOf(node);
+    QuerySpec spec;
+    spec.node = node;
+    spec.k = 4;
+    if (own.empty() || specs.size() % 3 == 0) {
+      spec.variant = CodVariant::kCodU;
+    } else if (specs.size() % 3 == 1) {
+      spec.variant = CodVariant::kCodL;
+      spec.attrs.assign(own.begin(), own.begin() + 1);
+    } else {
+      spec.variant = CodVariant::kCodR;
+      spec.attrs.assign(own.begin(), own.begin() + 1);
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST(ServingStressTest, BatchQueriesRaceBackgroundRebuilds) {
+  World w = MakeWorld(1);
+  const size_t num_nodes = w.attrs.NumNodes();
+  const std::vector<QuerySpec> specs = MakeSpecs(w.attrs, 12);
+
+  ThreadPool rebuild_pool(1);
+  DynamicCodService::Options options;
+  options.rebuild_threshold = 100.0;  // writer refreshes explicitly
+  options.seed = 3;
+  options.async_rebuild = true;
+  options.rebuild_pool = &rebuild_pool;
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
+
+  ThreadPool query_pool(4);
+  constexpr int kReaders = 4;
+  constexpr int kIterations = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> max_epoch_seen{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last_epoch = 0;
+      for (int it = 0; it < kIterations; ++it) {
+        const DynamicCodService::EpochSnapshot snap = service.Snapshot();
+        // Publication is monotonic: a reader can never observe the epoch
+        // counter going backwards.
+        if (snap.epoch < last_epoch) ++failures;
+        last_epoch = snap.epoch;
+        uint64_t prev = max_epoch_seen.load();
+        while (prev < snap.epoch &&
+               !max_epoch_seen.compare_exchange_weak(prev, snap.epoch)) {
+        }
+
+        const uint64_t batch_seed = r * 100 + it;
+        const std::vector<CodResult> batch =
+            RunQueryBatch(*snap.core, specs, query_pool, batch_seed);
+        if (batch.size() != specs.size()) {
+          ++failures;
+          continue;
+        }
+        // Sequential rerun against the SAME pinned epoch. Any divergence
+        // means a query read state from a different (or half-published)
+        // epoch.
+        QueryWorkspace ws(*snap.core, 0);
+        for (size_t i = 0; i < specs.size(); ++i) {
+          ws.ReseedRng(BatchQuerySeed(batch_seed, i));
+          if (!SameResult(batch[i], RunQuerySpec(*snap.core, specs[i], ws))) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    Rng rng(42);
+    int refreshes = 0;
+    while (!stop.load()) {
+      const NodeId u = static_cast<NodeId>(rng.Next() % num_nodes);
+      const NodeId v = static_cast<NodeId>(rng.Next() % num_nodes);
+      if (u != v) {
+        if (rng.Next() % 2 == 0) {
+          service.AddEdge(u, v);
+        } else {
+          service.RemoveEdge(u, v);
+        }
+      }
+      if (rng.Next() % 4 == 0) {
+        if (service.RefreshAsync()) ++refreshes;
+      }
+      std::this_thread::yield();
+    }
+    // Guarantee at least one successful background rebuild happened.
+    while (refreshes == 0) {
+      service.AddEdge(0, static_cast<NodeId>(num_nodes - 1));
+      if (service.RefreshAsync()) ++refreshes;
+    }
+  });
+
+  for (std::thread& t : readers) t.join();
+  stop.store(true);
+  writer.join();
+  service.WaitForRebuild();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(service.epoch(), 1u);  // background rebuilds actually published
+  EXPECT_GE(max_epoch_seen.load(), 1u);
+}
+
+// A snapshot taken before a rebuild keeps answering from its own epoch even
+// while newer epochs are published and the old one is retired from
+// published_.
+TEST(ServingStressTest, PinnedSnapshotStableAcrossRebuilds) {
+  World w = MakeWorld(2);
+  const std::vector<QuerySpec> specs = MakeSpecs(w.attrs, 8);
+
+  DynamicCodService::Options options;
+  options.rebuild_threshold = 100.0;
+  options.seed = 5;
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
+
+  ThreadPool pool(2);
+  const DynamicCodService::EpochSnapshot pinned = service.Snapshot();
+  const std::vector<CodResult> before =
+      RunQueryBatch(*pinned.core, specs, pool, 17);
+
+  for (int i = 0; i < 3; ++i) {
+    service.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(100 + i));
+    service.Refresh();
+  }
+  ASSERT_EQ(service.epoch(), pinned.epoch + 3);
+
+  const std::vector<CodResult> after =
+      RunQueryBatch(*pinned.core, specs, pool, 17);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(SameResult(before[i], after[i])) << "spec " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cod

@@ -6,11 +6,20 @@
 
 #include <vector>
 
+#include "core/engine_core.h"
 #include "graph/attributes.h"
 #include "graph/graph.h"
 #include "hierarchy/dendrogram.h"
 
 namespace cod::testing {
+
+// Bit-level equality of two query answers (every observable field), used by
+// the determinism and concurrency suites.
+inline bool SameResult(const CodResult& a, const CodResult& b) {
+  return a.found == b.found && a.members == b.members && a.rank == b.rank &&
+         a.num_levels == b.num_levels &&
+         a.answered_from_index == b.answered_from_index;
+}
 
 // Path 0-1-2-...-(n-1).
 inline Graph MakePath(size_t n) {
