@@ -1,0 +1,105 @@
+// Overload / graceful-degradation bench: throughput and answer quality of
+// the batch-query API as the per-query budget shrinks. A CODL workload runs
+// under a sweep of budgets from unlimited down to well below one query's
+// cost; with the degradation ladder on, shrinking budgets trade full answers
+// for cheaper (eventually index-only) ones instead of failing — the
+// qps/degraded-fraction curve is the serving stack's overload behavior.
+//
+// Besides the human-readable table, each configuration emits one
+// machine-readable line:
+//   OVERLOAD_JSON {"dataset":"cora-sim","budget_ms":2.0,...}
+// for dashboards / regression tracking (grep for OVERLOAD_JSON).
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/query_batch.h"
+
+namespace cod::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags =
+      ParseFlags(argc, argv, /*default_queries=*/200, {"cora-sim"});
+  std::printf("== Overload degradation: answer mix vs per-query budget ==\n\n");
+  TablePrinter table({"dataset", "budget ms", "queries", "seconds",
+                      "queries/sec", "full ok", "degraded", "timeout"});
+  // 0 = unlimited; the rest shrink toward (and past) one query's cost.
+  const double budgets_ms[] = {0.0, 50.0, 10.0, 2.0, 0.5, 0.1, 0.02};
+  const size_t threads = 4;
+  for (const std::string& name : flags.datasets) {
+    const AttributedGraph data = LoadDatasetOrDie(name);
+    CodEngine engine(data.graph, data.attributes, {});
+    Rng rng(flags.seed);
+    engine.BuildHimor(rng);
+
+    Rng query_rng(flags.seed + 1);
+    const std::vector<Query> queries =
+        GenerateQueries(data.attributes, flags.queries, query_rng);
+    std::vector<QuerySpec> specs;
+    specs.reserve(queries.size());
+    for (const Query& q : queries) {
+      specs.push_back(QuerySpec{CodVariant::kCodL, q.node,
+                                engine.options().k, {q.attribute}});
+    }
+
+    ThreadPool pool(threads);
+    engine.QueryBatch(specs, pool, flags.seed);  // warm-up (cache, pages)
+    WallTimer timer;
+    for (const double budget_ms : budgets_ms) {
+      BatchOptions options;
+      options.default_budget_seconds = budget_ms / 1000.0;
+      timer.Restart();
+      const std::vector<CodResult> results =
+          engine.QueryBatch(specs, pool, flags.seed, options);
+      const double seconds = timer.ElapsedSeconds();
+
+      size_t full = 0;
+      size_t degraded = 0;
+      size_t timeout = 0;
+      for (const CodResult& r : results) {
+        if (r.code != StatusCode::kOk) {
+          ++timeout;
+        } else if (r.degraded) {
+          ++degraded;
+        } else {
+          ++full;
+        }
+      }
+      const double n = static_cast<double>(results.size());
+      const double qps = seconds > 0.0 ? n / seconds : 0.0;
+      table.AddRow({name,
+                    budget_ms == 0.0 ? "unlimited"
+                                     : TablePrinter::Fmt(budget_ms, 2),
+                    TablePrinter::Fmt(results.size()),
+                    TablePrinter::Fmt(seconds, 3), TablePrinter::Fmt(qps, 1),
+                    TablePrinter::Fmt(static_cast<double>(full) / n, 2),
+                    TablePrinter::Fmt(static_cast<double>(degraded) / n, 2),
+                    TablePrinter::Fmt(static_cast<double>(timeout) / n, 2)});
+      std::printf(
+          "OVERLOAD_JSON {\"dataset\":\"%s\",\"budget_ms\":%.3f,"
+          "\"threads\":%zu,\"queries\":%zu,\"seconds\":%.6f,"
+          "\"queries_per_sec\":%.2f,\"full_ok\":%zu,\"degraded_ok\":%zu,"
+          "\"timeout\":%zu,\"seed\":%llu}\n",
+          name.c_str(), budget_ms, threads, results.size(), seconds, qps,
+          full, degraded, timeout,
+          static_cast<unsigned long long>(flags.seed));
+    }
+  }
+  std::printf("\n");
+  table.Print(stdout);
+  std::printf(
+      "\nAs the budget shrinks, full answers give way to degraded (cheaper\n"
+      "rung, eventually index-only) ones; timeouts appear only below the\n"
+      "index lookup's own cost. Throughput RISES under pressure — the\n"
+      "ladder sheds work instead of queueing it.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cod::bench
+
+int main(int argc, char** argv) { return cod::bench::Run(argc, argv); }

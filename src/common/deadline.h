@@ -1,0 +1,131 @@
+// Deadlines, cancellation, and the Budget they combine into — the single
+// timeout mechanism of codlib.
+//
+// A Deadline is a point on the monotonic clock; hot loops (RR sampling,
+// compressed/independent evaluation, the LORE edge scan, HIMOR construction)
+// poll Expired() at coarse check intervals — once per RR sample, per source,
+// or per few-thousand edges — so an expired budget surfaces within one such
+// interval rather than after an unbounded run. A CancelToken is a cooperative
+// flag a caller flips from another thread; the same check sites observe it.
+//
+// Budget bundles the two and is what travels through query paths (carried on
+// QueryWorkspace) and build paths (an explicit parameter). A
+// default-constructed Budget is unlimited and its checks cost one branch —
+// no clock read — so the common no-deadline path stays free.
+//
+// Determinism note (exploited by the tests): Deadline::After truncates toward
+// zero, so any sub-nanosecond budget (e.g. 1e-12 s) produces a deadline equal
+// to "now" that is deterministically expired at the very first check,
+// independent of timing, load, or thread count.
+
+#ifndef COD_COMMON_DEADLINE_H_
+#define COD_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+
+namespace cod {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Default: never expires.
+  Deadline() : deadline_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  // Expires `seconds` from now (truncated to the clock's resolution; <= 0
+  // is already expired). Anything beyond ~30 years is treated as infinite.
+  static Deadline After(double seconds) {
+    Deadline d;
+    if (seconds >= 1e9) return d;
+    const auto now = Clock::now();
+    if (seconds <= 0.0) {
+      d.deadline_ = now;
+      return d;
+    }
+    d.deadline_ = now + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline Earliest(const Deadline& a, const Deadline& b) {
+    return a.deadline_ <= b.deadline_ ? a : b;
+  }
+
+  bool infinite() const { return deadline_ == Clock::time_point::max(); }
+
+  // True once the deadline has been reached. Infinite deadlines never read
+  // the clock.
+  bool Expired() const {
+    return !infinite() && Clock::now() >= deadline_;
+  }
+
+  // Seconds until expiry: +inf when infinite, negative when overdue.
+  double RemainingSeconds() const {
+    if (infinite()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  }
+
+ private:
+  Clock::time_point deadline_;
+};
+
+// A cooperative cancellation flag: the owner calls Cancel() (from any
+// thread); workers observe it at their budget check sites and unwind with
+// StatusCode::kCancelled. Reusable via Reset() once no worker observes it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// The execution budget a query or build runs under. Aggregate: construct as
+// Budget{deadline} or Budget{deadline, &token}; default is unlimited.
+struct Budget {
+  Deadline deadline;                     // infinite by default
+  const CancelToken* cancel = nullptr;   // optional, not owned
+
+  // kCancelled beats kTimeout so an explicit cancel is never reported as a
+  // coincidental deadline miss.
+  StatusCode ExhaustedCode() const {
+    if (cancel != nullptr && cancel->Cancelled()) {
+      return StatusCode::kCancelled;
+    }
+    if (deadline.Expired()) return StatusCode::kTimeout;
+    return StatusCode::kOk;
+  }
+
+  bool Exhausted() const { return ExhaustedCode() != StatusCode::kOk; }
+
+  // Status form for Status-returning paths; `what` names the aborted work.
+  Status Check(const char* what) const {
+    switch (ExhaustedCode()) {
+      case StatusCode::kCancelled:
+        return Status::Cancelled(std::string(what) + " cancelled");
+      case StatusCode::kTimeout:
+        return Status::Timeout(std::string(what) + " deadline exceeded");
+      default:
+        return Status::Ok();
+    }
+  }
+};
+
+}  // namespace cod
+
+#endif  // COD_COMMON_DEADLINE_H_

@@ -1,0 +1,58 @@
+#include "common/failpoint.h"
+
+namespace cod {
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints instance;
+  return instance;
+}
+
+void Failpoints::Arm(const std::string& name, int64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& point = points_[name];
+  const bool was_armed = point.remaining != 0;
+  point.remaining = count;
+  const bool is_armed = point.remaining != 0;
+  if (is_armed && !was_armed) {
+    num_armed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (!is_armed && was_armed) {
+    num_armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return;
+  if (it->second.remaining != 0) {
+    num_armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  it->second.remaining = 0;  // keep `triggered` inspectable after the fact
+}
+
+void Failpoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  num_armed_.store(0, std::memory_order_relaxed);
+  points_.clear();
+}
+
+bool Failpoints::ShouldFail(const char* name) {
+  if (num_armed_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || it->second.remaining == 0) return false;
+  Point& point = it->second;
+  if (point.remaining > 0 && --point.remaining == 0) {
+    num_armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  ++point.triggered;
+  return true;
+}
+
+uint64_t Failpoints::TriggerCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.triggered;
+}
+
+}  // namespace cod

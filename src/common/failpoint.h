@@ -1,0 +1,92 @@
+// Failpoints: named failure sites for fault-injection testing (the
+// RocksDB/TiKV idiom). Code marks a site with
+//
+//     if (COD_FAILPOINT("dynamic_service/rebuild")) {
+//       return Status::IoError("failpoint dynamic_service/rebuild armed");
+//     }
+//
+// and a test arms it for its scope:
+//
+//     ScopedFailpoint fp("dynamic_service/rebuild", /*count=*/2);
+//
+// making the next two passes through the site fail, after which it behaves
+// normally again. Sites are inert by default: an unarmed process pays one
+// relaxed atomic load per pass and never takes the registry lock. Builds
+// that must not carry any injection machinery can define
+// COD_DISABLE_FAILPOINTS to compile every site down to `false`.
+//
+// Registered sites: "dynamic_service/rebuild" (epoch rebuild, before any
+// build work), "himor/build" (both HIMOR builders), "query_batch/worker"
+// (per query in a batch worker).
+
+#ifndef COD_COMMON_FAILPOINT_H_
+#define COD_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace cod {
+
+// Process-wide registry; all methods are thread-safe.
+class Failpoints {
+ public:
+  static Failpoints& Instance();
+
+  // Makes the next `count` passes through `name` fail (count < 0: every
+  // pass until disarmed). Re-arming replaces the remaining count.
+  void Arm(const std::string& name, int64_t count = 1);
+  void Disarm(const std::string& name);
+  void DisarmAll();
+
+  // Called by COD_FAILPOINT at the site; consumes one armed hit.
+  bool ShouldFail(const char* name);
+
+  // Times `name` actually fired (survives Disarm; reset by DisarmAll).
+  uint64_t TriggerCount(const std::string& name) const;
+
+ private:
+  Failpoints() = default;
+
+  struct Point {
+    int64_t remaining = 0;  // < 0: always fire
+    uint64_t triggered = 0;
+  };
+
+  // Fast-path gate: number of currently armed points. Relaxed is enough —
+  // arming a failpoint happens-before the tested action through whatever
+  // synchronization starts that action (thread creation, task submit).
+  std::atomic<int> num_armed_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Point> points_;
+};
+
+// Arms a failpoint for the enclosing scope; disarms on destruction so a
+// failing test cannot leak an armed site into later tests.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::string name, int64_t count = 1)
+      : name_(std::move(name)) {
+    Failpoints::Instance().Arm(name_, count);
+  }
+  ~ScopedFailpoint() { Failpoints::Instance().Disarm(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+#if defined(COD_DISABLE_FAILPOINTS)
+#define COD_FAILPOINT(name) false
+#else
+#define COD_FAILPOINT(name) (::cod::Failpoints::Instance().ShouldFail(name))
+#endif
+
+}  // namespace cod
+
+#endif  // COD_COMMON_FAILPOINT_H_

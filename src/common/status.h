@@ -22,6 +22,7 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kTimeout,
+  kCancelled,
 };
 
 // A lightweight success-or-error value. Copyable and movable.
@@ -44,6 +45,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

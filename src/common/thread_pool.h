@@ -48,6 +48,12 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  // True when the calling thread is one of THIS pool's workers. Blocking on
+  // this pool from such a thread can deadlock (the wait occupies the very
+  // slot the awaited tasks need); RunQueryBatch fails fast on it in debug
+  // builds.
+  bool IsWorkerThread() const { return CurrentPool() == this; }
+
   void Submit(std::function<void()> task) {
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -65,7 +71,13 @@ class ThreadPool {
   }
 
  private:
+  static const ThreadPool*& CurrentPool() {
+    static thread_local const ThreadPool* current = nullptr;
+    return current;
+  }
+
   void WorkerLoop() {
+    CurrentPool() = this;
     while (true) {
       std::function<void()> task;
       {

@@ -92,4 +92,11 @@ std::vector<CodResult> CodEngine::QueryBatch(std::span<const QuerySpec> specs,
   return RunQueryBatch(*core_, specs, pool, batch_seed);
 }
 
+std::vector<CodResult> CodEngine::QueryBatch(std::span<const QuerySpec> specs,
+                                             ThreadPool& pool,
+                                             uint64_t batch_seed,
+                                             const BatchOptions& options) const {
+  return RunQueryBatch(*core_, specs, pool, batch_seed, options);
+}
+
 }  // namespace cod

@@ -146,6 +146,11 @@ class CodEngine {
   std::vector<CodResult> QueryBatch(std::span<const QuerySpec> specs,
                                     ThreadPool& pool,
                                     uint64_t batch_seed) const;
+  // With per-query budgets, batch deadline / cancellation, and the
+  // degradation ladder (see BatchOptions in core/query_batch.h).
+  std::vector<CodResult> QueryBatch(std::span<const QuerySpec> specs,
+                                    ThreadPool& pool, uint64_t batch_seed,
+                                    const BatchOptions& options) const;
 
   // ---- Explanation (see QueryExplanation in core/engine_core.h). ----
   using QueryExplanation = cod::QueryExplanation;

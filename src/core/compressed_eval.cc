@@ -77,7 +77,8 @@ void CompressedEvaluator::Rebind(const DiffusionModel& model, uint32_t theta) {
 }
 
 ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
-                                               uint32_t k, Rng& rng) {
+                                               uint32_t k, Rng& rng,
+                                               const Budget& budget) {
   const size_t num_levels = chain.NumLevels();
   COD_CHECK(num_levels >= 1);
   COD_CHECK(chain.in_universe[q]);
@@ -96,6 +97,14 @@ ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
 
   for (NodeId source : chain.universe) {
     for (uint32_t t = 0; t < theta_; ++t) {
+      // Check between samples only: here the level queues are drained and
+      // pending_levels is empty, so aborting leaves no dirty scratch.
+      const StatusCode budget_code = budget.ExhaustedCode();
+      if (budget_code != StatusCode::kOk) {
+        ChainEvalOutcome aborted;
+        aborted.code = budget_code;
+        return aborted;
+      }
       sampler_.SampleRestricted(source, chain.in_universe, rng, &rr_);
       last_explored_nodes_ += rr_.NumNodes();
 

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/cod_chain.h"
 #include "influence/rr_graph.h"
 
@@ -29,6 +30,11 @@ namespace cod {
 
 // Per-level outcome of a chain evaluation, shared with IndependentEvaluator.
 struct ChainEvalOutcome {
+  // kOk for a complete evaluation; kTimeout / kCancelled when the budget ran
+  // out first. CompressedEvaluator aborts with NO partial answer (its shared
+  // counts are incomplete at every level); IndependentEvaluator keeps the
+  // levels finished so far (each level is evaluated independently).
+  StatusCode code = StatusCode::kOk;
   // Largest level h where q's rank < k, or -1 if none.
   int best_level = -1;
   // q's estimated rank (number of strictly more influential nodes) at the
@@ -52,7 +58,18 @@ class CompressedEvaluator {
   void Rebind(const DiffusionModel& model, uint32_t theta);
 
   ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
-                            Rng& rng);
+                            Rng& rng) {
+    return Evaluate(chain, q, k, rng, Budget{});
+  }
+
+  // Budget-aware form. The budget is polled between RR samples — the only
+  // points where the reusable scratch is clean — so an exhausted budget
+  // aborts within one sample's work and the evaluator stays usable for the
+  // next query. An already-exhausted budget aborts before the first sample,
+  // which makes sub-nanosecond test budgets deterministic (see
+  // common/deadline.h).
+  ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
+                            Rng& rng, const Budget& budget);
 
   // Total RR-graph nodes explored by the last Evaluate call (|R| in the
   // paper's analysis); exposed for the Fig. 8 sample-cost comparison.

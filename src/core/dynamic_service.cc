@@ -1,7 +1,10 @@
 #include "core/dynamic_service.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace cod {
@@ -25,7 +28,10 @@ DynamicCodService::DynamicCodService(Graph initial_graph,
     const auto [u, v] = initial_graph.Endpoints(e);
     edges_[EdgeKey(u, v, num_nodes_)] = initial_graph.Weight(e);
   }
-  Refresh();  // the first epoch is always built synchronously
+  // The first epoch is always built synchronously; with no previous epoch
+  // to fall back to, a failure here is fatal (arm rebuild failpoints only
+  // after construction).
+  COD_CHECK(Refresh().ok());
 }
 
 DynamicCodService::~DynamicCodService() { WaitForRebuild(); }
@@ -59,22 +65,33 @@ size_t DynamicCodService::NumEdges() const {
   return edges_.size();
 }
 
+DynamicCodService::RebuildStats DynamicCodService::rebuild_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
 bool DynamicCodService::BeginRebuild(EdgeMap* edges_out,
-                                     uint64_t* build_index_out) {
+                                     uint64_t* build_index_out,
+                                     size_t* captured_pending_out) {
   std::lock_guard<std::mutex> lock(mu_);
   if (rebuild_in_flight_) return false;
   rebuild_in_flight_ = true;
   *edges_out = edges_;
   *build_index_out = builds_started_++;
   // The epoch being built absorbs everything pending as of this capture;
-  // updates arriving during the build count against the NEXT epoch.
+  // updates arriving during the build count against the NEXT epoch. A
+  // failed build restores the captured count so drift can re-trigger.
+  *captured_pending_out = pending_updates_;
   snapshot_edges_ = edges_.size();
   pending_updates_ = 0;
   return true;
 }
 
-std::shared_ptr<const EngineCore> DynamicCodService::BuildEpochCore(
+Result<std::shared_ptr<const EngineCore>> DynamicCodService::BuildEpochCore(
     const EdgeMap& edges, uint64_t build_index) const {
+  if (COD_FAILPOINT("dynamic_service/rebuild")) {
+    return Status::IoError("failpoint dynamic_service/rebuild armed");
+  }
   GraphBuilder builder(num_nodes_);
   for (const auto& [key, weight] : edges) {
     builder.AddEdge(static_cast<NodeId>(key / num_nodes_),
@@ -82,10 +99,13 @@ std::shared_ptr<const EngineCore> DynamicCodService::BuildEpochCore(
   }
   auto graph = std::make_shared<const Graph>(std::move(builder).Build());
   auto core = std::make_shared<EngineCore>(graph, attrs_, options_.engine);
-  // Per-epoch deterministic sampling stream.
+  // Per-ticket deterministic sampling stream (failed tickets are consumed).
   Rng rng(options_.seed + build_index);
-  core->BuildHimor(rng);
-  return core;
+  const Budget budget{options_.rebuild_budget_seconds > 0.0
+                          ? Deadline::After(options_.rebuild_budget_seconds)
+                          : Deadline::Infinite()};
+  COD_RETURN_IF_ERROR(core->TryBuildHimor(rng, budget));
+  return std::shared_ptr<const EngineCore>(std::move(core));
 }
 
 void DynamicCodService::PublishEpoch(std::shared_ptr<const EngineCore> core) {
@@ -96,43 +116,98 @@ void DynamicCodService::PublishEpoch(std::shared_ptr<const EngineCore> core) {
   published_.store(std::move(next));
 }
 
-void DynamicCodService::Refresh() {
+Status DynamicCodService::Refresh() {
   EdgeMap edges;
   uint64_t build_index = 0;
+  size_t captured_pending = 0;
   // Wait out any background rebuild, then claim the build ticket ourselves.
   std::unique_lock<std::mutex> lock(mu_);
   rebuild_done_.wait(lock, [this] { return !rebuild_in_flight_; });
   rebuild_in_flight_ = true;
   edges = edges_;
   build_index = builds_started_++;
+  captured_pending = pending_updates_;
   snapshot_edges_ = edges_.size();
   pending_updates_ = 0;
+  ++stats_.attempts;
   lock.unlock();
 
-  PublishEpoch(BuildEpochCore(edges, build_index));
+  Result<std::shared_ptr<const EngineCore>> built =
+      BuildEpochCore(edges, build_index);
+  if (built.ok()) {
+    PublishEpoch(std::move(built).value());
+  }
 
   // Notify under the lock: a waiter may destroy the service (and this cv)
   // as soon as it observes the flag cleared.
   lock.lock();
+  if (built.ok()) {
+    ++stats_.published;
+  } else {
+    ++stats_.failures;
+    stats_.last_error = built.status();
+    // Restore the absorbed pending count so the drift threshold (or the
+    // caller) can trigger another attempt; updates that arrived during the
+    // failed build are already counted on top.
+    pending_updates_ += captured_pending;
+  }
   rebuild_in_flight_ = false;
   rebuild_done_.notify_all();
   lock.unlock();
+  return built.status();
 }
 
 bool DynamicCodService::RefreshAsync() {
   COD_CHECK(options_.async_rebuild);
   EdgeMap edges;
   uint64_t build_index = 0;
-  if (!BeginRebuild(&edges, &build_index)) return false;
+  size_t captured_pending = 0;
+  if (!BeginRebuild(&edges, &build_index, &captured_pending)) return false;
   options_.rebuild_pool->Submit(
-      [this, edges = std::move(edges), build_index] {
-        PublishEpoch(BuildEpochCore(edges, build_index));
-        // Notify under the lock — see Refresh().
-        std::lock_guard<std::mutex> lock(mu_);
-        rebuild_in_flight_ = false;
-        rebuild_done_.notify_all();
+      [this, edges = std::move(edges), build_index, captured_pending] {
+        AsyncRebuildLoop(std::move(edges), build_index, captured_pending);
       });
   return true;
+}
+
+void DynamicCodService::AsyncRebuildLoop(EdgeMap edges, uint64_t build_index,
+                                         size_t captured_pending) {
+  // rebuild_in_flight_ stays true across every retry: RefreshAsync keeps
+  // deduping, Refresh() and the destructor keep waiting, exactly as for one
+  // long build.
+  uint32_t backoff_ms = options_.rebuild_backoff_initial_ms;
+  for (uint32_t attempt = 0;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.attempts;
+    }
+    Result<std::shared_ptr<const EngineCore>> built =
+        BuildEpochCore(edges, build_index);
+    if (built.ok()) {
+      PublishEpoch(std::move(built).value());
+      // Notify under the lock — see Refresh().
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.published;
+      rebuild_in_flight_ = false;
+      rebuild_done_.notify_all();
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.failures;
+    stats_.last_error = built.status();
+    if (attempt >= options_.max_rebuild_retries) {
+      // Give up: the last good epoch keeps serving; restoring the captured
+      // pending count lets the drift threshold schedule a fresh ticket.
+      pending_updates_ += captured_pending;
+      rebuild_in_flight_ = false;
+      rebuild_done_.notify_all();
+      return;
+    }
+    ++stats_.retries;
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(options_.rebuild_backoff_max_ms, backoff_ms * 2);
+  }
 }
 
 void DynamicCodService::WaitForRebuild() {
@@ -161,7 +236,10 @@ void DynamicCodService::MaybeRefresh() {
   if (options_.async_rebuild) {
     RefreshAsync();  // keep serving the stale epoch; swap when ready
   } else {
-    Refresh();
+    // A failed refresh keeps the old epoch and restores the pending count
+    // (the next threshold crossing retries); the error is in
+    // rebuild_stats().
+    (void)Refresh();
   }
 }
 
@@ -191,6 +269,13 @@ std::vector<CodResult> DynamicCodService::QueryBatch(
     uint64_t batch_seed) const {
   const EpochSnapshot snap = Snapshot();  // keeps the epoch alive throughout
   return RunQueryBatch(*snap.core, specs, pool, batch_seed);
+}
+
+std::vector<CodResult> DynamicCodService::QueryBatch(
+    std::span<const QuerySpec> specs, ThreadPool& pool, uint64_t batch_seed,
+    const BatchOptions& options) const {
+  const EpochSnapshot snap = Snapshot();  // keeps the epoch alive throughout
+  return RunQueryBatch(*snap.core, specs, pool, batch_seed, options);
 }
 
 }  // namespace cod

@@ -24,10 +24,22 @@
 // crossing query rebuilds synchronously before answering — the original,
 // strictly bounded staleness semantics.
 //
-// Epoch determinism: epoch i (1-based publication order) is always built
-// with RNG seed `options.seed + i - 1`, so a service replaying the same
-// update/refresh sequence publishes bit-identical epochs regardless of
-// whether rebuilds ran inline or on the pool.
+// Epoch determinism: every build ticket t (0-based) samples with RNG seed
+// `options.seed + t`, so a service replaying the same
+// update/refresh/failure sequence publishes bit-identical epochs regardless
+// of whether rebuilds ran inline or on the pool. (A FAILED build consumes
+// its ticket, so after failures the published epoch number no longer equals
+// the ticket number — determinism is per replayed sequence, not per epoch
+// number.)
+//
+// Failure containment: a rebuild can fail — the HIMOR build runs out of its
+// `rebuild_budget_seconds`, or a failpoint ("dynamic_service/rebuild",
+// "himor/build"; see common/failpoint.h) simulates an infrastructure error.
+// A failed rebuild NEVER touches the published epoch: queries keep serving
+// the last good epoch, the captured pending-update count is restored so the
+// drift threshold can re-trigger, and the error is recorded in
+// rebuild_stats(). Async rebuilds retry in place with capped exponential
+// backoff (max_rebuild_retries / rebuild_backoff_*_ms) before giving up.
 
 #ifndef COD_CORE_DYNAMIC_SERVICE_H_
 #define COD_CORE_DYNAMIC_SERVICE_H_
@@ -54,6 +66,28 @@ class DynamicCodService {
     // querying thread; queries keep serving the stale epoch meanwhile.
     bool async_rebuild = false;
     ThreadPool* rebuild_pool = nullptr;  // required iff async_rebuild
+    // Failed ASYNC rebuilds retry in place up to this many times (so up to
+    // 1 + max_rebuild_retries attempts per ticket), sleeping
+    // rebuild_backoff_initial_ms, then doubling up to rebuild_backoff_max_ms,
+    // between attempts. Synchronous Refresh() never retries — the caller
+    // sees the Status and decides.
+    uint32_t max_rebuild_retries = 3;
+    uint32_t rebuild_backoff_initial_ms = 10;
+    uint32_t rebuild_backoff_max_ms = 1000;
+    // Wall-clock budget for each rebuild's HIMOR construction (0 =
+    // unlimited). An over-budget build fails like any other rebuild error.
+    double rebuild_budget_seconds = 0.0;
+  };
+
+  // Cumulative rebuild bookkeeping, inspectable at any time (test /
+  // monitoring hook). attempts counts every BuildEpochCore call including
+  // retries; published counts successful epoch swaps.
+  struct RebuildStats {
+    uint64_t attempts = 0;
+    uint64_t failures = 0;
+    uint64_t retries = 0;
+    uint64_t published = 0;
+    Status last_error;  // most recent failure; Ok() if none ever failed
   };
 
   // A published epoch: queries against `core` are answered as of that
@@ -67,7 +101,8 @@ class DynamicCodService {
   // Takes ownership of the initial graph; `attrs` must cover the same node
   // set and is fixed for the service's lifetime (node set is fixed too).
   // The first epoch is built synchronously, so the service is immediately
-  // queryable.
+  // queryable; its build CHECK-fails on error (there is no good epoch to
+  // fall back to), so arm rebuild failpoints only AFTER construction.
   DynamicCodService(Graph initial_graph, AttributeTable attrs,
                     const Options& options);
   // Blocks until any in-flight background rebuild has finished.
@@ -82,15 +117,20 @@ class DynamicCodService {
   size_t pending_updates() const;
   uint64_t epoch() const { return published_.load()->epoch; }
   size_t NumEdges() const;
+  RebuildStats rebuild_stats() const;
 
   // Synchronously rebuilds the snapshot, hierarchy, and index from the
   // current edge set and publishes the new epoch before returning (waits
-  // out an in-flight background rebuild first).
-  void Refresh();
+  // out an in-flight background rebuild first). On failure the old epoch
+  // stays published, the captured pending updates are restored, and the
+  // build error is returned (no retries — call again to retry).
+  Status Refresh();
 
   // Schedules a rebuild on `rebuild_pool` and returns immediately; false if
   // one is already in flight (callers keep serving the stale epoch either
-  // way). Requires Options::async_rebuild.
+  // way). Requires Options::async_rebuild. Failed builds retry on the pool
+  // with capped exponential backoff (see Options); if every attempt fails,
+  // the old epoch keeps serving and rebuild_stats().last_error records why.
   bool RefreshAsync();
 
   // Blocks until no background rebuild is in flight (test/shutdown hook).
@@ -112,6 +152,11 @@ class DynamicCodService {
   std::vector<CodResult> QueryBatch(std::span<const QuerySpec> specs,
                                     ThreadPool& pool,
                                     uint64_t batch_seed) const;
+  // With per-query budgets, batch deadline / cancellation, and the
+  // degradation ladder (see BatchOptions in core/query_batch.h).
+  std::vector<CodResult> QueryBatch(std::span<const QuerySpec> specs,
+                                    ThreadPool& pool, uint64_t batch_seed,
+                                    const BatchOptions& options) const;
 
   // The engine core of the current epoch (stale by up to
   // pending_updates()). The reference is only guaranteed until the next
@@ -127,11 +172,19 @@ class DynamicCodService {
 
   void MaybeRefresh();
   // Captures the edge set + build ticket under mu_; returns false when a
-  // rebuild is already in flight (async dedupe).
-  bool BeginRebuild(EdgeMap* edges_out, uint64_t* build_index_out);
-  // Builds an epoch core from an edge snapshot (no locks held).
-  std::shared_ptr<const EngineCore> BuildEpochCore(const EdgeMap& edges,
-                                                   uint64_t build_index) const;
+  // rebuild is already in flight (async dedupe). `captured_pending_out`
+  // receives the pending-update count the capture absorbed, so a failed
+  // build can restore it.
+  bool BeginRebuild(EdgeMap* edges_out, uint64_t* build_index_out,
+                    size_t* captured_pending_out);
+  // Builds an epoch core from an edge snapshot (no locks held). Fails on
+  // the "dynamic_service/rebuild" failpoint or an over-budget HIMOR build.
+  Result<std::shared_ptr<const EngineCore>> BuildEpochCore(
+      const EdgeMap& edges, uint64_t build_index) const;
+  // Async rebuild body: attempt / retry with backoff until success or the
+  // retry cap, then clear rebuild_in_flight_ and notify.
+  void AsyncRebuildLoop(EdgeMap edges, uint64_t build_index,
+                        size_t captured_pending);
   void PublishEpoch(std::shared_ptr<const EngineCore> core);
   static uint64_t EdgeKey(NodeId u, NodeId v, size_t n);
 
@@ -145,6 +198,7 @@ class DynamicCodService {
   size_t snapshot_edges_ = 0;
   uint64_t builds_started_ = 0;
   bool rebuild_in_flight_ = false;
+  RebuildStats stats_;
   std::condition_variable rebuild_done_;
 
   // RCU-style publication point; readers atomically load, writers

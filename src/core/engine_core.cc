@@ -26,6 +26,14 @@ std::shared_ptr<const T> Alias(const T& ref) {
   return std::shared_ptr<const T>(std::shared_ptr<const T>(), &ref);
 }
 
+// A query that ran out of budget before producing an answer.
+CodResult BudgetExhaustedResult(StatusCode code, CodVariant variant) {
+  CodResult result;
+  result.code = code;
+  result.variant_served = variant;
+  return result;
+}
+
 }  // namespace
 
 EngineCore::EngineCore(std::shared_ptr<const Graph> graph,
@@ -78,8 +86,15 @@ LoreChain EngineCore::BuildCodlChain(NodeId q, AttributeId attr) const {
 
 LoreChain EngineCore::BuildCodlChain(
     NodeId q, std::span<const AttributeId> attrs) const {
-  const LoreScores scores =
-      ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attrs);
+  return BuildCodlChainFromScores(
+      ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attrs), q,
+      attrs);
+}
+
+LoreChain EngineCore::BuildCodlChainFromScores(
+    const LoreScores& scores, NodeId q,
+    std::span<const AttributeId> attrs) const {
+  COD_DCHECK(scores.code == StatusCode::kOk);
   LoreChain out;
   out.c_ell = scores.Selected();
 
@@ -126,10 +141,11 @@ CodResult EngineCore::EvaluateChain(const CodChain& chain, NodeId q,
                                     uint32_t k, QueryWorkspace& ws) const {
   COD_DCHECK(ws.bound_core() == this);  // Rebind the workspace to this core
   const ChainEvalOutcome outcome =
-      ws.evaluator().Evaluate(chain, q, k, ws.rng());
+      ws.evaluator().Evaluate(chain, q, k, ws.rng(), ws.budget());
   CodResult result;
   result.num_levels = chain.NumLevels();
-  if (outcome.best_level >= 0) {
+  result.code = outcome.code;
+  if (outcome.code == StatusCode::kOk && outcome.best_level >= 0) {
     result.found = true;
     result.rank = outcome.rank_at_best;
     result.members =
@@ -140,12 +156,16 @@ CodResult EngineCore::EvaluateChain(const CodChain& chain, NodeId q,
 
 CodResult EngineCore::QueryCodU(NodeId q, uint32_t k,
                                 QueryWorkspace& ws) const {
-  return EvaluateChain(BuildCoduChain(q), q, k, ws);
+  CodResult result = EvaluateChain(BuildCoduChain(q), q, k, ws);
+  result.variant_served = CodVariant::kCodU;
+  return result;
 }
 
 CodResult EngineCore::QueryCodR(NodeId q, AttributeId attr, uint32_t k,
                                 QueryWorkspace& ws) const {
-  return EvaluateChain(BuildCodrChain(q, attr), q, k, ws);
+  CodResult result = EvaluateChain(BuildCodrChain(q, attr), q, k, ws);
+  result.variant_served = CodVariant::kCodR;
+  return result;
 }
 
 CodResult EngineCore::QueryCodR(NodeId q, std::span<const AttributeId> attrs,
@@ -153,18 +173,29 @@ CodResult EngineCore::QueryCodR(NodeId q, std::span<const AttributeId> attrs,
   // Topic-set CODR never uses the per-attribute cache.
   const Dendrogram dendrogram =
       GlobalRecluster(*graph_, *attrs_, attrs, options_.transform);
-  return EvaluateChain(BuildChainFromDendrogram(dendrogram, q), q, k, ws);
+  CodResult result =
+      EvaluateChain(BuildChainFromDendrogram(dendrogram, q), q, k, ws);
+  result.variant_served = CodVariant::kCodR;
+  return result;
 }
 
 CodResult EngineCore::QueryCodLMinus(NodeId q, AttributeId attr, uint32_t k,
                                      QueryWorkspace& ws) const {
-  return EvaluateChain(BuildCodlChain(q, attr).chain, q, k, ws);
+  return QueryCodLMinus(q, std::span<const AttributeId>(&attr, 1), k, ws);
 }
 
 CodResult EngineCore::QueryCodLMinus(NodeId q,
                                      std::span<const AttributeId> attrs,
                                      uint32_t k, QueryWorkspace& ws) const {
-  return EvaluateChain(BuildCodlChain(q, attrs).chain, q, k, ws);
+  const LoreScores scores = ComputeReclusteringScores(
+      *graph_, *attrs_, base_, lca_, q, attrs, ws.budget());
+  if (scores.code != StatusCode::kOk) {
+    return BudgetExhaustedResult(scores.code, CodVariant::kCodLMinus);
+  }
+  CodResult result = EvaluateChain(
+      BuildCodlChainFromScores(scores, q, attrs).chain, q, k, ws);
+  result.variant_served = CodVariant::kCodLMinus;
+  return result;
 }
 
 CodResult EngineCore::QueryCodL(NodeId q, AttributeId attr, uint32_t k,
@@ -175,8 +206,11 @@ CodResult EngineCore::QueryCodL(NodeId q, AttributeId attr, uint32_t k,
 CodResult EngineCore::QueryCodL(NodeId q, std::span<const AttributeId> attrs,
                                 uint32_t k, QueryWorkspace& ws) const {
   COD_CHECK(himor_.has_value());  // build/load HIMOR during setup
-  const LoreScores scores =
-      ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attrs);
+  const LoreScores scores = ComputeReclusteringScores(
+      *graph_, *attrs_, base_, lca_, q, attrs, ws.budget());
+  if (scores.code != StatusCode::kOk) {
+    return BudgetExhaustedResult(scores.code, CodVariant::kCodL);
+  }
   const CommunityId c_ell = scores.Selected();
 
   // Fast path: some untouched ancestor of C_ell already has q in its top-k.
@@ -185,6 +219,7 @@ CodResult EngineCore::QueryCodL(NodeId q, std::span<const AttributeId> attrs,
     CodResult result;
     result.found = true;
     result.answered_from_index = true;
+    result.variant_served = CodVariant::kCodL;
     result.rank = hit->rank;
     const auto span = base_.Members(hit->community);
     result.members.assign(span.begin(), span.end());
@@ -209,12 +244,15 @@ CodResult EngineCore::QueryCodL(NodeId q, std::span<const AttributeId> attrs,
   COD_CHECK(local_q != kInvalidNode);
   const CodChain chain = BuildChainFromDendrogram(
       local, local_q, kInvalidCommunity, &sub.to_parent, graph_->NumNodes());
-  return EvaluateChain(chain, q, k, ws);
+  CodResult result = EvaluateChain(chain, q, k, ws);
+  result.variant_served = CodVariant::kCodL;
+  return result;
 }
 
 CodResult EngineCore::QueryCodUIndexed(NodeId q, uint32_t k) const {
   COD_CHECK(himor_.has_value());  // build/load HIMOR during setup
   CodResult result;
+  result.variant_served = CodVariant::kCodUIndexed;
   result.num_levels = base_.Depth(base_.Parent(base_.LeafOf(q)));
   const HimorIndex::Entry* hit =
       himor_->FindTopKAncestor(q, base_.Parent(base_.LeafOf(q)), k, base_);
@@ -244,6 +282,7 @@ QueryExplanation EngineCore::ExplainCodL(NodeId q, AttributeId attr,
     explanation.index_rank = hit->rank;
     explanation.result.found = true;
     explanation.result.answered_from_index = true;
+    explanation.result.variant_served = CodVariant::kCodL;
     explanation.result.rank = hit->rank;
     const auto span = base_.Members(hit->community);
     explanation.result.members.assign(span.begin(), span.end());
@@ -340,6 +379,25 @@ void EngineCore::BuildHimorParallel(uint64_t seed, size_t num_threads) {
   himor_ = HimorIndex::BuildParallel(model_, base_, lca_, options_.theta,
                                      seed, options_.himor_max_rank,
                                      num_threads);
+}
+
+Status EngineCore::TryBuildHimor(Rng& rng, const Budget& budget) {
+  Result<HimorIndex> built =
+      HimorIndex::Build(model_, base_, lca_, options_.theta, rng,
+                        options_.himor_max_rank, budget);
+  if (!built.ok()) return built.status();
+  himor_ = std::move(built).value();
+  return Status::Ok();
+}
+
+Status EngineCore::TryBuildHimorParallel(uint64_t seed, size_t num_threads,
+                                         const Budget& budget) {
+  Result<HimorIndex> built = HimorIndex::BuildParallel(
+      model_, base_, lca_, options_.theta, seed, options_.himor_max_rank,
+      num_threads, budget);
+  if (!built.ok()) return built.status();
+  himor_ = std::move(built).value();
+  return Status::Ok();
 }
 
 }  // namespace cod

@@ -65,12 +65,32 @@ struct EngineOptions {
   bool cache_codr_hierarchies = false;
 };
 
+// The COD variants the serving stack can run (paper Sec. V-A), ordered by
+// paper naming, not cost; see core/query_batch.h for the cost-ordered
+// degradation ladder.
+enum class CodVariant : uint8_t {
+  kCodU,
+  kCodR,
+  kCodLMinus,
+  kCodL,        // requires the core's HIMOR index
+  kCodUIndexed  // requires the core's HIMOR index
+};
+
 struct CodResult {
   bool found = false;
   std::vector<NodeId> members;  // the characteristic community C*(q)
   uint32_t rank = 0;            // q's estimated rank in C*(q) (0-based)
   size_t num_levels = 0;        // |H_l(q)| levels examined
   bool answered_from_index = false;  // CODL: resolved by HIMOR alone
+  // Failure taxonomy (DESIGN.md): kOk is a COMPLETE answer (found may still
+  // be false — "no characteristic community" is a definitive result);
+  // kTimeout / kCancelled mean the workspace budget ran out first and
+  // found/members/rank are unset. Direct EngineCore queries only ever
+  // return the requested variant; the batch API's degradation ladder may
+  // serve a cheaper one, recorded in variant_served with degraded = true.
+  StatusCode code = StatusCode::kOk;
+  bool degraded = false;
+  CodVariant variant_served = CodVariant::kCodU;
 };
 
 // A LORE-spliced chain plus provenance.
@@ -133,7 +153,13 @@ class EngineCore {
   // ---- Query variants. Each attributed variant also accepts a topic SET
   // (an edge counts as query-attributed when both endpoints carry at least
   // one of the attributes). All use `ws` for scratch and randomness; the
-  // workspace must be bound to this core (QueryWorkspace ctor / Rebind). ----
+  // workspace must be bound to this core (QueryWorkspace ctor / Rebind).
+  //
+  // Budget discipline: every variant honors ws.budget() — the LORE edge
+  // scan and RR sampling poll it and unwind with result.code set to
+  // kTimeout/kCancelled. The (re)clustering steps themselves are NOT
+  // budget-checked (CODR's global recluster in particular), so those
+  // variants' effective check interval includes one clustering pass. ----
   CodResult QueryCodU(NodeId q, uint32_t k, QueryWorkspace& ws) const;
   CodResult QueryCodR(NodeId q, AttributeId attr, uint32_t k,
                       QueryWorkspace& ws) const;
@@ -172,6 +198,12 @@ class EngineCore {
   // Multi-threaded variant; the result depends on `seed` only, never on the
   // thread count (see HimorIndex::BuildParallel).
   void BuildHimorParallel(uint64_t seed, size_t num_threads = 0);
+  // Fallible forms for the serving stack: a build that runs out of budget
+  // (or hits the "himor/build" failpoint) returns the error and leaves any
+  // previously built index untouched.
+  Status TryBuildHimor(Rng& rng, const Budget& budget);
+  Status TryBuildHimorParallel(uint64_t seed, size_t num_threads,
+                               const Budget& budget);
   Status LoadHimor(const std::string& path);
 
   Status SaveHimor(const std::string& path) const;
@@ -180,6 +212,11 @@ class EngineCore {
   }
 
  private:
+  // The LORE splice of BuildCodlChain after the scores are known; shared by
+  // the budgeted query paths, which compute scores themselves.
+  LoreChain BuildCodlChainFromScores(const LoreScores& scores, NodeId q,
+                                     std::span<const AttributeId> attrs) const;
+
   std::shared_ptr<const Graph> graph_;
   std::shared_ptr<const AttributeTable> attrs_;
   EngineOptions options_;

@@ -1,10 +1,12 @@
 #include "core/himor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <queue>
 #include <unordered_map>
 
 #include "common/binary_io.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace cod {
@@ -51,10 +53,31 @@ class TreeHfsSampler {
     depth_queue_.resize(max_depth_ + 1);
   }
 
-  void ProcessSources(NodeId begin, NodeId end, uint32_t theta, Rng& rng,
-                      std::vector<std::pair<CommunityId, NodeId>>* pairs) {
+  // Returns kOk, or the first exhausted-budget/abort code observed. The
+  // budget is polled once per source (a source's theta RR graphs are the
+  // check interval); `abort_code`, when non-null, is shared across parallel
+  // workers so one worker's failure stops the rest at their next source.
+  StatusCode ProcessSources(NodeId begin, NodeId end, uint32_t theta,
+                            Rng& rng,
+                            std::vector<std::pair<CommunityId, NodeId>>* pairs,
+                            const Budget& budget,
+                            std::atomic<int>* abort_code) {
     const Dendrogram& dendrogram = *dendrogram_;
     for (NodeId source = begin; source < end; ++source) {
+      if (abort_code != nullptr) {
+        const int aborted = abort_code->load(std::memory_order_relaxed);
+        if (aborted != 0) return static_cast<StatusCode>(aborted);
+      }
+      const StatusCode budget_code = budget.ExhaustedCode();
+      if (budget_code != StatusCode::kOk) {
+        if (abort_code != nullptr) {
+          int expected = 0;
+          abort_code->compare_exchange_strong(expected,
+                                             static_cast<int>(budget_code),
+                                             std::memory_order_relaxed);
+        }
+        return budget_code;
+      }
       // Ancestors of the source, indexed by depth.
       source_chain_.assign(max_depth_ + 1, kInvalidCommunity);
       uint32_t source_level = 0;
@@ -100,6 +123,7 @@ class TreeHfsSampler {
         }
       }
     }
+    return StatusCode::kOk;
   }
 
  private:
@@ -113,6 +137,14 @@ class TreeHfsSampler {
   std::vector<char> queued_;
   std::vector<CommunityId> source_chain_;
 };
+
+// Error for a build aborted with the (non-ok) budget code recorded at the
+// check site — never re-polls the budget, which may have changed since.
+Status BudgetStatus(StatusCode code, const char* what) {
+  return code == StatusCode::kCancelled
+             ? Status::Cancelled(std::string(what) + " cancelled")
+             : Status::Timeout(std::string(what) + " deadline exceeded");
+}
 
 }  // namespace
 
@@ -214,18 +246,10 @@ HimorIndex HimorIndex::BuildFromBuckets(
 HimorIndex HimorIndex::Build(const DiffusionModel& model,
                              const Dendrogram& dendrogram, const LcaIndex& lca,
                              uint32_t theta, Rng& rng, uint32_t max_rank) {
-  COD_CHECK(theta > 0);
-  COD_CHECK(max_rank > 0);
-  COD_CHECK_EQ(model.graph().NumNodes(), dendrogram.NumLeaves());
-
-  TreeHfsSampler worker(model, dendrogram, lca);
-  std::vector<std::pair<CommunityId, NodeId>> pairs;
-  worker.ProcessSources(0, static_cast<NodeId>(model.graph().NumNodes()),
-                        theta, rng, &pairs);
-  std::vector<std::unordered_map<NodeId, uint32_t>> buckets(
-      dendrogram.NumVertices());
-  for (const auto& [community, node] : pairs) ++buckets[community][node];
-  return BuildFromBuckets(dendrogram, max_rank, std::move(buckets));
+  Result<HimorIndex> built =
+      Build(model, dendrogram, lca, theta, rng, max_rank, Budget{});
+  COD_CHECK(built.ok());  // infinite budget: only an armed failpoint fails
+  return std::move(built).value();
 }
 
 HimorIndex HimorIndex::BuildParallel(const DiffusionModel& model,
@@ -233,10 +257,51 @@ HimorIndex HimorIndex::BuildParallel(const DiffusionModel& model,
                                      const LcaIndex& lca, uint32_t theta,
                                      uint64_t seed, uint32_t max_rank,
                                      size_t num_threads) {
+  Result<HimorIndex> built = BuildParallel(model, dendrogram, lca, theta,
+                                           seed, max_rank, num_threads,
+                                           Budget{});
+  COD_CHECK(built.ok());
+  return std::move(built).value();
+}
+
+Result<HimorIndex> HimorIndex::Build(const DiffusionModel& model,
+                                     const Dendrogram& dendrogram,
+                                     const LcaIndex& lca, uint32_t theta,
+                                     Rng& rng, uint32_t max_rank,
+                                     const Budget& budget) {
+  COD_CHECK(theta > 0);
+  COD_CHECK(max_rank > 0);
+  COD_CHECK_EQ(model.graph().NumNodes(), dendrogram.NumLeaves());
+  if (COD_FAILPOINT("himor/build")) {
+    return Status::IoError("failpoint himor/build armed");
+  }
+
+  TreeHfsSampler worker(model, dendrogram, lca);
+  std::vector<std::pair<CommunityId, NodeId>> pairs;
+  const StatusCode code = worker.ProcessSources(
+      0, static_cast<NodeId>(model.graph().NumNodes()), theta, rng, &pairs,
+      budget, /*abort_code=*/nullptr);
+  if (code != StatusCode::kOk) return BudgetStatus(code, "HIMOR build");
+  std::vector<std::unordered_map<NodeId, uint32_t>> buckets(
+      dendrogram.NumVertices());
+  for (const auto& [community, node] : pairs) ++buckets[community][node];
+  return BuildFromBuckets(dendrogram, max_rank, std::move(buckets));
+}
+
+Result<HimorIndex> HimorIndex::BuildParallel(const DiffusionModel& model,
+                                             const Dendrogram& dendrogram,
+                                             const LcaIndex& lca,
+                                             uint32_t theta, uint64_t seed,
+                                             uint32_t max_rank,
+                                             size_t num_threads,
+                                             const Budget& budget) {
   COD_CHECK(theta > 0);
   COD_CHECK(max_rank > 0);
   const size_t n = model.graph().NumNodes();
   COD_CHECK_EQ(n, dendrogram.NumLeaves());
+  if (COD_FAILPOINT("himor/build")) {
+    return Status::IoError("failpoint himor/build armed");
+  }
 
   // Fixed batching (independent of thread count) with one RNG stream per
   // batch makes the result a pure function of (seed, theta): running with 1
@@ -244,6 +309,7 @@ HimorIndex HimorIndex::BuildParallel(const DiffusionModel& model,
   const size_t num_batches = std::min<size_t>(64, n);
   std::vector<std::vector<std::pair<CommunityId, NodeId>>> batch_pairs(
       num_batches);
+  std::atomic<int> abort_code{0};
   {
     ThreadPool pool(num_threads);
     for (size_t b = 0; b < num_batches; ++b) {
@@ -253,10 +319,18 @@ HimorIndex HimorIndex::BuildParallel(const DiffusionModel& model,
         Rng rng(SplitMix64(mix));
         const NodeId begin = static_cast<NodeId>(b * n / num_batches);
         const NodeId end = static_cast<NodeId>((b + 1) * n / num_batches);
-        worker.ProcessSources(begin, end, theta, rng, &batch_pairs[b]);
+        worker.ProcessSources(begin, end, theta, rng, &batch_pairs[b],
+                              budget, &abort_code);
       });
     }
     pool.WaitIdle();
+  }
+  const int aborted = abort_code.load(std::memory_order_relaxed);
+  if (aborted != 0) {
+    // Budget failures are all-or-nothing: partial batches are discarded so a
+    // successful build is always the same deterministic index.
+    return BudgetStatus(static_cast<StatusCode>(aborted),
+                        "HIMOR parallel build");
   }
   std::vector<std::unordered_map<NodeId, uint32_t>> buckets(
       dendrogram.NumVertices());

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "hierarchy/dendrogram.h"
 #include "hierarchy/lca.h"
@@ -61,6 +62,28 @@ class HimorIndex {
                                   const LcaIndex& lca, uint32_t theta,
                                   uint64_t seed, uint32_t max_rank = 16,
                                   size_t num_threads = 0);
+
+  // Budget-aware builders, used by the serving stack (see
+  // core/dynamic_service.h): an exhausted budget or an armed "himor/build"
+  // failpoint returns kTimeout / kCancelled / kIoError instead of running
+  // unbounded. The budget is polled once per source node (the per-source RR
+  // batch is the check interval); parallel workers share an abort flag, so
+  // one worker's budget miss stops the others within a source. On failure
+  // nothing is returned — either the full deterministic index or an error,
+  // never a partial index. The unbudgeted builders above forward here with
+  // an infinite budget and CHECK success, so they also observe the
+  // failpoint (arm it only around code using these Result forms).
+  static Result<HimorIndex> Build(const DiffusionModel& model,
+                                  const Dendrogram& dendrogram,
+                                  const LcaIndex& lca, uint32_t theta,
+                                  Rng& rng, uint32_t max_rank,
+                                  const Budget& budget);
+  static Result<HimorIndex> BuildParallel(const DiffusionModel& model,
+                                          const Dendrogram& dendrogram,
+                                          const LcaIndex& lca, uint32_t theta,
+                                          uint64_t seed, uint32_t max_rank,
+                                          size_t num_threads,
+                                          const Budget& budget);
 
   uint32_t max_rank() const { return max_rank_; }
 

@@ -1,7 +1,5 @@
 #include "core/independent_eval.h"
 
-#include "common/timer.h"
-
 namespace cod {
 
 IndependentEvaluator::IndependentEvaluator(const DiffusionModel& model,
@@ -12,20 +10,21 @@ IndependentEvaluator::IndependentEvaluator(const DiffusionModel& model,
 
 ChainEvalOutcome IndependentEvaluator::Evaluate(const CodChain& chain,
                                                 NodeId q, uint32_t k, Rng& rng,
-                                                double deadline_seconds) {
+                                                const Budget& budget) {
   const size_t num_levels = chain.NumLevels();
   COD_CHECK(num_levels >= 1);
   COD_CHECK(chain.in_universe[q]);
   COD_CHECK_EQ(chain.level[q], 0u);
 
-  WallTimer timer;
   last_timed_out_ = false;
   last_explored_nodes_ = 0;
 
   ChainEvalOutcome outcome;
   outcome.rank_per_level.assign(num_levels, k);
   for (uint32_t h = 0; h < num_levels; ++h) {
-    if (deadline_seconds > 0.0 && timer.ElapsedSeconds() > deadline_seconds) {
+    const StatusCode budget_code = budget.ExhaustedCode();
+    if (budget_code != StatusCode::kOk) {
+      outcome.code = budget_code;
       last_timed_out_ = true;
       break;
     }

@@ -7,6 +7,7 @@
 #ifndef COD_CORE_INDEPENDENT_EVAL_H_
 #define COD_CORE_INDEPENDENT_EVAL_H_
 
+#include "common/deadline.h"
 #include "core/cod_chain.h"
 #include "core/compressed_eval.h"
 #include "influence/influence_oracle.h"
@@ -17,12 +18,23 @@ class IndependentEvaluator {
  public:
   IndependentEvaluator(const DiffusionModel& model, uint32_t theta);
 
-  // Same contract as CompressedEvaluator::Evaluate. `deadline_seconds`, when
-  // positive, aborts the evaluation (best_level of whatever was computed so
-  // far, timed_out flag set) once exceeded — the paper's Independent runs hit
-  // multi-hour timeouts on larger datasets.
+  // Same contract as CompressedEvaluator::Evaluate. An exhausted budget
+  // aborts between levels with outcome.code set and best_level of whatever
+  // was computed so far (levels are independent here, so partial results
+  // stay meaningful) — the paper's Independent runs hit multi-hour timeouts
+  // on larger datasets.
   ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
-                            Rng& rng, double deadline_seconds = 0.0);
+                            Rng& rng, const Budget& budget);
+
+  // Compatibility shim for the fig8/fig9 paper-experiment benches: a
+  // positive `deadline_seconds` bounds the run, 0 means unlimited.
+  ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
+                            Rng& rng, double deadline_seconds = 0.0) {
+    return Evaluate(chain, q, k, rng,
+                    Budget{deadline_seconds > 0.0
+                               ? Deadline::After(deadline_seconds)
+                               : Deadline::Infinite()});
+  }
 
   bool last_timed_out() const { return last_timed_out_; }
   size_t last_explored_nodes() const { return last_explored_nodes_; }

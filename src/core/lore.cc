@@ -16,6 +16,14 @@ LoreScores ComputeReclusteringScores(
     const Graph& g, const AttributeTable& attrs, const Dendrogram& dendrogram,
     const LcaIndex& lca, NodeId q,
     std::span<const AttributeId> query_attrs) {
+  return ComputeReclusteringScores(g, attrs, dendrogram, lca, q, query_attrs,
+                                   Budget{});
+}
+
+LoreScores ComputeReclusteringScores(
+    const Graph& g, const AttributeTable& attrs, const Dendrogram& dendrogram,
+    const LcaIndex& lca, NodeId q, std::span<const AttributeId> query_attrs,
+    const Budget& budget) {
   LoreScores result;
   result.chain = dendrogram.PathToRoot(q);
   const size_t num_levels = result.chain.size();
@@ -31,8 +39,24 @@ LoreScores ComputeReclusteringScores(
   // Delta[i]: query-attributed edges whose lca is exactly chain[i].
   // chain[i] has Depth == num_levels - i, so an lca community c on the chain
   // maps to position num_levels - Depth(c).
+  // Pre-size the scores so a budget abort still returns a structurally
+  // valid object (all-zero scores, fallback selection).
+  result.score.assign(num_levels, 0.0);
+
   std::vector<uint64_t> delta(num_levels, 0);
+  // Budget check interval: one stride of edges costs a few microseconds, so
+  // an exhausted budget surfaces almost immediately — and at e == 0 the
+  // check fires before any work, making already-expired budgets
+  // deterministic.
+  constexpr EdgeId kBudgetStride = 4096;
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (e % kBudgetStride == 0) {
+      const StatusCode budget_code = budget.ExhaustedCode();
+      if (budget_code != StatusCode::kOk) {
+        result.code = budget_code;
+        return result;
+      }
+    }
     const auto [u, v] = g.Endpoints(e);
     if (!attrs.HasAny(u, query_attrs) || !attrs.HasAny(v, query_attrs)) {
       continue;
@@ -49,7 +73,6 @@ LoreScores ComputeReclusteringScores(
   // Edges whose lca is the deepest community C_0 are never "divided" from
   // q's perspective (Algorithm 2 accumulates from i = 1), so delta[0] is
   // excluded and r(C_0) = 0.
-  result.score.resize(num_levels);
   result.score[0] = 0.0;
   double numerator = 0.0;
   double best = 0.0;

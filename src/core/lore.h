@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "common/deadline.h"
 #include "graph/attributes.h"
 #include "hierarchy/dendrogram.h"
 #include "hierarchy/lca.h"
@@ -34,6 +35,10 @@ struct LoreScores {
   // with zero score are not recluster candidates; falls back to position 1
   // when no query-attributed edge is split on the chain).
   size_t selected = 1;
+  // kOk for a complete scan; kTimeout / kCancelled when the budget-aware
+  // overload aborted mid-scan (scores are then partial — callers must check
+  // before trusting Selected()).
+  StatusCode code = StatusCode::kOk;
 
   CommunityId Selected() const { return chain[selected]; }
 };
@@ -54,6 +59,16 @@ LoreScores ComputeReclusteringScores(const Graph& g,
                                      const Dendrogram& dendrogram,
                                      const LcaIndex& lca, NodeId q,
                                      std::span<const AttributeId> query_attrs);
+
+// Budget-aware form: the O(|E|) edge scan polls the budget every few
+// thousand edges and aborts with `code` set (the degradation path of
+// budgeted CODL/CODL- queries; see core/query_batch.h).
+LoreScores ComputeReclusteringScores(const Graph& g,
+                                     const AttributeTable& attrs,
+                                     const Dendrogram& dendrogram,
+                                     const LcaIndex& lca, NodeId q,
+                                     std::span<const AttributeId> query_attrs,
+                                     const Budget& budget);
 
 }  // namespace cod
 

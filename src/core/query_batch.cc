@@ -4,10 +4,113 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "core/query_workspace.h"
 
 namespace cod {
+namespace {
+
+// One rung of the degradation ladder: which variant to run and (for sampled
+// variants) how much to shrink theta. Rung 0 is always the requested spec.
+struct LadderStep {
+  CodVariant variant;
+  uint32_t theta_divisor = 1;
+};
+
+// Cost-DECREASING ladder per the paper's Fig. 9 query-time ordering
+// (CODR >> CODL- > CODL > index-only; see DESIGN.md "Failure taxonomy and
+// graceful degradation"). Index rungs are only offered when the core has a
+// HIMOR index that can answer rank k.
+std::vector<LadderStep> DegradationLadder(const EngineCore& core,
+                                          CodVariant requested, uint32_t k,
+                                          bool allow_degradation) {
+  std::vector<LadderStep> ladder;
+  ladder.push_back(LadderStep{requested, 1});
+  if (!allow_degradation) return ladder;
+  const bool index_ok =
+      core.himor() != nullptr && k <= core.himor()->max_rank();
+  switch (requested) {
+    case CodVariant::kCodR:
+      ladder.push_back(LadderStep{CodVariant::kCodLMinus, 1});
+      if (index_ok) {
+        ladder.push_back(LadderStep{CodVariant::kCodL, 1});
+        ladder.push_back(LadderStep{CodVariant::kCodUIndexed, 1});
+      }
+      break;
+    case CodVariant::kCodLMinus:
+      if (index_ok) {
+        ladder.push_back(LadderStep{CodVariant::kCodL, 1});
+        ladder.push_back(LadderStep{CodVariant::kCodUIndexed, 1});
+      }
+      break;
+    case CodVariant::kCodL:
+      ladder.push_back(LadderStep{CodVariant::kCodL, 4});
+      if (index_ok) {
+        ladder.push_back(LadderStep{CodVariant::kCodUIndexed, 1});
+      }
+      break;
+    case CodVariant::kCodU:
+      ladder.push_back(LadderStep{CodVariant::kCodU, 4});
+      if (index_ok) {
+        ladder.push_back(LadderStep{CodVariant::kCodUIndexed, 1});
+      }
+      break;
+    case CodVariant::kCodUIndexed:
+      break;  // already the cheapest rung
+  }
+  return ladder;
+}
+
+// Runs `spec` as ladder rung `step` (spec's node / attrs, `step`'s variant,
+// possibly shrunken theta). Restores the workspace's theta before returning
+// so the next query sees the engine default.
+CodResult RunLadderStep(const EngineCore& core, const QuerySpec& spec,
+                        const LadderStep& step, uint32_t k,
+                        QueryWorkspace& ws) {
+  const uint32_t full_theta = core.options().theta;
+  if (step.theta_divisor > 1) {
+    ws.evaluator().Rebind(core.model(),
+                          std::max(1u, full_theta / step.theta_divisor));
+  }
+  CodResult result;
+  switch (step.variant) {
+    case CodVariant::kCodU:
+      result = core.QueryCodU(spec.node, k, ws);
+      break;
+    case CodVariant::kCodUIndexed:
+      result = core.QueryCodUIndexed(spec.node, k);
+      break;
+    case CodVariant::kCodR:
+      result = spec.attrs.size() == 1
+                   ? core.QueryCodR(spec.node, spec.attrs[0], k, ws)
+                   : core.QueryCodR(spec.node,
+                                    std::span<const AttributeId>(spec.attrs),
+                                    k, ws);
+      break;
+    case CodVariant::kCodLMinus:
+      result =
+          spec.attrs.size() == 1
+              ? core.QueryCodLMinus(spec.node, spec.attrs[0], k, ws)
+              : core.QueryCodLMinus(
+                    spec.node, std::span<const AttributeId>(spec.attrs), k,
+                    ws);
+      break;
+    case CodVariant::kCodL:
+      result = spec.attrs.size() == 1
+                   ? core.QueryCodL(spec.node, spec.attrs[0], k, ws)
+                   : core.QueryCodL(spec.node,
+                                    std::span<const AttributeId>(spec.attrs),
+                                    k, ws);
+      break;
+  }
+  if (step.theta_divisor > 1) {
+    ws.evaluator().Rebind(core.model(), full_theta);
+  }
+  return result;
+}
+
+}  // namespace
 
 CodResult RunQuerySpec(const EngineCore& core, const QuerySpec& spec,
                        QueryWorkspace& ws) {
@@ -40,9 +143,53 @@ CodResult RunQuerySpec(const EngineCore& core, const QuerySpec& spec,
   return CodResult{};
 }
 
+CodResult RunQuerySpecWithBudget(const EngineCore& core, const QuerySpec& spec,
+                                 QueryWorkspace& ws,
+                                 const BatchOptions& options,
+                                 uint64_t query_seed) {
+  const uint32_t k = spec.k == 0 ? core.options().k : spec.k;
+  const double budget_seconds = spec.budget_seconds > 0.0
+                                    ? spec.budget_seconds
+                                    : options.default_budget_seconds;
+  const Deadline per_query = budget_seconds > 0.0
+                                 ? Deadline::After(budget_seconds)
+                                 : Deadline::Infinite();
+  const Budget budget{Deadline::Earliest(per_query, options.batch_deadline),
+                      options.cancel};
+
+  const std::vector<LadderStep> ladder =
+      DegradationLadder(core, spec.variant, k, options.allow_degradation);
+  CodResult result;
+  for (size_t s = 0; s < ladder.size(); ++s) {
+    // Same seed on every rung: a degraded answer is exactly what a direct
+    // query of the served variant would have returned.
+    ws.ReseedRng(query_seed);
+    ws.SetBudget(budget);
+    result = RunLadderStep(core, spec, ladder[s], k, ws);
+    ws.ClearBudget();
+    if (result.code == StatusCode::kOk) {
+      result.degraded = s > 0;
+      return result;
+    }
+    if (result.code == StatusCode::kCancelled) return result;  // no retries
+  }
+  return result;  // every rung timed out
+}
+
 std::vector<CodResult> RunQueryBatch(const EngineCore& core,
                                      std::span<const QuerySpec> specs,
                                      ThreadPool& pool, uint64_t batch_seed) {
+  return RunQueryBatch(core, specs, pool, batch_seed, BatchOptions{});
+}
+
+std::vector<CodResult> RunQueryBatch(const EngineCore& core,
+                                     std::span<const QuerySpec> specs,
+                                     ThreadPool& pool, uint64_t batch_seed,
+                                     const BatchOptions& options) {
+  COD_DCHECK(!pool.IsWorkerThread() &&
+             "RunQueryBatch called from a worker thread of its own pool; "
+             "this deadlocks once the pool saturates -- run the batch from "
+             "a different pool or thread");
   std::vector<CodResult> results(specs.size());
   if (specs.empty()) return results;
 
@@ -56,12 +203,21 @@ std::vector<CodResult> RunQueryBatch(const EngineCore& core,
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t begin = specs.size() * c / num_chunks;
     const size_t end = specs.size() * (c + 1) / num_chunks;
-    pool.Submit([&core, &results, specs, batch_seed, begin, end, &mu, &done,
-                 &remaining] {
+    pool.Submit([&core, &results, specs, batch_seed, begin, end, &options,
+                 &mu, &done, &remaining] {
       QueryWorkspace ws(core, /*seed=*/0);
       for (size_t i = begin; i < end; ++i) {
-        ws.ReseedRng(BatchQuerySeed(batch_seed, i));
-        results[i] = RunQuerySpec(core, specs[i], ws);
+        // Failure site for tests: a worker "dying" on a query marks that
+        // slot cancelled instead of crashing the batch.
+        if (COD_FAILPOINT("query_batch/worker")) {
+          CodResult killed;
+          killed.code = StatusCode::kCancelled;
+          killed.variant_served = specs[i].variant;
+          results[i] = std::move(killed);
+          continue;
+        }
+        results[i] = RunQuerySpecWithBudget(core, specs[i], ws, options,
+                                            BatchQuerySeed(batch_seed, i));
       }
       // Notify under the lock: the caller owns mu/done on its stack and may
       // destroy them the instant it observes remaining == 0, so the notify

@@ -3,14 +3,27 @@
 // Determinism contract: query i of a batch always runs with
 // Rng(BatchQuerySeed(batch_seed, i)) in a freshly reseeded per-thread
 // workspace, so the result vector is a pure function of
-// (core, specs, batch_seed) — bit-identical for every pool size, including
-// a single thread. Workers get contiguous spec ranges and one reusable
-// QueryWorkspace each; nothing is shared mutably across workers except the
-// pre-sized result slots (one writer per slot).
+// (core, specs, batch_seed, options) — bit-identical for every pool size,
+// including a single thread. Workers get contiguous spec ranges and one
+// reusable QueryWorkspace each; nothing is shared mutably across workers
+// except the pre-sized result slots (one writer per slot).
+//
+// Budgets and graceful degradation (BatchOptions): each query runs under a
+// deadline (per-spec override, batch default, and a batch-wide deadline —
+// whichever is earliest) plus an optional cancel token. When a rung of work
+// times out and degradation is allowed, the query retries on the next rung
+// of a CHEAPER variant ladder (see DegradationLadder in the .cc / DESIGN.md)
+// with the SAME per-query seed, so a degraded answer equals a direct query
+// of the served variant. Answers record code / degraded / variant_served.
+// Determinism caveat: budget expiry itself is a wall-clock event, so results
+// are bit-identical across thread counts only for a fixed sequence of budget
+// outcomes — guaranteed for unlimited budgets and for already-expired
+// budgets (<= ~1ns, which deterministically fail their first poll), the
+// cases the tests pin down.
 //
 // Do not call RunQueryBatch from inside a task running on the same pool —
 // the caller blocks until its chunk tasks finish, which deadlocks once the
-// pool is saturated with blocked callers.
+// pool is saturated with blocked callers. Debug builds DCHECK-fail on this.
 
 #ifndef COD_CORE_QUERY_BATCH_H_
 #define COD_CORE_QUERY_BATCH_H_
@@ -18,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/random.h"
 #include "core/engine_core.h"
 
@@ -25,14 +39,6 @@ namespace cod {
 
 class ThreadPool;
 class QueryWorkspace;
-
-enum class CodVariant : uint8_t {
-  kCodU,
-  kCodR,
-  kCodLMinus,
-  kCodL,        // requires the core's HIMOR index
-  kCodUIndexed  // requires the core's HIMOR index
-};
 
 struct QuerySpec {
   CodVariant variant = CodVariant::kCodL;
@@ -42,6 +48,26 @@ struct QuerySpec {
   // Query topic set; ignored by kCodU / kCodUIndexed. A single element uses
   // the single-attribute paths (including the CODR hierarchy cache).
   std::vector<AttributeId> attrs;
+  // Per-query wall-clock budget in seconds; 0 means "use the batch default"
+  // (BatchOptions::default_budget_seconds).
+  double budget_seconds = 0.0;
+};
+
+// Batch-level budget and degradation policy for RunQueryBatch. The default
+// object is "no limits": every query runs its requested variant to
+// completion, exactly like the options-free overload.
+struct BatchOptions {
+  // Default per-query budget in seconds (0 = unlimited). Each query's
+  // effective deadline is Earliest(per-query deadline, batch_deadline).
+  double default_budget_seconds = 0.0;
+  // Absolute deadline for the whole batch (defaults to never).
+  Deadline batch_deadline;
+  // Optional cooperative cancellation for the whole batch; must outlive the
+  // RunQueryBatch call. Cancellation beats timeout and skips degradation.
+  const CancelToken* cancel = nullptr;
+  // When a query's budget expires, retry it on cheaper ladder rungs (tagged
+  // degraded = true) instead of returning kTimeout outright.
+  bool allow_degradation = true;
 };
 
 // The RNG seed batch query `index` runs with; exposed so tests and callers
@@ -54,9 +80,19 @@ inline uint64_t BatchQuerySeed(uint64_t batch_seed, size_t index) {
 
 // Runs one spec against `core` using `ws` (the workspace's current RNG
 // stream; RunQueryBatch reseeds it per query). Exposed for sequential
-// re-verification of batch answers.
+// re-verification of batch answers. Ignores budgets and the ladder.
 CodResult RunQuerySpec(const EngineCore& core, const QuerySpec& spec,
                        QueryWorkspace& ws);
+
+// Runs one spec under `options`' budget discipline, walking the degradation
+// ladder on timeout. Every rung reseeds the workspace RNG from `query_seed`,
+// so the answer for a given (spec, options, seed, budget outcome sequence)
+// is deterministic. Exposed for sequential re-verification of batch answers
+// (pass BatchQuerySeed(batch_seed, i) as `query_seed`).
+CodResult RunQuerySpecWithBudget(const EngineCore& core, const QuerySpec& spec,
+                                 QueryWorkspace& ws,
+                                 const BatchOptions& options,
+                                 uint64_t query_seed);
 
 // Fans `specs` across `pool` and blocks until every result is filled.
 // Thread-safe: concurrent batches may share one pool (each batch waits on
@@ -64,6 +100,14 @@ CodResult RunQuerySpec(const EngineCore& core, const QuerySpec& spec,
 std::vector<CodResult> RunQueryBatch(const EngineCore& core,
                                      std::span<const QuerySpec> specs,
                                      ThreadPool& pool, uint64_t batch_seed);
+
+// As above, with per-query budgets, batch deadline / cancellation, and the
+// degradation ladder. The default BatchOptions makes this identical to the
+// options-free overload.
+std::vector<CodResult> RunQueryBatch(const EngineCore& core,
+                                     std::span<const QuerySpec> specs,
+                                     ThreadPool& pool, uint64_t batch_seed,
+                                     const BatchOptions& options);
 
 }  // namespace cod
 

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "common/deadline.h"
 #include "common/random.h"
 #include "core/compressed_eval.h"
 
@@ -40,6 +41,14 @@ class QueryWorkspace {
   CompressedEvaluator& evaluator() { return evaluator_; }
   const EngineCore* bound_core() const { return core_; }
 
+  // Per-query budget: EngineCore query methods poll this between units of
+  // work (RR samples, LORE edge strides) and unwind with kTimeout /
+  // kCancelled when it is exhausted. Defaults to unlimited; the batch API
+  // (core/query_batch.h) sets it around each ladder rung.
+  void SetBudget(const Budget& budget) { budget_ = budget; }
+  void ClearBudget() { budget_ = Budget{}; }
+  const Budget& budget() const { return budget_; }
+
   // |R| explored by the most recent evaluation (diagnostics; see
   // CompressedEvaluator::last_explored_nodes).
   size_t last_explored_nodes() const {
@@ -50,6 +59,7 @@ class QueryWorkspace {
   const EngineCore* core_;
   CompressedEvaluator evaluator_;
   Rng rng_;
+  Budget budget_;
 };
 
 }  // namespace cod

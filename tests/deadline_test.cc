@@ -1,0 +1,173 @@
+// Unit tests for the deadline/cancellation primitives (common/deadline.h)
+// and the failpoint registry (common/failpoint.h).
+
+#include "common/deadline.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+
+namespace cod {
+namespace {
+
+TEST(DeadlineTest, DefaultAndInfiniteNeverExpire) {
+  EXPECT_TRUE(Deadline().infinite());
+  EXPECT_FALSE(Deadline().Expired());
+  EXPECT_TRUE(Deadline::Infinite().infinite());
+  EXPECT_FALSE(Deadline::Infinite().Expired());
+  EXPECT_EQ(Deadline::Infinite().RemainingSeconds(),
+            std::numeric_limits<double>::infinity());
+  // Huge budgets are treated as infinite (no clock arithmetic overflow).
+  EXPECT_TRUE(Deadline::After(1e12).infinite());
+}
+
+TEST(DeadlineTest, NonPositiveAndSubNanosecondBudgetsExpireImmediately) {
+  // The determinism workhorse: these are expired at the very FIRST check,
+  // independent of timing, load, or thread count.
+  EXPECT_TRUE(Deadline::After(0.0).Expired());
+  EXPECT_TRUE(Deadline::After(-1.0).Expired());
+  EXPECT_TRUE(Deadline::After(1e-12).Expired());  // truncates to "now"
+}
+
+TEST(DeadlineTest, GenerousBudgetIsNotExpiredYet) {
+  const Deadline d = Deadline::After(3600.0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 3000.0);
+  EXPECT_LE(d.RemainingSeconds(), 3600.0);
+}
+
+TEST(DeadlineTest, EarliestPicksTheSoonerDeadline) {
+  const Deadline never = Deadline::Infinite();
+  const Deadline now = Deadline::After(0.0);
+  EXPECT_TRUE(Deadline::Earliest(never, now).Expired());
+  EXPECT_TRUE(Deadline::Earliest(now, never).Expired());
+  EXPECT_FALSE(Deadline::Earliest(never, never).Expired());
+  const Deadline soon = Deadline::After(10.0);
+  const Deadline late = Deadline::After(1000.0);
+  EXPECT_LT(Deadline::Earliest(soon, late).RemainingSeconds(), 100.0);
+}
+
+TEST(CancelTokenTest, CancelAndReset) {
+  CancelToken token;
+  EXPECT_FALSE(token.Cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.Cancelled());
+  token.Reset();
+  EXPECT_FALSE(token.Cancelled());
+}
+
+TEST(BudgetTest, DefaultBudgetIsUnlimited) {
+  const Budget budget;
+  EXPECT_FALSE(budget.Exhausted());
+  EXPECT_EQ(budget.ExhaustedCode(), StatusCode::kOk);
+  EXPECT_TRUE(budget.Check("work").ok());
+}
+
+TEST(BudgetTest, ExpiredDeadlineReportsTimeout) {
+  const Budget budget{Deadline::After(0.0)};
+  EXPECT_EQ(budget.ExhaustedCode(), StatusCode::kTimeout);
+  const Status status = budget.Check("HIMOR build");
+  EXPECT_EQ(status.code(), StatusCode::kTimeout);
+  EXPECT_NE(status.message().find("HIMOR build"), std::string::npos);
+}
+
+TEST(BudgetTest, CancellationBeatsTimeout) {
+  CancelToken token;
+  token.Cancel();
+  // Both the deadline and the token have tripped; the explicit cancel wins.
+  const Budget budget{Deadline::After(0.0), &token};
+  EXPECT_EQ(budget.ExhaustedCode(), StatusCode::kCancelled);
+  EXPECT_EQ(budget.Check("query").code(), StatusCode::kCancelled);
+  token.Reset();
+  EXPECT_EQ(budget.ExhaustedCode(), StatusCode::kTimeout);
+}
+
+TEST(FailpointTest, CountedArmFiresExactlyThatManyTimes) {
+  Failpoints::Instance().Arm("test/counted", 2);
+  EXPECT_TRUE(COD_FAILPOINT("test/counted"));
+  EXPECT_TRUE(COD_FAILPOINT("test/counted"));
+  EXPECT_FALSE(COD_FAILPOINT("test/counted"));  // exhausted
+  EXPECT_EQ(Failpoints::Instance().TriggerCount("test/counted"), 2u);
+  Failpoints::Instance().Disarm("test/counted");
+}
+
+TEST(FailpointTest, NegativeCountFiresUntilDisarmed) {
+  Failpoints::Instance().Arm("test/always", -1);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(COD_FAILPOINT("test/always"));
+  Failpoints::Instance().Disarm("test/always");
+  EXPECT_FALSE(COD_FAILPOINT("test/always"));
+  // TriggerCount survives Disarm (diagnostic), resets with DisarmAll.
+  EXPECT_EQ(Failpoints::Instance().TriggerCount("test/always"), 5u);
+  Failpoints::Instance().DisarmAll();
+  EXPECT_EQ(Failpoints::Instance().TriggerCount("test/always"), 0u);
+}
+
+TEST(FailpointTest, UnarmedSiteNeverFires) {
+  EXPECT_FALSE(COD_FAILPOINT("test/never-armed"));
+  EXPECT_EQ(Failpoints::Instance().TriggerCount("test/never-armed"), 0u);
+}
+
+TEST(FailpointTest, ScopedFailpointDisarmsOnDestruction) {
+  {
+    ScopedFailpoint fp("test/scoped", /*count=*/-1);
+    EXPECT_TRUE(COD_FAILPOINT("test/scoped"));
+  }
+  EXPECT_FALSE(COD_FAILPOINT("test/scoped"));
+  Failpoints::Instance().DisarmAll();
+}
+
+TEST(FailpointTest, RearmReplacesRemainingCount) {
+  Failpoints::Instance().Arm("test/rearm", 100);
+  Failpoints::Instance().Arm("test/rearm", 1);
+  EXPECT_TRUE(COD_FAILPOINT("test/rearm"));
+  EXPECT_FALSE(COD_FAILPOINT("test/rearm"));
+  Failpoints::Instance().DisarmAll();
+}
+
+TEST(FailpointTest, ConcurrentHammeringConsumesExactlyTheArmedCount) {
+  constexpr int kArmed = 64;
+  constexpr int kThreads = 8;
+  constexpr int kPassesPerThread = 1000;
+  Failpoints::Instance().Arm("test/concurrent", kArmed);
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fired] {
+      for (int i = 0; i < kPassesPerThread; ++i) {
+        if (COD_FAILPOINT("test/concurrent")) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(fired.load(), kArmed);
+  EXPECT_EQ(Failpoints::Instance().TriggerCount("test/concurrent"),
+            static_cast<uint64_t>(kArmed));
+  Failpoints::Instance().DisarmAll();
+}
+
+TEST(ThreadPoolTest, IsWorkerThreadDistinguishesPoolMembership) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.IsWorkerThread());  // the main thread is nobody's worker
+  bool seen_in_pool = false;
+  bool seen_in_other = false;
+  pool.Submit([&] {
+    seen_in_pool = pool.IsWorkerThread();
+    seen_in_other = other.IsWorkerThread();
+  });
+  pool.WaitIdle();
+  EXPECT_TRUE(seen_in_pool);
+  EXPECT_FALSE(seen_in_other);
+}
+
+}  // namespace
+}  // namespace cod

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "core/query_batch.h"
 #include "core/query_workspace.h"
@@ -245,6 +246,133 @@ TEST(DynamicServiceTest, ServiceQueryBatchMatchesSnapshotBatch) {
     EXPECT_TRUE(cod::testing::SameResult(via_service[i], via_snapshot[i]))
         << "spec " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild failure containment (failpoints; see common/failpoint.h). Arm
+// sites only AFTER construction — the first epoch's build is CHECK-fatal.
+// ---------------------------------------------------------------------------
+
+TEST(DynamicServiceTest, RebuildFailureKeepsServingOldEpoch) {
+  World w = MakeWorld(11);
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                            SmallOptions(10.0));
+  ASSERT_EQ(service.epoch(), 1u);
+
+  // Reference answers from epoch 1.
+  std::vector<CodResult> before;
+  Rng rng_before(5);
+  for (NodeId q = 0; q < 6; ++q) {
+    before.push_back(service.QueryCodU(q, 5, rng_before));
+  }
+
+  ASSERT_TRUE(service.AddEdge(0, 150));
+  Status failed;
+  {
+    ScopedFailpoint fp("dynamic_service/rebuild", /*count=*/1);
+    failed = service.Refresh();
+  }
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  // The failed build never touched the published epoch...
+  EXPECT_EQ(service.epoch(), 1u);
+  // ...the absorbed pending count was restored for a later retry...
+  EXPECT_EQ(service.pending_updates(), 1u);
+  // ...and the error is inspectable.
+  const DynamicCodService::RebuildStats stats = service.rebuild_stats();
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.last_error.code(), StatusCode::kIoError);
+  EXPECT_EQ(stats.published, 1u);  // only the construction epoch
+
+  // The old epoch still answers, bit-identically.
+  Rng rng_after(5);
+  for (NodeId q = 0; q < 6; ++q) {
+    EXPECT_TRUE(cod::testing::SameResult(service.QueryCodU(q, 5, rng_after),
+                                         before[q]))
+        << "q=" << q;
+  }
+
+  // With the failpoint gone, the retry publishes the update.
+  EXPECT_TRUE(service.Refresh().ok());
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_EQ(service.pending_updates(), 0u);
+  EXPECT_NE(service.engine().graph().FindEdge(0, 150), kInvalidEdge);
+}
+
+TEST(DynamicServiceTest, HimorFailpointFailsRebuildButKeepsServing) {
+  World w = MakeWorld(12);
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                            SmallOptions(10.0));
+  ASSERT_TRUE(service.AddEdge(1, 140));
+  Status failed;
+  {
+    ScopedFailpoint fp("himor/build", /*count=*/1);
+    failed = service.Refresh();
+  }
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(service.epoch(), 1u);
+  // Serving continues from the old epoch's (intact) index.
+  Rng rng(3);
+  EXPECT_NO_FATAL_FAILURE(service.QueryCodU(0, 5, rng));
+  EXPECT_TRUE(service.Refresh().ok());
+  EXPECT_EQ(service.epoch(), 2u);
+}
+
+TEST(DynamicServiceTest, AsyncRebuildRetriesWithBackoffUntilSuccess) {
+  World w = MakeWorld(13);
+  ThreadPool rebuild_pool(1);
+  DynamicCodService::Options options = SmallOptions(10.0);
+  options.async_rebuild = true;
+  options.rebuild_pool = &rebuild_pool;
+  options.max_rebuild_retries = 3;
+  options.rebuild_backoff_initial_ms = 1;
+  options.rebuild_backoff_max_ms = 2;
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
+
+  ASSERT_TRUE(service.AddEdge(2, 130));
+  // The first two attempts fail; the third succeeds within the retry cap.
+  ScopedFailpoint fp("dynamic_service/rebuild", /*count=*/2);
+  ASSERT_TRUE(service.RefreshAsync());
+  service.WaitForRebuild();
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_NE(service.engine().graph().FindEdge(2, 130), kInvalidEdge);
+  const DynamicCodService::RebuildStats stats = service.rebuild_stats();
+  EXPECT_EQ(stats.failures, 2u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.published, 2u);
+  EXPECT_EQ(stats.attempts, 4u);  // construction + 2 failures + success
+}
+
+TEST(DynamicServiceTest, AsyncRebuildGivesUpAfterRetryCap) {
+  World w = MakeWorld(14);
+  ThreadPool rebuild_pool(1);
+  DynamicCodService::Options options = SmallOptions(10.0);
+  options.async_rebuild = true;
+  options.rebuild_pool = &rebuild_pool;
+  options.max_rebuild_retries = 1;
+  options.rebuild_backoff_initial_ms = 1;
+  options.rebuild_backoff_max_ms = 1;
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
+
+  ASSERT_TRUE(service.AddEdge(3, 120));
+  {
+    // More armed failures than 1 + max_rebuild_retries attempts can clear.
+    ScopedFailpoint fp("dynamic_service/rebuild", /*count=*/100);
+    ASSERT_TRUE(service.RefreshAsync());
+    service.WaitForRebuild();
+    EXPECT_EQ(service.epoch(), 1u);  // old epoch still published
+    EXPECT_EQ(service.pending_updates(), 1u);  // restored for a retry
+    const DynamicCodService::RebuildStats stats = service.rebuild_stats();
+    EXPECT_EQ(stats.failures, 2u);  // initial attempt + 1 retry
+    EXPECT_EQ(stats.retries, 1u);
+    EXPECT_FALSE(stats.last_error.ok());
+  }
+  // Once the injected fault clears, a fresh ticket succeeds and the service
+  // shuts down cleanly (destructor waits out nothing).
+  ASSERT_TRUE(service.RefreshAsync());
+  service.WaitForRebuild();
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_EQ(service.pending_updates(), 0u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "core/cod_engine.h"
 #include "core/query_workspace.h"
@@ -144,6 +145,166 @@ TEST_F(QueryBatchTest, DefaultKUsesEngineOptions) {
 TEST_F(QueryBatchTest, EmptyBatchReturnsEmpty) {
   ThreadPool pool(2);
   EXPECT_TRUE(engine_->QueryBatch({}, pool, 1).empty());
+}
+
+TEST_F(QueryBatchTest, DefaultOptionsMatchOptionFreeOverload) {
+  ThreadPool pool(3);
+  const auto plain = engine_->QueryBatch(specs_, pool, 42);
+  const auto with_options = engine_->QueryBatch(specs_, pool, 42,
+                                                BatchOptions{});
+  ASSERT_EQ(plain.size(), with_options.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_TRUE(SameResult(plain[i], with_options[i])) << "spec " << i;
+    EXPECT_EQ(plain[i].code, StatusCode::kOk) << "spec " << i;
+    EXPECT_FALSE(plain[i].degraded) << "spec " << i;
+  }
+}
+
+TEST_F(QueryBatchTest, AggressiveBudgetMixesFullAndDegradedDeterministically) {
+  // A sub-nanosecond budget deterministically expires at the FIRST poll, so
+  // the whole budget-outcome sequence — and hence the result vector — is a
+  // pure function of (specs, seed), bit-identical for every pool size.
+  BatchOptions options;
+  options.default_budget_seconds = 1e-12;
+  std::vector<std::vector<CodResult>> runs;
+  for (const size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    runs.push_back(engine_->QueryBatch(specs_, pool, /*batch_seed=*/7,
+                                       options));
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_TRUE(SameResult(runs[r][i], runs[0][i]))
+          << "pool variant " << r << " spec " << i;
+    }
+  }
+  size_t full = 0;
+  size_t degraded = 0;
+  for (size_t i = 0; i < runs[0].size(); ++i) {
+    const CodResult& r = runs[0][i];
+    ASSERT_EQ(r.code, StatusCode::kOk) << "spec " << i;
+    if (specs_[i].variant == CodVariant::kCodUIndexed) {
+      // Index-only entries do no budgeted work: full answers, undegraded.
+      EXPECT_FALSE(r.degraded) << "spec " << i;
+      ++full;
+    } else {
+      // Every sampled variant collapses down its ladder to the index rung.
+      EXPECT_TRUE(r.degraded) << "spec " << i;
+      EXPECT_EQ(r.variant_served, CodVariant::kCodUIndexed) << "spec " << i;
+      ++degraded;
+    }
+  }
+  EXPECT_GT(full, 0u);
+  EXPECT_GT(degraded, 0u);
+}
+
+TEST_F(QueryBatchTest, DegradedAnswerMatchesDirectIndexedQuery) {
+  // Find a CODL spec; under an exhausted budget its ladder ends at the
+  // index rung, whose answer must be EXACTLY what a direct index-only query
+  // returns (same node, same resolved k).
+  size_t codl = specs_.size();
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].variant == CodVariant::kCodL) {
+      codl = i;
+      break;
+    }
+  }
+  ASSERT_LT(codl, specs_.size());
+  BatchOptions options;
+  options.default_budget_seconds = 1e-12;
+  ThreadPool pool(2);
+  const auto results = engine_->QueryBatch(specs_, pool, 13, options);
+  const CodResult& got = results[codl];
+  ASSERT_EQ(got.code, StatusCode::kOk);
+  ASSERT_TRUE(got.degraded);
+  ASSERT_EQ(got.variant_served, CodVariant::kCodUIndexed);
+  const uint32_t k =
+      specs_[codl].k == 0 ? engine_->options().k : specs_[codl].k;
+  const CodResult want = engine_->QueryCodUIndexed(specs_[codl].node, k);
+  EXPECT_EQ(got.found, want.found);
+  EXPECT_EQ(got.members, want.members);
+  EXPECT_EQ(got.rank, want.rank);
+}
+
+TEST_F(QueryBatchTest, NoDegradationReturnsTimeout) {
+  BatchOptions options;
+  options.default_budget_seconds = 1e-12;
+  options.allow_degradation = false;
+  ThreadPool pool(2);
+  const auto results = engine_->QueryBatch(specs_, pool, 21, options);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (specs_[i].variant == CodVariant::kCodUIndexed) {
+      EXPECT_EQ(results[i].code, StatusCode::kOk) << "spec " << i;
+    } else {
+      EXPECT_EQ(results[i].code, StatusCode::kTimeout) << "spec " << i;
+      EXPECT_FALSE(results[i].degraded) << "spec " << i;
+      EXPECT_EQ(results[i].variant_served, specs_[i].variant)
+          << "spec " << i;
+      EXPECT_FALSE(results[i].found) << "spec " << i;
+    }
+  }
+}
+
+TEST_F(QueryBatchTest, PerSpecBudgetOverridesDefault) {
+  // Unlimited batch default; one spec carries its own hostile budget.
+  std::vector<QuerySpec> specs = specs_;
+  size_t victim = specs.size();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].variant == CodVariant::kCodU) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, specs.size());
+  specs[victim].budget_seconds = 1e-12;
+  ThreadPool pool(2);
+  const auto results =
+      engine_->QueryBatch(specs, pool, 31, BatchOptions{});
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i == victim) {
+      EXPECT_TRUE(results[i].degraded) << "victim spec";
+      EXPECT_EQ(results[i].variant_served, CodVariant::kCodUIndexed);
+    } else {
+      EXPECT_EQ(results[i].code, StatusCode::kOk) << "spec " << i;
+      EXPECT_FALSE(results[i].degraded) << "spec " << i;
+    }
+  }
+}
+
+TEST_F(QueryBatchTest, BatchDeadlineCapsEveryQuery) {
+  // An already-expired batch deadline beats unlimited per-query budgets.
+  BatchOptions options;
+  options.batch_deadline = Deadline::After(0.0);
+  ThreadPool pool(3);
+  const auto results = engine_->QueryBatch(specs_, pool, 17, options);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (specs_[i].variant == CodVariant::kCodUIndexed) {
+      EXPECT_FALSE(results[i].degraded) << "spec " << i;
+    } else {
+      EXPECT_TRUE(results[i].degraded) << "spec " << i;
+    }
+    EXPECT_EQ(results[i].code, StatusCode::kOk) << "spec " << i;
+  }
+}
+
+TEST_F(QueryBatchTest, WorkerFailpointMarksSlotsCancelled) {
+  // A "dying" worker marks its slots cancelled instead of crashing or
+  // hanging the batch. One worker thread makes the hit order deterministic.
+  ScopedFailpoint fp("query_batch/worker", /*count=*/2);
+  ThreadPool pool(1);
+  const auto results = engine_->QueryBatch(specs_, pool, 19);
+  ASSERT_EQ(results.size(), specs_.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i < 2) {
+      EXPECT_EQ(results[i].code, StatusCode::kCancelled) << "spec " << i;
+      EXPECT_EQ(results[i].variant_served, specs_[i].variant)
+          << "spec " << i;
+      EXPECT_FALSE(results[i].found) << "spec " << i;
+    } else {
+      EXPECT_EQ(results[i].code, StatusCode::kOk) << "spec " << i;
+    }
+  }
 }
 
 TEST_F(QueryBatchTest, ConcurrentBatchesShareOnePool) {

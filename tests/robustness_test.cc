@@ -1,15 +1,27 @@
 // Failure-injection / fuzz-lite robustness tests: every loader must reject
 // malformed input with a Status — never crash, never OOM, never return a
 // structurally invalid object (Arrow-style "corrupt files are data, not
-// bugs" discipline).
+// bugs" discipline). The budget suites below extend the same discipline to
+// deadlines and cancellation: any budget, however hostile, yields
+// kOk/kTimeout/kCancelled — never a crash, hang, or corrupted answer.
 
+#include <chrono>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
+#include "common/deadline.h"
+#include "common/failpoint.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/cod_engine.h"
 #include "core/himor.h"
+#include "core/independent_eval.h"
+#include "core/lore.h"
+#include "core/query_batch.h"
+#include "core/query_workspace.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "hierarchy/agglomerative.h"
@@ -137,6 +149,308 @@ TEST_P(FuzzSeedTest, GarbledTextEdgesNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Budget / cancellation robustness: hostile deadlines over every variant.
+// ---------------------------------------------------------------------------
+
+struct BudgetWorld {
+  Graph graph;
+  AttributeTable attrs;
+  std::unique_ptr<CodEngine> engine;
+};
+
+BudgetWorld MakeBudgetWorld(uint64_t seed) {
+  Rng rng(seed);
+  HppParams params;
+  params.num_nodes = 120;
+  params.num_edges = 480;
+  params.levels = 2;
+  params.fanout = 3;
+  GeneratedGraph gen = HierarchicalPlantedPartition(params, rng);
+  BudgetWorld w;
+  w.attrs = AssignCorrelatedAttributes(gen.block, 4, 0.8, 0.1, rng);
+  w.graph = std::move(gen.graph);
+  w.engine =
+      std::make_unique<CodEngine>(w.graph, w.attrs, EngineOptions{});
+  Rng himor_rng(seed + 1);
+  w.engine->BuildHimor(himor_rng);
+  return w;
+}
+
+// A workload cycling all five variants over nodes that carry attributes.
+std::vector<QuerySpec> MakeVariantSpecs(const AttributeTable& attrs,
+                                        size_t count) {
+  constexpr CodVariant kVariants[] = {
+      CodVariant::kCodU, CodVariant::kCodUIndexed, CodVariant::kCodR,
+      CodVariant::kCodLMinus, CodVariant::kCodL};
+  std::vector<QuerySpec> specs;
+  for (NodeId q = 0; specs.size() < count; ++q) {
+    QuerySpec spec;
+    spec.node = q % static_cast<NodeId>(attrs.NumNodes());
+    spec.variant = kVariants[specs.size() % std::size(kVariants)];
+    if (spec.variant != CodVariant::kCodU &&
+        spec.variant != CodVariant::kCodUIndexed) {
+      const auto own = attrs.AttributesOf(spec.node);
+      if (own.empty()) continue;
+      spec.attrs.assign(own.begin(), own.begin() + 1);
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+class BudgetFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BudgetFuzzTest, HostileBudgetsNeverCrashOrCorrupt) {
+  Rng rng(GetParam());
+  BudgetWorld w = MakeBudgetWorld(GetParam() + 40);
+  const std::vector<QuerySpec> base = MakeVariantSpecs(w.attrs, 15);
+  ThreadPool pool(4);
+  const double budgets[] = {0.0, 1e-12, 1e-7, 1e-5, 1e-3};
+
+  for (int round = 0; round < 4; ++round) {
+    std::vector<QuerySpec> specs = base;
+    for (QuerySpec& spec : specs) {
+      spec.budget_seconds = budgets[rng.UniformInt(std::size(budgets))];
+    }
+    BatchOptions options;
+    options.default_budget_seconds =
+        budgets[rng.UniformInt(std::size(budgets))];
+    options.allow_degradation = rng.Bernoulli(0.5);
+    const std::vector<CodResult> results =
+        w.engine->QueryBatch(specs, pool, /*batch_seed=*/round, options);
+    ASSERT_EQ(results.size(), specs.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      const CodResult& r = results[i];
+      // The complete failure taxonomy: nothing else may come back.
+      EXPECT_TRUE(r.code == StatusCode::kOk ||
+                  r.code == StatusCode::kTimeout ||
+                  r.code == StatusCode::kCancelled)
+          << "spec " << i;
+      if (r.code != StatusCode::kOk) {
+        EXPECT_FALSE(r.found) << "spec " << i;
+        EXPECT_TRUE(r.members.empty()) << "spec " << i;
+        EXPECT_FALSE(r.degraded) << "spec " << i;
+      }
+      if (r.found) {
+        EXPECT_EQ(r.code, StatusCode::kOk) << "spec " << i;
+        EXPECT_FALSE(r.members.empty()) << "spec " << i;
+        for (const NodeId v : r.members) {
+          EXPECT_LT(v, w.graph.NumNodes()) << "spec " << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetFuzzTest, ::testing::Values(11, 12, 13));
+
+TEST(CancellationTest, PreCancelledBatchSkipsAllSampledWork) {
+  BudgetWorld w = MakeBudgetWorld(50);
+  const std::vector<QuerySpec> specs = MakeVariantSpecs(w.attrs, 10);
+  ThreadPool pool(3);
+  CancelToken token;
+  token.Cancel();  // before the batch even starts
+  BatchOptions options;
+  options.cancel = &token;
+  const std::vector<CodResult> results =
+      w.engine->QueryBatch(specs, pool, /*batch_seed=*/1, options);
+  ASSERT_EQ(results.size(), specs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (specs[i].variant == CodVariant::kCodUIndexed) {
+      // Index-only lookups do no budgeted work, so they still answer.
+      EXPECT_EQ(results[i].code, StatusCode::kOk) << "spec " << i;
+    } else {
+      // Cancellation is reported as such (never as a timeout) and skips the
+      // degradation ladder.
+      EXPECT_EQ(results[i].code, StatusCode::kCancelled) << "spec " << i;
+      EXPECT_FALSE(results[i].degraded) << "spec " << i;
+      EXPECT_EQ(results[i].variant_served, specs[i].variant) << "spec " << i;
+    }
+  }
+}
+
+TEST(CancellationTest, MidBatchCancelReturnsPromptly) {
+  BudgetWorld w = MakeBudgetWorld(51);
+  // A batch big enough to still be running when the cancel lands.
+  const std::vector<QuerySpec> specs = MakeVariantSpecs(w.attrs, 200);
+  ThreadPool pool(2);
+  CancelToken token;
+  BatchOptions options;
+  options.cancel = &token;
+  options.allow_degradation = false;
+  std::vector<CodResult> results;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    token.Cancel();
+  });
+  results = w.engine->QueryBatch(specs, pool, /*batch_seed=*/3, options);
+  canceller.join();
+  ASSERT_EQ(results.size(), specs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].code == StatusCode::kOk ||
+                results[i].code == StatusCode::kCancelled)
+        << "spec " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Direct evaluator / LORE / HIMOR budget semantics.
+// ---------------------------------------------------------------------------
+
+TEST(EvaluatorBudgetTest, CompressedTimesOutOnExpiredBudget) {
+  BudgetWorld w = MakeBudgetWorld(60);
+  const CodChain chain = w.engine->BuildCoduChain(7);
+  CompressedEvaluator eval(w.engine->model(), w.engine->options().theta);
+  Rng rng(1);
+  const ChainEvalOutcome out =
+      eval.Evaluate(chain, 7, 5, rng, Budget{Deadline::After(0.0)});
+  EXPECT_EQ(out.code, StatusCode::kTimeout);
+  // Compressed evaluation has no usable partial answer.
+  EXPECT_EQ(out.best_level, -1);
+  EXPECT_TRUE(out.rank_per_level.empty());
+}
+
+TEST(EvaluatorBudgetTest, UnlimitedBudgetMatchesLegacyEvaluate) {
+  BudgetWorld w = MakeBudgetWorld(61);
+  const CodChain chain = w.engine->BuildCoduChain(3);
+  CompressedEvaluator a(w.engine->model(), w.engine->options().theta);
+  CompressedEvaluator b(w.engine->model(), w.engine->options().theta);
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const ChainEvalOutcome legacy = a.Evaluate(chain, 3, 5, rng_a);
+  const ChainEvalOutcome budgeted = b.Evaluate(chain, 3, 5, rng_b, Budget{});
+  EXPECT_EQ(budgeted.code, StatusCode::kOk);
+  EXPECT_EQ(legacy.best_level, budgeted.best_level);
+  EXPECT_EQ(legacy.rank_per_level, budgeted.rank_per_level);
+}
+
+TEST(EvaluatorBudgetTest, ScratchStaysCleanAfterTimeout) {
+  // Regression guard for the check-interval placement: a timed-out
+  // evaluation must leave the reusable scratch in a state where the NEXT
+  // query answers exactly as a fresh evaluator would.
+  BudgetWorld w = MakeBudgetWorld(62);
+  const CodChain chain = w.engine->BuildCoduChain(11);
+  CompressedEvaluator reused(w.engine->model(), w.engine->options().theta);
+  Rng rng_timeout(1);
+  const ChainEvalOutcome timed_out = reused.Evaluate(
+      chain, 11, 5, rng_timeout, Budget{Deadline::After(0.0)});
+  ASSERT_EQ(timed_out.code, StatusCode::kTimeout);
+
+  CompressedEvaluator fresh(w.engine->model(), w.engine->options().theta);
+  Rng rng_reused(4);
+  Rng rng_fresh(4);
+  const ChainEvalOutcome after = reused.Evaluate(chain, 11, 5, rng_reused);
+  const ChainEvalOutcome want = fresh.Evaluate(chain, 11, 5, rng_fresh);
+  EXPECT_EQ(after.code, StatusCode::kOk);
+  EXPECT_EQ(after.best_level, want.best_level);
+  EXPECT_EQ(after.rank_per_level, want.rank_per_level);
+}
+
+TEST(EvaluatorBudgetTest, CancelBeatsTimeoutInOutcome) {
+  BudgetWorld w = MakeBudgetWorld(63);
+  const CodChain chain = w.engine->BuildCoduChain(2);
+  CompressedEvaluator eval(w.engine->model(), w.engine->options().theta);
+  CancelToken token;
+  token.Cancel();
+  Rng rng(1);
+  const ChainEvalOutcome out = eval.Evaluate(
+      chain, 2, 5, rng, Budget{Deadline::After(0.0), &token});
+  EXPECT_EQ(out.code, StatusCode::kCancelled);
+}
+
+TEST(EvaluatorBudgetTest, IndependentHonorsDeadlineSecondsShim) {
+  BudgetWorld w = MakeBudgetWorld(64);
+  const CodChain chain = w.engine->BuildCoduChain(5);
+  IndependentEvaluator eval(w.engine->model(), w.engine->options().theta);
+  Rng rng(1);
+  // The legacy double overload routes through the Budget form; a
+  // sub-nanosecond deadline deterministically aborts before level 0.
+  const ChainEvalOutcome out =
+      eval.Evaluate(chain, 5, 5, rng, /*deadline_seconds=*/1e-12);
+  EXPECT_EQ(out.code, StatusCode::kTimeout);
+  EXPECT_TRUE(eval.last_timed_out());
+  EXPECT_EQ(out.best_level, -1);
+}
+
+TEST(LoreBudgetTest, ExpiredBudgetReturnsPartialScoresWithTimeout) {
+  BudgetWorld w = MakeBudgetWorld(65);
+  NodeId q = 0;
+  AttributeId attr = 0;
+  for (NodeId v = 0; v < w.attrs.NumNodes(); ++v) {
+    const auto own = w.attrs.AttributesOf(v);
+    if (!own.empty()) {
+      q = v;
+      attr = own[0];
+      break;
+    }
+  }
+  const LoreScores scores = ComputeReclusteringScores(
+      w.graph, w.attrs, w.engine->base_hierarchy(), w.engine->base_lca(), q,
+      std::span<const AttributeId>(&attr, 1), Budget{Deadline::After(0.0)});
+  EXPECT_EQ(scores.code, StatusCode::kTimeout);
+  // Structurally valid even when aborted: chain populated, scores sized.
+  EXPECT_FALSE(scores.chain.empty());
+  EXPECT_EQ(scores.score.size(), scores.chain.size());
+}
+
+TEST(HimorBudgetTest, ExpiredBudgetFailsBothBuilders) {
+  Rng rng(70);
+  const Graph g = EnsureConnected(ErdosRenyi(40, 120, rng), rng);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const LcaIndex lca(d);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  Rng build_rng(1);
+  const Result<HimorIndex> serial =
+      HimorIndex::Build(m, d, lca, 5, build_rng, 16,
+                        Budget{Deadline::After(0.0)});
+  ASSERT_FALSE(serial.ok());
+  EXPECT_EQ(serial.status().code(), StatusCode::kTimeout);
+  const Result<HimorIndex> parallel = HimorIndex::BuildParallel(
+      m, d, lca, 5, /*seed=*/2, 16, /*num_threads=*/4,
+      Budget{Deadline::After(0.0)});
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.status().code(), StatusCode::kTimeout);
+}
+
+TEST(HimorBudgetTest, BuildFailpointFailsTheBuild) {
+  Rng rng(71);
+  const Graph g = EnsureConnected(ErdosRenyi(40, 120, rng), rng);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const LcaIndex lca(d);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  Rng build_rng(1);
+  ScopedFailpoint fp("himor/build", /*count=*/1);
+  const Result<HimorIndex> built =
+      HimorIndex::Build(m, d, lca, 5, build_rng, 16, Budget{});
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kIoError);
+  // The site is disarmed after one hit: the retry succeeds.
+  Rng retry_rng(1);
+  const Result<HimorIndex> retry =
+      HimorIndex::Build(m, d, lca, 5, retry_rng, 16, Budget{});
+  EXPECT_TRUE(retry.ok());
+}
+
+#if !defined(NDEBUG) && GTEST_HAS_DEATH_TEST
+TEST(QueryBatchDeathTest, BatchFromOwnPoolWorkerFailsFast) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  BudgetWorld w = MakeBudgetWorld(80);
+  const std::vector<QuerySpec> specs = MakeVariantSpecs(w.attrs, 4);
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.Submit([&] {
+          // Deadlock-prone misuse: the blocking caller occupies the very
+          // worker slot its chunk tasks need.
+          (void)w.engine->QueryBatch(specs, pool, /*batch_seed=*/1);
+        });
+        pool.WaitIdle();
+      },
+      "IsWorkerThread");
+}
+#endif  // !NDEBUG && GTEST_HAS_DEATH_TEST
 
 }  // namespace
 }  // namespace cod

@@ -18,7 +18,9 @@ namespace cod::testing {
 inline bool SameResult(const CodResult& a, const CodResult& b) {
   return a.found == b.found && a.members == b.members && a.rank == b.rank &&
          a.num_levels == b.num_levels &&
-         a.answered_from_index == b.answered_from_index;
+         a.answered_from_index == b.answered_from_index &&
+         a.code == b.code && a.degraded == b.degraded &&
+         a.variant_served == b.variant_served;
 }
 
 // Path 0-1-2-...-(n-1).
