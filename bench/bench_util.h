@@ -5,6 +5,10 @@
 //   --queries=N          queries per dataset (default set per bench)
 //   --datasets=a,b,c     comma-separated dataset names (default per bench)
 //   --seed=S             workload seed (default 1)
+//   --smoke              tiny workload for CI: proves the binary runs and
+//                        emits its machine-readable lines, not a benchmark
+//   --metrics-json=PATH  after the run, dump the process metrics registry
+//                        (common/metrics.h JsonDump) to PATH
 
 #ifndef COD_BENCH_BENCH_UTIL_H_
 #define COD_BENCH_BENCH_UTIL_H_
@@ -15,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/cod_engine.h"
 #include "eval/datasets.h"
 #include "eval/query_gen.h"
@@ -25,7 +30,9 @@ struct Flags {
   size_t queries = 0;
   std::vector<std::string> datasets;
   uint64_t seed = 1;
-  size_t threads = 1;  // worker threads for batch benches
+  size_t threads = 1;        // worker threads for batch benches
+  bool smoke = false;        // CI smoke run: minimal workload
+  std::string metrics_json;  // dump the metrics registry here ("" = don't)
 };
 
 inline Flags ParseFlags(int argc, char** argv, size_t default_queries,
@@ -42,6 +49,10 @@ inline Flags ParseFlags(int argc, char** argv, size_t default_queries,
     } else if (arg.rfind("--threads=", 0) == 0) {
       flags.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
       if (flags.threads == 0) flags.threads = 1;
+    } else if (arg == "--smoke") {
+      flags.smoke = true;
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      flags.metrics_json = arg.substr(15);
     } else if (arg.rfind("--datasets=", 0) == 0) {
       flags.datasets.clear();
       std::string list = arg.substr(11);
@@ -55,12 +66,32 @@ inline Flags ParseFlags(int argc, char** argv, size_t default_queries,
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (expected --queries= --datasets= "
-                   "--seed= --threads=)\n",
+                   "--seed= --threads= --smoke --metrics-json=)\n",
                    arg.c_str());
       std::exit(2);
     }
   }
+  if (flags.smoke && flags.queries > 20) flags.queries = 20;
   return flags;
+}
+
+// Writes MetricsRegistry::JsonDump() to flags.metrics_json if set (and
+// always prints it as a METRICS_JSON line for log scraping). Call at the
+// end of a bench's Run().
+inline int DumpMetrics(const Flags& flags) {
+  const std::string json = MetricsRegistry::Instance().JsonDump();
+  std::printf("METRICS_JSON %s\n", json.c_str());
+  if (flags.metrics_json.empty()) return 0;
+  std::FILE* f = std::fopen(flags.metrics_json.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 flags.metrics_json.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return 0;
 }
 
 inline AttributedGraph LoadDatasetOrDie(const std::string& name) {

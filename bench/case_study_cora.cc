@@ -26,6 +26,8 @@ int Run(int argc, char** argv) {
   CodEngine engine(data.graph, data.attributes, {});
   Rng rng(flags.seed);
   engine.BuildHimor(rng);
+  QueryWorkspace ws = engine.MakeWorkspace(0);
+  ws.rng() = rng;
 
   std::printf("== Case study (Sec. V-E analog): %s, k = %u ==\n\n",
               flags.datasets.front().c_str(), kK);
@@ -40,7 +42,7 @@ int Run(int argc, char** argv) {
   std::vector<std::pair<Query, CodResult>> fallback;
   for (const Query& query : candidates) {
     if (selected.size() >= flags.queries) break;
-    CodResult codl = engine.QueryCodL(query.node, query.attribute, kK, rng);
+    CodResult codl = engine.QueryCodL(query.node, query.attribute, kK, ws);
     if (!codl.found || codl.members.size() < 5) continue;
     if (!AtcSearch(data.graph, data.attributes, query.node, query.attribute)
              .empty()) {

@@ -126,11 +126,13 @@ void BM_CodlQuery(benchmark::State& state) {
   Rng rng(6);
   if (engine.himor() == nullptr) engine.BuildHimor(rng);
   const auto queries = GenerateQueries(data.attributes, 32, rng);
+  QueryWorkspace ws = engine.MakeWorkspace(0);
+  ws.rng() = rng;
   size_t i = 0;
   for (auto _ : state) {
     const Query& q = queries[i++ % queries.size()];
     benchmark::DoNotOptimize(
-        engine.QueryCodL(q.node, q.attribute, 5, rng).found);
+        engine.QueryCodL(q.node, q.attribute, 5, ws).found);
   }
 }
 BENCHMARK(BM_CodlQuery)->Unit(benchmark::kMillisecond);

@@ -96,7 +96,7 @@ int Run(int argc, char** argv) {
       "rung, eventually index-only) ones; timeouts appear only below the\n"
       "index lookup's own cost. Throughput RISES under pressure — the\n"
       "ladder sheds work instead of queueing it.\n");
-  return 0;
+  return DumpMetrics(flags);
 }
 
 }  // namespace

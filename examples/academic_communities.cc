@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   std::printf("building HIMOR index (|V|=%zu, |E|=%zu)...\n",
               data->graph.NumNodes(), data->graph.NumEdges());
   engine.BuildHimor(rng);
+  cod::QueryWorkspace ws = engine.MakeWorkspace(7);
 
   cod::Rng query_rng(11);
   const std::vector<cod::Query> candidates =
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
 
     const cod::CodResult community =
         engine.QueryCodL(candidate.node, candidate.attribute,
-                         engine.options().k, rng);
+                         engine.options().k, ws);
     if (!community.found) {
       std::printf("  no characteristic community: this author is not a top-%u"
                   " influencer at any scale\n",

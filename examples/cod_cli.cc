@@ -33,7 +33,10 @@ namespace {
 using cod::AttributedGraph;
 using cod::CodEngine;
 using cod::CodResult;
+using cod::CodVariant;
 using cod::EngineOptions;
+using cod::QuerySpec;
+using cod::QueryWorkspace;
 using cod::Rng;
 using cod::Status;
 
@@ -192,8 +195,28 @@ int CmdQuery(int argc, char** argv) {
   options.theta = flags.theta;
   CodEngine engine(data->graph, data->attributes, options);
   Rng rng(flags.seed);
-  CodResult result;
+  QueryWorkspace ws = engine.MakeWorkspace(flags.seed);
+
+  // Map the variant flag onto the canonical QuerySpec entry point.
+  QuerySpec spec;
+  spec.node = node;
+  spec.k = flags.k;
   if (flags.variant == "codl") {
+    spec.variant = CodVariant::kCodL;
+  } else if (flags.variant == "codl-") {
+    spec.variant = CodVariant::kCodLMinus;
+  } else if (flags.variant == "codr") {
+    spec.variant = CodVariant::kCodR;
+  } else if (flags.variant == "codu") {
+    spec.variant = CodVariant::kCodU;
+  } else {
+    std::fprintf(stderr, "unknown variant '%s'\n", flags.variant.c_str());
+    return 2;
+  }
+  if (spec.variant != CodVariant::kCodU) spec.attrs = {attr};
+
+  CodResult result;
+  if (spec.variant == CodVariant::kCodL) {
     if (!flags.index_path.empty()) {
       const Status loaded = engine.LoadHimor(flags.index_path);
       if (!loaded.ok()) return Fail(loaded);
@@ -201,22 +224,13 @@ int CmdQuery(int argc, char** argv) {
       std::printf("(no --index given: building HIMOR in memory)\n");
       engine.BuildHimor(rng);
     }
-    if (flags.explain) {
-      const auto explanation = engine.ExplainCodL(node, attr, flags.k, rng);
-      std::printf("%s", explanation.ToString(engine.base_hierarchy()).c_str());
-      result = explanation.result;
-    } else {
-      result = engine.QueryCodL(node, attr, flags.k, rng);
-    }
-  } else if (flags.variant == "codl-") {
-    result = engine.QueryCodLMinus(node, attr, flags.k, rng);
-  } else if (flags.variant == "codr") {
-    result = engine.QueryCodR(node, attr, flags.k, rng);
-  } else if (flags.variant == "codu") {
-    result = engine.QueryCodU(node, flags.k, rng);
+  }
+  if (flags.explain && spec.variant == CodVariant::kCodL) {
+    const auto explanation = engine.ExplainCodL(node, attr, flags.k, ws);
+    std::printf("%s", explanation.ToString(engine.base_hierarchy()).c_str());
+    result = explanation.result;
   } else {
-    std::fprintf(stderr, "unknown variant '%s'\n", flags.variant.c_str());
-    return 2;
+    result = engine.Query(spec, ws);
   }
 
   if (!result.found) {

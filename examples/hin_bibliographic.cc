@@ -121,12 +121,14 @@ int main(int argc, char** argv) {
   // COD on the projected graph.
   cod::CodEngine engine(projection->graph, attrs, {});
   engine.BuildHimorParallel(/*seed=*/23);
+  cod::QueryWorkspace ws = engine.MakeWorkspace(0);
+  ws.rng() = rng;
   cod::Rng query_rng(29);
   const std::vector<cod::Query> queries =
       cod::GenerateQueries(attrs, 5, query_rng);
   for (const cod::Query& q : queries) {
     const cod::CodResult r =
-        engine.QueryCodL(q.node, q.attribute, engine.options().k, rng);
+        engine.QueryCodL(q.node, q.attribute, engine.options().k, ws);
     std::printf("author %-5u topic %-7s -> ", q.node,
                 attrs.Name(q.attribute).c_str());
     if (!r.found) {

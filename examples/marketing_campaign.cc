@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   cod::Rng rng(3);
   std::printf("indexing influence ranks (HIMOR)...\n");
   engine.BuildHimor(rng);
+  cod::QueryWorkspace ws = engine.MakeWorkspace(3);
 
   cod::Rng candidate_rng(5);
   const std::vector<cod::Query> candidates =
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
 
   for (const cod::Query& candidate : candidates) {
     const cod::CodResult community = engine.QueryCodL(
-        candidate.node, candidate.attribute, engine.options().k, rng);
+        candidate.node, candidate.attribute, engine.options().k, ws);
     const double influence =
         simulator.EstimateInfluence(candidate.node, 200, rng);
     if (!community.found) {

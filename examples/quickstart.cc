@@ -37,13 +37,15 @@ int main() {
   options.theta = 200; // RR graphs per node (tiny graph -> sample generously)
   cod::CodEngine engine(graph, attrs, options);
 
-  // 4. Build the HIMOR index once, then query.
+  // 4. Build the HIMOR index once, then query through a workspace (one
+  //    workspace per thread; this example is single-threaded).
   cod::Rng rng(/*seed=*/42);
   engine.BuildHimor(rng);
+  cod::QueryWorkspace ws = engine.MakeWorkspace(/*seed=*/42);
 
   const cod::AttributeId topic = attrs.Find("DB");
   auto show = [&](cod::NodeId query, uint32_t k) {
-    const cod::CodResult result = engine.QueryCodL(query, topic, k, rng);
+    const cod::CodResult result = engine.QueryCodL(query, topic, k, ws);
     if (!result.found) {
       std::printf(
           "node %u is not a top-%u influencer in any DB community\n", query,
@@ -66,7 +68,7 @@ int main() {
   show(/*query=*/0, /*k=*/2);
 
   // Compare with the topic-blind variant to see what the attribute adds.
-  const cod::CodResult plain = engine.QueryCodU(/*query=*/0, /*k=*/2, rng);
+  const cod::CodResult plain = engine.QueryCodU(/*query=*/0, /*k=*/2, ws);
   std::printf("topic-blind characteristic community of node 0 (k=2): %zu "
               "members\n",
               plain.found ? plain.members.size() : 0);

@@ -1,5 +1,7 @@
 #include "common/failpoint.h"
 
+#include "common/metrics.h"
+
 namespace cod {
 
 Failpoints& Failpoints::Instance() {
@@ -46,6 +48,11 @@ bool Failpoints::ShouldFail(const char* name) {
     num_armed_.fetch_sub(1, std::memory_order_relaxed);
   }
   ++point.triggered;
+  // Operators alert on injected-fault rates the same way as on organic
+  // failures; the lookup is once per *armed* trip, so no hot-path cost.
+  static Counter* trips =
+      MetricsRegistry::Instance().GetCounter("cod_failpoint_trips_total");
+  trips->Increment();
   return true;
 }
 

@@ -1,0 +1,401 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cod {
+
+std::atomic<bool> MetricsRegistry::enabled_{true};
+
+namespace metrics_internal {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace metrics_internal
+
+using metrics_internal::kShards;
+using metrics_internal::ThisThreadShard;
+
+namespace {
+
+// %.9g keeps doubles round-trippable enough for dashboards while avoiding
+// the 17-digit noise of max_digits10.
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+// Splits "base{labels}" into base and the label body (empty when absent).
+std::pair<std::string_view, std::string_view> SplitLabels(
+    std::string_view name) {
+  const size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  std::string_view labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.remove_suffix(1);
+  return {name.substr(0, brace), labels};
+}
+
+// "base_bucket{labels,le=\"0.01\"} " — the sample name of one bucket line.
+void AppendBucketSample(std::string* out, std::string_view base,
+                        std::string_view labels, const char* le) {
+  out->append(base);
+  out->append("_bucket{");
+  if (!labels.empty()) {
+    out->append(labels);
+    out->append(",");
+  }
+  out->append("le=\"");
+  out->append(le);
+  out->append("\"} ");
+}
+
+// JSON string escaping for metric names (quotes and backslashes only; names
+// are ASCII identifiers plus label syntax).
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Counter --
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ------------------------------------------------------------------ Gauge --
+
+#if !defined(COD_METRICS_DISABLED)
+void Gauge::Set(double v) {
+  if (!MetricsRegistry::enabled()) return;
+  value_.store(v, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double d) {
+  if (!MetricsRegistry::enabled()) return;
+  value_.fetch_add(d, std::memory_order_relaxed);
+}
+#endif
+
+double Gauge::Value() const {
+  return value_.load(std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- Histogram --
+
+std::span<const double> Histogram::DefaultLatencyBounds() {
+  static const double kBounds[] = {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+                                   1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,
+                                   1.0,  2.5,    5.0,  10.0};
+  return kBounds;
+}
+
+Histogram::Histogram(std::string name, std::span<const double> bounds)
+    : name_(std::move(name)) {
+  if (bounds.empty()) bounds = DefaultLatencyBounds();
+  bounds_.assign(bounds.begin(), bounds.end());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    COD_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+  cells_ = std::vector<metrics_internal::Cell>(kShards *
+                                               (bounds_.size() + 1));
+}
+
+#if !defined(COD_METRICS_DISABLED)
+void Histogram::Observe(double value) {
+  if (!MetricsRegistry::enabled()) return;
+  // "le" is inclusive: a value equal to a bound belongs to that bound's
+  // bucket, so pick the first bound >= value.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  const size_t shard = ThisThreadShard();
+  cells_[shard * (bounds_.size() + 1) + bucket].value.fetch_add(
+      1, std::memory_order_relaxed);
+  sum_cells_[shard].value.fetch_add(value, std::memory_order_relaxed);
+  count_cells_[shard].value.fetch_add(1, std::memory_order_relaxed);
+}
+#endif
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& cell : count_cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& cell : sum_cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  const size_t num_buckets = bounds_.size() + 1;
+  std::vector<uint64_t> counts(num_buckets, 0);
+  for (size_t s = 0; s < kShards; ++s) {
+    for (size_t b = 0; b < num_buckets; ++b) {
+      counts[b] +=
+          cells_[s * num_buckets + b].value.load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+// --------------------------------------------------------------- Registry --
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never dies
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end()) return it->second;
+  Counter* created = counters_.emplace_back(
+      std::unique_ptr<Counter>(new Counter(std::string(name)))).get();
+  counter_index_.emplace(created->name_, created);
+  return created;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauge_index_.find(std::string(name));
+  if (it != gauge_index_.end()) return it->second;
+  Gauge* created = gauges_.emplace_back(
+      std::unique_ptr<Gauge>(new Gauge(std::string(name)))).get();
+  gauge_index_.emplace(created->name_, created);
+  return created;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histogram_index_.find(std::string(name));
+  if (it != histogram_index_.end()) return it->second;
+  Histogram* created = histograms_.emplace_back(
+      std::unique_ptr<Histogram>(new Histogram(std::string(name), bounds)))
+      .get();
+  histogram_index_.emplace(created->name_, created);
+  return created;
+}
+
+uint64_t MetricsRegistry::RegisterCallbackGauge(std::string name,
+                                                std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_callback_id_++;
+  callback_gauges_.push_back(CallbackGauge{id, std::move(name),
+                                           std::move(fn)});
+  return id;
+}
+
+void MetricsRegistry::UnregisterCallbackGauge(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(callback_gauges_,
+                [id](const CallbackGauge& g) { return g.id == id; });
+}
+
+std::string MetricsRegistry::ExpositionText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  std::unordered_set<std::string_view> typed;
+
+  for (const auto& cp : counters_) {
+    const Counter& c = *cp;
+    const auto [base, labels] = SplitLabels(c.name_);
+    if (typed.insert(base).second) {
+      out += "# TYPE ";
+      out += base;
+      out += " counter\n";
+    }
+    out += c.name_;
+    out += " ";
+    AppendUint(&out, c.Value());
+    out += "\n";
+  }
+
+  for (const auto& gp : gauges_) {
+    const Gauge& g = *gp;
+    const auto [base, labels] = SplitLabels(g.name_);
+    if (typed.insert(base).second) {
+      out += "# TYPE ";
+      out += base;
+      out += " gauge\n";
+    }
+    out += g.name_;
+    out += " ";
+    AppendDouble(&out, g.Value());
+    out += "\n";
+  }
+
+  for (const CallbackGauge& g : callback_gauges_) {
+    const auto [base, labels] = SplitLabels(std::string_view(g.name));
+    if (typed.insert(base).second) {
+      out += "# TYPE ";
+      out += base;
+      out += " gauge\n";
+    }
+    out += g.name;
+    out += " ";
+    AppendDouble(&out, g.fn());
+    out += "\n";
+  }
+
+  for (const auto& hp : histograms_) {
+    const Histogram& h = *hp;
+    const auto [base, labels] = SplitLabels(h.name_);
+    if (typed.insert(base).second) {
+      out += "# TYPE ";
+      out += base;
+      out += " histogram\n";
+    }
+    const std::vector<uint64_t> counts = h.BucketCounts();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.bounds_.size(); ++b) {
+      cumulative += counts[b];
+      char le[64];
+      std::snprintf(le, sizeof(le), "%.9g", h.bounds_[b]);
+      AppendBucketSample(&out, base, labels, le);
+      AppendUint(&out, cumulative);
+      out += "\n";
+    }
+    cumulative += counts.back();
+    AppendBucketSample(&out, base, labels, "+Inf");
+    AppendUint(&out, cumulative);
+    out += "\n";
+
+    const auto suffixed = [&](const char* suffix) {
+      out += base;
+      out += suffix;
+      if (!labels.empty()) {
+        out += "{";
+        out += labels;
+        out += "}";
+      }
+      out += " ";
+    };
+    suffixed("_sum");
+    AppendDouble(&out, h.Sum());
+    out += "\n";
+    suffixed("_count");
+    AppendUint(&out, cumulative);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonDump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& cp : counters_) {
+    const Counter& c = *cp;
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, c.name_);
+    out += ":";
+    AppendUint(&out, c.Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& gp : gauges_) {
+    const Gauge& g = *gp;
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, g.name_);
+    out += ":";
+    AppendDouble(&out, g.Value());
+  }
+  for (const CallbackGauge& g : callback_gauges_) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, g.name);
+    out += ":";
+    AppendDouble(&out, g.fn());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& hp : histograms_) {
+    const Histogram& h = *hp;
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, h.name_);
+    out += ":{\"count\":";
+    AppendUint(&out, h.Count());
+    out += ",\"sum\":";
+    AppendDouble(&out, h.Sum());
+    out += ",\"bounds\":[";
+    for (size_t b = 0; b < h.bounds_.size(); ++b) {
+      if (b > 0) out += ",";
+      AppendDouble(&out, h.bounds_[b]);
+    }
+    out += "],\"counts\":[";
+    const std::vector<uint64_t> counts = h.BucketCounts();
+    for (size_t b = 0; b < counts.size(); ++b) {
+      if (b > 0) out += ",";
+      AppendUint(&out, counts[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& cp : counters_) {
+    Counter& c = *cp;
+    for (auto& cell : c.cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& gp : gauges_) {
+    Gauge& g = *gp;
+    g.value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& hp : histograms_) {
+    Histogram& h = *hp;
+    for (auto& cell : h.cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+    for (auto& cell : h.sum_cells_) {
+      cell.value.store(0.0, std::memory_order_relaxed);
+    }
+    for (auto& cell : h.count_cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace cod

@@ -1,0 +1,265 @@
+// Serving-stack observability: a process-wide registry of named counters,
+// gauges, and fixed-bucket latency histograms.
+//
+// Design goals, in order:
+//  1. Hot-path cost. Every event is one relaxed atomic add into a
+//     per-thread-sharded, cache-line-padded cell — no locks, no CAS loops,
+//     no clock reads beyond what the caller already measured. Shards are
+//     merged only on scrape (ExpositionText / JsonDump / Value), which is
+//     the cold path.
+//  2. Cheap off switch. MetricsRegistry::SetEnabled(false) turns every
+//     event into a single relaxed load + branch; defining
+//     COD_METRICS_DISABLED at compile time removes even that (events become
+//     empty inline functions; the registry itself still links so scrape
+//     endpoints keep working and report zeros).
+//  3. Handle-oriented API. Look a metric up ONCE (under the registry lock)
+//     and keep the returned pointer — handles are never invalidated, so the
+//     serving path touches the lock only at first use:
+//
+//         static Counter* hits =
+//             MetricsRegistry::Instance().GetCounter("cod_index_hits_total");
+//         hits->Increment();
+//
+// Label convention: Prometheus-style labels are part of the metric name
+// string, e.g. "cod_query_latency_seconds{variant=\"codl\"}". The
+// exposition splices histogram suffixes (_bucket/_sum/_count) and the "le"
+// label into the right place.
+//
+// Metrics are process-wide and cumulative: two services incrementing the
+// same name share one time series, exactly like two handlers sharing one
+// Prometheus counter.
+
+#ifndef COD_COMMON_METRICS_H_
+#define COD_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace cod {
+
+class MetricsRegistry;
+
+namespace metrics_internal {
+
+// Shard count: enough to keep a few serving threads off each other's cache
+// lines without bloating every metric. Threads are assigned round-robin.
+inline constexpr size_t kShards = 16;
+
+// One padded atomic cell; a full array of these is one shard row.
+struct alignas(64) Cell {
+  std::atomic<uint64_t> value{0};
+};
+
+// Padded double cell for histogram sums (fetch_add on atomic<double> is
+// C++20; shard-local, so contention — and thus its internal CAS — is rare).
+struct alignas(64) DoubleCell {
+  std::atomic<double> value{0.0};
+};
+
+// Stable per-thread shard index in [0, kShards).
+size_t ThisThreadShard();
+
+}  // namespace metrics_internal
+
+// Monotonic counter. Increment is wait-free; Value() merges the shards.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1);
+  uint64_t Value() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  metrics_internal::Cell cells_[metrics_internal::kShards];
+};
+
+// Settable point-in-time value (epoch number, pool size, ...). Writes are
+// rare, so a single atomic cell suffices.
+class Gauge {
+ public:
+  void Set(double v);
+  void Add(double d);
+  double Value() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram (Prometheus semantics: bucket counts are
+// cumulative in the exposition, "le" upper bounds, implicit +Inf bucket).
+// Observe is wait-free: one relaxed add into the bucket cell plus relaxed
+// adds into the sum/count cells of the caller's shard.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  // Merged scrape-side views.
+  uint64_t Count() const;
+  double Sum() const;
+  // Per-bucket (non-cumulative) counts; index bounds().size() is +Inf.
+  std::vector<uint64_t> BucketCounts() const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  // Default latency buckets: 100us .. 10s, roughly 1-2.5-5 per decade.
+  static std::span<const double> DefaultLatencyBounds();
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::span<const double> bounds);
+
+  std::string name_;
+  std::vector<double> bounds_;  // strictly increasing upper bounds
+  // cells_[shard * (bounds_.size() + 1) + bucket].
+  std::vector<metrics_internal::Cell> cells_;
+  metrics_internal::DoubleCell sum_cells_[metrics_internal::kShards];
+  metrics_internal::Cell count_cells_[metrics_internal::kShards];
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  // Find-or-create by full name (labels included). The returned handle is
+  // stable for the process lifetime; repeated calls return the same object.
+  // Takes the registry lock — call once and cache the handle on hot paths.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  // `bounds` must be strictly increasing; empty uses the default latency
+  // buckets. Bounds are fixed at creation (later calls ignore them).
+  Histogram* GetHistogram(std::string_view name,
+                          std::span<const double> bounds = {});
+
+  // Callback gauges are evaluated at scrape time (epoch age, queue depth —
+  // values that only exist as "now minus something"). The callback runs
+  // under the registry lock and must not call back into the registry.
+  // Returns an id for Unregister; see ScopedCallbackGauge for the RAII form.
+  uint64_t RegisterCallbackGauge(std::string name,
+                                 std::function<double()> fn);
+  void UnregisterCallbackGauge(uint64_t id);
+
+  // Prometheus text exposition: counters and gauges as single samples,
+  // histograms as _bucket{le=...}/_sum/_count families, callback gauges
+  // evaluated inline. Metrics appear in registration order.
+  std::string ExpositionText() const;
+  // One JSON object for benches and dashboards:
+  //   {"counters":{...},"gauges":{...},"histograms":{name:{"count":..,
+  //    "sum":..,"buckets":[..]}}}
+  std::string JsonDump() const;
+
+  // Runtime off switch: while disabled, Increment/Observe/Set are one
+  // relaxed load + branch. Scrapes still work (values freeze).
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  static bool enabled() {
+#if defined(COD_METRICS_DISABLED)
+    return false;
+#else
+    return enabled_.load(std::memory_order_relaxed);
+#endif
+  }
+
+  // Zeroes every cell and gauge (registrations and handles survive). Tests
+  // only — concurrent writers may re-add pre-reset deltas... their events,
+  // not corruption.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  struct CallbackGauge {
+    uint64_t id;
+    std::string name;
+    std::function<double()> fn;
+  };
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mu_;
+  // unique_ptr storage: handle addresses must survive container growth, and
+  // the metric types are immovable (they hold atomics).
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+  std::unordered_map<std::string, Counter*> counter_index_;
+  std::unordered_map<std::string, Gauge*> gauge_index_;
+  std::unordered_map<std::string, Histogram*> histogram_index_;
+  std::vector<CallbackGauge> callback_gauges_;
+  uint64_t next_callback_id_ = 1;
+};
+
+// RAII registration of a scrape-time callback gauge; unregisters on
+// destruction so a dying owner can never leave a dangling callback behind.
+class ScopedCallbackGauge {
+ public:
+  ScopedCallbackGauge(std::string name, std::function<double()> fn)
+      : id_(MetricsRegistry::Instance().RegisterCallbackGauge(
+            std::move(name), std::move(fn))) {}
+  ~ScopedCallbackGauge() {
+    MetricsRegistry::Instance().UnregisterCallbackGauge(id_);
+  }
+  ScopedCallbackGauge(const ScopedCallbackGauge&) = delete;
+  ScopedCallbackGauge& operator=(const ScopedCallbackGauge&) = delete;
+
+ private:
+  uint64_t id_;
+};
+
+// Times a stage and records the elapsed seconds into `histogram` on
+// destruction. A null histogram (or disabled registry) records nothing.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {}
+  ~ScopedTimer() {
+#if !defined(COD_METRICS_DISABLED)
+    if (histogram_ != nullptr && MetricsRegistry::enabled()) {
+      histogram_->Observe(timer_.ElapsedSeconds());
+    }
+#endif
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  Histogram* histogram_;
+  WallTimer timer_;
+};
+
+#if defined(COD_METRICS_DISABLED)
+inline void Counter::Increment(uint64_t) {}
+inline void Gauge::Set(double) {}
+inline void Gauge::Add(double) {}
+inline void Histogram::Observe(double) {}
+#else
+inline void Counter::Increment(uint64_t n) {
+  if (!MetricsRegistry::enabled()) return;
+  cells_[metrics_internal::ThisThreadShard()].value.fetch_add(
+      n, std::memory_order_relaxed);
+}
+#endif
+
+}  // namespace cod
+
+#endif  // COD_COMMON_METRICS_H_

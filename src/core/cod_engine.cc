@@ -29,6 +29,13 @@ CodResult CodEngine::WithCallerRng(Rng& rng, Fn&& fn) {
   return result;
 }
 
+// Definitions of the deprecated Rng-form forwarders (some compilers warn on
+// out-of-line definitions of [[deprecated]] members).
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 CodResult CodEngine::QueryCodU(NodeId q, uint32_t k, Rng& rng) {
   return WithCallerRng(rng, [&](QueryWorkspace& ws) {
     return core_->QueryCodU(q, k, ws);
@@ -77,6 +84,10 @@ CodResult CodEngine::QueryCodL(NodeId q, std::span<const AttributeId> attrs,
     return core_->QueryCodL(q, attrs, k, ws);
   });
 }
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 CodEngine::QueryExplanation CodEngine::ExplainCodL(NodeId q, AttributeId attr,
                                                    uint32_t k, Rng& rng) {

@@ -86,6 +86,12 @@ class CodEngine {
     return core_->BuildCodlChain(q, attrs);
   }
 
+  // The canonical query entry point (see EngineCore::Query): dispatches on
+  // spec.variant, fills result.stats, and records per-variant metrics.
+  CodResult Query(const QuerySpec& spec, QueryWorkspace& ws) const {
+    return core_->Query(spec, ws);
+  }
+
   // ---- Query variants, workspace form: const and thread-safe (one
   // workspace per thread). Each attributed variant also accepts a topic SET
   // (an edge counts as query-attributed when both endpoints carry at least
@@ -120,15 +126,29 @@ class CodEngine {
 
   // ---- Query variants, legacy Rng form: single-threaded convenience that
   // routes through one internal workspace while consuming the caller's RNG
-  // stream exactly as before the core/workspace split. ----
+  // stream exactly as before the core/workspace split.
+  //
+  // DEPRECATED: migrate to the workspace form (MakeWorkspace once, then the
+  // const QueryCodX(..., ws) overloads or Query(spec, ws)) — it is
+  // thread-safe and carries per-query stats. The Rng form draws the same
+  // stream as a workspace whose rng() was assigned the caller's Rng, so
+  // migration is mechanical (engine_core_test.cc pins the equivalence).
+  // These forwarders will be removed once nothing in-repo uses them. ----
+  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
   CodResult QueryCodU(NodeId q, uint32_t k, Rng& rng);
+  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
   CodResult QueryCodR(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
+  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
   CodResult QueryCodR(NodeId q, std::span<const AttributeId> attrs,
                       uint32_t k, Rng& rng);
+  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
   CodResult QueryCodLMinus(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
+  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
   CodResult QueryCodLMinus(NodeId q, std::span<const AttributeId> attrs,
                            uint32_t k, Rng& rng);
+  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
   CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
+  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
   CodResult QueryCodL(NodeId q, std::span<const AttributeId> attrs,
                       uint32_t k, Rng& rng);
 

@@ -1,7 +1,10 @@
 #include "core/compressed_eval.h"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
+
+#include "common/failpoint.h"
 
 namespace cod {
 namespace {
@@ -74,6 +77,9 @@ void CompressedEvaluator::Rebind(const DiffusionModel& model, uint32_t theta) {
   theta_ = theta;
   sampler_.Rebind(model);
   last_explored_nodes_ = 0;
+  last_samples_ = 0;
+  last_sample_seconds_ = 0.0;
+  last_eval_seconds_ = 0.0;
 }
 
 ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
@@ -89,6 +95,10 @@ ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
   std::vector<std::unordered_map<NodeId, uint32_t>> buckets(num_levels);
   if (level_queue_.size() < num_levels) level_queue_.resize(num_levels);
   last_explored_nodes_ = 0;
+  last_samples_ = 0;
+  last_sample_seconds_ = 0.0;
+  last_eval_seconds_ = 0.0;
+  const auto stage1_start = std::chrono::steady_clock::now();
 
   // Min-heap of pending non-empty levels so sparse chains don't pay O(L)
   // per RR graph.
@@ -98,15 +108,24 @@ ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
   for (NodeId source : chain.universe) {
     for (uint32_t t = 0; t < theta_; ++t) {
       // Check between samples only: here the level queues are drained and
-      // pending_levels is empty, so aborting leaves no dirty scratch.
-      const StatusCode budget_code = budget.ExhaustedCode();
+      // pending_levels is empty, so aborting leaves no dirty scratch. The
+      // "rr/sample" failpoint injects a mid-evaluation abort at the same
+      // clean point (tests of partial-work unwinding).
+      const StatusCode budget_code = COD_FAILPOINT("rr/sample")
+                                         ? StatusCode::kCancelled
+                                         : budget.ExhaustedCode();
       if (budget_code != StatusCode::kOk) {
+        last_sample_seconds_ = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   stage1_start)
+                                   .count();
         ChainEvalOutcome aborted;
         aborted.code = budget_code;
         return aborted;
       }
       sampler_.SampleRestricted(source, chain.in_universe, rng, &rr_);
       last_explored_nodes_ += rr_.NumNodes();
+      ++last_samples_;
 
       const size_t n_local = rr_.NumNodes();
       if (queued_.size() < n_local) queued_.resize(n_local);
@@ -139,6 +158,10 @@ ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
     }
   }
 
+  const auto stage2_start = std::chrono::steady_clock::now();
+  last_sample_seconds_ =
+      std::chrono::duration<double>(stage2_start - stage1_start).count();
+
   // --- Stage 2: incremental top-k evaluation. ---
   ChainEvalOutcome outcome;
   outcome.rank_per_level.resize(num_levels);
@@ -160,6 +183,9 @@ ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
       outcome.rank_at_best = rank;
     }
   }
+  last_eval_seconds_ = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - stage2_start)
+                           .count();
   return outcome;
 }
 

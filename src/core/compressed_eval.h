@@ -75,11 +75,22 @@ class CompressedEvaluator {
   // paper's analysis); exposed for the Fig. 8 sample-cost comparison.
   size_t last_explored_nodes() const { return last_explored_nodes_; }
 
+  // ---- Per-call instrumentation of the last Evaluate (QueryStats feed). --
+  // RR graphs actually drawn (theta * |universe| when not aborted early).
+  uint64_t last_samples() const { return last_samples_; }
+  // Stage 1 (shared sample generation + HFS bucketing) wall seconds.
+  double last_sample_seconds() const { return last_sample_seconds_; }
+  // Stage 2 (incremental top-k evaluation) wall seconds.
+  double last_eval_seconds() const { return last_eval_seconds_; }
+
  private:
   const DiffusionModel* model_;
   uint32_t theta_;
   RrSampler sampler_;
   size_t last_explored_nodes_ = 0;
+  uint64_t last_samples_ = 0;
+  double last_sample_seconds_ = 0.0;
+  double last_eval_seconds_ = 0.0;
 
   // Reusable per-query scratch (sized lazily to the graph).
   RrGraph rr_;

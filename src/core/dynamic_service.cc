@@ -8,6 +8,37 @@
 #include "common/thread_pool.h"
 
 namespace cod {
+namespace {
+
+// Registry handles for the rebuild counters, resolved once. IMPORTANT:
+// resolve BEFORE taking mu_ — first use takes the registry lock, and the
+// scrape path orders registry lock -> mu_ (callback gauges), so resolving
+// under mu_ would invert it.
+struct RebuildSites {
+  Counter* attempts;
+  Counter* failures;
+  Counter* retries;
+  Counter* published;
+};
+
+const RebuildSites& RebuildMetrics() {
+  static const RebuildSites sites = [] {
+    MetricsRegistry& reg = MetricsRegistry::Instance();
+    return RebuildSites{reg.GetCounter("cod_rebuild_attempts_total"),
+                        reg.GetCounter("cod_rebuild_failures_total"),
+                        reg.GetCounter("cod_rebuild_retries_total"),
+                        reg.GetCounter("cod_epochs_published_total")};
+  }();
+  return sites;
+}
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 uint64_t DynamicCodService::EdgeKey(NodeId u, NodeId v, size_t n) {
   if (u > v) std::swap(u, v);
@@ -32,6 +63,21 @@ DynamicCodService::DynamicCodService(Graph initial_graph,
   // to fall back to, a failure here is fatal (arm rebuild failpoints only
   // after construction).
   COD_CHECK(Refresh().ok());
+
+  // Register the scrape-time gauges only once the first epoch is live, so a
+  // scrape can never observe a half-constructed service.
+  epoch_gauge_.emplace("cod_service_epoch", [this] {
+    return static_cast<double>(published_.load()->epoch);
+  });
+  epoch_age_gauge_.emplace("cod_service_epoch_age_seconds", [this] {
+    return static_cast<double>(
+               SteadyNowNs() -
+               last_publish_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  });
+  pending_gauge_.emplace("cod_service_pending_updates", [this] {
+    return static_cast<double>(pending_updates());
+  });
 }
 
 DynamicCodService::~DynamicCodService() { WaitForRebuild(); }
@@ -114,9 +160,11 @@ void DynamicCodService::PublishEpoch(std::shared_ptr<const EngineCore> core) {
   next->epoch = (prev == nullptr ? 0 : prev->epoch) + 1;
   next->core = std::move(core);
   published_.store(std::move(next));
+  last_publish_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
 }
 
 Status DynamicCodService::Refresh() {
+  const RebuildSites& rm = RebuildMetrics();  // resolve before taking mu_
   EdgeMap edges;
   uint64_t build_index = 0;
   size_t captured_pending = 0;
@@ -130,6 +178,7 @@ Status DynamicCodService::Refresh() {
   snapshot_edges_ = edges_.size();
   pending_updates_ = 0;
   ++stats_.attempts;
+  rm.attempts->Increment();
   lock.unlock();
 
   Result<std::shared_ptr<const EngineCore>> built =
@@ -143,8 +192,10 @@ Status DynamicCodService::Refresh() {
   lock.lock();
   if (built.ok()) {
     ++stats_.published;
+    rm.published->Increment();
   } else {
     ++stats_.failures;
+    rm.failures->Increment();
     stats_.last_error = built.status();
     // Restore the absorbed pending count so the drift threshold (or the
     // caller) can trigger another attempt; updates that arrived during the
@@ -175,11 +226,13 @@ void DynamicCodService::AsyncRebuildLoop(EdgeMap edges, uint64_t build_index,
   // rebuild_in_flight_ stays true across every retry: RefreshAsync keeps
   // deduping, Refresh() and the destructor keep waiting, exactly as for one
   // long build.
+  const RebuildSites& rm = RebuildMetrics();  // resolve before taking mu_
   uint32_t backoff_ms = options_.rebuild_backoff_initial_ms;
   for (uint32_t attempt = 0;; ++attempt) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.attempts;
+      rm.attempts->Increment();
     }
     Result<std::shared_ptr<const EngineCore>> built =
         BuildEpochCore(edges, build_index);
@@ -188,12 +241,14 @@ void DynamicCodService::AsyncRebuildLoop(EdgeMap edges, uint64_t build_index,
       // Notify under the lock — see Refresh().
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.published;
+      rm.published->Increment();
       rebuild_in_flight_ = false;
       rebuild_done_.notify_all();
       return;
     }
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.failures;
+    rm.failures->Increment();
     stats_.last_error = built.status();
     if (attempt >= options_.max_rebuild_retries) {
       // Give up: the last good epoch keeps serving; restoring the captured
@@ -204,6 +259,7 @@ void DynamicCodService::AsyncRebuildLoop(EdgeMap edges, uint64_t build_index,
       return;
     }
     ++stats_.retries;
+    rm.retries->Increment();
     lock.unlock();
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
     backoff_ms = std::min(options_.rebuild_backoff_max_ms, backoff_ms * 2);

@@ -48,8 +48,10 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "core/cod_engine.h"
 
 namespace cod {
@@ -204,6 +206,18 @@ class DynamicCodService {
   // RCU-style publication point; readers atomically load, writers
   // atomically store a fresh Epoch. Never null after construction.
   std::atomic<std::shared_ptr<const Epoch>> published_;
+
+  // steady_clock time of the last PublishEpoch, as nanoseconds since the
+  // clock's epoch; feeds the epoch-age callback gauge.
+  std::atomic<int64_t> last_publish_ns_{0};
+
+  // Scrape-time gauges (epoch number / age, pending updates), registered at
+  // the end of construction and RAII-unregistered before the state they read
+  // is destroyed. Two live services emit one sample each under the same
+  // name — like two replicas scraping alike.
+  std::optional<ScopedCallbackGauge> epoch_gauge_;
+  std::optional<ScopedCallbackGauge> epoch_age_gauge_;
+  std::optional<ScopedCallbackGauge> pending_gauge_;
 };
 
 }  // namespace cod

@@ -1,9 +1,12 @@
 #include "core/engine_core.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
+#include "common/metrics.h"
 #include "core/query_workspace.h"
 
 namespace cod {
@@ -34,7 +37,104 @@ CodResult BudgetExhaustedResult(StatusCode code, CodVariant variant) {
   return result;
 }
 
+// Accumulates the enclosing scope's wall time into a QueryStats field.
+// Early returns still record (destructor fires on unwind).
+class StageTimer {
+ public:
+  explicit StageTimer(double* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() {
+    *sink_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start_)
+                  .count();
+  }
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Registry handles for one variant's per-query series, resolved once per
+// process (the registry mutex is only taken on first use).
+struct VariantSites {
+  Histogram* latency;
+  Counter* ok;
+  Counter* timeout;
+  Counter* cancelled;
+};
+
+const VariantSites& SitesFor(CodVariant variant) {
+  static const std::array<VariantSites, 5> sites = [] {
+    std::array<VariantSites, 5> s{};
+    MetricsRegistry& reg = MetricsRegistry::Instance();
+    for (size_t i = 0; i < s.size(); ++i) {
+      const std::string v = CodVariantName(static_cast<CodVariant>(i));
+      s[i].latency = reg.GetHistogram("cod_query_latency_seconds{variant=\"" +
+                                      v + "\"}");
+      s[i].ok = reg.GetCounter("cod_queries_total{variant=\"" + v +
+                               "\",outcome=\"ok\"}");
+      s[i].timeout = reg.GetCounter("cod_queries_total{variant=\"" + v +
+                                    "\",outcome=\"timeout\"}");
+      s[i].cancelled = reg.GetCounter("cod_queries_total{variant=\"" + v +
+                                      "\",outcome=\"cancelled\"}");
+    }
+    return s;
+  }();
+  return sites[static_cast<size_t>(variant)];
+}
+
+// Stage histograms and sampling counters shared by every variant.
+struct StageSites {
+  Histogram* chain_build;
+  Histogram* lore_scan;
+  Histogram* sample;
+  Histogram* eval;
+  Counter* rr_samples;
+  Counter* index_hits;
+  Counter* codr_cache_hits;
+  Counter* codr_cache_misses;
+};
+
+const StageSites& Stages() {
+  static const StageSites sites = [] {
+    MetricsRegistry& reg = MetricsRegistry::Instance();
+    StageSites s{};
+    s.chain_build =
+        reg.GetHistogram("cod_query_stage_seconds{stage=\"chain_build\"}");
+    s.lore_scan =
+        reg.GetHistogram("cod_query_stage_seconds{stage=\"lore_scan\"}");
+    s.sample =
+        reg.GetHistogram("cod_query_stage_seconds{stage=\"rr_sampling\"}");
+    s.eval = reg.GetHistogram("cod_query_stage_seconds{stage=\"evaluation\"}");
+    s.rr_samples = reg.GetCounter("cod_rr_samples_total");
+    s.index_hits = reg.GetCounter("cod_index_hits_total");
+    s.codr_cache_hits = reg.GetCounter("cod_codr_cache_hits_total");
+    s.codr_cache_misses = reg.GetCounter("cod_codr_cache_misses_total");
+    return s;
+  }();
+  return sites;
+}
+
 }  // namespace
+
+const char* CodVariantName(CodVariant variant) {
+  switch (variant) {
+    case CodVariant::kCodU:
+      return "codu";
+    case CodVariant::kCodR:
+      return "codr";
+    case CodVariant::kCodLMinus:
+      return "codl_minus";
+    case CodVariant::kCodL:
+      return "codl";
+    case CodVariant::kCodUIndexed:
+      return "codu_indexed";
+  }
+  COD_CHECK(false);
+  return "unknown";
+}
 
 EngineCore::EngineCore(std::shared_ptr<const Graph> graph,
                        std::shared_ptr<const AttributeTable> attrs,
@@ -86,14 +186,17 @@ LoreChain EngineCore::BuildCodlChain(NodeId q, AttributeId attr) const {
 
 LoreChain EngineCore::BuildCodlChain(
     NodeId q, std::span<const AttributeId> attrs) const {
-  return BuildCodlChainFromScores(
+  // An unlimited budget never aborts, so the Result form cannot fail here.
+  Result<LoreChain> built = BuildCodlChainFromScores(
       ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attrs), q,
-      attrs);
+      attrs, Budget{});
+  COD_CHECK(built.ok());
+  return std::move(built).value();
 }
 
-LoreChain EngineCore::BuildCodlChainFromScores(
-    const LoreScores& scores, NodeId q,
-    std::span<const AttributeId> attrs) const {
+Result<LoreChain> EngineCore::BuildCodlChainFromScores(
+    const LoreScores& scores, NodeId q, std::span<const AttributeId> attrs,
+    const Budget& budget) const {
   COD_DCHECK(scores.code == StatusCode::kOk);
   LoreChain out;
   out.c_ell = scores.Selected();
@@ -102,7 +205,9 @@ LoreChain EngineCore::BuildCodlChainFromScores(
   const auto members = base_.Members(out.c_ell);
   const InducedSubgraph sub = BuildAttributeWeightedSubgraph(
       *graph_, *attrs_, attrs, options_.transform, members);
-  const Dendrogram local = AgglomerativeCluster(sub.graph);
+  Result<Dendrogram> local =
+      AgglomerativeCluster(sub.graph, AgglomerativeOptions{}, budget);
+  if (!local.ok()) return local.status();
   NodeId local_q = kInvalidNode;
   for (size_t i = 0; i < sub.to_parent.size(); ++i) {
     if (sub.to_parent[i] == q) {
@@ -111,7 +216,7 @@ LoreChain EngineCore::BuildCodlChainFromScores(
     }
   }
   COD_CHECK(local_q != kInvalidNode);
-  out.chain = BuildChainFromDendrogram(local, local_q, kInvalidCommunity,
+  out.chain = BuildChainFromDendrogram(*local, local_q, kInvalidCommunity,
                                        &sub.to_parent, graph_->NumNodes());
   out.local_levels = out.chain.NumLevels();
 
@@ -142,6 +247,11 @@ CodResult EngineCore::EvaluateChain(const CodChain& chain, NodeId q,
   COD_DCHECK(ws.bound_core() == this);  // Rebind the workspace to this core
   const ChainEvalOutcome outcome =
       ws.evaluator().Evaluate(chain, q, k, ws.rng(), ws.budget());
+  QueryStats& st = ws.stats();
+  st.sample_seconds += ws.evaluator().last_sample_seconds();
+  st.eval_seconds += ws.evaluator().last_eval_seconds();
+  st.rr_samples += ws.evaluator().last_samples();
+  st.explored_nodes += ws.evaluator().last_explored_nodes();
   CodResult result;
   result.num_levels = chain.NumLevels();
   result.code = outcome.code;
@@ -154,60 +264,263 @@ CodResult EngineCore::EvaluateChain(const CodChain& chain, NodeId q,
   return result;
 }
 
+CodResult EngineCore::Query(const QuerySpec& spec, QueryWorkspace& ws) const {
+  COD_DCHECK(ws.bound_core() == this);
+  ws.stats() = QueryStats{};
+  const uint32_t k = spec.k == 0 ? options_.k : spec.k;
+  const auto start = std::chrono::steady_clock::now();
+  CodResult result;
+  switch (spec.variant) {
+    case CodVariant::kCodU:
+      result = DoCodU(spec.node, k, ws);
+      break;
+    case CodVariant::kCodUIndexed:
+      result = DoCodUIndexed(spec.node, k);
+      break;
+    case CodVariant::kCodR:
+      result = spec.attrs.size() == 1
+                   ? DoCodRSingle(spec.node, spec.attrs[0], k, ws)
+                   : DoCodRSpan(spec.node, spec.attrs, k, ws);
+      break;
+    case CodVariant::kCodLMinus:
+      result = DoCodLMinus(spec.node, spec.attrs, k, ws);
+      break;
+    case CodVariant::kCodL:
+      result = DoCodL(spec.node, spec.attrs, k, ws);
+      break;
+  }
+  QueryStats& st = ws.stats();
+  if (result.answered_from_index) st.index_hit = true;
+  st.levels_examined = result.num_levels;
+  result.stats = st;
+
+  if (MetricsRegistry::enabled()) {
+    const double total = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    const VariantSites& vs = SitesFor(spec.variant);
+    vs.latency->Observe(total);
+    switch (result.code) {
+      case StatusCode::kOk:
+        vs.ok->Increment();
+        break;
+      case StatusCode::kTimeout:
+        vs.timeout->Increment();
+        break;
+      case StatusCode::kCancelled:
+        vs.cancelled->Increment();
+        break;
+      default:
+        break;
+    }
+    const StageSites& ss = Stages();
+    if (st.chain_build_seconds > 0.0) {
+      ss.chain_build->Observe(st.chain_build_seconds);
+    }
+    if (st.lore_scan_seconds > 0.0) ss.lore_scan->Observe(st.lore_scan_seconds);
+    if (st.sample_seconds > 0.0) ss.sample->Observe(st.sample_seconds);
+    if (st.eval_seconds > 0.0) ss.eval->Observe(st.eval_seconds);
+    if (st.rr_samples > 0) ss.rr_samples->Increment(st.rr_samples);
+    if (st.index_hit) ss.index_hits->Increment();
+    if (spec.variant == CodVariant::kCodR && spec.attrs.size() == 1 &&
+        options_.cache_codr_hierarchies) {
+      (st.codr_cache_hit ? ss.codr_cache_hits : ss.codr_cache_misses)
+          ->Increment();
+    }
+  }
+  return result;
+}
+
 CodResult EngineCore::QueryCodU(NodeId q, uint32_t k,
                                 QueryWorkspace& ws) const {
-  CodResult result = EvaluateChain(BuildCoduChain(q), q, k, ws);
-  result.variant_served = CodVariant::kCodU;
-  return result;
+  QuerySpec spec;
+  spec.variant = CodVariant::kCodU;
+  spec.node = q;
+  spec.k = k;
+  return Query(spec, ws);
 }
 
 CodResult EngineCore::QueryCodR(NodeId q, AttributeId attr, uint32_t k,
                                 QueryWorkspace& ws) const {
-  CodResult result = EvaluateChain(BuildCodrChain(q, attr), q, k, ws);
-  result.variant_served = CodVariant::kCodR;
-  return result;
+  QuerySpec spec;
+  spec.variant = CodVariant::kCodR;
+  spec.node = q;
+  spec.k = k;
+  spec.attrs.assign(1, attr);
+  return Query(spec, ws);
 }
 
 CodResult EngineCore::QueryCodR(NodeId q, std::span<const AttributeId> attrs,
                                 uint32_t k, QueryWorkspace& ws) const {
-  // Topic-set CODR never uses the per-attribute cache.
-  const Dendrogram dendrogram =
-      GlobalRecluster(*graph_, *attrs_, attrs, options_.transform);
-  CodResult result =
-      EvaluateChain(BuildChainFromDendrogram(dendrogram, q), q, k, ws);
-  result.variant_served = CodVariant::kCodR;
-  return result;
+  QuerySpec spec;
+  spec.variant = CodVariant::kCodR;
+  spec.node = q;
+  spec.k = k;
+  spec.attrs.assign(attrs.begin(), attrs.end());
+  return Query(spec, ws);
 }
 
 CodResult EngineCore::QueryCodLMinus(NodeId q, AttributeId attr, uint32_t k,
                                      QueryWorkspace& ws) const {
-  return QueryCodLMinus(q, std::span<const AttributeId>(&attr, 1), k, ws);
+  QuerySpec spec;
+  spec.variant = CodVariant::kCodLMinus;
+  spec.node = q;
+  spec.k = k;
+  spec.attrs.assign(1, attr);
+  return Query(spec, ws);
 }
 
 CodResult EngineCore::QueryCodLMinus(NodeId q,
                                      std::span<const AttributeId> attrs,
                                      uint32_t k, QueryWorkspace& ws) const {
-  const LoreScores scores = ComputeReclusteringScores(
-      *graph_, *attrs_, base_, lca_, q, attrs, ws.budget());
-  if (scores.code != StatusCode::kOk) {
-    return BudgetExhaustedResult(scores.code, CodVariant::kCodLMinus);
-  }
-  CodResult result = EvaluateChain(
-      BuildCodlChainFromScores(scores, q, attrs).chain, q, k, ws);
-  result.variant_served = CodVariant::kCodLMinus;
-  return result;
+  QuerySpec spec;
+  spec.variant = CodVariant::kCodLMinus;
+  spec.node = q;
+  spec.k = k;
+  spec.attrs.assign(attrs.begin(), attrs.end());
+  return Query(spec, ws);
 }
 
 CodResult EngineCore::QueryCodL(NodeId q, AttributeId attr, uint32_t k,
                                 QueryWorkspace& ws) const {
-  return QueryCodL(q, std::span<const AttributeId>(&attr, 1), k, ws);
+  QuerySpec spec;
+  spec.variant = CodVariant::kCodL;
+  spec.node = q;
+  spec.k = k;
+  spec.attrs.assign(1, attr);
+  return Query(spec, ws);
 }
 
 CodResult EngineCore::QueryCodL(NodeId q, std::span<const AttributeId> attrs,
                                 uint32_t k, QueryWorkspace& ws) const {
+  QuerySpec spec;
+  spec.variant = CodVariant::kCodL;
+  spec.node = q;
+  spec.k = k;
+  spec.attrs.assign(attrs.begin(), attrs.end());
+  return Query(spec, ws);
+}
+
+CodResult EngineCore::QueryCodUIndexed(NodeId q, uint32_t k) const {
+  return DoCodUIndexed(q, k);
+}
+
+CodResult EngineCore::DoCodU(NodeId q, uint32_t k, QueryWorkspace& ws) const {
+  CodChain chain;
+  {
+    StageTimer timer(&ws.stats().chain_build_seconds);
+    chain = BuildCoduChain(q);
+  }
+  CodResult result = EvaluateChain(chain, q, k, ws);
+  result.variant_served = CodVariant::kCodU;
+  return result;
+}
+
+CodResult EngineCore::DoCodRSingle(NodeId q, AttributeId attr, uint32_t k,
+                                   QueryWorkspace& ws) const {
+  QueryStats& st = ws.stats();
+  CodChain chain;
+  {
+    StageTimer timer(&st.chain_build_seconds);
+    if (options_.cache_codr_hierarchies) {
+      std::shared_ptr<const Dendrogram> cached;
+      {
+        std::lock_guard<std::mutex> lock(codr_mu_);
+        auto it = codr_cache_.find(attr);
+        if (it != codr_cache_.end()) cached = it->second;
+      }
+      st.codr_cache_hit = cached != nullptr;
+      if (cached == nullptr) {
+        // Build outside the lock (clustering is the expensive part); racing
+        // builders produce identical dendrograms and the first insert wins.
+        // Only successful builds are cached: a budget abort leaves no
+        // partial dendrogram behind.
+        Result<Dendrogram> built = GlobalRecluster(
+            *graph_, *attrs_, attr, options_.transform, ws.budget());
+        if (!built.ok()) {
+          return BudgetExhaustedResult(built.status().code(),
+                                       CodVariant::kCodR);
+        }
+        auto owned =
+            std::make_shared<const Dendrogram>(std::move(built).value());
+        std::lock_guard<std::mutex> lock(codr_mu_);
+        cached = codr_cache_.emplace(attr, std::move(owned)).first->second;
+      }
+      chain = BuildChainFromDendrogram(*cached, q);
+    } else {
+      Result<Dendrogram> dendrogram = GlobalRecluster(
+          *graph_, *attrs_, attr, options_.transform, ws.budget());
+      if (!dendrogram.ok()) {
+        return BudgetExhaustedResult(dendrogram.status().code(),
+                                     CodVariant::kCodR);
+      }
+      chain = BuildChainFromDendrogram(*dendrogram, q);
+    }
+  }
+  CodResult result = EvaluateChain(chain, q, k, ws);
+  result.variant_served = CodVariant::kCodR;
+  return result;
+}
+
+CodResult EngineCore::DoCodRSpan(NodeId q, std::span<const AttributeId> attrs,
+                                 uint32_t k, QueryWorkspace& ws) const {
+  // Topic-set CODR never uses the per-attribute cache.
+  QueryStats& st = ws.stats();
+  CodChain chain;
+  {
+    StageTimer timer(&st.chain_build_seconds);
+    Result<Dendrogram> dendrogram = GlobalRecluster(
+        *graph_, *attrs_, attrs, options_.transform, ws.budget());
+    if (!dendrogram.ok()) {
+      return BudgetExhaustedResult(dendrogram.status().code(),
+                                   CodVariant::kCodR);
+    }
+    chain = BuildChainFromDendrogram(*dendrogram, q);
+  }
+  CodResult result = EvaluateChain(chain, q, k, ws);
+  result.variant_served = CodVariant::kCodR;
+  return result;
+}
+
+CodResult EngineCore::DoCodLMinus(NodeId q,
+                                  std::span<const AttributeId> attrs,
+                                  uint32_t k, QueryWorkspace& ws) const {
+  QueryStats& st = ws.stats();
+  LoreScores scores;
+  {
+    StageTimer timer(&st.lore_scan_seconds);
+    scores = ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attrs,
+                                       ws.budget());
+  }
+  if (scores.code != StatusCode::kOk) {
+    return BudgetExhaustedResult(scores.code, CodVariant::kCodLMinus);
+  }
+  CodChain chain;
+  {
+    StageTimer timer(&st.chain_build_seconds);
+    Result<LoreChain> built =
+        BuildCodlChainFromScores(scores, q, attrs, ws.budget());
+    if (!built.ok()) {
+      return BudgetExhaustedResult(built.status().code(),
+                                   CodVariant::kCodLMinus);
+    }
+    chain = std::move(built).value().chain;
+  }
+  CodResult result = EvaluateChain(chain, q, k, ws);
+  result.variant_served = CodVariant::kCodLMinus;
+  return result;
+}
+
+CodResult EngineCore::DoCodL(NodeId q, std::span<const AttributeId> attrs,
+                             uint32_t k, QueryWorkspace& ws) const {
   COD_CHECK(himor_.has_value());  // build/load HIMOR during setup
-  const LoreScores scores = ComputeReclusteringScores(
-      *graph_, *attrs_, base_, lca_, q, attrs, ws.budget());
+  QueryStats& st = ws.stats();
+  LoreScores scores;
+  {
+    StageTimer timer(&st.lore_scan_seconds);
+    scores = ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attrs,
+                                       ws.budget());
+  }
   if (scores.code != StatusCode::kOk) {
     return BudgetExhaustedResult(scores.code, CodVariant::kCodL);
   }
@@ -216,6 +529,7 @@ CodResult EngineCore::QueryCodL(NodeId q, std::span<const AttributeId> attrs,
   // Fast path: some untouched ancestor of C_ell already has q in its top-k.
   if (const HimorIndex::Entry* hit =
           himor_->FindTopKAncestor(q, c_ell, k, base_)) {
+    st.index_hit = true;
     CodResult result;
     result.found = true;
     result.answered_from_index = true;
@@ -230,26 +544,34 @@ CodResult EngineCore::QueryCodL(NodeId q, std::span<const AttributeId> attrs,
 
   // Slow path: locally recluster C_ell and run compressed evaluation on the
   // attribute-aware chain inside it.
-  const auto members = base_.Members(c_ell);
-  const InducedSubgraph sub = BuildAttributeWeightedSubgraph(
-      *graph_, *attrs_, attrs, options_.transform, members);
-  const Dendrogram local = AgglomerativeCluster(sub.graph);
-  NodeId local_q = kInvalidNode;
-  for (size_t i = 0; i < sub.to_parent.size(); ++i) {
-    if (sub.to_parent[i] == q) {
-      local_q = static_cast<NodeId>(i);
-      break;
+  CodChain chain;
+  {
+    StageTimer timer(&st.chain_build_seconds);
+    const auto members = base_.Members(c_ell);
+    const InducedSubgraph sub = BuildAttributeWeightedSubgraph(
+        *graph_, *attrs_, attrs, options_.transform, members);
+    Result<Dendrogram> local =
+        AgglomerativeCluster(sub.graph, AgglomerativeOptions{}, ws.budget());
+    if (!local.ok()) {
+      return BudgetExhaustedResult(local.status().code(), CodVariant::kCodL);
     }
+    NodeId local_q = kInvalidNode;
+    for (size_t i = 0; i < sub.to_parent.size(); ++i) {
+      if (sub.to_parent[i] == q) {
+        local_q = static_cast<NodeId>(i);
+        break;
+      }
+    }
+    COD_CHECK(local_q != kInvalidNode);
+    chain = BuildChainFromDendrogram(*local, local_q, kInvalidCommunity,
+                                     &sub.to_parent, graph_->NumNodes());
   }
-  COD_CHECK(local_q != kInvalidNode);
-  const CodChain chain = BuildChainFromDendrogram(
-      local, local_q, kInvalidCommunity, &sub.to_parent, graph_->NumNodes());
   CodResult result = EvaluateChain(chain, q, k, ws);
   result.variant_served = CodVariant::kCodL;
   return result;
 }
 
-CodResult EngineCore::QueryCodUIndexed(NodeId q, uint32_t k) const {
+CodResult EngineCore::DoCodUIndexed(NodeId q, uint32_t k) const {
   COD_CHECK(himor_.has_value());  // build/load HIMOR during setup
   CodResult result;
   result.variant_served = CodVariant::kCodUIndexed;

@@ -40,6 +40,7 @@
 #include "core/global_recluster.h"
 #include "core/himor.h"
 #include "core/lore.h"
+#include "core/query_stats.h"
 #include "graph/attributes.h"
 #include "hierarchy/agglomerative.h"
 #include "hierarchy/lca.h"
@@ -76,6 +77,27 @@ enum class CodVariant : uint8_t {
   kCodUIndexed  // requires the core's HIMOR index
 };
 
+// Lower-case label value used for per-variant metrics (e.g.
+// cod_query_latency_seconds{variant="codl"}).
+const char* CodVariantName(CodVariant variant);
+
+// One COD query, fully described: the canonical input of
+// EngineCore::Query. The QueryCodX convenience overloads and the batch API
+// (core/query_batch.h) all funnel into this.
+struct QuerySpec {
+  CodVariant variant = CodVariant::kCodL;
+  NodeId node = kInvalidNode;
+  // 0 means "use the engine default" (EngineOptions::k).
+  uint32_t k = 0;
+  // Query topic set; ignored by kCodU / kCodUIndexed. A single element uses
+  // the single-attribute paths (including the CODR hierarchy cache).
+  std::vector<AttributeId> attrs;
+  // Per-query wall-clock budget in seconds, honored by the batch API only;
+  // 0 means "use the batch default" (BatchOptions::default_budget_seconds).
+  // Direct EngineCore::Query calls use the workspace budget instead.
+  double budget_seconds = 0.0;
+};
+
 struct CodResult {
   bool found = false;
   std::vector<NodeId> members;  // the characteristic community C*(q)
@@ -91,6 +113,13 @@ struct CodResult {
   StatusCode code = StatusCode::kOk;
   bool degraded = false;
   CodVariant variant_served = CodVariant::kCodU;
+  // Ladder rung the served answer came from (0 = the requested variant);
+  // only the batch API's degradation ladder sets values > 0.
+  uint8_t ladder_rung = 0;
+  // Per-stage timings and sampling counts for THIS query (copied out of the
+  // workspace accumulator by EngineCore::Query). Excluded from result
+  // equality in tests — instrumentation, not an answer.
+  QueryStats stats;
 };
 
 // A LORE-spliced chain plus provenance.
@@ -150,16 +179,24 @@ class EngineCore {
   LoreChain BuildCodlChain(NodeId q,
                            std::span<const AttributeId> attrs) const;
 
-  // ---- Query variants. Each attributed variant also accepts a topic SET
-  // (an edge counts as query-attributed when both endpoints carry at least
-  // one of the attributes). All use `ws` for scratch and randomness; the
-  // workspace must be bound to this core (QueryWorkspace ctor / Rebind).
+  // ---- The canonical query entry point. Dispatches on spec.variant,
+  // resolves spec.k == 0 to the engine default, resets and fills the
+  // workspace's QueryStats (copied onto the result), and records
+  // per-variant latency / outcome / stage metrics in the process-wide
+  // MetricsRegistry — the ONE place queries are tagged. spec.budget_seconds
+  // is ignored here (that field belongs to the batch API); the effective
+  // budget is ws.budget().
   //
   // Budget discipline: every variant honors ws.budget() — the LORE edge
-  // scan and RR sampling poll it and unwind with result.code set to
-  // kTimeout/kCancelled. The (re)clustering steps themselves are NOT
-  // budget-checked (CODR's global recluster in particular), so those
-  // variants' effective check interval includes one clustering pass. ----
+  // scan, RR sampling, and the agglomerative (re)clustering passes all poll
+  // it and unwind with result.code set to kTimeout / kCancelled.
+  CodResult Query(const QuerySpec& spec, QueryWorkspace& ws) const;
+
+  // ---- Query variants: thin wrappers over Query(). Each attributed
+  // variant also accepts a topic SET (an edge counts as query-attributed
+  // when both endpoints carry at least one of the attributes). All use `ws`
+  // for scratch and randomness; the workspace must be bound to this core
+  // (QueryWorkspace ctor / Rebind). ----
   CodResult QueryCodU(NodeId q, uint32_t k, QueryWorkspace& ws) const;
   CodResult QueryCodR(NodeId q, AttributeId attr, uint32_t k,
                       QueryWorkspace& ws) const;
@@ -171,7 +208,9 @@ class EngineCore {
                            uint32_t k, QueryWorkspace& ws) const;
   // Index-only CODU: the largest base-hierarchy community where q is top-k,
   // answered entirely from HIMOR in O(dep(q)) — no sampling at query time.
-  // Requires himor() and k <= options().himor_max_rank.
+  // Requires himor() and k <= options().himor_max_rank. This workspace-free
+  // form bypasses Query() and records no metrics or stats; route through
+  // Query({kCodUIndexed, ...}, ws) to get both.
   CodResult QueryCodUIndexed(NodeId q, uint32_t k) const;
 
   // Require himor() (BuildHimor / LoadHimor during setup).
@@ -213,9 +252,24 @@ class EngineCore {
 
  private:
   // The LORE splice of BuildCodlChain after the scores are known; shared by
-  // the budgeted query paths, which compute scores themselves.
-  LoreChain BuildCodlChainFromScores(const LoreScores& scores, NodeId q,
-                                     std::span<const AttributeId> attrs) const;
+  // the budgeted query paths, which compute scores themselves. The local
+  // reclustering pass polls `budget` and unwinds with kTimeout/kCancelled.
+  Result<LoreChain> BuildCodlChainFromScores(
+      const LoreScores& scores, NodeId q, std::span<const AttributeId> attrs,
+      const Budget& budget) const;
+
+  // ---- Variant implementations behind Query()'s dispatch. These fill
+  // ws.stats() stage-by-stage; Query() owns the metrics tagging. ----
+  CodResult DoCodU(NodeId q, uint32_t k, QueryWorkspace& ws) const;
+  CodResult DoCodRSingle(NodeId q, AttributeId attr, uint32_t k,
+                         QueryWorkspace& ws) const;
+  CodResult DoCodRSpan(NodeId q, std::span<const AttributeId> attrs,
+                       uint32_t k, QueryWorkspace& ws) const;
+  CodResult DoCodLMinus(NodeId q, std::span<const AttributeId> attrs,
+                        uint32_t k, QueryWorkspace& ws) const;
+  CodResult DoCodL(NodeId q, std::span<const AttributeId> attrs, uint32_t k,
+                   QueryWorkspace& ws) const;
+  CodResult DoCodUIndexed(NodeId q, uint32_t k) const;
 
   std::shared_ptr<const Graph> graph_;
   std::shared_ptr<const AttributeTable> attrs_;

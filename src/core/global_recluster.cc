@@ -134,4 +134,22 @@ Dendrogram GlobalRecluster(const Graph& g, const AttributeTable& attrs,
   return GlobalRecluster(g, attrs, AsSpan(query_attribute), options);
 }
 
+Result<Dendrogram> GlobalRecluster(const Graph& g, const AttributeTable& attrs,
+                                   std::span<const AttributeId> query_attrs,
+                                   const TransformOptions& options,
+                                   const Budget& budget) {
+  // The transform itself is one O(|E|) pass — cheap next to clustering — so
+  // the budget only gates the agglomerative run.
+  const Graph weighted =
+      BuildAttributeWeightedGraph(g, attrs, query_attrs, options);
+  return AgglomerativeCluster(weighted, AgglomerativeOptions{}, budget);
+}
+
+Result<Dendrogram> GlobalRecluster(const Graph& g, const AttributeTable& attrs,
+                                   AttributeId query_attribute,
+                                   const TransformOptions& options,
+                                   const Budget& budget) {
+  return GlobalRecluster(g, attrs, AsSpan(query_attribute), options, budget);
+}
+
 }  // namespace cod

@@ -11,6 +11,8 @@
 #ifndef COD_CORE_GLOBAL_RECLUSTER_H_
 #define COD_CORE_GLOBAL_RECLUSTER_H_
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "graph/attributes.h"
 #include "graph/embeddings.h"
 #include "graph/graph.h"
@@ -73,6 +75,18 @@ Dendrogram GlobalRecluster(const Graph& g, const AttributeTable& attrs,
 Dendrogram GlobalRecluster(const Graph& g, const AttributeTable& attrs,
                            AttributeId query_attribute,
                            const TransformOptions& options);
+
+// Budget-aware forms: the clustering pass polls `budget` (see the NN-chain
+// poll in hierarchy/agglomerative.h) and unwinds with kTimeout / kCancelled
+// instead of overshooting a deadline by a whole agglomerative run.
+Result<Dendrogram> GlobalRecluster(const Graph& g, const AttributeTable& attrs,
+                                   std::span<const AttributeId> query_attrs,
+                                   const TransformOptions& options,
+                                   const Budget& budget);
+Result<Dendrogram> GlobalRecluster(const Graph& g, const AttributeTable& attrs,
+                                   AttributeId query_attribute,
+                                   const TransformOptions& options,
+                                   const Budget& budget);
 
 }  // namespace cod
 

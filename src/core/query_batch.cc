@@ -1,10 +1,12 @@
 #include "core/query_batch.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/query_workspace.h"
 
@@ -64,7 +66,9 @@ std::vector<LadderStep> DegradationLadder(const EngineCore& core,
 
 // Runs `spec` as ladder rung `step` (spec's node / attrs, `step`'s variant,
 // possibly shrunken theta). Restores the workspace's theta before returning
-// so the next query sees the engine default.
+// so the next query sees the engine default. Routing through
+// EngineCore::Query means every rung — including degraded ones — is tagged
+// in the metrics registry under the variant it actually ran.
 CodResult RunLadderStep(const EngineCore& core, const QuerySpec& spec,
                         const LadderStep& step, uint32_t k,
                         QueryWorkspace& ws) {
@@ -73,74 +77,78 @@ CodResult RunLadderStep(const EngineCore& core, const QuerySpec& spec,
     ws.evaluator().Rebind(core.model(),
                           std::max(1u, full_theta / step.theta_divisor));
   }
-  CodResult result;
-  switch (step.variant) {
-    case CodVariant::kCodU:
-      result = core.QueryCodU(spec.node, k, ws);
-      break;
-    case CodVariant::kCodUIndexed:
-      result = core.QueryCodUIndexed(spec.node, k);
-      break;
-    case CodVariant::kCodR:
-      result = spec.attrs.size() == 1
-                   ? core.QueryCodR(spec.node, spec.attrs[0], k, ws)
-                   : core.QueryCodR(spec.node,
-                                    std::span<const AttributeId>(spec.attrs),
-                                    k, ws);
-      break;
-    case CodVariant::kCodLMinus:
-      result =
-          spec.attrs.size() == 1
-              ? core.QueryCodLMinus(spec.node, spec.attrs[0], k, ws)
-              : core.QueryCodLMinus(
-                    spec.node, std::span<const AttributeId>(spec.attrs), k,
-                    ws);
-      break;
-    case CodVariant::kCodL:
-      result = spec.attrs.size() == 1
-                   ? core.QueryCodL(spec.node, spec.attrs[0], k, ws)
-                   : core.QueryCodL(spec.node,
-                                    std::span<const AttributeId>(spec.attrs),
-                                    k, ws);
-      break;
-  }
+  QuerySpec rung = spec;
+  rung.variant = step.variant;
+  rung.k = k;
+  CodResult result = core.Query(rung, ws);
   if (step.theta_divisor > 1) {
     ws.evaluator().Rebind(core.model(), full_theta);
   }
   return result;
 }
 
+// Tallies one finished query into a batch's aggregate stats.
+void TallyResult(const CodResult& result, BatchStats* stats) {
+  switch (result.code) {
+    case StatusCode::kOk:
+      if (result.degraded) {
+        ++stats->degraded;
+      } else {
+        ++stats->served_ok;
+      }
+      if (result.ladder_rung < BatchStats::kMaxRungs) {
+        ++stats->per_rung[result.ladder_rung];
+      }
+      break;
+    case StatusCode::kCancelled:
+      ++stats->cancelled;
+      break;
+    default:
+      ++stats->timeout;
+      break;
+  }
+}
+
+// Publishes one batch's merged tallies into the process-wide registry
+// (one registry touch per outcome class per batch, not per query).
+void PublishBatchMetrics(const BatchStats& stats) {
+  if (!MetricsRegistry::enabled()) return;
+  struct Sites {
+    Counter* ok;
+    Counter* degraded;
+    Counter* timeout;
+    Counter* cancelled;
+    Counter* per_rung[BatchStats::kMaxRungs];
+  };
+  static const Sites sites = [] {
+    MetricsRegistry& reg = MetricsRegistry::Instance();
+    Sites s{};
+    s.ok = reg.GetCounter("cod_batch_queries_total{outcome=\"ok\"}");
+    s.degraded =
+        reg.GetCounter("cod_batch_queries_total{outcome=\"degraded\"}");
+    s.timeout = reg.GetCounter("cod_batch_queries_total{outcome=\"timeout\"}");
+    s.cancelled =
+        reg.GetCounter("cod_batch_queries_total{outcome=\"cancelled\"}");
+    for (size_t r = 0; r < BatchStats::kMaxRungs; ++r) {
+      s.per_rung[r] = reg.GetCounter("cod_batch_degraded_total{rung=\"" +
+                                     std::to_string(r) + "\"}");
+    }
+    return s;
+  }();
+  if (stats.served_ok > 0) sites.ok->Increment(stats.served_ok);
+  if (stats.degraded > 0) sites.degraded->Increment(stats.degraded);
+  if (stats.timeout > 0) sites.timeout->Increment(stats.timeout);
+  if (stats.cancelled > 0) sites.cancelled->Increment(stats.cancelled);
+  for (size_t r = 1; r < BatchStats::kMaxRungs; ++r) {
+    if (stats.per_rung[r] > 0) sites.per_rung[r]->Increment(stats.per_rung[r]);
+  }
+}
+
 }  // namespace
 
 CodResult RunQuerySpec(const EngineCore& core, const QuerySpec& spec,
                        QueryWorkspace& ws) {
-  const uint32_t k = spec.k == 0 ? core.options().k : spec.k;
-  switch (spec.variant) {
-    case CodVariant::kCodU:
-      return core.QueryCodU(spec.node, k, ws);
-    case CodVariant::kCodUIndexed:
-      return core.QueryCodUIndexed(spec.node, k);
-    case CodVariant::kCodR:
-      if (spec.attrs.size() == 1) {
-        return core.QueryCodR(spec.node, spec.attrs[0], k, ws);
-      }
-      return core.QueryCodR(spec.node, std::span<const AttributeId>(spec.attrs),
-                            k, ws);
-    case CodVariant::kCodLMinus:
-      if (spec.attrs.size() == 1) {
-        return core.QueryCodLMinus(spec.node, spec.attrs[0], k, ws);
-      }
-      return core.QueryCodLMinus(
-          spec.node, std::span<const AttributeId>(spec.attrs), k, ws);
-    case CodVariant::kCodL:
-      if (spec.attrs.size() == 1) {
-        return core.QueryCodL(spec.node, spec.attrs[0], k, ws);
-      }
-      return core.QueryCodL(spec.node, std::span<const AttributeId>(spec.attrs),
-                            k, ws);
-  }
-  COD_CHECK(false);
-  return CodResult{};
+  return core.Query(spec, ws);
 }
 
 CodResult RunQuerySpecWithBudget(const EngineCore& core, const QuerySpec& spec,
@@ -167,6 +175,7 @@ CodResult RunQuerySpecWithBudget(const EngineCore& core, const QuerySpec& spec,
     ws.SetBudget(budget);
     result = RunLadderStep(core, spec, ladder[s], k, ws);
     ws.ClearBudget();
+    result.ladder_rung = static_cast<uint8_t>(s);
     if (result.code == StatusCode::kOk) {
       result.degraded = s > 0;
       return result;
@@ -186,10 +195,19 @@ std::vector<CodResult> RunQueryBatch(const EngineCore& core,
                                      std::span<const QuerySpec> specs,
                                      ThreadPool& pool, uint64_t batch_seed,
                                      const BatchOptions& options) {
+  return RunQueryBatch(core, specs, pool, batch_seed, options, nullptr);
+}
+
+std::vector<CodResult> RunQueryBatch(const EngineCore& core,
+                                     std::span<const QuerySpec> specs,
+                                     ThreadPool& pool, uint64_t batch_seed,
+                                     const BatchOptions& options,
+                                     BatchStats* stats) {
   COD_DCHECK(!pool.IsWorkerThread() &&
              "RunQueryBatch called from a worker thread of its own pool; "
              "this deadlocks once the pool saturates -- run the batch from "
              "a different pool or thread");
+  if (stats != nullptr) *stats = BatchStats{};
   std::vector<CodResult> results(specs.size());
   if (specs.empty()) return results;
 
@@ -199,13 +217,30 @@ std::vector<CodResult> RunQueryBatch(const EngineCore& core,
   std::mutex mu;
   std::condition_variable done;
   size_t remaining = num_chunks;
+  BatchStats merged;
+
+  // Queue wait: how long each chunk sat behind other pool work before its
+  // first query ran. Only measured when the registry is on (two clock reads
+  // per chunk otherwise wasted).
+  Histogram* queue_hist =
+      MetricsRegistry::enabled()
+          ? MetricsRegistry::Instance().GetHistogram(
+                "cod_batch_queue_to_start_seconds")
+          : nullptr;
+  const auto submit_time = std::chrono::steady_clock::now();
 
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t begin = specs.size() * c / num_chunks;
     const size_t end = specs.size() * (c + 1) / num_chunks;
     pool.Submit([&core, &results, specs, batch_seed, begin, end, &options,
-                 &mu, &done, &remaining] {
+                 &mu, &done, &remaining, &merged, queue_hist, submit_time] {
+      if (queue_hist != nullptr) {
+        queue_hist->Observe(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - submit_time)
+                                .count());
+      }
       QueryWorkspace ws(core, /*seed=*/0);
+      BatchStats local;
       for (size_t i = begin; i < end; ++i) {
         // Failure site for tests: a worker "dying" on a query marks that
         // slot cancelled instead of crashing the batch.
@@ -214,22 +249,34 @@ std::vector<CodResult> RunQueryBatch(const EngineCore& core,
           killed.code = StatusCode::kCancelled;
           killed.variant_served = specs[i].variant;
           results[i] = std::move(killed);
-          continue;
+        } else {
+          results[i] = RunQuerySpecWithBudget(core, specs[i], ws, options,
+                                              BatchQuerySeed(batch_seed, i));
         }
-        results[i] = RunQuerySpecWithBudget(core, specs[i], ws, options,
-                                            BatchQuerySeed(batch_seed, i));
+        TallyResult(results[i], &local);
       }
       // Notify under the lock: the caller owns mu/done on its stack and may
       // destroy them the instant it observes remaining == 0, so the notify
       // must complete before the waiter can get past the mutex.
       std::lock_guard<std::mutex> lock(mu);
+      merged.served_ok += local.served_ok;
+      merged.degraded += local.degraded;
+      merged.timeout += local.timeout;
+      merged.cancelled += local.cancelled;
+      for (size_t r = 0; r < BatchStats::kMaxRungs; ++r) {
+        merged.per_rung[r] += local.per_rung[r];
+      }
       --remaining;
       done.notify_one();
     });
   }
 
-  std::unique_lock<std::mutex> lock(mu);
-  done.wait(lock, [&remaining] { return remaining == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done.wait(lock, [&remaining] { return remaining == 0; });
+  }
+  PublishBatchMetrics(merged);
+  if (stats != nullptr) *stats = merged;
   return results;
 }
 

@@ -40,18 +40,9 @@ namespace cod {
 class ThreadPool;
 class QueryWorkspace;
 
-struct QuerySpec {
-  CodVariant variant = CodVariant::kCodL;
-  NodeId node = kInvalidNode;
-  // 0 means "use the engine default" (EngineOptions::k).
-  uint32_t k = 0;
-  // Query topic set; ignored by kCodU / kCodUIndexed. A single element uses
-  // the single-attribute paths (including the CODR hierarchy cache).
-  std::vector<AttributeId> attrs;
-  // Per-query wall-clock budget in seconds; 0 means "use the batch default"
-  // (BatchOptions::default_budget_seconds).
-  double budget_seconds = 0.0;
-};
+// QuerySpec now lives in core/engine_core.h (it is the input of the
+// canonical EngineCore::Query entry point); this header re-exports it via
+// that include for existing callers.
 
 // Batch-level budget and degradation policy for RunQueryBatch. The default
 // object is "no limits": every query runs its requested variant to
@@ -68,6 +59,23 @@ struct BatchOptions {
   // When a query's budget expires, retry it on cheaper ladder rungs (tagged
   // degraded = true) instead of returning kTimeout outright.
   bool allow_degradation = true;
+};
+
+// Aggregate outcome tallies for one RunQueryBatch call. Workers accumulate
+// locally and merge once at the end, so filling this costs nothing per
+// query; the same totals feed the process-wide MetricsRegistry
+// (cod_batch_queries_total{outcome=...}, cod_batch_degraded_total{rung=...}).
+struct BatchStats {
+  uint64_t served_ok = 0;    // kOk from the requested variant (rung 0)
+  uint64_t degraded = 0;     // kOk from a cheaper rung (degraded = true)
+  uint64_t timeout = 0;      // every rung timed out
+  uint64_t cancelled = 0;    // cancellation (skips remaining rungs)
+  // Served answers by ladder rung; rung 0 is the requested variant. The
+  // ladder never exceeds 4 rungs (see DegradationLadder in the .cc).
+  static constexpr size_t kMaxRungs = 4;
+  uint64_t per_rung[kMaxRungs] = {0, 0, 0, 0};
+
+  uint64_t Served() const { return served_ok + degraded; }
 };
 
 // The RNG seed batch query `index` runs with; exposed so tests and callers
@@ -108,6 +116,14 @@ std::vector<CodResult> RunQueryBatch(const EngineCore& core,
                                      std::span<const QuerySpec> specs,
                                      ThreadPool& pool, uint64_t batch_seed,
                                      const BatchOptions& options);
+
+// As above, additionally filling `stats` (ignored when null) with the
+// batch's aggregate outcome tallies.
+std::vector<CodResult> RunQueryBatch(const EngineCore& core,
+                                     std::span<const QuerySpec> specs,
+                                     ThreadPool& pool, uint64_t batch_seed,
+                                     const BatchOptions& options,
+                                     BatchStats* stats);
 
 }  // namespace cod
 

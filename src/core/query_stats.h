@@ -1,0 +1,47 @@
+// Per-query instrumentation, filled by EngineCore query paths and carried
+// back on CodResult.
+//
+// QueryStats answers "where did THIS query's time go" — the per-stage costs
+// the paper reports in aggregate (chain build vs. sampling, Fig. 9; HIMOR
+// hit rates, Table 2) attributed inside one live query. The QueryWorkspace
+// owns the accumulator (queries are single-threaded over one workspace);
+// EngineCore::Query resets it, the stage implementations add to it, and the
+// final CodResult copies it out. The same numbers also feed the process-wide
+// MetricsRegistry histograms, tagged by CodVariant, in exactly one place
+// (EngineCore::Query).
+//
+// The struct intentionally holds plain doubles/ints — it is written by one
+// thread and is part of the query's return value, not a shared metric.
+
+#ifndef COD_CORE_QUERY_STATS_H_
+#define COD_CORE_QUERY_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cod {
+
+struct QueryStats {
+  // Wall time per stage, seconds. Stages that a variant skips stay 0.
+  double chain_build_seconds = 0.0;  // (re)clustering + chain construction
+  double lore_scan_seconds = 0.0;    // LORE reclustering-score edge scan
+  double sample_seconds = 0.0;       // RR sampling + HFS bucket traversal
+  double eval_seconds = 0.0;         // incremental top-k evaluation
+
+  uint64_t rr_samples = 0;       // RR graphs drawn
+  uint64_t explored_nodes = 0;   // total RR-graph nodes explored (|R|)
+  size_t levels_examined = 0;    // chain levels the evaluation covered
+
+  // Index / cache provenance.
+  bool index_hit = false;        // HIMOR alone answered (CODL fast path)
+  bool codr_cache_hit = false;   // CODR hierarchy served from the cache
+
+  double TotalStageSeconds() const {
+    return chain_build_seconds + lore_scan_seconds + sample_seconds +
+           eval_seconds;
+  }
+};
+
+}  // namespace cod
+
+#endif  // COD_CORE_QUERY_STATS_H_

@@ -19,6 +19,7 @@
 #include "common/deadline.h"
 #include "common/random.h"
 #include "core/compressed_eval.h"
+#include "core/query_stats.h"
 
 namespace cod {
 
@@ -55,11 +56,18 @@ class QueryWorkspace {
     return evaluator_.last_explored_nodes();
   }
 
+  // Per-query stage accumulator: EngineCore::Query resets it, the variant
+  // implementations add to it, and the final CodResult copies it out. After
+  // a query it still holds that query's numbers (diagnostics).
+  QueryStats& stats() { return stats_; }
+  const QueryStats& stats() const { return stats_; }
+
  private:
   const EngineCore* core_;
   CompressedEvaluator evaluator_;
   Rng rng_;
   Budget budget_;
+  QueryStats stats_;
 };
 
 }  // namespace cod

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
+
 namespace cod {
 namespace {
 
@@ -18,6 +20,11 @@ bool IsCommentOrBlank(const std::string& line) {
 }  // namespace
 
 Result<Graph> LoadEdgeList(const std::string& path) {
+  // Simulated read failure (tests of loader error paths; see
+  // common/failpoint.h).
+  if (COD_FAILPOINT("graph_io/load_edge_list")) {
+    return Status::IoError("failpoint graph_io/load_edge_list armed");
+  }
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   GraphBuilder builder;
@@ -64,6 +71,10 @@ Status SaveEdgeList(const Graph& g, const std::string& path) {
 
 Result<AttributeTable> LoadAttributes(const std::string& path,
                                       size_t num_nodes) {
+  // Simulated read failure, mirroring LoadEdgeList.
+  if (COD_FAILPOINT("graph_io/load_attributes")) {
+    return Status::IoError("failpoint graph_io/load_attributes armed");
+  }
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   AttributeTableBuilder builder;

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace cod {
 namespace {
 
@@ -84,6 +86,15 @@ struct ClusterState {
 
 Dendrogram AgglomerativeCluster(const Graph& g,
                                 const AgglomerativeOptions& options) {
+  // An unlimited budget never aborts, so the Result form cannot fail here.
+  Result<Dendrogram> built = AgglomerativeCluster(g, options, Budget{});
+  COD_CHECK(built.ok());
+  return std::move(built).value();
+}
+
+Result<Dendrogram> AgglomerativeCluster(const Graph& g,
+                                        const AgglomerativeOptions& options,
+                                        const Budget& budget) {
   const size_t n = g.NumNodes();
   COD_CHECK(n >= 1);
   DendrogramBuilder builder(n);
@@ -115,7 +126,28 @@ Dendrogram AgglomerativeCluster(const Graph& g,
   size_t scan_from = 0;  // next candidate to start a fresh chain
   size_t merges_done = 0;
 
+  // Cooperative deadline poll. One NN-chain step costs roughly one
+  // NearestNeighbor scan (tens of ns to a few us on hub clusters), so a
+  // stride of 256 steps surfaces an expired budget within well under a
+  // millisecond — against clustering passes that take seconds on large
+  // graphs. At step == 0 the poll fires before any merge, so already-expired
+  // budgets abort deterministically (see common/deadline.h).
+  constexpr size_t kBudgetStride = 256;
+  size_t steps = 0;
+
   while (merges_done + 1 < n) {
+    if (steps++ % kBudgetStride == 0) {
+      const StatusCode budget_code = budget.ExhaustedCode();
+      if (budget_code != StatusCode::kOk) {
+        static Counter* aborts = MetricsRegistry::Instance().GetCounter(
+            "cod_cluster_budget_aborts_total");
+        aborts->Increment();
+        return budget_code == StatusCode::kCancelled
+                   ? Status::Cancelled("agglomerative clustering cancelled")
+                   : Status::Timeout(
+                         "agglomerative clustering deadline exceeded");
+      }
+    }
     if (chain.empty()) {
       while (scan_from < n && !state.active[scan_from]) ++scan_from;
       if (scan_from == n) break;  // everything merged or finished

@@ -20,6 +20,8 @@
 #ifndef COD_HIERARCHY_AGGLOMERATIVE_H_
 #define COD_HIERARCHY_AGGLOMERATIVE_H_
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "graph/graph.h"
 #include "hierarchy/dendrogram.h"
 
@@ -50,6 +52,17 @@ struct AgglomerativeOptions {
 // dendrogram. Works for any graph with at least one node.
 Dendrogram AgglomerativeCluster(const Graph& g,
                                 const AgglomerativeOptions& options = {});
+
+// Budget-aware form: the NN-chain loop polls `budget` every few hundred
+// steps and unwinds with kTimeout / kCancelled instead of finishing the
+// clustering pass — so a deadline-carrying CODR global recluster or LORE
+// local recluster no longer overshoots by a whole agglomerative run. Aborts
+// return no dendrogram (a partial merge tree is not a valid hierarchy) and
+// count one cod_cluster_budget_aborts_total event in the metrics registry.
+// An unlimited budget takes the exact same code path as the plain form.
+Result<Dendrogram> AgglomerativeCluster(const Graph& g,
+                                        const AgglomerativeOptions& options,
+                                        const Budget& budget);
 
 }  // namespace cod
 

@@ -40,10 +40,10 @@ AttributeId AnyAttributeOf(const AttributeTable& attrs, NodeId q) {
 TEST(CodEngineTest, CoduFindsCommunityContainingQuery) {
   const World w = MakeWorld(1);
   CodEngine engine(w.graph, w.attrs, {});
-  Rng rng(2);
+  QueryWorkspace ws = engine.MakeWorkspace(2);
   int found = 0;
   for (NodeId q = 0; q < 20; ++q) {
-    const CodResult r = engine.QueryCodU(q, 5, rng);
+    const CodResult r = engine.QueryCodU(q, 5, ws);
     if (!r.found) continue;
     ++found;
     EXPECT_TRUE(std::find(r.members.begin(), r.members.end(), q) !=
@@ -62,11 +62,12 @@ TEST(CodEngineTest, ResultSizeGrowsWithK) {
   // using the same rng stream lengths.
   double size_k1 = 0.0;
   double size_k5 = 0.0;
+  QueryWorkspace ws = engine.MakeWorkspace(0);
   for (NodeId q = 0; q < 30; ++q) {
-    Rng rng1(100 + q);
-    Rng rng5(100 + q);
-    size_k1 += engine.QueryCodU(q, 1, rng1).members.size();
-    size_k5 += engine.QueryCodU(q, 5, rng5).members.size();
+    ws.ReseedRng(100 + q);
+    size_k1 += engine.QueryCodU(q, 1, ws).members.size();
+    ws.ReseedRng(100 + q);
+    size_k5 += engine.QueryCodU(q, 5, ws).members.size();
   }
   EXPECT_GE(size_k5, size_k1);
 }
@@ -74,11 +75,11 @@ TEST(CodEngineTest, ResultSizeGrowsWithK) {
 TEST(CodEngineTest, CodrUsesAttributeAwareHierarchy) {
   const World w = MakeWorld(4);
   CodEngine engine(w.graph, w.attrs, {});
-  Rng rng(5);
+  QueryWorkspace ws = engine.MakeWorkspace(5);
   const NodeId q = 7;
   const AttributeId attr = AnyAttributeOf(w.attrs, q);
   ASSERT_NE(attr, kInvalidAttribute);
-  const CodResult r = engine.QueryCodR(q, attr, 5, rng);
+  const CodResult r = engine.QueryCodR(q, attr, 5, ws);
   if (r.found) {
     EXPECT_TRUE(std::find(r.members.begin(), r.members.end(), q) !=
                 r.members.end());
@@ -93,15 +94,16 @@ TEST(CodEngineTest, CodrCacheGivesSameResult) {
   CodEngine uncached(w.graph, w.attrs, {});
   const NodeId q = 11;
   const AttributeId attr = AnyAttributeOf(w.attrs, q);
-  Rng rng1(7);
-  Rng rng2(7);
-  const CodResult a = cached.QueryCodR(q, attr, 5, rng1);
-  const CodResult b = uncached.QueryCodR(q, attr, 5, rng2);
+  QueryWorkspace ws_cached = cached.MakeWorkspace(7);
+  QueryWorkspace ws_uncached = uncached.MakeWorkspace(7);
+  const CodResult a = cached.QueryCodR(q, attr, 5, ws_cached);
+  const CodResult b = uncached.QueryCodR(q, attr, 5, ws_uncached);
   EXPECT_EQ(a.found, b.found);
   EXPECT_EQ(a.members, b.members);
   // Second cached query hits the cache and must be identical again.
-  Rng rng3(7);
-  const CodResult c = cached.QueryCodR(q, attr, 5, rng3);
+  ws_cached.ReseedRng(7);
+  const CodResult c = cached.QueryCodR(q, attr, 5, ws_cached);
+  EXPECT_TRUE(c.stats.codr_cache_hit);
   EXPECT_EQ(a.members, c.members);
 }
 
@@ -128,11 +130,11 @@ TEST(CodEngineTest, CodlChainSplicesLocalAndGlobal) {
 TEST(CodEngineTest, CodlMinusRuns) {
   const World w = MakeWorld(9);
   CodEngine engine(w.graph, w.attrs, {});
-  Rng rng(10);
+  QueryWorkspace ws = engine.MakeWorkspace(10);
   int found = 0;
   for (NodeId q = 0; q < 15; ++q) {
     const AttributeId attr = AnyAttributeOf(w.attrs, q);
-    const CodResult r = engine.QueryCodLMinus(q, attr, 5, rng);
+    const CodResult r = engine.QueryCodLMinus(q, attr, 5, ws);
     if (r.found) {
       ++found;
       EXPECT_TRUE(std::find(r.members.begin(), r.members.end(), q) !=
@@ -148,11 +150,13 @@ TEST(CodEngineTest, CodlRequiresAndUsesHimor) {
   Rng rng(12);
   engine.BuildHimor(rng);
   ASSERT_NE(engine.himor(), nullptr);
+  QueryWorkspace ws = engine.MakeWorkspace(0);
+  ws.rng() = rng;  // continue the stream BuildHimor consumed from
   int found = 0;
   int from_index = 0;
   for (NodeId q = 0; q < 25; ++q) {
     const AttributeId attr = AnyAttributeOf(w.attrs, q);
-    const CodResult r = engine.QueryCodL(q, attr, 5, rng);
+    const CodResult r = engine.QueryCodL(q, attr, 5, ws);
     if (r.found) {
       ++found;
       from_index += r.answered_from_index;
@@ -172,10 +176,12 @@ TEST(CodEngineTest, LtModelEndToEnd) {
   CodEngine engine(w.graph, w.attrs, options);
   Rng rng(14);
   engine.BuildHimor(rng);
+  QueryWorkspace ws = engine.MakeWorkspace(0);
+  ws.rng() = rng;
   const NodeId q = 3;
   const AttributeId attr = AnyAttributeOf(w.attrs, q);
-  const CodResult u = engine.QueryCodU(q, 5, rng);
-  const CodResult l = engine.QueryCodL(q, attr, 5, rng);
+  const CodResult u = engine.QueryCodU(q, 5, ws);
+  const CodResult l = engine.QueryCodL(q, attr, 5, ws);
   // Smoke assertions: queries complete and communities contain q when found.
   if (u.found) {
     EXPECT_TRUE(std::find(u.members.begin(), u.members.end(), q) !=
@@ -192,6 +198,8 @@ TEST(CodEngineTest, TopicSetQueriesRun) {
   CodEngine engine(w.graph, w.attrs, {});
   Rng rng(21);
   engine.BuildHimor(rng);
+  QueryWorkspace ws = engine.MakeWorkspace(0);
+  ws.rng() = rng;
   int found = 0;
   for (NodeId q = 0; q < 15; ++q) {
     const auto own = w.attrs.AttributesOf(q);
@@ -201,15 +209,15 @@ TEST(CodEngineTest, TopicSetQueriesRun) {
     topics.push_back((own[0] + 1) % static_cast<AttributeId>(
                                         w.attrs.NumAttributes()));
     const CodResult r = engine.QueryCodL(
-        q, std::span<const AttributeId>(topics), 5, rng);
+        q, std::span<const AttributeId>(topics), 5, ws);
     if (r.found) {
       ++found;
       EXPECT_TRUE(std::find(r.members.begin(), r.members.end(), q) !=
                   r.members.end());
     }
     // Variants accept topic sets too.
-    engine.QueryCodLMinus(q, std::span<const AttributeId>(topics), 5, rng);
-    engine.QueryCodR(q, std::span<const AttributeId>(topics), 5, rng);
+    engine.QueryCodLMinus(q, std::span<const AttributeId>(topics), 5, ws);
+    engine.QueryCodR(q, std::span<const AttributeId>(topics), 5, ws);
   }
   EXPECT_GT(found, 0);
 }
@@ -219,15 +227,16 @@ TEST(CodEngineTest, SingletonTopicSetMatchesSingleAttribute) {
   CodEngine engine(w.graph, w.attrs, {});
   Rng rng(23);
   engine.BuildHimor(rng);
+  QueryWorkspace ws = engine.MakeWorkspace(0);
   for (NodeId q = 0; q < 10; ++q) {
     const auto own = w.attrs.AttributesOf(q);
     if (own.empty()) continue;
     const AttributeId attr = own[0];
-    Rng rng_a(100 + q);
-    Rng rng_b(100 + q);
-    const CodResult a = engine.QueryCodL(q, attr, 5, rng_a);
+    ws.ReseedRng(100 + q);
+    const CodResult a = engine.QueryCodL(q, attr, 5, ws);
+    ws.ReseedRng(100 + q);
     const CodResult b = engine.QueryCodL(
-        q, std::span<const AttributeId>(&attr, 1), 5, rng_b);
+        q, std::span<const AttributeId>(&attr, 1), 5, ws);
     EXPECT_EQ(a.found, b.found);
     EXPECT_EQ(a.members, b.members);
   }
@@ -240,12 +249,13 @@ TEST(CodEngineTest, IndexedCoduIsTopKConsistentWithSampledCodu) {
   CodEngine engine(w.graph, w.attrs, options);
   Rng rng(41);
   engine.BuildHimor(rng);
+  QueryWorkspace ws = engine.MakeWorkspace(0);
   size_t agree = 0;
   size_t total = 0;
   for (NodeId q = 0; q < 25; ++q) {
     const CodResult indexed = engine.QueryCodUIndexed(q, 5);
-    Rng query_rng(300 + q);
-    const CodResult sampled = engine.QueryCodU(q, 5, query_rng);
+    ws.ReseedRng(300 + q);
+    const CodResult sampled = engine.QueryCodU(q, 5, ws);
     ++total;
     // Different sample pools: exact equality is not guaranteed, but both
     // must agree on "found" for a clear majority and the indexed community
@@ -265,14 +275,15 @@ TEST(CodEngineTest, ExplainCodLMatchesQueryAndNarrates) {
   CodEngine engine(w.graph, w.attrs, {});
   Rng rng(31);
   engine.BuildHimor(rng);
+  QueryWorkspace ws = engine.MakeWorkspace(0);
   int explained = 0;
   for (NodeId q = 0; q < 12; ++q) {
     const auto own = w.attrs.AttributesOf(q);
     if (own.empty()) continue;
-    Rng rng_a(200 + q);
-    Rng rng_b(200 + q);
-    const CodResult direct = engine.QueryCodL(q, own[0], 5, rng_a);
-    const auto explanation = engine.ExplainCodL(q, own[0], 5, rng_b);
+    ws.ReseedRng(200 + q);
+    const CodResult direct = engine.QueryCodL(q, own[0], 5, ws);
+    ws.ReseedRng(200 + q);
+    const auto explanation = engine.ExplainCodL(q, own[0], 5, ws);
     EXPECT_EQ(explanation.result.found, direct.found);
     EXPECT_EQ(explanation.result.members, direct.members);
     EXPECT_EQ(explanation.c_ell_size,
@@ -318,11 +329,11 @@ TEST(CodEngineTest, DeterministicGivenSeeds) {
   const World w = MakeWorld(15);
   CodEngine e1(w.graph, w.attrs, {});
   CodEngine e2(w.graph, w.attrs, {});
-  Rng rng1(16);
-  Rng rng2(16);
+  QueryWorkspace ws1 = e1.MakeWorkspace(16);
+  QueryWorkspace ws2 = e2.MakeWorkspace(16);
   const NodeId q = 5;
-  const CodResult a = e1.QueryCodU(q, 5, rng1);
-  const CodResult b = e2.QueryCodU(q, 5, rng2);
+  const CodResult a = e1.QueryCodU(q, 5, ws1);
+  const CodResult b = e2.QueryCodU(q, 5, ws2);
   EXPECT_EQ(a.found, b.found);
   EXPECT_EQ(a.members, b.members);
   EXPECT_EQ(a.rank, b.rank);

@@ -1,0 +1,195 @@
+// MetricsRegistry unit tests: handle stability, sharded-cell merging under
+// concurrent writers, Prometheus exposition format, JSON dump shape, and the
+// runtime off switch.
+//
+// The registry is process-global, so every test uses metric names under a
+// test-only prefix and asserts on substrings of the exposition rather than
+// whole-document golden text (other test binaries' suites would not
+// interfere, but tests within this binary share the registry).
+
+#include "common/metrics.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cod {
+namespace {
+
+TEST(MetricsRegistryTest, CounterHandlesAreStableAndShared) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* a = reg.GetCounter("t_handle_total");
+  Counter* b = reg.GetCounter("t_handle_total");
+  EXPECT_EQ(a, b);  // find-or-create returns the same object
+  EXPECT_EQ(a->name(), "t_handle_total");
+
+  reg.ResetForTest();
+  a->Increment();
+  a->Increment(41);
+  EXPECT_EQ(b->Value(), 42u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsMergeExactly) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("t_concurrent_total");
+  Histogram* h = reg.GetHistogram("t_concurrent_seconds");
+  reg.ResetForTest();
+
+  // More threads than shards, so shard rows are provably shared and merged.
+  constexpr int kThreads = 24;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(0.001);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(c->Value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->Count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_NEAR(h->Sum(), kThreads * kPerThread * 0.001, 1e-6);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsFollowUpperBoundSemantics) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  const double bounds[] = {0.1, 1.0, 10.0};
+  Histogram* h = reg.GetHistogram("t_buckets_seconds", bounds);
+  reg.ResetForTest();
+
+  h->Observe(0.05);  // <= 0.1
+  h->Observe(0.1);   // le is inclusive: still the 0.1 bucket
+  h->Observe(0.5);   // <= 1
+  h->Observe(50.0);  // +Inf
+  const std::vector<uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(MetricsRegistryTest, ExpositionTextIsPrometheusShaped) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("t_expo_total{variant=\"codl\"}");
+  Gauge* g = reg.GetGauge("t_expo_epoch");
+  const double bounds[] = {0.25, 2.5};
+  Histogram* h = reg.GetHistogram("t_expo_seconds{variant=\"codl\"}", bounds);
+  reg.ResetForTest();
+
+  c->Increment(3);
+  g->Set(7);
+  h->Observe(0.1);
+  h->Observe(0.1);
+  h->Observe(1.0);
+  h->Observe(100.0);
+
+  const std::string text = reg.ExpositionText();
+  // TYPE lines carry the base name (labels stripped), once per family.
+  EXPECT_NE(text.find("# TYPE t_expo_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_expo_epoch gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_expo_seconds histogram\n"),
+            std::string::npos);
+  // Samples keep the caller's labels.
+  EXPECT_NE(text.find("t_expo_total{variant=\"codl\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_expo_epoch 7\n"), std::string::npos);
+  // Histogram buckets are cumulative, with "le" spliced into the labels and
+  // an explicit +Inf bucket; _sum/_count close the family.
+  EXPECT_NE(
+      text.find("t_expo_seconds_bucket{variant=\"codl\",le=\"0.25\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("t_expo_seconds_bucket{variant=\"codl\",le=\"2.5\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("t_expo_seconds_bucket{variant=\"codl\",le=\"+Inf\"} 4\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("t_expo_seconds_sum{variant=\"codl\"} 101.2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_expo_seconds_count{variant=\"codl\"} 4\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonDumpHoldsAllThreeFamilies) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("t_json_total");
+  Gauge* g = reg.GetGauge("t_json_gauge");
+  const double bounds[] = {1.0};
+  Histogram* h = reg.GetHistogram("t_json_seconds", bounds);
+  reg.ResetForTest();
+  c->Increment(5);
+  g->Set(2.5);
+  h->Observe(0.5);
+
+  const std::string json = reg.JsonDump();
+  EXPECT_NE(json.find("\"t_json_total\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"t_json_gauge\":2.5"), std::string::npos);
+  EXPECT_NE(json.find(
+                "\"t_json_seconds\":{\"count\":1,\"sum\":0.5,\"bounds\":[1],"
+                "\"counts\":[1,0]}"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CallbackGaugeEvaluatesAtScrapeAndUnregisters) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  std::atomic<double> depth{3.0};
+  {
+    ScopedCallbackGauge gauge("t_callback_depth",
+                              [&] { return depth.load(); });
+    EXPECT_NE(reg.ExpositionText().find("t_callback_depth 3\n"),
+              std::string::npos);
+    depth.store(9.0);  // re-evaluated at every scrape, not at registration
+    EXPECT_NE(reg.ExpositionText().find("t_callback_depth 9\n"),
+              std::string::npos);
+  }
+  // RAII unregistration: the sample is gone after the owner dies.
+  EXPECT_EQ(reg.ExpositionText().find("t_callback_depth"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryDropsEventsButScrapesFine) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("t_disabled_total");
+  Gauge* g = reg.GetGauge("t_disabled_gauge");
+  Histogram* h = reg.GetHistogram("t_disabled_seconds");
+  reg.ResetForTest();
+
+  c->Increment(2);
+  reg.SetEnabled(false);
+  c->Increment(100);
+  g->Set(100);
+  h->Observe(1.0);
+  // Scrapes keep working while disabled; values are frozen.
+  EXPECT_EQ(c->Value(), 2u);
+  EXPECT_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_NE(reg.ExpositionText().find("t_disabled_total 2\n"),
+            std::string::npos);
+
+  reg.SetEnabled(true);
+  c->Increment();
+  EXPECT_EQ(c->Value(), 3u);
+}
+
+TEST(MetricsRegistryTest, ScopedTimerObservesOnDestruction) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Histogram* h = reg.GetHistogram("t_timer_seconds");
+  reg.ResetForTest();
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h->Count(), 1u);
+  {
+    ScopedTimer no_sink(nullptr);  // null histogram records nothing
+  }
+  EXPECT_EQ(h->Count(), 1u);
+}
+
+}  // namespace
+}  // namespace cod

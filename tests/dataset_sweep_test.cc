@@ -90,9 +90,9 @@ TEST_P(DatasetSweepTest, HimorEntriesLieOnEachNodesPath) {
 }
 
 TEST_P(DatasetSweepTest, QueriesReturnConsistentCommunities) {
-  Rng rng(17);
+  QueryWorkspace ws = engine_->MakeWorkspace(17);
   for (const Query& q : queries_) {
-    const CodResult r = engine_->QueryCodL(q.node, q.attribute, 5, rng);
+    const CodResult r = engine_->QueryCodL(q.node, q.attribute, 5, ws);
     if (!r.found) continue;
     EXPECT_FALSE(r.members.empty());
     EXPECT_TRUE(std::find(r.members.begin(), r.members.end(), q.node) !=

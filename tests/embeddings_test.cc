@@ -124,11 +124,13 @@ TEST(EmbeddingTransformTest, EngineEndToEnd) {
   CodEngine engine(gen.graph, attrs, options);
   Rng query_rng(4);
   engine.BuildHimor(query_rng);
+  QueryWorkspace ws = engine.MakeWorkspace(0);
+  ws.rng() = query_rng;
   int found = 0;
   for (NodeId q = 0; q < 15; ++q) {
     const auto own = attrs.AttributesOf(q);
     if (own.empty()) continue;
-    const CodResult r = engine.QueryCodL(q, own[0], 5, query_rng);
+    const CodResult r = engine.QueryCodL(q, own[0], 5, ws);
     found += r.found;
   }
   EXPECT_GT(found, 0);

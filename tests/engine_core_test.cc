@@ -40,6 +40,12 @@ AttributeId AnyAttributeOf(const AttributeTable& attrs, NodeId q) {
   return a.empty() ? kInvalidAttribute : a[0];
 }
 
+// Pins the Rng-stream compatibility contract of the DEPRECATED Rng-form
+// queries (see cod_engine.h): the legacy form must keep consuming the exact
+// stream a workspace seeded alike would. This is the one in-repo caller that
+// stays on the old API until the forwarders are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(EngineCoreTest, ConstQueriesMatchLegacyEngine) {
   const World w = MakeWorld(1);
   CodEngine engine(w.graph, w.attrs, {});
@@ -65,6 +71,7 @@ TEST(EngineCoreTest, ConstQueriesMatchLegacyEngine) {
     EXPECT_TRUE(SameResult(legacy_codu, modern_codu)) << "q=" << q;
   }
 }
+#pragma GCC diagnostic pop
 
 TEST(EngineCoreTest, OwningConstructorKeepsInputsAlive) {
   std::shared_ptr<const EngineCore> core;

@@ -217,11 +217,13 @@ TEST(HinIntegrationTest, ProjectionFeedsWeightedCodPipeline) {
   CodEngine engine(projection->graph, attrs, {});
   Rng query_rng(2);
   engine.BuildHimor(query_rng);
+  QueryWorkspace ws = engine.MakeWorkspace(0);
+  ws.rng() = query_rng;
   int found = 0;
   for (NodeId q = 0; q < 20; ++q) {
     const auto own = attrs.AttributesOf(q);
     if (own.empty()) continue;
-    found += engine.QueryCodL(q, own[0], 5, query_rng).found;
+    found += engine.QueryCodL(q, own[0], 5, ws).found;
   }
   EXPECT_GT(found, 0);
 }

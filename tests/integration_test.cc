@@ -56,25 +56,21 @@ AttributeTable* PipelineTest::attrs_ = nullptr;
 CodEngine* PipelineTest::engine_ = nullptr;
 
 TEST_F(PipelineTest, AllVariantsProduceValidCommunities) {
-  Rng rng(1);
+  QueryWorkspace ws = engine_->MakeWorkspace(1);
   Rng query_rng(2);
   const std::vector<Query> queries = GenerateQueries(*attrs_, 12, query_rng);
+  constexpr CodVariant kVariants[] = {CodVariant::kCodU, CodVariant::kCodR,
+                                      CodVariant::kCodLMinus,
+                                      CodVariant::kCodL};
   for (const Query& q : queries) {
-    for (int variant = 0; variant < 4; ++variant) {
-      CodResult r;
-      switch (variant) {
-        case 0:
-          r = engine_->QueryCodU(q.node, 5, rng);
-          break;
-        case 1:
-          r = engine_->QueryCodR(q.node, q.attribute, 5, rng);
-          break;
-        case 2:
-          r = engine_->QueryCodLMinus(q.node, q.attribute, 5, rng);
-          break;
-        default:
-          r = engine_->QueryCodL(q.node, q.attribute, 5, rng);
-      }
+    for (CodVariant variant : kVariants) {
+      QuerySpec spec;
+      spec.variant = variant;
+      spec.node = q.node;
+      spec.k = 5;
+      if (variant != CodVariant::kCodU) spec.attrs = {q.attribute};
+      const CodResult r = engine_->Query(spec, ws);
+      EXPECT_EQ(r.variant_served, variant);
       if (!r.found) continue;
       // Community contains the query and is a set (no duplicates).
       std::vector<NodeId> sorted = r.members;
@@ -91,13 +87,14 @@ TEST_F(PipelineTest, ClaimedRanksSurviveVerification) {
   // For found communities, an independent high-sample verification should
   // confirm the query is at least *near* the top-k (estimators are noisy;
   // the paper's Fig. 8 reports precision well below 1.0 for theta = 10).
-  Rng rng(3);
+  Rng rng(3);  // feeds the Monte-Carlo verifier
+  QueryWorkspace ws = engine_->MakeWorkspace(3);
   Rng query_rng(4);
   const std::vector<Query> queries = GenerateQueries(*attrs_, 8, query_rng);
   int verified = 0;
   int found = 0;
   for (const Query& q : queries) {
-    const CodResult r = engine_->QueryCodL(q.node, q.attribute, 5, rng);
+    const CodResult r = engine_->QueryCodL(q.node, q.attribute, 5, ws);
     if (!r.found) continue;
     ++found;
     const uint32_t rank =
@@ -134,14 +131,14 @@ TEST_F(PipelineTest, BaselinesReturnAttributeCoherentCommunities) {
 TEST_F(PipelineTest, HierarchicalVariantsFindLargerCommunitiesThanCac) {
   // The headline effectiveness claim (Fig. 7 a-f): hierarchical COD methods
   // return larger characteristic communities than truss-based search.
-  Rng rng(6);
+  QueryWorkspace ws = engine_->MakeWorkspace(6);
   Rng query_rng(7);
   const std::vector<Query> queries = GenerateQueries(*attrs_, 15, query_rng);
   double codl_total = 0.0;
   double cac_total = 0.0;
   for (const Query& q : queries) {
     codl_total +=
-        engine_->QueryCodL(q.node, q.attribute, 5, rng).members.size();
+        engine_->QueryCodL(q.node, q.attribute, 5, ws).members.size();
     cac_total += CacSearch(*graph_, *attrs_, q.node, q.attribute).size();
   }
   EXPECT_GT(codl_total, cac_total);
@@ -153,12 +150,14 @@ TEST(SmallDatasetPipelineTest, CoraSimEndToEnd) {
   CodEngine engine(data->graph, data->attributes, {});
   Rng rng(8);
   engine.BuildHimor(rng);
+  QueryWorkspace ws = engine.MakeWorkspace(0);
+  ws.rng() = rng;
   Rng query_rng(9);
   const std::vector<Query> queries =
       GenerateQueries(data->attributes, 5, query_rng);
   int found = 0;
   for (const Query& q : queries) {
-    const CodResult r = engine.QueryCodL(q.node, q.attribute, 5, rng);
+    const CodResult r = engine.QueryCodL(q.node, q.attribute, 5, ws);
     found += r.found;
   }
   EXPECT_GT(found, 0);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/cod_engine.h"
 #include "core/query_workspace.h"
@@ -304,6 +305,86 @@ TEST_F(QueryBatchTest, WorkerFailpointMarksSlotsCancelled) {
     } else {
       EXPECT_EQ(results[i].code, StatusCode::kOk) << "spec " << i;
     }
+  }
+}
+
+TEST_F(QueryBatchTest, BatchStatsMatchPerResultTallies) {
+  // The per-batch aggregate must agree exactly with a recount over the
+  // returned results — same outcomes, same per-rung degradation histogram.
+  BatchOptions options;
+  options.default_budget_seconds = 1e-12;  // every sampled variant degrades
+  ThreadPool pool(3);
+  BatchStats stats;
+  const std::vector<CodResult> results = RunQueryBatch(
+      *engine_->core(), specs_, pool, /*batch_seed=*/7, options, &stats);
+  ASSERT_EQ(results.size(), specs_.size());
+
+  BatchStats want;
+  for (const CodResult& r : results) {
+    switch (r.code) {
+      case StatusCode::kOk:
+        if (r.degraded) {
+          ++want.degraded;
+          ASSERT_LT(r.ladder_rung, BatchStats::kMaxRungs);
+          ASSERT_GT(r.ladder_rung, 0);  // degraded implies a deeper rung
+          ++want.per_rung[r.ladder_rung];
+        } else {
+          ++want.served_ok;
+          EXPECT_EQ(r.ladder_rung, 0);
+          ++want.per_rung[0];
+        }
+        break;
+      case StatusCode::kCancelled:
+        ++want.cancelled;
+        break;
+      default:
+        ++want.timeout;
+    }
+  }
+  EXPECT_EQ(stats.served_ok, want.served_ok);
+  EXPECT_EQ(stats.degraded, want.degraded);
+  EXPECT_EQ(stats.timeout, want.timeout);
+  EXPECT_EQ(stats.cancelled, want.cancelled);
+  for (size_t r = 0; r < BatchStats::kMaxRungs; ++r) {
+    EXPECT_EQ(stats.per_rung[r], want.per_rung[r]) << "rung " << r;
+  }
+  EXPECT_EQ(stats.Served(), results.size());
+  EXPECT_GT(stats.degraded, 0u);  // the hostile budget actually bit
+
+  // The registry's batch counters moved by the same amounts.
+  const uint64_t ok_before =
+      MetricsRegistry::Instance()
+          .GetCounter("cod_batch_queries_total{outcome=\"ok\"}")
+          ->Value();
+  const uint64_t degraded_before =
+      MetricsRegistry::Instance()
+          .GetCounter("cod_batch_queries_total{outcome=\"degraded\"}")
+          ->Value();
+  BatchStats again;
+  RunQueryBatch(*engine_->core(), specs_, pool, /*batch_seed=*/7, options,
+                &again);
+  EXPECT_EQ(MetricsRegistry::Instance()
+                .GetCounter("cod_batch_queries_total{outcome=\"ok\"}")
+                ->Value(),
+            ok_before + again.served_ok);
+  EXPECT_EQ(MetricsRegistry::Instance()
+                .GetCounter("cod_batch_queries_total{outcome=\"degraded\"}")
+                ->Value(),
+            degraded_before + again.degraded);
+}
+
+TEST_F(QueryBatchTest, UnconstrainedBatchStatsAreAllServedOk) {
+  ThreadPool pool(2);
+  BatchStats stats;
+  const std::vector<CodResult> results = RunQueryBatch(
+      *engine_->core(), specs_, pool, /*batch_seed=*/3, BatchOptions{},
+      &stats);
+  EXPECT_EQ(stats.served_ok, results.size());
+  EXPECT_EQ(stats.degraded, 0u);
+  EXPECT_EQ(stats.timeout, 0u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  for (size_t r = 1; r < BatchStats::kMaxRungs; ++r) {
+    EXPECT_EQ(stats.per_rung[r], 0u) << "rung " << r;
   }
 }
 

@@ -132,13 +132,13 @@ TEST(EngineHimorIoTest, SaveLoadServesQueries) {
   ASSERT_TRUE(reader_engine.LoadHimor(path).ok());
   // Same graph + same seed: the loaded-index engine must answer exactly as
   // the builder engine.
-  Rng rng_a(6);
-  Rng rng_b(6);
+  QueryWorkspace ws_a = writer_engine.MakeWorkspace(6);
+  QueryWorkspace ws_b = reader_engine.MakeWorkspace(6);
   for (NodeId q = 0; q < 20; ++q) {
     const auto node_attrs = attrs.AttributesOf(q);
     if (node_attrs.empty()) continue;
-    const CodResult a = writer_engine.QueryCodL(q, node_attrs[0], 5, rng_a);
-    const CodResult b = reader_engine.QueryCodL(q, node_attrs[0], 5, rng_b);
+    const CodResult a = writer_engine.QueryCodL(q, node_attrs[0], 5, ws_a);
+    const CodResult b = reader_engine.QueryCodL(q, node_attrs[0], 5, ws_b);
     EXPECT_EQ(a.found, b.found);
     EXPECT_EQ(a.members, b.members);
   }

@@ -6,11 +6,13 @@
 // a query straddling two epochs would break the comparison.
 
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/dynamic_service.h"
 #include "core/query_batch.h"
@@ -155,6 +157,69 @@ TEST(ServingStressTest, BatchQueriesRaceBackgroundRebuilds) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GT(service.epoch(), 1u);  // background rebuilds actually published
   EXPECT_GE(max_epoch_seen.load(), 1u);
+}
+
+// Metric scrapes race the serving stack: while readers run batches and the
+// writer publishes epochs, a scraper thread pulls ExpositionText/JsonDump in
+// a loop. Exercises (under TSAN) the sharded-cell merge against concurrent
+// relaxed bumps, and the scrape-time callback gauges reading service state
+// (registry lock -> service mutex ordering).
+TEST(ServingStressTest, ConcurrentScrapesRaceServingAndRebuilds) {
+  World w = MakeWorld(3);
+  const size_t num_nodes = w.attrs.NumNodes();
+  const std::vector<QuerySpec> specs = MakeSpecs(w.attrs, 10);
+
+  ThreadPool rebuild_pool(1);
+  DynamicCodService::Options options;
+  options.rebuild_threshold = 100.0;
+  options.seed = 7;
+  options.async_rebuild = true;
+  options.rebuild_pool = &rebuild_pool;
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
+
+  ThreadPool query_pool(3);
+  std::atomic<bool> stop{false};
+  std::atomic<int> scrape_failures{0};
+
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      const std::string text = MetricsRegistry::Instance().ExpositionText();
+      // The service's callback gauges must be present in every scrape.
+      if (text.find("cod_service_epoch ") == std::string::npos) {
+        ++scrape_failures;
+      }
+      if (MetricsRegistry::Instance().JsonDump().find(
+              "\"cod_service_pending_updates\"") == std::string::npos) {
+        ++scrape_failures;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::thread writer([&] {
+    Rng rng(11);
+    int refreshes = 0;
+    for (int i = 0; i < 200 || refreshes == 0; ++i) {
+      const NodeId u = static_cast<NodeId>(rng.Next() % num_nodes);
+      const NodeId v = static_cast<NodeId>(rng.Next() % num_nodes);
+      if (u != v) service.AddEdge(u, v);
+      if (rng.Next() % 8 == 0 && service.RefreshAsync()) ++refreshes;
+      std::this_thread::yield();
+    }
+  });
+
+  for (int it = 0; it < 6; ++it) {
+    const DynamicCodService::EpochSnapshot snap = service.Snapshot();
+    const std::vector<CodResult> batch =
+        RunQueryBatch(*snap.core, specs, query_pool, /*batch_seed=*/it);
+    EXPECT_EQ(batch.size(), specs.size());
+  }
+
+  writer.join();
+  stop.store(true);
+  scraper.join();
+  service.WaitForRebuild();
+  EXPECT_EQ(scrape_failures.load(), 0);
 }
 
 // A snapshot taken before a rebuild keeps answering from its own epoch even
