@@ -3,9 +3,11 @@
 //
 // A social platform ingests follow/unfollow events while answering "what is
 // this user's characteristic community right now?". The service absorbs
-// updates in O(1), answers from the last built epoch, and transparently
-// rebuilds (hierarchy + HIMOR) once the accumulated drift crosses a
-// threshold.
+// updates in O(1) and always answers from the last built epoch — queries
+// NEVER rebuild inline. The ingest loop (the owner) watches RefreshDue()
+// and triggers the epoch rebuild (hierarchy + HIMOR) itself once the
+// accumulated drift crosses the threshold; a production deployment would
+// use async_rebuild + a rebuild pool for the same effect off-thread.
 //
 //   $ ./dynamic_stream [num_events]
 
@@ -72,10 +74,26 @@ int main(int argc, char** argv) {
       if (service.RemoveEdge(u, v)) ++removals;
     }
 
+    // Owner-driven refresh: the ingest loop, not the query path, pays for
+    // rebuilds. Queries between refreshes serve the previous epoch.
+    if (service.RefreshDue()) {
+      timer.Restart();
+      const cod::Status s = service.Refresh();
+      if (s.ok()) {
+        ++rebuilds;
+        std::printf("[event %zu: drift threshold crossed, rebuilt to epoch "
+                    "%lu in %.2fs%s]\n",
+                    event, static_cast<unsigned long>(service.epoch()),
+                    timer.ElapsedSeconds(),
+                    service.epoch_degraded() ? ", DEGRADED (no index)" : "");
+      } else {
+        std::printf("[event %zu: rebuild failed: %s]\n", event,
+                    s.ToString().c_str());
+      }
+    }
+
     // Periodically query the watched users.
     if (event % (num_events / 6 + 1) == 0) {
-      const uint64_t epoch_before = service.epoch();
-      timer.Restart();
       std::printf("\n[event %zu: %zu adds, %zu removals, pending %zu]\n",
                   event, adds, removals, service.pending_updates());
       for (const cod::Query& q : watched) {
@@ -84,13 +102,6 @@ int main(int argc, char** argv) {
         std::printf("  user %-5u topic %-7s -> %s (%zu members)\n", q.node,
                     service.engine().attributes().Name(q.attribute).c_str(),
                     r.found ? "community" : "none", r.members.size());
-      }
-      if (service.epoch() != epoch_before) {
-        ++rebuilds;
-        std::printf("  (drift threshold crossed: rebuilt to epoch %lu in "
-                    "%.2fs)\n",
-                    static_cast<unsigned long>(service.epoch()),
-                    timer.ElapsedSeconds());
       }
     }
   }

@@ -66,6 +66,12 @@ class Deadline {
     return !infinite() && Clock::now() >= deadline_;
   }
 
+  // The underlying monotonic time point (Clock::time_point::max() when
+  // infinite) — for condition_variable::wait_until at blocking sites. Check
+  // infinite() first: feeding time_point::max() to wait_until can overflow
+  // some standard-library clock conversions.
+  Clock::time_point time_point() const { return deadline_; }
+
   // Seconds until expiry: +inf when infinite, negative when overdue.
   double RemainingSeconds() const {
     if (infinite()) return std::numeric_limits<double>::infinity();

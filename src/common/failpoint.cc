@@ -1,6 +1,7 @@
 #include "common/failpoint.h"
 
 #include "common/metrics.h"
+#include "common/random.h"
 
 namespace cod {
 
@@ -36,18 +37,47 @@ void Failpoints::DisarmAll() {
   std::lock_guard<std::mutex> lock(mu_);
   num_armed_.store(0, std::memory_order_relaxed);
   points_.clear();
+  fuzz_enabled_ = false;
+  fuzz_probability_ = 0.0;
+}
+
+void Failpoints::ArmRandom(uint64_t seed, double trip_probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fuzz_enabled_) num_armed_.fetch_add(1, std::memory_order_relaxed);
+  fuzz_enabled_ = true;
+  fuzz_probability_ =
+      trip_probability < 0.0 ? 0.0
+                             : (trip_probability > 1.0 ? 1.0 : trip_probability);
+  fuzz_state_ = seed;
+}
+
+void Failpoints::DisarmRandom() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fuzz_enabled_) num_armed_.fetch_sub(1, std::memory_order_relaxed);
+  fuzz_enabled_ = false;
+  fuzz_probability_ = 0.0;
 }
 
 bool Failpoints::ShouldFail(const char* name) {
   if (num_armed_.load(std::memory_order_relaxed) == 0) return false;
   std::lock_guard<std::mutex> lock(mu_);
+  bool fire = false;
   auto it = points_.find(name);
-  if (it == points_.end() || it->second.remaining == 0) return false;
-  Point& point = it->second;
-  if (point.remaining > 0 && --point.remaining == 0) {
-    num_armed_.fetch_sub(1, std::memory_order_relaxed);
+  if (it != points_.end() && it->second.remaining != 0) {
+    Point& point = it->second;
+    if (point.remaining > 0 && --point.remaining == 0) {
+      num_armed_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    fire = true;
   }
-  ++point.triggered;
+  if (!fire && fuzz_enabled_) {
+    // 53-bit uniform draw, same construction as Rng::Uniform.
+    const double u =
+        static_cast<double>(SplitMix64(fuzz_state_) >> 11) * 0x1.0p-53;
+    fire = u < fuzz_probability_;
+  }
+  if (!fire) return false;
+  ++points_[name].triggered;
   // Operators alert on injected-fault rates the same way as on organic
   // failures; the lookup is once per *armed* trip, so no hot-path cost.
   static Counter* trips =

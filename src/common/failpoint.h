@@ -15,9 +15,20 @@
 // that must not carry any injection machinery can define
 // COD_DISABLE_FAILPOINTS to compile every site down to `false`.
 //
+// Fuzz mode (ArmRandom): instead of naming one site, every site trips
+// independently with a fixed probability, driven by a deterministic
+// SplitMix64 stream — chaos-monkey coverage of failure-path interleavings
+// the hand-armed tests never compose. The draw sequence is deterministic
+// per seed but its assignment to sites depends on thread interleaving, so
+// fuzz suites assert invariants (no crash, taxonomy respected, service
+// still serves), never exact outcomes.
+//
 // Registered sites: "dynamic_service/rebuild" (epoch rebuild, before any
 // build work), "himor/build" (both HIMOR builders), "query_batch/worker"
-// (per query in a batch worker).
+// (per query in a batch worker), "graph_io/load_edge_list" /
+// "graph_io/load_attributes" (loader I/O), "rr/sample" (per RR-sample
+// draw), "engine_core/codr_cache" (CODR hierarchy-cache first-touch
+// build).
 
 #ifndef COD_COMMON_FAILPOINT_H_
 #define COD_COMMON_FAILPOINT_H_
@@ -42,6 +53,15 @@ class Failpoints {
   void Disarm(const std::string& name);
   void DisarmAll();
 
+  // Fuzz mode: every site trips independently with `trip_probability` on
+  // each pass, drawn from a deterministic SplitMix64 stream seeded by
+  // `seed`. Composes with explicitly armed sites (either fires the site).
+  // Trips count into per-site TriggerCount and the registry trip counter
+  // exactly like armed hits. Disable with DisarmRandom (DisarmAll also
+  // clears it). `trip_probability` is clamped to [0, 1].
+  void ArmRandom(uint64_t seed, double trip_probability);
+  void DisarmRandom();
+
   // Called by COD_FAILPOINT at the site; consumes one armed hit.
   bool ShouldFail(const char* name);
 
@@ -56,12 +76,31 @@ class Failpoints {
     uint64_t triggered = 0;
   };
 
-  // Fast-path gate: number of currently armed points. Relaxed is enough —
-  // arming a failpoint happens-before the tested action through whatever
-  // synchronization starts that action (thread creation, task submit).
+  // Fast-path gate: number of currently armed points, plus one while fuzz
+  // mode is on. Relaxed is enough — arming a failpoint happens-before the
+  // tested action through whatever synchronization starts that action
+  // (thread creation, task submit).
   std::atomic<int> num_armed_{0};
   mutable std::mutex mu_;
   std::unordered_map<std::string, Point> points_;
+  // Fuzz-mode state, guarded by mu_ (the fuzz draw already takes the lock
+  // to record the trip, so a plain state word suffices).
+  bool fuzz_enabled_ = false;
+  double fuzz_probability_ = 0.0;
+  uint64_t fuzz_state_ = 0;
+};
+
+// Arms fuzz mode for the enclosing scope; restores sanity on destruction so
+// a failing fuzz test cannot leak random failures into later tests.
+class ScopedRandomFailpoints {
+ public:
+  ScopedRandomFailpoints(uint64_t seed, double trip_probability) {
+    Failpoints::Instance().ArmRandom(seed, trip_probability);
+  }
+  ~ScopedRandomFailpoints() { Failpoints::Instance().DisarmRandom(); }
+
+  ScopedRandomFailpoints(const ScopedRandomFailpoints&) = delete;
+  ScopedRandomFailpoints& operator=(const ScopedRandomFailpoints&) = delete;
 };
 
 // Arms a failpoint for the enclosing scope; disarms on destruction so a

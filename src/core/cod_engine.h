@@ -201,6 +201,12 @@ class CodEngine {
     core_->BuildHimorParallel(seed, num_threads);
   }
   const HimorIndex* himor() const { return core_->himor(); }
+  // Index-absent degraded mode (see EngineCore::MarkIndexAbsent): CODL
+  // serves the CODL- computation tagged degraded, indexed CODU falls back
+  // to sampled CODU. Used by the serving stack when a budgeted index build
+  // fails; exposed here for parity.
+  void MarkIndexAbsent() { core_->MarkIndexAbsent(); }
+  bool index_present() const { return core_->index_present(); }
 
   // Persists / restores the HIMOR index (the base hierarchy is deterministic
   // from the graph, so the index alone suffices to resume query serving).

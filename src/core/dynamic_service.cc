@@ -1,11 +1,12 @@
 #include "core/dynamic_service.h"
 
+#include <algorithm>
 #include <chrono>
-#include <thread>
 #include <utility>
 
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
+#include "core/query_workspace.h"
 
 namespace cod {
 namespace {
@@ -19,6 +20,7 @@ struct RebuildSites {
   Counter* failures;
   Counter* retries;
   Counter* published;
+  Counter* published_degraded;
 };
 
 const RebuildSites& RebuildMetrics() {
@@ -27,7 +29,8 @@ const RebuildSites& RebuildMetrics() {
     return RebuildSites{reg.GetCounter("cod_rebuild_attempts_total"),
                         reg.GetCounter("cod_rebuild_failures_total"),
                         reg.GetCounter("cod_rebuild_retries_total"),
-                        reg.GetCounter("cod_epochs_published_total")};
+                        reg.GetCounter("cod_epochs_published_total"),
+                        reg.GetCounter("cod_epochs_degraded_total")};
   }();
   return sites;
 }
@@ -36,6 +39,24 @@ int64_t SteadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Reusable per-thread workspace for the single-query convenience API:
+// constructing a QueryWorkspace allocates graph-sized evaluator scratch,
+// far too expensive to pay per query (the old behavior). Rebinding every
+// call is cheap — it re-reads the model pointer and theta, keeping the
+// buffers — and makes the cache immune to epoch/service ABA (a new core
+// allocated at a freed core's address would pass a pointer-equality check
+// with stale parameters). The workspace holds no reference to any core
+// after a query returns, so thread-exit destruction is always safe.
+QueryWorkspace& TlsWorkspaceFor(const EngineCore& core) {
+  thread_local std::unique_ptr<QueryWorkspace> ws;
+  if (ws == nullptr) {
+    ws = std::make_unique<QueryWorkspace>(core, /*seed=*/0);
+  } else {
+    ws->Rebind(core);
+  }
+  return *ws;
 }
 
 }  // namespace
@@ -78,9 +99,32 @@ DynamicCodService::DynamicCodService(Graph initial_graph,
   pending_gauge_.emplace("cod_service_pending_updates", [this] {
     return static_cast<double>(pending_updates());
   });
+  index_present_gauge_.emplace("cod_service_index_present", [this] {
+    return published_.load()->core->index_present() ? 1.0 : 0.0;
+  });
+
+  if (options_.async_rebuild) {
+    retry_timer_ = std::thread([this] { RetryTimerLoop(); });
+  }
 }
 
-DynamicCodService::~DynamicCodService() { WaitForRebuild(); }
+DynamicCodService::~DynamicCodService() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    if (retry_.has_value()) {
+      // Give up the scheduled retry: the last good epoch stands and the
+      // captured pending count is restored, matching a retry-cap give-up.
+      pending_updates_ += retry_->captured_pending;
+      retry_.reset();
+    }
+    timer_cv_.notify_all();
+    // An EXECUTING attempt cannot be cancelled — wait it out (it observes
+    // shutting_down_ on failure and will not schedule a new retry).
+    rebuild_done_.wait(lock, [this] { return !attempt_running_; });
+  }
+  if (retry_timer_.joinable()) retry_timer_.join();
+}
 
 bool DynamicCodService::AddEdge(NodeId u, NodeId v, double weight) {
   COD_CHECK(u < num_nodes_);
@@ -116,24 +160,26 @@ DynamicCodService::RebuildStats DynamicCodService::rebuild_stats() const {
   return stats_;
 }
 
-bool DynamicCodService::BeginRebuild(EdgeMap* edges_out,
-                                     uint64_t* build_index_out,
-                                     size_t* captured_pending_out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (rebuild_in_flight_) return false;
-  rebuild_in_flight_ = true;
-  *edges_out = edges_;
-  *build_index_out = builds_started_++;
-  // The epoch being built absorbs everything pending as of this capture;
-  // updates arriving during the build count against the NEXT epoch. A
-  // failed build restores the captured count so drift can re-trigger.
-  *captured_pending_out = pending_updates_;
-  snapshot_edges_ = edges_.size();
-  pending_updates_ = 0;
-  return true;
+bool DynamicCodService::DriftOverThresholdLocked() const {
+  const double drift =
+      snapshot_edges_ == 0
+          ? (pending_updates_ > 0 ? 1.0 : 0.0)
+          : static_cast<double>(pending_updates_) /
+                static_cast<double>(snapshot_edges_);
+  return pending_updates_ > 0 && drift > options_.rebuild_threshold;
 }
 
-Result<std::shared_ptr<const EngineCore>> DynamicCodService::BuildEpochCore(
+bool DynamicCodService::RefreshDue() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DriftOverThresholdLocked();
+}
+
+bool DynamicCodService::RetryScheduled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retry_.has_value();
+}
+
+Result<DynamicCodService::EpochBuild> DynamicCodService::BuildEpochCore(
     const EdgeMap& edges, uint64_t build_index) const {
   if (COD_FAILPOINT("dynamic_service/rebuild")) {
     return Status::IoError("failpoint dynamic_service/rebuild armed");
@@ -150,14 +196,27 @@ Result<std::shared_ptr<const EngineCore>> DynamicCodService::BuildEpochCore(
   const Budget budget{options_.rebuild_budget_seconds > 0.0
                           ? Deadline::After(options_.rebuild_budget_seconds)
                           : Deadline::Infinite()};
-  COD_RETURN_IF_ERROR(core->TryBuildHimor(rng, budget));
-  return std::shared_ptr<const EngineCore>(std::move(core));
+  Status himor = core->TryBuildHimor(rng, budget);
+  if (!himor.ok()) {
+    if (!options_.publish_without_index) return himor;
+    // Degraded publication: the graph and hierarchy built fine, only the
+    // index ran over budget (or hit "himor/build"). Fresh answers without
+    // index acceleration beat fast answers over a stale graph — publish
+    // index-absent and let a later rebuild restore the index.
+    core->MarkIndexAbsent();
+    return EpochBuild{std::shared_ptr<const EngineCore>(std::move(core)),
+                      /*degraded=*/true};
+  }
+  return EpochBuild{std::shared_ptr<const EngineCore>(std::move(core)),
+                    /*degraded=*/false};
 }
 
-void DynamicCodService::PublishEpoch(std::shared_ptr<const EngineCore> core) {
+void DynamicCodService::PublishEpoch(std::shared_ptr<const EngineCore> core,
+                                     bool degraded) {
   const std::shared_ptr<const Epoch> prev = published_.load();
   auto next = std::make_shared<Epoch>();
   next->epoch = (prev == nullptr ? 0 : prev->epoch) + 1;
+  next->degraded = degraded;
   next->core = std::move(core);
   published_.store(std::move(next));
   last_publish_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
@@ -168,23 +227,35 @@ Status DynamicCodService::Refresh() {
   EdgeMap edges;
   uint64_t build_index = 0;
   size_t captured_pending = 0;
-  // Wait out any background rebuild, then claim the build ticket ourselves.
   std::unique_lock<std::mutex> lock(mu_);
-  rebuild_done_.wait(lock, [this] { return !rebuild_in_flight_; });
-  rebuild_in_flight_ = true;
+  // A SCHEDULED retry is superseded by this explicit refresh: the edge set
+  // we capture below already contains everything the retry would have
+  // built, so absorb its pending count and cancel it. An EXECUTING attempt
+  // is waited out as before (it either publishes or schedules a retry we
+  // then absorb).
+  size_t absorbed = 0;
+  for (;;) {
+    if (retry_.has_value()) {
+      absorbed += retry_->captured_pending;
+      retry_.reset();
+      break;
+    }
+    if (!attempt_running_) break;
+    rebuild_done_.wait(lock);
+  }
+  attempt_running_ = true;
   edges = edges_;
   build_index = builds_started_++;
-  captured_pending = pending_updates_;
+  captured_pending = pending_updates_ + absorbed;
   snapshot_edges_ = edges_.size();
   pending_updates_ = 0;
   ++stats_.attempts;
   rm.attempts->Increment();
   lock.unlock();
 
-  Result<std::shared_ptr<const EngineCore>> built =
-      BuildEpochCore(edges, build_index);
+  Result<EpochBuild> built = BuildEpochCore(edges, build_index);
   if (built.ok()) {
-    PublishEpoch(std::move(built).value());
+    PublishEpoch(built->core, built->degraded);
   }
 
   // Notify under the lock: a waiter may destroy the service (and this cv)
@@ -193,6 +264,10 @@ Status DynamicCodService::Refresh() {
   if (built.ok()) {
     ++stats_.published;
     rm.published->Increment();
+    if (built->degraded) {
+      ++stats_.published_degraded;
+      rm.published_degraded->Increment();
+    }
   } else {
     ++stats_.failures;
     rm.failures->Increment();
@@ -202,7 +277,7 @@ Status DynamicCodService::Refresh() {
     // failed build are already counted on top.
     pending_updates_ += captured_pending;
   }
-  rebuild_in_flight_ = false;
+  attempt_running_ = false;
   rebuild_done_.notify_all();
   lock.unlock();
   return built.status();
@@ -213,97 +288,153 @@ bool DynamicCodService::RefreshAsync() {
   EdgeMap edges;
   uint64_t build_index = 0;
   size_t captured_pending = 0;
-  if (!BeginRebuild(&edges, &build_index, &captured_pending)) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (RebuildInFlightLocked()) return false;
+    attempt_running_ = true;
+    edges = edges_;
+    build_index = builds_started_++;
+    // The epoch being built absorbs everything pending as of this capture;
+    // updates arriving during the build count against the NEXT epoch. A
+    // failed build restores the captured count so drift can re-trigger.
+    captured_pending = pending_updates_;
+    snapshot_edges_ = edges_.size();
+    pending_updates_ = 0;
+  }
   options_.rebuild_pool->Submit(
-      [this, edges = std::move(edges), build_index, captured_pending] {
-        AsyncRebuildLoop(std::move(edges), build_index, captured_pending);
+      [this, edges = std::move(edges), build_index, captured_pending]() mutable {
+        RunRebuildAttempt(std::move(edges), build_index, captured_pending,
+                          /*attempt=*/0, options_.rebuild_backoff_initial_ms);
       });
   return true;
 }
 
-void DynamicCodService::AsyncRebuildLoop(EdgeMap edges, uint64_t build_index,
-                                         size_t captured_pending) {
-  // rebuild_in_flight_ stays true across every retry: RefreshAsync keeps
-  // deduping, Refresh() and the destructor keep waiting, exactly as for one
-  // long build.
+void DynamicCodService::RunRebuildAttempt(EdgeMap edges, uint64_t build_index,
+                                          size_t captured_pending,
+                                          uint32_t attempt,
+                                          uint32_t backoff_ms) {
   const RebuildSites& rm = RebuildMetrics();  // resolve before taking mu_
-  uint32_t backoff_ms = options_.rebuild_backoff_initial_ms;
-  for (uint32_t attempt = 0;; ++attempt) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.attempts;
-      rm.attempts->Increment();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.attempts;
+    rm.attempts->Increment();
+  }
+  Result<EpochBuild> built = BuildEpochCore(edges, build_index);
+  if (built.ok()) {
+    PublishEpoch(built->core, built->degraded);
+    // Notify under the lock — see Refresh().
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.published;
+    rm.published->Increment();
+    if (built->degraded) {
+      ++stats_.published_degraded;
+      rm.published_degraded->Increment();
     }
-    Result<std::shared_ptr<const EngineCore>> built =
-        BuildEpochCore(edges, build_index);
-    if (built.ok()) {
-      PublishEpoch(std::move(built).value());
-      // Notify under the lock — see Refresh().
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.published;
-      rm.published->Increment();
-      rebuild_in_flight_ = false;
-      rebuild_done_.notify_all();
-      return;
+    attempt_running_ = false;
+    rebuild_done_.notify_all();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.failures;
+  rm.failures->Increment();
+  stats_.last_error = built.status();
+  if (attempt >= options_.max_rebuild_retries || shutting_down_) {
+    // Give up: the last good epoch keeps serving; restoring the captured
+    // pending count lets the drift threshold schedule a fresh ticket.
+    pending_updates_ += captured_pending;
+    attempt_running_ = false;
+    rebuild_done_.notify_all();
+    return;
+  }
+  ++stats_.retries;
+  rm.retries->Increment();
+  // Schedule the retry instead of sleeping through the backoff: this worker
+  // returns to the pool NOW. The ticket stays in flight (retry_ set) so
+  // RefreshAsync dedupes and waiters wait, but no thread is occupied until
+  // the timer — or the next query's MaybeRefresh — observes retry_after.
+  PendingRetry r;
+  r.edges = std::move(edges);
+  r.build_index = build_index;
+  r.captured_pending = captured_pending;
+  r.attempt = attempt + 1;
+  r.next_backoff_ms = std::min(options_.rebuild_backoff_max_ms,
+                               backoff_ms * 2);
+  r.retry_after = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(backoff_ms);
+  retry_ = std::move(r);
+  attempt_running_ = false;
+  // Wake the timer to arm the new deadline, and rebuild_done_ waiters so a
+  // blocked Refresh() can absorb the retry instead of waiting out backoff.
+  timer_cv_.notify_all();
+  rebuild_done_.notify_all();
+}
+
+void DynamicCodService::SubmitRetryLocked() {
+  PendingRetry r = std::move(*retry_);
+  retry_.reset();
+  attempt_running_ = true;
+  // Submitting under mu_ is safe: pool workers never hold the pool's queue
+  // lock while taking mu_.
+  options_.rebuild_pool->Submit([this, r = std::move(r)]() mutable {
+    RunRebuildAttempt(std::move(r.edges), r.build_index, r.captured_pending,
+                      r.attempt, r.next_backoff_ms);
+  });
+}
+
+void DynamicCodService::RetryTimerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutting_down_) {
+    if (!retry_.has_value()) {
+      timer_cv_.wait(lock);
+      continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    ++stats_.failures;
-    rm.failures->Increment();
-    stats_.last_error = built.status();
-    if (attempt >= options_.max_rebuild_retries) {
-      // Give up: the last good epoch keeps serving; restoring the captured
-      // pending count lets the drift threshold schedule a fresh ticket.
-      pending_updates_ += captured_pending;
-      rebuild_in_flight_ = false;
-      rebuild_done_.notify_all();
-      return;
+    const auto due = retry_->retry_after;
+    if (std::chrono::steady_clock::now() < due) {
+      // Re-check after waking: the retry may have been absorbed by a
+      // Refresh(), cancelled by shutdown, or already submitted by a query's
+      // MaybeRefresh.
+      timer_cv_.wait_until(lock, due);
+      continue;
     }
-    ++stats_.retries;
-    rm.retries->Increment();
-    lock.unlock();
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-    backoff_ms = std::min(options_.rebuild_backoff_max_ms, backoff_ms * 2);
+    SubmitRetryLocked();
   }
 }
 
 void DynamicCodService::WaitForRebuild() {
   std::unique_lock<std::mutex> lock(mu_);
-  rebuild_done_.wait(lock, [this] { return !rebuild_in_flight_; });
+  rebuild_done_.wait(lock, [this] { return !RebuildInFlightLocked(); });
 }
 
 DynamicCodService::EpochSnapshot DynamicCodService::Snapshot() const {
   const std::shared_ptr<const Epoch> epoch = published_.load();
-  return EpochSnapshot{epoch->core, epoch->epoch};
+  return EpochSnapshot{epoch->core, epoch->epoch, epoch->degraded};
 }
 
 void DynamicCodService::MaybeRefresh() {
   bool over_threshold = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const double drift =
-        snapshot_edges_ == 0
-            ? (pending_updates_ > 0 ? 1.0 : 0.0)
-            : static_cast<double>(pending_updates_) /
-                  static_cast<double>(snapshot_edges_);
-    over_threshold =
-        pending_updates_ > 0 && drift > options_.rebuild_threshold;
+    // Kick a due retry: queries usually arrive far more often than the
+    // timer wakes, so this is the low-latency path back from backoff.
+    if (retry_.has_value() &&
+        std::chrono::steady_clock::now() >= retry_->retry_after) {
+      SubmitRetryLocked();
+    }
+    over_threshold = DriftOverThresholdLocked();
   }
   if (!over_threshold) return;
   if (options_.async_rebuild) {
     RefreshAsync();  // keep serving the stale epoch; swap when ready
-  } else {
-    // A failed refresh keeps the old epoch and restores the pending count
-    // (the next threshold crossing retries); the error is in
-    // rebuild_stats().
-    (void)Refresh();
   }
+  // Sync mode: queries NEVER rebuild inline — bounded latency beats bounded
+  // staleness. The owner polls RefreshDue() and calls Refresh().
 }
 
 CodResult DynamicCodService::QueryCodL(NodeId q, AttributeId attr, uint32_t k,
                                        Rng& rng) {
-  MaybeRefresh();
+  MaybeRefresh();  // may SCHEDULE a rebuild; never runs one inline
   const EpochSnapshot snap = Snapshot();
-  QueryWorkspace ws(*snap.core, /*seed=*/0);
+  QueryWorkspace& ws = TlsWorkspaceFor(*snap.core);
   ws.rng() = rng;
   const CodResult result = snap.core->QueryCodL(q, attr, k, ws);
   rng = ws.rng();
@@ -311,9 +442,9 @@ CodResult DynamicCodService::QueryCodL(NodeId q, AttributeId attr, uint32_t k,
 }
 
 CodResult DynamicCodService::QueryCodU(NodeId q, uint32_t k, Rng& rng) {
-  MaybeRefresh();
+  MaybeRefresh();  // may SCHEDULE a rebuild; never runs one inline
   const EpochSnapshot snap = Snapshot();
-  QueryWorkspace ws(*snap.core, /*seed=*/0);
+  QueryWorkspace& ws = TlsWorkspaceFor(*snap.core);
   ws.rng() = rng;
   const CodResult result = snap.core->QueryCodU(q, k, ws);
   rng = ws.rng();

@@ -7,10 +7,12 @@
 // (compare LSM compaction): queries are answered from the last built
 // *epoch* (graph snapshot + hierarchy + index) while edge updates
 // accumulate; when the accumulated drift exceeds `rebuild_threshold`
-// (fraction of the snapshot's edge count), the next query triggers a
-// rebuild, or the caller forces one with Refresh(). Between rebuilds,
-// answers are stale by at most the pending-update set, which is always
-// inspectable.
+// (fraction of the snapshot's edge count), a rebuild is SCHEDULED — on
+// `rebuild_pool` under async_rebuild, or left to the owner (RefreshDue() /
+// Refresh()) otherwise. Query paths never rebuild inline: QueryCodL/U only
+// snapshot-and-serve, so a threshold-crossing query costs the same as any
+// other. Between rebuilds, answers are stale by at most the pending-update
+// set, which is always inspectable.
 //
 // Concurrency model (RCU-style epoch publication): each epoch is an
 // immutable EngineCore published through an atomic shared_ptr. Readers call
@@ -18,11 +20,7 @@
 // their own QueryWorkspace; they never block, and a snapshot stays valid
 // (and answer-stable) for as long as the caller holds it, across any number
 // of later rebuilds. Writers (AddEdge / RemoveEdge) mutate only the pending
-// edge set under a mutex. With `async_rebuild`, a threshold-crossing query
-// schedules the rebuild on `rebuild_pool` and keeps serving the stale epoch;
-// the new epoch is swapped in atomically when ready. Without it, the
-// crossing query rebuilds synchronously before answering — the original,
-// strictly bounded staleness semantics.
+// edge set under a mutex.
 //
 // Epoch determinism: every build ticket t (0-based) samples with RNG seed
 // `options.seed + t`, so a service replaying the same
@@ -32,23 +30,39 @@
 // the ticket number — determinism is per replayed sequence, not per epoch
 // number.)
 //
-// Failure containment: a rebuild can fail — the HIMOR build runs out of its
-// `rebuild_budget_seconds`, or a failpoint ("dynamic_service/rebuild",
-// "himor/build"; see common/failpoint.h) simulates an infrastructure error.
-// A failed rebuild NEVER touches the published epoch: queries keep serving
-// the last good epoch, the captured pending-update count is restored so the
-// drift threshold can re-trigger, and the error is recorded in
-// rebuild_stats(). Async rebuilds retry in place with capped exponential
-// backoff (max_rebuild_retries / rebuild_backoff_*_ms) before giving up.
+// Failure containment and degraded publication: a rebuild can fail — a
+// failpoint ("dynamic_service/rebuild", "himor/build"; see
+// common/failpoint.h) simulates an infrastructure error, or the HIMOR build
+// runs out of its `rebuild_budget_seconds`. A failed rebuild NEVER touches
+// the published epoch: queries keep serving the last good epoch, the
+// captured pending-update count is restored so the drift threshold can
+// re-trigger, and the error is recorded in rebuild_stats(). With
+// `publish_without_index` (the default), an index-only failure is not a
+// rebuild failure at all: the epoch publishes anyway in the index-absent
+// DEGRADED mode — fresh graph, hierarchy, and correct CODL answers via the
+// compressed-evaluation (CODL-) fallback, just no index acceleration. The
+// index is an accelerator; losing it degrades latency, never availability
+// or freshness.
+//
+// Non-blocking retries: a failed ASYNC rebuild is NOT retried by sleeping
+// in the pool worker. The attempt records a monotonic `retry_after`
+// deadline and returns its worker to the pool; a lightweight timer thread
+// (or the next MaybeRefresh from a query, whichever observes the deadline
+// first) re-submits the attempt once it passes. While a retry is scheduled
+// the rebuild counts as in flight — RefreshAsync dedupes and
+// WaitForRebuild waits, exactly as during one long build — but no thread
+// is occupied.
 
 #ifndef COD_CORE_DYNAMIC_SERVICE_H_
 #define COD_CORE_DYNAMIC_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 
 #include "common/metrics.h"
@@ -66,38 +80,55 @@ class DynamicCodService {
     uint64_t seed = 1;  // drives HIMOR sampling at every rebuild
     // Build threshold-crossing rebuilds on `rebuild_pool` instead of the
     // querying thread; queries keep serving the stale epoch meanwhile.
+    // Without it the service never rebuilds on its own — the owner polls
+    // RefreshDue() and calls Refresh().
     bool async_rebuild = false;
     ThreadPool* rebuild_pool = nullptr;  // required iff async_rebuild
-    // Failed ASYNC rebuilds retry in place up to this many times (so up to
-    // 1 + max_rebuild_retries attempts per ticket), sleeping
+    // Failed ASYNC rebuilds retry up to this many times (so up to
+    // 1 + max_rebuild_retries attempts per ticket), waiting
     // rebuild_backoff_initial_ms, then doubling up to rebuild_backoff_max_ms,
-    // between attempts. Synchronous Refresh() never retries — the caller
-    // sees the Status and decides.
+    // between attempts. The wait is a scheduled `retry_after` deadline, not
+    // a sleep — no pool worker is held during backoff. Synchronous
+    // Refresh() never retries — the caller sees the Status and decides.
     uint32_t max_rebuild_retries = 3;
     uint32_t rebuild_backoff_initial_ms = 10;
     uint32_t rebuild_backoff_max_ms = 1000;
     // Wall-clock budget for each rebuild's HIMOR construction (0 =
-    // unlimited). An over-budget build fails like any other rebuild error.
-    double rebuild_budget_seconds = 0.0;
+    // unlimited). The default bounds how long a rebuild can monopolize a
+    // pool worker; an over-budget index build publishes degraded (below)
+    // rather than failing the rebuild.
+    double rebuild_budget_seconds = 30.0;
+    // When the budgeted HIMOR build fails but the epoch's graph and
+    // hierarchy built fine, publish the epoch anyway WITHOUT the index:
+    // the epoch is marked degraded, CODL serves the compressed-evaluation
+    // (CODL-) fallback, and index-only ladder rungs vanish until a later
+    // rebuild restores the index. Set false to restore the strict behavior
+    // (an index failure fails the whole rebuild and the stale epoch keeps
+    // serving from its intact index).
+    bool publish_without_index = true;
   };
 
   // Cumulative rebuild bookkeeping, inspectable at any time (test /
   // monitoring hook). attempts counts every BuildEpochCore call including
-  // retries; published counts successful epoch swaps.
+  // retries; published counts successful epoch swaps (published_degraded
+  // of which were index-absent).
   struct RebuildStats {
     uint64_t attempts = 0;
     uint64_t failures = 0;
     uint64_t retries = 0;
     uint64_t published = 0;
+    uint64_t published_degraded = 0;
     Status last_error;  // most recent failure; Ok() if none ever failed
   };
 
   // A published epoch: queries against `core` are answered as of that
   // epoch's graph snapshot. Holding the shared_ptr keeps the epoch alive
-  // after later rebuilds retire it.
+  // after later rebuilds retire it. `degraded` marks an index-absent epoch
+  // (see Options::publish_without_index).
   struct EpochSnapshot {
     std::shared_ptr<const EngineCore> core;
     uint64_t epoch = 0;
+    bool degraded = false;
   };
 
   // Takes ownership of the initial graph; `attrs` must cover the same node
@@ -107,7 +138,9 @@ class DynamicCodService {
   // fall back to), so arm rebuild failpoints only AFTER construction.
   DynamicCodService(Graph initial_graph, AttributeTable attrs,
                     const Options& options);
-  // Blocks until any in-flight background rebuild has finished.
+  // Cancels any scheduled retry (restoring its pending count, like a
+  // retry-cap give-up), waits out an executing rebuild attempt, and joins
+  // the retry timer.
   ~DynamicCodService();
 
   // ---- Updates (O(1), no rebuild). Duplicate inserts overwrite weight;
@@ -118,33 +151,51 @@ class DynamicCodService {
 
   size_t pending_updates() const;
   uint64_t epoch() const { return published_.load()->epoch; }
+  // True when the current epoch was published index-absent.
+  bool epoch_degraded() const { return published_.load()->degraded; }
   size_t NumEdges() const;
   RebuildStats rebuild_stats() const;
 
+  // True when accumulated drift has crossed rebuild_threshold — in sync
+  // mode the owner polls this and calls Refresh() (queries never rebuild).
+  bool RefreshDue() const;
+  // True while a failed async rebuild is waiting out its backoff. No pool
+  // worker is occupied during this window; the retry fires from the timer
+  // thread or the next query's MaybeRefresh once `retry_after` passes.
+  bool RetryScheduled() const;
+
   // Synchronously rebuilds the snapshot, hierarchy, and index from the
-  // current edge set and publishes the new epoch before returning (waits
-  // out an in-flight background rebuild first). On failure the old epoch
-  // stays published, the captured pending updates are restored, and the
-  // build error is returned (no retries — call again to retry).
+  // current edge set and publishes the new epoch before returning (a
+  // scheduled retry is absorbed — its captured updates fold into this
+  // build — and an executing background attempt is waited out first). On
+  // failure the old epoch stays published, the captured pending updates are
+  // restored, and the build error is returned (no retries — call again to
+  // retry). An index-only failure publishes degraded and returns Ok when
+  // publish_without_index is set.
   Status Refresh();
 
   // Schedules a rebuild on `rebuild_pool` and returns immediately; false if
-  // one is already in flight (callers keep serving the stale epoch either
-  // way). Requires Options::async_rebuild. Failed builds retry on the pool
-  // with capped exponential backoff (see Options); if every attempt fails,
-  // the old epoch keeps serving and rebuild_stats().last_error records why.
+  // one is already in flight — executing OR waiting on a retry deadline —
+  // (callers keep serving the stale epoch either way). Requires
+  // Options::async_rebuild. Failed builds are re-scheduled with capped
+  // exponential backoff (see Options); if every attempt fails, the old
+  // epoch keeps serving and rebuild_stats().last_error records why.
   bool RefreshAsync();
 
-  // Blocks until no background rebuild is in flight (test/shutdown hook).
+  // Blocks until no background rebuild is in flight, waiting through any
+  // scheduled retries (test/shutdown hook).
   void WaitForRebuild();
 
   // The current epoch, via one atomic load — never blocks, including during
   // a background rebuild.
   EpochSnapshot Snapshot() const;
 
-  // Serves from the current epoch, first refreshing (or scheduling a
-  // background refresh, under async_rebuild) if drift crossed the
-  // threshold.
+  // Serves from the current epoch — snapshot-and-serve only, never
+  // rebuilding inline. Under async_rebuild a threshold crossing schedules
+  // the rebuild on the pool (and kicks a due retry); in sync mode the
+  // caller owns rebuilds via RefreshDue()/Refresh(). Scratch comes from a
+  // lazily built thread-local QueryWorkspace rebound to the snapshot, so
+  // repeated single queries do not reallocate.
   CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
   CodResult QueryCodU(NodeId q, uint32_t k, Rng& rng);
 
@@ -168,26 +219,59 @@ class DynamicCodService {
  private:
   struct Epoch {
     uint64_t epoch = 0;
+    bool degraded = false;
     std::shared_ptr<const EngineCore> core;
   };
   using EdgeMap = std::unordered_map<uint64_t, double>;
 
+  // A successfully built epoch core; degraded = published index-absent.
+  struct EpochBuild {
+    std::shared_ptr<const EngineCore> core;
+    bool degraded = false;
+  };
+
+  // A failed async attempt waiting out its backoff. Owns the captured edge
+  // snapshot and ticket so the re-submitted attempt is byte-identical to
+  // the failed one (same seed stream). Guarded by mu_; mutually exclusive
+  // with attempt_running_ (an attempt either executes or waits, never
+  // both).
+  struct PendingRetry {
+    EdgeMap edges;
+    uint64_t build_index = 0;
+    size_t captured_pending = 0;
+    uint32_t attempt = 0;          // attempt number the retry will run
+    uint32_t next_backoff_ms = 0;  // backoff if THAT attempt also fails
+    std::chrono::steady_clock::time_point retry_after;
+  };
+
+  // Schedules work if drift crossed the threshold (async mode) and kicks a
+  // due retry; never rebuilds inline.
   void MaybeRefresh();
-  // Captures the edge set + build ticket under mu_; returns false when a
-  // rebuild is already in flight (async dedupe). `captured_pending_out`
-  // receives the pending-update count the capture absorbed, so a failed
-  // build can restore it.
-  bool BeginRebuild(EdgeMap* edges_out, uint64_t* build_index_out,
-                    size_t* captured_pending_out);
+  bool DriftOverThresholdLocked() const;
+  // True while a rebuild ticket is unresolved: an attempt is executing or
+  // a retry is scheduled.
+  bool RebuildInFlightLocked() const {
+    return attempt_running_ || retry_.has_value();
+  }
   // Builds an epoch core from an edge snapshot (no locks held). Fails on
-  // the "dynamic_service/rebuild" failpoint or an over-budget HIMOR build.
-  Result<std::shared_ptr<const EngineCore>> BuildEpochCore(
-      const EdgeMap& edges, uint64_t build_index) const;
-  // Async rebuild body: attempt / retry with backoff until success or the
-  // retry cap, then clear rebuild_in_flight_ and notify.
-  void AsyncRebuildLoop(EdgeMap edges, uint64_t build_index,
-                        size_t captured_pending);
-  void PublishEpoch(std::shared_ptr<const EngineCore> core);
+  // the "dynamic_service/rebuild" failpoint or — unless
+  // publish_without_index turns it into a degraded success — an
+  // over-budget / failpointed HIMOR build.
+  Result<EpochBuild> BuildEpochCore(const EdgeMap& edges,
+                                    uint64_t build_index) const;
+  // One async attempt: build, publish on success, otherwise schedule the
+  // retry deadline (or give up past the cap) — and return to the pool
+  // either way.
+  void RunRebuildAttempt(EdgeMap edges, uint64_t build_index,
+                         size_t captured_pending, uint32_t attempt,
+                         uint32_t backoff_ms);
+  // Moves the scheduled retry to the pool as an executing attempt.
+  // Requires mu_ held and retry_ set.
+  void SubmitRetryLocked();
+  // Timer thread body: sleeps on timer_cv_ until a retry deadline passes,
+  // then submits it. Exits when shutting_down_.
+  void RetryTimerLoop();
+  void PublishEpoch(std::shared_ptr<const EngineCore> core, bool degraded);
   static uint64_t EdgeKey(NodeId u, NodeId v, size_t n);
 
   std::shared_ptr<const AttributeTable> attrs_;  // shared by every epoch
@@ -199,9 +283,14 @@ class DynamicCodService {
   size_t pending_updates_ = 0;
   size_t snapshot_edges_ = 0;
   uint64_t builds_started_ = 0;
-  bool rebuild_in_flight_ = false;
+  bool attempt_running_ = false;
+  std::optional<PendingRetry> retry_;
+  bool shutting_down_ = false;
   RebuildStats stats_;
   std::condition_variable rebuild_done_;
+  // Wakes the retry timer when a retry is scheduled, absorbed, or the
+  // service shuts down.
+  std::condition_variable timer_cv_;
 
   // RCU-style publication point; readers atomically load, writers
   // atomically store a fresh Epoch. Never null after construction.
@@ -211,13 +300,18 @@ class DynamicCodService {
   // clock's epoch; feeds the epoch-age callback gauge.
   std::atomic<int64_t> last_publish_ns_{0};
 
-  // Scrape-time gauges (epoch number / age, pending updates), registered at
-  // the end of construction and RAII-unregistered before the state they read
-  // is destroyed. Two live services emit one sample each under the same
-  // name — like two replicas scraping alike.
+  // Scrape-time gauges (epoch number / age, pending updates, index
+  // presence), registered at the end of construction and RAII-unregistered
+  // before the state they read is destroyed. Two live services emit one
+  // sample each under the same name — like two replicas scraping alike.
   std::optional<ScopedCallbackGauge> epoch_gauge_;
   std::optional<ScopedCallbackGauge> epoch_age_gauge_;
   std::optional<ScopedCallbackGauge> pending_gauge_;
+  std::optional<ScopedCallbackGauge> index_present_gauge_;
+
+  // Declared last so it is joined-before-destroyed relative to everything
+  // it reads; started only under async_rebuild.
+  std::thread retry_timer_;
 };
 
 }  // namespace cod

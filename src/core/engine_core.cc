@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "core/query_workspace.h"
 
@@ -95,6 +96,9 @@ struct StageSites {
   Counter* index_hits;
   Counter* codr_cache_hits;
   Counter* codr_cache_misses;
+  Counter* codr_cache_builds;
+  Counter* codr_cache_evictions;
+  Counter* codr_fallbacks;
 };
 
 const StageSites& Stages() {
@@ -112,6 +116,9 @@ const StageSites& Stages() {
     s.index_hits = reg.GetCounter("cod_index_hits_total");
     s.codr_cache_hits = reg.GetCounter("cod_codr_cache_hits_total");
     s.codr_cache_misses = reg.GetCounter("cod_codr_cache_misses_total");
+    s.codr_cache_builds = reg.GetCounter("cod_codr_cache_builds_total");
+    s.codr_cache_evictions = reg.GetCounter("cod_codr_cache_evictions_total");
+    s.codr_fallbacks = reg.GetCounter("cod_codr_fallbacks_total");
     return s;
   }();
   return sites;
@@ -159,25 +166,99 @@ CodChain EngineCore::BuildCoduChain(NodeId q) const {
 
 CodChain EngineCore::BuildCodrChain(NodeId q, AttributeId attr) const {
   if (options_.cache_codr_hierarchies) {
-    std::shared_ptr<const Dendrogram> cached;
-    {
-      std::lock_guard<std::mutex> lock(codr_mu_);
-      auto it = codr_cache_.find(attr);
-      if (it != codr_cache_.end()) cached = it->second;
-    }
-    if (cached == nullptr) {
-      // Build outside the lock (clustering is the expensive part); racing
-      // builders produce identical dendrograms and the first insert wins.
-      auto built = std::make_shared<const Dendrogram>(
-          GlobalRecluster(*graph_, *attrs_, attr, options_.transform));
-      std::lock_guard<std::mutex> lock(codr_mu_);
-      cached = codr_cache_.emplace(attr, std::move(built)).first->second;
-    }
-    return BuildChainFromDendrogram(*cached, q);
+    bool from_cache = false;
+    Result<std::shared_ptr<const Dendrogram>> cached =
+        CodrDendrogramFor(attr, Budget{}, &from_cache);
+    if (cached.ok()) return BuildChainFromDendrogram(*cached.value(), q);
+    // Cache build failed (failpoint injection): build privately below — this
+    // unbudgeted chain-builder form has no failure channel to report through.
   }
   const Dendrogram dendrogram =
       GlobalRecluster(*graph_, *attrs_, attr, options_.transform);
   return BuildChainFromDendrogram(dendrogram, q);
+}
+
+Result<std::shared_ptr<const Dendrogram>> EngineCore::CodrDendrogramFor(
+    AttributeId attr, const Budget& budget, bool* served_from_cache) const {
+  std::unique_lock<std::mutex> lock(codr_mu_);
+  for (;;) {
+    auto it = codr_cache_.find(attr);
+    if (it == codr_cache_.end()) break;  // cold miss: become the builder
+    if (it->second.dendrogram != nullptr) {
+      it->second.last_used = ++codr_lru_tick_;
+      *served_from_cache = true;
+      return it->second.dendrogram;
+    }
+    // Single flight: another thread is already building this attribute.
+    // Wait for its result instead of running a redundant GlobalRecluster,
+    // honoring our own budget while we wait (an infinite-deadline wait with
+    // a cancel token is sliced so cancellation is observed promptly).
+    Status overdue = budget.Check("codr cache wait");
+    if (!overdue.ok()) return overdue;
+    if (budget.deadline.infinite()) {
+      if (budget.cancel != nullptr) {
+        codr_cv_.wait_for(lock, std::chrono::milliseconds(10));
+      } else {
+        codr_cv_.wait(lock);
+      }
+    } else {
+      codr_cv_.wait_until(lock, budget.deadline.time_point());
+    }
+  }
+  codr_cache_[attr];  // null dendrogram = in-flight latch for this attribute
+  lock.unlock();
+  *served_from_cache = false;
+  Result<Dendrogram> built = [&]() -> Result<Dendrogram> {
+    if (COD_FAILPOINT("engine_core/codr_cache")) {
+      return Status::IoError("failpoint engine_core/codr_cache armed");
+    }
+    return GlobalRecluster(*graph_, *attrs_, attr, options_.transform, budget);
+  }();
+  lock.lock();
+  if (!built.ok()) {
+    // Only successful builds are cached. Drop the latch and wake the waiters
+    // so one of them can take over (or fall back / report its own budget).
+    codr_cache_.erase(attr);
+    codr_cv_.notify_all();
+    return built.status();
+  }
+  CodrCacheEntry& entry = codr_cache_[attr];
+  entry.dendrogram =
+      std::make_shared<const Dendrogram>(std::move(built).value());
+  entry.last_used = ++codr_lru_tick_;
+  // Hold our own reference before eviction runs: with capacity 1 and a
+  // concurrent in-flight build, the entry we just inserted can itself be
+  // the LRU victim.
+  std::shared_ptr<const Dendrogram> result = entry.dendrogram;
+  if (MetricsRegistry::enabled()) Stages().codr_cache_builds->Increment();
+  EvictCodrOverflowLocked();
+  codr_cv_.notify_all();
+  return result;
+}
+
+void EngineCore::EvictCodrOverflowLocked() const {
+  const size_t cap = options_.codr_cache_capacity;
+  if (cap == 0) return;
+  while (codr_cache_.size() > cap) {
+    auto victim = codr_cache_.end();
+    for (auto it = codr_cache_.begin(); it != codr_cache_.end(); ++it) {
+      if (it->second.dendrogram == nullptr) continue;  // in-flight latch
+      if (victim == codr_cache_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == codr_cache_.end()) return;  // nothing evictable yet
+    codr_cache_.erase(victim);
+    if (MetricsRegistry::enabled()) {
+      Stages().codr_cache_evictions->Increment();
+    }
+  }
+}
+
+size_t EngineCore::CodrCacheSize() const {
+  std::lock_guard<std::mutex> lock(codr_mu_);
+  return codr_cache_.size();
 }
 
 LoreChain EngineCore::BuildCodlChain(NodeId q, AttributeId attr) const {
@@ -275,7 +356,16 @@ CodResult EngineCore::Query(const QuerySpec& spec, QueryWorkspace& ws) const {
       result = DoCodU(spec.node, k, ws);
       break;
     case CodVariant::kCodUIndexed:
-      result = DoCodUIndexed(spec.node, k);
+      if (!himor_.has_value()) {
+        // Index-absent degraded mode: sampled CODU answers the same
+        // question (largest base community with q in the top-k) without
+        // the index, at sampling cost and with estimated (not exact) ranks.
+        COD_CHECK(index_absent_degraded_);
+        result = DoCodU(spec.node, k, ws);
+        result.degraded = true;
+      } else {
+        result = DoCodUIndexed(spec.node, k);
+      }
       break;
     case CodVariant::kCodR:
       result = spec.attrs.size() == 1
@@ -420,33 +510,32 @@ CodResult EngineCore::DoCodRSingle(NodeId q, AttributeId attr, uint32_t k,
                                    QueryWorkspace& ws) const {
   QueryStats& st = ws.stats();
   CodChain chain;
+  bool fell_back = false;
   {
     StageTimer timer(&st.chain_build_seconds);
     if (options_.cache_codr_hierarchies) {
-      std::shared_ptr<const Dendrogram> cached;
-      {
-        std::lock_guard<std::mutex> lock(codr_mu_);
-        auto it = codr_cache_.find(attr);
-        if (it != codr_cache_.end()) cached = it->second;
+      bool from_cache = false;
+      Result<std::shared_ptr<const Dendrogram>> cached =
+          CodrDendrogramFor(attr, ws.budget(), &from_cache);
+      st.codr_cache_hit = from_cache;
+      if (cached.ok()) {
+        chain = BuildChainFromDendrogram(*cached.value(), q);
+      } else if (cached.status().code() == StatusCode::kCancelled) {
+        // A cancelled caller does not want a cheaper answer.
+        return BudgetExhaustedResult(StatusCode::kCancelled,
+                                     CodVariant::kCodR);
+      } else {
+        // Degraded fallback: the attribute hierarchy is unavailable (the
+        // budgeted first-touch build failed or the "engine_core/codr_cache"
+        // failpoint fired) — answer over the BASE hierarchy instead of
+        // surfacing the build error. The evaluation still measures true
+        // influence, so this is a valid (if attribute-blind) community,
+        // tagged degraded with variant_served = kCodU. If the budget is
+        // genuinely spent the evaluation below still unwinds kTimeout —
+        // deadline discipline always wins.
+        chain = BuildCoduChain(q);
+        fell_back = true;
       }
-      st.codr_cache_hit = cached != nullptr;
-      if (cached == nullptr) {
-        // Build outside the lock (clustering is the expensive part); racing
-        // builders produce identical dendrograms and the first insert wins.
-        // Only successful builds are cached: a budget abort leaves no
-        // partial dendrogram behind.
-        Result<Dendrogram> built = GlobalRecluster(
-            *graph_, *attrs_, attr, options_.transform, ws.budget());
-        if (!built.ok()) {
-          return BudgetExhaustedResult(built.status().code(),
-                                       CodVariant::kCodR);
-        }
-        auto owned =
-            std::make_shared<const Dendrogram>(std::move(built).value());
-        std::lock_guard<std::mutex> lock(codr_mu_);
-        cached = codr_cache_.emplace(attr, std::move(owned)).first->second;
-      }
-      chain = BuildChainFromDendrogram(*cached, q);
     } else {
       Result<Dendrogram> dendrogram = GlobalRecluster(
           *graph_, *attrs_, attr, options_.transform, ws.budget());
@@ -458,7 +547,11 @@ CodResult EngineCore::DoCodRSingle(NodeId q, AttributeId attr, uint32_t k,
     }
   }
   CodResult result = EvaluateChain(chain, q, k, ws);
-  result.variant_served = CodVariant::kCodR;
+  result.variant_served = fell_back ? CodVariant::kCodU : CodVariant::kCodR;
+  result.degraded = fell_back;
+  if (fell_back && MetricsRegistry::enabled()) {
+    Stages().codr_fallbacks->Increment();
+  }
   return result;
 }
 
@@ -513,7 +606,17 @@ CodResult EngineCore::DoCodLMinus(NodeId q,
 
 CodResult EngineCore::DoCodL(NodeId q, std::span<const AttributeId> attrs,
                              uint32_t k, QueryWorkspace& ws) const {
-  COD_CHECK(himor_.has_value());  // build/load HIMOR during setup
+  if (!himor_.has_value()) {
+    // Index-absent degraded mode (MarkIndexAbsent): answer with the CODL-
+    // computation — LORE pick of C_ell, local recluster, spliced global
+    // ancestors, compressed evaluation. Same communities the paper's
+    // Algorithm 3 fallback produces; only the index short-circuit is lost.
+    // A core that simply never built its index is still a programming error.
+    COD_CHECK(index_absent_degraded_);
+    CodResult result = DoCodLMinus(q, attrs, k, ws);
+    result.degraded = true;  // variant_served stays kCodLMinus: what ran
+    return result;
+  }
   QueryStats& st = ws.stats();
   LoreScores scores;
   {
@@ -710,6 +813,11 @@ Status EngineCore::TryBuildHimor(Rng& rng, const Budget& budget) {
   if (!built.ok()) return built.status();
   himor_ = std::move(built).value();
   return Status::Ok();
+}
+
+void EngineCore::MarkIndexAbsent() {
+  COD_CHECK(!himor_.has_value());  // an existing index is never discarded
+  index_absent_degraded_ = true;
 }
 
 Status EngineCore::TryBuildHimorParallel(uint64_t seed, size_t num_threads,

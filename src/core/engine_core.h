@@ -11,10 +11,22 @@
 //     QueryWorkspace ws(*core, seed);            // one per thread, reusable
 //     CodResult r = core->QueryCodL(q, attr, k, ws);
 //
-// The only mutable member is the optional CODR hierarchy cache, which is
-// guarded by a mutex (deterministic clustering makes racing builders
-// harmless: the first insert wins and every thread reads the same
-// dendrogram).
+// The only mutable member is the optional CODR hierarchy cache: a bounded
+// (LRU-evicting) per-attribute dendrogram cache with SINGLE-FLIGHT misses —
+// concurrent first-touch queries for the same attribute elect one builder
+// and the rest wait on its result instead of each running a redundant
+// GlobalRecluster. Deterministic clustering means every waiter reads the
+// same dendrogram a private build would have produced.
+//
+// Index-absent (degraded) mode: a core normally requires its HIMOR index
+// for CODL / indexed-CODU. When an epoch's budgeted index build fails, the
+// serving stack can still publish the core after MarkIndexAbsent(): CODL
+// then answers through the compressed-evaluation fallback over the LORE
+// chain (the Algorithm-3 slow path, extended with the global ancestors —
+// i.e. the CODL- computation) and indexed CODU falls back to sampled CODU;
+// both results are tagged degraded. Queries on a core that simply never
+// built an index still fail fast (programming error), so the degraded mode
+// is explicit, never accidental.
 //
 // Construction-time mutation: BuildHimor / BuildHimorParallel / LoadHimor
 // are setup steps. They must happen-before the core is shared across
@@ -29,6 +41,7 @@
 #ifndef COD_CORE_ENGINE_CORE_H_
 #define COD_CORE_ENGINE_CORE_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -64,6 +77,10 @@ struct EngineOptions {
   // are identical; only timing changes — keep false for runtime benches).
   // The cache is mutex-guarded, so concurrent CODR queries are safe.
   bool cache_codr_hierarchies = false;
+  // Cached dendrograms retained before LRU eviction kicks in (0 =
+  // unbounded). A dendrogram costs O(n) nodes, so a high-cardinality
+  // attribute sweep against an uncapped cache is a slow memory leak.
+  size_t codr_cache_capacity = 64;
 };
 
 // The COD variants the serving stack can run (paper Sec. V-A), ordered by
@@ -213,7 +230,9 @@ class EngineCore {
   // Query({kCodUIndexed, ...}, ws) to get both.
   CodResult QueryCodUIndexed(NodeId q, uint32_t k) const;
 
-  // Require himor() (BuildHimor / LoadHimor during setup).
+  // Require himor() (BuildHimor / LoadHimor during setup) — unless the core
+  // was published index-absent (MarkIndexAbsent), in which case CODL serves
+  // the CODL- computation tagged degraded.
   CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k,
                       QueryWorkspace& ws) const;
   CodResult QueryCodL(NodeId q, std::span<const AttributeId> attrs,
@@ -244,11 +263,24 @@ class EngineCore {
   Status TryBuildHimorParallel(uint64_t seed, size_t num_threads,
                                const Budget& budget);
   Status LoadHimor(const std::string& path);
+  // Declares that this core intentionally serves WITHOUT a HIMOR index (the
+  // budgeted build failed and the epoch is being published degraded). CODL
+  // then answers via the CODL- computation (local recluster + spliced
+  // global ancestors + compressed evaluation) and kCodUIndexed via sampled
+  // CODU, both tagged degraded. Setup-time mutator, like BuildHimor.
+  void MarkIndexAbsent();
 
   Status SaveHimor(const std::string& path) const;
   const HimorIndex* himor() const {
     return himor_.has_value() ? &*himor_ : nullptr;
   }
+  // True when the HIMOR index exists; false only on cores published in the
+  // explicit index-absent degraded mode (see MarkIndexAbsent).
+  bool index_present() const { return himor_.has_value(); }
+  bool index_absent_degraded() const { return index_absent_degraded_; }
+
+  // Test/ops hook: cached CODR dendrograms currently resident.
+  size_t CodrCacheSize() const;
 
  private:
   // The LORE splice of BuildCodlChain after the scores are known; shared by
@@ -271,6 +303,19 @@ class EngineCore {
                    QueryWorkspace& ws) const;
   CodResult DoCodUIndexed(NodeId q, uint32_t k) const;
 
+  // The CODR cache lookup-or-build: returns the attribute's dendrogram,
+  // electing this thread as the single-flight builder on a cold miss (the
+  // "engine_core/codr_cache" failpoint fires inside the builder, before the
+  // GlobalRecluster). Waiters honor `budget`'s deadline while the builder
+  // runs. `*served_from_cache` reports whether the dendrogram was obtained
+  // without this thread building it.
+  Result<std::shared_ptr<const Dendrogram>> CodrDendrogramFor(
+      AttributeId attr, const Budget& budget, bool* served_from_cache) const;
+  // Drops least-recently-used READY entries until the cache fits
+  // options_.codr_cache_capacity; in-flight builds are never evicted.
+  // Requires codr_mu_ held.
+  void EvictCodrOverflowLocked() const;
+
   std::shared_ptr<const Graph> graph_;
   std::shared_ptr<const AttributeTable> attrs_;
   EngineOptions options_;
@@ -278,12 +323,22 @@ class EngineCore {
   Dendrogram base_;
   LcaIndex lca_;
   std::optional<HimorIndex> himor_;
+  bool index_absent_degraded_ = false;
 
-  // CODR per-attribute hierarchy cache (options_.cache_codr_hierarchies).
-  // shared_ptr values let readers drop the lock before walking a dendrogram.
+  // CODR per-attribute hierarchy cache (options_.cache_codr_hierarchies):
+  // bounded LRU, single-flight misses. `dendrogram == nullptr` marks an
+  // in-flight build; waiters sleep on codr_cv_ (one cv for the whole cache —
+  // builds are rare and the thundering herd is exactly the set of waiters
+  // that need to wake). shared_ptr values let readers drop the lock before
+  // walking a dendrogram, and keep an evicted-but-in-use dendrogram alive.
+  struct CodrCacheEntry {
+    std::shared_ptr<const Dendrogram> dendrogram;  // null while building
+    uint64_t last_used = 0;                        // LRU tick
+  };
   mutable std::mutex codr_mu_;
-  mutable std::unordered_map<AttributeId, std::shared_ptr<const Dendrogram>>
-      codr_cache_;
+  mutable std::condition_variable codr_cv_;
+  mutable std::unordered_map<AttributeId, CodrCacheEntry> codr_cache_;
+  mutable uint64_t codr_lru_tick_ = 0;
 };
 
 }  // namespace cod

@@ -23,7 +23,10 @@ struct LadderStep {
 // Cost-DECREASING ladder per the paper's Fig. 9 query-time ordering
 // (CODR >> CODL- > CODL > index-only; see DESIGN.md "Failure taxonomy and
 // graceful degradation"). Index rungs are only offered when the core has a
-// HIMOR index that can answer rank k.
+// HIMOR index that can answer rank k — on an index-absent (degraded) core
+// they vanish and the ladder is exactly the no-index subset; the core's own
+// in-variant fallbacks (CODL -> CODL-) then mark rung-0 answers degraded
+// themselves.
 std::vector<LadderStep> DegradationLadder(const EngineCore& core,
                                           CodVariant requested, uint32_t k,
                                           bool allow_degradation) {
@@ -177,7 +180,10 @@ CodResult RunQuerySpecWithBudget(const EngineCore& core, const QuerySpec& spec,
     ws.ClearBudget();
     result.ladder_rung = static_cast<uint8_t>(s);
     if (result.code == StatusCode::kOk) {
-      result.degraded = s > 0;
+      // OR, don't overwrite: rung 0 can already be degraded when the core
+      // itself degraded it (index-absent CODL fallback, CODR base-hierarchy
+      // fallback).
+      result.degraded = result.degraded || s > 0;
       return result;
     }
     if (result.code == StatusCode::kCancelled) return result;  // no retries

@@ -1,6 +1,9 @@
 #include "core/dynamic_service.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -85,7 +88,12 @@ TEST(DynamicServiceTest, RefreshAppliesUpdatesToEngine) {
   EXPECT_DOUBLE_EQ(g.Weight(e), 2.5);
 }
 
-TEST(DynamicServiceTest, ThresholdTriggersAutoRebuild) {
+// Satellite regression (non-blocking rebuild pipeline): sync-mode queries
+// used to run a FULL epoch rebuild — graph build, clustering, HIMOR —
+// inline when their MaybeRefresh crossed the drift threshold, so one
+// unlucky QueryCodL stalled for seconds. Queries now only
+// snapshot-and-serve; the owner polls RefreshDue() and calls Refresh().
+TEST(DynamicServiceTest, SyncQueriesNeverRebuildInline) {
   World w = MakeWorld(4);
   DynamicCodService service(std::move(w.graph), std::move(w.attrs),
                             SmallOptions(0.01));  // ~8 updates suffice
@@ -94,7 +102,39 @@ TEST(DynamicServiceTest, ThresholdTriggersAutoRebuild) {
     service.AddEdge(v, static_cast<NodeId>(180 - v));
   }
   EXPECT_EQ(service.epoch(), 1u);
-  service.QueryCodU(0, 5, rng);  // crossing query triggers the rebuild
+  EXPECT_TRUE(service.RefreshDue());
+  const uint64_t attempts_before = service.rebuild_stats().attempts;
+
+  // The crossing query serves the stale epoch: no build ran on its path
+  // (epoch, pending drift, and the attempt counter are all untouched), so
+  // its latency is that of a plain query, pending rebuild or not.
+  service.QueryCodU(0, 5, rng);
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_EQ(service.pending_updates(), 12u);
+  EXPECT_EQ(service.rebuild_stats().attempts, attempts_before);
+  EXPECT_TRUE(service.RefreshDue());
+
+  // The OWNER rebuilds when it sees fit.
+  ASSERT_TRUE(service.Refresh().ok());
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_EQ(service.pending_updates(), 0u);
+  EXPECT_FALSE(service.RefreshDue());
+}
+
+TEST(DynamicServiceTest, AsyncThresholdCrossingQuerySchedulesRebuild) {
+  World w = MakeWorld(4);
+  ThreadPool rebuild_pool(1);
+  DynamicCodService::Options options = SmallOptions(0.01);
+  options.async_rebuild = true;
+  options.rebuild_pool = &rebuild_pool;
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
+  Rng rng(5);
+  for (NodeId v = 0; v < 12; ++v) {
+    service.AddEdge(v, static_cast<NodeId>(180 - v));
+  }
+  EXPECT_EQ(service.epoch(), 1u);
+  service.QueryCodU(0, 5, rng);  // schedules on the pool, serves epoch 1
+  service.WaitForRebuild();
   EXPECT_EQ(service.epoch(), 2u);
   EXPECT_EQ(service.pending_updates(), 0u);
 }
@@ -299,10 +339,11 @@ TEST(DynamicServiceTest, RebuildFailureKeepsServingOldEpoch) {
   EXPECT_NE(service.engine().graph().FindEdge(0, 150), kInvalidEdge);
 }
 
-TEST(DynamicServiceTest, HimorFailpointFailsRebuildButKeepsServing) {
+TEST(DynamicServiceTest, HimorFailureFailsRebuildWhenStrict) {
   World w = MakeWorld(12);
-  DynamicCodService service(std::move(w.graph), std::move(w.attrs),
-                            SmallOptions(10.0));
+  DynamicCodService::Options options = SmallOptions(10.0);
+  options.publish_without_index = false;  // strict pre-degradation behavior
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
   ASSERT_TRUE(service.AddEdge(1, 140));
   Status failed;
   {
@@ -311,11 +352,149 @@ TEST(DynamicServiceTest, HimorFailpointFailsRebuildButKeepsServing) {
   }
   EXPECT_FALSE(failed.ok());
   EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_FALSE(service.epoch_degraded());
   // Serving continues from the old epoch's (intact) index.
   Rng rng(3);
   EXPECT_NO_FATAL_FAILURE(service.QueryCodU(0, 5, rng));
   EXPECT_TRUE(service.Refresh().ok());
   EXPECT_EQ(service.epoch(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded "publish-without-index" epochs: an index-only failure publishes
+// the fresh epoch anyway (default publish_without_index), marked degraded;
+// CODL serves the compressed-evaluation (CODL-) fallback.
+// ---------------------------------------------------------------------------
+
+TEST(DynamicServiceTest, HimorFailurePublishesDegradedEpochByDefault) {
+  Counter* degraded_total =
+      MetricsRegistry::Instance().GetCounter("cod_epochs_degraded_total");
+  const uint64_t degraded_before = degraded_total->Value();
+
+  World w = MakeWorld(12);
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                            SmallOptions(10.0));
+  EXPECT_FALSE(service.epoch_degraded());
+  ASSERT_TRUE(service.AddEdge(1, 140));
+  {
+    ScopedFailpoint fp("himor/build", /*count=*/1);
+    EXPECT_TRUE(service.Refresh().ok());  // index failure != rebuild failure
+  }
+  // The fresh epoch published without its index...
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_TRUE(service.epoch_degraded());
+  EXPECT_TRUE(service.Snapshot().degraded);
+  EXPECT_FALSE(service.Snapshot().core->index_present());
+  EXPECT_NE(service.engine().graph().FindEdge(1, 140), kInvalidEdge);
+  // ...its updates were absorbed (not restored like a failure)...
+  EXPECT_EQ(service.pending_updates(), 0u);
+  const DynamicCodService::RebuildStats stats = service.rebuild_stats();
+  EXPECT_EQ(stats.published, 2u);
+  EXPECT_EQ(stats.published_degraded, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(degraded_total->Value(), degraded_before + 1);
+
+  // The degraded epoch serves CODL (via the fallback) and CODU.
+  Rng rng(3);
+  for (NodeId q = 0; q < 8; ++q) {
+    const auto attrs = service.engine().attributes().AttributesOf(q);
+    if (attrs.empty()) continue;
+    const CodResult r = service.QueryCodL(q, attrs[0], 5, rng);
+    EXPECT_EQ(r.code, StatusCode::kOk);
+    EXPECT_TRUE(r.degraded);
+    EXPECT_EQ(r.variant_served, CodVariant::kCodLMinus);
+  }
+  EXPECT_NO_FATAL_FAILURE(service.QueryCodU(0, 5, rng));
+
+  // The next (unimpeded) rebuild restores the index.
+  EXPECT_TRUE(service.Refresh().ok());
+  EXPECT_EQ(service.epoch(), 3u);
+  EXPECT_FALSE(service.epoch_degraded());
+  EXPECT_TRUE(service.Snapshot().core->index_present());
+}
+
+TEST(DynamicServiceTest, PermanentIndexFailureKeepsPublishingDegradedEpochs) {
+  // Acceptance scenario: "himor/build" armed ALWAYS-ON plus a tiny rebuild
+  // budget — every index build fails, yet the service keeps publishing
+  // fresh (degraded) epochs instead of freezing on a stale one. The
+  // sub-nanosecond budget is deterministically expired at its first check.
+  ScopedFailpoint fp("himor/build", /*count=*/-1);
+  DynamicCodService::Options options = SmallOptions(10.0);
+  options.rebuild_budget_seconds = 1e-12;
+  World w = MakeWorld(16);
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
+
+  // Even the construction epoch published degraded (no index to fall back
+  // to, and none needed).
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_TRUE(service.epoch_degraded());
+  for (uint64_t round = 1; round <= 3; ++round) {
+    ASSERT_TRUE(service.AddEdge(static_cast<NodeId>(round),
+                                static_cast<NodeId>(150 + round)));
+    ASSERT_TRUE(service.Refresh().ok());
+    EXPECT_EQ(service.epoch(), 1u + round);
+    EXPECT_TRUE(service.epoch_degraded());
+    EXPECT_EQ(service.pending_updates(), 0u);
+  }
+  const DynamicCodService::RebuildStats stats = service.rebuild_stats();
+  EXPECT_EQ(stats.published, 4u);
+  EXPECT_EQ(stats.published_degraded, 4u);
+  EXPECT_EQ(stats.failures, 0u);
+
+  // Every epoch served queries the whole time.
+  Rng rng(4);
+  int found = 0;
+  for (NodeId q = 0; q < 10; ++q) {
+    const auto attrs = service.engine().attributes().AttributesOf(q);
+    if (attrs.empty()) continue;
+    found += service.QueryCodL(q, attrs[0], 5, rng).found;
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(DynamicServiceTest, DegradedCodlMatchesIndexlessBaseline) {
+  // Two services over the same world and seed walk the same ticket
+  // sequence, so their epoch graphs are identical; only the index differs.
+  World w1 = MakeWorld(15);
+  World w2 = MakeWorld(15);
+  DynamicCodService degraded_svc(std::move(w1.graph), std::move(w1.attrs),
+                                 SmallOptions(10.0));
+  DynamicCodService baseline(std::move(w2.graph), std::move(w2.attrs),
+                             SmallOptions(10.0));
+  ASSERT_TRUE(degraded_svc.AddEdge(2, 120));
+  ASSERT_TRUE(baseline.AddEdge(2, 120));
+  {
+    ScopedFailpoint fp("himor/build", /*count=*/-1);
+    ASSERT_TRUE(degraded_svc.Refresh().ok());
+  }
+  ASSERT_TRUE(baseline.Refresh().ok());
+  ASSERT_TRUE(degraded_svc.epoch_degraded());
+  ASSERT_FALSE(baseline.epoch_degraded());
+
+  // Degraded CODL must be bit-identical to CODL- on the index-present
+  // baseline under the same RNG stream — the fallback IS that computation
+  // (LORE pick, local recluster, spliced ancestors, compressed eval), which
+  // finds the same characteristic communities CODL accelerates.
+  QueryWorkspace ws_b(*baseline.Snapshot().core, 0);
+  Rng rng_d(9);
+  Rng rng_b(9);
+  int compared = 0;
+  for (NodeId q = 0; q < 16; ++q) {
+    const auto attrs = baseline.engine().attributes().AttributesOf(q);
+    if (attrs.empty()) continue;
+    const CodResult a = degraded_svc.QueryCodL(q, attrs[0], 5, rng_d);
+    ws_b.rng() = rng_b;
+    const CodResult b =
+        baseline.Snapshot().core->QueryCodLMinus(q, attrs[0], 5, ws_b);
+    rng_b = ws_b.rng();
+    EXPECT_TRUE(a.degraded);
+    EXPECT_FALSE(b.degraded);
+    EXPECT_EQ(a.found, b.found) << "q=" << q;
+    EXPECT_EQ(a.members, b.members) << "q=" << q;
+    EXPECT_EQ(a.rank, b.rank) << "q=" << q;
+    ++compared;
+  }
+  EXPECT_GE(compared, 4);
 }
 
 TEST(DynamicServiceTest, AsyncRebuildRetriesWithBackoffUntilSuccess) {
@@ -373,6 +552,116 @@ TEST(DynamicServiceTest, AsyncRebuildGivesUpAfterRetryCap) {
   service.WaitForRebuild();
   EXPECT_EQ(service.epoch(), 2u);
   EXPECT_EQ(service.pending_updates(), 0u);
+}
+
+// Tentpole regression: the async retry loop used to park a pool worker in
+// std::this_thread::sleep_for for the whole backoff window. Retries are now
+// a scheduled retry_after deadline — between attempts the worker is back in
+// the pool, provably free to run other work.
+TEST(DynamicServiceTest, RetryBackoffHoldsNoPoolWorker) {
+  World w = MakeWorld(17);
+  ThreadPool rebuild_pool(1);  // ONE worker makes occupancy observable
+  DynamicCodService::Options options = SmallOptions(10.0);
+  options.async_rebuild = true;
+  options.rebuild_pool = &rebuild_pool;
+  options.max_rebuild_retries = 2;
+  options.rebuild_backoff_initial_ms = 500;  // a wide, observable window
+  options.rebuild_backoff_max_ms = 500;
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
+
+  ASSERT_TRUE(service.AddEdge(4, 110));
+  ScopedFailpoint fp("dynamic_service/rebuild", /*count=*/1);
+  ASSERT_TRUE(service.RefreshAsync());
+  // Wait until the failed attempt has scheduled its retry (bounded spin).
+  const auto spin_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!service.RetryScheduled()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), spin_deadline)
+        << "retry never scheduled";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The retry is waiting out its 500 ms backoff. The pool's only worker
+  // must be idle: a canary task runs and completes WHILE the retry is still
+  // scheduled — impossible if the worker were asleep in the backoff.
+  std::atomic<bool> canary_ran{false};
+  rebuild_pool.Submit([&] { canary_ran.store(true); });
+  while (!canary_ran.load() && service.RetryScheduled()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(canary_ran.load());
+  EXPECT_TRUE(service.RetryScheduled())
+      << "canary only ran after the retry fired: worker was held in backoff";
+
+  // The in-flight ticket still dedupes while waiting on its deadline...
+  EXPECT_FALSE(service.RefreshAsync());
+  // ...and resolves on its own (timer-driven) into a published epoch.
+  service.WaitForRebuild();
+  EXPECT_FALSE(service.RetryScheduled());
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_EQ(service.rebuild_stats().retries, 1u);
+}
+
+// An explicit Refresh() absorbs a scheduled retry instead of waiting out
+// its backoff: the synchronous build supersedes the ticket.
+TEST(DynamicServiceTest, RefreshAbsorbsScheduledRetry) {
+  World w = MakeWorld(18);
+  ThreadPool rebuild_pool(1);
+  DynamicCodService::Options options = SmallOptions(10.0);
+  options.async_rebuild = true;
+  options.rebuild_pool = &rebuild_pool;
+  options.max_rebuild_retries = 3;
+  // A backoff far longer than the test: if Refresh waited it out, the test
+  // would time out instead of passing.
+  options.rebuild_backoff_initial_ms = 60000;
+  options.rebuild_backoff_max_ms = 60000;
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
+
+  ASSERT_TRUE(service.AddEdge(5, 100));
+  {
+    ScopedFailpoint fp("dynamic_service/rebuild", /*count=*/1);
+    ASSERT_TRUE(service.RefreshAsync());
+    const auto spin_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!service.RetryScheduled()) {
+      ASSERT_LT(std::chrono::steady_clock::now(), spin_deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(service.Refresh().ok());
+  EXPECT_FALSE(service.RetryScheduled());
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_EQ(service.pending_updates(), 0u);
+  EXPECT_NE(service.engine().graph().FindEdge(5, 100), kInvalidEdge);
+}
+
+// The destructor gives up a scheduled retry instead of waiting out its
+// backoff (here: a full minute).
+TEST(DynamicServiceTest, DestructorCancelsScheduledRetry) {
+  World w = MakeWorld(19);
+  ThreadPool rebuild_pool(1);
+  DynamicCodService::Options options = SmallOptions(10.0);
+  options.async_rebuild = true;
+  options.rebuild_pool = &rebuild_pool;
+  options.max_rebuild_retries = 3;
+  options.rebuild_backoff_initial_ms = 60000;
+  options.rebuild_backoff_max_ms = 60000;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                              options);
+    ASSERT_TRUE(service.AddEdge(6, 90));
+    ScopedFailpoint fp("dynamic_service/rebuild", /*count=*/1);
+    ASSERT_TRUE(service.RefreshAsync());
+    const auto spin_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!service.RetryScheduled()) {
+      ASSERT_LT(std::chrono::steady_clock::now(), spin_deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }  // destructor: cancel retry, join timer — must NOT take ~60 s
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(30));
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
+#include "common/metrics.h"
 #include "core/cod_engine.h"
 #include "core/query_workspace.h"
 #include "graph/generators.h"
@@ -174,6 +176,127 @@ TEST(EngineCoreTest, ConcurrentCodrCachingGivesIdenticalResults) {
   for (int t = 0; t < kThreads; ++t) {
     EXPECT_EQ(mismatches[t], 0) << "thread " << t;
   }
+}
+
+// Satellite: the CODR cache is bounded. A sweep over more attributes than
+// `codr_cache_capacity` must stay under the cap by LRU-evicting cold
+// hierarchies (and say so in cod_codr_cache_evictions_total) — answers stay
+// identical to an uncached core throughout.
+TEST(EngineCoreTest, CodrCacheEvictsLruPastCapacity) {
+  const World w = MakeWorld(20);
+  EngineOptions cached_opts;
+  cached_opts.cache_codr_hierarchies = true;
+  cached_opts.codr_cache_capacity = 3;
+  const EngineCore cached(w.graph, w.attrs, cached_opts);
+  const EngineCore uncached(w.graph, w.attrs, {});
+
+  Counter* builds =
+      MetricsRegistry::Instance().GetCounter("cod_codr_cache_builds_total");
+  Counter* evictions =
+      MetricsRegistry::Instance().GetCounter("cod_codr_cache_evictions_total");
+  const uint64_t builds_before = builds->Value();
+  const uint64_t evictions_before = evictions->Value();
+
+  // High-cardinality sweep: every attribute in the world (5 > capacity 3),
+  // twice, so the second pass re-faults the evicted ones.
+  QueryWorkspace ws(cached, 0);
+  QueryWorkspace ref_ws(uncached, 0);
+  const AttributeId num_attrs = 5;
+  for (int round = 0; round < 2; ++round) {
+    for (AttributeId attr = 0; attr < num_attrs; ++attr) {
+      const NodeId q = 3;
+      ws.ReseedRng(2000 + attr);
+      const CodResult got = cached.QueryCodR(q, attr, 5, ws);
+      ref_ws.ReseedRng(2000 + attr);
+      const CodResult want = uncached.QueryCodR(q, attr, 5, ref_ws);
+      EXPECT_TRUE(SameResult(got, want)) << "attr=" << attr;
+      EXPECT_LE(cached.CodrCacheSize(), 3u);
+    }
+  }
+  EXPECT_LE(cached.CodrCacheSize(), 3u);
+  // Round 1 builds all 5 and evicts 2; round 2 re-faults at least the two
+  // evicted attributes (exact counts depend on LRU order, bounds suffice).
+  EXPECT_GE(builds->Value() - builds_before, 7u);
+  EXPECT_GE(evictions->Value() - evictions_before, 4u);
+}
+
+// Satellite: cache misses are single-flight. N threads first-touching the
+// SAME attribute must run exactly one GlobalRecluster between them — the
+// rest wait on the in-flight latch and serve the shared result. Run under
+// TSAN in CI; the assertion here is the build counter delta.
+TEST(EngineCoreTest, CodrCacheMissesAreSingleFlight) {
+  const World w = MakeWorld(21);
+  EngineOptions opts;
+  opts.cache_codr_hierarchies = true;
+  const EngineCore core(w.graph, w.attrs, opts);
+
+  Counter* builds =
+      MetricsRegistry::Instance().GetCounter("cod_codr_cache_builds_total");
+  const uint64_t builds_before = builds->Value();
+
+  constexpr int kThreads = 8;
+  const AttributeId attr = 2;
+  std::vector<CodResult> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      QueryWorkspace ws(core, 0);
+      ws.ReseedRng(3000);  // identical streams -> identical answers
+      results[t] = core.QueryCodR(5, attr, 5, ws);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(builds->Value() - builds_before, 1u)
+      << "first-touch stampede: redundant GlobalRecluster builds ran";
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_TRUE(SameResult(results[t], results[0])) << "thread " << t;
+  }
+  EXPECT_EQ(core.CodrCacheSize(), 1u);
+}
+
+// Tentpole part 3: when the budgeted first-touch hierarchy build fails (the
+// "engine_core/codr_cache" failpoint stands in for a budget blowout), CODR
+// serves a degraded answer over the BASE hierarchy instead of kTimeout. The
+// degraded answer is bit-identical to CODU under the same RNG stream.
+TEST(EngineCoreTest, CodrCacheBuildFailureFallsBackToBaseHierarchy) {
+  const World w = MakeWorld(22);
+  EngineOptions opts;
+  opts.cache_codr_hierarchies = true;
+  const EngineCore core(w.graph, w.attrs, opts);
+
+  Counter* fallbacks =
+      MetricsRegistry::Instance().GetCounter("cod_codr_fallbacks_total");
+  const uint64_t fallbacks_before = fallbacks->Value();
+  const NodeId q = 4;
+  const AttributeId attr = 1;
+
+  QueryWorkspace ws(core, 0);
+  CodResult degraded;
+  {
+    ScopedFailpoint fp("engine_core/codr_cache", /*count=*/1);
+    ws.ReseedRng(4000);
+    degraded = core.QueryCodR(q, attr, 5, ws);
+  }
+  EXPECT_EQ(degraded.code, StatusCode::kOk);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(degraded.variant_served, CodVariant::kCodU);
+  EXPECT_EQ(fallbacks->Value() - fallbacks_before, 1u);
+
+  ws.ReseedRng(4000);
+  const CodResult codu = core.QueryCodU(q, 5, ws);
+  EXPECT_EQ(degraded.found, codu.found);
+  EXPECT_EQ(degraded.members, codu.members);
+  EXPECT_EQ(degraded.rank, codu.rank);
+
+  // The failed build left no cache entry; with the failpoint gone the next
+  // query builds the real hierarchy and serves undegraded CODR.
+  ws.ReseedRng(4001);
+  const CodResult healthy = core.QueryCodR(q, attr, 5, ws);
+  EXPECT_EQ(healthy.code, StatusCode::kOk);
+  EXPECT_FALSE(healthy.degraded);
+  EXPECT_EQ(healthy.variant_served, CodVariant::kCodR);
+  EXPECT_EQ(fallbacks->Value() - fallbacks_before, 1u);
 }
 
 TEST(EngineCoreTest, ConcurrentMixedQueriesMatchSequentialRerun) {

@@ -6,6 +6,7 @@
 // kOk/kTimeout/kCancelled — never a crash, hang, or corrupted answer.
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 
 #include "common/deadline.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/cod_engine.h"
@@ -33,6 +35,30 @@ namespace {
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+// CI's failpoint-fuzz job points COD_METRICS_DUMP at a file and archives it
+// when a shard fails — the counter state (trips, degraded epochs, fallbacks)
+// is the first thing to read when reproducing a fuzz failure.
+class MetricsDumpEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const char* path = std::getenv("COD_METRICS_DUMP");
+    if (path == nullptr || *path == '\0') return;
+    std::ofstream out(path);
+    out << MetricsRegistry::Instance().JsonDump() << "\n";
+  }
+};
+const ::testing::Environment* const kMetricsDumpEnv =
+    ::testing::AddGlobalTestEnvironment(new MetricsDumpEnvironment);
+
+// CI shards override the fuzz stream via COD_FUZZ_SEED; the per-test offset
+// keeps parameterized instantiations distinct within a shard.
+uint64_t FuzzSeed(uint64_t offset) {
+  const char* env = std::getenv("COD_FUZZ_SEED");
+  const uint64_t base =
+      (env == nullptr || *env == '\0') ? 0 : std::strtoull(env, nullptr, 10);
+  return base + offset;
 }
 
 void WriteBytes(const std::string& path, const std::string& bytes) {
@@ -245,6 +271,77 @@ TEST_P(BudgetFuzzTest, HostileBudgetsNeverCrashOrCorrupt) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BudgetFuzzTest, ::testing::Values(11, 12, 13));
+
+// Fuzz mode (Failpoints::ArmRandom): every injectable site trips with a
+// small independent probability while a mixed-variant workload runs with
+// hostile budgets on top. The taxonomy must hold for every answer, and the
+// engine must answer a clean workload perfectly once the fuzz scope ends.
+class RandomFailpointFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomFailpointFuzzTest, QueriesRespectTaxonomyUnderRandomFaults) {
+  Rng rng(GetParam());
+  BudgetWorld w = MakeBudgetWorld(GetParam() + 90);
+  const std::vector<QuerySpec> base = MakeVariantSpecs(w.attrs, 15);
+  ThreadPool pool(4);
+
+  {
+    ScopedRandomFailpoints fuzz(FuzzSeed(GetParam()),
+                                /*trip_probability=*/0.03);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<QuerySpec> specs = base;
+      for (QuerySpec& spec : specs) {
+        // Mostly unlimited budgets: fuzz trips, not deadlines, are the
+        // failure source under test; a few hostile ones compose both.
+        spec.budget_seconds = rng.Bernoulli(0.25) ? 1e-5 : 0.0;
+      }
+      BatchOptions options;
+      options.allow_degradation = rng.Bernoulli(0.5);
+      const std::vector<CodResult> results =
+          w.engine->QueryBatch(specs, pool, /*batch_seed=*/round, options);
+      ASSERT_EQ(results.size(), specs.size());
+      for (size_t i = 0; i < results.size(); ++i) {
+        const CodResult& r = results[i];
+        EXPECT_TRUE(r.code == StatusCode::kOk ||
+                    r.code == StatusCode::kTimeout ||
+                    r.code == StatusCode::kCancelled)
+            << "spec " << i;
+        if (r.code != StatusCode::kOk) {
+          EXPECT_FALSE(r.found) << "spec " << i;
+          EXPECT_TRUE(r.members.empty()) << "spec " << i;
+        }
+        if (r.found) {
+          EXPECT_EQ(r.code, StatusCode::kOk) << "spec " << i;
+          EXPECT_FALSE(r.members.empty()) << "spec " << i;
+          for (const NodeId v : r.members) {
+            EXPECT_LT(v, w.graph.NumNodes()) << "spec " << i;
+          }
+        }
+      }
+    }
+
+    // Loaders under fuzz: their failpoints surface as Status, never crash.
+    const std::string path = TempPath("fuzz_clean.edges");
+    WriteBytes(path, "0 1\n1 2\n2 0\n");
+    for (int trial = 0; trial < 10; ++trial) {
+      Result<Graph> r = LoadEdgeList(path);
+      if (r.ok()) {
+        EXPECT_EQ(r->NumEdges(), 3u);
+      }
+    }
+  }  // fuzz disarmed
+
+  // Recovery: the same workload with clean sites and no budgets answers
+  // every query completely.
+  const std::vector<CodResult> clean =
+      w.engine->QueryBatch(base, pool, /*batch_seed=*/77);
+  for (size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(clean[i].code, StatusCode::kOk) << "spec " << i;
+    EXPECT_FALSE(clean[i].degraded) << "spec " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFailpointFuzzTest,
+                         ::testing::Values(301, 302, 303));
 
 TEST(CancellationTest, PreCancelledBatchSkipsAllSampledWork) {
   BudgetWorld w = MakeBudgetWorld(50);

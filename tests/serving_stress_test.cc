@@ -6,12 +6,15 @@
 // a query straddling two epochs would break the comparison.
 
 #include <atomic>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/dynamic_service.h"
@@ -24,6 +27,30 @@ namespace cod {
 namespace {
 
 using ::cod::testing::SameResult;
+
+// CI's failpoint-fuzz job points COD_METRICS_DUMP at a file and archives it
+// when a shard fails — the counter state (trips, degraded epochs, fallbacks)
+// is the first thing to read when reproducing a fuzz failure.
+class MetricsDumpEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const char* path = std::getenv("COD_METRICS_DUMP");
+    if (path == nullptr || *path == '\0') return;
+    std::ofstream out(path);
+    out << MetricsRegistry::Instance().JsonDump() << "\n";
+  }
+};
+const ::testing::Environment* const kMetricsDumpEnv =
+    ::testing::AddGlobalTestEnvironment(new MetricsDumpEnvironment);
+
+// CI shards override the fuzz stream via COD_FUZZ_SEED; the per-test offset
+// keeps the three instantiations distinct within a shard.
+uint64_t FuzzSeed(uint64_t offset) {
+  const char* env = std::getenv("COD_FUZZ_SEED");
+  const uint64_t base =
+      (env == nullptr || *env == '\0') ? 0 : std::strtoull(env, nullptr, 10);
+  return base + offset;
+}
 
 struct World {
   Graph graph;
@@ -252,6 +279,112 @@ TEST(ServingStressTest, PinnedSnapshotStableAcrossRebuilds) {
     EXPECT_TRUE(SameResult(before[i], after[i])) << "spec " << i;
   }
 }
+
+// Tentpole: chaos-monkey the WHOLE serving stack. Fuzz mode trips every
+// failpoint site (rebuild, himor/build, codr_cache, query_batch/worker,
+// rr/sample) with a small independent probability while readers batch-query
+// snapshots and a writer ingests edges and triggers rebuilds. The draws'
+// assignment to sites depends on interleaving, so we assert invariants
+// only: the failure taxonomy, monotonic epoch publication, no crash/hang —
+// and full recovery once the fuzz scope ends.
+class RandomFailpointStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomFailpointStressTest, ServingSurvivesRandomFaults) {
+  World w = MakeWorld(4);
+  const size_t num_nodes = w.attrs.NumNodes();
+  const std::vector<QuerySpec> specs = MakeSpecs(w.attrs, 10);
+
+  ThreadPool rebuild_pool(1);
+  DynamicCodService::Options options;
+  options.rebuild_threshold = 100.0;
+  options.seed = 9;
+  options.async_rebuild = true;
+  options.rebuild_pool = &rebuild_pool;
+  // Fast, bounded retries so fuzz-failed rebuilds resolve within the test.
+  options.max_rebuild_retries = 2;
+  options.rebuild_backoff_initial_ms = 5;
+  options.rebuild_backoff_max_ms = 20;
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
+
+  ThreadPool query_pool(3);
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+
+  {
+    // Arm AFTER construction: a service that failed to build is not a
+    // serving-invariant violation, just a shorter test.
+    ScopedRandomFailpoints fuzz(FuzzSeed(GetParam()), /*trip_probability=*/
+                                0.02);
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+      readers.emplace_back([&, r] {
+        uint64_t last_epoch = 0;
+        for (int it = 0; it < 5; ++it) {
+          const DynamicCodService::EpochSnapshot snap = service.Snapshot();
+          if (snap.epoch < last_epoch) ++violations;
+          last_epoch = snap.epoch;
+          const std::vector<CodResult> batch = RunQueryBatch(
+              *snap.core, specs, query_pool, /*batch_seed=*/r * 100 + it);
+          if (batch.size() != specs.size()) {
+            ++violations;
+            continue;
+          }
+          for (const CodResult& res : batch) {
+            // The complete failure taxonomy — nothing else may come back.
+            if (res.code != StatusCode::kOk &&
+                res.code != StatusCode::kTimeout &&
+                res.code != StatusCode::kCancelled) {
+              ++violations;
+            }
+            if (res.found) {
+              if (res.code != StatusCode::kOk || res.members.empty()) {
+                ++violations;
+              }
+              for (const NodeId v : res.members) {
+                if (v >= snap.core->graph().NumNodes()) ++violations;
+              }
+            }
+          }
+        }
+      });
+    }
+
+    std::thread writer([&] {
+      Rng rng(13);
+      while (!stop.load()) {
+        const NodeId u = static_cast<NodeId>(rng.Next() % num_nodes);
+        const NodeId v = static_cast<NodeId>(rng.Next() % num_nodes);
+        if (u != v) service.AddEdge(u, v);
+        if (rng.Next() % 6 == 0) service.RefreshAsync();
+        std::this_thread::yield();
+      }
+    });
+
+    for (std::thread& t : readers) t.join();
+    stop.store(true);
+    writer.join();
+    service.WaitForRebuild();
+  }  // fuzz disarmed
+
+  EXPECT_EQ(violations.load(), 0);
+  // Recovery: with the chaos gone, a refresh publishes a HEALTHY epoch and
+  // ordinary queries answer undegraded.
+  service.AddEdge(0, static_cast<NodeId>(num_nodes - 1));
+  ASSERT_TRUE(service.Refresh().ok());
+  EXPECT_FALSE(service.epoch_degraded());
+  const DynamicCodService::EpochSnapshot snap = service.Snapshot();
+  EXPECT_TRUE(snap.core->index_present());
+  const std::vector<CodResult> healthy =
+      RunQueryBatch(*snap.core, specs, query_pool, /*batch_seed=*/999);
+  for (const CodResult& res : healthy) {
+    EXPECT_EQ(res.code, StatusCode::kOk);
+    EXPECT_FALSE(res.degraded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFailpointStressTest,
+                         ::testing::Values(201, 202, 203));
 
 }  // namespace
 }  // namespace cod
