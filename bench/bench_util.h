@@ -9,10 +9,14 @@
 //                        emits its machine-readable lines, not a benchmark
 //   --metrics-json=PATH  after the run, dump the process metrics registry
 //                        (common/metrics.h JsonDump) to PATH
+//   --bench-json=PATH    write the bench's canonical result entries
+//                        (BenchJsonEntry below) to PATH as a JSON array —
+//                        the regression-tracking format CI archives
 
 #ifndef COD_BENCH_BENCH_UTIL_H_
 #define COD_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +37,7 @@ struct Flags {
   size_t threads = 1;        // worker threads for batch benches
   bool smoke = false;        // CI smoke run: minimal workload
   std::string metrics_json;  // dump the metrics registry here ("" = don't)
+  std::string bench_json;    // canonical bench results here ("" = don't)
 };
 
 inline Flags ParseFlags(int argc, char** argv, size_t default_queries,
@@ -53,6 +58,8 @@ inline Flags ParseFlags(int argc, char** argv, size_t default_queries,
       flags.smoke = true;
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
       flags.metrics_json = arg.substr(15);
+    } else if (arg.rfind("--bench-json=", 0) == 0) {
+      flags.bench_json = arg.substr(13);
     } else if (arg.rfind("--datasets=", 0) == 0) {
       flags.datasets.clear();
       std::string list = arg.substr(11);
@@ -66,7 +73,8 @@ inline Flags ParseFlags(int argc, char** argv, size_t default_queries,
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (expected --queries= --datasets= "
-                   "--seed= --threads= --smoke --metrics-json=)\n",
+                   "--seed= --threads= --smoke --metrics-json= "
+                   "--bench-json=)\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -92,6 +100,59 @@ inline int DumpMetrics(const Flags& flags) {
   std::fputc('\n', f);
   std::fclose(f);
   return 0;
+}
+
+// One canonical bench result: a named measurement under a named
+// configuration. Wall-clock quantiles are over per-repetition times of one
+// unit of work; samples_per_sec is the work-rate at the median.
+struct BenchJsonEntry {
+  std::string name;    // what was measured, e.g. "rr_pool_build"
+  std::string config;  // how, e.g. "serial" / "pool4" / "threads=2"
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double samples_per_sec = 0.0;  // units of work per second at p50
+  size_t samples = 0;            // units of work timed per repetition
+};
+
+// Writes `entries` to `path` as a JSON array (one object per entry) and
+// echoes each as a BENCH_JSON line for log scraping. Returns 0 on success.
+inline int WriteBenchJson(const std::string& path,
+                          const std::vector<BenchJsonEntry>& entries) {
+  std::string out = "[";
+  char buf[512];
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const BenchJsonEntry& e = entries[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\":\"%s\",\"config\":\"%s\","
+                  "\"p50_seconds\":%.9f,\"p95_seconds\":%.9f,"
+                  "\"samples_per_sec\":%.2f,\"samples\":%zu}",
+                  i == 0 ? "" : ",", e.name.c_str(), e.config.c_str(),
+                  e.p50_seconds, e.p95_seconds, e.samples_per_sec, e.samples);
+    out += buf;
+    std::printf("BENCH_JSON {\"name\":\"%s\",\"config\":\"%s\","
+                "\"p50_seconds\":%.9f,\"p95_seconds\":%.9f,"
+                "\"samples_per_sec\":%.2f,\"samples\":%zu}\n",
+                e.name.c_str(), e.config.c_str(), e.p50_seconds,
+                e.p95_seconds, e.samples_per_sec, e.samples);
+  }
+  out += "\n]\n";
+  if (path.empty()) return 0;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return 0;
+}
+
+// p-th quantile (0 <= p <= 1) of `times` by sorting a copy; nearest-rank.
+inline double Quantile(std::vector<double> times, double p) {
+  if (times.empty()) return 0.0;
+  std::sort(times.begin(), times.end());
+  const size_t idx = static_cast<size_t>(p * (times.size() - 1) + 0.5);
+  return times[idx < times.size() ? idx : times.size() - 1];
 }
 
 inline AttributedGraph LoadDatasetOrDie(const std::string& name) {

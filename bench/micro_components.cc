@@ -1,14 +1,27 @@
 // google-benchmark micro-suite for the substrate components (not a paper
 // figure): RR-graph sampling, LCA queries, agglomerative clustering, LORE
 // score computation, compressed evaluation, and HIMOR construction.
+//
+// Besides the interactive gbench suite, `--bench-json=PATH` runs a
+// hand-rolled canonical RR-pool suite (serial vs thread pools of 1/2/4/8)
+// and writes BenchJsonEntry records (bench/bench_util.h) to PATH — the
+// regression-tracking format CI archives. With --bench-json the gbench
+// suite is skipped; without it the binary behaves as a plain gbench runner.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/cod_engine.h"
 #include "eval/datasets.h"
 #include "eval/query_gen.h"
 #include "hierarchy/lca.h"
 #include "influence/im.h"
+#include "influence/rr_pool.h"
 
 namespace cod {
 namespace {
@@ -137,7 +150,83 @@ void BM_CodlQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_CodlQuery)->Unit(benchmark::kMillisecond);
 
+// Canonical RR-pool construction suite: one cora-sim CODU chain, same pool
+// seed everywhere (the paths are bit-identical by contract, so only wall
+// time may differ across configs). Each repetition rebuilds the full pool;
+// quantiles are over repetition times after warm-up.
+int RunCanonicalRrPoolSuite(const std::string& path, bool smoke) {
+  const CodEngine& engine = CoraEngine();
+  const CodChain chain = engine.BuildCoduChain(/*q=*/0);
+  const uint32_t theta = smoke ? 4 : 16;
+  const size_t warmup = smoke ? 1 : 3;
+  const size_t reps = smoke ? 5 : 15;
+  const uint64_t pool_seed = 12345;
+  const size_t samples = chain.universe.size() * theta;
+
+  std::vector<bench::BenchJsonEntry> entries;
+  const auto run_config = [&](const std::string& config, ThreadPool* pool) {
+    ParallelRrPool builder(engine.model());
+    RrSlabPool slab;
+    ParallelRrPool::BuildStats stats;
+    std::vector<double> times;
+    WallTimer timer;
+    for (size_t r = 0; r < warmup + reps; ++r) {
+      timer.Restart();
+      const StatusCode code =
+          builder.Build(chain.universe, theta, chain.in_universe, pool_seed,
+                        Budget{}, pool, &slab, &stats);
+      const double seconds = timer.ElapsedSeconds();
+      COD_CHECK(code == StatusCode::kOk);
+      if (r >= warmup) times.push_back(seconds);
+    }
+    bench::BenchJsonEntry e;
+    e.name = "rr_pool_build";
+    e.config = config;
+    e.samples = samples;
+    e.p50_seconds = bench::Quantile(times, 0.5);
+    e.p95_seconds = bench::Quantile(times, 0.95);
+    e.samples_per_sec =
+        e.p50_seconds > 0.0 ? static_cast<double>(samples) / e.p50_seconds
+                            : 0.0;
+    entries.push_back(e);
+  };
+
+  run_config("serial", nullptr);
+  for (const size_t threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    run_config("pool" + std::to_string(threads), &pool);
+  }
+  return bench::WriteBenchJson(path, entries);
+}
+
 }  // namespace
 }  // namespace cod
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our flags before gbench sees them (it rejects unknown args).
+  std::string bench_json;
+  bool smoke = false;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--bench-json=", 0) == 0) {
+      bench_json = arg.substr(13);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (!bench_json.empty()) {
+    return cod::RunCanonicalRrPoolSuite(bench_json, smoke);
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

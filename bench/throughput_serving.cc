@@ -8,6 +8,10 @@
 // machine-readable line:
 //   THROUGHPUT_JSON {"dataset":"cora-sim","threads":4,...}
 // for dashboards / regression tracking (grep for THROUGHPUT_JSON).
+//
+// --bench-json=PATH additionally writes canonical BenchJsonEntry records
+// (bench/bench_util.h): one "serving_batch" entry per thread config with
+// p50/p95 over repeated batch runs and queries/sec at the median.
 
 #include <vector>
 
@@ -27,6 +31,7 @@ int Run(int argc, char** argv) {
   std::printf("== Serving throughput: QueryBatch queries/sec ==\n\n");
   TablePrinter table({"dataset", "threads", "queries", "seconds",
                       "queries/sec", "speedup vs 1"});
+  std::vector<BenchJsonEntry> bench_entries;
   const std::vector<size_t> thread_counts =
       flags.smoke ? std::vector<size_t>{1, 2}
                   : std::vector<size_t>{1, 2, 4, 8};
@@ -49,13 +54,18 @@ int Run(int argc, char** argv) {
     std::vector<CodResult> reference;
     double base_seconds = 0.0;
     WallTimer timer;
+    const size_t reps = flags.smoke ? 3 : 7;
     for (const size_t threads : thread_counts) {
       ThreadPool pool(threads);
       engine.QueryBatch(specs, pool, flags.seed);  // warm-up (cache, pages)
-      timer.Restart();
-      const std::vector<CodResult> results =
-          engine.QueryBatch(specs, pool, flags.seed);
-      const double seconds = timer.ElapsedSeconds();
+      std::vector<double> times;
+      std::vector<CodResult> results;
+      for (size_t r = 0; r < reps; ++r) {
+        timer.Restart();
+        results = engine.QueryBatch(specs, pool, flags.seed);
+        times.push_back(timer.ElapsedSeconds());
+      }
+      const double seconds = Quantile(times, 0.5);
 
       // Thread count must not change a single answer.
       if (reference.empty()) {
@@ -86,6 +96,15 @@ int Run(int argc, char** argv) {
           "\"seed\":%llu}\n",
           name.c_str(), threads, specs.size(), seconds, qps,
           static_cast<unsigned long long>(flags.seed));
+
+      BenchJsonEntry entry;
+      entry.name = "serving_batch_" + name;
+      entry.config = "threads=" + std::to_string(threads);
+      entry.samples = specs.size();
+      entry.p50_seconds = seconds;
+      entry.p95_seconds = Quantile(times, 0.95);
+      entry.samples_per_sec = qps;
+      bench_entries.push_back(std::move(entry));
     }
   }
   std::printf("\n");
@@ -94,6 +113,10 @@ int Run(int argc, char** argv) {
       "\nAll thread counts answered the workload bit-identically (checked\n"
       "against the 1-thread run). Speedup tracks available cores; on a\n"
       "single-core machine expect ~1.0 across the sweep.\n");
+  if (const int rc = WriteBenchJson(flags.bench_json, bench_entries);
+      rc != 0) {
+    return rc;
+  }
   return DumpMetrics(flags);
 }
 

@@ -27,8 +27,9 @@
 // build work), "himor/build" (both HIMOR builders), "query_batch/worker"
 // (per query in a batch worker), "graph_io/load_edge_list" /
 // "graph_io/load_attributes" (loader I/O), "rr/sample" (per RR-sample
-// draw), "engine_core/codr_cache" (CODR hierarchy-cache first-touch
-// build).
+// draw on the serial path), "influence/parallel_pool" (per RR-sample draw
+// inside a parallel sampling chunk — mid-pool cancellation),
+// "engine_core/codr_cache" (CODR hierarchy-cache first-touch build).
 
 #ifndef COD_COMMON_FAILPOINT_H_
 #define COD_COMMON_FAILPOINT_H_

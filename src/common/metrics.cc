@@ -210,6 +210,26 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   return created;
 }
 
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const HistogramOptions& options) {
+  return GetHistogram(name, std::span<const double>(options.bounds));
+}
+
+HistogramOptions HistogramOptions::Exponential(double start, double factor,
+                                               size_t count) {
+  COD_CHECK(start > 0.0);
+  COD_CHECK(factor > 1.0);
+  COD_CHECK(count >= 1);
+  HistogramOptions options;
+  options.bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    options.bounds.push_back(bound);
+    bound *= factor;
+  }
+  return options;
+}
+
 uint64_t MetricsRegistry::RegisterCallbackGauge(std::string name,
                                                 std::function<double()> fn) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -135,6 +135,21 @@ class Histogram {
   metrics_internal::Cell count_cells_[metrics_internal::kShards];
 };
 
+// Per-metric histogram configuration, applied at FIRST registration only
+// (bounds are fixed for the metric's lifetime; later GetHistogram calls for
+// the same name return the existing object and ignore the options).
+struct HistogramOptions {
+  // Bucket upper bounds, strictly increasing; empty means the default
+  // latency buckets (Histogram::DefaultLatencyBounds).
+  std::vector<double> bounds;
+
+  // `count` exponentially spaced bounds: start, start*factor, ... Handy for
+  // stages whose range the default buckets would saturate (factor > 1,
+  // count >= 1).
+  static HistogramOptions Exponential(double start, double factor,
+                                      size_t count);
+};
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& Instance();
@@ -148,6 +163,11 @@ class MetricsRegistry {
   // buckets. Bounds are fixed at creation (later calls ignore them).
   Histogram* GetHistogram(std::string_view name,
                           std::span<const double> bounds = {});
+  // Options form: per-metric bucket overrides at first registration, for
+  // histograms whose range the default latency buckets would saturate
+  // (e.g. the sub-millisecond RR merge stage, or multi-minute builds).
+  Histogram* GetHistogram(std::string_view name,
+                          const HistogramOptions& options);
 
   // Callback gauges are evaluated at scrape time (epoch age, queue depth —
   // values that only exist as "now minus something"). The callback runs

@@ -18,77 +18,6 @@ CodEngine::CodEngine(std::shared_ptr<const Graph> graph,
                                          options)),
       ws_(*core_, /*seed=*/0) {}
 
-// Runs `fn(ws_)` with the internal workspace driven by the caller's RNG:
-// the stream is copied in and the advanced state copied back, so legacy
-// callers observe exactly the draws the query consumed.
-template <typename Fn>
-CodResult CodEngine::WithCallerRng(Rng& rng, Fn&& fn) {
-  ws_.rng() = rng;
-  CodResult result = fn(ws_);
-  rng = ws_.rng();
-  return result;
-}
-
-// Definitions of the deprecated Rng-form forwarders (some compilers warn on
-// out-of-line definitions of [[deprecated]] members).
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-CodResult CodEngine::QueryCodU(NodeId q, uint32_t k, Rng& rng) {
-  return WithCallerRng(rng, [&](QueryWorkspace& ws) {
-    return core_->QueryCodU(q, k, ws);
-  });
-}
-
-CodResult CodEngine::QueryCodR(NodeId q, AttributeId attr, uint32_t k,
-                               Rng& rng) {
-  return WithCallerRng(rng, [&](QueryWorkspace& ws) {
-    return core_->QueryCodR(q, attr, k, ws);
-  });
-}
-
-CodResult CodEngine::QueryCodR(NodeId q, std::span<const AttributeId> attrs,
-                               uint32_t k, Rng& rng) {
-  return WithCallerRng(rng, [&](QueryWorkspace& ws) {
-    return core_->QueryCodR(q, attrs, k, ws);
-  });
-}
-
-CodResult CodEngine::QueryCodLMinus(NodeId q, AttributeId attr, uint32_t k,
-                                    Rng& rng) {
-  return WithCallerRng(rng, [&](QueryWorkspace& ws) {
-    return core_->QueryCodLMinus(q, attr, k, ws);
-  });
-}
-
-CodResult CodEngine::QueryCodLMinus(NodeId q,
-                                    std::span<const AttributeId> attrs,
-                                    uint32_t k, Rng& rng) {
-  return WithCallerRng(rng, [&](QueryWorkspace& ws) {
-    return core_->QueryCodLMinus(q, attrs, k, ws);
-  });
-}
-
-CodResult CodEngine::QueryCodL(NodeId q, AttributeId attr, uint32_t k,
-                               Rng& rng) {
-  return WithCallerRng(rng, [&](QueryWorkspace& ws) {
-    return core_->QueryCodL(q, attr, k, ws);
-  });
-}
-
-CodResult CodEngine::QueryCodL(NodeId q, std::span<const AttributeId> attrs,
-                               uint32_t k, Rng& rng) {
-  return WithCallerRng(rng, [&](QueryWorkspace& ws) {
-    return core_->QueryCodL(q, attrs, k, ws);
-  });
-}
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 CodEngine::QueryExplanation CodEngine::ExplainCodL(NodeId q, AttributeId attr,
                                                    uint32_t k, Rng& rng) {
   ws_.rng() = rng;

@@ -11,18 +11,15 @@
 //             compressed evaluation inside C_ell otherwise.
 //
 // Since the EngineCore/QueryWorkspace split, the engine is a thin facade
-// over an immutable, shareable EngineCore (see core/engine_core.h). Two ways
-// to query:
+// over an immutable, shareable EngineCore (see core/engine_core.h):
 //
-//   // Single-threaded convenience (legacy API; uses an internal workspace):
 //   CodEngine engine(graph, attrs, {.k = 5, .theta = 10});
 //   engine.BuildHimor(rng);                       // once, for CODL
-//   CodResult r = engine.QueryCodL(q, attr, 5, rng);
 //
 //   // Concurrent serving: const engine, one workspace per thread —
 //   const CodEngine& shared = engine;
 //   QueryWorkspace ws = shared.MakeWorkspace(seed);
-//   CodResult r2 = shared.QueryCodL(q, attr, 5, ws);
+//   CodResult r = shared.QueryCodL(q, attr, 5, ws);
 //   // — or fan a whole workload across a pool, deterministically:
 //   std::vector<CodResult> rs = shared.QueryBatch(specs, pool, batch_seed);
 //
@@ -124,33 +121,8 @@ class CodEngine {
     return core_->QueryCodL(q, attrs, k, ws);
   }
 
-  // ---- Query variants, legacy Rng form: single-threaded convenience that
-  // routes through one internal workspace while consuming the caller's RNG
-  // stream exactly as before the core/workspace split.
-  //
-  // DEPRECATED: migrate to the workspace form (MakeWorkspace once, then the
-  // const QueryCodX(..., ws) overloads or Query(spec, ws)) — it is
-  // thread-safe and carries per-query stats. The Rng form draws the same
-  // stream as a workspace whose rng() was assigned the caller's Rng, so
-  // migration is mechanical (engine_core_test.cc pins the equivalence).
-  // These forwarders will be removed once nothing in-repo uses them. ----
-  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
-  CodResult QueryCodU(NodeId q, uint32_t k, Rng& rng);
-  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
-  CodResult QueryCodR(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
-  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
-  CodResult QueryCodR(NodeId q, std::span<const AttributeId> attrs,
-                      uint32_t k, Rng& rng);
-  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
-  CodResult QueryCodLMinus(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
-  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
-  CodResult QueryCodLMinus(NodeId q, std::span<const AttributeId> attrs,
-                           uint32_t k, Rng& rng);
-  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
-  CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
-  [[deprecated("use the QueryWorkspace form or Query(QuerySpec)")]]
-  CodResult QueryCodL(NodeId q, std::span<const AttributeId> attrs,
-                      uint32_t k, Rng& rng);
+  // (The legacy Rng-form QueryCodX forwarders are gone: use MakeWorkspace
+  // once, then the const QueryCodX(..., ws) overloads or Query(spec, ws).)
 
   // Index-only CODU: the largest base-hierarchy community where q is top-k,
   // answered entirely from HIMOR in O(dep(q)) — no sampling at query time.
@@ -218,11 +190,8 @@ class CodEngine {
   }
 
  private:
-  template <typename Fn>
-  CodResult WithCallerRng(Rng& rng, Fn&& fn);
-
   std::shared_ptr<EngineCore> core_;
-  QueryWorkspace ws_;  // scratch for the legacy Rng-form queries
+  QueryWorkspace ws_;  // scratch for the Rng-form ExplainCodL
 };
 
 }  // namespace cod

@@ -2,19 +2,21 @@
 
 #include <algorithm>
 #include <chrono>
-#include <queue>
-
-#include "common/failpoint.h"
+#include <functional>
 
 namespace cod {
 namespace {
 
 // Small sorted top-k candidate set (descending count, ties toward smaller
 // node id). k is tiny, so linear maintenance beats a heap and, unlike one,
-// supports in-place value increases.
+// supports in-place value increases. Storage is borrowed from the evaluator
+// so repeated queries reuse its capacity.
 class TopKCandidates {
  public:
-  explicit TopKCandidates(uint32_t k) : k_(k) {}
+  TopKCandidates(uint32_t k, std::vector<std::pair<uint32_t, NodeId>>* items)
+      : k_(k), items_(*items) {
+    items_.clear();
+  }
 
   void Update(NodeId v, uint32_t count) {
     for (size_t i = 0; i < items_.size(); ++i) {
@@ -60,14 +62,20 @@ class TopKCandidates {
   }
 
   uint32_t k_;
-  std::vector<std::pair<uint32_t, NodeId>> items_;  // (count, node), desc
+  std::vector<std::pair<uint32_t, NodeId>>& items_;
 };
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 }  // namespace
 
 CompressedEvaluator::CompressedEvaluator(const DiffusionModel& model,
                                          uint32_t theta)
-    : model_(&model), theta_(theta), sampler_(model) {
+    : model_(&model), theta_(theta), pool_builder_(model) {
   COD_CHECK(theta > 0);
 }
 
@@ -75,106 +83,145 @@ void CompressedEvaluator::Rebind(const DiffusionModel& model, uint32_t theta) {
   COD_CHECK(theta > 0);
   model_ = &model;
   theta_ = theta;
-  sampler_.Rebind(model);
+  pool_builder_.Rebind(model);
   last_explored_nodes_ = 0;
   last_samples_ = 0;
   last_sample_seconds_ = 0.0;
+  last_merge_seconds_ = 0.0;
   last_eval_seconds_ = 0.0;
+  last_parallel_chunks_ = 0;
+  last_inline_fallback_ = false;
+  // The stamp arrays are query-scoped; capacity survives (they only regrow
+  // when the new graph is larger), so epoch swaps between same-sized graphs
+  // stay allocation-free.
 }
 
 ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
                                                uint32_t k, Rng& rng,
-                                               const Budget& budget) {
+                                               const Budget& budget,
+                                               ThreadPool* pool) {
   const size_t num_levels = chain.NumLevels();
   COD_CHECK(num_levels >= 1);
   COD_CHECK(chain.in_universe[q]);
   COD_CHECK_EQ(chain.level[q], 0u);
   COD_CHECK(k >= 1);
 
-  // --- Stage 1: shared sample generation with hierarchical-first search. ---
-  std::vector<std::unordered_map<NodeId, uint32_t>> buckets(num_levels);
-  if (level_queue_.size() < num_levels) level_queue_.resize(num_levels);
-  last_explored_nodes_ = 0;
-  last_samples_ = 0;
-  last_sample_seconds_ = 0.0;
+  // The only draw consumed from the caller's stream: every RR sample i then
+  // derives its own Rng from RrSampleSeed(pool_seed, i), making the pool
+  // independent of sampling order and thread placement.
+  const uint64_t pool_seed = rng.Next();
+
+  // --- Stage 1: shared sample generation into the slab pool. ---
+  ParallelRrPool::BuildStats build_stats;
+  const StatusCode code =
+      pool_builder_.Build(chain.universe, theta_, chain.in_universe, pool_seed,
+                          budget, pool, &slab_, &build_stats);
+  last_samples_ = build_stats.samples;
+  last_explored_nodes_ = build_stats.explored_nodes;
+  last_sample_seconds_ = build_stats.sample_seconds;
+  last_merge_seconds_ = build_stats.merge_seconds;
   last_eval_seconds_ = 0.0;
-  const auto stage1_start = std::chrono::steady_clock::now();
+  last_parallel_chunks_ = build_stats.chunks;
+  last_inline_fallback_ = build_stats.inline_fallback;
+  if (code != StatusCode::kOk) {
+    ChainEvalOutcome aborted;
+    aborted.code = code;
+    return aborted;
+  }
 
-  // Min-heap of pending non-empty levels so sparse chains don't pay O(L)
-  // per RR graph.
-  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>>
-      pending_levels;
+  // --- Stage 2: HFS bucketing + incremental top-k evaluation. ---
+  const auto stage2_start = std::chrono::steady_clock::now();
+  if (level_queue_.size() < num_levels) level_queue_.resize(num_levels);
+  if (level_nodes_.size() < num_levels) level_nodes_.resize(num_levels);
+  for (size_t h = 0; h < num_levels; ++h) level_nodes_[h].clear();
 
-  for (NodeId source : chain.universe) {
-    for (uint32_t t = 0; t < theta_; ++t) {
-      // Check between samples only: here the level queues are drained and
-      // pending_levels is empty, so aborting leaves no dirty scratch. The
-      // "rr/sample" failpoint injects a mid-evaluation abort at the same
-      // clean point (tests of partial-work unwinding).
-      const StatusCode budget_code = COD_FAILPOINT("rr/sample")
-                                         ? StatusCode::kCancelled
-                                         : budget.ExhaustedCode();
-      if (budget_code != StatusCode::kOk) {
-        last_sample_seconds_ = std::chrono::duration<double>(
-                                   std::chrono::steady_clock::now() -
-                                   stage1_start)
-                                   .count();
+  // HFS per stored sample: every reached node lands in level_nodes_ exactly
+  // once per sample, at the minimal level where a live path from the source
+  // exists. heap_ is a min-heap of pending non-empty levels so sparse chains
+  // don't pay O(L) per RR graph.
+  const size_t num_samples = slab_.NumSamples();
+  for (size_t s = 0; s < num_samples; ++s) {
+    // HFS is cheap relative to sampling but still O(|R|); poll the budget at
+    // a coarse interval so a mid-evaluation expiry surfaces promptly. Sample
+    // boundaries are clean points (queues drained, heap empty).
+    if ((s & 63u) == 0u) {
+      const StatusCode hfs_code = budget.ExhaustedCode();
+      if (hfs_code != StatusCode::kOk) {
+        last_eval_seconds_ = SecondsSince(stage2_start);
         ChainEvalOutcome aborted;
-        aborted.code = budget_code;
+        aborted.code = hfs_code;
         return aborted;
       }
-      sampler_.SampleRestricted(source, chain.in_universe, rng, &rr_);
-      last_explored_nodes_ += rr_.NumNodes();
-      ++last_samples_;
+    }
+    const RrSlabPool::View rr = slab_.Sample(s);
+    const size_t n_local = rr.NumNodes();
+    if (queued_.size() < n_local) queued_.resize(n_local);
+    std::fill(queued_.begin(), queued_.begin() + n_local, 0);
 
-      const size_t n_local = rr_.NumNodes();
-      if (queued_.size() < n_local) queued_.resize(n_local);
-      std::fill(queued_.begin(), queued_.begin() + n_local, 0);
+    const uint32_t source_level = chain.level[rr.source];
+    queued_[0] = 1;
+    level_queue_[source_level].push_back(0);
+    heap_.push_back(source_level);
 
-      const uint32_t source_level = chain.level[rr_.source];
-      queued_[0] = 1;
-      level_queue_[source_level].push_back(0);
-      pending_levels.push(source_level);
-
-      while (!pending_levels.empty()) {
-        const uint32_t h = pending_levels.top();
-        pending_levels.pop();
-        auto& queue = level_queue_[h];
-        // Index loop: same-level discoveries extend `queue` while iterating.
-        for (size_t idx = 0; idx < queue.size(); ++idx) {
-          const uint32_t i = queue[idx];
-          const NodeId v = rr_.nodes[i];
-          ++buckets[h][v];
-          for (uint32_t u : rr_.NeighborsOf(i)) {
-            if (queued_[u]) continue;
-            queued_[u] = 1;
-            const uint32_t h2 = std::max(h, chain.level[rr_.nodes[u]]);
-            if (h2 != h && level_queue_[h2].empty()) pending_levels.push(h2);
-            level_queue_[h2].push_back(u);
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+      const uint32_t h = heap_.back();
+      heap_.pop_back();
+      auto& queue = level_queue_[h];
+      auto& bucket = level_nodes_[h];
+      // Index loop: same-level discoveries extend `queue` while iterating.
+      for (size_t idx = 0; idx < queue.size(); ++idx) {
+        const uint32_t i = queue[idx];
+        bucket.push_back(rr.nodes[i]);
+        for (uint32_t u : rr.NeighborsOf(i)) {
+          if (queued_[u]) continue;
+          queued_[u] = 1;
+          const uint32_t h2 = std::max(h, chain.level[rr.nodes[u]]);
+          if (h2 != h && level_queue_[h2].empty()) {
+            heap_.push_back(h2);
+            std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
           }
+          level_queue_[h2].push_back(u);
         }
-        queue.clear();
       }
+      queue.clear();
     }
   }
 
-  const auto stage2_start = std::chrono::steady_clock::now();
-  last_sample_seconds_ =
-      std::chrono::duration<double>(stage2_start - stage1_start).count();
+  // Incremental top-k from the deepest community outward. tau_ carries
+  // cumulative counts, stamped per query; seen_mark_ dedups a level's
+  // occurrence list so each node is presented to the candidate set once per
+  // level, with its final count (presentation order — first occurrence
+  // order — does not affect the resulting top-k set; see DESIGN.md).
+  const size_t n = model_->graph().NumNodes();
+  if (tau_.size() < n) {
+    tau_.resize(n);
+    tau_mark_.resize(n, 0);
+    seen_mark_.resize(n, 0);
+  }
+  ++query_epoch_;
 
-  // --- Stage 2: incremental top-k evaluation. ---
   ChainEvalOutcome outcome;
   outcome.rank_per_level.resize(num_levels);
-  TopKCandidates candidates(k);
-  std::unordered_map<NodeId, uint32_t> tau;  // cumulative counts
-  tau.reserve(1024);
+  TopKCandidates candidates(k, &topk_items_);
   uint32_t tau_q = 0;
   for (uint32_t h = 0; h < num_levels; ++h) {
-    for (const auto& [v, count] : buckets[h]) {
-      uint32_t& total = tau[v];
-      total += count;
-      candidates.Update(v, total);
-      if (v == q) tau_q = total;
+    ++level_epoch_;
+    touched_.clear();
+    for (const NodeId v : level_nodes_[h]) {
+      if (tau_mark_[v] != query_epoch_) {
+        tau_mark_[v] = query_epoch_;
+        tau_[v] = 0;
+      }
+      ++tau_[v];
+      if (seen_mark_[v] != level_epoch_) {
+        seen_mark_[v] = level_epoch_;
+        touched_.push_back(v);
+      }
+    }
+    for (const NodeId v : touched_) {
+      candidates.Update(v, tau_[v]);
+      if (v == q) tau_q = tau_[v];
     }
     const uint32_t rank = candidates.RankAgainst(tau_q);
     outcome.rank_per_level[h] = rank;
@@ -183,9 +230,7 @@ ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
       outcome.rank_at_best = rank;
     }
   }
-  last_eval_seconds_ = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - stage2_start)
-                           .count();
+  last_eval_seconds_ = SecondsSince(stage2_start);
   return outcome;
 }
 

@@ -3,30 +3,36 @@
 // Evaluates whether the query node is top-k influential in every community of
 // a nested chain using ONE shared pool of RR graphs:
 //
-//  1. Shared sample generation / hierarchical-first search (HFS): theta RR
-//     graphs are sampled from each universe node; each RR graph is traversed
-//     level-by-level so that every reached node is recorded exactly once, in
-//     the bucket of the smallest chain community containing a live path from
-//     the source (Theorem 2 makes the induced counts unbiased).
-//  2. Incremental top-k evaluation: buckets are scanned from the deepest
+//  1. Shared sample generation: theta RR graphs are sampled from each
+//     universe node into a contiguous slab pool (see influence/rr_pool.h).
+//     Sample i always draws from Rng(RrSampleSeed(pool_seed, i)) where
+//     pool_seed is ONE draw from the caller's RNG, so the pool is identical
+//     whether it was built serially or sharded across a thread pool.
+//  2. Hierarchical-first search (HFS) + incremental top-k evaluation: each
+//     stored RR graph is traversed level-by-level so that every reached node
+//     is recorded exactly once, at the smallest chain community containing a
+//     live path from the source (Theorem 2 makes the induced counts
+//     unbiased); per-level occurrences are then scanned from the deepest
 //     community outward, carrying cumulative counts and the current top-k
-//     candidates; Theorem 3 guarantees no other node can enter the top-k.
+//     candidates (Theorem 3 guarantees no other node can enter the top-k).
 //
 // Cost is O(Theta * omega + L) — the chain length L is decoupled from the
-// sampling cost (Theorem 4). RR graphs are streamed: each is traversed right
-// after sampling and then discarded, so memory stays O(|V| + bucket totals).
+// sampling cost (Theorem 4). All scratch (slabs, per-level lists, stamp
+// arrays, candidate storage) is reused across queries, so a warmed evaluator
+// performs zero heap allocations per query beyond the returned outcome.
 
 #ifndef COD_CORE_COMPRESSED_EVAL_H_
 #define COD_CORE_COMPRESSED_EVAL_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/deadline.h"
 #include "core/cod_chain.h"
-#include "influence/rr_graph.h"
+#include "influence/rr_pool.h"
 
 namespace cod {
+
+class ThreadPool;
 
 // Per-level outcome of a chain evaluation, shared with IndependentEvaluator.
 struct ChainEvalOutcome {
@@ -53,8 +59,8 @@ class CompressedEvaluator {
   CompressedEvaluator(const DiffusionModel& model, uint32_t theta);
 
   // Re-targets the evaluator at a (possibly different) model and theta,
-  // reusing scratch allocations. Lets a per-thread workspace follow serving
-  // epoch swaps without being reconstructed.
+  // reusing scratch allocations (slab capacity included). Lets a per-thread
+  // workspace follow serving epoch swaps without being reconstructed.
   void Rebind(const DiffusionModel& model, uint32_t theta);
 
   ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
@@ -62,14 +68,25 @@ class CompressedEvaluator {
     return Evaluate(chain, q, k, rng, Budget{});
   }
 
-  // Budget-aware form. The budget is polled between RR samples — the only
-  // points where the reusable scratch is clean — so an exhausted budget
-  // aborts within one sample's work and the evaluator stays usable for the
-  // next query. An already-exhausted budget aborts before the first sample,
-  // which makes sub-nanosecond test budgets deterministic (see
-  // common/deadline.h).
   ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
-                            Rng& rng, const Budget& budget);
+                            Rng& rng, const Budget& budget) {
+    return Evaluate(chain, q, k, rng, budget, nullptr);
+  }
+
+  // Budget-aware form with optional intra-query parallel sampling: when
+  // `pool` is non-null (and multi-threaded, and the caller is not itself one
+  // of its workers), RR-pool construction is sharded across it. Results are
+  // bit-identical for any pool (the per-sample seed schedule decouples the
+  // RNG stream from thread placement), and `rng` advances by exactly ONE
+  // draw per call either way.
+  //
+  // The budget is polled between RR samples — the only points where the
+  // reusable scratch is clean — so an exhausted budget aborts within one
+  // sample's work and the evaluator stays usable for the next query. An
+  // already-exhausted budget aborts before the first sample, which makes
+  // sub-nanosecond test budgets deterministic (see common/deadline.h).
+  ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
+                            Rng& rng, const Budget& budget, ThreadPool* pool);
 
   // Total RR-graph nodes explored by the last Evaluate call (|R| in the
   // paper's analysis); exposed for the Fig. 8 sample-cost comparison.
@@ -78,24 +95,52 @@ class CompressedEvaluator {
   // ---- Per-call instrumentation of the last Evaluate (QueryStats feed). --
   // RR graphs actually drawn (theta * |universe| when not aborted early).
   uint64_t last_samples() const { return last_samples_; }
-  // Stage 1 (shared sample generation + HFS bucketing) wall seconds.
+  // RR-pool construction wall seconds (sampling only; HFS moved to eval).
   double last_sample_seconds() const { return last_sample_seconds_; }
-  // Stage 2 (incremental top-k evaluation) wall seconds.
+  // Parallel chunk-merge wall seconds (0 on the serial path).
+  double last_merge_seconds() const { return last_merge_seconds_; }
+  // HFS bucketing + incremental top-k wall seconds.
   double last_eval_seconds() const { return last_eval_seconds_; }
+  // Parallel chunks used by the last pool build (0 = serial path).
+  size_t last_parallel_chunks() const { return last_parallel_chunks_; }
+  // True when parallel sampling was requested from one of the pool's own
+  // worker threads and fell back to inline serial sampling.
+  bool last_inline_fallback() const { return last_inline_fallback_; }
+
+  // Slab growth events across the pool and all chunk scratch — stable across
+  // repeated same-shape queries once warmed (the zero-allocation contract).
+  uint64_t slab_growth_events() const {
+    return slab_.growth_events() + pool_builder_.chunk_growth_events();
+  }
 
  private:
   const DiffusionModel* model_;
   uint32_t theta_;
-  RrSampler sampler_;
+  ParallelRrPool pool_builder_;
+  RrSlabPool slab_;
   size_t last_explored_nodes_ = 0;
   uint64_t last_samples_ = 0;
   double last_sample_seconds_ = 0.0;
+  double last_merge_seconds_ = 0.0;
   double last_eval_seconds_ = 0.0;
+  size_t last_parallel_chunks_ = 0;
+  bool last_inline_fallback_ = false;
 
-  // Reusable per-query scratch (sized lazily to the graph).
-  RrGraph rr_;
+  // Reusable per-query scratch (sized lazily to the graph / chain).
   std::vector<std::vector<uint32_t>> level_queue_;  // local node ids per level
   std::vector<char> queued_;                        // per local node id
+  // Per-level node occurrences across all samples (each reached node once
+  // per sample, at its minimal level). Duplicates across samples allowed;
+  // stage 2 dedups with the stamp arrays below.
+  std::vector<std::vector<NodeId>> level_nodes_;
+  std::vector<uint32_t> tau_;        // cumulative counts, valid per query
+  std::vector<uint64_t> tau_mark_;   // query stamp for tau_
+  std::vector<uint64_t> seen_mark_;  // per-level first-touch stamp
+  uint64_t query_epoch_ = 0;
+  uint64_t level_epoch_ = 0;
+  std::vector<NodeId> touched_;      // nodes first seen at the current level
+  std::vector<uint32_t> heap_;       // pending_levels min-heap storage
+  std::vector<std::pair<uint32_t, NodeId>> topk_items_;  // TopK storage
 };
 
 }  // namespace cod

@@ -91,8 +91,12 @@ struct StageSites {
   Histogram* chain_build;
   Histogram* lore_scan;
   Histogram* sample;
+  Histogram* merge;
   Histogram* eval;
   Counter* rr_samples;
+  Counter* rr_parallel_pools;
+  Counter* rr_parallel_chunks;
+  Counter* rr_parallel_inline_fallbacks;
   Counter* index_hits;
   Counter* codr_cache_hits;
   Counter* codr_cache_misses;
@@ -109,10 +113,21 @@ const StageSites& Stages() {
         reg.GetHistogram("cod_query_stage_seconds{stage=\"chain_build\"}");
     s.lore_scan =
         reg.GetHistogram("cod_query_stage_seconds{stage=\"lore_scan\"}");
+    // Pool construction spans sub-millisecond smoke graphs to multi-minute
+    // big-graph pools; the chunk merge is a memcpy pass, orders of magnitude
+    // below the default latency buckets. Both get explicit ranges so large
+    // or tiny timings don't all land in one end bucket.
     s.sample =
-        reg.GetHistogram("cod_query_stage_seconds{stage=\"rr_sampling\"}");
+        reg.GetHistogram("cod_query_stage_seconds{stage=\"rr_sampling\"}",
+                         HistogramOptions::Exponential(1e-5, 3.16, 16));
+    s.merge = reg.GetHistogram("cod_query_stage_seconds{stage=\"rr_merge\"}",
+                               HistogramOptions::Exponential(1e-7, 10.0, 10));
     s.eval = reg.GetHistogram("cod_query_stage_seconds{stage=\"evaluation\"}");
     s.rr_samples = reg.GetCounter("cod_rr_samples_total");
+    s.rr_parallel_pools = reg.GetCounter("cod_rr_parallel_pools_total");
+    s.rr_parallel_chunks = reg.GetCounter("cod_rr_parallel_chunks_total");
+    s.rr_parallel_inline_fallbacks =
+        reg.GetCounter("cod_rr_parallel_inline_fallbacks_total");
     s.index_hits = reg.GetCounter("cod_index_hits_total");
     s.codr_cache_hits = reg.GetCounter("cod_codr_cache_hits_total");
     s.codr_cache_misses = reg.GetCounter("cod_codr_cache_misses_total");
@@ -326,13 +341,18 @@ Result<LoreChain> EngineCore::BuildCodlChainFromScores(
 CodResult EngineCore::EvaluateChain(const CodChain& chain, NodeId q,
                                     uint32_t k, QueryWorkspace& ws) const {
   COD_DCHECK(ws.bound_core() == this);  // Rebind the workspace to this core
-  const ChainEvalOutcome outcome =
-      ws.evaluator().Evaluate(chain, q, k, ws.rng(), ws.budget());
+  const ChainEvalOutcome outcome = ws.evaluator().Evaluate(
+      chain, q, k, ws.rng(), ws.budget(), ws.effective_sampling_pool());
   QueryStats& st = ws.stats();
   st.sample_seconds += ws.evaluator().last_sample_seconds();
+  st.merge_seconds += ws.evaluator().last_merge_seconds();
   st.eval_seconds += ws.evaluator().last_eval_seconds();
   st.rr_samples += ws.evaluator().last_samples();
   st.explored_nodes += ws.evaluator().last_explored_nodes();
+  st.parallel_chunks += ws.evaluator().last_parallel_chunks();
+  if (ws.evaluator().last_inline_fallback()) {
+    st.parallel_inline_fallback = true;
+  }
   CodResult result;
   result.num_levels = chain.NumLevels();
   result.code = outcome.code;
@@ -348,6 +368,7 @@ CodResult EngineCore::EvaluateChain(const CodChain& chain, NodeId q,
 CodResult EngineCore::Query(const QuerySpec& spec, QueryWorkspace& ws) const {
   COD_DCHECK(ws.bound_core() == this);
   ws.stats() = QueryStats{};
+  ws.SetParallelSampling(spec.parallel_sampling);
   const uint32_t k = spec.k == 0 ? options_.k : spec.k;
   const auto start = std::chrono::steady_clock::now();
   CodResult result;
@@ -409,8 +430,16 @@ CodResult EngineCore::Query(const QuerySpec& spec, QueryWorkspace& ws) const {
     }
     if (st.lore_scan_seconds > 0.0) ss.lore_scan->Observe(st.lore_scan_seconds);
     if (st.sample_seconds > 0.0) ss.sample->Observe(st.sample_seconds);
+    if (st.merge_seconds > 0.0) ss.merge->Observe(st.merge_seconds);
     if (st.eval_seconds > 0.0) ss.eval->Observe(st.eval_seconds);
     if (st.rr_samples > 0) ss.rr_samples->Increment(st.rr_samples);
+    if (st.parallel_chunks > 0) {
+      ss.rr_parallel_pools->Increment();
+      ss.rr_parallel_chunks->Increment(st.parallel_chunks);
+    }
+    if (st.parallel_inline_fallback) {
+      ss.rr_parallel_inline_fallbacks->Increment();
+    }
     if (st.index_hit) ss.index_hits->Increment();
     if (spec.variant == CodVariant::kCodR && spec.attrs.size() == 1 &&
         options_.cache_codr_hierarchies) {

@@ -113,6 +113,10 @@ struct QuerySpec {
   // 0 means "use the batch default" (BatchOptions::default_budget_seconds).
   // Direct EngineCore::Query calls use the workspace budget instead.
   double budget_seconds = 0.0;
+  // Intra-query parallel RR sampling: effective only when the workspace has
+  // a sampling pool (QueryWorkspace::SetSamplingPool); on by default then.
+  // Results are bit-identical either way — this is a latency knob only.
+  bool parallel_sampling = true;
 };
 
 struct CodResult {

@@ -10,7 +10,8 @@ IndependentEvaluator::IndependentEvaluator(const DiffusionModel& model,
 
 ChainEvalOutcome IndependentEvaluator::Evaluate(const CodChain& chain,
                                                 NodeId q, uint32_t k, Rng& rng,
-                                                const Budget& budget) {
+                                                const Budget& budget,
+                                                ThreadPool* pool) {
   const size_t num_levels = chain.NumLevels();
   COD_CHECK(num_levels >= 1);
   COD_CHECK(chain.in_universe[q]);
@@ -29,8 +30,14 @@ ChainEvalOutcome IndependentEvaluator::Evaluate(const CodChain& chain,
       break;
     }
     const std::vector<NodeId> members = chain.MembersOfLevel(h);
-    const std::vector<uint32_t> counts =
-        oracle_.CountsWithin(members, theta_, rng);
+    std::vector<uint32_t> counts;
+    const StatusCode level_code = oracle_.CountsWithin(
+        members, theta_, rng.Next(), budget, pool, &counts);
+    if (level_code != StatusCode::kOk) {
+      outcome.code = level_code;
+      last_timed_out_ = true;
+      break;
+    }
     for (uint32_t c : counts) last_explored_nodes_ += c;
     const uint32_t rank = InfluenceOracle::RankOf(members, counts, q);
     outcome.rank_per_level[h] = rank;

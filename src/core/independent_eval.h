@@ -24,7 +24,16 @@ class IndependentEvaluator {
   // stay meaningful) — the paper's Independent runs hit multi-hour timeouts
   // on larger datasets.
   ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
-                            Rng& rng, const Budget& budget);
+                            Rng& rng, const Budget& budget) {
+    return Evaluate(chain, q, k, rng, budget, nullptr);
+  }
+
+  // With optional intra-query parallel sampling on a borrowed `pool`:
+  // per-level counts shard across it (see InfluenceOracle::CountsWithin);
+  // results are bit-identical for any pool, and `rng` advances by exactly
+  // one draw per level either way.
+  ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
+                            Rng& rng, const Budget& budget, ThreadPool* pool);
 
   // Compatibility shim for the fig8/fig9 paper-experiment benches: a
   // positive `deadline_seconds` bounds the run, 0 means unlimited.

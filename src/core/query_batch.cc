@@ -246,6 +246,9 @@ std::vector<CodResult> RunQueryBatch(const EngineCore& core,
                                 .count());
       }
       QueryWorkspace ws(core, /*seed=*/0);
+      if (options.sampling_pool != nullptr) {
+        ws.SetSamplingPool(options.sampling_pool);
+      }
       BatchStats local;
       for (size_t i = begin; i < end; ++i) {
         // Failure site for tests: a worker "dying" on a query marks that

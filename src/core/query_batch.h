@@ -59,6 +59,14 @@ struct BatchOptions {
   // When a query's budget expires, retry it on cheaper ladder rungs (tagged
   // degraded = true) instead of returning kTimeout outright.
   bool allow_degradation = true;
+  // Optional borrowed pool for intra-query parallel RR sampling inside each
+  // worker's workspace (see QueryWorkspace::SetSamplingPool). Must be a
+  // DIFFERENT pool than the batch pool to take effect: workers of the batch
+  // pool detect themselves as pool workers and sample inline (results are
+  // bit-identical either way, so this is a latency knob only). Null = serial
+  // per-query sampling (the default; cross-query parallelism usually
+  // saturates the machine already).
+  ThreadPool* sampling_pool = nullptr;
 };
 
 // Aggregate outcome tallies for one RunQueryBatch call. Workers accumulate

@@ -25,12 +25,17 @@ struct QueryStats {
   // Wall time per stage, seconds. Stages that a variant skips stay 0.
   double chain_build_seconds = 0.0;  // (re)clustering + chain construction
   double lore_scan_seconds = 0.0;    // LORE reclustering-score edge scan
-  double sample_seconds = 0.0;       // RR sampling + HFS bucket traversal
-  double eval_seconds = 0.0;         // incremental top-k evaluation
+  double sample_seconds = 0.0;       // RR-pool construction (sampling only)
+  double merge_seconds = 0.0;        // parallel chunk merge (0 when serial)
+  double eval_seconds = 0.0;         // HFS bucketing + incremental top-k
 
   uint64_t rr_samples = 0;       // RR graphs drawn
   uint64_t explored_nodes = 0;   // total RR-graph nodes explored (|R|)
   size_t levels_examined = 0;    // chain levels the evaluation covered
+
+  // Intra-query parallel sampling provenance (see influence/rr_pool.h).
+  size_t parallel_chunks = 0;           // chunks of the pool build; 0 = serial
+  bool parallel_inline_fallback = false;  // requested on a pool worker thread
 
   // Index / cache provenance.
   bool index_hit = false;        // HIMOR alone answered (CODL fast path)
@@ -38,7 +43,7 @@ struct QueryStats {
 
   double TotalStageSeconds() const {
     return chain_build_seconds + lore_scan_seconds + sample_seconds +
-           eval_seconds;
+           merge_seconds + eval_seconds;
   }
 };
 

@@ -1,5 +1,13 @@
 #include "influence/influence_oracle.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+
 namespace cod {
 
 InfluenceOracle::InfluenceOracle(const DiffusionModel& model)
@@ -8,23 +16,99 @@ InfluenceOracle::InfluenceOracle(const DiffusionModel& model)
       allowed_(model.graph().NumNodes(), 0),
       local_(model.graph().NumNodes(), 0) {}
 
+InfluenceOracle::ChunkScratch& InfluenceOracle::Chunk(size_t i) {
+  while (chunks_.size() <= i) {
+    chunks_.push_back(std::make_unique<ChunkScratch>(*model_));
+  }
+  return *chunks_[i];
+}
+
 std::vector<uint32_t> InfluenceOracle::CountsWithin(
     std::span<const NodeId> members, uint32_t theta, Rng& rng) {
+  std::vector<uint32_t> counts;
+  const StatusCode code =
+      CountsWithin(members, theta, rng.Next(), Budget{}, nullptr, &counts);
+  COD_CHECK(code == StatusCode::kOk);
+  return counts;
+}
+
+StatusCode InfluenceOracle::CountsWithin(std::span<const NodeId> members,
+                                         uint32_t theta, uint64_t pool_seed,
+                                         const Budget& budget, ThreadPool* pool,
+                                         std::vector<uint32_t>* counts) {
   COD_CHECK(theta > 0);
   for (size_t i = 0; i < members.size(); ++i) {
     allowed_[members[i]] = 1;
     local_[members[i]] = static_cast<uint32_t>(i);
   }
-  std::vector<uint32_t> counts(members.size(), 0);
-  for (NodeId source : members) {
-    for (uint32_t t = 0; t < theta; ++t) {
+  counts->assign(members.size(), 0);
+  const size_t total = members.size() * theta;
+  StatusCode result = StatusCode::kOk;
+
+  const bool parallel = pool != nullptr && !pool->IsWorkerThread() &&
+                        pool->num_threads() > 1 && total >= 2;
+  if (!parallel) {
+    for (size_t s = 0; s < total; ++s) {
+      result = budget.ExhaustedCode();
+      if (result != StatusCode::kOk) break;
+      Rng sample_rng(RrSampleSeed(pool_seed, s));
       scratch_set_.clear();
-      sampler_.SampleSetRestricted(source, &allowed_, rng, &scratch_set_);
-      for (NodeId v : scratch_set_) ++counts[local_[v]];
+      sampler_.SampleSetRestricted(members[s / theta], &allowed_, sample_rng,
+                                   &scratch_set_);
+      for (NodeId v : scratch_set_) ++(*counts)[local_[v]];
     }
+  } else {
+    const size_t num_chunks = std::min(pool->num_threads(), total);
+    for (size_t c = 0; c < num_chunks; ++c) Chunk(c);
+    std::atomic<uint32_t> abort_code{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = num_chunks;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      pool->Submit([&, c, members, theta, pool_seed] {
+        ChunkScratch& cs = *chunks_[c];
+        cs.counts.assign(members.size(), 0);
+        const size_t begin = total * c / num_chunks;
+        const size_t end = total * (c + 1) / num_chunks;
+        for (size_t s = begin; s < end; ++s) {
+          if (abort_code.load(std::memory_order_relaxed) != 0) break;
+          const StatusCode code = COD_FAILPOINT("influence/parallel_pool")
+                                      ? StatusCode::kCancelled
+                                      : budget.ExhaustedCode();
+          if (code != StatusCode::kOk) {
+            uint32_t expected = 0;
+            abort_code.compare_exchange_strong(
+                expected, static_cast<uint32_t>(code),
+                std::memory_order_relaxed);
+            break;
+          }
+          Rng sample_rng(RrSampleSeed(pool_seed, s));
+          cs.scratch_set.clear();
+          cs.sampler.SampleSetRestricted(members[s / theta], &allowed_,
+                                         sample_rng, &cs.scratch_set);
+          for (NodeId v : cs.scratch_set) ++cs.counts[local_[v]];
+        }
+        std::unique_lock<std::mutex> lock(mu);
+        if (--remaining == 0) cv.notify_all();
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return remaining == 0; });
+    }
+    // Per-chunk count sums commute, so the merged counts are independent of
+    // chunk boundaries and thread count.
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const auto& chunk_counts = chunks_[c]->counts;
+      for (size_t i = 0; i < chunk_counts.size(); ++i) {
+        (*counts)[i] += chunk_counts[i];
+      }
+    }
+    result = static_cast<StatusCode>(abort_code.load(std::memory_order_relaxed));
   }
+
   for (NodeId v : members) allowed_[v] = 0;
-  return counts;
+  return result;
 }
 
 uint32_t InfluenceOracle::RankOf(std::span<const NodeId> members,

@@ -14,21 +14,38 @@
 #ifndef COD_INFLUENCE_INFLUENCE_ORACLE_H_
 #define COD_INFLUENCE_INFLUENCE_ORACLE_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/deadline.h"
 #include "influence/rr_graph.h"
+#include "influence/rr_pool.h"
 
 namespace cod {
+
+class ThreadPool;
 
 class InfluenceOracle {
  public:
   explicit InfluenceOracle(const DiffusionModel& model);
 
   // counts[i] = number of restricted RR sets (theta per member as source)
-  // that contain members[i]. Members must be distinct.
+  // that contain members[i]. Members must be distinct. Draws exactly ONE
+  // value from `rng` (the pool seed); sample i of the members x theta pool
+  // uses Rng(RrSampleSeed(pool_seed, i)).
   std::vector<uint32_t> CountsWithin(std::span<const NodeId> members,
                                      uint32_t theta, Rng& rng);
+
+  // Budget-aware form with optional intra-query parallelism on a *borrowed*
+  // pool (see influence/rr_pool.h for the borrowing rule). Chunked per-chunk
+  // counts are summed, so results are bit-identical for any pool, including
+  // none. The budget (and, in parallel chunks, the "influence/parallel_pool"
+  // failpoint) is polled between samples; on a non-kOk return `counts` is
+  // incomplete and must be discarded.
+  StatusCode CountsWithin(std::span<const NodeId> members, uint32_t theta,
+                          uint64_t pool_seed, const Budget& budget,
+                          ThreadPool* pool, std::vector<uint32_t>* counts);
 
   // Influence rank of `q` given per-member counts: the number of members
   // with a strictly larger count (paper's rank_C definition; rank 0 = most
@@ -37,11 +54,22 @@ class InfluenceOracle {
                          std::span<const uint32_t> counts, NodeId q);
 
  private:
+  // Per-chunk sampler scratch for the parallel path (grown lazily).
+  struct ChunkScratch {
+    explicit ChunkScratch(const DiffusionModel& model) : sampler(model) {}
+    RrSampler sampler;
+    std::vector<NodeId> scratch_set;
+    std::vector<uint32_t> counts;
+  };
+
+  ChunkScratch& Chunk(size_t i);
+
   const DiffusionModel* model_;
   RrSampler sampler_;
   std::vector<char> allowed_;
   std::vector<uint32_t> local_;  // member index per node, valid under mask
   std::vector<NodeId> scratch_set_;
+  std::vector<std::unique_ptr<ChunkScratch>> chunks_;
 };
 
 }  // namespace cod

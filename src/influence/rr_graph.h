@@ -74,9 +74,16 @@ class RrSampler {
                         Rng& rng, RrGraph* out);
 
   // Cheaper variant when only the reached node set is needed (no edges).
-  // Appends reached nodes (including `source`) to `out`.
+  // Appends reached nodes (including `source`) to `out`. Given equal RNG
+  // state, the reached set equals SampleRestricted's node list (pinned by
+  // rr_graph_test.cc).
   void SampleSetRestricted(NodeId source, const std::vector<char>* allowed,
                            Rng& rng, std::vector<NodeId>* out);
+
+  // Capacity of the per-node scratch stamps, in nodes. Rebind only regrows
+  // it when the new model's graph is larger — epoch swaps between same- or
+  // smaller-sized graphs reuse the allocation (pinned by rr_graph_test.cc).
+  size_t ScratchCapacity() const { return visit_epoch_.capacity(); }
 
  private:
   template <bool kRestricted, bool kRecordEdges>

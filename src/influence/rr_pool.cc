@@ -1,0 +1,197 @@
+#include "influence/rr_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+
+namespace cod {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+void RrSlabPool::Append(const RrGraph& g) {
+  Extent e;
+  e.source = g.source;
+  e.node_begin = static_cast<uint32_t>(nodes_.size());
+  e.node_count = static_cast<uint32_t>(g.nodes.size());
+  e.edge_begin = static_cast<uint32_t>(neighbors_.size());
+  e.off_begin = static_cast<uint32_t>(offsets_.size());
+  NoteGrowth(nodes_, nodes_.size() + g.nodes.size());
+  NoteGrowth(offsets_, offsets_.size() + g.offsets.size());
+  NoteGrowth(neighbors_, neighbors_.size() + g.neighbors.size());
+  NoteGrowth(extents_, extents_.size() + 1);
+  nodes_.insert(nodes_.end(), g.nodes.begin(), g.nodes.end());
+  offsets_.insert(offsets_.end(), g.offsets.begin(), g.offsets.end());
+  neighbors_.insert(neighbors_.end(), g.neighbors.begin(), g.neighbors.end());
+  extents_.push_back(e);
+}
+
+void RrSlabPool::AppendPool(const RrSlabPool& other) {
+  const size_t node_base = nodes_.size();
+  const size_t edge_base = neighbors_.size();
+  const size_t off_base = offsets_.size();
+  NoteGrowth(nodes_, node_base + other.nodes_.size());
+  NoteGrowth(offsets_, off_base + other.offsets_.size());
+  NoteGrowth(neighbors_, edge_base + other.neighbors_.size());
+  NoteGrowth(extents_, extents_.size() + other.extents_.size());
+  nodes_.insert(nodes_.end(), other.nodes_.begin(), other.nodes_.end());
+  offsets_.insert(offsets_.end(), other.offsets_.begin(),
+                  other.offsets_.end());
+  neighbors_.insert(neighbors_.end(), other.neighbors_.begin(),
+                    other.neighbors_.end());
+  for (const Extent& e : other.extents_) {
+    extents_.push_back(Extent{
+        e.source, static_cast<uint32_t>(e.node_begin + node_base),
+        e.node_count, static_cast<uint32_t>(e.edge_begin + edge_base),
+        static_cast<uint32_t>(e.off_begin + off_base)});
+  }
+}
+
+ParallelRrPool::ParallelRrPool(const DiffusionModel& model)
+    : model_(&model) {}
+
+void ParallelRrPool::Rebind(const DiffusionModel& model) {
+  model_ = &model;
+  for (auto& chunk : chunks_) chunk->sampler.Rebind(model);
+}
+
+ParallelRrPool::ChunkScratch& ParallelRrPool::Chunk(size_t i) {
+  while (chunks_.size() <= i) {
+    chunks_.push_back(std::make_unique<ChunkScratch>(*model_));
+  }
+  return *chunks_[i];
+}
+
+uint64_t ParallelRrPool::chunk_growth_events() const {
+  uint64_t total = 0;
+  for (const auto& chunk : chunks_) total += chunk->slab.growth_events();
+  return total;
+}
+
+StatusCode ParallelRrPool::BuildSerial(std::span<const NodeId> sources,
+                                       uint32_t theta,
+                                       const std::vector<char>& allowed,
+                                       uint64_t pool_seed, const Budget& budget,
+                                       RrSlabPool* out, BuildStats* stats) {
+  ChunkScratch& cs = Chunk(0);
+  const auto start = std::chrono::steady_clock::now();
+  const size_t total = sources.size() * theta;
+  for (size_t s = 0; s < total; ++s) {
+    // Check between samples only — the clean points where aborting leaves
+    // no dirty scratch. The "rr/sample" failpoint injects a mid-evaluation
+    // abort at the same point (tests of partial-work unwinding).
+    const StatusCode code = COD_FAILPOINT("rr/sample")
+                                ? StatusCode::kCancelled
+                                : budget.ExhaustedCode();
+    if (code != StatusCode::kOk) {
+      stats->sample_seconds = SecondsSince(start);
+      out->Clear();
+      return code;
+    }
+    Rng rng(RrSampleSeed(pool_seed, s));
+    cs.sampler.SampleRestricted(sources[s / theta], allowed, rng, &cs.rr);
+    out->Append(cs.rr);
+    ++stats->samples;
+    stats->explored_nodes += cs.rr.NumNodes();
+  }
+  stats->sample_seconds = SecondsSince(start);
+  return StatusCode::kOk;
+}
+
+StatusCode ParallelRrPool::Build(std::span<const NodeId> sources,
+                                 uint32_t theta,
+                                 const std::vector<char>& allowed,
+                                 uint64_t pool_seed, const Budget& budget,
+                                 ThreadPool* pool, RrSlabPool* out,
+                                 BuildStats* stats) {
+  out->Clear();
+  *stats = BuildStats{};
+  const size_t total = sources.size() * theta;
+  const bool on_worker = pool != nullptr && pool->IsWorkerThread();
+  if (on_worker) stats->inline_fallback = true;
+  if (pool == nullptr || on_worker || pool->num_threads() <= 1 || total < 2) {
+    return BuildSerial(sources, theta, allowed, pool_seed, budget, out, stats);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const size_t num_chunks = std::min(pool->num_threads(), total);
+  for (size_t c = 0; c < num_chunks; ++c) Chunk(c);
+
+  // First failing status code wins; workers stop drawing once any chunk
+  // aborts. Chunk completion is tracked privately — never pool WaitIdle(),
+  // the pool is borrowed and may carry unrelated work.
+  std::atomic<uint32_t> abort_code{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = num_chunks;
+
+  for (size_t c = 0; c < num_chunks; ++c) {
+    pool->Submit([&, c] {
+      ChunkScratch& cs = *chunks_[c];
+      cs.slab.Clear();
+      cs.samples = 0;
+      cs.explored_nodes = 0;
+      const size_t begin = total * c / num_chunks;
+      const size_t end = total * (c + 1) / num_chunks;
+      for (size_t s = begin; s < end; ++s) {
+        if (abort_code.load(std::memory_order_relaxed) != 0) break;
+        const StatusCode code = COD_FAILPOINT("influence/parallel_pool")
+                                    ? StatusCode::kCancelled
+                                    : budget.ExhaustedCode();
+        if (code != StatusCode::kOk) {
+          uint32_t expected = 0;
+          abort_code.compare_exchange_strong(
+              expected, static_cast<uint32_t>(code),
+              std::memory_order_relaxed);
+          break;
+        }
+        Rng rng(RrSampleSeed(pool_seed, s));
+        cs.sampler.SampleRestricted(sources[s / theta], allowed, rng, &cs.rr);
+        cs.slab.Append(cs.rr);
+        ++cs.samples;
+        cs.explored_nodes += cs.rr.NumNodes();
+      }
+      std::unique_lock<std::mutex> lock(mu);
+      if (--remaining == 0) cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+  stats->chunks = num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    stats->samples += chunks_[c]->samples;
+    stats->explored_nodes += chunks_[c]->explored_nodes;
+  }
+  stats->sample_seconds = SecondsSince(start);
+
+  const auto code =
+      static_cast<StatusCode>(abort_code.load(std::memory_order_relaxed));
+  if (code != StatusCode::kOk) {
+    out->Clear();
+    return code;
+  }
+
+  // Deterministic merge: chunks cover contiguous, increasing sample-index
+  // ranges, so appending them in chunk order reproduces the serial layout
+  // exactly.
+  const auto merge_start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < num_chunks; ++c) out->AppendPool(chunks_[c]->slab);
+  stats->merge_seconds = SecondsSince(merge_start);
+  return StatusCode::kOk;
+}
+
+}  // namespace cod

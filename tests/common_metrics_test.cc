@@ -75,6 +75,48 @@ TEST(MetricsRegistryTest, HistogramBucketsFollowUpperBoundSemantics) {
   EXPECT_EQ(counts[3], 1u);
 }
 
+TEST(MetricsRegistryTest, HistogramOptionsSetBucketsAtFirstRegistration) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  HistogramOptions options;
+  options.bounds = {0.5, 5.0};
+  Histogram* h = reg.GetHistogram("t_options_seconds", options);
+  reg.ResetForTest();
+
+  h->Observe(0.4);
+  h->Observe(2.0);
+  h->Observe(50.0);
+  const std::vector<uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);  // two bounds + +Inf
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+
+  // First registration wins: a later caller with different options gets the
+  // same histogram back, buckets unchanged.
+  HistogramOptions other;
+  other.bounds = {1e-9};
+  EXPECT_EQ(reg.GetHistogram("t_options_seconds", other), h);
+  EXPECT_EQ(h->BucketCounts().size(), 3u);
+}
+
+TEST(MetricsRegistryTest, ExponentialHistogramOptionsAreGeometric) {
+  const HistogramOptions options =
+      HistogramOptions::Exponential(/*start=*/1e-3, /*factor=*/10.0,
+                                    /*count=*/4);
+  ASSERT_EQ(options.bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(options.bounds[0], 1e-3);
+  EXPECT_DOUBLE_EQ(options.bounds[1], 1e-2);
+  EXPECT_DOUBLE_EQ(options.bounds[2], 1e-1);
+  EXPECT_DOUBLE_EQ(options.bounds[3], 1.0);
+  // Bounds must be usable as histogram bounds directly (strictly
+  // increasing), including for non-integer factors.
+  const HistogramOptions fine = HistogramOptions::Exponential(1e-5, 3.16, 16);
+  ASSERT_EQ(fine.bounds.size(), 16u);
+  for (size_t i = 1; i < fine.bounds.size(); ++i) {
+    EXPECT_GT(fine.bounds[i], fine.bounds[i - 1]);
+  }
+}
+
 TEST(MetricsRegistryTest, ExpositionTextIsPrometheusShaped) {
   MetricsRegistry& reg = MetricsRegistry::Instance();
   Counter* c = reg.GetCounter("t_expo_total{variant=\"codl\"}");

@@ -42,39 +42,6 @@ AttributeId AnyAttributeOf(const AttributeTable& attrs, NodeId q) {
   return a.empty() ? kInvalidAttribute : a[0];
 }
 
-// Pins the Rng-stream compatibility contract of the DEPRECATED Rng-form
-// queries (see cod_engine.h): the legacy form must keep consuming the exact
-// stream a workspace seeded alike would. This is the one in-repo caller that
-// stays on the old API until the forwarders are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(EngineCoreTest, ConstQueriesMatchLegacyEngine) {
-  const World w = MakeWorld(1);
-  CodEngine engine(w.graph, w.attrs, {});
-  Rng build_rng(2);
-  engine.BuildHimor(build_rng);
-
-  const std::shared_ptr<const EngineCore> core = engine.core();
-  QueryWorkspace ws(*core, /*seed=*/0);
-  for (NodeId q = 0; q < 12; ++q) {
-    const AttributeId attr = AnyAttributeOf(w.attrs, q);
-    if (attr == kInvalidAttribute) continue;
-    // Legacy Rng form and const workspace form consume identical streams.
-    Rng legacy_rng(500 + q);
-    const CodResult legacy = engine.QueryCodL(q, attr, 5, legacy_rng);
-    ws.ReseedRng(500 + q);
-    const CodResult modern = core->QueryCodL(q, attr, 5, ws);
-    EXPECT_TRUE(SameResult(legacy, modern)) << "q=" << q;
-
-    Rng legacy_u(900 + q);
-    const CodResult legacy_codu = engine.QueryCodU(q, 5, legacy_u);
-    ws.ReseedRng(900 + q);
-    const CodResult modern_codu = core->QueryCodU(q, 5, ws);
-    EXPECT_TRUE(SameResult(legacy_codu, modern_codu)) << "q=" << q;
-  }
-}
-#pragma GCC diagnostic pop
-
 TEST(EngineCoreTest, OwningConstructorKeepsInputsAlive) {
   std::shared_ptr<const EngineCore> core;
   {

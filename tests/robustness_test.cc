@@ -283,6 +283,9 @@ TEST_P(RandomFailpointFuzzTest, QueriesRespectTaxonomyUnderRandomFaults) {
   BudgetWorld w = MakeBudgetWorld(GetParam() + 90);
   const std::vector<QuerySpec> base = MakeVariantSpecs(w.attrs, 15);
   ThreadPool pool(4);
+  // A separate sampling pool puts the "influence/parallel_pool" site (the
+  // parallel chunk loops) inside the fuzz blast radius too.
+  ThreadPool sampling_pool(2);
 
   {
     ScopedRandomFailpoints fuzz(FuzzSeed(GetParam()),
@@ -296,6 +299,7 @@ TEST_P(RandomFailpointFuzzTest, QueriesRespectTaxonomyUnderRandomFaults) {
       }
       BatchOptions options;
       options.allow_degradation = rng.Bernoulli(0.5);
+      options.sampling_pool = &sampling_pool;
       const std::vector<CodResult> results =
           w.engine->QueryBatch(specs, pool, /*batch_seed=*/round, options);
       ASSERT_EQ(results.size(), specs.size());
@@ -342,6 +346,41 @@ TEST_P(RandomFailpointFuzzTest, QueriesRespectTaxonomyUnderRandomFaults) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomFailpointFuzzTest,
                          ::testing::Values(301, 302, 303));
+
+TEST(CancellationTest, MidPoolFailpointCancelsAndLeavesWorkspaceReusable) {
+  // Arm the parallel-sampling chunk site: the pool aborts mid-construction
+  // with kCancelled, and the workspace (slab pool included) stays reusable.
+  BudgetWorld w = MakeBudgetWorld(52);
+  ThreadPool sampling_pool(2);
+  QueryWorkspace ws = w.engine->MakeWorkspace(/*seed=*/0);
+  ws.SetSamplingPool(&sampling_pool);
+
+  QuerySpec spec;
+  spec.variant = CodVariant::kCodU;
+  spec.node = 3;
+  spec.k = 5;
+
+  {
+    ScopedFailpoint fp("influence/parallel_pool", /*count=*/1);
+    ws.ReseedRng(5);
+    const CodResult cancelled = w.engine->Query(spec, ws);
+    EXPECT_EQ(cancelled.code, StatusCode::kCancelled);
+    EXPECT_FALSE(cancelled.found);
+    EXPECT_TRUE(cancelled.members.empty());
+  }
+
+  // Disarmed: the same workspace answers exactly like a fresh one.
+  ws.ReseedRng(6);
+  const CodResult reused = w.engine->Query(spec, ws);
+  QueryWorkspace fresh = w.engine->MakeWorkspace(/*seed=*/0);
+  fresh.SetSamplingPool(&sampling_pool);
+  fresh.ReseedRng(6);
+  const CodResult expected = w.engine->Query(spec, fresh);
+  EXPECT_EQ(reused.code, StatusCode::kOk);
+  EXPECT_EQ(reused.found, expected.found);
+  EXPECT_EQ(reused.members, expected.members);
+  EXPECT_EQ(reused.rank, expected.rank);
+}
 
 TEST(CancellationTest, PreCancelledBatchSkipsAllSampledWork) {
   BudgetWorld w = MakeBudgetWorld(50);

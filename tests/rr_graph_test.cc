@@ -1,5 +1,7 @@
 #include "influence/rr_graph.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "influence/monte_carlo.h"
@@ -260,6 +262,80 @@ INSTANTIATE_TEST_SUITE_P(AllModels, ModelSweepTest,
                                            ModelKind::kUniform,
                                            ModelKind::kTrivalency,
                                            ModelKind::kLt));
+
+// Rebind across epoch swaps must reuse scratch allocations: swapping to a
+// same-sized or smaller graph keeps the stamp arrays' capacity, so a
+// long-lived per-thread sampler never reallocates on steady-state swaps.
+TEST(RrGraphTest, RebindReusesScratchCapacityAcrossEpochSwaps) {
+  const Graph big = testing::MakeClique(12);
+  const Graph small = testing::MakeClique(6);
+  const DiffusionModel big_model = DiffusionModel::WeightedCascadeIc(big);
+  const DiffusionModel small_model = DiffusionModel::WeightedCascadeIc(small);
+
+  RrSampler sampler(big_model);
+  const size_t warmed = sampler.ScratchCapacity();
+  ASSERT_GE(warmed, big.NumNodes());
+
+  // Shrinking swap: capacity is kept, not released.
+  sampler.Rebind(small_model);
+  EXPECT_EQ(sampler.ScratchCapacity(), warmed);
+  // Same-size swap back: still no growth.
+  sampler.Rebind(big_model);
+  EXPECT_EQ(sampler.ScratchCapacity(), warmed);
+
+  // And the rebound sampler behaves exactly like a fresh one.
+  RrSampler fresh(big_model);
+  Rng rng1(21);
+  Rng rng2(21);
+  RrGraph a;
+  RrGraph b;
+  for (int i = 0; i < 20; ++i) {
+    sampler.Sample(static_cast<NodeId>(i % 12), rng1, &a);
+    fresh.Sample(static_cast<NodeId>(i % 12), rng2, &b);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.neighbors, b.neighbors);
+  }
+}
+
+// Property pinned by the header contract: given equal RNG state,
+// SampleSetRestricted reaches exactly the node set of SampleRestricted —
+// across models, masks, and sources. (The evaluator relies on this when it
+// swaps the cheap set sampler in for counting-only paths.)
+TEST(RrGraphTest, SetRestrictedMatchesGraphRestrictedReachedSet) {
+  const auto ex = testing::MakePaperExample();
+  const DiffusionModel models[] = {
+      DiffusionModel::WeightedCascadeIc(ex.graph),
+      DiffusionModel::WeightedCascadeLt(ex.graph)};
+  const size_t n = ex.graph.NumNodes();
+  for (const DiffusionModel& m : models) {
+    RrSampler graph_sampler(m);
+    RrSampler set_sampler(m);
+    RrGraph rr;
+    std::vector<NodeId> set;
+    for (uint64_t seed = 40; seed < 44; ++seed) {
+      // Mask sizes sweep from a small community up to almost everything.
+      for (size_t mask_size = 2; mask_size <= n; mask_size += 3) {
+        std::vector<char> allowed(n, 0);
+        for (NodeId v = 0; v < mask_size; ++v) allowed[v] = 1;
+        for (NodeId source = 0; source < mask_size; ++source) {
+          Rng rng1(seed * 1000 + source);
+          Rng rng2(seed * 1000 + source);
+          graph_sampler.SampleRestricted(source, allowed, rng1, &rr);
+          set.clear();
+          set_sampler.SampleSetRestricted(source, &allowed, rng2, &set);
+
+          std::vector<NodeId> from_graph(rr.nodes);
+          std::vector<NodeId> from_set(set);
+          std::sort(from_graph.begin(), from_graph.end());
+          std::sort(from_set.begin(), from_set.end());
+          ASSERT_EQ(from_graph, from_set)
+              << "mask=" << mask_size << " source=" << source
+              << " seed=" << seed;
+        }
+      }
+    }
+  }
+}
 
 TEST(RrGraphTest, DeterministicWithSameSeed) {
   const Graph g = testing::MakeTwoCliquesWithBridge(4);
