@@ -110,6 +110,7 @@ struct BenchJsonEntry {
   std::string config;  // how, e.g. "serial" / "pool4" / "threads=2"
   double p50_seconds = 0.0;
   double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
   double samples_per_sec = 0.0;  // units of work per second at p50
   size_t samples = 0;            // units of work timed per repetition
 };
@@ -125,15 +126,18 @@ inline int WriteBenchJson(const std::string& path,
     std::snprintf(buf, sizeof(buf),
                   "%s\n  {\"name\":\"%s\",\"config\":\"%s\","
                   "\"p50_seconds\":%.9f,\"p95_seconds\":%.9f,"
+                  "\"p99_seconds\":%.9f,"
                   "\"samples_per_sec\":%.2f,\"samples\":%zu}",
                   i == 0 ? "" : ",", e.name.c_str(), e.config.c_str(),
-                  e.p50_seconds, e.p95_seconds, e.samples_per_sec, e.samples);
+                  e.p50_seconds, e.p95_seconds, e.p99_seconds,
+                  e.samples_per_sec, e.samples);
     out += buf;
     std::printf("BENCH_JSON {\"name\":\"%s\",\"config\":\"%s\","
                 "\"p50_seconds\":%.9f,\"p95_seconds\":%.9f,"
+                "\"p99_seconds\":%.9f,"
                 "\"samples_per_sec\":%.2f,\"samples\":%zu}\n",
                 e.name.c_str(), e.config.c_str(), e.p50_seconds,
-                e.p95_seconds, e.samples_per_sec, e.samples);
+                e.p95_seconds, e.p99_seconds, e.samples_per_sec, e.samples);
   }
   out += "\n]\n";
   if (path.empty()) return 0;

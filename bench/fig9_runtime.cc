@@ -15,7 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "common/table.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "core/query_batch.h"
 
@@ -39,7 +39,7 @@ int Run(int argc, char** argv) {
        "dblp-sim", "livejournal-sim"});
   std::printf("== Fig. 9: query runtime (seconds/query, %zu thread%s) ==\n\n",
               flags.threads, flags.threads == 1 ? "" : "s");
-  ThreadPool pool(flags.threads);
+  TaskScheduler pool(flags.threads);
   TablePrinter table(
       {"dataset", "queries", "CODR", "CODL-", "CODL", "speedup R/L"});
   for (const std::string& name : flags.datasets) {

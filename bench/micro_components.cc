@@ -2,19 +2,29 @@
 // figure): RR-graph sampling, LCA queries, agglomerative clustering, LORE
 // score computation, compressed evaluation, and HIMOR construction.
 //
-// Besides the interactive gbench suite, `--bench-json=PATH` runs a
-// hand-rolled canonical RR-pool suite (serial vs thread pools of 1/2/4/8)
-// and writes BenchJsonEntry records (bench/bench_util.h) to PATH — the
-// regression-tracking format CI archives. With --bench-json the gbench
-// suite is skipped; without it the binary behaves as a plain gbench runner.
+// Besides the interactive gbench suite, `--bench-json=PATH` runs two
+// hand-rolled canonical suites and writes BenchJsonEntry records
+// (bench/bench_util.h) to PATH — the regression-tracking format CI
+// archives:
+//   rr_pool_build   RR-pool construction, serial vs schedulers of 1/2/4/8
+//   sched_overload  interactive queue-to-start latency under rebuild load,
+//                   flat FIFO pool (baseline, hand-rolled below) vs the
+//                   priority TaskScheduler
+// With --bench-json the gbench suite is skipped; without it the binary
+// behaves as a plain gbench runner.
 
 #include <benchmark/benchmark.h>
 
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "core/cod_engine.h"
 #include "eval/datasets.h"
@@ -154,7 +164,7 @@ BENCHMARK(BM_CodlQuery)->Unit(benchmark::kMillisecond);
 // seed everywhere (the paths are bit-identical by contract, so only wall
 // time may differ across configs). Each repetition rebuilds the full pool;
 // quantiles are over repetition times after warm-up.
-int RunCanonicalRrPoolSuite(const std::string& path, bool smoke) {
+std::vector<bench::BenchJsonEntry> RunCanonicalRrPoolSuite(bool smoke) {
   const CodEngine& engine = CoraEngine();
   const CodChain chain = engine.BuildCoduChain(/*q=*/0);
   const uint32_t theta = smoke ? 4 : 16;
@@ -164,7 +174,8 @@ int RunCanonicalRrPoolSuite(const std::string& path, bool smoke) {
   const size_t samples = chain.universe.size() * theta;
 
   std::vector<bench::BenchJsonEntry> entries;
-  const auto run_config = [&](const std::string& config, ThreadPool* pool) {
+  const auto run_config = [&](const std::string& config,
+                              TaskScheduler* scheduler) {
     ParallelRrPool builder(engine.model());
     RrSlabPool slab;
     ParallelRrPool::BuildStats stats;
@@ -174,7 +185,7 @@ int RunCanonicalRrPoolSuite(const std::string& path, bool smoke) {
       timer.Restart();
       const StatusCode code =
           builder.Build(chain.universe, theta, chain.in_universe, pool_seed,
-                        Budget{}, pool, &slab, &stats);
+                        Budget{}, scheduler, &slab, &stats);
       const double seconds = timer.ElapsedSeconds();
       COD_CHECK(code == StatusCode::kOk);
       if (r >= warmup) times.push_back(seconds);
@@ -185,6 +196,7 @@ int RunCanonicalRrPoolSuite(const std::string& path, bool smoke) {
     e.samples = samples;
     e.p50_seconds = bench::Quantile(times, 0.5);
     e.p95_seconds = bench::Quantile(times, 0.95);
+    e.p99_seconds = bench::Quantile(times, 0.99);
     e.samples_per_sec =
         e.p50_seconds > 0.0 ? static_cast<double>(samples) / e.p50_seconds
                             : 0.0;
@@ -193,10 +205,155 @@ int RunCanonicalRrPoolSuite(const std::string& path, bool smoke) {
 
   run_config("serial", nullptr);
   for (const size_t threads : {1, 2, 4, 8}) {
-    ThreadPool pool(threads);
-    run_config("pool" + std::to_string(threads), &pool);
+    TaskScheduler scheduler(threads);
+    run_config("pool" + std::to_string(threads), &scheduler);
   }
-  return bench::WriteBenchJson(path, entries);
+  return entries;
+}
+
+// ---------------------------------------------------------------------------
+// sched_overload: interactive queue-to-start latency under rebuild load.
+//
+// The baseline is the retired flat FIFO ThreadPool, hand-rolled here (single
+// queue, no priorities): queued interactive work waits behind every queued
+// rebuild. The TaskScheduler serves the same mixed load priority-major, so
+// its interactive queue-to-start tail must come in at or below the FIFO
+// baseline — the acceptance criterion of the scheduler PR.
+// ---------------------------------------------------------------------------
+
+// Minimal single-queue FIFO pool, equivalent to the pre-scheduler
+// common/thread_pool.h. Local to this bench on purpose: the production
+// adapter now routes through TaskScheduler, which would measure the wrong
+// thing.
+class FifoPool {
+ public:
+  explicit FifoPool(size_t num_threads) {
+    for (size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { Loop(); });
+    }
+  }
+  ~FifoPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+  void Submit(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(fn));
+      ++outstanding_;
+    }
+    cv_.notify_one();
+  }
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      std::function<void()> fn = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      fn();
+      lock.lock();
+      if (--outstanding_ == 0) idle_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t outstanding_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// ~the cost of one RR-sampling chunk; enough for queueing to dominate.
+void BusyWork() {
+  WallTimer timer;
+  volatile uint64_t sink = 0;
+  while (timer.ElapsedSeconds() < 200e-6) sink = sink + 1;
+}
+
+std::vector<bench::BenchJsonEntry> RunSchedOverloadSuite(bool smoke) {
+  const size_t workers = 2;
+  const size_t rebuilds_per_rep = smoke ? 16 : 64;
+  const size_t interactives_per_rep = smoke ? 8 : 16;
+  const size_t reps = smoke ? 3 : 10;
+  using Clock = TaskScheduler::Clock;
+
+  std::vector<bench::BenchJsonEntry> entries;
+  // submit_all(submit_rebuild, submit_interactive) queues one rep's mixed
+  // load; the caller then waits the pool/scheduler idle.
+  const auto measure = [&](const std::string& config, auto&& submit_rebuild,
+                           auto&& submit_interactive, auto&& wait_idle) {
+    std::mutex mu;
+    std::vector<double> latencies;
+    for (size_t r = 0; r < reps; ++r) {
+      // Saturate first: every worker busy, a backlog of rebuilds queued.
+      for (size_t i = 0; i < rebuilds_per_rep; ++i) {
+        submit_rebuild([] { BusyWork(); });
+      }
+      // Interactive arrivals race the backlog; their queue-to-start delay is
+      // the measurement.
+      for (size_t i = 0; i < interactives_per_rep; ++i) {
+        const Clock::time_point submitted = Clock::now();
+        submit_interactive([&, submitted] {
+          const double delay =
+              std::chrono::duration<double>(Clock::now() - submitted).count();
+          BusyWork();
+          std::lock_guard<std::mutex> lock(mu);
+          latencies.push_back(delay);
+        });
+      }
+      wait_idle();
+    }
+    bench::BenchJsonEntry e;
+    e.name = "sched_overload";
+    e.config = config;
+    e.samples = latencies.size();
+    e.p50_seconds = bench::Quantile(latencies, 0.5);
+    e.p95_seconds = bench::Quantile(latencies, 0.95);
+    e.p99_seconds = bench::Quantile(latencies, 0.99);
+    e.samples_per_sec =
+        e.p50_seconds > 0.0 ? 1.0 / e.p50_seconds : 0.0;
+    entries.push_back(e);
+  };
+
+  {
+    FifoPool pool(workers);
+    measure(
+        "fifo" + std::to_string(workers),
+        [&](std::function<void()> fn) { pool.Submit(std::move(fn)); },
+        [&](std::function<void()> fn) { pool.Submit(std::move(fn)); },
+        [&] { pool.WaitIdle(); });
+  }
+  {
+    TaskScheduler scheduler(workers);
+    TaskGroup group(scheduler);
+    measure(
+        "scheduler" + std::to_string(workers),
+        [&](std::function<void()> fn) {
+          scheduler.Submit(TaskPriority::kRebuild, group, std::move(fn));
+        },
+        [&](std::function<void()> fn) {
+          scheduler.Submit(TaskPriority::kInteractive, group, std::move(fn));
+        },
+        [&] { group.Wait(); });
+  }
+  return entries;
 }
 
 }  // namespace
@@ -219,7 +376,12 @@ int main(int argc, char** argv) {
     }
   }
   if (!bench_json.empty()) {
-    return cod::RunCanonicalRrPoolSuite(bench_json, smoke);
+    std::vector<cod::bench::BenchJsonEntry> entries =
+        cod::RunCanonicalRrPoolSuite(smoke);
+    const std::vector<cod::bench::BenchJsonEntry> overload =
+        cod::RunSchedOverloadSuite(smoke);
+    entries.insert(entries.end(), overload.begin(), overload.end());
+    return cod::bench::WriteBenchJson(bench_json, entries);
   }
   int rest_argc = static_cast<int>(rest.size());
   benchmark::Initialize(&rest_argc, rest.data());

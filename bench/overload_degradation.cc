@@ -15,7 +15,7 @@
 #include "bench/bench_util.h"
 #include "common/failpoint.h"
 #include "common/table.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "core/dynamic_service.h"
 #include "core/query_batch.h"
@@ -54,7 +54,7 @@ void RunDegradedEpochSection(const Flags& flags, TablePrinter& table) {
                                 {q.attribute}});
     }
 
-    ThreadPool pool(4);
+    TaskScheduler pool(4);
     WallTimer timer;
     const char* modes[] = {"indexed", "no-index (degraded)"};
     for (int mode = 0; mode < 2; ++mode) {
@@ -135,7 +135,7 @@ int Run(int argc, char** argv) {
                                 engine.options().k, {q.attribute}});
     }
 
-    ThreadPool pool(threads);
+    TaskScheduler pool(threads);
     engine.QueryBatch(specs, pool, flags.seed);  // warm-up (cache, pages)
     WallTimer timer;
     for (const double budget_ms : budgets_ms) {

@@ -17,7 +17,7 @@
 
 #include "bench/bench_util.h"
 #include "common/table.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "core/query_batch.h"
 #include "tests/test_util.h"
@@ -56,7 +56,7 @@ int Run(int argc, char** argv) {
     WallTimer timer;
     const size_t reps = flags.smoke ? 3 : 7;
     for (const size_t threads : thread_counts) {
-      ThreadPool pool(threads);
+      TaskScheduler pool(threads);
       engine.QueryBatch(specs, pool, flags.seed);  // warm-up (cache, pages)
       std::vector<double> times;
       std::vector<CodResult> results;
@@ -103,6 +103,7 @@ int Run(int argc, char** argv) {
       entry.samples = specs.size();
       entry.p50_seconds = seconds;
       entry.p95_seconds = Quantile(times, 0.95);
+      entry.p99_seconds = Quantile(times, 0.99);
       entry.samples_per_sec = qps;
       bench_entries.push_back(std::move(entry));
     }

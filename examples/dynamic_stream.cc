@@ -4,10 +4,12 @@
 // A social platform ingests follow/unfollow events while answering "what is
 // this user's characteristic community right now?". The service absorbs
 // updates in O(1) and always answers from the last built epoch — queries
-// NEVER rebuild inline. The ingest loop (the owner) watches RefreshDue()
-// and triggers the epoch rebuild (hierarchy + HIMOR) itself once the
-// accumulated drift crosses the threshold; a production deployment would
-// use async_rebuild + a rebuild pool for the same effect off-thread.
+// NEVER rebuild inline. Rebuilds run as rebuild-priority tasks on a shared
+// TaskScheduler (async_rebuild): once accumulated drift crosses the
+// threshold, the next update or query schedules the epoch rebuild
+// (hierarchy + HIMOR) off-thread while ingest and queries keep serving the
+// stale epoch. Interactive queries outrank rebuilds in the scheduler's
+// priority order, so serving latency stays flat while a rebuild churns.
 //
 //   $ ./dynamic_stream [num_events]
 
@@ -16,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "core/dynamic_service.h"
 #include "eval/datasets.h"
@@ -38,14 +41,20 @@ int main(int argc, char** argv) {
     known_edges.push_back(data->graph.Endpoints(e));
   }
 
+  // One scheduler shared by rebuilds and (in a larger deployment) query
+  // batches: rebuilds enter at kRebuild, queries at kInteractive.
+  cod::TaskScheduler scheduler(2);
   cod::DynamicCodService::Options options;
   options.rebuild_threshold = 0.03;  // rebuild after ~3% edge churn
   options.seed = 5;
+  options.async_rebuild = true;
+  options.scheduler = &scheduler;
   cod::WallTimer timer;
   cod::DynamicCodService service(std::move(data->graph),
                                  std::move(data->attributes), options);
+  const uint64_t initial_epoch = service.epoch();
   std::printf("epoch %lu ready in %.2fs (%zu edges)\n",
-              static_cast<unsigned long>(service.epoch()),
+              static_cast<unsigned long>(initial_epoch),
               timer.ElapsedSeconds(), service.NumEdges());
 
   cod::Rng rng(7);
@@ -55,7 +64,7 @@ int main(int argc, char** argv) {
 
   size_t adds = 0;
   size_t removals = 0;
-  size_t rebuilds = 0;
+  uint64_t seen_epoch = initial_epoch;
   for (size_t event = 1; event <= num_events; ++event) {
     // 70% follows (new random edge), 30% unfollows (drop a random existing
     // edge by trying random pairs).
@@ -74,25 +83,18 @@ int main(int argc, char** argv) {
       if (service.RemoveEdge(u, v)) ++removals;
     }
 
-    // Owner-driven refresh: the ingest loop, not the query path, pays for
-    // rebuilds. Queries between refreshes serve the previous epoch.
-    if (service.RefreshDue()) {
-      timer.Restart();
-      const cod::Status s = service.Refresh();
-      if (s.ok()) {
-        ++rebuilds;
-        std::printf("[event %zu: drift threshold crossed, rebuilt to epoch "
-                    "%lu in %.2fs%s]\n",
-                    event, static_cast<unsigned long>(service.epoch()),
-                    timer.ElapsedSeconds(),
-                    service.epoch_degraded() ? ", DEGRADED (no index)" : "");
-      } else {
-        std::printf("[event %zu: rebuild failed: %s]\n", event,
-                    s.ToString().c_str());
-      }
+    // Under async_rebuild the update above already scheduled an epoch
+    // rebuild if drift crossed the threshold — the stream never blocks on
+    // it. Just report when a freshly built epoch lands.
+    if (service.epoch() != seen_epoch) {
+      seen_epoch = service.epoch();
+      std::printf("[event %zu: background rebuild published epoch %lu%s]\n",
+                  event, static_cast<unsigned long>(seen_epoch),
+                  service.epoch_degraded() ? ", DEGRADED (no index)" : "");
     }
 
-    // Periodically query the watched users.
+    // Periodically query the watched users — these serve whatever epoch is
+    // published, even while a rebuild is in flight on the scheduler.
     if (event % (num_events / 6 + 1) == 0) {
       std::printf("\n[event %zu: %zu adds, %zu removals, pending %zu]\n",
                   event, adds, removals, service.pending_updates());
@@ -105,6 +107,10 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // Settle any in-flight background rebuild before the final report.
+  service.WaitForRebuild();
+  const size_t rebuilds =
+      static_cast<size_t>(service.epoch() - initial_epoch);
   std::printf("\nstream done: %zu adds, %zu removals, %zu rebuild(s), final "
               "epoch %lu\n",
               adds, removals, rebuilds,

@@ -29,7 +29,9 @@
 // "graph_io/load_attributes" (loader I/O), "rr/sample" (per RR-sample
 // draw on the serial path), "influence/parallel_pool" (per RR-sample draw
 // inside a parallel sampling chunk — mid-pool cancellation),
-// "engine_core/codr_cache" (CODR hierarchy-cache first-touch build).
+// "engine_core/codr_cache" (CODR hierarchy-cache first-touch build),
+// "scheduler/admission" (TaskScheduler::ShouldShed — forces the shed
+// verdict, tripping the batch degradation ladder deterministically).
 
 #ifndef COD_COMMON_FAILPOINT_H_
 #define COD_COMMON_FAILPOINT_H_

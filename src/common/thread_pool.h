@@ -1,111 +1,59 @@
-// A small fixed-size thread pool for embarrassingly parallel batch work
-// (parallel RR sampling, parallel index construction).
+// DEPRECATED compatibility shim over TaskScheduler.
 //
-// Deliberately minimal: submit void() tasks, then WaitIdle(). Tasks must not
-// throw (the library is exception-free) and must synchronize their own
-// outputs (the canonical pattern here is one pre-allocated output slot per
-// task, merged after WaitIdle).
+// The flat FIFO ThreadPool is gone; every in-tree consumer now takes a
+// TaskScheduler (per-worker priority deques, work stealing, TaskGroups —
+// see common/task_scheduler.h). This adapter keeps the old Submit/WaitIdle
+// surface compiling for out-of-tree callers for one release: Submit maps to
+// the rebuild priority class, WaitIdle to a TaskGroup over everything this
+// adapter submitted, and the adapter converts implicitly to TaskScheduler&
+// so it can be handed to the migrated APIs. New code should construct
+// TaskScheduler directly.
 
 #ifndef COD_COMMON_THREAD_POOL_H_
 #define COD_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <memory>
+#include <utility>
 
-#include "common/check.h"
+#include "common/task_scheduler.h"
 
 namespace cod {
 
-class ThreadPool {
+class ThreadPoolAdapter {
  public:
   // `num_threads` == 0 uses the hardware concurrency (at least 1).
-  explicit ThreadPool(size_t num_threads) {
-    if (num_threads == 0) {
-      num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-    }
-    workers_.reserve(num_threads);
-    for (size_t i = 0; i < num_threads; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
-    }
-  }
+  explicit ThreadPoolAdapter(size_t num_threads)
+      : scheduler_(num_threads), all_(scheduler_) {}
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  ThreadPoolAdapter(const ThreadPoolAdapter&) = delete;
+  ThreadPoolAdapter& operator=(const ThreadPoolAdapter&) = delete;
 
-  ~ThreadPool() {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      stopping_ = true;
-    }
-    wake_.notify_all();
-    for (std::thread& t : workers_) t.join();
-  }
-
-  size_t num_threads() const { return workers_.size(); }
-
-  // True when the calling thread is one of THIS pool's workers. Blocking on
-  // this pool from such a thread can deadlock (the wait occupies the very
-  // slot the awaited tasks need); RunQueryBatch fails fast on it in debug
-  // builds.
-  bool IsWorkerThread() const { return CurrentPool() == this; }
+  size_t num_threads() const { return scheduler_.num_threads(); }
+  bool IsWorkerThread() const { return scheduler_.IsWorkerThread(); }
 
   void Submit(std::function<void()> task) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      COD_CHECK(!stopping_);
-      queue_.push_back(std::move(task));
-      ++pending_;
-    }
-    wake_.notify_one();
+    scheduler_.Submit(TaskPriority::kRebuild, all_, std::move(task));
   }
 
-  // Blocks until every submitted task has finished.
-  void WaitIdle() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_.wait(lock, [this] { return pending_ == 0; });
-  }
+  // Blocks until every task submitted THROUGH THIS ADAPTER has finished
+  // (the scheduler may carry other work; that is none of our business).
+  void WaitIdle() { all_.Wait(); }
+
+  // The migrated APIs take TaskScheduler; old call sites holding a pool can
+  // pass it straight through.
+  operator TaskScheduler&() { return scheduler_; }
+  TaskScheduler& scheduler() { return scheduler_; }
 
  private:
-  static const ThreadPool*& CurrentPool() {
-    static thread_local const ThreadPool* current = nullptr;
-    return current;
-  }
-
-  void WorkerLoop() {
-    CurrentPool() = this;
-    while (true) {
-      std::function<void()> task;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-        if (queue_.empty()) {
-          if (stopping_) return;
-          continue;
-        }
-        task = std::move(queue_.front());
-        queue_.pop_front();
-      }
-      task();
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        if (--pending_ == 0) idle_.notify_all();
-      }
-    }
-  }
-
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t pending_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  TaskScheduler scheduler_;
+  TaskGroup all_;
 };
+
+// One release of grace for the old name. Warnings fire at use sites of the
+// alias only, not inside this header.
+using ThreadPool [[deprecated(
+    "use TaskScheduler (common/task_scheduler.h)")]] = ThreadPoolAdapter;
 
 }  // namespace cod
 

@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 
 namespace cod {
 
@@ -27,16 +27,16 @@ CodEngine::QueryExplanation CodEngine::ExplainCodL(NodeId q, AttributeId attr,
 }
 
 std::vector<CodResult> CodEngine::QueryBatch(std::span<const QuerySpec> specs,
-                                             ThreadPool& pool,
+                                             TaskScheduler& scheduler,
                                              uint64_t batch_seed) const {
-  return RunQueryBatch(*core_, specs, pool, batch_seed);
+  return RunQueryBatch(*core_, specs, scheduler, batch_seed);
 }
 
 std::vector<CodResult> CodEngine::QueryBatch(std::span<const QuerySpec> specs,
-                                             ThreadPool& pool,
+                                             TaskScheduler& scheduler,
                                              uint64_t batch_seed,
                                              const BatchOptions& options) const {
-  return RunQueryBatch(*core_, specs, pool, batch_seed, options);
+  return RunQueryBatch(*core_, specs, scheduler, batch_seed, options);
 }
 
 }  // namespace cod

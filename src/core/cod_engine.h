@@ -20,8 +20,8 @@
 //   const CodEngine& shared = engine;
 //   QueryWorkspace ws = shared.MakeWorkspace(seed);
 //   CodResult r = shared.QueryCodL(q, attr, 5, ws);
-//   // — or fan a whole workload across a pool, deterministically:
-//   std::vector<CodResult> rs = shared.QueryBatch(specs, pool, batch_seed);
+//   // — or fan a whole workload across a scheduler, deterministically:
+//   std::vector<CodResult> rs = shared.QueryBatch(specs, sched, batch_seed);
 //
 // Influence is always evaluated on the ORIGINAL graph's probabilities;
 // attribute weights only shape the hierarchy.
@@ -39,7 +39,7 @@
 
 namespace cod {
 
-class ThreadPool;
+class TaskScheduler;
 
 class CodEngine {
  public:
@@ -132,16 +132,17 @@ class CodEngine {
     return core_->QueryCodUIndexed(q, k);
   }
 
-  // ---- Concurrent batch queries. Fans `specs` across `pool` with one
+  // ---- Concurrent batch queries. Fans `specs` across `scheduler` with one
   // workspace per worker and an independently seeded RNG per query;
   // bit-identical results for any pool size (see core/query_batch.h). ----
   std::vector<CodResult> QueryBatch(std::span<const QuerySpec> specs,
-                                    ThreadPool& pool,
+                                    TaskScheduler& scheduler,
                                     uint64_t batch_seed) const;
   // With per-query budgets, batch deadline / cancellation, and the
   // degradation ladder (see BatchOptions in core/query_batch.h).
   std::vector<CodResult> QueryBatch(std::span<const QuerySpec> specs,
-                                    ThreadPool& pool, uint64_t batch_seed,
+                                    TaskScheduler& scheduler,
+                                    uint64_t batch_seed,
                                     const BatchOptions& options) const;
 
   // ---- Explanation (see QueryExplanation in core/engine_core.h). ----

@@ -90,7 +90,6 @@ void CompressedEvaluator::Rebind(const DiffusionModel& model, uint32_t theta) {
   last_merge_seconds_ = 0.0;
   last_eval_seconds_ = 0.0;
   last_parallel_chunks_ = 0;
-  last_inline_fallback_ = false;
   // The stamp arrays are query-scoped; capacity survives (they only regrow
   // when the new graph is larger), so epoch swaps between same-sized graphs
   // stay allocation-free.
@@ -99,7 +98,7 @@ void CompressedEvaluator::Rebind(const DiffusionModel& model, uint32_t theta) {
 ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
                                                uint32_t k, Rng& rng,
                                                const Budget& budget,
-                                               ThreadPool* pool) {
+                                               TaskScheduler* scheduler) {
   const size_t num_levels = chain.NumLevels();
   COD_CHECK(num_levels >= 1);
   COD_CHECK(chain.in_universe[q]);
@@ -115,14 +114,13 @@ ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
   ParallelRrPool::BuildStats build_stats;
   const StatusCode code =
       pool_builder_.Build(chain.universe, theta_, chain.in_universe, pool_seed,
-                          budget, pool, &slab_, &build_stats);
+                          budget, scheduler, &slab_, &build_stats);
   last_samples_ = build_stats.samples;
   last_explored_nodes_ = build_stats.explored_nodes;
   last_sample_seconds_ = build_stats.sample_seconds;
   last_merge_seconds_ = build_stats.merge_seconds;
   last_eval_seconds_ = 0.0;
   last_parallel_chunks_ = build_stats.chunks;
-  last_inline_fallback_ = build_stats.inline_fallback;
   if (code != StatusCode::kOk) {
     ChainEvalOutcome aborted;
     aborted.code = code;

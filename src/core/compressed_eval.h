@@ -32,7 +32,7 @@
 
 namespace cod {
 
-class ThreadPool;
+class TaskScheduler;
 
 // Per-level outcome of a chain evaluation, shared with IndependentEvaluator.
 struct ChainEvalOutcome {
@@ -74,11 +74,12 @@ class CompressedEvaluator {
   }
 
   // Budget-aware form with optional intra-query parallel sampling: when
-  // `pool` is non-null (and multi-threaded, and the caller is not itself one
-  // of its workers), RR-pool construction is sharded across it. Results are
-  // bit-identical for any pool (the per-sample seed schedule decouples the
-  // RNG stream from thread placement), and `rng` advances by exactly ONE
-  // draw per call either way.
+  // `scheduler` is non-null and multi-threaded, RR-pool construction is
+  // sharded across it (calling from one of its workers is fine — the chunk
+  // group waits with inline help). Results are bit-identical for any
+  // scheduler (the per-sample seed schedule decouples the RNG stream from
+  // thread placement), and `rng` advances by exactly ONE draw per call
+  // either way.
   //
   // The budget is polled between RR samples — the only points where the
   // reusable scratch is clean — so an exhausted budget aborts within one
@@ -86,7 +87,8 @@ class CompressedEvaluator {
   // already-exhausted budget aborts before the first sample, which makes
   // sub-nanosecond test budgets deterministic (see common/deadline.h).
   ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
-                            Rng& rng, const Budget& budget, ThreadPool* pool);
+                            Rng& rng, const Budget& budget,
+                            TaskScheduler* scheduler);
 
   // Total RR-graph nodes explored by the last Evaluate call (|R| in the
   // paper's analysis); exposed for the Fig. 8 sample-cost comparison.
@@ -103,9 +105,6 @@ class CompressedEvaluator {
   double last_eval_seconds() const { return last_eval_seconds_; }
   // Parallel chunks used by the last pool build (0 = serial path).
   size_t last_parallel_chunks() const { return last_parallel_chunks_; }
-  // True when parallel sampling was requested from one of the pool's own
-  // worker threads and fell back to inline serial sampling.
-  bool last_inline_fallback() const { return last_inline_fallback_; }
 
   // Slab growth events across the pool and all chunk scratch — stable across
   // repeated same-shape queries once warmed (the zero-allocation contract).
@@ -124,7 +123,6 @@ class CompressedEvaluator {
   double last_merge_seconds_ = 0.0;
   double last_eval_seconds_ = 0.0;
   size_t last_parallel_chunks_ = 0;
-  bool last_inline_fallback_ = false;
 
   // Reusable per-query scratch (sized lazily to the graph / chain).
   std::vector<std::vector<uint32_t>> level_queue_;  // local node ids per level

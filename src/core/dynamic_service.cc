@@ -5,7 +5,6 @@
 #include <utility>
 
 #include "common/failpoint.h"
-#include "common/thread_pool.h"
 #include "core/query_workspace.h"
 
 namespace cod {
@@ -74,7 +73,8 @@ DynamicCodService::DynamicCodService(Graph initial_graph,
       num_nodes_(initial_graph.NumNodes()) {
   COD_CHECK_EQ(num_nodes_, attrs_->NumNodes());
   if (options_.async_rebuild) {
-    COD_CHECK(options_.rebuild_pool != nullptr);
+    COD_CHECK(options_.scheduler != nullptr);
+    sched_group_.emplace(*options_.scheduler);
   }
   for (EdgeId e = 0; e < initial_graph.NumEdges(); ++e) {
     const auto [u, v] = initial_graph.Endpoints(e);
@@ -103,12 +103,10 @@ DynamicCodService::DynamicCodService(Graph initial_graph,
     return published_.load()->core->index_present() ? 1.0 : 0.0;
   });
 
-  if (options_.async_rebuild) {
-    retry_timer_ = std::thread([this] { RetryTimerLoop(); });
-  }
 }
 
 DynamicCodService::~DynamicCodService() {
+  uint64_t timer_to_cancel = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutting_down_ = true;
@@ -116,14 +114,19 @@ DynamicCodService::~DynamicCodService() {
       // Give up the scheduled retry: the last good epoch stands and the
       // captured pending count is restored, matching a retry-cap give-up.
       pending_updates_ += retry_->captured_pending;
+      timer_to_cancel = retry_->timer_id;
       retry_.reset();
     }
-    timer_cv_.notify_all();
     // An EXECUTING attempt cannot be cancelled — wait it out (it observes
     // shutting_down_ on failure and will not schedule a new retry).
     rebuild_done_.wait(lock, [this] { return !attempt_running_; });
   }
-  if (retry_timer_.joinable()) retry_timer_.join();
+  if (timer_to_cancel != 0) {
+    options_.scheduler->CancelTimer(timer_to_cancel);
+  }
+  // Wait out every task still in flight that captures `this` — e.g. a
+  // queued OnRetryTimer callback whose retry was just cancelled above.
+  if (sched_group_.has_value()) sched_group_->Wait();
 }
 
 bool DynamicCodService::AddEdge(NodeId u, NodeId v, double weight) {
@@ -230,14 +233,16 @@ Status DynamicCodService::Refresh() {
   std::unique_lock<std::mutex> lock(mu_);
   // A SCHEDULED retry is superseded by this explicit refresh: the edge set
   // we capture below already contains everything the retry would have
-  // built, so absorb its pending count and cancel it. An EXECUTING attempt
-  // is waited out as before (it either publishes or schedules a retry we
-  // then absorb).
+  // built, so absorb its pending count and cancel it (timer included). An
+  // EXECUTING attempt is waited out as before (it either publishes or
+  // schedules a retry we then absorb).
   size_t absorbed = 0;
   for (;;) {
     if (retry_.has_value()) {
       absorbed += retry_->captured_pending;
+      const uint64_t timer_id = retry_->timer_id;
       retry_.reset();
+      if (timer_id != 0) options_.scheduler->CancelTimer(timer_id);
       break;
     }
     if (!attempt_running_) break;
@@ -301,7 +306,8 @@ bool DynamicCodService::RefreshAsync() {
     snapshot_edges_ = edges_.size();
     pending_updates_ = 0;
   }
-  options_.rebuild_pool->Submit(
+  options_.scheduler->Submit(
+      TaskPriority::kRebuild, *sched_group_,
       [this, edges = std::move(edges), build_index, captured_pending]() mutable {
         RunRebuildAttempt(std::move(edges), build_index, captured_pending,
                           /*attempt=*/0, options_.rebuild_backoff_initial_ms);
@@ -349,9 +355,10 @@ void DynamicCodService::RunRebuildAttempt(EdgeMap edges, uint64_t build_index,
   ++stats_.retries;
   rm.retries->Increment();
   // Schedule the retry instead of sleeping through the backoff: this worker
-  // returns to the pool NOW. The ticket stays in flight (retry_ set) so
-  // RefreshAsync dedupes and waiters wait, but no thread is occupied until
-  // the timer — or the next query's MaybeRefresh — observes retry_after.
+  // returns to the scheduler NOW. The ticket stays in flight (retry_ set)
+  // so RefreshAsync dedupes and waiters wait, but no thread is occupied
+  // until the scheduler timer — or the next query's MaybeRefresh — observes
+  // retry_after.
   PendingRetry r;
   r.edges = std::move(edges);
   r.build_index = build_index;
@@ -361,11 +368,15 @@ void DynamicCodService::RunRebuildAttempt(EdgeMap edges, uint64_t build_index,
                                backoff_ms * 2);
   r.retry_after = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(backoff_ms);
+  // Arm the scheduler timer before publishing retry_: the callback re-reads
+  // state under mu_ and no-ops if the retry was absorbed or already kicked.
+  r.timer_id = options_.scheduler->ScheduleAt(
+      r.retry_after, TaskPriority::kMaintenance, *sched_group_,
+      [this] { OnRetryTimer(); });
   retry_ = std::move(r);
   attempt_running_ = false;
-  // Wake the timer to arm the new deadline, and rebuild_done_ waiters so a
-  // blocked Refresh() can absorb the retry instead of waiting out backoff.
-  timer_cv_.notify_all();
+  // Wake rebuild_done_ waiters so a blocked Refresh() can absorb the retry
+  // instead of waiting out the backoff.
   rebuild_done_.notify_all();
 }
 
@@ -373,31 +384,27 @@ void DynamicCodService::SubmitRetryLocked() {
   PendingRetry r = std::move(*retry_);
   retry_.reset();
   attempt_running_ = true;
-  // Submitting under mu_ is safe: pool workers never hold the pool's queue
-  // lock while taking mu_.
-  options_.rebuild_pool->Submit([this, r = std::move(r)]() mutable {
-    RunRebuildAttempt(std::move(r.edges), r.build_index, r.captured_pending,
-                      r.attempt, r.next_backoff_ms);
-  });
+  // If the timer has not fired yet, cancel it (no-op when it already fired
+  // — its queued callback will find retry_ empty and return). Taking the
+  // scheduler's timer lock under mu_ is safe: timer callbacks run as
+  // ordinary tasks and never hold scheduler locks while taking mu_.
+  options_.scheduler->CancelTimer(r.timer_id);
+  options_.scheduler->Submit(
+      TaskPriority::kRebuild, *sched_group_,
+      [this, r = std::move(r)]() mutable {
+        RunRebuildAttempt(std::move(r.edges), r.build_index,
+                          r.captured_pending, r.attempt, r.next_backoff_ms);
+      });
 }
 
-void DynamicCodService::RetryTimerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!shutting_down_) {
-    if (!retry_.has_value()) {
-      timer_cv_.wait(lock);
-      continue;
-    }
-    const auto due = retry_->retry_after;
-    if (std::chrono::steady_clock::now() < due) {
-      // Re-check after waking: the retry may have been absorbed by a
-      // Refresh(), cancelled by shutdown, or already submitted by a query's
-      // MaybeRefresh.
-      timer_cv_.wait_until(lock, due);
-      continue;
-    }
-    SubmitRetryLocked();
-  }
+void DynamicCodService::OnRetryTimer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The retry may be gone (absorbed by Refresh, kicked by MaybeRefresh,
+  // shutdown) or replaced by a LATER one with its own timer; only a due
+  // retry gets submitted here.
+  if (shutting_down_ || !retry_.has_value()) return;
+  if (std::chrono::steady_clock::now() < retry_->retry_after) return;
+  SubmitRetryLocked();
 }
 
 void DynamicCodService::WaitForRebuild() {
@@ -452,17 +459,17 @@ CodResult DynamicCodService::QueryCodU(NodeId q, uint32_t k, Rng& rng) {
 }
 
 std::vector<CodResult> DynamicCodService::QueryBatch(
-    std::span<const QuerySpec> specs, ThreadPool& pool,
+    std::span<const QuerySpec> specs, TaskScheduler& scheduler,
     uint64_t batch_seed) const {
   const EpochSnapshot snap = Snapshot();  // keeps the epoch alive throughout
-  return RunQueryBatch(*snap.core, specs, pool, batch_seed);
+  return RunQueryBatch(*snap.core, specs, scheduler, batch_seed);
 }
 
 std::vector<CodResult> DynamicCodService::QueryBatch(
-    std::span<const QuerySpec> specs, ThreadPool& pool, uint64_t batch_seed,
-    const BatchOptions& options) const {
+    std::span<const QuerySpec> specs, TaskScheduler& scheduler,
+    uint64_t batch_seed, const BatchOptions& options) const {
   const EpochSnapshot snap = Snapshot();  // keeps the epoch alive throughout
-  return RunQueryBatch(*snap.core, specs, pool, batch_seed, options);
+  return RunQueryBatch(*snap.core, specs, scheduler, batch_seed, options);
 }
 
 }  // namespace cod

@@ -7,9 +7,10 @@
 // (compare LSM compaction): queries are answered from the last built
 // *epoch* (graph snapshot + hierarchy + index) while edge updates
 // accumulate; when the accumulated drift exceeds `rebuild_threshold`
-// (fraction of the snapshot's edge count), a rebuild is SCHEDULED — on
-// `rebuild_pool` under async_rebuild, or left to the owner (RefreshDue() /
-// Refresh()) otherwise. Query paths never rebuild inline: QueryCodL/U only
+// (fraction of the snapshot's edge count), a rebuild is SCHEDULED — as a
+// rebuild-priority task on `scheduler` under async_rebuild, or left to the
+// owner (RefreshDue() / Refresh()) otherwise. Query paths never rebuild
+// inline: QueryCodL/U only
 // snapshot-and-serve, so a threshold-crossing query costs the same as any
 // other. Between rebuilds, answers are stale by at most the pending-update
 // set, which is always inspectable.
@@ -25,7 +26,7 @@
 // Epoch determinism: every build ticket t (0-based) samples with RNG seed
 // `options.seed + t`, so a service replaying the same
 // update/refresh/failure sequence publishes bit-identical epochs regardless
-// of whether rebuilds ran inline or on the pool. (A FAILED build consumes
+// of whether rebuilds ran inline or on the scheduler. (A FAILED build consumes
 // its ticket, so after failures the published epoch number no longer equals
 // the ticket number — determinism is per replayed sequence, not per epoch
 // number.)
@@ -45,13 +46,14 @@
 // or freshness.
 //
 // Non-blocking retries: a failed ASYNC rebuild is NOT retried by sleeping
-// in the pool worker. The attempt records a monotonic `retry_after`
-// deadline and returns its worker to the pool; a lightweight timer thread
-// (or the next MaybeRefresh from a query, whichever observes the deadline
-// first) re-submits the attempt once it passes. While a retry is scheduled
-// the rebuild counts as in flight — RefreshAsync dedupes and
-// WaitForRebuild waits, exactly as during one long build — but no thread
-// is occupied.
+// in a scheduler worker. The attempt records a monotonic `retry_after`
+// deadline and returns its worker immediately; the scheduler's integrated
+// timer facility (TaskScheduler::ScheduleAt — no dedicated per-service
+// thread any more) or the next MaybeRefresh from a query, whichever
+// observes the deadline first, re-submits the attempt once it passes. While
+// a retry is scheduled the rebuild counts as in flight — RefreshAsync
+// dedupes and WaitForRebuild waits, exactly as during one long build — but
+// no thread is occupied.
 
 #ifndef COD_CORE_DYNAMIC_SERVICE_H_
 #define COD_CORE_DYNAMIC_SERVICE_H_
@@ -62,10 +64,10 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <thread>
 #include <unordered_map>
 
 #include "common/metrics.h"
+#include "common/task_scheduler.h"
 #include "core/cod_engine.h"
 
 namespace cod {
@@ -78,18 +80,18 @@ class DynamicCodService {
     // edges (0 = rebuild on every update; large = manual Refresh only).
     double rebuild_threshold = 0.05;
     uint64_t seed = 1;  // drives HIMOR sampling at every rebuild
-    // Build threshold-crossing rebuilds on `rebuild_pool` instead of the
-    // querying thread; queries keep serving the stale epoch meanwhile.
-    // Without it the service never rebuilds on its own — the owner polls
-    // RefreshDue() and calls Refresh().
+    // Build threshold-crossing rebuilds as rebuild-priority tasks on
+    // `scheduler` instead of the querying thread; queries keep serving the
+    // stale epoch meanwhile. Without it the service never rebuilds on its
+    // own — the owner polls RefreshDue() and calls Refresh().
     bool async_rebuild = false;
-    ThreadPool* rebuild_pool = nullptr;  // required iff async_rebuild
+    TaskScheduler* scheduler = nullptr;  // required iff async_rebuild
     // Failed ASYNC rebuilds retry up to this many times (so up to
     // 1 + max_rebuild_retries attempts per ticket), waiting
     // rebuild_backoff_initial_ms, then doubling up to rebuild_backoff_max_ms,
-    // between attempts. The wait is a scheduled `retry_after` deadline, not
-    // a sleep — no pool worker is held during backoff. Synchronous
-    // Refresh() never retries — the caller sees the Status and decides.
+    // between attempts. The wait is a scheduler timer, not a sleep — no
+    // worker is held during backoff. Synchronous Refresh() never retries —
+    // the caller sees the Status and decides.
     uint32_t max_rebuild_retries = 3;
     uint32_t rebuild_backoff_initial_ms = 10;
     uint32_t rebuild_backoff_max_ms = 1000;
@@ -139,8 +141,8 @@ class DynamicCodService {
   DynamicCodService(Graph initial_graph, AttributeTable attrs,
                     const Options& options);
   // Cancels any scheduled retry (restoring its pending count, like a
-  // retry-cap give-up), waits out an executing rebuild attempt, and joins
-  // the retry timer.
+  // retry-cap give-up) including its scheduler timer, then waits out every
+  // task this service still has in flight on the scheduler.
   ~DynamicCodService();
 
   // ---- Updates (O(1), no rebuild). Duplicate inserts overwrite weight;
@@ -159,9 +161,10 @@ class DynamicCodService {
   // True when accumulated drift has crossed rebuild_threshold — in sync
   // mode the owner polls this and calls Refresh() (queries never rebuild).
   bool RefreshDue() const;
-  // True while a failed async rebuild is waiting out its backoff. No pool
-  // worker is occupied during this window; the retry fires from the timer
-  // thread or the next query's MaybeRefresh once `retry_after` passes.
+  // True while a failed async rebuild is waiting out its backoff. No
+  // worker is occupied during this window; the retry fires from the
+  // scheduler timer or the next query's MaybeRefresh once `retry_after`
+  // passes.
   bool RetryScheduled() const;
 
   // Synchronously rebuilds the snapshot, hierarchy, and index from the
@@ -174,7 +177,7 @@ class DynamicCodService {
   // publish_without_index is set.
   Status Refresh();
 
-  // Schedules a rebuild on `rebuild_pool` and returns immediately; false if
+  // Schedules a rebuild on `scheduler` and returns immediately; false if
   // one is already in flight — executing OR waiting on a retry deadline —
   // (callers keep serving the stale epoch either way). Requires
   // Options::async_rebuild. Failed builds are re-scheduled with capped
@@ -192,23 +195,24 @@ class DynamicCodService {
 
   // Serves from the current epoch — snapshot-and-serve only, never
   // rebuilding inline. Under async_rebuild a threshold crossing schedules
-  // the rebuild on the pool (and kicks a due retry); in sync mode the
+  // the rebuild on the scheduler (and kicks a due retry); in sync mode the
   // caller owns rebuilds via RefreshDue()/Refresh(). Scratch comes from a
   // lazily built thread-local QueryWorkspace rebound to the snapshot, so
   // repeated single queries do not reallocate.
   CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
   CodResult QueryCodU(NodeId q, uint32_t k, Rng& rng);
 
-  // Fans a workload across `pool` against ONE snapshot of the current
+  // Fans a workload across `scheduler` against ONE snapshot of the current
   // epoch; deterministic given (snapshot, specs, batch_seed) — see
   // core/query_batch.h. Never triggers or waits for rebuilds.
   std::vector<CodResult> QueryBatch(std::span<const QuerySpec> specs,
-                                    ThreadPool& pool,
+                                    TaskScheduler& scheduler,
                                     uint64_t batch_seed) const;
   // With per-query budgets, batch deadline / cancellation, and the
   // degradation ladder (see BatchOptions in core/query_batch.h).
   std::vector<CodResult> QueryBatch(std::span<const QuerySpec> specs,
-                                    ThreadPool& pool, uint64_t batch_seed,
+                                    TaskScheduler& scheduler,
+                                    uint64_t batch_seed,
                                     const BatchOptions& options) const;
 
   // The engine core of the current epoch (stale by up to
@@ -242,6 +246,7 @@ class DynamicCodService {
     uint32_t attempt = 0;          // attempt number the retry will run
     uint32_t next_backoff_ms = 0;  // backoff if THAT attempt also fails
     std::chrono::steady_clock::time_point retry_after;
+    uint64_t timer_id = 0;  // scheduler timer armed for retry_after
   };
 
   // Schedules work if drift crossed the threshold (async mode) and kicks a
@@ -265,12 +270,14 @@ class DynamicCodService {
   void RunRebuildAttempt(EdgeMap edges, uint64_t build_index,
                          size_t captured_pending, uint32_t attempt,
                          uint32_t backoff_ms);
-  // Moves the scheduled retry to the pool as an executing attempt.
-  // Requires mu_ held and retry_ set.
+  // Moves the scheduled retry to the scheduler as an executing attempt
+  // (cancelling its timer if still armed). Requires mu_ held and retry_
+  // set.
   void SubmitRetryLocked();
-  // Timer thread body: sleeps on timer_cv_ until a retry deadline passes,
-  // then submits it. Exits when shutting_down_.
-  void RetryTimerLoop();
+  // Scheduler-timer callback (maintenance priority): submits the retry if
+  // it is still scheduled and due; otherwise a no-op (absorbed by Refresh,
+  // already kicked by a query, or superseded).
+  void OnRetryTimer();
   void PublishEpoch(std::shared_ptr<const EngineCore> core, bool degraded);
   static uint64_t EdgeKey(NodeId u, NodeId v, size_t n);
 
@@ -288,9 +295,6 @@ class DynamicCodService {
   bool shutting_down_ = false;
   RebuildStats stats_;
   std::condition_variable rebuild_done_;
-  // Wakes the retry timer when a retry is scheduled, absorbed, or the
-  // service shuts down.
-  std::condition_variable timer_cv_;
 
   // RCU-style publication point; readers atomically load, writers
   // atomically store a fresh Epoch. Never null after construction.
@@ -309,9 +313,10 @@ class DynamicCodService {
   std::optional<ScopedCallbackGauge> pending_gauge_;
   std::optional<ScopedCallbackGauge> index_present_gauge_;
 
-  // Declared last so it is joined-before-destroyed relative to everything
-  // it reads; started only under async_rebuild.
-  std::thread retry_timer_;
+  // Every task this service puts on the scheduler (rebuild attempts and
+  // retry-timer callbacks) joins this group, so the destructor can wait out
+  // stragglers that capture `this`. Only set under async_rebuild.
+  std::optional<TaskGroup> sched_group_;
 };
 
 }  // namespace cod

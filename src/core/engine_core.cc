@@ -96,7 +96,6 @@ struct StageSites {
   Counter* rr_samples;
   Counter* rr_parallel_pools;
   Counter* rr_parallel_chunks;
-  Counter* rr_parallel_inline_fallbacks;
   Counter* index_hits;
   Counter* codr_cache_hits;
   Counter* codr_cache_misses;
@@ -126,8 +125,6 @@ const StageSites& Stages() {
     s.rr_samples = reg.GetCounter("cod_rr_samples_total");
     s.rr_parallel_pools = reg.GetCounter("cod_rr_parallel_pools_total");
     s.rr_parallel_chunks = reg.GetCounter("cod_rr_parallel_chunks_total");
-    s.rr_parallel_inline_fallbacks =
-        reg.GetCounter("cod_rr_parallel_inline_fallbacks_total");
     s.index_hits = reg.GetCounter("cod_index_hits_total");
     s.codr_cache_hits = reg.GetCounter("cod_codr_cache_hits_total");
     s.codr_cache_misses = reg.GetCounter("cod_codr_cache_misses_total");
@@ -350,9 +347,6 @@ CodResult EngineCore::EvaluateChain(const CodChain& chain, NodeId q,
   st.rr_samples += ws.evaluator().last_samples();
   st.explored_nodes += ws.evaluator().last_explored_nodes();
   st.parallel_chunks += ws.evaluator().last_parallel_chunks();
-  if (ws.evaluator().last_inline_fallback()) {
-    st.parallel_inline_fallback = true;
-  }
   CodResult result;
   result.num_levels = chain.NumLevels();
   result.code = outcome.code;
@@ -436,9 +430,6 @@ CodResult EngineCore::Query(const QuerySpec& spec, QueryWorkspace& ws) const {
     if (st.parallel_chunks > 0) {
       ss.rr_parallel_pools->Increment();
       ss.rr_parallel_chunks->Increment(st.parallel_chunks);
-    }
-    if (st.parallel_inline_fallback) {
-      ss.rr_parallel_inline_fallbacks->Increment();
     }
     if (st.index_hit) ss.index_hits->Increment();
     if (spec.variant == CodVariant::kCodR && spec.attrs.size() == 1 &&

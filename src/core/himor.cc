@@ -7,7 +7,7 @@
 
 #include "common/binary_io.h"
 #include "common/failpoint.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 
 namespace cod {
 namespace {
@@ -311,9 +311,13 @@ Result<HimorIndex> HimorIndex::BuildParallel(const DiffusionModel& model,
       num_batches);
   std::atomic<int> abort_code{0};
   {
-    ThreadPool pool(num_threads);
+    // A build-local scheduler: index construction owns its threads for the
+    // duration (callers embedding the build in a serving process submit the
+    // whole build as one rebuild-priority task on the serving scheduler).
+    TaskScheduler scheduler(num_threads);
+    TaskGroup group(scheduler);
     for (size_t b = 0; b < num_batches; ++b) {
-      pool.Submit([&, b] {
+      scheduler.Submit(TaskPriority::kRebuild, group, [&, b] {
         TreeHfsSampler worker(model, dendrogram, lca);
         uint64_t mix = seed + b;
         Rng rng(SplitMix64(mix));
@@ -323,7 +327,7 @@ Result<HimorIndex> HimorIndex::BuildParallel(const DiffusionModel& model,
                               budget, &abort_code);
       });
     }
-    pool.WaitIdle();
+    group.Wait();
   }
   const int aborted = abort_code.load(std::memory_order_relaxed);
   if (aborted != 0) {

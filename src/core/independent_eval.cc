@@ -11,7 +11,7 @@ IndependentEvaluator::IndependentEvaluator(const DiffusionModel& model,
 ChainEvalOutcome IndependentEvaluator::Evaluate(const CodChain& chain,
                                                 NodeId q, uint32_t k, Rng& rng,
                                                 const Budget& budget,
-                                                ThreadPool* pool) {
+                                                TaskScheduler* scheduler) {
   const size_t num_levels = chain.NumLevels();
   COD_CHECK(num_levels >= 1);
   COD_CHECK(chain.in_universe[q]);
@@ -32,7 +32,7 @@ ChainEvalOutcome IndependentEvaluator::Evaluate(const CodChain& chain,
     const std::vector<NodeId> members = chain.MembersOfLevel(h);
     std::vector<uint32_t> counts;
     const StatusCode level_code = oracle_.CountsWithin(
-        members, theta_, rng.Next(), budget, pool, &counts);
+        members, theta_, rng.Next(), budget, scheduler, &counts);
     if (level_code != StatusCode::kOk) {
       outcome.code = level_code;
       last_timed_out_ = true;

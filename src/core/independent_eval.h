@@ -28,12 +28,13 @@ class IndependentEvaluator {
     return Evaluate(chain, q, k, rng, budget, nullptr);
   }
 
-  // With optional intra-query parallel sampling on a borrowed `pool`:
+  // With optional intra-query parallel sampling on a borrowed `scheduler`:
   // per-level counts shard across it (see InfluenceOracle::CountsWithin);
-  // results are bit-identical for any pool, and `rng` advances by exactly
-  // one draw per level either way.
+  // results are bit-identical for any scheduler, and `rng` advances by
+  // exactly one draw per level either way.
   ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
-                            Rng& rng, const Budget& budget, ThreadPool* pool);
+                            Rng& rng, const Budget& budget,
+                            TaskScheduler* scheduler);
 
   // Compatibility shim for the fig8/fig9 paper-experiment benches: a
   // positive `deadline_seconds` bounds the run, 0 means unlimited.

@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <mutex>
 
 #include "common/failpoint.h"
 #include "common/metrics.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "core/query_workspace.h"
 
 namespace cod {
@@ -170,8 +169,12 @@ CodResult RunQuerySpecWithBudget(const EngineCore& core, const QuerySpec& spec,
 
   const std::vector<LadderStep> ladder =
       DegradationLadder(core, spec.variant, k, options.allow_degradation);
+  // Admission shedding enters the ladder below rung 0 (clamped: the
+  // cheapest rung always runs). Rung numbering is unchanged, so a shed
+  // answer is tagged exactly like a timeout-degraded one.
+  const size_t first_rung = std::min(options.shed_rungs, ladder.size() - 1);
   CodResult result;
-  for (size_t s = 0; s < ladder.size(); ++s) {
+  for (size_t s = first_rung; s < ladder.size(); ++s) {
     // Same seed on every rung: a degraded answer is exactly what a direct
     // query of the served variant would have returned.
     ws.ReseedRng(query_seed);
@@ -193,41 +196,52 @@ CodResult RunQuerySpecWithBudget(const EngineCore& core, const QuerySpec& spec,
 
 std::vector<CodResult> RunQueryBatch(const EngineCore& core,
                                      std::span<const QuerySpec> specs,
-                                     ThreadPool& pool, uint64_t batch_seed) {
-  return RunQueryBatch(core, specs, pool, batch_seed, BatchOptions{});
+                                     TaskScheduler& scheduler,
+                                     uint64_t batch_seed) {
+  return RunQueryBatch(core, specs, scheduler, batch_seed, BatchOptions{});
 }
 
 std::vector<CodResult> RunQueryBatch(const EngineCore& core,
                                      std::span<const QuerySpec> specs,
-                                     ThreadPool& pool, uint64_t batch_seed,
+                                     TaskScheduler& scheduler,
+                                     uint64_t batch_seed,
                                      const BatchOptions& options) {
-  return RunQueryBatch(core, specs, pool, batch_seed, options, nullptr);
+  return RunQueryBatch(core, specs, scheduler, batch_seed, options, nullptr);
 }
 
 std::vector<CodResult> RunQueryBatch(const EngineCore& core,
                                      std::span<const QuerySpec> specs,
-                                     ThreadPool& pool, uint64_t batch_seed,
+                                     TaskScheduler& scheduler,
+                                     uint64_t batch_seed,
                                      const BatchOptions& options,
                                      BatchStats* stats) {
-  COD_DCHECK(!pool.IsWorkerThread() &&
-             "RunQueryBatch called from a worker thread of its own pool; "
-             "this deadlocks once the pool saturates -- run the batch from "
-             "a different pool or thread");
   if (stats != nullptr) *stats = BatchStats{};
   std::vector<CodResult> results(specs.size());
   if (specs.empty()) return results;
 
-  const size_t num_chunks = std::min(pool.num_threads(), specs.size());
-  // Private completion latch: the batch must not wait on pool idleness,
-  // which would couple it to unrelated tasks (e.g., a background rebuild).
-  std::mutex mu;
-  std::condition_variable done;
-  size_t remaining = num_chunks;
-  BatchStats merged;
+  const size_t num_chunks = std::min(scheduler.num_threads(), specs.size());
 
-  // Queue wait: how long each chunk sat behind other pool work before its
-  // first query ran. Only measured when the registry is on (two clock reads
-  // per chunk otherwise wasted).
+  // Admission control, decided ONCE before any chunk runs: a shed batch
+  // starts every query one rung down its ladder (degraded but cheap)
+  // instead of queueing at full cost behind an already-deep interactive
+  // backlog. One decision per batch keeps the whole result vector
+  // deterministic and reproducible via RunQuerySpecWithBudget with the same
+  // effective options.
+  BatchOptions effective = options;
+  bool shed = false;
+  if (options.allow_degradation &&
+      scheduler.ShouldShed(TaskPriority::kInteractive, num_chunks)) {
+    effective.shed_rungs = std::max<size_t>(effective.shed_rungs, 1);
+    shed = true;
+  }
+
+  std::mutex mu;  // guards merged (chunks finish concurrently)
+  BatchStats merged;
+  merged.shed = shed;
+
+  // Queue wait: how long each chunk sat behind other scheduler work before
+  // its first query ran. Only measured when the registry is on (two clock
+  // reads per chunk otherwise wasted).
   Histogram* queue_hist =
       MetricsRegistry::enabled()
           ? MetricsRegistry::Instance().GetHistogram(
@@ -235,19 +249,26 @@ std::vector<CodResult> RunQueryBatch(const EngineCore& core,
           : nullptr;
   const auto submit_time = std::chrono::steady_clock::now();
 
+  // The group scopes completion to THIS batch. Waiting from a scheduler
+  // worker is safe (inline help), so batches may be issued from tasks.
+  TaskGroup group(scheduler);
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t begin = specs.size() * c / num_chunks;
     const size_t end = specs.size() * (c + 1) / num_chunks;
-    pool.Submit([&core, &results, specs, batch_seed, begin, end, &options,
-                 &mu, &done, &remaining, &merged, queue_hist, submit_time] {
+    scheduler.Submit(TaskPriority::kInteractive, group, [&core, &results,
+                                                         specs, batch_seed,
+                                                         begin, end,
+                                                         &effective, &mu,
+                                                         &merged, queue_hist,
+                                                         submit_time] {
       if (queue_hist != nullptr) {
         queue_hist->Observe(std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - submit_time)
                                 .count());
       }
       QueryWorkspace ws(core, /*seed=*/0);
-      if (options.sampling_pool != nullptr) {
-        ws.SetSamplingPool(options.sampling_pool);
+      if (effective.sampling_pool != nullptr) {
+        ws.SetSamplingPool(effective.sampling_pool);
       }
       BatchStats local;
       for (size_t i = begin; i < end; ++i) {
@@ -259,14 +280,11 @@ std::vector<CodResult> RunQueryBatch(const EngineCore& core,
           killed.variant_served = specs[i].variant;
           results[i] = std::move(killed);
         } else {
-          results[i] = RunQuerySpecWithBudget(core, specs[i], ws, options,
+          results[i] = RunQuerySpecWithBudget(core, specs[i], ws, effective,
                                               BatchQuerySeed(batch_seed, i));
         }
         TallyResult(results[i], &local);
       }
-      // Notify under the lock: the caller owns mu/done on its stack and may
-      // destroy them the instant it observes remaining == 0, so the notify
-      // must complete before the waiter can get past the mutex.
       std::lock_guard<std::mutex> lock(mu);
       merged.served_ok += local.served_ok;
       merged.degraded += local.degraded;
@@ -275,15 +293,10 @@ std::vector<CodResult> RunQueryBatch(const EngineCore& core,
       for (size_t r = 0; r < BatchStats::kMaxRungs; ++r) {
         merged.per_rung[r] += local.per_rung[r];
       }
-      --remaining;
-      done.notify_one();
     });
   }
+  group.Wait();
 
-  {
-    std::unique_lock<std::mutex> lock(mu);
-    done.wait(lock, [&remaining] { return remaining == 0; });
-  }
   PublishBatchMetrics(merged);
   if (stats != nullptr) *stats = merged;
   return results;

@@ -1,12 +1,14 @@
-// Concurrent batch-query API: fan a COD query workload across a ThreadPool.
+// Concurrent batch-query API: fan a COD query workload across a
+// TaskScheduler as interactive-priority tasks.
 //
 // Determinism contract: query i of a batch always runs with
-// Rng(BatchQuerySeed(batch_seed, i)) in a freshly reseeded per-thread
+// Rng(BatchQuerySeed(batch_seed, i)) in a freshly reseeded per-chunk
 // workspace, so the result vector is a pure function of
-// (core, specs, batch_seed, options) — bit-identical for every pool size,
-// including a single thread. Workers get contiguous spec ranges and one
-// reusable QueryWorkspace each; nothing is shared mutably across workers
-// except the pre-sized result slots (one writer per slot).
+// (core, specs, batch_seed, effective options) — bit-identical for every
+// worker count and every work-stealing interleaving, including a single
+// worker. Chunks cover contiguous spec ranges and own one reusable
+// QueryWorkspace each; nothing is shared mutably across chunks except the
+// pre-sized result slots (one writer per slot).
 //
 // Budgets and graceful degradation (BatchOptions): each query runs under a
 // deadline (per-spec override, batch default, and a batch-wide deadline —
@@ -21,9 +23,17 @@
 // budgets (<= ~1ns, which deterministically fail their first poll), the
 // cases the tests pin down.
 //
-// Do not call RunQueryBatch from inside a task running on the same pool —
-// the caller blocks until its chunk tasks finish, which deadlocks once the
-// pool is saturated with blocked callers. Debug builds DCHECK-fail on this.
+// Admission control: when the scheduler reports interactive overload
+// (TaskScheduler::ShouldShed — queue depth over its bound, or the
+// "scheduler/admission" failpoint), a batch that allows degradation is shed
+// one ladder rung: every query starts at rung 1 of its ladder instead of
+// rung 0, decided ONCE before any chunk runs so the whole batch is
+// deterministic and reproducible via RunQuerySpecWithBudget with the same
+// effective options (shed answers come back degraded = true).
+//
+// Calling RunQueryBatch from a task running on the same scheduler is safe:
+// the batch waits on a TaskGroup, and a worker-thread wait runs queued
+// tasks inline instead of parking the slot (common/task_scheduler.h).
 
 #ifndef COD_CORE_QUERY_BATCH_H_
 #define COD_CORE_QUERY_BATCH_H_
@@ -37,7 +47,7 @@
 
 namespace cod {
 
-class ThreadPool;
+class TaskScheduler;
 class QueryWorkspace;
 
 // QuerySpec now lives in core/engine_core.h (it is the input of the
@@ -59,14 +69,18 @@ struct BatchOptions {
   // When a query's budget expires, retry it on cheaper ladder rungs (tagged
   // degraded = true) instead of returning kTimeout outright.
   bool allow_degradation = true;
-  // Optional borrowed pool for intra-query parallel RR sampling inside each
-  // worker's workspace (see QueryWorkspace::SetSamplingPool). Must be a
-  // DIFFERENT pool than the batch pool to take effect: workers of the batch
-  // pool detect themselves as pool workers and sample inline (results are
-  // bit-identical either way, so this is a latency knob only). Null = serial
-  // per-query sampling (the default; cross-query parallelism usually
-  // saturates the machine already).
-  ThreadPool* sampling_pool = nullptr;
+  // Start every query this many rungs down its degradation ladder (clamped
+  // so at least the cheapest rung runs). 0 = normal service. RunQueryBatch
+  // raises it to >= 1 when the scheduler sheds the batch under overload;
+  // setting it directly reproduces a shed batch exactly.
+  size_t shed_rungs = 0;
+  // Optional borrowed scheduler for intra-query parallel RR sampling inside
+  // each chunk's workspace (see QueryWorkspace::SetSamplingPool). Sharing
+  // the batch scheduler is fine — sampling chunks are interactive tasks and
+  // group waits help inline; results are bit-identical either way, so this
+  // is a latency knob only. Null = serial per-query sampling (the default;
+  // cross-query parallelism usually saturates the machine already).
+  TaskScheduler* sampling_pool = nullptr;
 };
 
 // Aggregate outcome tallies for one RunQueryBatch call. Workers accumulate
@@ -82,6 +96,9 @@ struct BatchStats {
   // ladder never exceeds 4 rungs (see DegradationLadder in the .cc).
   static constexpr size_t kMaxRungs = 4;
   uint64_t per_rung[kMaxRungs] = {0, 0, 0, 0};
+  // True when scheduler admission control shed this batch down the ladder
+  // (see BatchOptions::shed_rungs).
+  bool shed = false;
 
   uint64_t Served() const { return served_ok + degraded; }
 };
@@ -110,26 +127,29 @@ CodResult RunQuerySpecWithBudget(const EngineCore& core, const QuerySpec& spec,
                                  const BatchOptions& options,
                                  uint64_t query_seed);
 
-// Fans `specs` across `pool` and blocks until every result is filled.
-// Thread-safe: concurrent batches may share one pool (each batch waits on
-// its own completion latch, not on pool idleness).
+// Fans `specs` across `scheduler` and blocks until every result is filled.
+// Thread-safe: concurrent batches may share one scheduler (each batch waits
+// on its own TaskGroup, never on global idleness).
 std::vector<CodResult> RunQueryBatch(const EngineCore& core,
                                      std::span<const QuerySpec> specs,
-                                     ThreadPool& pool, uint64_t batch_seed);
+                                     TaskScheduler& scheduler,
+                                     uint64_t batch_seed);
 
 // As above, with per-query budgets, batch deadline / cancellation, and the
 // degradation ladder. The default BatchOptions makes this identical to the
 // options-free overload.
 std::vector<CodResult> RunQueryBatch(const EngineCore& core,
                                      std::span<const QuerySpec> specs,
-                                     ThreadPool& pool, uint64_t batch_seed,
+                                     TaskScheduler& scheduler,
+                                     uint64_t batch_seed,
                                      const BatchOptions& options);
 
 // As above, additionally filling `stats` (ignored when null) with the
 // batch's aggregate outcome tallies.
 std::vector<CodResult> RunQueryBatch(const EngineCore& core,
                                      std::span<const QuerySpec> specs,
-                                     ThreadPool& pool, uint64_t batch_seed,
+                                     TaskScheduler& scheduler,
+                                     uint64_t batch_seed,
                                      const BatchOptions& options,
                                      BatchStats* stats);
 

@@ -34,8 +34,7 @@ struct QueryStats {
   size_t levels_examined = 0;    // chain levels the evaluation covered
 
   // Intra-query parallel sampling provenance (see influence/rr_pool.h).
-  size_t parallel_chunks = 0;           // chunks of the pool build; 0 = serial
-  bool parallel_inline_fallback = false;  // requested on a pool worker thread
+  size_t parallel_chunks = 0;  // chunks of the pool build; 0 = serial
 
   // Index / cache provenance.
   bool index_hit = false;        // HIMOR alone answered (CODL fast path)

@@ -42,20 +42,23 @@ class QueryWorkspace {
   CompressedEvaluator& evaluator() { return evaluator_; }
   const EngineCore* bound_core() const { return core_; }
 
-  // Optional intra-query sampling pool (borrowed, never owned; see
+  // Optional intra-query sampling scheduler (borrowed, never owned; see
   // influence/rr_pool.h). When set, queries through this workspace shard
   // their RR-pool construction across it — unless the active QuerySpec
-  // disables `parallel_sampling`, or the calling thread is itself one of
-  // the pool's workers (inline serial fallback). Results are bit-identical
-  // with or without a pool.
-  void SetSamplingPool(ThreadPool* pool) { sampling_pool_ = pool; }
-  ThreadPool* sampling_pool() const { return sampling_pool_; }
+  // disables `parallel_sampling`. Sharing the batch scheduler is the normal
+  // case: sampling chunks are interactive tasks whose group wait helps
+  // inline, so there is no self-scheduler hazard. Results are bit-identical
+  // with or without a scheduler.
+  void SetSamplingPool(TaskScheduler* scheduler) {
+    sampling_pool_ = scheduler;
+  }
+  TaskScheduler* sampling_pool() const { return sampling_pool_; }
 
   // Per-query effective toggle, set by EngineCore::Query from the spec
   // (defaults to on). EvaluateChain consults the combination.
   void SetParallelSampling(bool on) { parallel_sampling_ = on; }
   bool parallel_sampling() const { return parallel_sampling_; }
-  ThreadPool* effective_sampling_pool() const {
+  TaskScheduler* effective_sampling_pool() const {
     return parallel_sampling_ ? sampling_pool_ : nullptr;
   }
 
@@ -85,7 +88,7 @@ class QueryWorkspace {
   Rng rng_;
   Budget budget_;
   QueryStats stats_;
-  ThreadPool* sampling_pool_ = nullptr;  // borrowed, never owned
+  TaskScheduler* sampling_pool_ = nullptr;  // borrowed, never owned
   bool parallel_sampling_ = true;
 };
 

@@ -2,11 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 
 #include "common/failpoint.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 
 namespace cod {
 
@@ -34,7 +32,8 @@ std::vector<uint32_t> InfluenceOracle::CountsWithin(
 
 StatusCode InfluenceOracle::CountsWithin(std::span<const NodeId> members,
                                          uint32_t theta, uint64_t pool_seed,
-                                         const Budget& budget, ThreadPool* pool,
+                                         const Budget& budget,
+                                         TaskScheduler* scheduler,
                                          std::vector<uint32_t>* counts) {
   COD_CHECK(theta > 0);
   for (size_t i = 0; i < members.size(); ++i) {
@@ -45,8 +44,8 @@ StatusCode InfluenceOracle::CountsWithin(std::span<const NodeId> members,
   const size_t total = members.size() * theta;
   StatusCode result = StatusCode::kOk;
 
-  const bool parallel = pool != nullptr && !pool->IsWorkerThread() &&
-                        pool->num_threads() > 1 && total >= 2;
+  const bool parallel =
+      scheduler != nullptr && scheduler->num_threads() > 1 && total >= 2;
   if (!parallel) {
     for (size_t s = 0; s < total; ++s) {
       result = budget.ExhaustedCode();
@@ -58,14 +57,13 @@ StatusCode InfluenceOracle::CountsWithin(std::span<const NodeId> members,
       for (NodeId v : scratch_set_) ++(*counts)[local_[v]];
     }
   } else {
-    const size_t num_chunks = std::min(pool->num_threads(), total);
+    const size_t num_chunks = std::min(scheduler->num_threads(), total);
     for (size_t c = 0; c < num_chunks; ++c) Chunk(c);
     std::atomic<uint32_t> abort_code{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining = num_chunks;
+    TaskGroup group(*scheduler);
     for (size_t c = 0; c < num_chunks; ++c) {
-      pool->Submit([&, c, members, theta, pool_seed] {
+      scheduler->Submit(TaskPriority::kInteractive, group,
+                        [&, c, members, theta, pool_seed] {
         ChunkScratch& cs = *chunks_[c];
         cs.counts.assign(members.size(), 0);
         const size_t begin = total * c / num_chunks;
@@ -88,14 +86,9 @@ StatusCode InfluenceOracle::CountsWithin(std::span<const NodeId> members,
                                          sample_rng, &cs.scratch_set);
           for (NodeId v : cs.scratch_set) ++cs.counts[local_[v]];
         }
-        std::unique_lock<std::mutex> lock(mu);
-        if (--remaining == 0) cv.notify_all();
       });
     }
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return remaining == 0; });
-    }
+    group.Wait();
     // Per-chunk count sums commute, so the merged counts are independent of
     // chunk boundaries and thread count.
     for (size_t c = 0; c < num_chunks; ++c) {

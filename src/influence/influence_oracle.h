@@ -24,7 +24,7 @@
 
 namespace cod {
 
-class ThreadPool;
+class TaskScheduler;
 
 class InfluenceOracle {
  public:
@@ -38,14 +38,15 @@ class InfluenceOracle {
                                      uint32_t theta, Rng& rng);
 
   // Budget-aware form with optional intra-query parallelism on a *borrowed*
-  // pool (see influence/rr_pool.h for the borrowing rule). Chunked per-chunk
-  // counts are summed, so results are bit-identical for any pool, including
-  // none. The budget (and, in parallel chunks, the "influence/parallel_pool"
-  // failpoint) is polled between samples; on a non-kOk return `counts` is
-  // incomplete and must be discarded.
+  // scheduler (see influence/rr_pool.h for the borrowing rule). Chunked
+  // per-chunk counts are summed, so results are bit-identical for any
+  // scheduler, including none. The budget (and, in parallel chunks, the
+  // "influence/parallel_pool" failpoint) is polled between samples; on a
+  // non-kOk return `counts` is incomplete and must be discarded.
   StatusCode CountsWithin(std::span<const NodeId> members, uint32_t theta,
                           uint64_t pool_seed, const Budget& budget,
-                          ThreadPool* pool, std::vector<uint32_t>* counts);
+                          TaskScheduler* scheduler,
+                          std::vector<uint32_t>* counts);
 
   // Influence rank of `q` given per-member counts: the number of members
   // with a strictly larger count (paper's rank_C definition; rank 0 = most

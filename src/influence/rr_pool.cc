@@ -3,11 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 
 #include "common/failpoint.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 
 namespace cod {
 namespace {
@@ -113,31 +111,28 @@ StatusCode ParallelRrPool::Build(std::span<const NodeId> sources,
                                  uint32_t theta,
                                  const std::vector<char>& allowed,
                                  uint64_t pool_seed, const Budget& budget,
-                                 ThreadPool* pool, RrSlabPool* out,
+                                 TaskScheduler* scheduler, RrSlabPool* out,
                                  BuildStats* stats) {
   out->Clear();
   *stats = BuildStats{};
   const size_t total = sources.size() * theta;
-  const bool on_worker = pool != nullptr && pool->IsWorkerThread();
-  if (on_worker) stats->inline_fallback = true;
-  if (pool == nullptr || on_worker || pool->num_threads() <= 1 || total < 2) {
+  if (scheduler == nullptr || scheduler->num_threads() <= 1 || total < 2) {
     return BuildSerial(sources, theta, allowed, pool_seed, budget, out, stats);
   }
 
   const auto start = std::chrono::steady_clock::now();
-  const size_t num_chunks = std::min(pool->num_threads(), total);
+  const size_t num_chunks = std::min(scheduler->num_threads(), total);
   for (size_t c = 0; c < num_chunks; ++c) Chunk(c);
 
   // First failing status code wins; workers stop drawing once any chunk
-  // aborts. Chunk completion is tracked privately — never pool WaitIdle(),
-  // the pool is borrowed and may carry unrelated work.
+  // aborts. Chunks are interactive tasks in a private group; waiting from a
+  // scheduler worker (the batch-chunk case) runs them inline, so sampling on
+  // the very scheduler that carries the batch cannot deadlock.
   std::atomic<uint32_t> abort_code{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t remaining = num_chunks;
+  TaskGroup group(*scheduler);
 
   for (size_t c = 0; c < num_chunks; ++c) {
-    pool->Submit([&, c] {
+    scheduler->Submit(TaskPriority::kInteractive, group, [&, c] {
       ChunkScratch& cs = *chunks_[c];
       cs.slab.Clear();
       cs.samples = 0;
@@ -162,14 +157,9 @@ StatusCode ParallelRrPool::Build(std::span<const NodeId> sources,
         ++cs.samples;
         cs.explored_nodes += cs.rr.NumNodes();
       }
-      std::unique_lock<std::mutex> lock(mu);
-      if (--remaining == 0) cv.notify_all();
     });
   }
-  {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return remaining == 0; });
-  }
+  group.Wait();
 
   stats->chunks = num_chunks;
   for (size_t c = 0; c < num_chunks; ++c) {

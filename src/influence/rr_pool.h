@@ -11,17 +11,17 @@
 //
 //  * ParallelRrPool — builds the full pool for a chain evaluation, either
 //    serially or sharded into contiguous sample-index chunks on a *borrowed*
-//    ThreadPool. Sample `i` always draws from Rng(RrSampleSeed(pool_seed, i))
-//    regardless of which thread runs it, and chunks merge back in sample
-//    order, so the slab contents are bit-identical for any thread count —
-//    the same seed-only determinism discipline as HimorIndex::BuildParallel.
+//    TaskScheduler. Sample `i` always draws from
+//    Rng(RrSampleSeed(pool_seed, i)) regardless of which thread runs it, and
+//    chunks merge back in sample order, so the slab contents are
+//    bit-identical for any worker count and any stealing interleaving — the
+//    same seed-only determinism discipline as HimorIndex::BuildParallel.
 //
-// The borrowing rule: ParallelRrPool never owns a pool and never calls
-// WaitIdle() (the pool may be shared with other work); it tracks its own
-// chunk completion. When the calling thread is itself a worker of the given
-// pool (e.g. a QueryBatch worker handed the batch pool), it falls back to
-// serial sampling inline — identical results, no deadlock — and reports the
-// fallback so serving metrics can count it.
+// The borrowing rule: ParallelRrPool never owns a scheduler; chunks are
+// interactive-priority tasks tracked by a private TaskGroup. Calling from a
+// scheduler worker (the usual case: a QueryBatch chunk fanning out sampling
+// on the same scheduler) is fine — the group wait helps run queued tasks
+// inline, so there is no self-pool deadlock and no serial fallback path.
 
 #ifndef COD_INFLUENCE_RR_POOL_H_
 #define COD_INFLUENCE_RR_POOL_H_
@@ -37,7 +37,7 @@
 
 namespace cod {
 
-class ThreadPool;
+class TaskScheduler;
 
 // The counter-based per-sample seed schedule: sample `index` of a pool
 // seeded `pool_seed` is drawn from Rng(RrSampleSeed(pool_seed, index)),
@@ -136,21 +136,20 @@ class ParallelRrPool {
     uint64_t samples = 0;         // samples actually drawn (partial on abort)
     size_t explored_nodes = 0;    // total RR-graph nodes across samples
     size_t chunks = 0;            // parallel chunks used; 0 = serial path
-    bool inline_fallback = false; // parallel requested on a pool worker
     double sample_seconds = 0.0;
     double merge_seconds = 0.0;   // chunk-merge wall time (parallel only)
   };
 
-  // Fills `out` (cleared first) with the full pool. `pool` may be null or
-  // single-threaded, in which case sampling is serial; results are
+  // Fills `out` (cleared first) with the full pool. `scheduler` may be null
+  // or single-threaded, in which case sampling is serial; results are
   // bit-identical either way. The budget (and, in the parallel chunk loop,
   // the "influence/parallel_pool" failpoint; "rr/sample" on the serial path)
   // is polled between samples; on exhaustion the first failing code is
   // returned, `out` is cleared, and all scratch is left reusable.
   StatusCode Build(std::span<const NodeId> sources, uint32_t theta,
                    const std::vector<char>& allowed, uint64_t pool_seed,
-                   const Budget& budget, ThreadPool* pool, RrSlabPool* out,
-                   BuildStats* stats);
+                   const Budget& budget, TaskScheduler* scheduler,
+                   RrSlabPool* out, BuildStats* stats);
 
   // Growth events summed over the output-independent chunk slabs (the main
   // pool's counter lives on the RrSlabPool the caller owns).

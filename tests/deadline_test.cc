@@ -10,7 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/failpoint.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 
 namespace cod {
 namespace {
@@ -154,18 +154,19 @@ TEST(FailpointTest, ConcurrentHammeringConsumesExactlyTheArmedCount) {
   Failpoints::Instance().DisarmAll();
 }
 
-TEST(ThreadPoolTest, IsWorkerThreadDistinguishesPoolMembership) {
-  ThreadPool pool(2);
-  ThreadPool other(1);
-  EXPECT_FALSE(pool.IsWorkerThread());  // the main thread is nobody's worker
-  bool seen_in_pool = false;
+TEST(TaskSchedulerMembershipTest, IsWorkerThreadDistinguishesSchedulers) {
+  TaskScheduler sched(2);
+  TaskScheduler other(1);
+  EXPECT_FALSE(sched.IsWorkerThread());  // the main thread is nobody's worker
+  bool seen_in_sched = false;
   bool seen_in_other = false;
-  pool.Submit([&] {
-    seen_in_pool = pool.IsWorkerThread();
+  TaskGroup group(sched);
+  sched.Submit(TaskPriority::kInteractive, group, [&] {
+    seen_in_sched = sched.IsWorkerThread();
     seen_in_other = other.IsWorkerThread();
   });
-  pool.WaitIdle();
-  EXPECT_TRUE(seen_in_pool);
+  group.Wait();
+  EXPECT_TRUE(seen_in_sched);
   EXPECT_FALSE(seen_in_other);
 }
 

@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/failpoint.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "core/query_batch.h"
 #include "core/query_workspace.h"
 #include "graph/generators.h"
@@ -123,10 +123,10 @@ TEST(DynamicServiceTest, SyncQueriesNeverRebuildInline) {
 
 TEST(DynamicServiceTest, AsyncThresholdCrossingQuerySchedulesRebuild) {
   World w = MakeWorld(4);
-  ThreadPool rebuild_pool(1);
+  TaskScheduler rebuild_pool(1);
   DynamicCodService::Options options = SmallOptions(0.01);
   options.async_rebuild = true;
-  options.rebuild_pool = &rebuild_pool;
+  options.scheduler = &rebuild_pool;
   DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
   Rng rng(5);
   for (NodeId v = 0; v < 12; ++v) {
@@ -195,10 +195,10 @@ TEST(DynamicServiceTest, SnapshotSurvivesRefresh) {
 
 TEST(DynamicServiceTest, AsyncRefreshServesStaleThenSwaps) {
   World w = MakeWorld(8);
-  ThreadPool rebuild_pool(1);
+  TaskScheduler rebuild_pool(1);
   DynamicCodService::Options options = SmallOptions(10.0);
   options.async_rebuild = true;
-  options.rebuild_pool = &rebuild_pool;
+  options.scheduler = &rebuild_pool;
   DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
 
   ASSERT_TRUE(service.AddEdge(0, 150));
@@ -230,10 +230,10 @@ TEST(DynamicServiceTest, AsyncAndSyncRebuildsPublishIdenticalEpochs) {
   World w2 = MakeWorld(9);
   DynamicCodService sync_service(std::move(w1.graph), std::move(w1.attrs),
                                  SmallOptions(10.0));
-  ThreadPool rebuild_pool(1);
+  TaskScheduler rebuild_pool(1);
   DynamicCodService::Options async_options = SmallOptions(10.0);
   async_options.async_rebuild = true;
-  async_options.rebuild_pool = &rebuild_pool;
+  async_options.scheduler = &rebuild_pool;
   DynamicCodService async_service(std::move(w2.graph), std::move(w2.attrs),
                                   async_options);
 
@@ -277,7 +277,7 @@ TEST(DynamicServiceTest, ServiceQueryBatchMatchesSnapshotBatch) {
   }
   DynamicCodService service(std::move(w.graph), std::move(w.attrs),
                             SmallOptions(10.0));
-  ThreadPool pool(3);
+  TaskScheduler pool(3);
   const auto via_service = service.QueryBatch(specs, pool, 21);
   const auto via_snapshot =
       RunQueryBatch(*service.Snapshot().core, specs, pool, 21);
@@ -499,10 +499,10 @@ TEST(DynamicServiceTest, DegradedCodlMatchesIndexlessBaseline) {
 
 TEST(DynamicServiceTest, AsyncRebuildRetriesWithBackoffUntilSuccess) {
   World w = MakeWorld(13);
-  ThreadPool rebuild_pool(1);
+  TaskScheduler rebuild_pool(1);
   DynamicCodService::Options options = SmallOptions(10.0);
   options.async_rebuild = true;
-  options.rebuild_pool = &rebuild_pool;
+  options.scheduler = &rebuild_pool;
   options.max_rebuild_retries = 3;
   options.rebuild_backoff_initial_ms = 1;
   options.rebuild_backoff_max_ms = 2;
@@ -524,10 +524,10 @@ TEST(DynamicServiceTest, AsyncRebuildRetriesWithBackoffUntilSuccess) {
 
 TEST(DynamicServiceTest, AsyncRebuildGivesUpAfterRetryCap) {
   World w = MakeWorld(14);
-  ThreadPool rebuild_pool(1);
+  TaskScheduler rebuild_pool(1);
   DynamicCodService::Options options = SmallOptions(10.0);
   options.async_rebuild = true;
-  options.rebuild_pool = &rebuild_pool;
+  options.scheduler = &rebuild_pool;
   options.max_rebuild_retries = 1;
   options.rebuild_backoff_initial_ms = 1;
   options.rebuild_backoff_max_ms = 1;
@@ -560,10 +560,10 @@ TEST(DynamicServiceTest, AsyncRebuildGivesUpAfterRetryCap) {
 // the pool, provably free to run other work.
 TEST(DynamicServiceTest, RetryBackoffHoldsNoPoolWorker) {
   World w = MakeWorld(17);
-  ThreadPool rebuild_pool(1);  // ONE worker makes occupancy observable
+  TaskScheduler rebuild_pool(1);  // ONE worker makes occupancy observable
   DynamicCodService::Options options = SmallOptions(10.0);
   options.async_rebuild = true;
-  options.rebuild_pool = &rebuild_pool;
+  options.scheduler = &rebuild_pool;
   options.max_rebuild_retries = 2;
   options.rebuild_backoff_initial_ms = 500;  // a wide, observable window
   options.rebuild_backoff_max_ms = 500;
@@ -585,7 +585,8 @@ TEST(DynamicServiceTest, RetryBackoffHoldsNoPoolWorker) {
   // must be idle: a canary task runs and completes WHILE the retry is still
   // scheduled — impossible if the worker were asleep in the backoff.
   std::atomic<bool> canary_ran{false};
-  rebuild_pool.Submit([&] { canary_ran.store(true); });
+  rebuild_pool.Submit(TaskPriority::kInteractive,
+                      [&] { canary_ran.store(true); });
   while (!canary_ran.load() && service.RetryScheduled()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
@@ -606,10 +607,10 @@ TEST(DynamicServiceTest, RetryBackoffHoldsNoPoolWorker) {
 // its backoff: the synchronous build supersedes the ticket.
 TEST(DynamicServiceTest, RefreshAbsorbsScheduledRetry) {
   World w = MakeWorld(18);
-  ThreadPool rebuild_pool(1);
+  TaskScheduler rebuild_pool(1);
   DynamicCodService::Options options = SmallOptions(10.0);
   options.async_rebuild = true;
-  options.rebuild_pool = &rebuild_pool;
+  options.scheduler = &rebuild_pool;
   options.max_rebuild_retries = 3;
   // A backoff far longer than the test: if Refresh waited it out, the test
   // would time out instead of passing.
@@ -639,10 +640,10 @@ TEST(DynamicServiceTest, RefreshAbsorbsScheduledRetry) {
 // backoff (here: a full minute).
 TEST(DynamicServiceTest, DestructorCancelsScheduledRetry) {
   World w = MakeWorld(19);
-  ThreadPool rebuild_pool(1);
+  TaskScheduler rebuild_pool(1);
   DynamicCodService::Options options = SmallOptions(10.0);
   options.async_rebuild = true;
-  options.rebuild_pool = &rebuild_pool;
+  options.scheduler = &rebuild_pool;
   options.max_rebuild_retries = 3;
   options.rebuild_backoff_initial_ms = 60000;
   options.rebuild_backoff_max_ms = 60000;

@@ -1,16 +1,14 @@
 // Determinism and allocation contracts of intra-query parallel RR sampling
 // (influence/rr_pool.h): results are bit-identical across parallel_sampling
-// off / 1-thread pool / 8-thread pool, batches stay thread-count
-// independent with a sampling pool attached, and the slab pool stops
+// off / 1-worker scheduler / 8-worker scheduler, batches stay thread-count
+// independent with a sampling scheduler attached, and the slab pool stops
 // allocating once warmed.
 
-#include <condition_variable>
-#include <mutex>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "core/engine_core.h"
 #include "core/query_batch.h"
 #include "core/query_workspace.h"
@@ -71,13 +69,13 @@ TEST(ParallelSamplingTest, QueryBitIdenticalAcrossSamplingModes) {
   EngineCore core(w.graph, w.attrs, options);
   core.BuildHimorParallel(/*seed=*/7, /*num_threads=*/2);
 
-  ThreadPool pool1(1);
-  ThreadPool pool8(8);
+  TaskScheduler sched1(1);
+  TaskScheduler sched8(8);
   QueryWorkspace ws_off(core, 0);
   QueryWorkspace ws_one(core, 0);
-  ws_one.SetSamplingPool(&pool1);
+  ws_one.SetSamplingPool(&sched1);
   QueryWorkspace ws_eight(core, 0);
-  ws_eight.SetSamplingPool(&pool8);
+  ws_eight.SetSamplingPool(&sched8);
 
   const std::vector<QuerySpec> specs = MakeVariantSpecs(w, 20);
   for (size_t i = 0; i < specs.size(); ++i) {
@@ -102,7 +100,8 @@ TEST(ParallelSamplingTest, QueryBitIdenticalAcrossSamplingModes) {
         << "spec " << i;
     EXPECT_EQ(off.stats.parallel_chunks, 0u);
     if (spec.variant == CodVariant::kCodU) {
-      // A sampled variant with a multi-thread pool actually went parallel.
+      // A sampled variant with a multi-worker scheduler actually went
+      // parallel.
       EXPECT_GT(eight.stats.parallel_chunks, 1u) << "spec " << i;
     }
   }
@@ -125,7 +124,7 @@ TEST(ParallelSamplingTest, EvaluateConsumesExactlyOneDrawPerCall) {
   EXPECT_EQ(used.Next(), skipped.Next());
 }
 
-TEST(ParallelSamplingTest, BatchBitIdenticalAcrossThreadCountsWithPool) {
+TEST(ParallelSamplingTest, BatchBitIdenticalAcrossThreadCountsWithScheduler) {
   const World w = MakeWorld(3);
   EngineOptions options;
   options.theta = 6;
@@ -134,17 +133,17 @@ TEST(ParallelSamplingTest, BatchBitIdenticalAcrossThreadCountsWithPool) {
   const std::vector<QuerySpec> specs = MakeVariantSpecs(w, 16);
   const uint64_t batch_seed = 42;
 
-  ThreadPool reference_pool(1);
+  TaskScheduler reference_sched(1);
   const std::vector<CodResult> reference =
-      RunQueryBatch(core, specs, reference_pool, batch_seed);
+      RunQueryBatch(core, specs, reference_sched, batch_seed);
 
-  ThreadPool sampling_pool(2);
+  TaskScheduler sampling_sched(2);
   for (const size_t batch_threads : {1u, 3u}) {
-    ThreadPool pool(batch_threads);
+    TaskScheduler sched(batch_threads);
     BatchOptions bo;
-    bo.sampling_pool = &sampling_pool;
+    bo.sampling_pool = &sampling_sched;
     const std::vector<CodResult> got =
-        RunQueryBatch(core, specs, pool, batch_seed, bo);
+        RunQueryBatch(core, specs, sched, batch_seed, bo);
     ASSERT_EQ(got.size(), reference.size());
     for (size_t i = 0; i < got.size(); ++i) {
       EXPECT_TRUE(SameResult(reference[i], got[i]))
@@ -153,19 +152,27 @@ TEST(ParallelSamplingTest, BatchBitIdenticalAcrossThreadCountsWithPool) {
     }
   }
 
-  // Handing the batch pool itself as the sampling pool is safe: workers
-  // detect themselves and sample inline, bit-identically.
-  ThreadPool shared(2);
+  // Handing the batch scheduler itself as the sampling scheduler is the
+  // normal sharing pattern: sampling chunks are interactive tasks whose
+  // group wait helps inline, so nothing deadlocks and results stay
+  // bit-identical.
+  TaskScheduler shared(2);
   BatchOptions self;
   self.sampling_pool = &shared;
-  const std::vector<CodResult> inline_fallback =
+  const std::vector<CodResult> shared_results =
       RunQueryBatch(core, specs, shared, batch_seed, self);
-  for (size_t i = 0; i < inline_fallback.size(); ++i) {
-    EXPECT_TRUE(SameResult(reference[i], inline_fallback[i])) << "i=" << i;
+  for (size_t i = 0; i < shared_results.size(); ++i) {
+    EXPECT_TRUE(SameResult(reference[i], shared_results[i])) << "i=" << i;
   }
 }
 
-TEST(ParallelSamplingTest, InlineFallbackOnPoolWorkerMatchesSerial) {
+TEST(ParallelSamplingTest, EvaluateOnWorkerThreadMatchesSerial) {
+  // Evaluating from inside a scheduler worker, handing that same scheduler
+  // as the sampling scheduler, must produce bit-identical results to a
+  // plain serial evaluation. The old flat pool handled this case by
+  // detecting the worker thread and silently sampling inline; the
+  // scheduler instead runs the chunks for real (the group wait helps
+  // inline), so the parallel path is exercised, not skipped.
   const World w = MakeWorld(4);
   EngineOptions options;
   options.theta = 6;
@@ -177,31 +184,28 @@ TEST(ParallelSamplingTest, InlineFallbackOnPoolWorkerMatchesSerial) {
   const ChainEvalOutcome serial =
       serial_eval.Evaluate(chain, /*q=*/1, /*k=*/5, serial_rng);
 
-  ThreadPool pool(2);
-  CompressedEvaluator worker_eval(core.model(), options.theta);
-  ChainEvalOutcome on_worker;
-  bool fallback = false;
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  pool.Submit([&] {
-    Rng rng(11);
-    on_worker =
-        worker_eval.Evaluate(chain, /*q=*/1, /*k=*/5, rng, Budget{}, &pool);
-    fallback = worker_eval.last_inline_fallback();
-    std::lock_guard<std::mutex> lock(mu);
-    done = true;
-    cv.notify_all();
-  });
-  {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return done; });
-  }
+  for (const size_t workers : {1u, 2u}) {
+    TaskScheduler sched(workers);
+    CompressedEvaluator worker_eval(core.model(), options.theta);
+    ChainEvalOutcome on_worker;
+    TaskGroup group(sched);
+    sched.Submit(TaskPriority::kInteractive, group, [&] {
+      Rng rng(11);
+      on_worker =
+          worker_eval.Evaluate(chain, /*q=*/1, /*k=*/5, rng, Budget{}, &sched);
+    });
+    group.Wait();
 
-  EXPECT_TRUE(fallback);
-  EXPECT_EQ(worker_eval.last_parallel_chunks(), 0u);
-  EXPECT_EQ(serial.rank_per_level, on_worker.rank_per_level);
-  EXPECT_EQ(serial.best_level, on_worker.best_level);
+    if (workers > 1) {
+      EXPECT_GT(worker_eval.last_parallel_chunks(), 0u);
+    } else {
+      EXPECT_EQ(worker_eval.last_parallel_chunks(), 0u);
+    }
+    EXPECT_EQ(serial.rank_per_level, on_worker.rank_per_level)
+        << "workers=" << workers;
+    EXPECT_EQ(serial.best_level, on_worker.best_level)
+        << "workers=" << workers;
+  }
 }
 
 TEST(ParallelSamplingTest, SlabPoolStopsGrowingAfterWarmup) {
@@ -209,9 +213,9 @@ TEST(ParallelSamplingTest, SlabPoolStopsGrowingAfterWarmup) {
   EngineOptions options;
   options.theta = 6;
   const EngineCore core(w.graph, w.attrs, options);
-  ThreadPool pool(2);
+  TaskScheduler sched(2);
   QueryWorkspace ws(core, 0);
-  ws.SetSamplingPool(&pool);
+  ws.SetSamplingPool(&sched);
 
   QuerySpec spec;
   spec.variant = CodVariant::kCodU;
@@ -252,7 +256,7 @@ TEST(ParallelSamplingTest, ExpiredBudgetMidPoolLeavesWorkspaceReusable) {
   EngineOptions options;
   options.theta = 6;
   const EngineCore core(w.graph, w.attrs, options);
-  ThreadPool pool(2);
+  TaskScheduler sched(2);
 
   QuerySpec spec;
   spec.variant = CodVariant::kCodU;
@@ -260,7 +264,7 @@ TEST(ParallelSamplingTest, ExpiredBudgetMidPoolLeavesWorkspaceReusable) {
   spec.k = 5;
 
   QueryWorkspace ws(core, 0);
-  ws.SetSamplingPool(&pool);
+  ws.SetSamplingPool(&sched);
   // Sub-nanosecond budget: deterministically expires at the first poll in
   // every sampling chunk.
   ws.SetBudget(Budget{Deadline::After(1e-12)});

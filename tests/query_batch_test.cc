@@ -7,7 +7,7 @@
 
 #include "common/failpoint.h"
 #include "common/metrics.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "core/cod_engine.h"
 #include "core/query_workspace.h"
 #include "graph/generators.h"
@@ -89,7 +89,7 @@ class QueryBatchTest : public ::testing::Test {
 };
 
 TEST_F(QueryBatchTest, MatchesSequentialRerunPerQuery) {
-  ThreadPool pool(3);
+  TaskScheduler pool(3);
   const std::vector<CodResult> batch =
       engine_->QueryBatch(specs_, pool, /*batch_seed=*/77);
   ASSERT_EQ(batch.size(), specs_.size());
@@ -107,20 +107,20 @@ TEST_F(QueryBatchTest, MatchesSequentialRerunPerQuery) {
 TEST_F(QueryBatchTest, BitIdenticalAcrossThreadCounts) {
   std::vector<std::vector<CodResult>> runs;
   for (const size_t threads : {1u, 2u, 4u, 8u}) {
-    ThreadPool pool(threads);
+    TaskScheduler pool(threads);
     runs.push_back(engine_->QueryBatch(specs_, pool, /*batch_seed=*/5));
   }
   for (size_t r = 1; r < runs.size(); ++r) {
     ASSERT_EQ(runs[r].size(), runs[0].size());
     for (size_t i = 0; i < runs[0].size(); ++i) {
       EXPECT_TRUE(SameResult(runs[r][i], runs[0][i]))
-          << "pool variant " << r << " spec " << i;
+          << "worker variant " << r << " spec " << i;
     }
   }
 }
 
 TEST_F(QueryBatchTest, DifferentBatchSeedsChangeSampling) {
-  ThreadPool pool(2);
+  TaskScheduler pool(2);
   const auto a = engine_->QueryBatch(specs_, pool, 1);
   const auto b = engine_->QueryBatch(specs_, pool, 2);
   // Sampled variants may legitimately flip some answers between seeds; the
@@ -134,7 +134,7 @@ TEST_F(QueryBatchTest, DifferentBatchSeedsChangeSampling) {
 }
 
 TEST_F(QueryBatchTest, DefaultKUsesEngineOptions) {
-  ThreadPool pool(2);
+  TaskScheduler pool(2);
   std::vector<QuerySpec> defaulted{{CodVariant::kCodU, 3, 0, {}}};
   std::vector<QuerySpec> explicit_k{
       {CodVariant::kCodU, 3, engine_->options().k, {}}};
@@ -144,12 +144,12 @@ TEST_F(QueryBatchTest, DefaultKUsesEngineOptions) {
 }
 
 TEST_F(QueryBatchTest, EmptyBatchReturnsEmpty) {
-  ThreadPool pool(2);
+  TaskScheduler pool(2);
   EXPECT_TRUE(engine_->QueryBatch({}, pool, 1).empty());
 }
 
 TEST_F(QueryBatchTest, DefaultOptionsMatchOptionFreeOverload) {
-  ThreadPool pool(3);
+  TaskScheduler pool(3);
   const auto plain = engine_->QueryBatch(specs_, pool, 42);
   const auto with_options = engine_->QueryBatch(specs_, pool, 42,
                                                 BatchOptions{});
@@ -169,7 +169,7 @@ TEST_F(QueryBatchTest, AggressiveBudgetMixesFullAndDegradedDeterministically) {
   options.default_budget_seconds = 1e-12;
   std::vector<std::vector<CodResult>> runs;
   for (const size_t threads : {1u, 2u, 4u}) {
-    ThreadPool pool(threads);
+    TaskScheduler pool(threads);
     runs.push_back(engine_->QueryBatch(specs_, pool, /*batch_seed=*/7,
                                        options));
   }
@@ -177,7 +177,7 @@ TEST_F(QueryBatchTest, AggressiveBudgetMixesFullAndDegradedDeterministically) {
     ASSERT_EQ(runs[r].size(), runs[0].size());
     for (size_t i = 0; i < runs[0].size(); ++i) {
       EXPECT_TRUE(SameResult(runs[r][i], runs[0][i]))
-          << "pool variant " << r << " spec " << i;
+          << "worker variant " << r << " spec " << i;
     }
   }
   size_t full = 0;
@@ -214,7 +214,7 @@ TEST_F(QueryBatchTest, DegradedAnswerMatchesDirectIndexedQuery) {
   ASSERT_LT(codl, specs_.size());
   BatchOptions options;
   options.default_budget_seconds = 1e-12;
-  ThreadPool pool(2);
+  TaskScheduler pool(2);
   const auto results = engine_->QueryBatch(specs_, pool, 13, options);
   const CodResult& got = results[codl];
   ASSERT_EQ(got.code, StatusCode::kOk);
@@ -232,7 +232,7 @@ TEST_F(QueryBatchTest, NoDegradationReturnsTimeout) {
   BatchOptions options;
   options.default_budget_seconds = 1e-12;
   options.allow_degradation = false;
-  ThreadPool pool(2);
+  TaskScheduler pool(2);
   const auto results = engine_->QueryBatch(specs_, pool, 21, options);
   for (size_t i = 0; i < results.size(); ++i) {
     if (specs_[i].variant == CodVariant::kCodUIndexed) {
@@ -259,7 +259,7 @@ TEST_F(QueryBatchTest, PerSpecBudgetOverridesDefault) {
   }
   ASSERT_LT(victim, specs.size());
   specs[victim].budget_seconds = 1e-12;
-  ThreadPool pool(2);
+  TaskScheduler pool(2);
   const auto results =
       engine_->QueryBatch(specs, pool, 31, BatchOptions{});
   for (size_t i = 0; i < results.size(); ++i) {
@@ -277,7 +277,7 @@ TEST_F(QueryBatchTest, BatchDeadlineCapsEveryQuery) {
   // An already-expired batch deadline beats unlimited per-query budgets.
   BatchOptions options;
   options.batch_deadline = Deadline::After(0.0);
-  ThreadPool pool(3);
+  TaskScheduler pool(3);
   const auto results = engine_->QueryBatch(specs_, pool, 17, options);
   for (size_t i = 0; i < results.size(); ++i) {
     if (specs_[i].variant == CodVariant::kCodUIndexed) {
@@ -293,7 +293,7 @@ TEST_F(QueryBatchTest, WorkerFailpointMarksSlotsCancelled) {
   // A "dying" worker marks its slots cancelled instead of crashing or
   // hanging the batch. One worker thread makes the hit order deterministic.
   ScopedFailpoint fp("query_batch/worker", /*count=*/2);
-  ThreadPool pool(1);
+  TaskScheduler pool(1);
   const auto results = engine_->QueryBatch(specs_, pool, 19);
   ASSERT_EQ(results.size(), specs_.size());
   for (size_t i = 0; i < results.size(); ++i) {
@@ -313,7 +313,7 @@ TEST_F(QueryBatchTest, BatchStatsMatchPerResultTallies) {
   // returned results — same outcomes, same per-rung degradation histogram.
   BatchOptions options;
   options.default_budget_seconds = 1e-12;  // every sampled variant degrades
-  ThreadPool pool(3);
+  TaskScheduler pool(3);
   BatchStats stats;
   const std::vector<CodResult> results = RunQueryBatch(
       *engine_->core(), specs_, pool, /*batch_seed=*/7, options, &stats);
@@ -374,7 +374,7 @@ TEST_F(QueryBatchTest, BatchStatsMatchPerResultTallies) {
 }
 
 TEST_F(QueryBatchTest, UnconstrainedBatchStatsAreAllServedOk) {
-  ThreadPool pool(2);
+  TaskScheduler pool(2);
   BatchStats stats;
   const std::vector<CodResult> results = RunQueryBatch(
       *engine_->core(), specs_, pool, /*batch_seed=*/3, BatchOptions{},
@@ -388,14 +388,84 @@ TEST_F(QueryBatchTest, UnconstrainedBatchStatsAreAllServedOk) {
   }
 }
 
+TEST_F(QueryBatchTest, BatchFromWorkerThreadMatchesSolo) {
+  // Running a whole batch from INSIDE a scheduler task must work (the group
+  // wait helps inline instead of parking the only worker) and produce the
+  // same results as a batch driven from outside. One worker makes this the
+  // hardest case: the waiting task and all its chunks share a single thread.
+  for (const size_t workers : {1u, 3u}) {
+    TaskScheduler pool(workers);
+    const auto solo = engine_->QueryBatch(specs_, pool, 33);
+    std::vector<CodResult> nested;
+    TaskGroup group(pool);
+    pool.Submit(TaskPriority::kRebuild, group,
+                [&] { nested = engine_->QueryBatch(specs_, pool, 33); });
+    group.Wait();
+    ASSERT_EQ(nested.size(), solo.size()) << "workers=" << workers;
+    for (size_t i = 0; i < solo.size(); ++i) {
+      EXPECT_TRUE(SameResult(nested[i], solo[i]))
+          << "workers=" << workers << " spec " << i;
+    }
+  }
+}
+
+TEST_F(QueryBatchTest, AdmissionShedViaFailpointIsDeterministic) {
+  // An overloaded scheduler sheds the batch one ladder rung. The failpoint
+  // forces the shed verdict deterministically; the shed batch must be
+  // bit-identical to an unshed batch started at shed_rungs = 1, and every
+  // shed answer must reproduce from RunQuerySpecWithBudget with the same
+  // effective options.
+  TaskScheduler pool(2);
+  BatchOptions start_degraded;
+  start_degraded.shed_rungs = 1;
+  const auto expected =
+      engine_->QueryBatch(specs_, pool, /*batch_seed=*/55, start_degraded);
+
+  ScopedFailpoint fp("scheduler/admission", /*count=*/1);
+  BatchStats stats;
+  const auto shed = RunQueryBatch(*engine_->core(), specs_, pool,
+                                  /*batch_seed=*/55, BatchOptions{}, &stats);
+  EXPECT_TRUE(stats.shed);
+  ASSERT_EQ(shed.size(), expected.size());
+
+  const std::shared_ptr<const EngineCore> core = engine_->core();
+  QueryWorkspace ws(*core, 0);
+  for (size_t i = 0; i < shed.size(); ++i) {
+    EXPECT_TRUE(SameResult(shed[i], expected[i])) << "spec " << i;
+    EXPECT_EQ(shed[i].code, StatusCode::kOk) << "spec " << i;
+    // Shed answers from a deeper rung are tagged degraded; index-only specs
+    // have a single-rung ladder and stay undegraded.
+    if (specs_[i].variant == CodVariant::kCodUIndexed) {
+      EXPECT_FALSE(shed[i].degraded) << "spec " << i;
+    } else {
+      EXPECT_TRUE(shed[i].degraded) << "spec " << i;
+    }
+    BatchOptions effective;
+    effective.shed_rungs = 1;
+    const CodResult want = RunQuerySpecWithBudget(
+        *core, specs_[i], ws, effective, BatchQuerySeed(55, i));
+    EXPECT_TRUE(SameResult(shed[i], want)) << "spec " << i;
+  }
+
+  // The failpoint was consumed: the next batch is served at full fidelity.
+  BatchStats clean;
+  const auto after = RunQueryBatch(*engine_->core(), specs_, pool,
+                                   /*batch_seed=*/55, BatchOptions{}, &clean);
+  EXPECT_FALSE(clean.shed);
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_FALSE(after[i].degraded) << "spec " << i;
+  }
+}
+
 TEST_F(QueryBatchTest, ConcurrentBatchesShareOnePool) {
-  ThreadPool pool(4);
+  TaskScheduler pool(4);
   const auto solo_a = engine_->QueryBatch(specs_, pool, 11);
   const auto solo_b = engine_->QueryBatch(specs_, pool, 22);
 
   std::vector<CodResult> concurrent_a;
   std::vector<CodResult> concurrent_b;
-  // Two caller threads block on their own latches against the same pool.
+  // Two caller threads block on their own TaskGroups against the same
+  // scheduler.
   std::thread ta(
       [&] { concurrent_a = engine_->QueryBatch(specs_, pool, 11); });
   std::thread tb(

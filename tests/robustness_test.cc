@@ -17,7 +17,7 @@
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/random.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "core/cod_engine.h"
 #include "core/himor.h"
 #include "core/independent_eval.h"
@@ -232,7 +232,7 @@ TEST_P(BudgetFuzzTest, HostileBudgetsNeverCrashOrCorrupt) {
   Rng rng(GetParam());
   BudgetWorld w = MakeBudgetWorld(GetParam() + 40);
   const std::vector<QuerySpec> base = MakeVariantSpecs(w.attrs, 15);
-  ThreadPool pool(4);
+  TaskScheduler pool(4);
   const double budgets[] = {0.0, 1e-12, 1e-7, 1e-5, 1e-3};
 
   for (int round = 0; round < 4; ++round) {
@@ -282,10 +282,10 @@ TEST_P(RandomFailpointFuzzTest, QueriesRespectTaxonomyUnderRandomFaults) {
   Rng rng(GetParam());
   BudgetWorld w = MakeBudgetWorld(GetParam() + 90);
   const std::vector<QuerySpec> base = MakeVariantSpecs(w.attrs, 15);
-  ThreadPool pool(4);
+  TaskScheduler pool(4);
   // A separate sampling pool puts the "influence/parallel_pool" site (the
   // parallel chunk loops) inside the fuzz blast radius too.
-  ThreadPool sampling_pool(2);
+  TaskScheduler sampling_pool(2);
 
   {
     ScopedRandomFailpoints fuzz(FuzzSeed(GetParam()),
@@ -351,7 +351,7 @@ TEST(CancellationTest, MidPoolFailpointCancelsAndLeavesWorkspaceReusable) {
   // Arm the parallel-sampling chunk site: the pool aborts mid-construction
   // with kCancelled, and the workspace (slab pool included) stays reusable.
   BudgetWorld w = MakeBudgetWorld(52);
-  ThreadPool sampling_pool(2);
+  TaskScheduler sampling_pool(2);
   QueryWorkspace ws = w.engine->MakeWorkspace(/*seed=*/0);
   ws.SetSamplingPool(&sampling_pool);
 
@@ -385,7 +385,7 @@ TEST(CancellationTest, MidPoolFailpointCancelsAndLeavesWorkspaceReusable) {
 TEST(CancellationTest, PreCancelledBatchSkipsAllSampledWork) {
   BudgetWorld w = MakeBudgetWorld(50);
   const std::vector<QuerySpec> specs = MakeVariantSpecs(w.attrs, 10);
-  ThreadPool pool(3);
+  TaskScheduler pool(3);
   CancelToken token;
   token.Cancel();  // before the batch even starts
   BatchOptions options;
@@ -411,7 +411,7 @@ TEST(CancellationTest, MidBatchCancelReturnsPromptly) {
   BudgetWorld w = MakeBudgetWorld(51);
   // A batch big enough to still be running when the cancel lands.
   const std::vector<QuerySpec> specs = MakeVariantSpecs(w.attrs, 200);
-  ThreadPool pool(2);
+  TaskScheduler pool(2);
   CancelToken token;
   BatchOptions options;
   options.cancel = &token;
@@ -568,25 +568,6 @@ TEST(HimorBudgetTest, BuildFailpointFailsTheBuild) {
       HimorIndex::Build(m, d, lca, 5, retry_rng, 16, Budget{});
   EXPECT_TRUE(retry.ok());
 }
-
-#if !defined(NDEBUG) && GTEST_HAS_DEATH_TEST
-TEST(QueryBatchDeathTest, BatchFromOwnPoolWorkerFailsFast) {
-  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
-  BudgetWorld w = MakeBudgetWorld(80);
-  const std::vector<QuerySpec> specs = MakeVariantSpecs(w.attrs, 4);
-  EXPECT_DEATH(
-      {
-        ThreadPool pool(2);
-        pool.Submit([&] {
-          // Deadlock-prone misuse: the blocking caller occupies the very
-          // worker slot its chunk tasks need.
-          (void)w.engine->QueryBatch(specs, pool, /*batch_seed=*/1);
-        });
-        pool.WaitIdle();
-      },
-      "IsWorkerThread");
-}
-#endif  // !NDEBUG && GTEST_HAS_DEATH_TEST
 
 }  // namespace
 }  // namespace cod

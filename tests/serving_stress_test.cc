@@ -1,5 +1,5 @@
 // Satellite stress test for the RCU-style serving stack: several reader
-// threads fan QueryBatch workloads across a shared pool while a writer
+// threads fan QueryBatch workloads across a shared scheduler while a writer
 // thread ingests edge updates and kicks off background rebuilds. Readers
 // pin a Snapshot() per iteration, so every answer must be bit-consistent
 // with a sequential rerun against that same pinned epoch — a torn read or
@@ -16,7 +16,7 @@
 
 #include "common/failpoint.h"
 #include "common/metrics.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "core/dynamic_service.h"
 #include "core/query_batch.h"
 #include "core/query_workspace.h"
@@ -100,15 +100,15 @@ TEST(ServingStressTest, BatchQueriesRaceBackgroundRebuilds) {
   const size_t num_nodes = w.attrs.NumNodes();
   const std::vector<QuerySpec> specs = MakeSpecs(w.attrs, 12);
 
-  ThreadPool rebuild_pool(1);
+  TaskScheduler rebuild_pool(1);
   DynamicCodService::Options options;
   options.rebuild_threshold = 100.0;  // writer refreshes explicitly
   options.seed = 3;
   options.async_rebuild = true;
-  options.rebuild_pool = &rebuild_pool;
+  options.scheduler = &rebuild_pool;
   DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
 
-  ThreadPool query_pool(4);
+  TaskScheduler query_pool(4);
   constexpr int kReaders = 4;
   constexpr int kIterations = 6;
   std::atomic<bool> stop{false};
@@ -196,15 +196,15 @@ TEST(ServingStressTest, ConcurrentScrapesRaceServingAndRebuilds) {
   const size_t num_nodes = w.attrs.NumNodes();
   const std::vector<QuerySpec> specs = MakeSpecs(w.attrs, 10);
 
-  ThreadPool rebuild_pool(1);
+  TaskScheduler rebuild_pool(1);
   DynamicCodService::Options options;
   options.rebuild_threshold = 100.0;
   options.seed = 7;
   options.async_rebuild = true;
-  options.rebuild_pool = &rebuild_pool;
+  options.scheduler = &rebuild_pool;
   DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
 
-  ThreadPool query_pool(3);
+  TaskScheduler query_pool(3);
   std::atomic<bool> stop{false};
   std::atomic<int> scrape_failures{0};
 
@@ -261,7 +261,7 @@ TEST(ServingStressTest, PinnedSnapshotStableAcrossRebuilds) {
   options.seed = 5;
   DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
 
-  ThreadPool pool(2);
+  TaskScheduler pool(2);
   const DynamicCodService::EpochSnapshot pinned = service.Snapshot();
   const std::vector<CodResult> before =
       RunQueryBatch(*pinned.core, specs, pool, 17);
@@ -294,19 +294,19 @@ TEST_P(RandomFailpointStressTest, ServingSurvivesRandomFaults) {
   const size_t num_nodes = w.attrs.NumNodes();
   const std::vector<QuerySpec> specs = MakeSpecs(w.attrs, 10);
 
-  ThreadPool rebuild_pool(1);
+  TaskScheduler rebuild_pool(1);
   DynamicCodService::Options options;
   options.rebuild_threshold = 100.0;
   options.seed = 9;
   options.async_rebuild = true;
-  options.rebuild_pool = &rebuild_pool;
+  options.scheduler = &rebuild_pool;
   // Fast, bounded retries so fuzz-failed rebuilds resolve within the test.
   options.max_rebuild_retries = 2;
   options.rebuild_backoff_initial_ms = 5;
   options.rebuild_backoff_max_ms = 20;
   DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
 
-  ThreadPool query_pool(3);
+  TaskScheduler query_pool(3);
   std::atomic<bool> stop{false};
   std::atomic<int> violations{0};
 

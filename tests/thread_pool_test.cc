@@ -1,3 +1,10 @@
+// Coverage for the deprecated ThreadPool compatibility adapter (and the
+// parallel HIMOR build, which predates the scheduler and keeps its tests
+// here). The adapter must preserve the old Submit/WaitIdle contract on top
+// of TaskScheduler until out-of-tree callers finish migrating; these tests
+// are the only sanctioned users of the deprecated alias, so the warning is
+// silenced file-wide.
+
 #include "common/thread_pool.h"
 
 #include <atomic>
@@ -10,10 +17,12 @@
 #include "hierarchy/agglomerative.h"
 #include "hierarchy/lca.h"
 
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace cod {
 namespace {
 
-TEST(ThreadPoolTest, RunsEveryTask) {
+TEST(ThreadPoolAdapterTest, RunsEveryTask) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
   for (int i = 0; i < 1000; ++i) {
@@ -23,13 +32,13 @@ TEST(ThreadPoolTest, RunsEveryTask) {
   EXPECT_EQ(counter.load(), 1000);
 }
 
-TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+TEST(ThreadPoolAdapterTest, WaitIdleOnEmptyPoolReturnsImmediately) {
   ThreadPool pool(2);
   pool.WaitIdle();
   SUCCEED();
 }
 
-TEST(ThreadPoolTest, ReusableAcrossWaves) {
+TEST(ThreadPoolAdapterTest, ReusableAcrossWaves) {
   ThreadPool pool(3);
   std::atomic<int> counter{0};
   for (int wave = 0; wave < 5; ++wave) {
@@ -41,7 +50,7 @@ TEST(ThreadPoolTest, ReusableAcrossWaves) {
   }
 }
 
-TEST(ThreadPoolTest, SingleThreadWorks) {
+TEST(ThreadPoolAdapterTest, SingleThreadWorks) {
   ThreadPool pool(1);
   std::atomic<int> counter{0};
   for (int i = 0; i < 50; ++i) {
@@ -49,6 +58,26 @@ TEST(ThreadPoolTest, SingleThreadWorks) {
   }
   pool.WaitIdle();
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolAdapterTest, ConvertsToSchedulerForMigratedApis) {
+  ThreadPool pool(2);
+  TaskScheduler& sched = pool;
+  EXPECT_EQ(&sched, &pool.scheduler());
+  EXPECT_EQ(sched.num_threads(), 2u);
+
+  // Work submitted directly on the underlying scheduler composes with the
+  // adapter's own WaitIdle group.
+  std::atomic<int> counter{0};
+  TaskGroup group(sched);
+  for (int i = 0; i < 20; ++i) {
+    sched.Submit(TaskPriority::kInteractive, group,
+                 [&counter] { counter.fetch_add(1); });
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  group.Wait();
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 40);
 }
 
 class ParallelHimorTest : public ::testing::Test {
