@@ -10,6 +10,8 @@
 //   sched_overload  interactive queue-to-start latency under rebuild load,
 //                   flat FIFO pool (baseline, hand-rolled below) vs the
 //                   priority TaskScheduler
+//   snapshot_restart  time-to-first-query: cold epoch rebuild vs warm
+//                     restore from a durable epoch snapshot
 // With --bench-json the gbench suite is skipped; without it the binary
 // behaves as a plain gbench runner.
 
@@ -17,7 +19,9 @@
 
 #include <condition_variable>
 #include <deque>
+#include <filesystem>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -27,6 +31,7 @@
 #include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "core/cod_engine.h"
+#include "core/dynamic_service.h"
 #include "eval/datasets.h"
 #include "eval/query_gen.h"
 #include "hierarchy/lca.h"
@@ -221,10 +226,9 @@ std::vector<bench::BenchJsonEntry> RunCanonicalRrPoolSuite(bool smoke) {
 // baseline — the acceptance criterion of the scheduler PR.
 // ---------------------------------------------------------------------------
 
-// Minimal single-queue FIFO pool, equivalent to the pre-scheduler
-// common/thread_pool.h. Local to this bench on purpose: the production
-// adapter now routes through TaskScheduler, which would measure the wrong
-// thing.
+// Minimal single-queue FIFO pool, equivalent to the retired pre-scheduler
+// ThreadPool. Local to this bench on purpose: production code routes
+// through TaskScheduler, which would measure the wrong thing.
 class FifoPool {
  public:
   explicit FifoPool(size_t num_threads) {
@@ -356,6 +360,71 @@ std::vector<bench::BenchJsonEntry> RunSchedOverloadSuite(bool smoke) {
   return entries;
 }
 
+// ---------------------------------------------------------------------------
+// snapshot_restart: time-to-first-query after a process restart.
+//
+// cold_rebuild constructs the service from the raw graph (hierarchy +
+// HIMOR built from scratch); warm_restore recovers it from the durable
+// epoch snapshot written by the cold run. Both clocks stop after the first
+// CODL answer, so the numbers are the restart gap an operator would see.
+// ---------------------------------------------------------------------------
+std::vector<bench::BenchJsonEntry> RunSnapshotRestartSuite(bool smoke) {
+  const size_t reps = smoke ? 2 : 5;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "cod_bench_snapshots")
+          .string();
+  DynamicCodService::Options options;
+  options.seed = 5;
+  options.snapshot_dir = dir;
+
+  const auto first_query = [](DynamicCodService& service) {
+    Rng rng(3);
+    const auto attrs = service.engine().attributes().AttributesOf(0);
+    COD_CHECK(!attrs.empty());
+    (void)service.QueryCodL(0, attrs[0], /*k=*/5, rng);
+  };
+
+  std::vector<double> cold_times;
+  std::vector<double> warm_times;
+  WallTimer timer;
+  for (size_t r = 0; r < reps; ++r) {
+    std::filesystem::remove_all(dir);
+    Result<AttributedGraph> data = MakeDataset("cora-sim");
+    COD_CHECK(data.ok());
+    timer.Restart();
+    auto service = std::make_unique<DynamicCodService>(
+        std::move(data->graph), std::move(data->attributes), options);
+    first_query(*service);
+    cold_times.push_back(timer.ElapsedSeconds());
+    service.reset();  // the snapshot written at publish survives
+
+    timer.Restart();
+    Result<std::unique_ptr<DynamicCodService>> recovered =
+        DynamicCodService::Recover(options);
+    COD_CHECK(recovered.ok());
+    first_query(**recovered);
+    warm_times.push_back(timer.ElapsedSeconds());
+  }
+  std::filesystem::remove_all(dir);
+
+  std::vector<bench::BenchJsonEntry> entries;
+  for (const auto& [config, times] :
+       {std::pair<const char*, std::vector<double>&>{"cold_rebuild",
+                                                     cold_times},
+        {"warm_restore", warm_times}}) {
+    bench::BenchJsonEntry e;
+    e.name = "snapshot_restart";
+    e.config = config;
+    e.samples = times.size();
+    e.p50_seconds = bench::Quantile(times, 0.5);
+    e.p95_seconds = bench::Quantile(times, 0.95);
+    e.p99_seconds = bench::Quantile(times, 0.99);
+    e.samples_per_sec = e.p50_seconds > 0.0 ? 1.0 / e.p50_seconds : 0.0;
+    entries.push_back(e);
+  }
+  return entries;
+}
+
 }  // namespace
 }  // namespace cod
 
@@ -381,6 +450,9 @@ int main(int argc, char** argv) {
     const std::vector<cod::bench::BenchJsonEntry> overload =
         cod::RunSchedOverloadSuite(smoke);
     entries.insert(entries.end(), overload.begin(), overload.end());
+    const std::vector<cod::bench::BenchJsonEntry> restart =
+        cod::RunSnapshotRestartSuite(smoke);
+    entries.insert(entries.end(), restart.begin(), restart.end());
     return cod::bench::WriteBenchJson(bench_json, entries);
   }
   int rest_argc = static_cast<int>(rest.size());

@@ -31,7 +31,14 @@
 // inside a parallel sampling chunk — mid-pool cancellation),
 // "engine_core/codr_cache" (CODR hierarchy-cache first-touch build),
 // "scheduler/admission" (TaskScheduler::ShouldShed — forces the shed
-// verdict, tripping the batch degradation ladder deterministically).
+// verdict, tripping the batch degradation ladder deterministically),
+// "storage/snapshot_write" (epoch snapshot encode/open, before any byte
+// reaches disk), "storage/snapshot_fsync" (between write and fsync — a
+// crash window: the temp file is discarded, the old snapshot survives),
+// "storage/snapshot_load" (snapshot file read during recovery — transient
+// I/O error, NOT corruption, so the file is skipped without quarantine).
+// The full site inventory with trip semantics is tabulated in
+// docs/architecture.md.
 
 #ifndef COD_COMMON_FAILPOINT_H_
 #define COD_COMMON_FAILPOINT_H_

@@ -6,6 +6,7 @@
 
 #include "common/failpoint.h"
 #include "core/query_workspace.h"
+#include "storage/snapshot_store.h"
 
 namespace cod {
 namespace {
@@ -72,9 +73,12 @@ DynamicCodService::DynamicCodService(Graph initial_graph,
       options_(options),
       num_nodes_(initial_graph.NumNodes()) {
   COD_CHECK_EQ(num_nodes_, attrs_->NumNodes());
-  if (options_.async_rebuild) {
-    COD_CHECK(options_.scheduler != nullptr);
-    sched_group_.emplace(*options_.scheduler);
+  if (options_.async_rebuild) COD_CHECK(options_.scheduler != nullptr);
+  if (options_.scheduler != nullptr) sched_group_.emplace(*options_.scheduler);
+  if (!options_.snapshot_dir.empty()) {
+    snapshot_store_ = std::make_unique<SnapshotStore>(
+        SnapshotStore::Options{options_.snapshot_dir,
+                               options_.snapshots_keep});
   }
   for (EdgeId e = 0; e < initial_graph.NumEdges(); ++e) {
     const auto [u, v] = initial_graph.Endpoints(e);
@@ -84,7 +88,42 @@ DynamicCodService::DynamicCodService(Graph initial_graph,
   // to fall back to, a failure here is fatal (arm rebuild failpoints only
   // after construction).
   COD_CHECK(Refresh().ok());
+  RegisterGauges();
+}
 
+DynamicCodService::DynamicCodService(
+    RecoveredTag, std::shared_ptr<const AttributeTable> attrs,
+    const Options& options, std::shared_ptr<const EngineCore> core,
+    std::unique_ptr<SnapshotStore> store, uint64_t epoch,
+    uint64_t build_index, bool degraded)
+    : attrs_(std::move(attrs)),
+      options_(options),
+      num_nodes_(core->graph().NumNodes()),
+      snapshot_store_(std::move(store)),
+      last_snapshot_epoch_(epoch) {
+  COD_CHECK_EQ(num_nodes_, attrs_->NumNodes());
+  if (options_.async_rebuild) COD_CHECK(options_.scheduler != nullptr);
+  if (options_.scheduler != nullptr) sched_group_.emplace(*options_.scheduler);
+  const Graph& g = core->graph();
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    edges_[EdgeKey(u, v, num_nodes_)] = g.Weight(e);
+  }
+  snapshot_edges_ = edges_.size();
+  // Rebuild tickets continue AFTER the snapshot's: replaying the same
+  // update sequence against the recovered service draws the same per-ticket
+  // seed streams the original would have.
+  builds_started_ = build_index + 1;
+  auto first = std::make_shared<Epoch>();
+  first->epoch = epoch;
+  first->degraded = degraded;
+  first->core = std::move(core);
+  published_.store(std::move(first));
+  last_publish_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  RegisterGauges();
+}
+
+void DynamicCodService::RegisterGauges() {
   // Register the scrape-time gauges only once the first epoch is live, so a
   // scrape can never observe a half-constructed service.
   epoch_gauge_.emplace("cod_service_epoch", [this] {
@@ -102,7 +141,38 @@ DynamicCodService::DynamicCodService(Graph initial_graph,
   index_present_gauge_.emplace("cod_service_index_present", [this] {
     return published_.load()->core->index_present() ? 1.0 : 0.0;
   });
+}
 
+Result<std::unique_ptr<DynamicCodService>> DynamicCodService::Recover(
+    const Options& options) {
+  COD_CHECK(!options.snapshot_dir.empty());
+  auto store = std::make_unique<SnapshotStore>(
+      SnapshotStore::Options{options.snapshot_dir, options.snapshots_keep});
+  Result<SnapshotStore::LoadedSnapshot> loaded = store->LoadNewest();
+  if (!loaded.ok()) return loaded.status();
+  DecodedEpochSnapshot& snap = loaded->snapshot;
+  const EngineOptions& eng = options.engine;
+  if (snap.meta.seed != options.seed || snap.meta.engine_k != eng.k ||
+      snap.meta.engine_theta != eng.theta ||
+      snap.meta.himor_max_rank != eng.himor_max_rank ||
+      snap.meta.diffusion != static_cast<uint8_t>(eng.diffusion)) {
+    return Status::FailedPrecondition(
+        "snapshot " + loaded->path +
+        " was written under different service options (seed or engine "
+        "parameters); restoring it would change answers");
+  }
+  auto graph = std::make_shared<const Graph>(std::move(snap.graph));
+  auto attrs =
+      std::make_shared<const AttributeTable>(std::move(snap.attributes));
+  Result<std::unique_ptr<EngineCore>> core = EngineCore::FromPrebuilt(
+      graph, attrs, eng, std::move(*snap.hierarchy), std::move(snap.himor),
+      snap.meta.degraded);
+  if (!core.ok()) return core.status();
+  return std::unique_ptr<DynamicCodService>(new DynamicCodService(
+      RecoveredTag{}, std::move(attrs), options,
+      std::shared_ptr<const EngineCore>(std::move(core).value()),
+      std::move(store), snap.meta.epoch, snap.meta.build_index,
+      snap.meta.degraded));
 }
 
 DynamicCodService::~DynamicCodService() {
@@ -215,14 +285,57 @@ Result<DynamicCodService::EpochBuild> DynamicCodService::BuildEpochCore(
 }
 
 void DynamicCodService::PublishEpoch(std::shared_ptr<const EngineCore> core,
-                                     bool degraded) {
+                                     bool degraded, uint64_t build_index) {
   const std::shared_ptr<const Epoch> prev = published_.load();
   auto next = std::make_shared<Epoch>();
   next->epoch = (prev == nullptr ? 0 : prev->epoch) + 1;
   next->degraded = degraded;
-  next->core = std::move(core);
+  next->core = core;
+  const uint64_t epoch = next->epoch;
   published_.store(std::move(next));
   last_publish_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  // Queries are already being served from the new epoch; durability runs
+  // behind publication, never in front of it.
+  ScheduleSnapshot(epoch, build_index, degraded, std::move(core));
+}
+
+void DynamicCodService::ScheduleSnapshot(uint64_t epoch, uint64_t build_index,
+                                         bool degraded,
+                                         std::shared_ptr<const EngineCore>
+                                             core) {
+  if (snapshot_store_ == nullptr) return;
+  if (options_.scheduler != nullptr) {
+    // Maintenance priority: a snapshot must never delay interactive queries
+    // or the next rebuild. The task joins sched_group_, so the destructor
+    // waits it out; the captured core shared_ptr keeps the epoch alive even
+    // if a newer epoch retires it meanwhile.
+    options_.scheduler->Submit(
+        TaskPriority::kMaintenance, *sched_group_,
+        [this, epoch, build_index, degraded, core = std::move(core)] {
+          WriteSnapshotNow(epoch, build_index, degraded, *core);
+        });
+    return;
+  }
+  WriteSnapshotNow(epoch, build_index, degraded, *core);
+}
+
+void DynamicCodService::WriteSnapshotNow(uint64_t epoch, uint64_t build_index,
+                                         bool degraded,
+                                         const EngineCore& core) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  // A queued write for an epoch the disk already covers (a newer write ran
+  // first, or the epoch was itself restored from disk) is a no-op. A FAILED
+  // write is not retried until the next publish — the snapshot is a restart
+  // accelerator, and cod_snapshot_write_failures_total records the gap.
+  if (epoch <= last_snapshot_epoch_) return;
+  EpochSnapshotMeta meta;
+  meta.epoch = epoch;
+  meta.build_index = build_index;
+  meta.seed = options_.seed;
+  meta.degraded = degraded;
+  if (snapshot_store_->Write(meta, core).ok()) {
+    last_snapshot_epoch_ = epoch;
+  }
 }
 
 Status DynamicCodService::Refresh() {
@@ -260,7 +373,7 @@ Status DynamicCodService::Refresh() {
 
   Result<EpochBuild> built = BuildEpochCore(edges, build_index);
   if (built.ok()) {
-    PublishEpoch(built->core, built->degraded);
+    PublishEpoch(built->core, built->degraded, build_index);
   }
 
   // Notify under the lock: a waiter may destroy the service (and this cv)
@@ -327,7 +440,7 @@ void DynamicCodService::RunRebuildAttempt(EdgeMap edges, uint64_t build_index,
   }
   Result<EpochBuild> built = BuildEpochCore(edges, build_index);
   if (built.ok()) {
-    PublishEpoch(built->core, built->degraded);
+    PublishEpoch(built->core, built->degraded, build_index);
     // Notify under the lock — see Refresh().
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.published;

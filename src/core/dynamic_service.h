@@ -72,6 +72,8 @@
 
 namespace cod {
 
+class SnapshotStore;
+
 class DynamicCodService {
  public:
   struct Options {
@@ -100,6 +102,17 @@ class DynamicCodService {
     // pool worker; an over-budget index build publishes degraded (below)
     // rather than failing the rebuild.
     double rebuild_budget_seconds = 30.0;
+    // Durable epoch snapshots (storage/snapshot_store.h). When non-empty,
+    // every published epoch is serialized to this directory by a
+    // maintenance-priority task on `scheduler` (inline on the publishing
+    // thread when no scheduler is configured), written crash-safely (temp
+    // file -> fsync -> atomic rename -> parent fsync) and pruned to
+    // `snapshots_keep` files. A snapshot failure is logged in metrics
+    // (cod_snapshot_write_failures_total) and never affects publication —
+    // durability is an accelerator for restart, not a publication gate.
+    // Recover() warm-restarts from the newest valid snapshot.
+    std::string snapshot_dir;
+    size_t snapshots_keep = 2;
     // When the budgeted HIMOR build fails but the epoch's graph and
     // hierarchy built fine, publish the epoch anyway WITHOUT the index:
     // the epoch is marked degraded, CODL serves the compressed-evaluation
@@ -140,6 +153,20 @@ class DynamicCodService {
   // fall back to), so arm rebuild failpoints only AFTER construction.
   DynamicCodService(Graph initial_graph, AttributeTable attrs,
                     const Options& options);
+
+  // Warm restart: reconstructs a service from the newest valid snapshot in
+  // options.snapshot_dir, skipping the expensive clustering/index build —
+  // the restored epoch keeps its epoch number and rebuild ticket, so the
+  // service answers bit-identically to the one that wrote the snapshot and
+  // later rebuilds continue the same deterministic seed stream. Corrupt
+  // snapshots are quarantined (".corrupt") and older ones tried; returns
+  // kNotFound when no usable snapshot exists (cold-construct instead) and
+  // kFailedPrecondition when the newest valid snapshot was written under
+  // different options (seed or engine parameters) — restoring it would
+  // silently change answers.
+  static Result<std::unique_ptr<DynamicCodService>> Recover(
+      const Options& options);
+
   // Cancels any scheduled retry (restoring its pending count, like a
   // retry-cap give-up) including its scheduler timer, then waits out every
   // task this service still has in flight on the scheduler.
@@ -278,8 +305,29 @@ class DynamicCodService {
   // it is still scheduled and due; otherwise a no-op (absorbed by Refresh,
   // already kicked by a query, or superseded).
   void OnRetryTimer();
-  void PublishEpoch(std::shared_ptr<const EngineCore> core, bool degraded);
+  void PublishEpoch(std::shared_ptr<const EngineCore> core, bool degraded,
+                    uint64_t build_index);
   static uint64_t EdgeKey(NodeId u, NodeId v, size_t n);
+
+  // Constructor behind Recover(): adopts an already-decoded epoch instead
+  // of building one. `core`'s graph seeds the edge map; `epoch` /
+  // `build_index` restore publication continuity.
+  struct RecoveredTag {};
+  DynamicCodService(RecoveredTag, std::shared_ptr<const AttributeTable> attrs,
+                    const Options& options,
+                    std::shared_ptr<const EngineCore> core,
+                    std::unique_ptr<SnapshotStore> store, uint64_t epoch,
+                    uint64_t build_index, bool degraded);
+  // Scrape-time gauge registration, shared by both constructors; call only
+  // once an epoch is published.
+  void RegisterGauges();
+  // Queues the snapshot write for a freshly published epoch (maintenance
+  // priority when a scheduler exists, inline otherwise); no-op without a
+  // snapshot_dir.
+  void ScheduleSnapshot(uint64_t epoch, uint64_t build_index, bool degraded,
+                        std::shared_ptr<const EngineCore> core);
+  void WriteSnapshotNow(uint64_t epoch, uint64_t build_index, bool degraded,
+                        const EngineCore& core);
 
   std::shared_ptr<const AttributeTable> attrs_;  // shared by every epoch
   Options options_;
@@ -313,10 +361,20 @@ class DynamicCodService {
   std::optional<ScopedCallbackGauge> pending_gauge_;
   std::optional<ScopedCallbackGauge> index_present_gauge_;
 
-  // Every task this service puts on the scheduler (rebuild attempts and
-  // retry-timer callbacks) joins this group, so the destructor can wait out
-  // stragglers that capture `this`. Only set under async_rebuild.
+  // Every task this service puts on the scheduler (rebuild attempts,
+  // retry-timer callbacks, and snapshot writes) joins this group, so the
+  // destructor can wait out stragglers that capture `this`. Set whenever a
+  // scheduler is configured.
   std::optional<TaskGroup> sched_group_;
+
+  // Durable snapshots (null when Options::snapshot_dir is empty).
+  // snapshot_mu_ serializes writes and guards last_snapshot_epoch_ — the
+  // newest epoch durably on disk (or restored from disk), so a stale
+  // queued write for an already-superseded epoch is skipped, and a
+  // recovered epoch is never pointlessly re-written.
+  std::unique_ptr<SnapshotStore> snapshot_store_;
+  std::mutex snapshot_mu_;
+  uint64_t last_snapshot_epoch_ = 0;
 };
 
 }  // namespace cod

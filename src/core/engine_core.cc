@@ -172,6 +172,55 @@ EngineCore::EngineCore(const Graph& graph, const AttributeTable& attrs,
                        const EngineOptions& options)
     : EngineCore(Alias(graph), Alias(attrs), options) {}
 
+EngineCore::EngineCore(PrebuiltTag, std::shared_ptr<const Graph> graph,
+                       std::shared_ptr<const AttributeTable> attrs,
+                       const EngineOptions& options, Dendrogram base_hierarchy)
+    : graph_(std::move(graph)),
+      attrs_(std::move(attrs)),
+      options_(options),
+      model_(MakeModel(*graph_, options.diffusion)),
+      base_(std::move(base_hierarchy)),
+      lca_(base_) {}
+
+Result<std::unique_ptr<EngineCore>> EngineCore::FromPrebuilt(
+    std::shared_ptr<const Graph> graph,
+    std::shared_ptr<const AttributeTable> attrs, const EngineOptions& options,
+    Dendrogram base_hierarchy, std::optional<HimorIndex> himor,
+    bool index_absent_degraded) {
+  if (graph == nullptr || attrs == nullptr) {
+    return Status::InvalidArgument("FromPrebuilt requires graph and attrs");
+  }
+  if (graph->NumNodes() < 2) {
+    return Status::InvalidArgument("prebuilt graph has fewer than 2 nodes");
+  }
+  if (attrs->NumNodes() != graph->NumNodes()) {
+    return Status::InvalidArgument(
+        "attribute table covers a different node set than the graph");
+  }
+  if (base_hierarchy.NumLeaves() != graph->NumNodes()) {
+    return Status::InvalidArgument(
+        "base hierarchy was built over a different graph (leaf count "
+        "mismatch)");
+  }
+  if (himor.has_value() && himor->NumNodes() != graph->NumNodes()) {
+    return Status::InvalidArgument(
+        "HIMOR index was built for a different graph (node count mismatch)");
+  }
+  if (himor.has_value() && index_absent_degraded) {
+    return Status::InvalidArgument(
+        "a core with an index cannot be index-absent degraded");
+  }
+  std::unique_ptr<EngineCore> core(new EngineCore(
+      PrebuiltTag{}, std::move(graph), std::move(attrs), options,
+      std::move(base_hierarchy)));
+  if (himor.has_value()) {
+    core->himor_ = std::move(himor);
+  } else if (index_absent_degraded) {
+    core->MarkIndexAbsent();
+  }
+  return core;
+}
+
 CodChain EngineCore::BuildCoduChain(NodeId q) const {
   return BuildChainFromDendrogram(base_, q);
 }

@@ -183,6 +183,21 @@ class EngineCore {
   EngineCore(const Graph& graph, const AttributeTable& attrs,
              const EngineOptions& options);
 
+  // Warm-restart factory (storage/epoch_snapshot.h): reassembles a core
+  // from persisted parts, skipping the expensive AgglomerativeCluster pass —
+  // the base hierarchy comes in prebuilt, and the HIMOR index (or the
+  // explicit index-absent degraded marker) with it. The diffusion model and
+  // LCA index are recomputed (both cheap and deterministic functions of the
+  // graph / hierarchy), so a core restored from a snapshot answers queries
+  // bit-identically to the one that wrote it. Fails with InvalidArgument
+  // when the parts disagree (node counts, leaf counts) instead of
+  // CHECK-crashing: snapshot bytes are hostile input.
+  static Result<std::unique_ptr<EngineCore>> FromPrebuilt(
+      std::shared_ptr<const Graph> graph,
+      std::shared_ptr<const AttributeTable> attrs,
+      const EngineOptions& options, Dendrogram base_hierarchy,
+      std::optional<HimorIndex> himor, bool index_absent_degraded);
+
   EngineCore(const EngineCore&) = delete;
   EngineCore& operator=(const EngineCore&) = delete;
 
@@ -287,6 +302,13 @@ class EngineCore {
   size_t CodrCacheSize() const;
 
  private:
+  // Constructor behind FromPrebuilt: adopts the hierarchy instead of
+  // clustering. The tag keeps it out of overload resolution.
+  struct PrebuiltTag {};
+  EngineCore(PrebuiltTag, std::shared_ptr<const Graph> graph,
+             std::shared_ptr<const AttributeTable> attrs,
+             const EngineOptions& options, Dendrogram base_hierarchy);
+
   // The LORE splice of BuildCodlChain after the scores are known; shared by
   // the budgeted query paths, which compute scores themselves. The local
   // reclustering pass polls `budget` and unwinds with kTimeout/kCancelled.

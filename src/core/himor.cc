@@ -347,47 +347,58 @@ Result<HimorIndex> HimorIndex::BuildParallel(const DiffusionModel& model,
 
 namespace {
 constexpr uint32_t kHimorMagic = 0x434F4449;  // "CODI"
-constexpr uint32_t kHimorVersion = 1;
+// v2: CRC32C envelope (WriteChecksummedFile); v1 (no checksum) dropped.
+constexpr uint32_t kHimorVersion = 2;
 }  // namespace
 
-Status HimorIndex::Save(const std::string& path) const {
-  BinaryWriter writer(path);
-  if (!writer.ok()) return Status::IoError("cannot open " + path);
-  writer.WritePod(kHimorMagic);
-  writer.WritePod(kHimorVersion);
-  writer.WritePod(max_rank_);
-  writer.WriteVector(offsets_);
-  writer.WriteVector(entries_);
-  return writer.Finish(path);
+void HimorIndex::SerializeTo(BinaryBufferWriter& out) const {
+  out.WritePod(max_rank_);
+  out.WriteVector(offsets_);
+  out.WriteVector(entries_);
 }
 
-Result<HimorIndex> HimorIndex::Load(const std::string& path) {
-  BinaryReader reader(path);
-  if (!reader.ok()) return Status::IoError("cannot open " + path);
-  uint32_t magic = 0;
-  uint32_t version = 0;
+Result<HimorIndex> HimorIndex::Deserialize(BinarySpanReader& in) {
   HimorIndex index;
-  if (!reader.ReadPod(&magic) || magic != kHimorMagic) {
-    return Status::InvalidArgument(path + ": not a codlib HIMOR file");
+  if (!in.ReadPod(&index.max_rank_) || !in.ReadVector(&index.offsets_) ||
+      !in.ReadVector(&index.entries_)) {
+    return in.status();
   }
-  if (!reader.ReadPod(&version) || version != kHimorVersion) {
-    return Status::InvalidArgument(path + ": unsupported HIMOR version");
-  }
-  if (!reader.ReadPod(&index.max_rank_) || index.max_rank_ == 0 ||
-      !reader.ReadVector(&index.offsets_) ||
-      !reader.ReadVector(&index.entries_)) {
-    return Status::InvalidArgument(path + ": corrupt HIMOR index");
+  if (index.max_rank_ == 0) {
+    in.Fail("corrupt HIMOR index (max_rank 0)");
+    return in.status();
   }
   // Structural validation: offsets must be a monotone prefix-sum ending at
   // the entry count.
   if (index.offsets_.empty() || index.offsets_.front() != 0 ||
       index.offsets_.back() != index.entries_.size()) {
-    return Status::InvalidArgument(path + ": inconsistent HIMOR offsets");
+    in.Fail("inconsistent HIMOR offsets");
+    return in.status();
   }
   for (size_t i = 1; i < index.offsets_.size(); ++i) {
     if (index.offsets_[i] < index.offsets_[i - 1]) {
-      return Status::InvalidArgument(path + ": inconsistent HIMOR offsets");
+      in.Fail("inconsistent HIMOR offsets");
+      return in.status();
     }
+  }
+  return index;
+}
+
+Status HimorIndex::Save(const std::string& path) const {
+  BinaryBufferWriter payload;
+  SerializeTo(payload);
+  return WriteChecksummedFile(path, kHimorMagic, kHimorVersion,
+                              payload.bytes());
+}
+
+Result<HimorIndex> HimorIndex::Load(const std::string& path) {
+  Result<std::string> payload =
+      ReadChecksummedFile(path, kHimorMagic, kHimorVersion, "HIMOR index");
+  if (!payload.ok()) return payload.status();
+  BinarySpanReader reader(*payload, path);
+  Result<HimorIndex> index = Deserialize(reader);
+  if (!index.ok()) return index.status();
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument(path + ": trailing bytes after index");
   }
   return index;
 }

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/deadline.h"
 #include "common/status.h"
 #include "hierarchy/dendrogram.h"
@@ -109,9 +110,17 @@ class HimorIndex {
   }
 
   // Binary persistence; a loaded index is only valid together with the
-  // dendrogram it was built over (persist that with SaveDendrogram).
+  // dendrogram it was built over (persist that with SaveDendrogram). The
+  // file format carries a CRC32C envelope, so corruption (bit flips,
+  // truncation) fails the load cleanly instead of producing a wrong index.
   Status Save(const std::string& path) const;
   static Result<HimorIndex> Load(const std::string& path);
+
+  // Buffer forms of the payload codec, for embedding into checksummed
+  // containers (storage/epoch_snapshot.h). Deserialize performs the same
+  // structural validation as Load.
+  void SerializeTo(BinaryBufferWriter& out) const;
+  static Result<HimorIndex> Deserialize(BinarySpanReader& in);
 
  private:
   // Stage 2 (bottom-up bucket merging), shared by both builders.

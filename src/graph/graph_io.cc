@@ -17,7 +17,166 @@ bool IsCommentOrBlank(const std::string& line) {
   return true;
 }
 
+// A corrupt length or id field must never drive allocation or indexing; this
+// matches the text loaders' 1e8 node cap.
+constexpr uint64_t kMaxBinaryNodes = 100'000'000;
+constexpr uint64_t kMaxNameBytes = 1 << 20;
+
 }  // namespace
+
+void SerializeGraph(const Graph& g, BinaryBufferWriter& out) {
+  out.WritePod<uint64_t>(g.NumNodes());
+  out.WritePod<uint8_t>(g.HasWeights() ? 1 : 0);
+  // Endpoints flat in EdgeId order. GraphBuilder::Build() canonicalizes
+  // ((min, max) pairs, lexicographically sorted, duplicates merged), so these
+  // are strictly increasing — a fact DeserializeGraph re-validates and that
+  // makes the rebuild reproduce identical edge ids and adjacency.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+  }
+  out.WriteVector(endpoints);
+  if (g.HasWeights()) {
+    std::vector<double> weights(g.NumEdges());
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) weights[e] = g.Weight(e);
+    out.WriteVector(weights);
+  }
+}
+
+Result<Graph> DeserializeGraph(BinarySpanReader& in) {
+  uint64_t num_nodes = 0;
+  uint8_t has_weights = 0;
+  if (!in.ReadPod(&num_nodes) || !in.ReadPod(&has_weights)) {
+    return in.status();
+  }
+  if (num_nodes > kMaxBinaryNodes) {
+    in.Fail("node count exceeds the 1e8 limit");
+    return in.status();
+  }
+  if (has_weights > 1) {
+    in.Fail("corrupt weights flag");
+    return in.status();
+  }
+  std::vector<NodeId> endpoints;
+  if (!in.ReadVector(&endpoints)) return in.status();
+  if (endpoints.size() % 2 != 0) {
+    in.Fail("odd endpoint count");
+    return in.status();
+  }
+  const uint64_t num_edges = endpoints.size() / 2;
+  std::vector<double> weights;
+  if (has_weights) {
+    if (!in.ReadVector(&weights, num_edges)) return in.status();
+    if (weights.size() != num_edges) {
+      in.Fail("weight count does not match edge count");
+      return in.status();
+    }
+  }
+  GraphBuilder builder(num_nodes);
+  std::pair<NodeId, NodeId> prev{0, 0};
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    const NodeId u = endpoints[2 * e];
+    const NodeId v = endpoints[2 * e + 1];
+    // Canonical-form invariants double as corruption detection: u < v (no
+    // self-loops), both in range, and edges strictly increasing (which also
+    // guarantees the rebuild has nothing to merge or reorder).
+    if (u >= v || v >= num_nodes) {
+      in.Fail("invalid edge endpoints");
+      return in.status();
+    }
+    if (e > 0 && std::pair<NodeId, NodeId>{u, v} <= prev) {
+      in.Fail("edges not in canonical order");
+      return in.status();
+    }
+    prev = {u, v};
+    builder.AddEdge(u, v, has_weights ? weights[e] : 1.0);
+  }
+  return std::move(builder).Build();
+}
+
+void SerializeAttributes(const AttributeTable& table, BinaryBufferWriter& out) {
+  out.WritePod<uint64_t>(table.NumNodes());
+  out.WritePod<uint64_t>(table.NumAttributes());
+  for (AttributeId a = 0; a < table.NumAttributes(); ++a) {
+    out.WriteString(table.Name(a));
+  }
+  // Per-node CSR: offsets, then the flat (sorted, deduplicated) value array.
+  std::vector<uint64_t> offsets;
+  std::vector<AttributeId> values;
+  offsets.reserve(table.NumNodes() + 1);
+  offsets.push_back(0);
+  for (NodeId v = 0; v < table.NumNodes(); ++v) {
+    const auto attrs = table.AttributesOf(v);
+    values.insert(values.end(), attrs.begin(), attrs.end());
+    offsets.push_back(values.size());
+  }
+  out.WriteVector(offsets);
+  out.WriteVector(values);
+}
+
+Result<AttributeTable> DeserializeAttributes(BinarySpanReader& in) {
+  uint64_t num_nodes = 0;
+  uint64_t num_names = 0;
+  if (!in.ReadPod(&num_nodes) || !in.ReadPod(&num_names)) return in.status();
+  if (num_nodes > kMaxBinaryNodes) {
+    in.Fail("node count exceeds the 1e8 limit");
+    return in.status();
+  }
+  // Every name costs at least its 8-byte length prefix, bounding the count
+  // by the bytes actually present.
+  if (num_names > in.remaining() / sizeof(uint64_t)) {
+    in.Fail("attribute name count exceeds remaining bytes");
+    return in.status();
+  }
+  AttributeTableBuilder builder;
+  for (uint64_t a = 0; a < num_names; ++a) {
+    std::string name;
+    if (!in.ReadString(&name, kMaxNameBytes)) return in.status();
+    // Interning names in id order preserves the ids; a duplicate name would
+    // silently alias two ids, so reject it.
+    if (builder.Intern(name) != static_cast<AttributeId>(a)) {
+      in.Fail("duplicate attribute name");
+      return in.status();
+    }
+  }
+  std::vector<uint64_t> offsets;
+  if (!in.ReadVector(&offsets, num_nodes + 1)) return in.status();
+  if (offsets.size() != num_nodes + 1 || offsets.front() != 0) {
+    in.Fail("corrupt attribute offsets");
+    return in.status();
+  }
+  for (uint64_t v = 0; v < num_nodes; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      in.Fail("attribute offsets not monotone");
+      return in.status();
+    }
+  }
+  std::vector<AttributeId> values;
+  if (!in.ReadVector(&values, offsets.back())) return in.status();
+  if (values.size() != offsets.back()) {
+    in.Fail("attribute value count does not match offsets");
+    return in.status();
+  }
+  for (uint64_t v = 0; v < num_nodes; ++v) {
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (values[i] >= num_names) {
+        in.Fail("attribute id out of range");
+        return in.status();
+      }
+      // Sorted-unique per node is both a format invariant and what makes
+      // the rebuild reproduce the table exactly.
+      if (i > offsets[v] && values[i] <= values[i - 1]) {
+        in.Fail("attribute ids not sorted");
+        return in.status();
+      }
+      builder.Add(static_cast<NodeId>(v), values[i]);
+    }
+  }
+  return std::move(builder).Build(num_nodes);
+}
 
 Result<Graph> LoadEdgeList(const std::string& path) {
   // Simulated read failure (tests of loader error paths; see

@@ -12,11 +12,28 @@
 
 #include <string>
 
+#include "common/binary_io.h"
 #include "common/status.h"
 #include "graph/attributes.h"
 #include "graph/graph.h"
 
 namespace cod {
+
+// ---- Binary payload codecs (buffer-to-buffer, no file envelope). ----
+//
+// Used by the epoch snapshot container (storage/epoch_snapshot.h), which
+// checksums each section itself. Round trips are exact: the deserialized
+// graph is rebuilt through GraphBuilder, whose canonical edge sort makes
+// the result bit-identical to the original (adjacency, edge ids, weights).
+// Deserializers validate every length and id against the snapshot's
+// declared sizes — corrupt bytes produce a clean Status, never a crash.
+void SerializeGraph(const Graph& g, BinaryBufferWriter& out);
+Result<Graph> DeserializeGraph(BinarySpanReader& in);
+
+void SerializeAttributes(const AttributeTable& table, BinaryBufferWriter& out);
+Result<AttributeTable> DeserializeAttributes(BinarySpanReader& in);
+
+// ---- Plain-text formats. ----
 
 // Loads an undirected edge list. Fails with IoError / InvalidArgument on
 // unreadable files or malformed lines.

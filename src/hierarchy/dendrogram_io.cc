@@ -8,60 +8,54 @@ namespace cod {
 namespace {
 
 constexpr uint32_t kMagic = 0x434F4444;  // "CODD"
-constexpr uint32_t kVersion = 1;
+// v2: CRC32C envelope (WriteChecksummedFile); v1 (no checksum) is no longer
+// readable — the formats are repo-internal and regenerable.
+constexpr uint32_t kVersion = 2;
 
 }  // namespace
 
-Status SaveDendrogram(const Dendrogram& dendrogram, const std::string& path) {
-  BinaryWriter writer(path);
-  if (!writer.ok()) return Status::IoError("cannot open " + path);
-  writer.WritePod(kMagic);
-  writer.WritePod(kVersion);
-  writer.WritePod<uint64_t>(dendrogram.NumLeaves());
-  writer.WritePod<uint64_t>(dendrogram.NumVertices());
+void SerializeDendrogram(const Dendrogram& dendrogram,
+                         BinaryBufferWriter& out) {
+  out.WritePod<uint64_t>(dendrogram.NumLeaves());
+  out.WritePod<uint64_t>(dendrogram.NumVertices());
   // Internal vertices in id order; ids of children are stable because the
   // builder assigns internal ids sequentially after the leaves.
   for (CommunityId c = static_cast<CommunityId>(dendrogram.NumLeaves());
        c < dendrogram.NumVertices(); ++c) {
     const auto kids = dendrogram.Children(c);
     std::vector<CommunityId> children(kids.begin(), kids.end());
-    writer.WriteVector(children);
+    out.WriteVector(children);
   }
-  return writer.Finish(path);
 }
 
-Result<Dendrogram> LoadDendrogram(const std::string& path) {
-  BinaryReader reader(path);
-  if (!reader.ok()) return Status::IoError("cannot open " + path);
-  uint32_t magic = 0;
-  uint32_t version = 0;
+Result<Dendrogram> DeserializeDendrogram(BinarySpanReader& in) {
   uint64_t num_leaves = 0;
   uint64_t num_vertices = 0;
-  if (!reader.ReadPod(&magic) || magic != kMagic) {
-    return Status::InvalidArgument(path + ": not a codlib dendrogram file");
-  }
-  if (!reader.ReadPod(&version) || version != kVersion) {
-    return Status::InvalidArgument(path + ": unsupported dendrogram version");
-  }
   // Header sanity: every internal vertex has >= 2 children, so
   // num_vertices <= 2 * num_leaves - 1; the leaf cap matches the edge-list
   // loader's 1e8 node limit (corrupt headers must not drive allocations).
   constexpr uint64_t kMaxLeaves = 100'000'000;
-  if (!reader.ReadPod(&num_leaves) || !reader.ReadPod(&num_vertices) ||
-      num_leaves == 0 || num_leaves > kMaxLeaves ||
+  if (!in.ReadPod(&num_leaves) || !in.ReadPod(&num_vertices)) {
+    return in.status();
+  }
+  if (num_leaves == 0 || num_leaves > kMaxLeaves ||
       num_vertices < num_leaves || num_vertices > 2 * num_leaves) {
-    return Status::InvalidArgument(path + ": corrupt dendrogram header");
+    in.Fail("corrupt dendrogram header");
+    return in.status();
   }
   DendrogramBuilder builder(num_leaves);
   std::vector<char> has_parent(num_vertices, 0);
   for (uint64_t c = num_leaves; c < num_vertices; ++c) {
     std::vector<CommunityId> children;
-    if (!reader.ReadVector(&children, num_vertices) || children.size() < 2) {
-      return Status::InvalidArgument(path + ": corrupt children list");
+    if (!in.ReadVector(&children, num_vertices)) return in.status();
+    if (children.size() < 2) {
+      in.Fail("corrupt children list");
+      return in.status();
     }
     for (CommunityId child : children) {
       if (child >= c || has_parent[child]) {
-        return Status::InvalidArgument(path + ": invalid child reference");
+        in.Fail("invalid child reference");
+        return in.status();
       }
       has_parent[child] = 1;
     }
@@ -72,9 +66,30 @@ Result<Dendrogram> LoadDendrogram(const std::string& path) {
   size_t roots = 0;
   for (uint64_t c = 0; c < num_vertices; ++c) roots += !has_parent[c];
   if (roots != 1) {
-    return Status::InvalidArgument(path + ": hierarchy is not a single tree");
+    in.Fail("hierarchy is not a single tree");
+    return in.status();
   }
   return std::move(builder).Build();
+}
+
+Status SaveDendrogram(const Dendrogram& dendrogram, const std::string& path) {
+  BinaryBufferWriter payload;
+  SerializeDendrogram(dendrogram, payload);
+  return WriteChecksummedFile(path, kMagic, kVersion, payload.bytes());
+}
+
+Result<Dendrogram> LoadDendrogram(const std::string& path) {
+  Result<std::string> payload =
+      ReadChecksummedFile(path, kMagic, kVersion, "dendrogram");
+  if (!payload.ok()) return payload.status();
+  BinarySpanReader reader(*payload, path);
+  Result<Dendrogram> dendrogram = DeserializeDendrogram(reader);
+  if (!dendrogram.ok()) return dendrogram.status();
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument(path +
+                                   ": trailing bytes after dendrogram");
+  }
+  return dendrogram;
 }
 
 }  // namespace cod

@@ -1,0 +1,104 @@
+// Durable epoch snapshots: the on-disk container for one published
+// EngineCore epoch, and the crash-safe file protocol around it.
+//
+// Container layout (version 1, little-endian; see DESIGN.md Sec. 13):
+//
+//   u32 magic "CODS" | u32 version
+//   u64 epoch | u64 build_index | u64 seed | u32 flags | u32 section_count
+//   section_count x { u32 id | u32 reserved | u64 offset | u64 length
+//                   | u32 crc32c | u32 reserved }
+//   u32 header_crc          (CRC32C over every byte above)
+//   ...section payloads...  (at the offsets the table declares)
+//
+// Sections: kMeta (engine-option and topology fingerprint), kGraph,
+// kAttributes, kHierarchy, and — unless the epoch was published
+// index-absent degraded (flags bit 0) — kHimor. Each section's CRC32C
+// covers its exact payload bytes, so a bit flip anywhere in the file is
+// caught either by the header CRC (metadata damage) or by one section CRC
+// (payload damage) before any of the payload is interpreted. The payload
+// decoders (graph_io.h, dendrogram_io.h, himor.h) then re-validate
+// structure on top, so even a corruption that forges both CRCs cannot
+// crash the process or materialize an invalid object.
+//
+// Crash-safe publication: WriteEpochSnapshotFile writes a temp file in the
+// target directory, fsyncs it, atomically renames it over the final path,
+// and fsyncs the parent directory. A crash at ANY point leaves either the
+// complete old state or the complete new file — never a partially visible
+// snapshot (a leftover temp file is ignored by loaders and cleaned by
+// SnapshotStore).
+//
+// Failpoints: "storage/snapshot_write" (before the temp file is written),
+// "storage/snapshot_fsync" (at the data fsync), "storage/snapshot_load"
+// (before a file is read).
+
+#ifndef COD_STORAGE_EPOCH_SNAPSHOT_H_
+#define COD_STORAGE_EPOCH_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/engine_core.h"
+#include "graph/attributes.h"
+#include "graph/graph.h"
+#include "hierarchy/dendrogram.h"
+
+namespace cod {
+
+// Epoch identity plus the compatibility fingerprint of the core that wrote
+// the snapshot. Recovery refuses a snapshot whose fingerprint disagrees
+// with the recovering service's options — a core restored under different
+// engine parameters would silently answer differently.
+struct EpochSnapshotMeta {
+  uint64_t epoch = 0;
+  uint64_t build_index = 0;  // rebuild ticket; seed + ticket = RNG stream
+  uint64_t seed = 0;         // DynamicCodService::Options::seed
+  bool degraded = false;     // published index-absent (no kHimor section)
+
+  // Engine fingerprint (the options that shape answers and index bytes).
+  uint32_t engine_k = 0;
+  uint32_t engine_theta = 0;
+  uint32_t himor_max_rank = 0;
+  uint8_t diffusion = 0;  // DiffusionKind
+
+  // Topology fingerprint, cross-checked against the decoded sections.
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+};
+
+// A fully decoded and validated snapshot. `himor` is empty exactly when
+// meta.degraded — the index-absent epoch restores index-absent.
+struct DecodedEpochSnapshot {
+  EpochSnapshotMeta meta;
+  Graph graph;
+  AttributeTable attributes;
+  std::optional<Dendrogram> hierarchy;  // engaged on every successful decode
+  std::optional<HimorIndex> himor;
+};
+
+// Serializes `core` (graph, attributes, hierarchy, HIMOR when present) and
+// `meta` into the container byte format. Pure in-memory encoding — no I/O.
+// meta's fingerprint fields are filled from the core; callers set only the
+// identity fields (epoch / build_index / seed / degraded).
+std::string EncodeEpochSnapshot(EpochSnapshotMeta meta, const EngineCore& core);
+
+// Decodes and validates `bytes`: header CRC, section table geometry, every
+// section CRC, then the payload decoders' structural validation. Any
+// corruption — bad magic, version skew, truncation, over-long lengths, CRC
+// mismatch, inconsistent sections — produces a clean Status naming
+// `origin` and what broke. Never crashes, never returns a partial object.
+Result<DecodedEpochSnapshot> DecodeEpochSnapshot(std::string_view bytes,
+                                                 const std::string& origin);
+
+// Crash-safe write of `bytes` to `path`: temp file (same directory) ->
+// fsync -> atomic rename -> fsync parent directory.
+Status WriteEpochSnapshotFile(const std::string& path, std::string_view bytes);
+
+// Reads and decodes one snapshot file. IoError when unreadable,
+// InvalidArgument when corrupt (the caller decides whether to quarantine).
+Result<DecodedEpochSnapshot> LoadEpochSnapshotFile(const std::string& path);
+
+}  // namespace cod
+
+#endif  // COD_STORAGE_EPOCH_SNAPSHOT_H_

@@ -1,0 +1,90 @@
+// SnapshotStore: a directory of durable epoch snapshots with bounded
+// retention, corruption quarantine, and recovery fallback.
+//
+// Files are named "epoch-<20-digit epoch>.cods" so lexicographic order IS
+// epoch order; anything else in the directory (temp files from interrupted
+// writes, quarantined ".corrupt" files, unrelated data) is never read as a
+// snapshot. Write() encodes, publishes crash-safely (see
+// storage/epoch_snapshot.h), then prunes snapshots beyond `keep`.
+//
+// LoadNewest() walks snapshots newest-first. A file that fails to DECODE
+// (bad magic, version skew, truncation, any CRC mismatch, structural
+// damage) is quarantined — renamed to "<name>.corrupt" so it can never be
+// retried or pruned silently, but stays on disk for forensics — and the
+// next-older snapshot is tried. Only when every snapshot is exhausted does
+// recovery give up (kNotFound: the caller falls back to a cold rebuild).
+// An unreadable file (open/read error) is NOT quarantined: transient I/O
+// errors must not destroy good snapshots.
+//
+// Metrics: cod_snapshot_writes_total, cod_snapshot_write_failures_total,
+// cod_snapshot_loads_total, cod_snapshot_corrupt_quarantined_total;
+// cod_snapshot_bytes / cod_snapshot_age_seconds gauges (age is scrape-time,
+// seconds since this process's last successful Write);
+// cod_snapshot_write_seconds / cod_snapshot_load_seconds histograms.
+
+#ifndef COD_STORAGE_SNAPSHOT_STORE_H_
+#define COD_STORAGE_SNAPSHOT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "storage/epoch_snapshot.h"
+
+namespace cod {
+
+class SnapshotStore {
+ public:
+  struct Options {
+    std::string directory;
+    // Snapshots retained after each successful write (>= 1). Older ones are
+    // deleted; quarantined ".corrupt" files are never touched.
+    size_t keep = 2;
+  };
+
+  // Creates `directory` if missing and removes stale ".tmp" leftovers from
+  // interrupted writes (they were never visible as snapshots).
+  explicit SnapshotStore(Options options);
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  // Encodes `core` + `meta` and crash-safely publishes it as the snapshot
+  // for meta.epoch, then prunes beyond Options::keep. Not thread-safe
+  // against itself — callers serialize writes (DynamicCodService runs them
+  // on a maintenance task with its own ordering lock).
+  Status Write(const EpochSnapshotMeta& meta, const EngineCore& core);
+
+  struct LoadedSnapshot {
+    DecodedEpochSnapshot snapshot;
+    std::string path;  // the file that recovered
+  };
+
+  // Newest decodable snapshot, quarantining corrupt ones along the way.
+  // kNotFound when no snapshot survives.
+  Result<LoadedSnapshot> LoadNewest();
+
+  // Snapshot file paths, oldest first (".corrupt" and ".tmp" excluded).
+  std::vector<std::string> ListSnapshots() const;
+
+  const std::string& directory() const { return options_.directory; }
+
+  // Test hook: the path Write() would use for `epoch`.
+  std::string PathForEpoch(uint64_t epoch) const;
+
+ private:
+  Options options_;
+  void PruneOld();
+
+  // steady-clock ns of the last successful Write, 0 if none yet; feeds the
+  // age callback gauge.
+  std::atomic<int64_t> last_write_ns_{0};
+  ScopedCallbackGauge age_gauge_;
+};
+
+}  // namespace cod
+
+#endif  // COD_STORAGE_SNAPSHOT_STORE_H_

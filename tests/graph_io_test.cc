@@ -92,5 +92,110 @@ TEST(GraphIoTest, AttributeNodeOutOfRangeRejected) {
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
+// ---------------------------------------------------------------------------
+// Binary serialization (the snapshot section format). These buffer-level
+// codecs carry no CRC — the snapshot container checksums each section — so
+// a damaged buffer may legally decode IF the damage happens to preserve
+// every structural invariant (canonical edge order, sorted attributes,
+// in-range ids). The property tested here is the decoder's hostile-input
+// contract: clean Status or valid object, never a crash or overflow. CI
+// runs this under ASan/UBSan.
+// ---------------------------------------------------------------------------
+
+TEST(GraphIoTest, BinaryGraphRoundTrip) {
+  const Graph g = cod::testing::MakeTwoCliquesWithBridge(5);
+  BinaryBufferWriter out;
+  SerializeGraph(g, out);
+  BinarySpanReader in(out.bytes(), "graph");
+  Result<Graph> loaded = DeserializeGraph(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(in.exhausted());
+  ASSERT_EQ(loaded->NumNodes(), g.NumNodes());
+  ASSERT_EQ(loaded->NumEdges(), g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(loaded->Endpoints(e), g.Endpoints(e));
+    EXPECT_EQ(loaded->Weight(e), g.Weight(e));
+  }
+  // A second serialization of the decoded graph is bit-identical — the
+  // canonical edge order survives the round trip (the warm-restart
+  // determinism guarantee rests on this).
+  BinaryBufferWriter again;
+  SerializeGraph(*loaded, again);
+  EXPECT_EQ(again.bytes(), out.bytes());
+}
+
+TEST(GraphIoTest, BinaryAttributesRoundTrip) {
+  AttributeTableBuilder b;
+  b.Add(0, "DB");
+  b.Add(0, "IR");
+  b.Add(3, "ML");
+  const AttributeTable table = std::move(b).Build(4);
+  BinaryBufferWriter out;
+  SerializeAttributes(table, out);
+  BinarySpanReader in(out.bytes(), "attrs");
+  Result<AttributeTable> loaded = DeserializeAttributes(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(in.exhausted());
+  EXPECT_EQ(loaded->NumAttributes(), table.NumAttributes());
+  // Attribute ids are stable across the round trip, not just names.
+  EXPECT_EQ(loaded->Find("DB"), table.Find("DB"));
+  EXPECT_EQ(loaded->Find("ML"), table.Find("ML"));
+  EXPECT_TRUE(loaded->Has(0, loaded->Find("IR")));
+  EXPECT_TRUE(loaded->AttributesOf(2).empty());
+  BinaryBufferWriter again;
+  SerializeAttributes(*loaded, again);
+  EXPECT_EQ(again.bytes(), out.bytes());
+}
+
+TEST(GraphIoTest, BinaryGraphSurvivesHostileBytes) {
+  Graph g = cod::testing::MakeTwoCliquesWithBridge(6);
+  BinaryBufferWriter out;
+  SerializeGraph(g, out);
+  const std::string pristine = out.bytes();
+  // Single-byte flips at every offset: decode must either fail cleanly or
+  // produce a structurally valid graph (ASan/UBSan guard the "no crash").
+  for (size_t off = 0; off < pristine.size(); ++off) {
+    std::string damaged = pristine;
+    damaged[off] = static_cast<char>(damaged[off] ^ 0x20);
+    BinarySpanReader in(damaged, "flip");
+    Result<Graph> r = DeserializeGraph(in);
+    if (r.ok()) {
+      EXPECT_LE(r->NumEdges(), g.NumEdges() + 1) << "offset " << off;
+    } else {
+      EXPECT_FALSE(r.status().message().empty()) << "offset " << off;
+    }
+  }
+  // Truncations must always fail: every vector is length-prefixed, so a
+  // short buffer can never satisfy the decode.
+  for (size_t len = 0; len < pristine.size(); ++len) {
+    BinarySpanReader in(std::string_view(pristine).substr(0, len), "cut");
+    EXPECT_FALSE(DeserializeGraph(in).ok()) << "truncation to " << len;
+  }
+}
+
+TEST(GraphIoTest, BinaryAttributesSurviveHostileBytes) {
+  AttributeTableBuilder b;
+  for (NodeId v = 0; v < 8; ++v) {
+    b.Add(v, "attr_" + std::to_string(v % 3));
+  }
+  const AttributeTable table = std::move(b).Build(8);
+  BinaryBufferWriter out;
+  SerializeAttributes(table, out);
+  const std::string pristine = out.bytes();
+  for (size_t off = 0; off < pristine.size(); ++off) {
+    std::string damaged = pristine;
+    damaged[off] = static_cast<char>(damaged[off] ^ 0x11);
+    BinarySpanReader in(damaged, "flip");
+    Result<AttributeTable> r = DeserializeAttributes(in);
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty()) << "offset " << off;
+    }
+  }
+  for (size_t len = 0; len < pristine.size(); ++len) {
+    BinarySpanReader in(std::string_view(pristine).substr(0, len), "cut");
+    EXPECT_FALSE(DeserializeAttributes(in).ok()) << "truncation to " << len;
+  }
+}
+
 }  // namespace
 }  // namespace cod

@@ -173,5 +173,89 @@ TEST(EngineHimorIoTest, LoadRejectsWrongGraph) {
   EXPECT_EQ(e2.LoadHimor(path).code(), StatusCode::kInvalidArgument);
 }
 
+// ---------------------------------------------------------------------------
+// Corruption properties. The checksummed file envelope (magic | version |
+// size | payload | CRC32C) covers every byte, so ANY single-byte flip and
+// ANY truncation must fail with a clean InvalidArgument — never a crash,
+// never a silently different structure. CI runs this suite under
+// ASan/UBSan, which turns "never a crash" into a memory-safety proof.
+// ---------------------------------------------------------------------------
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream(path, std::ios::binary).write(
+      bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(DendrogramIoTest, EverySingleByteFlipFailsCleanly) {
+  Rng rng(11);
+  const Graph g = EnsureConnected(ErdosRenyi(60, 180, rng), rng);
+  const Dendrogram original = AgglomerativeCluster(g);
+  const std::string path = TempPath("flip_base.bin");
+  ASSERT_TRUE(SaveDendrogram(original, path).ok());
+  const std::string pristine = ReadBytes(path);
+  ASSERT_FALSE(pristine.empty());
+  const std::string damaged_path = TempPath("flip_damaged.bin");
+  // Exhaustive over the envelope header, strided over the payload.
+  for (size_t off = 0; off < pristine.size();
+       off += (off < 32 ? 1 : 13)) {
+    std::string damaged = pristine;
+    damaged[off] = static_cast<char>(damaged[off] ^ (1u << (off % 8)));
+    WriteBytes(damaged_path, damaged);
+    Result<Dendrogram> r = LoadDendrogram(damaged_path);
+    ASSERT_FALSE(r.ok()) << "flip at offset " << off << " loaded";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << "offset " << off << ": " << r.status().ToString();
+  }
+}
+
+TEST(DendrogramIoTest, EveryTruncationFailsCleanly) {
+  Rng rng(12);
+  const Graph g = EnsureConnected(ErdosRenyi(50, 140, rng), rng);
+  const Dendrogram original = AgglomerativeCluster(g);
+  const std::string path = TempPath("cut_base.bin");
+  ASSERT_TRUE(SaveDendrogram(original, path).ok());
+  const std::string pristine = ReadBytes(path);
+  const std::string cut_path = TempPath("cut_damaged.bin");
+  for (size_t len = 0; len < pristine.size();
+       len += (len < 32 ? 1 : 17)) {
+    WriteBytes(cut_path, pristine.substr(0, len));
+    Result<Dendrogram> r = LoadDendrogram(cut_path);
+    ASSERT_FALSE(r.ok()) << "truncation to " << len << " loaded";
+  }
+}
+
+TEST(HimorIoTest, FlipsAndTruncationsFailCleanly) {
+  Rng rng(13);
+  const Graph g = EnsureConnected(ErdosRenyi(60, 180, rng), rng);
+  const Dendrogram d = AgglomerativeCluster(g);
+  const LcaIndex lca(d);
+  const DiffusionModel m = DiffusionModel::WeightedCascadeIc(g);
+  const HimorIndex original = HimorIndex::Build(m, d, lca, 6, rng);
+  const std::string path = TempPath("himor_base.bin");
+  ASSERT_TRUE(original.Save(path).ok());
+  const std::string pristine = ReadBytes(path);
+  const std::string damaged_path = TempPath("himor_damaged.bin");
+  for (size_t off = 0; off < pristine.size();
+       off += (off < 32 ? 1 : 29)) {
+    std::string damaged = pristine;
+    damaged[off] = static_cast<char>(damaged[off] ^ 0x80);
+    WriteBytes(damaged_path, damaged);
+    Result<HimorIndex> r = HimorIndex::Load(damaged_path);
+    ASSERT_FALSE(r.ok()) << "flip at offset " << off << " loaded";
+  }
+  for (size_t len = 0; len < pristine.size();
+       len += (len < 32 ? 1 : 31)) {
+    WriteBytes(damaged_path, pristine.substr(0, len));
+    Result<HimorIndex> r = HimorIndex::Load(damaged_path);
+    ASSERT_FALSE(r.ok()) << "truncation to " << len << " loaded";
+  }
+}
+
 }  // namespace
 }  // namespace cod
