@@ -31,7 +31,7 @@
 #include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "core/cod_engine.h"
-#include "core/dynamic_service.h"
+#include "serving/dynamic_service.h"
 #include "eval/datasets.h"
 #include "eval/query_gen.h"
 #include "hierarchy/lca.h"
@@ -373,7 +373,7 @@ std::vector<bench::BenchJsonEntry> RunSnapshotRestartSuite(bool smoke) {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "cod_bench_snapshots")
           .string();
-  DynamicCodService::Options options;
+  ServiceOptions options;
   options.seed = 5;
   options.snapshot_dir = dir;
 

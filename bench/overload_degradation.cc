@@ -17,7 +17,7 @@
 #include "common/table.h"
 #include "common/task_scheduler.h"
 #include "common/timer.h"
-#include "core/dynamic_service.h"
+#include "serving/dynamic_service.h"
 #include "core/query_batch.h"
 
 namespace cod::bench {
@@ -41,7 +41,7 @@ void RunDegradedEpochSection(const Flags& flags, TablePrinter& table) {
     const std::vector<Query> queries =
         GenerateQueries(data.attributes, flags.queries, query_rng);
 
-    DynamicCodService::Options options;
+    ServiceOptions options;
     options.seed = flags.seed;
     options.rebuild_threshold = 1e9;  // refreshes are explicit below
     DynamicCodService service(std::move(data.graph),

@@ -1,0 +1,173 @@
+// Scatter/gather router bench: batch-query latency of the sharded serving
+// tier versus the mono engine on the SAME world, at 1 / 2 / 4 shards.
+//
+// The dataset is replicated into disjoint components (3 copies; 2 under
+// --smoke) so a component-atomic partition has real spreading to do —
+// cora-sim alone is one giant component and every shard count would route
+// to shard 0. All layouts run component-scoped, so the merged answer
+// vectors must be BIT-IDENTICAL across shard counts; the bench verifies
+// that on every repetition and fails hard on a mismatch, making it a
+// determinism canary as well as a latency meter.
+//
+// The 1-shard config is the router-free mono baseline (MakeCodService
+// builds a DynamicCodService); the delta to shards=2/4 is the router's
+// scatter/gather overhead plus whatever parallelism the layout buys.
+//
+// Emits one BenchJsonEntry per (dataset, shard count):
+//   name   = "shard_scatter_gather"
+//   config = "<dataset>/shards=<n>/threads=<t>"
+// CI archives the --bench-json output as BENCH_PR8.json.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "common/task_scheduler.h"
+#include "common/timer.h"
+#include "serving/service_interface.h"
+#include "tests/test_util.h"
+
+namespace cod::bench {
+namespace {
+
+struct World {
+  Graph graph;
+  AttributeTable attrs;
+};
+
+// `replicas` disjoint copies of `data`, node ids offset per copy. Every
+// copy keeps the original attribute names, so queries generated against
+// the replicated table exercise the same topic mix as the original.
+World ReplicateWorld(const AttributedGraph& data, size_t replicas) {
+  const size_t n = data.graph.NumNodes();
+  GraphBuilder gb(replicas * n);
+  AttributeTableBuilder ab;
+  for (size_t r = 0; r < replicas; ++r) {
+    const NodeId base = static_cast<NodeId>(r * n);
+    for (EdgeId e = 0; e < data.graph.NumEdges(); ++e) {
+      const auto [u, v] = data.graph.Endpoints(e);
+      gb.AddEdge(base + u, base + v, data.graph.Weight(e));
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      for (const AttributeId a : data.attributes.AttributesOf(v)) {
+        ab.Add(base + v, data.attributes.Name(a));
+      }
+    }
+  }
+  World w;
+  w.graph = std::move(gb).Build();
+  w.attrs = std::move(ab).Build(replicas * n);
+  return w;
+}
+
+int Run(const Flags& flags) {
+  const size_t replicas = flags.smoke ? 2 : 3;
+  const size_t reps = flags.smoke ? 3 : 9;
+  const std::vector<uint32_t> shard_counts = {1, 2, 4};
+
+  std::vector<BenchJsonEntry> entries;
+  TablePrinter table({"dataset", "shards", "threads", "p50 ms", "p95 ms",
+                      "qps@p50", "identical"});
+  int exit_code = 0;
+
+  for (const std::string& name : flags.datasets) {
+    const AttributedGraph data = LoadDatasetOrDie(name);
+    // One spec workload shared by every layout, keyed to the replicated
+    // node space.
+    const World probe = ReplicateWorld(data, replicas);
+    Rng query_rng(flags.seed + 1);
+    const std::vector<Query> queries =
+        GenerateQueries(probe.attrs, flags.queries, query_rng);
+    std::vector<QuerySpec> specs;
+    specs.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      QuerySpec spec;
+      spec.node = queries[i].node;
+      if (i % 3 == 2) {
+        spec.variant = CodVariant::kCodU;
+      } else {
+        spec.variant = CodVariant::kCodL;
+        spec.attrs = {queries[i].attribute};
+      }
+      specs.push_back(std::move(spec));
+    }
+
+    std::vector<CodResult> reference;
+    for (const uint32_t num_shards : shard_counts) {
+      World w = ReplicateWorld(data, replicas);
+      ServiceOptions options;
+      options.seed = flags.seed;
+      options.rebuild_threshold = 1e9;  // static world: no rebuilds
+      options.num_shards = num_shards;
+      // The mono baseline must serve the same component-scoped answers
+      // the shard engines are forced into, or the latency comparison
+      // would compare different work.
+      options.engine.component_scoped = true;
+      const std::unique_ptr<CodServiceInterface> service = MakeCodService(
+          std::move(w.graph), std::move(w.attrs), options);
+
+      TaskScheduler scheduler(flags.threads);
+      std::vector<double> times;
+      times.reserve(reps);
+      bool identical = true;
+      WallTimer timer;
+      for (size_t rep = 0; rep < reps; ++rep) {
+        timer.Restart();
+        const std::vector<CodResult> got =
+            service->QueryBatch(specs, scheduler, flags.seed);
+        times.push_back(timer.ElapsedSeconds());
+        if (reference.empty()) {
+          reference = got;
+        } else {
+          for (size_t i = 0; i < got.size(); ++i) {
+            identical = identical && testing::SameResult(got[i], reference[i]);
+          }
+        }
+      }
+      if (!identical) exit_code = 1;
+
+      const double p50 = Quantile(times, 0.5);
+      BenchJsonEntry entry;
+      entry.name = "shard_scatter_gather";
+      entry.config = name + "/shards=" + std::to_string(num_shards) +
+                     "/threads=" + std::to_string(flags.threads);
+      entry.p50_seconds = p50;
+      entry.p95_seconds = Quantile(times, 0.95);
+      entry.p99_seconds = Quantile(times, 0.99);
+      entry.samples = specs.size();
+      entry.samples_per_sec =
+          p50 > 0.0 ? static_cast<double>(specs.size()) / p50 : 0.0;
+      entries.push_back(entry);
+
+      table.AddRow({name, std::to_string(num_shards),
+                    std::to_string(flags.threads),
+                    TablePrinter::Fmt(entry.p50_seconds * 1e3, 2),
+                    TablePrinter::Fmt(entry.p95_seconds * 1e3, 2),
+                    TablePrinter::Fmt(entry.samples_per_sec, 0),
+                    identical ? "yes" : "MISMATCH"});
+    }
+  }
+
+  table.Print(stdout);
+  if (exit_code != 0) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: merged batch answers diverged "
+                 "across shard counts\n");
+  }
+  const int json_rc = WriteBenchJson(flags.bench_json, entries);
+  const int metrics_rc = DumpMetrics(flags);
+  return exit_code != 0 ? exit_code : (json_rc != 0 ? json_rc : metrics_rc);
+}
+
+}  // namespace
+}  // namespace cod::bench
+
+int main(int argc, char** argv) {
+  const cod::bench::Flags flags =
+      cod::bench::ParseFlags(argc, argv, /*default_queries=*/192,
+                             /*default_datasets=*/{"cora-sim"});
+  return cod::bench::Run(flags);
+}

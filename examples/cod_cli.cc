@@ -9,24 +9,35 @@
 //           [--variant=codl|codl-|codr|codu] [--k=N] [--index=path]
 //           [--seed=S] [--explain] [--dot=community.dot]
 //   cod_cli promoters <edges> <attrs> <attribute-name> [--k=N] [--count=N]
+//   cod_cli serve <edges> <attrs> [--shards=N] [--queries=N] [--threads=N]
+//           [--k=N] [--seed=S]
+//       builds the serving tier (mono for --shards=1, scatter/gather router
+//       over component-scoped shard engines otherwise) and answers a
+//       deterministic query batch through the unified CodServiceInterface;
+//       the answers are bit-identical for every --shards value.
 //
 // Example session:
 //   cod_cli dataset cora-sim /tmp/cora
 //   cod_cli index /tmp/cora.edges /tmp/cora.attrs /tmp/cora.himor
 //   cod_cli query /tmp/cora.edges /tmp/cora.attrs 42 label3
 //           --index=/tmp/cora.himor --k=5     (one line)
+//   cod_cli serve /tmp/cora.edges /tmp/cora.attrs --shards=4
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/task_scheduler.h"
 #include "core/cod_engine.h"
 #include "eval/datasets.h"
 #include "eval/metrics.h"
+#include "eval/query_gen.h"
 #include "graph/export.h"
 #include "graph/graph_io.h"
+#include "serving/service_interface.h"
 
 namespace {
 
@@ -56,7 +67,10 @@ int Usage() {
       "          [--variant=codl|codl-|codr|codu] [--k=N] [--index=path]\n"
       "          [--seed=S] [--explain] [--dot=out.dot]\n"
       "  cod_cli promoters <edges> <attrs> <attribute-name>\n"
-      "          [--k=N] [--count=N] [--index=path]\n");
+      "          [--k=N] [--count=N] [--index=path]\n"
+      "  cod_cli serve <edges> <attrs>\n"
+      "          [--shards=N] [--queries=N] [--threads=N] [--k=N] "
+      "[--seed=S]\n");
   return 2;
 }
 
@@ -66,6 +80,9 @@ struct CliFlags {
   uint32_t k = 5;
   uint64_t seed = 1;
   size_t count = 10;
+  uint32_t shards = 1;
+  size_t queries = 12;
+  uint32_t threads = 4;
   std::string variant = "codl";
   std::string index_path;
   std::string dot_path;
@@ -93,6 +110,14 @@ CliFlags ParseCliFlags(int argc, char** argv, int first) {
       flags.dot_path = arg.substr(6);
     } else if (arg.rfind("--count=", 0) == 0) {
       flags.count = std::strtoull(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      flags.shards = static_cast<uint32_t>(std::strtoul(arg.c_str() + 9,
+                                                        nullptr, 10));
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      flags.queries = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      flags.threads = static_cast<uint32_t>(std::strtoul(arg.c_str() + 10,
+                                                         nullptr, 10));
     } else if (arg == "--explain") {
       flags.explain = true;
     } else {
@@ -302,6 +327,66 @@ int CmdPromoters(int argc, char** argv) {
   return 0;
 }
 
+int CmdServe(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const CliFlags flags = ParseCliFlags(argc, argv, 4);
+  if (!flags.ok) return 2;
+  cod::Result<AttributedGraph> data = LoadPair(argv[2], argv[3]);
+  if (!data.ok()) return Fail(data.status());
+
+  cod::ServiceOptions options;
+  options.engine.theta = flags.theta;
+  options.seed = flags.seed;
+  options.num_shards = flags.shards;
+  const Status valid = options.Validate();
+  if (!valid.ok()) return Fail(valid);
+
+  // Deterministic query workload, drawn before the attribute table moves
+  // into the service. Same seed -> same specs for every --shards value, so
+  // the printed answers are directly comparable across layouts.
+  Rng query_rng(flags.seed + 1);
+  const std::vector<cod::Query> sampled =
+      cod::GenerateQueries(data->attributes, flags.queries, query_rng);
+  std::vector<QuerySpec> specs;
+  std::vector<std::string> topics;
+  for (const cod::Query& q : sampled) {
+    QuerySpec spec;
+    spec.variant = CodVariant::kCodL;
+    spec.node = q.node;
+    spec.k = flags.k;
+    spec.attrs = {q.attribute};
+    specs.push_back(std::move(spec));
+    topics.push_back(data->attributes.Name(q.attribute));
+  }
+
+  std::printf("building serving tier: %u shard%s, theta = %u...\n",
+              flags.shards, flags.shards == 1 ? "" : "s", flags.theta);
+  std::unique_ptr<cod::CodServiceInterface> service = cod::MakeCodService(
+      std::move(data->graph), std::move(data->attributes), options);
+
+  cod::TaskScheduler scheduler(flags.threads);
+  cod::BatchStats stats;
+  const std::vector<CodResult> results = service->QueryBatch(
+      specs, scheduler, /*batch_seed=*/flags.seed, cod::BatchOptions{},
+      &stats);
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CodResult& r = results[i];
+    std::printf("  node %-6u topic %-8s -> %s (%zu members, rank #%u)%s\n",
+                specs[i].node, topics[i].c_str(),
+                r.found ? "community" : "none", r.members.size(), r.rank + 1,
+                r.degraded ? " [degraded]" : "");
+  }
+  std::printf("batch of %zu: %lu ok, %lu degraded, %lu shard-missed, epoch "
+              "%lu%s\n",
+              results.size(), static_cast<unsigned long>(stats.served_ok),
+              static_cast<unsigned long>(stats.degraded),
+              static_cast<unsigned long>(stats.shard_missed),
+              static_cast<unsigned long>(service->epoch()),
+              service->epoch_degraded() ? " (degraded)" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -312,5 +397,6 @@ int main(int argc, char** argv) {
   if (command == "index") return CmdIndex(argc, argv);
   if (command == "query") return CmdQuery(argc, argv);
   if (command == "promoters") return CmdPromoters(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
   return Usage();
 }

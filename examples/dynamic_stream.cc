@@ -1,5 +1,6 @@
 // Scenario: serving COD queries over a stream of edge updates (the paper's
-// dynamic-graphs future work, via DynamicCodService's epoch rebuilds).
+// dynamic-graphs future work, via epoch rebuilds behind
+// CodServiceInterface).
 //
 // A social platform ingests follow/unfollow events while answering "what is
 // this user's characteristic community right now?". The service absorbs
@@ -11,32 +12,44 @@
 // stale epoch. Interactive queries outrank rebuilds in the scheduler's
 // priority order, so serving latency stays flat while a rebuild churns.
 //
+// The whole demo is written against CodServiceInterface, so the same code
+// drives one engine (num_shards = 1, the default) or a sharded
+// scatter/gather deployment (pass a shard count as the second argument) —
+// only MakeCodService / RecoverCodService know the difference. Under
+// sharding, follow events whose endpoints land on different shards are
+// rejected (the partition is fixed at construction), which the demo counts.
+//
 // After the stream the process "restarts": the service is destroyed and
 // recovered from the durable epoch snapshots it wrote after each publish
-// (options.snapshot_dir). Warm recovery deserializes the last epoch —
-// graph, hierarchy, HIMOR index — instead of rebuilding it, and the demo
-// prints cold vs warm time-to-first-query to show the difference.
+// (options.snapshot_dir; one subdirectory per shard when sharded). Warm
+// recovery deserializes the last epoch — graph, hierarchy, HIMOR index —
+// instead of rebuilding it, and the demo prints cold vs warm
+// time-to-first-query to show the difference.
 //
-//   $ ./dynamic_stream [num_events]
+//   $ ./dynamic_stream [num_events] [num_shards]
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/task_scheduler.h"
 #include "common/timer.h"
-#include "core/dynamic_service.h"
 #include "eval/datasets.h"
 #include "eval/query_gen.h"
+#include "serving/service_interface.h"
 
 int main(int argc, char** argv) {
   const size_t num_events =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 600;
+  const uint32_t num_shards =
+      argc > 2 ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10)) : 1;
 
-  std::printf("bootstrapping from cora-sim...\n");
+  std::printf("bootstrapping from cora-sim (%u shard%s)...\n", num_shards,
+              num_shards == 1 ? "" : "s");
   cod::Result<cod::AttributedGraph> data = cod::MakeDataset("cora-sim");
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
@@ -49,6 +62,17 @@ int main(int argc, char** argv) {
     known_edges.push_back(data->graph.Endpoints(e));
   }
 
+  // Pick the watched users and remember their topic names BEFORE the
+  // attribute table moves into the service — the interface deliberately
+  // does not expose engine internals.
+  cod::Rng query_rng(9);
+  const std::vector<cod::Query> watched =
+      cod::GenerateQueries(data->attributes, 3, query_rng);
+  std::vector<std::string> watched_topics;
+  for (const cod::Query& q : watched) {
+    watched_topics.push_back(data->attributes.Name(q.attribute));
+  }
+
   // One scheduler shared by rebuilds and (in a larger deployment) query
   // batches: rebuilds enter at kRebuild, queries at kInteractive. Snapshot
   // writes ride along at kMaintenance.
@@ -57,28 +81,30 @@ int main(int argc, char** argv) {
       (std::filesystem::temp_directory_path() / "cod_dynamic_stream_snaps")
           .string();
   std::filesystem::remove_all(snapshot_dir);  // fresh cold start
-  cod::DynamicCodService::Options options;
+  cod::ServiceOptions options;
   options.rebuild_threshold = 0.03;  // rebuild after ~3% edge churn
   options.seed = 5;
   options.async_rebuild = true;
   options.scheduler = &scheduler;
   options.snapshot_dir = snapshot_dir;
+  options.num_shards = num_shards;
+  if (!options.Validate().ok()) {
+    std::fprintf(stderr, "bad options: %s\n",
+                 options.Validate().ToString().c_str());
+    return 1;
+  }
   cod::WallTimer timer;
-  auto service_ptr = std::make_unique<cod::DynamicCodService>(
+  std::unique_ptr<cod::CodServiceInterface> service = cod::MakeCodService(
       std::move(data->graph), std::move(data->attributes), options);
-  cod::DynamicCodService& service = *service_ptr;
-  const uint64_t initial_epoch = service.epoch();
+  const uint64_t initial_epoch = service->epoch();
   std::printf("epoch %lu ready in %.2fs (%zu edges)\n",
               static_cast<unsigned long>(initial_epoch),
-              timer.ElapsedSeconds(), service.NumEdges());
+              timer.ElapsedSeconds(), service->NumEdges());
 
   cod::Rng rng(7);
-  cod::Rng query_rng(9);
-  const std::vector<cod::Query> watched =
-      cod::GenerateQueries(service.engine().attributes(), 3, query_rng);
-
   size_t adds = 0;
   size_t removals = 0;
+  size_t cross_shard_rejects = 0;
   uint64_t seen_epoch = initial_epoch;
   for (size_t event = 1; event <= num_events; ++event) {
     // 70% follows (new random edge), 30% unfollows (drop a random existing
@@ -86,67 +112,82 @@ int main(int argc, char** argv) {
     if (rng.Bernoulli(0.7)) {
       const cod::NodeId u = static_cast<cod::NodeId>(rng.UniformInt(num_nodes));
       const cod::NodeId v = static_cast<cod::NodeId>(rng.UniformInt(num_nodes));
-      if (u != v && service.AddEdge(u, v)) {
+      if (u == v) continue;
+      if (service->AddEdge(u, v)) {
         ++adds;
         known_edges.emplace_back(u, v);
+      } else if (num_shards > 1) {
+        ++cross_shard_rejects;  // endpoints live on different shards
       }
     } else if (!known_edges.empty()) {
       const size_t pick = rng.UniformInt(known_edges.size());
       const auto [u, v] = known_edges[pick];
       known_edges[pick] = known_edges.back();
       known_edges.pop_back();
-      if (service.RemoveEdge(u, v)) ++removals;
+      if (service->RemoveEdge(u, v)) ++removals;
     }
 
     // Under async_rebuild the update above already scheduled an epoch
     // rebuild if drift crossed the threshold — the stream never blocks on
     // it. Just report when a freshly built epoch lands.
-    if (service.epoch() != seen_epoch) {
-      seen_epoch = service.epoch();
+    if (service->epoch() != seen_epoch) {
+      seen_epoch = service->epoch();
       std::printf("[event %zu: background rebuild published epoch %lu%s]\n",
                   event, static_cast<unsigned long>(seen_epoch),
-                  service.epoch_degraded() ? ", DEGRADED (no index)" : "");
+                  service->epoch_degraded() ? ", DEGRADED (no index)" : "");
     }
 
     // Periodically query the watched users — these serve whatever epoch is
     // published, even while a rebuild is in flight on the scheduler.
     if (event % (num_events / 6 + 1) == 0) {
       std::printf("\n[event %zu: %zu adds, %zu removals, pending %zu]\n",
-                  event, adds, removals, service.pending_updates());
-      for (const cod::Query& q : watched) {
-        const cod::CodResult r = service.QueryCodL(q.node, q.attribute,
-                                                   /*k=*/5, rng);
+                  event, adds, removals, service->pending_updates());
+      for (size_t w = 0; w < watched.size(); ++w) {
+        const cod::Query& q = watched[w];
+        const cod::CodResult r = service->QueryCodL(q.node, q.attribute,
+                                                    /*k=*/5, rng);
         std::printf("  user %-5u topic %-7s -> %s (%zu members)\n", q.node,
-                    service.engine().attributes().Name(q.attribute).c_str(),
+                    watched_topics[w].c_str(),
                     r.found ? "community" : "none", r.members.size());
       }
     }
   }
   // Settle any in-flight background rebuild before the final report.
-  service.WaitForRebuild();
-  const size_t rebuilds =
-      static_cast<size_t>(service.epoch() - initial_epoch);
-  std::printf("\nstream done: %zu adds, %zu removals, %zu rebuild(s), final "
-              "epoch %lu\n",
-              adds, removals, rebuilds,
-              static_cast<unsigned long>(service.epoch()));
+  service->WaitForRebuild();
+  std::printf("\nstream done: %zu adds, %zu removals", adds, removals);
+  if (num_shards > 1) {
+    std::printf(", %zu cross-shard rejects", cross_shard_rejects);
+  }
+  std::printf(", final epoch %lu\n",
+              static_cast<unsigned long>(service->epoch()));
 
   // ------------------------------------------------------------------
   // Restart: cold vs warm time-to-first-query.
   //
   // Cold is what the bootstrap above paid: full hierarchy + HIMOR build.
-  // Warm loads the newest durable snapshot the service wrote after each
+  // Warm loads the newest durable snapshot(s) the service wrote after each
   // publish — same epoch number, same seed stream, bit-identical answers.
+  // The final edge set doubles as the cold-start fallback RecoverCodService
+  // requires (a sharded service cold-rebuilds any shard whose snapshots
+  // are missing).
   // ------------------------------------------------------------------
-  const uint64_t final_epoch = service.epoch();
+  const uint64_t final_epoch = service->epoch();
   const cod::Query probe = watched[0];
-  service_ptr.reset();  // "crash": drops every in-memory epoch
+  service.reset();  // "crash": drops every in-memory epoch
   std::printf("\nservice destroyed; recovering from %s\n",
               snapshot_dir.c_str());
 
+  cod::Result<cod::AttributedGraph> fresh = cod::MakeDataset("cora-sim");
+  if (!fresh.ok()) {
+    std::fprintf(stderr, "%s\n", fresh.status().ToString().c_str());
+    return 1;
+  }
+  cod::GraphBuilder warm_gb(num_nodes);
+  for (const auto& [u, v] : known_edges) warm_gb.AddEdge(u, v);
   timer.Restart();
-  cod::Result<std::unique_ptr<cod::DynamicCodService>> recovered =
-      cod::DynamicCodService::Recover(options);
+  cod::Result<std::unique_ptr<cod::CodServiceInterface>> recovered =
+      cod::RecoverCodService(options, std::move(warm_gb).Build(),
+                             std::move(fresh->attributes));
   if (!recovered.ok()) {
     std::fprintf(stderr, "recovery failed: %s\n",
                  recovered.status().ToString().c_str());
@@ -159,18 +200,18 @@ int main(int argc, char** argv) {
 
   // Re-measure the cold path for an apples-to-apples number: rebuild the
   // same final edge set from scratch.
-  cod::Result<cod::AttributedGraph> fresh = cod::MakeDataset("cora-sim");
+  cod::Result<cod::AttributedGraph> fresh2 = cod::MakeDataset("cora-sim");
   double cold_ttfq = 0.0;
-  if (fresh.ok()) {
+  if (fresh2.ok()) {
     cod::GraphBuilder gb(num_nodes);
     for (const auto& [u, v] : known_edges) gb.AddEdge(u, v);
-    cod::DynamicCodService::Options cold_options = options;
+    cod::ServiceOptions cold_options = options;
     cold_options.snapshot_dir.clear();  // measure the build, not the write
     timer.Restart();
-    cod::DynamicCodService cold(std::move(gb).Build(),
-                                std::move(fresh->attributes), cold_options);
+    std::unique_ptr<cod::CodServiceInterface> cold = cod::MakeCodService(
+        std::move(gb).Build(), std::move(fresh2->attributes), cold_options);
     cod::Rng cold_rng(11);
-    (void)cold.QueryCodL(probe.node, probe.attribute, /*k=*/5, cold_rng);
+    (void)cold->QueryCodL(probe.node, probe.attribute, /*k=*/5, cold_rng);
     cold_ttfq = timer.ElapsedSeconds();
   }
 
@@ -178,9 +219,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long>((*recovered)->epoch()),
               (*recovered)->epoch() == final_epoch ? " (matches pre-restart)"
                                                    : "",
-              probe.node,
-              (*recovered)->engine().attributes().Name(probe.attribute)
-                  .c_str(),
+              probe.node, watched_topics[0].c_str(),
               warm.found ? "community" : "none", warm.members.size());
   std::printf("time-to-first-query: cold rebuild %.3fs, warm restore %.3fs "
               "(%.1fx faster)\n",

@@ -36,8 +36,11 @@
 // reaches disk), "storage/snapshot_fsync" (between write and fsync — a
 // crash window: the temp file is discarded, the old snapshot survives),
 // "storage/snapshot_load" (snapshot file read during recovery — transient
-// I/O error, NOT corruption, so the file is skipped without quarantine).
-// The full site inventory with trip semantics is tabulated in
+// I/O error, NOT corruption, so the file is skipped without quarantine),
+// "serving/shard_deadline" (sharded batch router, polled once per shard in
+// ascending shard order before submission — a trip serves that whole
+// shard's queries as degraded non-answers, emulating a shard-wide deadline
+// miss). The full site inventory with trip semantics is tabulated in
 // docs/architecture.md.
 
 #ifndef COD_COMMON_FAILPOINT_H_

@@ -9,6 +9,7 @@
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "core/query_workspace.h"
+#include "graph/connectivity.h"
 
 namespace cod {
 namespace {
@@ -28,6 +29,18 @@ DiffusionModel MakeModel(const Graph& g, DiffusionKind kind) {
 template <typename T>
 std::shared_ptr<const T> Alias(const T& ref) {
   return std::shared_ptr<const T>(std::shared_ptr<const T>(), &ref);
+}
+
+// Per-node connected-component sizes for component-scoped cores.
+std::vector<uint32_t> ComponentSizes(const Graph& g) {
+  const Components comps = ConnectedComponents(g);
+  std::vector<uint32_t> count(comps.count, 0);
+  for (uint32_t label : comps.label) ++count[label];
+  std::vector<uint32_t> sizes(comps.label.size());
+  for (size_t v = 0; v < comps.label.size(); ++v) {
+    sizes[v] = count[comps.label[v]];
+  }
+  return sizes;
 }
 
 // A query that ran out of budget before producing an answer.
@@ -166,6 +179,7 @@ EngineCore::EngineCore(std::shared_ptr<const Graph> graph,
       lca_(base_) {
   COD_CHECK_EQ(graph_->NumNodes(), attrs_->NumNodes());
   COD_CHECK(graph_->NumNodes() >= 2);
+  if (options_.component_scoped) comp_size_of_node_ = ComponentSizes(*graph_);
 }
 
 EngineCore::EngineCore(const Graph& graph, const AttributeTable& attrs,
@@ -180,7 +194,9 @@ EngineCore::EngineCore(PrebuiltTag, std::shared_ptr<const Graph> graph,
       options_(options),
       model_(MakeModel(*graph_, options.diffusion)),
       base_(std::move(base_hierarchy)),
-      lca_(base_) {}
+      lca_(base_) {
+  if (options_.component_scoped) comp_size_of_node_ = ComponentSizes(*graph_);
+}
 
 Result<std::unique_ptr<EngineCore>> EngineCore::FromPrebuilt(
     std::shared_ptr<const Graph> graph,
@@ -221,8 +237,25 @@ Result<std::unique_ptr<EngineCore>> EngineCore::FromPrebuilt(
   return core;
 }
 
+CommunityId EngineCore::ScopeTopFor(const Dendrogram& dendrogram,
+                                    NodeId q) const {
+  if (!options_.component_scoped) return kInvalidCommunity;
+  // Walk up from q's parent while the subtree still fits inside q's
+  // component; the stop is the component subtree root (the dendrogram stacks
+  // whole components under one root, see hierarchy/agglomerative.cc). On a
+  // connected graph this IS the root, making scoping a no-op.
+  const uint32_t comp_size = comp_size_of_node_[q];
+  CommunityId c = dendrogram.Parent(dendrogram.LeafOf(q));
+  COD_DCHECK(c != kInvalidCommunity);
+  while (dendrogram.Parent(c) != kInvalidCommunity &&
+         dendrogram.LeafCount(dendrogram.Parent(c)) <= comp_size) {
+    c = dendrogram.Parent(c);
+  }
+  return c;
+}
+
 CodChain EngineCore::BuildCoduChain(NodeId q) const {
-  return BuildChainFromDendrogram(base_, q);
+  return BuildChainFromDendrogram(base_, q, ScopeTopFor(base_, q));
 }
 
 CodChain EngineCore::BuildCodrChain(NodeId q, AttributeId attr) const {
@@ -230,13 +263,17 @@ CodChain EngineCore::BuildCodrChain(NodeId q, AttributeId attr) const {
     bool from_cache = false;
     Result<std::shared_ptr<const Dendrogram>> cached =
         CodrDendrogramFor(attr, Budget{}, &from_cache);
-    if (cached.ok()) return BuildChainFromDendrogram(*cached.value(), q);
+    if (cached.ok()) {
+      return BuildChainFromDendrogram(*cached.value(), q,
+                                      ScopeTopFor(*cached.value(), q));
+    }
     // Cache build failed (failpoint injection): build privately below — this
     // unbudgeted chain-builder form has no failure channel to report through.
   }
   const Dendrogram dendrogram =
       GlobalRecluster(*graph_, *attrs_, attr, options_.transform);
-  return BuildChainFromDendrogram(dendrogram, q);
+  return BuildChainFromDendrogram(dendrogram, q,
+                                  ScopeTopFor(dendrogram, q));
 }
 
 Result<std::shared_ptr<const Dendrogram>> EngineCore::CodrDendrogramFor(
@@ -330,8 +367,9 @@ LoreChain EngineCore::BuildCodlChain(
     NodeId q, std::span<const AttributeId> attrs) const {
   // An unlimited budget never aborts, so the Result form cannot fail here.
   Result<LoreChain> built = BuildCodlChainFromScores(
-      ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attrs), q,
-      attrs, Budget{});
+      ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attrs,
+                                Budget{}, ScopeTopFor(base_, q)),
+      q, attrs, Budget{});
   COD_CHECK(built.ok());
   return std::move(built).value();
 }
@@ -364,11 +402,16 @@ Result<LoreChain> EngineCore::BuildCodlChainFromScores(
 
   // Splice the untouched global ancestors of C_ell on top. Each ancestor's
   // fresh nodes are the prefix + suffix of its member span around its
-  // on-path child's span (nested leaf intervals).
+  // on-path child's span (nested leaf intervals). The splice stops at the
+  // top of the scores chain — the root unscoped, the component subtree root
+  // under component scoping (the scores chain is truncated there, so the
+  // spliced chain ends at the same community either way).
+  const uint32_t splice_top_depth = base_.Depth(scores.chain.back());
   const NodeId* prev_begin = members.data();
   const NodeId* prev_end = members.data() + members.size();
   std::vector<NodeId> fresh;
-  for (CommunityId a = base_.Parent(out.c_ell); a != kInvalidCommunity;
+  for (CommunityId a = base_.Parent(out.c_ell);
+       a != kInvalidCommunity && base_.Depth(a) >= splice_top_depth;
        a = base_.Parent(a)) {
     const auto span = base_.Members(a);
     const NodeId* begin = span.data();
@@ -415,33 +458,43 @@ CodResult EngineCore::Query(const QuerySpec& spec, QueryWorkspace& ws) const {
   const uint32_t k = spec.k == 0 ? options_.k : spec.k;
   const auto start = std::chrono::steady_clock::now();
   CodResult result;
-  switch (spec.variant) {
-    case CodVariant::kCodU:
-      result = DoCodU(spec.node, k, ws);
-      break;
-    case CodVariant::kCodUIndexed:
-      if (!himor_.has_value()) {
-        // Index-absent degraded mode: sampled CODU answers the same
-        // question (largest base community with q in the top-k) without
-        // the index, at sampling cost and with estimated (not exact) ranks.
-        COD_CHECK(index_absent_degraded_);
+  // Component-scoped cores answer queries on single-node components
+  // definitively: no edges means no influence and no community (kOk with
+  // found=false, not an error). The guard keeps every evaluator — and
+  // ScopeTopFor, whose walk would land on the impure root — off this
+  // degenerate case.
+  if (IsSingletonComponent(spec.node)) {
+    result.variant_served = spec.variant;
+  } else {
+    switch (spec.variant) {
+      case CodVariant::kCodU:
         result = DoCodU(spec.node, k, ws);
-        result.degraded = true;
-      } else {
-        result = DoCodUIndexed(spec.node, k);
-      }
-      break;
-    case CodVariant::kCodR:
-      result = spec.attrs.size() == 1
-                   ? DoCodRSingle(spec.node, spec.attrs[0], k, ws)
-                   : DoCodRSpan(spec.node, spec.attrs, k, ws);
-      break;
-    case CodVariant::kCodLMinus:
-      result = DoCodLMinus(spec.node, spec.attrs, k, ws);
-      break;
-    case CodVariant::kCodL:
-      result = DoCodL(spec.node, spec.attrs, k, ws);
-      break;
+        break;
+      case CodVariant::kCodUIndexed:
+        if (!himor_.has_value()) {
+          // Index-absent degraded mode: sampled CODU answers the same
+          // question (largest base community with q in the top-k) without
+          // the index, at sampling cost and with estimated (not exact)
+          // ranks.
+          COD_CHECK(index_absent_degraded_);
+          result = DoCodU(spec.node, k, ws);
+          result.degraded = true;
+        } else {
+          result = DoCodUIndexed(spec.node, k);
+        }
+        break;
+      case CodVariant::kCodR:
+        result = spec.attrs.size() == 1
+                     ? DoCodRSingle(spec.node, spec.attrs[0], k, ws)
+                     : DoCodRSpan(spec.node, spec.attrs, k, ws);
+        break;
+      case CodVariant::kCodLMinus:
+        result = DoCodLMinus(spec.node, spec.attrs, k, ws);
+        break;
+      case CodVariant::kCodL:
+        result = DoCodL(spec.node, spec.attrs, k, ws);
+        break;
+    }
   }
   QueryStats& st = ws.stats();
   if (result.answered_from_index) st.index_hit = true;
@@ -588,7 +641,8 @@ CodResult EngineCore::DoCodRSingle(NodeId q, AttributeId attr, uint32_t k,
           CodrDendrogramFor(attr, ws.budget(), &from_cache);
       st.codr_cache_hit = from_cache;
       if (cached.ok()) {
-        chain = BuildChainFromDendrogram(*cached.value(), q);
+        chain = BuildChainFromDendrogram(*cached.value(), q,
+                                         ScopeTopFor(*cached.value(), q));
       } else if (cached.status().code() == StatusCode::kCancelled) {
         // A cancelled caller does not want a cheaper answer.
         return BudgetExhaustedResult(StatusCode::kCancelled,
@@ -612,7 +666,8 @@ CodResult EngineCore::DoCodRSingle(NodeId q, AttributeId attr, uint32_t k,
         return BudgetExhaustedResult(dendrogram.status().code(),
                                      CodVariant::kCodR);
       }
-      chain = BuildChainFromDendrogram(*dendrogram, q);
+      chain = BuildChainFromDendrogram(*dendrogram, q,
+                                       ScopeTopFor(*dendrogram, q));
     }
   }
   CodResult result = EvaluateChain(chain, q, k, ws);
@@ -637,7 +692,8 @@ CodResult EngineCore::DoCodRSpan(NodeId q, std::span<const AttributeId> attrs,
       return BudgetExhaustedResult(dendrogram.status().code(),
                                    CodVariant::kCodR);
     }
-    chain = BuildChainFromDendrogram(*dendrogram, q);
+    chain = BuildChainFromDendrogram(*dendrogram, q,
+                                     ScopeTopFor(*dendrogram, q));
   }
   CodResult result = EvaluateChain(chain, q, k, ws);
   result.variant_served = CodVariant::kCodR;
@@ -652,7 +708,7 @@ CodResult EngineCore::DoCodLMinus(NodeId q,
   {
     StageTimer timer(&st.lore_scan_seconds);
     scores = ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attrs,
-                                       ws.budget());
+                                       ws.budget(), ScopeTopFor(base_, q));
   }
   if (scores.code != StatusCode::kOk) {
     return BudgetExhaustedResult(scores.code, CodVariant::kCodLMinus);
@@ -691,7 +747,7 @@ CodResult EngineCore::DoCodL(NodeId q, std::span<const AttributeId> attrs,
   {
     StageTimer timer(&st.lore_scan_seconds);
     scores = ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attrs,
-                                       ws.budget());
+                                       ws.budget(), ScopeTopFor(base_, q));
   }
   if (scores.code != StatusCode::kOk) {
     return BudgetExhaustedResult(scores.code, CodVariant::kCodL);
@@ -709,8 +765,7 @@ CodResult EngineCore::DoCodL(NodeId q, std::span<const AttributeId> attrs,
     result.rank = hit->rank;
     const auto span = base_.Members(hit->community);
     result.members.assign(span.begin(), span.end());
-    result.num_levels =
-        base_.Depth(base_.Parent(base_.LeafOf(q)));  // chain length consulted
+    result.num_levels = scores.chain.size();  // chain length consulted
     return result;
   }
 
@@ -747,7 +802,14 @@ CodResult EngineCore::DoCodUIndexed(NodeId q, uint32_t k) const {
   COD_CHECK(himor_.has_value());  // build/load HIMOR during setup
   CodResult result;
   result.variant_served = CodVariant::kCodUIndexed;
-  result.num_levels = base_.Depth(base_.Parent(base_.LeafOf(q)));
+  // Singleton guard for the workspace-free QueryCodUIndexed entry, which
+  // bypasses Query()'s dispatch (and its guard).
+  if (IsSingletonComponent(q)) return result;
+  const CommunityId top = ScopeTopFor(base_, q);
+  result.num_levels =
+      top == kInvalidCommunity
+          ? base_.Depth(base_.Parent(base_.LeafOf(q)))
+          : base_.Depth(base_.Parent(base_.LeafOf(q))) - base_.Depth(top) + 1;
   const HimorIndex::Entry* hit =
       himor_->FindTopKAncestor(q, base_.Parent(base_.LeafOf(q)), k, base_);
   if (hit == nullptr) return result;
@@ -764,8 +826,10 @@ QueryExplanation EngineCore::ExplainCodL(NodeId q, AttributeId attr,
                                          QueryWorkspace& ws) const {
   COD_CHECK(himor_.has_value());  // build/load HIMOR during setup
   QueryExplanation explanation;
-  explanation.scores =
-      ComputeReclusteringScores(*graph_, *attrs_, base_, lca_, q, attr);
+  explanation.scores = ComputeReclusteringScores(
+      *graph_, *attrs_, base_, lca_, q,
+      std::span<const AttributeId>(&attr, 1), Budget{},
+      ScopeTopFor(base_, q));
   const CommunityId c_ell = explanation.scores.Selected();
   explanation.c_ell_size = base_.LeafCount(c_ell);
 
@@ -865,11 +929,29 @@ Status EngineCore::LoadHimor(const std::string& path) {
 }
 
 void EngineCore::BuildHimor(Rng& rng) {
+  if (options_.component_scoped) {
+    Result<HimorIndex> built = HimorIndex::BuildScoped(
+        model_, base_, lca_, options_.theta, rng.Next(),
+        options_.himor_max_rank, Budget{}, comp_size_of_node_);
+    COD_CHECK(built.ok());
+    himor_ = std::move(built).value();
+    return;
+  }
   himor_ = HimorIndex::Build(model_, base_, lca_, options_.theta, rng,
                              options_.himor_max_rank);
 }
 
 void EngineCore::BuildHimorParallel(uint64_t seed, size_t num_threads) {
+  if (options_.component_scoped) {
+    // The scoped builder seeds per source, so it is already thread-count
+    // independent; num_threads is moot.
+    Result<HimorIndex> built = HimorIndex::BuildScoped(
+        model_, base_, lca_, options_.theta, seed, options_.himor_max_rank,
+        Budget{}, comp_size_of_node_);
+    COD_CHECK(built.ok());
+    himor_ = std::move(built).value();
+    return;
+  }
   himor_ = HimorIndex::BuildParallel(model_, base_, lca_, options_.theta,
                                      seed, options_.himor_max_rank,
                                      num_threads);
@@ -877,8 +959,12 @@ void EngineCore::BuildHimorParallel(uint64_t seed, size_t num_threads) {
 
 Status EngineCore::TryBuildHimor(Rng& rng, const Budget& budget) {
   Result<HimorIndex> built =
-      HimorIndex::Build(model_, base_, lca_, options_.theta, rng,
-                        options_.himor_max_rank, budget);
+      options_.component_scoped
+          ? HimorIndex::BuildScoped(model_, base_, lca_, options_.theta,
+                                    rng.Next(), options_.himor_max_rank,
+                                    budget, comp_size_of_node_)
+          : HimorIndex::Build(model_, base_, lca_, options_.theta, rng,
+                              options_.himor_max_rank, budget);
   if (!built.ok()) return built.status();
   himor_ = std::move(built).value();
   return Status::Ok();
@@ -891,9 +977,14 @@ void EngineCore::MarkIndexAbsent() {
 
 Status EngineCore::TryBuildHimorParallel(uint64_t seed, size_t num_threads,
                                          const Budget& budget) {
-  Result<HimorIndex> built = HimorIndex::BuildParallel(
-      model_, base_, lca_, options_.theta, seed, options_.himor_max_rank,
-      num_threads, budget);
+  Result<HimorIndex> built =
+      options_.component_scoped
+          ? HimorIndex::BuildScoped(model_, base_, lca_, options_.theta,
+                                    seed, options_.himor_max_rank, budget,
+                                    comp_size_of_node_)
+          : HimorIndex::BuildParallel(model_, base_, lca_, options_.theta,
+                                      seed, options_.himor_max_rank,
+                                      num_threads, budget);
   if (!built.ok()) return built.status();
   himor_ = std::move(built).value();
   return Status::Ok();

@@ -81,6 +81,20 @@ struct EngineOptions {
   // unbounded). A dendrogram costs O(n) nodes, so a high-cardinality
   // attribute sweep against an uncapped cache is a slow memory leak.
   size_t codr_cache_capacity = 64;
+  // Component-scoped mode (the sharded serving tier, src/serving/): every
+  // query is answered as if q's connected component were the whole graph.
+  // Ancestor chains are truncated at the component subtree, LORE depth
+  // weights are measured relative to it, and the HIMOR index is built with
+  // per-source RNG streams and component-pure materialization
+  // (HimorIndex::BuildScoped). The payoff: a query's answer is a pure
+  // function of its component's subgraph — bit-identical no matter which
+  // other components share the engine — which is what makes sharded
+  // scatter/gather results independent of the shard count. On a connected
+  // graph the truncation is a no-op (the component subtree IS the root).
+  // Queries on singleton components short-circuit to a definitive
+  // found=false. Off by default: mono serving keeps the historical
+  // whole-graph chains (root included even across components).
+  bool component_scoped = false;
 };
 
 // The COD variants the serving stack can run (paper Sec. V-A), ordered by
@@ -337,6 +351,18 @@ class EngineCore {
   // without this thread building it.
   Result<std::shared_ptr<const Dendrogram>> CodrDendrogramFor(
       AttributeId attr, const Budget& budget, bool* served_from_cache) const;
+
+  // Component-scoped helpers (no-ops unless options_.component_scoped).
+  // ScopeTopFor: the topmost ancestor of q in `dendrogram` that still fits
+  // inside q's connected component — the component subtree root (== the
+  // dendrogram root on connected graphs). Returns kInvalidCommunity when
+  // scoping is off, i.e. "chain runs to the root" for every caller.
+  CommunityId ScopeTopFor(const Dendrogram& dendrogram, NodeId q) const;
+  // True when q is alone in its component: no edges, no influence, no
+  // community — Query answers kOk/found=false without touching evaluators.
+  bool IsSingletonComponent(NodeId q) const {
+    return options_.component_scoped && comp_size_of_node_[q] <= 1;
+  }
   // Drops least-recently-used READY entries until the cache fits
   // options_.codr_cache_capacity; in-flight builds are never evicted.
   // Requires codr_mu_ held.
@@ -350,6 +376,9 @@ class EngineCore {
   LcaIndex lca_;
   std::optional<HimorIndex> himor_;
   bool index_absent_degraded_ = false;
+  // Per-node connected-component sizes, filled only when
+  // options_.component_scoped (empty otherwise).
+  std::vector<uint32_t> comp_size_of_node_;
 
   // CODR per-attribute hierarchy cache (options_.cache_codr_hierarchies):
   // bounded LRU, single-flight misses. `dendrogram == nullptr` marks an

@@ -151,7 +151,8 @@ Status BudgetStatus(StatusCode code, const char* what) {
 // Stage 2 entry point shared by the serial and parallel builders.
 HimorIndex HimorIndex::BuildFromBuckets(
     const Dendrogram& dendrogram, uint32_t max_rank,
-    std::vector<std::unordered_map<NodeId, uint32_t>> buckets) {
+    std::vector<std::unordered_map<NodeId, uint32_t>> buckets,
+    const std::vector<uint32_t>* comp_size_of_node) {
   const size_t n = dendrogram.NumLeaves();
   const size_t num_vertices = dendrogram.NumVertices();
   // ---- Stage 2: bottom-up merge of tree-structured buckets. ----
@@ -217,12 +218,27 @@ HimorIndex HimorIndex::BuildFromBuckets(
       rank_epoch[merged[i].second] = epoch;
     }
     const uint32_t absent_rank = static_cast<uint32_t>(merged.size());
-    for (NodeId v : dendrogram.Members(c)) {
-      const uint32_t r =
-          rank_epoch[v] == epoch ? rank_of[v] : absent_rank;
-      // "Selected communities": entries a query with k <= max_rank could
-      // ever need. An ancestor absent from v's list implies rank >= max_rank.
-      if (r < max_rank) per_node[v].push_back(Entry{c, r});
+    // Component-scoped builds materialize only pure communities: a subtree
+    // larger than its members' connected component must span components
+    // (it includes every node of that component plus outsiders), so its
+    // ranks depend on shard composition and are never served. Membership is
+    // tested via the first member — a community either lies inside one
+    // component or contains whole components, so one probe decides purity.
+    bool materialize = true;
+    if (comp_size_of_node != nullptr) {
+      const auto members = dendrogram.Members(c);
+      materialize =
+          dendrogram.LeafCount(c) <= (*comp_size_of_node)[*members.begin()];
+    }
+    if (materialize) {
+      for (NodeId v : dendrogram.Members(c)) {
+        const uint32_t r =
+            rank_epoch[v] == epoch ? rank_of[v] : absent_rank;
+        // "Selected communities": entries a query with k <= max_rank could
+        // ever need. An ancestor absent from v's list implies rank >=
+        // max_rank.
+        if (r < max_rank) per_node[v].push_back(Entry{c, r});
+      }
     }
     runs[c] = std::move(merged);
     bucket.clear();
@@ -286,6 +302,42 @@ Result<HimorIndex> HimorIndex::Build(const DiffusionModel& model,
       dendrogram.NumVertices());
   for (const auto& [community, node] : pairs) ++buckets[community][node];
   return BuildFromBuckets(dendrogram, max_rank, std::move(buckets));
+}
+
+Result<HimorIndex> HimorIndex::BuildScoped(
+    const DiffusionModel& model, const Dendrogram& dendrogram,
+    const LcaIndex& lca, uint32_t theta, uint64_t seed, uint32_t max_rank,
+    const Budget& budget, const std::vector<uint32_t>& comp_size_of_node) {
+  COD_CHECK(theta > 0);
+  COD_CHECK(max_rank > 0);
+  const size_t n = model.graph().NumNodes();
+  COD_CHECK_EQ(n, dendrogram.NumLeaves());
+  COD_CHECK_EQ(n, comp_size_of_node.size());
+  if (COD_FAILPOINT("himor/build")) {
+    return Status::IoError("failpoint himor/build armed");
+  }
+
+  // One private RNG stream per source: a source's samples never depend on
+  // how many RR graphs other sources (possibly in other components) drew
+  // before it. ProcessSources polls the budget once per call, which at one
+  // source per call is exactly the serial builder's check cadence.
+  TreeHfsSampler worker(model, dendrogram, lca);
+  std::vector<std::pair<CommunityId, NodeId>> pairs;
+  for (NodeId source = 0; source < n; ++source) {
+    uint64_t mix = seed + source;
+    Rng rng(SplitMix64(mix));
+    const StatusCode code = worker.ProcessSources(source, source + 1, theta,
+                                                  rng, &pairs, budget,
+                                                  /*abort_code=*/nullptr);
+    if (code != StatusCode::kOk) {
+      return BudgetStatus(code, "HIMOR scoped build");
+    }
+  }
+  std::vector<std::unordered_map<NodeId, uint32_t>> buckets(
+      dendrogram.NumVertices());
+  for (const auto& [community, node] : pairs) ++buckets[community][node];
+  return BuildFromBuckets(dendrogram, max_rank, std::move(buckets),
+                          &comp_size_of_node);
 }
 
 Result<HimorIndex> HimorIndex::BuildParallel(const DiffusionModel& model,

@@ -65,7 +65,7 @@ class HimorIndex {
                                   size_t num_threads = 0);
 
   // Budget-aware builders, used by the serving stack (see
-  // core/dynamic_service.h): an exhausted budget or an armed "himor/build"
+  // serving/dynamic_service.h): an exhausted budget or an armed "himor/build"
   // failpoint returns kTimeout / kCancelled / kIoError instead of running
   // unbounded. The budget is polled once per source node (the per-source RR
   // batch is the check interval); parallel workers share an abort flag, so
@@ -85,6 +85,28 @@ class HimorIndex {
                                           uint64_t seed, uint32_t max_rank,
                                           size_t num_threads,
                                           const Budget& budget);
+
+  // Component-scoped builder (sharded serving; see
+  // EngineOptions::component_scoped). Two differences from Build:
+  //
+  //  1. Every source draws its RR graphs from a PRIVATE RNG stream seeded by
+  //     SplitMix64(seed + source), so a node's samples — and therefore every
+  //     within-component rank — are a pure function of (seed, theta, its own
+  //     component's subgraph), independent of which other components share
+  //     the shard graph.
+  //  2. Only "pure" communities (LeafCount <= the size of their members'
+  //     connected component, i.e. subtrees that never cross a component
+  //     boundary) are materialized into the per-node entry lists. The
+  //     impure merge vertices a dendrogram over a disconnected graph stacks
+  //     on top carry no influence signal and would differ per shard layout.
+  //
+  // `comp_size_of_node[v]` is v's connected-component size (from
+  // graph::ConnectedComponents). On a connected graph every community is
+  // pure and the entry set matches Build with the per-source seeding.
+  static Result<HimorIndex> BuildScoped(
+      const DiffusionModel& model, const Dendrogram& dendrogram,
+      const LcaIndex& lca, uint32_t theta, uint64_t seed, uint32_t max_rank,
+      const Budget& budget, const std::vector<uint32_t>& comp_size_of_node);
 
   uint32_t max_rank() const { return max_rank_; }
 
@@ -123,10 +145,13 @@ class HimorIndex {
   static Result<HimorIndex> Deserialize(BinarySpanReader& in);
 
  private:
-  // Stage 2 (bottom-up bucket merging), shared by both builders.
+  // Stage 2 (bottom-up bucket merging), shared by all builders. When
+  // `comp_size_of_node` is non-null, only pure communities (see BuildScoped)
+  // are materialized into per-node entries.
   static HimorIndex BuildFromBuckets(
       const Dendrogram& dendrogram, uint32_t max_rank,
-      std::vector<std::unordered_map<NodeId, uint32_t>> buckets);
+      std::vector<std::unordered_map<NodeId, uint32_t>> buckets,
+      const std::vector<uint32_t>* comp_size_of_node = nullptr);
 
   uint32_t max_rank_ = 0;
   std::vector<size_t> offsets_;  // per node, into entries_

@@ -23,11 +23,25 @@ LoreScores ComputeReclusteringScores(
 LoreScores ComputeReclusteringScores(
     const Graph& g, const AttributeTable& attrs, const Dendrogram& dendrogram,
     const LcaIndex& lca, NodeId q, std::span<const AttributeId> query_attrs,
-    const Budget& budget) {
+    const Budget& budget, CommunityId top) {
   LoreScores result;
   result.chain = dendrogram.PathToRoot(q);
+  COD_CHECK(!result.chain.empty());
+  // chain[i] has Depth == Depth(chain[0]) - i: truncating at `top` keeps a
+  // prefix. `top` must be an ancestor of q (on the chain), so the resize is
+  // exact.
+  const uint32_t deepest_depth = dendrogram.Depth(result.chain.front());
+  if (top != kInvalidCommunity) {
+    const uint32_t top_depth = dendrogram.Depth(top);
+    COD_CHECK(top_depth >= 1 && top_depth <= deepest_depth);
+    result.chain.resize(deepest_depth - top_depth + 1);
+    COD_DCHECK(result.chain.back() == top);
+  }
   const size_t num_levels = result.chain.size();
-  COD_CHECK(num_levels >= 1);
+  // Scoped depths are measured relative to the chain top (top itself at
+  // relative depth 1). Unscoped, the chain ends at the root (absolute depth
+  // 1), so relative == absolute and the arithmetic below is unchanged.
+  const uint32_t top_depth = dendrogram.Depth(result.chain.back());
   // Degenerate chain (q's parent is the root): the only recluster candidate
   // is the root itself, i.e., LORE degrades to global reclustering.
   if (num_levels == 1) {
@@ -36,9 +50,8 @@ LoreScores ComputeReclusteringScores(
     return result;
   }
 
-  // Delta[i]: query-attributed edges whose lca is exactly chain[i].
-  // chain[i] has Depth == num_levels - i, so an lca community c on the chain
-  // maps to position num_levels - Depth(c).
+  // Delta[i]: query-attributed edges whose lca is exactly chain[i]. An lca
+  // community c on the chain maps to position Depth(chain[0]) - Depth(c).
   // Pre-size the scores so a budget abort still returns a structurally
   // valid object (all-zero scores, fallback selection).
   result.score.assign(num_levels, 0.0);
@@ -64,8 +77,13 @@ LoreScores ComputeReclusteringScores(
     const CommunityId c = lca.LcaOfNodes(u, v);
     if (!dendrogram.Contains(c, q)) continue;  // lca must be an ancestor of q
     const uint32_t depth = dendrogram.Depth(c);
-    COD_DCHECK(depth >= 1 && depth <= num_levels);
-    ++delta[num_levels - depth];
+    COD_DCHECK(depth >= 1 && depth <= deepest_depth);
+    // Scoped chains can in principle see an ancestor above `top`; edges
+    // whose endpoints share q's connected component always lca inside it,
+    // so this guard never fires on component-scoped shard graphs — it is
+    // defense for arbitrary `top` values.
+    if (depth < top_depth) continue;
+    ++delta[deepest_depth - depth];
   }
 
   // Eq. 3 recursion: r(C_i)*|C_i| = r(C_{i-1})*|C_{i-1}| + Delta_i*dep(C_i),
@@ -79,7 +97,8 @@ LoreScores ComputeReclusteringScores(
   result.selected = 1;
   for (size_t i = 1; i < num_levels; ++i) {
     numerator += static_cast<double>(delta[i]) *
-                 static_cast<double>(dendrogram.Depth(result.chain[i]));
+                 static_cast<double>(dendrogram.Depth(result.chain[i]) -
+                                     top_depth + 1);
     result.score[i] =
         numerator / static_cast<double>(dendrogram.LeafCount(result.chain[i]));
     if (result.score[i] > best) {

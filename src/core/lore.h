@@ -63,12 +63,21 @@ LoreScores ComputeReclusteringScores(const Graph& g,
 // Budget-aware form: the O(|E|) edge scan polls the budget every few
 // thousand edges and aborts with `code` set (the degradation path of
 // budgeted CODL/CODL- queries; see core/query_batch.h).
+//
+// `top` (component-scoped serving, EngineOptions::component_scoped): when a
+// valid ancestor of q, the chain is truncated at `top` inclusive and depth
+// weights are measured RELATIVE to it (dep' = dep - dep(top) + 1), so the
+// scores are a pure function of the subtree under `top` — independent of
+// whatever else shares the graph. kInvalidCommunity keeps the full chain;
+// the root then has relative depth equal to its absolute depth, making the
+// scoped arithmetic exactly the historical unscoped computation.
 LoreScores ComputeReclusteringScores(const Graph& g,
                                      const AttributeTable& attrs,
                                      const Dendrogram& dendrogram,
                                      const LcaIndex& lca, NodeId q,
                                      std::span<const AttributeId> query_attrs,
-                                     const Budget& budget);
+                                     const Budget& budget,
+                                     CommunityId top = kInvalidCommunity);
 
 }  // namespace cod
 

@@ -120,6 +120,7 @@ void PublishBatchMetrics(const BatchStats& stats) {
     Counter* degraded;
     Counter* timeout;
     Counter* cancelled;
+    Counter* shard_missed;
     Counter* per_rung[BatchStats::kMaxRungs];
   };
   static const Sites sites = [] {
@@ -131,6 +132,7 @@ void PublishBatchMetrics(const BatchStats& stats) {
     s.timeout = reg.GetCounter("cod_batch_queries_total{outcome=\"timeout\"}");
     s.cancelled =
         reg.GetCounter("cod_batch_queries_total{outcome=\"cancelled\"}");
+    s.shard_missed = reg.GetCounter("cod_batch_shard_missed_total");
     for (size_t r = 0; r < BatchStats::kMaxRungs; ++r) {
       s.per_rung[r] = reg.GetCounter("cod_batch_degraded_total{rung=\"" +
                                      std::to_string(r) + "\"}");
@@ -141,9 +143,25 @@ void PublishBatchMetrics(const BatchStats& stats) {
   if (stats.degraded > 0) sites.degraded->Increment(stats.degraded);
   if (stats.timeout > 0) sites.timeout->Increment(stats.timeout);
   if (stats.cancelled > 0) sites.cancelled->Increment(stats.cancelled);
+  if (stats.shard_missed > 0) {
+    sites.shard_missed->Increment(stats.shard_missed);
+  }
   for (size_t r = 1; r < BatchStats::kMaxRungs; ++r) {
     if (stats.per_rung[r] > 0) sites.per_rung[r]->Increment(stats.per_rung[r]);
   }
+}
+
+// The sharded tier's "answer anyway" conversion: a query whose shard (or
+// whose own ladder) missed the deadline is served as a definitive-looking
+// non-answer tagged degraded, never as an error (RunShardedQueryBatch
+// contract). Pure per-query rewrite — no ordering dependence.
+CodResult ShardMissedResult(const QuerySpec& spec) {
+  CodResult result;
+  result.code = StatusCode::kOk;
+  result.found = false;
+  result.degraded = true;
+  result.variant_served = spec.variant;
+  return result;
 }
 
 }  // namespace
@@ -294,6 +312,117 @@ std::vector<CodResult> RunQueryBatch(const EngineCore& core,
         merged.per_rung[r] += local.per_rung[r];
       }
     });
+  }
+  group.Wait();
+
+  PublishBatchMetrics(merged);
+  if (stats != nullptr) *stats = merged;
+  return results;
+}
+
+std::vector<CodResult> RunShardedQueryBatch(
+    std::span<const ShardBatchInput> shards, std::span<const QuerySpec> specs,
+    TaskScheduler& scheduler, uint64_t batch_seed, const BatchOptions& options,
+    BatchStats* stats) {
+  if (stats != nullptr) *stats = BatchStats{};
+  std::vector<CodResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  // One shed decision for the WHOLE sharded batch, exactly like the mono
+  // path: per-shard decisions would make the merged vector depend on the
+  // instantaneous queue depth between shard submissions.
+  size_t total_chunks = 0;
+  for (const ShardBatchInput& shard : shards) {
+    total_chunks +=
+        std::min(scheduler.num_threads(), shard.indices.size());
+  }
+  BatchOptions effective = options;
+  bool shed = false;
+  if (options.allow_degradation &&
+      scheduler.ShouldShed(TaskPriority::kInteractive, total_chunks)) {
+    effective.shed_rungs = std::max<size_t>(effective.shed_rungs, 1);
+    shed = true;
+  }
+
+  std::mutex mu;
+  BatchStats merged;
+  merged.shed = shed;
+
+  // Scatter: every shard's chunks go into ONE group, submitted before any
+  // wait, so shards progress independently (a stalled shard's chunks just
+  // sit on the queues; they never gate another shard's workers).
+  TaskGroup group(scheduler);
+  for (const ShardBatchInput& shard : shards) {
+    if (shard.indices.empty()) continue;
+    COD_CHECK(shard.core != nullptr);
+    // Whole-shard deadline miss, emulated: polled per shard in ascending
+    // shard order on the calling thread, BEFORE submission, so tests arming
+    // a count get a deterministic set of missed shards. The shard's queries
+    // become degraded non-answers without touching its core.
+    if (COD_FAILPOINT("serving/shard_deadline")) {
+      BatchStats local;
+      for (size_t index : shard.indices) {
+        results[index] = ShardMissedResult(specs[index]);
+        ++local.shard_missed;
+        TallyResult(results[index], &local);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      merged.degraded += local.degraded;
+      merged.shard_missed += local.shard_missed;
+      for (size_t r = 0; r < BatchStats::kMaxRungs; ++r) {
+        merged.per_rung[r] += local.per_rung[r];
+      }
+      continue;
+    }
+    const EngineCore& core = *shard.core;
+    const std::vector<size_t>& indices = shard.indices;
+    const size_t num_chunks =
+        std::min(scheduler.num_threads(), indices.size());
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t begin = indices.size() * c / num_chunks;
+      const size_t end = indices.size() * (c + 1) / num_chunks;
+      scheduler.Submit(TaskPriority::kInteractive, group, [&core, &results,
+                                                           specs, &indices,
+                                                           batch_seed, begin,
+                                                           end, &effective,
+                                                           &mu, &merged] {
+        QueryWorkspace ws(core, /*seed=*/0);
+        if (effective.sampling_pool != nullptr) {
+          ws.SetSamplingPool(effective.sampling_pool);
+        }
+        BatchStats local;
+        for (size_t pos = begin; pos < end; ++pos) {
+          const size_t i = indices[pos];
+          if (COD_FAILPOINT("query_batch/worker")) {
+            CodResult killed;
+            killed.code = StatusCode::kCancelled;
+            killed.variant_served = specs[i].variant;
+            results[i] = std::move(killed);
+          } else {
+            // Seeded by the ORIGINAL batch position: the answer does not
+            // depend on which shard (or chunk) served the query.
+            results[i] = RunQuerySpecWithBudget(core, specs[i], ws, effective,
+                                                BatchQuerySeed(batch_seed, i));
+            if (results[i].code == StatusCode::kTimeout) {
+              // Shard-aware degradation: the deadline ate every rung —
+              // serve the degraded non-answer instead of an error.
+              results[i] = ShardMissedResult(specs[i]);
+              ++local.shard_missed;
+            }
+          }
+          TallyResult(results[i], &local);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        merged.served_ok += local.served_ok;
+        merged.degraded += local.degraded;
+        merged.timeout += local.timeout;
+        merged.cancelled += local.cancelled;
+        merged.shard_missed += local.shard_missed;
+        for (size_t r = 0; r < BatchStats::kMaxRungs; ++r) {
+          merged.per_rung[r] += local.per_rung[r];
+        }
+      });
+    }
   }
   group.Wait();
 

@@ -99,6 +99,11 @@ struct BatchStats {
   // True when scheduler admission control shed this batch down the ladder
   // (see BatchOptions::shed_rungs).
   bool shed = false;
+  // Sharded batches only (RunShardedQueryBatch): queries whose shard missed
+  // the deadline (or tripped the "serving/shard_deadline" failpoint) and
+  // were served as degraded non-answers instead of errors. Every
+  // shard-missed query is also counted in `degraded`.
+  uint64_t shard_missed = 0;
 
   uint64_t Served() const { return served_ok + degraded; }
 };
@@ -152,6 +157,48 @@ std::vector<CodResult> RunQueryBatch(const EngineCore& core,
                                      uint64_t batch_seed,
                                      const BatchOptions& options,
                                      BatchStats* stats);
+
+// ---- Sharded scatter/gather (the serving tier's router, src/serving/). ----
+
+// One shard's slice of a batch: the epoch core that owns the shard's
+// subgraph plus the positions (into the batch's spec span) of the queries
+// routed to it. Cores are borrowed; the caller keeps the epochs alive for
+// the duration of the batch.
+struct ShardBatchInput {
+  const EngineCore* core = nullptr;
+  std::vector<size_t> indices;
+};
+
+// Fans a routed batch across `scheduler` — every shard's chunks are
+// submitted up front into ONE task group, so a slow shard never gates
+// another shard's start — and gathers per-query answers back into spec
+// order.
+//
+// Determinism: query i runs with BatchQuerySeed(batch_seed, i) where i is
+// its ORIGINAL position in `specs`, regardless of which shard serves it or
+// how shards split into chunks. Combined with component-scoped shard
+// engines (EngineOptions::component_scoped) the merged result vector is
+// bit-identical across shard counts and worker counts.
+//
+// Shard-aware degradation: a query whose ladder exhausts its deadline
+// (kTimeout) is converted to a DEGRADED NON-ANSWER — kOk, found = false,
+// degraded = true, the requested variant — rather than surfacing an error:
+// the batch answers from the shards that made the deadline and tags the
+// rest, tallied in BatchStats::shard_missed. The "serving/shard_deadline"
+// failpoint emulates a whole shard missing its deadline: it is polled once
+// per shard in ascending shard order BEFORE any task is submitted (so
+// arming it with count = 1 deterministically fails shard 0), and a tripped
+// shard's queries are all served as degraded non-answers without touching
+// its core. Cancellation still surfaces as kCancelled — a cancelled caller
+// does not want fabricated answers. The one shed decision covers the whole
+// sharded batch.
+//
+// Slots not routed to any shard are left default-constructed (kOk,
+// found = false); the serving router covers every query by construction.
+std::vector<CodResult> RunShardedQueryBatch(
+    std::span<const ShardBatchInput> shards, std::span<const QuerySpec> specs,
+    TaskScheduler& scheduler, uint64_t batch_seed, const BatchOptions& options,
+    BatchStats* stats);
 
 }  // namespace cod
 

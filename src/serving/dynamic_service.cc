@@ -1,4 +1,4 @@
-#include "core/dynamic_service.h"
+#include "serving/dynamic_service.h"
 
 #include <algorithm>
 #include <chrono>
@@ -66,14 +66,20 @@ uint64_t DynamicCodService::EdgeKey(NodeId u, NodeId v, size_t n) {
   return static_cast<uint64_t>(u) * n + v;
 }
 
-DynamicCodService::DynamicCodService(Graph initial_graph,
-                                     AttributeTable attrs,
-                                     const Options& options)
-    : attrs_(std::make_shared<const AttributeTable>(std::move(attrs))),
+DynamicCodService::DynamicCodService(Graph initial_graph, AttributeTable attrs,
+                                     const ServiceOptions& options)
+    : DynamicCodService(
+          std::move(initial_graph),
+          std::make_shared<const AttributeTable>(std::move(attrs)), options) {}
+
+DynamicCodService::DynamicCodService(
+    Graph initial_graph, std::shared_ptr<const AttributeTable> attrs,
+    const ServiceOptions& options)
+    : attrs_(std::move(attrs)),
       options_(options),
       num_nodes_(initial_graph.NumNodes()) {
+  COD_CHECK(options_.Validate().ok());
   COD_CHECK_EQ(num_nodes_, attrs_->NumNodes());
-  if (options_.async_rebuild) COD_CHECK(options_.scheduler != nullptr);
   if (options_.scheduler != nullptr) sched_group_.emplace(*options_.scheduler);
   if (!options_.snapshot_dir.empty()) {
     snapshot_store_ = std::make_unique<SnapshotStore>(
@@ -93,7 +99,7 @@ DynamicCodService::DynamicCodService(Graph initial_graph,
 
 DynamicCodService::DynamicCodService(
     RecoveredTag, std::shared_ptr<const AttributeTable> attrs,
-    const Options& options, std::shared_ptr<const EngineCore> core,
+    const ServiceOptions& options, std::shared_ptr<const EngineCore> core,
     std::unique_ptr<SnapshotStore> store, uint64_t epoch,
     uint64_t build_index, bool degraded)
     : attrs_(std::move(attrs)),
@@ -101,8 +107,8 @@ DynamicCodService::DynamicCodService(
       num_nodes_(core->graph().NumNodes()),
       snapshot_store_(std::move(store)),
       last_snapshot_epoch_(epoch) {
+  COD_CHECK(options_.Validate().ok());
   COD_CHECK_EQ(num_nodes_, attrs_->NumNodes());
-  if (options_.async_rebuild) COD_CHECK(options_.scheduler != nullptr);
   if (options_.scheduler != nullptr) sched_group_.emplace(*options_.scheduler);
   const Graph& g = core->graph();
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
@@ -144,7 +150,8 @@ void DynamicCodService::RegisterGauges() {
 }
 
 Result<std::unique_ptr<DynamicCodService>> DynamicCodService::Recover(
-    const Options& options) {
+    const ServiceOptions& options) {
+  COD_CHECK(options.Validate().ok());
   COD_CHECK(!options.snapshot_dir.empty());
   auto store = std::make_unique<SnapshotStore>(
       SnapshotStore::Options{options.snapshot_dir, options.snapshots_keep});
@@ -152,6 +159,17 @@ Result<std::unique_ptr<DynamicCodService>> DynamicCodService::Recover(
   if (!loaded.ok()) return loaded.status();
   DecodedEpochSnapshot& snap = loaded->snapshot;
   const EngineOptions& eng = options.engine;
+  // The options fingerprint is the primary compatibility gate (it also
+  // covers the sharding layout and the attribute transform); the
+  // field-by-field check below stays as defense in depth for the fields
+  // the container stores explicitly.
+  if (snap.meta.options_fingerprint != options.Fingerprint()) {
+    return Status::FailedPrecondition(
+        "snapshot " + loaded->path +
+        " was written under a different options fingerprint (engine "
+        "parameters, seed, or sharding layout); restoring it would change "
+        "answers");
+  }
   if (snap.meta.seed != options.seed || snap.meta.engine_k != eng.k ||
       snap.meta.engine_theta != eng.theta ||
       snap.meta.himor_max_rank != eng.himor_max_rank ||
@@ -228,7 +246,7 @@ size_t DynamicCodService::NumEdges() const {
   return edges_.size();
 }
 
-DynamicCodService::RebuildStats DynamicCodService::rebuild_stats() const {
+RebuildStats DynamicCodService::rebuild_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }
@@ -333,6 +351,7 @@ void DynamicCodService::WriteSnapshotNow(uint64_t epoch, uint64_t build_index,
   meta.build_index = build_index;
   meta.seed = options_.seed;
   meta.degraded = degraded;
+  meta.options_fingerprint = options_.Fingerprint();
   if (snapshot_store_->Write(meta, core).ok()) {
     last_snapshot_epoch_ = epoch;
   }
@@ -573,16 +592,11 @@ CodResult DynamicCodService::QueryCodU(NodeId q, uint32_t k, Rng& rng) {
 
 std::vector<CodResult> DynamicCodService::QueryBatch(
     std::span<const QuerySpec> specs, TaskScheduler& scheduler,
-    uint64_t batch_seed) const {
+    uint64_t batch_seed, const BatchOptions& options,
+    BatchStats* stats) const {
   const EpochSnapshot snap = Snapshot();  // keeps the epoch alive throughout
-  return RunQueryBatch(*snap.core, specs, scheduler, batch_seed);
-}
-
-std::vector<CodResult> DynamicCodService::QueryBatch(
-    std::span<const QuerySpec> specs, TaskScheduler& scheduler,
-    uint64_t batch_seed, const BatchOptions& options) const {
-  const EpochSnapshot snap = Snapshot();  // keeps the epoch alive throughout
-  return RunQueryBatch(*snap.core, specs, scheduler, batch_seed, options);
+  return RunQueryBatch(*snap.core, specs, scheduler, batch_seed, options,
+                       stats);
 }
 
 }  // namespace cod

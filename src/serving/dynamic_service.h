@@ -1,4 +1,7 @@
-// Epoch-based COD serving over a changing graph.
+// Epoch-based COD serving over a changing graph — the MONO implementation
+// of CodServiceInterface (one engine, whole graph). The sharded
+// implementation (serving/sharded_service.h) composes N of these behind
+// the scatter/gather router.
 //
 // The paper (Sec. IV-B discussion, conclusion) leaves truly incremental
 // maintenance of the hierarchy and HIMOR under updates as an open problem —
@@ -55,8 +58,8 @@
 // dedupes and WaitForRebuild waits, exactly as during one long build — but
 // no thread is occupied.
 
-#ifndef COD_CORE_DYNAMIC_SERVICE_H_
-#define COD_CORE_DYNAMIC_SERVICE_H_
+#ifndef COD_SERVING_DYNAMIC_SERVICE_H_
+#define COD_SERVING_DYNAMIC_SERVICE_H_
 
 #include <atomic>
 #include <chrono>
@@ -69,77 +72,18 @@
 #include "common/metrics.h"
 #include "common/task_scheduler.h"
 #include "core/cod_engine.h"
+#include "serving/service_interface.h"
 
 namespace cod {
 
 class SnapshotStore;
 
-class DynamicCodService {
+class DynamicCodService : public CodServiceInterface {
  public:
-  struct Options {
-    EngineOptions engine;
-    // Rebuild when pending updates exceed this fraction of the snapshot's
-    // edges (0 = rebuild on every update; large = manual Refresh only).
-    double rebuild_threshold = 0.05;
-    uint64_t seed = 1;  // drives HIMOR sampling at every rebuild
-    // Build threshold-crossing rebuilds as rebuild-priority tasks on
-    // `scheduler` instead of the querying thread; queries keep serving the
-    // stale epoch meanwhile. Without it the service never rebuilds on its
-    // own — the owner polls RefreshDue() and calls Refresh().
-    bool async_rebuild = false;
-    TaskScheduler* scheduler = nullptr;  // required iff async_rebuild
-    // Failed ASYNC rebuilds retry up to this many times (so up to
-    // 1 + max_rebuild_retries attempts per ticket), waiting
-    // rebuild_backoff_initial_ms, then doubling up to rebuild_backoff_max_ms,
-    // between attempts. The wait is a scheduler timer, not a sleep — no
-    // worker is held during backoff. Synchronous Refresh() never retries —
-    // the caller sees the Status and decides.
-    uint32_t max_rebuild_retries = 3;
-    uint32_t rebuild_backoff_initial_ms = 10;
-    uint32_t rebuild_backoff_max_ms = 1000;
-    // Wall-clock budget for each rebuild's HIMOR construction (0 =
-    // unlimited). The default bounds how long a rebuild can monopolize a
-    // pool worker; an over-budget index build publishes degraded (below)
-    // rather than failing the rebuild.
-    double rebuild_budget_seconds = 30.0;
-    // Durable epoch snapshots (storage/snapshot_store.h). When non-empty,
-    // every published epoch is serialized to this directory by a
-    // maintenance-priority task on `scheduler` (inline on the publishing
-    // thread when no scheduler is configured), written crash-safely (temp
-    // file -> fsync -> atomic rename -> parent fsync) and pruned to
-    // `snapshots_keep` files. A snapshot failure is logged in metrics
-    // (cod_snapshot_write_failures_total) and never affects publication —
-    // durability is an accelerator for restart, not a publication gate.
-    // Recover() warm-restarts from the newest valid snapshot.
-    std::string snapshot_dir;
-    size_t snapshots_keep = 2;
-    // When the budgeted HIMOR build fails but the epoch's graph and
-    // hierarchy built fine, publish the epoch anyway WITHOUT the index:
-    // the epoch is marked degraded, CODL serves the compressed-evaluation
-    // (CODL-) fallback, and index-only ladder rungs vanish until a later
-    // rebuild restores the index. Set false to restore the strict behavior
-    // (an index failure fails the whole rebuild and the stale epoch keeps
-    // serving from its intact index).
-    bool publish_without_index = true;
-  };
-
-  // Cumulative rebuild bookkeeping, inspectable at any time (test /
-  // monitoring hook). attempts counts every BuildEpochCore call including
-  // retries; published counts successful epoch swaps (published_degraded
-  // of which were index-absent).
-  struct RebuildStats {
-    uint64_t attempts = 0;
-    uint64_t failures = 0;
-    uint64_t retries = 0;
-    uint64_t published = 0;
-    uint64_t published_degraded = 0;
-    Status last_error;  // most recent failure; Ok() if none ever failed
-  };
-
   // A published epoch: queries against `core` are answered as of that
   // epoch's graph snapshot. Holding the shared_ptr keeps the epoch alive
   // after later rebuilds retire it. `degraded` marks an index-absent epoch
-  // (see Options::publish_without_index).
+  // (see ServiceOptions::publish_without_index).
   struct EpochSnapshot {
     std::shared_ptr<const EngineCore> core;
     uint64_t epoch = 0;
@@ -151,8 +95,15 @@ class DynamicCodService {
   // The first epoch is built synchronously, so the service is immediately
   // queryable; its build CHECK-fails on error (there is no good epoch to
   // fall back to), so arm rebuild failpoints only AFTER construction.
+  // Options must Validate(); sharding fields are carried only for the
+  // snapshot fingerprint — this class is always exactly one engine.
   DynamicCodService(Graph initial_graph, AttributeTable attrs,
-                    const Options& options);
+                    const ServiceOptions& options);
+  // Shared-attrs form for embedders that hold the table elsewhere (the
+  // sharded service shares ONE table across all shard engines).
+  DynamicCodService(Graph initial_graph,
+                    std::shared_ptr<const AttributeTable> attrs,
+                    const ServiceOptions& options);
 
   // Warm restart: reconstructs a service from the newest valid snapshot in
   // options.snapshot_dir, skipping the expensive clustering/index build —
@@ -161,38 +112,26 @@ class DynamicCodService {
   // later rebuilds continue the same deterministic seed stream. Corrupt
   // snapshots are quarantined (".corrupt") and older ones tried; returns
   // kNotFound when no usable snapshot exists (cold-construct instead) and
-  // kFailedPrecondition when the newest valid snapshot was written under
-  // different options (seed or engine parameters) — restoring it would
-  // silently change answers.
+  // kFailedPrecondition when the newest valid snapshot was written under a
+  // different options fingerprint (seed, engine parameters, or sharding
+  // layout) — restoring it would silently change answers.
   static Result<std::unique_ptr<DynamicCodService>> Recover(
-      const Options& options);
+      const ServiceOptions& options);
 
   // Cancels any scheduled retry (restoring its pending count, like a
   // retry-cap give-up) including its scheduler timer, then waits out every
   // task this service still has in flight on the scheduler.
-  ~DynamicCodService();
+  ~DynamicCodService() override;
 
-  // ---- Updates (O(1), no rebuild). Duplicate inserts overwrite weight;
-  // removing an absent edge returns false. Self-loops are rejected.
-  // Thread-safe against queries and each other. ----
-  bool AddEdge(NodeId u, NodeId v, double weight = 1.0);
-  bool RemoveEdge(NodeId u, NodeId v);
-
-  size_t pending_updates() const;
-  uint64_t epoch() const { return published_.load()->epoch; }
-  // True when the current epoch was published index-absent.
-  bool epoch_degraded() const { return published_.load()->degraded; }
-  size_t NumEdges() const;
-  RebuildStats rebuild_stats() const;
-
-  // True when accumulated drift has crossed rebuild_threshold — in sync
-  // mode the owner polls this and calls Refresh() (queries never rebuild).
-  bool RefreshDue() const;
-  // True while a failed async rebuild is waiting out its backoff. No
-  // worker is occupied during this window; the retry fires from the
-  // scheduler timer or the next query's MaybeRefresh once `retry_after`
-  // passes.
-  bool RetryScheduled() const;
+  // ---- CodServiceInterface ----
+  bool AddEdge(NodeId u, NodeId v, double weight = 1.0) override;
+  bool RemoveEdge(NodeId u, NodeId v) override;
+  size_t pending_updates() const override;
+  uint64_t epoch() const override { return published_.load()->epoch; }
+  bool epoch_degraded() const override { return published_.load()->degraded; }
+  size_t NumEdges() const override;
+  RebuildStats rebuild_stats() const override;
+  bool RefreshDue() const override;
 
   // Synchronously rebuilds the snapshot, hierarchy, and index from the
   // current edge set and publishes the new epoch before returning (a
@@ -202,23 +141,19 @@ class DynamicCodService {
   // restored, and the build error is returned (no retries — call again to
   // retry). An index-only failure publishes degraded and returns Ok when
   // publish_without_index is set.
-  Status Refresh();
+  Status Refresh() override;
 
   // Schedules a rebuild on `scheduler` and returns immediately; false if
   // one is already in flight — executing OR waiting on a retry deadline —
   // (callers keep serving the stale epoch either way). Requires
-  // Options::async_rebuild. Failed builds are re-scheduled with capped
-  // exponential backoff (see Options); if every attempt fails, the old
-  // epoch keeps serving and rebuild_stats().last_error records why.
-  bool RefreshAsync();
+  // ServiceOptions::async_rebuild. Failed builds are re-scheduled with
+  // capped exponential backoff; if every attempt fails, the old epoch
+  // keeps serving and rebuild_stats().last_error records why.
+  bool RefreshAsync() override;
 
   // Blocks until no background rebuild is in flight, waiting through any
   // scheduled retries (test/shutdown hook).
-  void WaitForRebuild();
-
-  // The current epoch, via one atomic load — never blocks, including during
-  // a background rebuild.
-  EpochSnapshot Snapshot() const;
+  void WaitForRebuild() override;
 
   // Serves from the current epoch — snapshot-and-serve only, never
   // rebuilding inline. Under async_rebuild a threshold crossing schedules
@@ -226,21 +161,31 @@ class DynamicCodService {
   // caller owns rebuilds via RefreshDue()/Refresh(). Scratch comes from a
   // lazily built thread-local QueryWorkspace rebound to the snapshot, so
   // repeated single queries do not reallocate.
-  CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k, Rng& rng);
-  CodResult QueryCodU(NodeId q, uint32_t k, Rng& rng);
+  CodResult QueryCodL(NodeId q, AttributeId attr, uint32_t k,
+                      Rng& rng) override;
+  CodResult QueryCodU(NodeId q, uint32_t k, Rng& rng) override;
 
   // Fans a workload across `scheduler` against ONE snapshot of the current
   // epoch; deterministic given (snapshot, specs, batch_seed) — see
   // core/query_batch.h. Never triggers or waits for rebuilds.
-  std::vector<CodResult> QueryBatch(std::span<const QuerySpec> specs,
-                                    TaskScheduler& scheduler,
-                                    uint64_t batch_seed) const;
-  // With per-query budgets, batch deadline / cancellation, and the
-  // degradation ladder (see BatchOptions in core/query_batch.h).
+  using CodServiceInterface::QueryBatch;
   std::vector<CodResult> QueryBatch(std::span<const QuerySpec> specs,
                                     TaskScheduler& scheduler,
                                     uint64_t batch_seed,
-                                    const BatchOptions& options) const;
+                                    const BatchOptions& options,
+                                    BatchStats* stats) const override;
+
+  // ---- Mono-only surface ----
+
+  // True while a failed async rebuild is waiting out its backoff. No
+  // worker is occupied during this window; the retry fires from the
+  // scheduler timer or the next query's MaybeRefresh once `retry_after`
+  // passes.
+  bool RetryScheduled() const;
+
+  // The current epoch, via one atomic load — never blocks, including during
+  // a background rebuild.
+  EpochSnapshot Snapshot() const;
 
   // The engine core of the current epoch (stale by up to
   // pending_updates()). The reference is only guaranteed until the next
@@ -314,7 +259,7 @@ class DynamicCodService {
   // `build_index` restore publication continuity.
   struct RecoveredTag {};
   DynamicCodService(RecoveredTag, std::shared_ptr<const AttributeTable> attrs,
-                    const Options& options,
+                    const ServiceOptions& options,
                     std::shared_ptr<const EngineCore> core,
                     std::unique_ptr<SnapshotStore> store, uint64_t epoch,
                     uint64_t build_index, bool degraded);
@@ -330,7 +275,7 @@ class DynamicCodService {
                         const EngineCore& core);
 
   std::shared_ptr<const AttributeTable> attrs_;  // shared by every epoch
-  Options options_;
+  ServiceOptions options_;
   size_t num_nodes_;
 
   mutable std::mutex mu_;  // guards the pending state below
@@ -367,7 +312,7 @@ class DynamicCodService {
   // scheduler is configured.
   std::optional<TaskGroup> sched_group_;
 
-  // Durable snapshots (null when Options::snapshot_dir is empty).
+  // Durable snapshots (null when ServiceOptions::snapshot_dir is empty).
   // snapshot_mu_ serializes writes and guards last_snapshot_epoch_ — the
   // newest epoch durably on disk (or restored from disk), so a stale
   // queued write for an already-superseded epoch is skipped, and a
@@ -379,4 +324,4 @@ class DynamicCodService {
 
 }  // namespace cod
 
-#endif  // COD_CORE_DYNAMIC_SERVICE_H_
+#endif  // COD_SERVING_DYNAMIC_SERVICE_H_

@@ -1,0 +1,54 @@
+// Deterministic component-atomic graph partitioning for the sharded
+// serving tier.
+//
+// Both strategies assign whole connected components to shards — never
+// splitting one — because the shard engines answer component-scoped
+// queries (EngineOptions::component_scoped): as long as a component's
+// edges land intact on exactly one shard, that shard's answers for the
+// component's nodes are bit-identical to any other layout's, which is
+// what makes the router's merged results independent of the shard count.
+//
+// The assignment is a pure function of (graph, attrs, num_shards,
+// strategy): components are ordered deterministically and placed with a
+// greedy longest-processing-time balance, ties always toward the smaller
+// index. No randomness, no iteration-order dependence.
+
+#ifndef COD_SERVING_PARTITION_H_
+#define COD_SERVING_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributes.h"
+#include "graph/graph.h"
+#include "serving/service_options.h"
+
+namespace cod {
+
+struct GraphPartition {
+  std::vector<uint32_t> shard_of_node;  // per node, in [0, num_shards)
+  uint32_t num_shards = 0;
+  // Nodes per shard (the balance the greedy placement optimized).
+  std::vector<uint32_t> shard_nodes;
+
+  uint32_t ShardOf(NodeId v) const { return shard_of_node[v]; }
+};
+
+// Assigns every node to a shard. Fewer components than shards is legal:
+// the surplus shards stay empty (their shard graphs have the full node
+// set and zero edges) — a connected graph simply cannot be spread wider
+// than one shard without changing answers.
+GraphPartition PartitionGraph(const Graph& g, const AttributeTable& attrs,
+                              uint32_t num_shards, PartitionStrategy strategy);
+
+// The subgraph shard `shard` serves: the FULL node set (so global node
+// ids, attribute rows, and per-source RNG streams line up across shards)
+// with exactly the edges whose two endpoints the partition assigned to
+// `shard`. Component-atomic partitions never produce cross-shard edges,
+// so the shard graphs tile the input's edge set.
+Graph BuildShardGraph(const Graph& g, const GraphPartition& partition,
+                      uint32_t shard);
+
+}  // namespace cod
+
+#endif  // COD_SERVING_PARTITION_H_

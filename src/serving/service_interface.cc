@@ -1,0 +1,50 @@
+#include "serving/service_interface.h"
+
+#include <utility>
+
+#include "serving/dynamic_service.h"
+#include "serving/sharded_service.h"
+
+namespace cod {
+
+std::unique_ptr<CodServiceInterface> MakeCodService(
+    Graph initial_graph, AttributeTable attrs, const ServiceOptions& options) {
+  COD_CHECK(options.Validate().ok());
+  if (options.num_shards == 1) {
+    return std::make_unique<DynamicCodService>(std::move(initial_graph),
+                                               std::move(attrs), options);
+  }
+  return std::make_unique<ShardedCodService>(std::move(initial_graph),
+                                             std::move(attrs), options);
+}
+
+Result<std::unique_ptr<CodServiceInterface>> RecoverCodService(
+    const ServiceOptions& options, Graph cold_graph,
+    AttributeTable cold_attrs) {
+  COD_RETURN_IF_ERROR(options.Validate());
+  if (options.num_shards == 1) {
+    Result<std::unique_ptr<DynamicCodService>> recovered =
+        DynamicCodService::Recover(options);
+    if (recovered.ok()) {
+      return std::unique_ptr<CodServiceInterface>(
+          std::move(recovered).value());
+    }
+    if (recovered.status().code() != StatusCode::kNotFound) {
+      return recovered.status();
+    }
+    // No usable snapshot at all: cold-start from the provided source of
+    // truth, exactly like first boot.
+    return std::unique_ptr<CodServiceInterface>(
+        std::make_unique<DynamicCodService>(
+            std::move(cold_graph),
+            std::make_shared<const AttributeTable>(std::move(cold_attrs)),
+            options));
+  }
+  Result<std::unique_ptr<ShardedCodService>> recovered =
+      ShardedCodService::Recover(options, std::move(cold_graph),
+                                 std::move(cold_attrs));
+  if (!recovered.ok()) return recovered.status();
+  return std::unique_ptr<CodServiceInterface>(std::move(recovered).value());
+}
+
+}  // namespace cod

@@ -18,7 +18,10 @@ namespace cod {
 namespace {
 
 constexpr uint32_t kMagic = 0x434F4453;  // "CODS"
-constexpr uint32_t kVersion = 1;
+// v2: kMeta section gained options_fingerprint (the ServiceOptions
+// fingerprint, which covers the sharding layout). v1 files fail the version
+// check and recover via quarantine + cold rebuild.
+constexpr uint32_t kVersion = 2;
 
 constexpr uint32_t kFlagDegraded = 1u << 0;
 
@@ -73,12 +76,14 @@ void SerializeMeta(const EpochSnapshotMeta& meta, BinaryBufferWriter& out) {
   out.WritePod<uint8_t>(meta.diffusion);
   out.WritePod<uint64_t>(meta.num_nodes);
   out.WritePod<uint64_t>(meta.num_edges);
+  out.WritePod<uint64_t>(meta.options_fingerprint);  // v2
 }
 
 bool DeserializeMeta(BinarySpanReader& in, EpochSnapshotMeta* meta) {
   if (!in.ReadPod(&meta->engine_k) || !in.ReadPod(&meta->engine_theta) ||
       !in.ReadPod(&meta->himor_max_rank) || !in.ReadPod(&meta->diffusion) ||
-      !in.ReadPod(&meta->num_nodes) || !in.ReadPod(&meta->num_edges)) {
+      !in.ReadPod(&meta->num_nodes) || !in.ReadPod(&meta->num_edges) ||
+      !in.ReadPod(&meta->options_fingerprint)) {
     return false;
   }
   if (meta->diffusion > 1) return in.Fail("unknown diffusion kind");
@@ -175,7 +180,7 @@ Result<DecodedEpochSnapshot> DecodeEpochSnapshot(std::string_view bytes,
     return in.status();
   }
   snap.meta.degraded = (flags & kFlagDegraded) != 0;
-  // v1 writes at most 5 sections; a larger count is corruption, not growth
+  // v2 writes at most 5 sections; a larger count is corruption, not growth
   // (growth bumps the version).
   if (section_count == 0 || section_count > 8) {
     in.Fail("implausible section count");

@@ -1,7 +1,8 @@
 // Durable epoch snapshots: the on-disk container for one published
 // EngineCore epoch, and the crash-safe file protocol around it.
 //
-// Container layout (version 1, little-endian; see DESIGN.md Sec. 13):
+// Container layout (version 2, little-endian; see DESIGN.md Sec. 13; v2
+// added options_fingerprint to the kMeta section):
 //
 //   u32 magic "CODS" | u32 version
 //   u64 epoch | u64 build_index | u64 seed | u32 flags | u32 section_count
@@ -53,8 +54,14 @@ namespace cod {
 struct EpochSnapshotMeta {
   uint64_t epoch = 0;
   uint64_t build_index = 0;  // rebuild ticket; seed + ticket = RNG stream
-  uint64_t seed = 0;         // DynamicCodService::Options::seed
+  uint64_t seed = 0;         // ServiceOptions::seed
   bool degraded = false;     // published index-absent (no kHimor section)
+  // ServiceOptions::Fingerprint() of the service that wrote the snapshot
+  // (container v2+). Covers everything that shapes answers INCLUDING the
+  // sharding layout (num_shards, partitioner, component_scoped), so a mono
+  // snapshot never warm-restores into a sharded service or vice versa.
+  // Caller-set, like the identity fields above; 0 on legacy callers.
+  uint64_t options_fingerprint = 0;
 
   // Engine fingerprint (the options that shape answers and index bytes).
   uint32_t engine_k = 0;

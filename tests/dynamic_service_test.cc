@@ -1,4 +1,4 @@
-#include "core/dynamic_service.h"
+#include "serving/dynamic_service.h"
 
 #include <algorithm>
 #include <atomic>
@@ -36,8 +36,8 @@ World MakeWorld(uint64_t seed) {
   return w;
 }
 
-DynamicCodService::Options SmallOptions(double threshold) {
-  DynamicCodService::Options options;
+ServiceOptions SmallOptions(double threshold) {
+  ServiceOptions options;
   options.rebuild_threshold = threshold;
   options.seed = 7;
   return options;
@@ -124,7 +124,7 @@ TEST(DynamicServiceTest, SyncQueriesNeverRebuildInline) {
 TEST(DynamicServiceTest, AsyncThresholdCrossingQuerySchedulesRebuild) {
   World w = MakeWorld(4);
   TaskScheduler rebuild_pool(1);
-  DynamicCodService::Options options = SmallOptions(0.01);
+  ServiceOptions options = SmallOptions(0.01);
   options.async_rebuild = true;
   options.scheduler = &rebuild_pool;
   DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
@@ -196,7 +196,7 @@ TEST(DynamicServiceTest, SnapshotSurvivesRefresh) {
 TEST(DynamicServiceTest, AsyncRefreshServesStaleThenSwaps) {
   World w = MakeWorld(8);
   TaskScheduler rebuild_pool(1);
-  DynamicCodService::Options options = SmallOptions(10.0);
+  ServiceOptions options = SmallOptions(10.0);
   options.async_rebuild = true;
   options.scheduler = &rebuild_pool;
   DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
@@ -231,7 +231,7 @@ TEST(DynamicServiceTest, AsyncAndSyncRebuildsPublishIdenticalEpochs) {
   DynamicCodService sync_service(std::move(w1.graph), std::move(w1.attrs),
                                  SmallOptions(10.0));
   TaskScheduler rebuild_pool(1);
-  DynamicCodService::Options async_options = SmallOptions(10.0);
+  ServiceOptions async_options = SmallOptions(10.0);
   async_options.async_rebuild = true;
   async_options.scheduler = &rebuild_pool;
   DynamicCodService async_service(std::move(w2.graph), std::move(w2.attrs),
@@ -319,7 +319,7 @@ TEST(DynamicServiceTest, RebuildFailureKeepsServingOldEpoch) {
   // ...the absorbed pending count was restored for a later retry...
   EXPECT_EQ(service.pending_updates(), 1u);
   // ...and the error is inspectable.
-  const DynamicCodService::RebuildStats stats = service.rebuild_stats();
+  const RebuildStats stats = service.rebuild_stats();
   EXPECT_EQ(stats.failures, 1u);
   EXPECT_EQ(stats.last_error.code(), StatusCode::kIoError);
   EXPECT_EQ(stats.published, 1u);  // only the construction epoch
@@ -341,7 +341,7 @@ TEST(DynamicServiceTest, RebuildFailureKeepsServingOldEpoch) {
 
 TEST(DynamicServiceTest, HimorFailureFailsRebuildWhenStrict) {
   World w = MakeWorld(12);
-  DynamicCodService::Options options = SmallOptions(10.0);
+  ServiceOptions options = SmallOptions(10.0);
   options.publish_without_index = false;  // strict pre-degradation behavior
   DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
   ASSERT_TRUE(service.AddEdge(1, 140));
@@ -388,7 +388,7 @@ TEST(DynamicServiceTest, HimorFailurePublishesDegradedEpochByDefault) {
   EXPECT_NE(service.engine().graph().FindEdge(1, 140), kInvalidEdge);
   // ...its updates were absorbed (not restored like a failure)...
   EXPECT_EQ(service.pending_updates(), 0u);
-  const DynamicCodService::RebuildStats stats = service.rebuild_stats();
+  const RebuildStats stats = service.rebuild_stats();
   EXPECT_EQ(stats.published, 2u);
   EXPECT_EQ(stats.published_degraded, 1u);
   EXPECT_EQ(stats.failures, 0u);
@@ -419,7 +419,7 @@ TEST(DynamicServiceTest, PermanentIndexFailureKeepsPublishingDegradedEpochs) {
   // fresh (degraded) epochs instead of freezing on a stale one. The
   // sub-nanosecond budget is deterministically expired at its first check.
   ScopedFailpoint fp("himor/build", /*count=*/-1);
-  DynamicCodService::Options options = SmallOptions(10.0);
+  ServiceOptions options = SmallOptions(10.0);
   options.rebuild_budget_seconds = 1e-12;
   World w = MakeWorld(16);
   DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
@@ -436,7 +436,7 @@ TEST(DynamicServiceTest, PermanentIndexFailureKeepsPublishingDegradedEpochs) {
     EXPECT_TRUE(service.epoch_degraded());
     EXPECT_EQ(service.pending_updates(), 0u);
   }
-  const DynamicCodService::RebuildStats stats = service.rebuild_stats();
+  const RebuildStats stats = service.rebuild_stats();
   EXPECT_EQ(stats.published, 4u);
   EXPECT_EQ(stats.published_degraded, 4u);
   EXPECT_EQ(stats.failures, 0u);
@@ -500,7 +500,7 @@ TEST(DynamicServiceTest, DegradedCodlMatchesIndexlessBaseline) {
 TEST(DynamicServiceTest, AsyncRebuildRetriesWithBackoffUntilSuccess) {
   World w = MakeWorld(13);
   TaskScheduler rebuild_pool(1);
-  DynamicCodService::Options options = SmallOptions(10.0);
+  ServiceOptions options = SmallOptions(10.0);
   options.async_rebuild = true;
   options.scheduler = &rebuild_pool;
   options.max_rebuild_retries = 3;
@@ -515,7 +515,7 @@ TEST(DynamicServiceTest, AsyncRebuildRetriesWithBackoffUntilSuccess) {
   service.WaitForRebuild();
   EXPECT_EQ(service.epoch(), 2u);
   EXPECT_NE(service.engine().graph().FindEdge(2, 130), kInvalidEdge);
-  const DynamicCodService::RebuildStats stats = service.rebuild_stats();
+  const RebuildStats stats = service.rebuild_stats();
   EXPECT_EQ(stats.failures, 2u);
   EXPECT_EQ(stats.retries, 2u);
   EXPECT_EQ(stats.published, 2u);
@@ -525,7 +525,7 @@ TEST(DynamicServiceTest, AsyncRebuildRetriesWithBackoffUntilSuccess) {
 TEST(DynamicServiceTest, AsyncRebuildGivesUpAfterRetryCap) {
   World w = MakeWorld(14);
   TaskScheduler rebuild_pool(1);
-  DynamicCodService::Options options = SmallOptions(10.0);
+  ServiceOptions options = SmallOptions(10.0);
   options.async_rebuild = true;
   options.scheduler = &rebuild_pool;
   options.max_rebuild_retries = 1;
@@ -541,7 +541,7 @@ TEST(DynamicServiceTest, AsyncRebuildGivesUpAfterRetryCap) {
     service.WaitForRebuild();
     EXPECT_EQ(service.epoch(), 1u);  // old epoch still published
     EXPECT_EQ(service.pending_updates(), 1u);  // restored for a retry
-    const DynamicCodService::RebuildStats stats = service.rebuild_stats();
+    const RebuildStats stats = service.rebuild_stats();
     EXPECT_EQ(stats.failures, 2u);  // initial attempt + 1 retry
     EXPECT_EQ(stats.retries, 1u);
     EXPECT_FALSE(stats.last_error.ok());
@@ -561,7 +561,7 @@ TEST(DynamicServiceTest, AsyncRebuildGivesUpAfterRetryCap) {
 TEST(DynamicServiceTest, RetryBackoffHoldsNoPoolWorker) {
   World w = MakeWorld(17);
   TaskScheduler rebuild_pool(1);  // ONE worker makes occupancy observable
-  DynamicCodService::Options options = SmallOptions(10.0);
+  ServiceOptions options = SmallOptions(10.0);
   options.async_rebuild = true;
   options.scheduler = &rebuild_pool;
   options.max_rebuild_retries = 2;
@@ -608,7 +608,7 @@ TEST(DynamicServiceTest, RetryBackoffHoldsNoPoolWorker) {
 TEST(DynamicServiceTest, RefreshAbsorbsScheduledRetry) {
   World w = MakeWorld(18);
   TaskScheduler rebuild_pool(1);
-  DynamicCodService::Options options = SmallOptions(10.0);
+  ServiceOptions options = SmallOptions(10.0);
   options.async_rebuild = true;
   options.scheduler = &rebuild_pool;
   options.max_rebuild_retries = 3;
@@ -641,7 +641,7 @@ TEST(DynamicServiceTest, RefreshAbsorbsScheduledRetry) {
 TEST(DynamicServiceTest, DestructorCancelsScheduledRetry) {
   World w = MakeWorld(19);
   TaskScheduler rebuild_pool(1);
-  DynamicCodService::Options options = SmallOptions(10.0);
+  ServiceOptions options = SmallOptions(10.0);
   options.async_rebuild = true;
   options.scheduler = &rebuild_pool;
   options.max_rebuild_retries = 3;

@@ -17,7 +17,7 @@
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/task_scheduler.h"
-#include "core/dynamic_service.h"
+#include "serving/dynamic_service.h"
 #include "core/query_batch.h"
 #include "core/query_workspace.h"
 #include "graph/generators.h"
@@ -101,7 +101,7 @@ TEST(ServingStressTest, BatchQueriesRaceBackgroundRebuilds) {
   const std::vector<QuerySpec> specs = MakeSpecs(w.attrs, 12);
 
   TaskScheduler rebuild_pool(1);
-  DynamicCodService::Options options;
+  ServiceOptions options;
   options.rebuild_threshold = 100.0;  // writer refreshes explicitly
   options.seed = 3;
   options.async_rebuild = true;
@@ -197,7 +197,7 @@ TEST(ServingStressTest, ConcurrentScrapesRaceServingAndRebuilds) {
   const std::vector<QuerySpec> specs = MakeSpecs(w.attrs, 10);
 
   TaskScheduler rebuild_pool(1);
-  DynamicCodService::Options options;
+  ServiceOptions options;
   options.rebuild_threshold = 100.0;
   options.seed = 7;
   options.async_rebuild = true;
@@ -256,7 +256,7 @@ TEST(ServingStressTest, PinnedSnapshotStableAcrossRebuilds) {
   World w = MakeWorld(2);
   const std::vector<QuerySpec> specs = MakeSpecs(w.attrs, 8);
 
-  DynamicCodService::Options options;
+  ServiceOptions options;
   options.rebuild_threshold = 100.0;
   options.seed = 5;
   DynamicCodService service(std::move(w.graph), std::move(w.attrs), options);
@@ -295,7 +295,7 @@ TEST_P(RandomFailpointStressTest, ServingSurvivesRandomFaults) {
   const std::vector<QuerySpec> specs = MakeSpecs(w.attrs, 10);
 
   TaskScheduler rebuild_pool(1);
-  DynamicCodService::Options options;
+  ServiceOptions options;
   options.rebuild_threshold = 100.0;
   options.seed = 9;
   options.async_rebuild = true;

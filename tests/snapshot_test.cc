@@ -19,7 +19,7 @@
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/task_scheduler.h"
-#include "core/dynamic_service.h"
+#include "serving/dynamic_service.h"
 #include "core/query_workspace.h"
 #include "graph/generators.h"
 #include "storage/epoch_snapshot.h"
@@ -89,8 +89,8 @@ World MakeWorld(uint64_t seed) {
   return w;
 }
 
-DynamicCodService::Options SnapshotOptions(const std::string& dir) {
-  DynamicCodService::Options options;
+ServiceOptions SnapshotOptions(const std::string& dir) {
+  ServiceOptions options;
   options.rebuild_threshold = 0.5;
   options.seed = 7;
   options.snapshot_dir = dir;
@@ -190,7 +190,7 @@ TEST(SnapshotTest, EveryPublishSnapshotsAndPrunesToKeep) {
 
 TEST(SnapshotTest, WarmRestartServesBitIdenticalAnswers) {
   const std::string dir = FreshDir("warm_restart");
-  const DynamicCodService::Options options = SnapshotOptions(dir);
+  const ServiceOptions options = SnapshotOptions(dir);
   std::vector<ProbeAnswer> cold_answers;
   uint64_t cold_epoch = 0;
   {
@@ -249,7 +249,7 @@ TEST(SnapshotTest, RecoveredServiceKeepsRebuildDeterminism) {
   }
 
   const std::string dir_b = FreshDir("determinism_b");
-  const DynamicCodService::Options options_b = SnapshotOptions(dir_b);
+  const ServiceOptions options_b = SnapshotOptions(dir_b);
   {
     World w = MakeWorld(4);
     DynamicCodService service(std::move(w.graph), std::move(w.attrs),
@@ -273,7 +273,7 @@ TEST(SnapshotTest, RecoveredServiceKeepsRebuildDeterminism) {
 
 TEST(SnapshotTest, RecoverRejectsMismatchedOptions) {
   const std::string dir = FreshDir("mismatch");
-  DynamicCodService::Options options = SnapshotOptions(dir);
+  ServiceOptions options = SnapshotOptions(dir);
   {
     World w = MakeWorld(5);
     DynamicCodService service(std::move(w.graph), std::move(w.attrs),
@@ -296,7 +296,7 @@ TEST(SnapshotTest, RecoverFromEmptyDirectoryIsNotFound) {
 
 TEST(SnapshotTest, DegradedEpochRoundTripsIndexAbsent) {
   const std::string dir = FreshDir("degraded");
-  DynamicCodService::Options options = SnapshotOptions(dir);
+  ServiceOptions options = SnapshotOptions(dir);
   {
     World w = MakeWorld(6);
     DynamicCodService service(std::move(w.graph), std::move(w.attrs),
@@ -331,7 +331,7 @@ TEST(SnapshotTest, AsyncRebuildSnapshotsInBackground) {
   const std::string dir = FreshDir("async");
   {
     TaskScheduler scheduler(2);
-    DynamicCodService::Options options = SnapshotOptions(dir);
+    ServiceOptions options = SnapshotOptions(dir);
     options.async_rebuild = true;
     options.scheduler = &scheduler;
     World w = MakeWorld(7);
