@@ -26,23 +26,319 @@
 // instead of rebuilding it, and the demo prints cold vs warm
 // time-to-first-query to show the difference.
 //
+// Bench mode (--bench / --smoke): a sustained-update-rate benchmark of the
+// incremental epoch path (ServiceOptions::delta_rebuild). For each churn
+// level (fraction of cora-sim's edges mutated per batch) it drives the SAME
+// mutation stream into a delta-mode service and a full-rebuild service,
+// times every epoch publish, checks the delta epochs answer bit-identically
+// to a cold rebuild on the final edge set (hard failure if not), and writes
+// the sweep — publish latency, speedup, RR-sample reuse fraction, sustained
+// update rate, staleness window — to a JSON file (default BENCH_PR9.json).
+// --smoke shrinks theta and the round count for CI.
+//
 //   $ ./dynamic_stream [num_events] [num_shards]
+//   $ ./dynamic_stream --bench [out.json]
+//   $ ./dynamic_stream --smoke [out.json]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/binary_io.h"
+#include "common/metrics.h"
 #include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "eval/datasets.h"
 #include "eval/query_gen.h"
+#include "hierarchy/dendrogram_io.h"
+#include "serving/dynamic_service.h"
 #include "serving/service_interface.h"
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bench mode.
+// ---------------------------------------------------------------------------
+
+std::string HierarchyBytes(const cod::EngineCore& core) {
+  cod::BinaryBufferWriter w;
+  cod::SerializeDendrogram(core.base_hierarchy(), w);
+  return std::move(w).TakeBytes();
+}
+
+std::string HimorBytes(const cod::EngineCore& core) {
+  cod::BinaryBufferWriter w;
+  if (core.himor() != nullptr) core.himor()->SerializeTo(w);
+  return std::move(w).TakeBytes();
+}
+
+cod::Graph CopyGraph(const cod::Graph& g) {
+  cod::GraphBuilder b(g.NumNodes());
+  for (cod::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    b.AddEdge(u, v, g.Weight(e));
+  }
+  return std::move(b).Build();
+}
+
+// Exact edge-set bookkeeping so every generated mutation is guaranteed to
+// apply (random pairs mostly miss existing edges, which would make the
+// realized churn drift from the requested level).
+struct EdgeBook {
+  std::vector<std::pair<cod::NodeId, cod::NodeId>> edges;
+  std::unordered_set<uint64_t> present;
+
+  static uint64_t Key(cod::NodeId u, cod::NodeId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+  void Add(cod::NodeId u, cod::NodeId v) {
+    edges.emplace_back(u, v);
+    present.insert(Key(u, v));
+  }
+  bool Has(cod::NodeId u, cod::NodeId v) const {
+    return present.count(Key(u, v)) != 0;
+  }
+  std::pair<cod::NodeId, cod::NodeId> RemoveAt(size_t i) {
+    const auto e = edges[i];
+    present.erase(Key(e.first, e.second));
+    edges[i] = edges.back();
+    edges.pop_back();
+    return e;
+  }
+};
+
+struct Mutation {
+  bool add;
+  cod::NodeId u, v;
+  double weight;
+};
+
+// `count` mutations (~2/3 adds, ~1/3 removals) that all apply cleanly.
+std::vector<Mutation> MakeBatch(EdgeBook& book, size_t num_nodes, size_t count,
+                                cod::Rng& rng) {
+  std::vector<Mutation> batch;
+  while (batch.size() < count) {
+    if (!book.edges.empty() && rng.UniformInt(3) == 0) {
+      const auto [u, v] = book.RemoveAt(rng.UniformInt(book.edges.size()));
+      batch.push_back(Mutation{false, u, v, 0.0});
+      continue;
+    }
+    const auto u = static_cast<cod::NodeId>(rng.UniformInt(num_nodes));
+    const auto v = static_cast<cod::NodeId>(rng.UniformInt(num_nodes));
+    if (u == v || book.Has(u, v)) continue;
+    book.Add(u, v);
+    // cora-sim is an unweighted citation graph, so churn inserts unit-weight
+    // edges. Mixed weights on an otherwise-unit graph also honestly
+    // restructure the upper UPGMA levels and would understate sample reuse.
+    batch.push_back(Mutation{true, u, v, 1.0});
+  }
+  return batch;
+}
+
+void ApplyBatch(cod::DynamicCodService& service,
+                const std::vector<Mutation>& batch) {
+  for (const Mutation& m : batch) {
+    if (m.add) {
+      service.AddEdge(m.u, m.v, m.weight);
+    } else {
+      service.RemoveEdge(m.u, m.v);
+    }
+  }
+}
+
+uint64_t CounterValue(const char* name) {
+  return cod::MetricsRegistry::Instance().GetCounter(name)->Value();
+}
+
+struct ChurnRow {
+  double churn;
+  size_t batch_edges;
+  double delta_publish_ms;   // mean over rounds
+  double full_publish_ms;    // mean over rounds
+  double speedup;
+  double reuse_fraction;     // reused RR samples / total, mean over rounds
+  double sustained_updates_per_sec;  // batch ingested + delta-published
+  double staleness_ms;       // answer lag behind ingest = delta publish
+  bool bit_identical;
+};
+
+int RunBench(bool smoke, const std::string& json_path) {
+  cod::Result<cod::AttributedGraph> data = cod::MakeDataset("cora-sim");
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const size_t num_nodes = data->graph.NumNodes();
+  const size_t base_edges = data->graph.NumEdges();
+  auto attrs =
+      std::make_shared<const cod::AttributeTable>(std::move(data->attributes));
+
+  const uint32_t theta = smoke ? 16 : 64;
+  const int rounds = smoke ? 2 : 5;
+  // 0.02% rounds to a single edge per batch — the per-update publish
+  // latency a streaming deployment actually pays; the coarser levels batch
+  // enough random cross-community edges that RR invalidation fans out
+  // through hub vertices and reuse falls off.
+  const double churn_levels[] = {0.0002, 0.001, 0.005, 0.01};
+
+  cod::ServiceOptions delta_options;
+  delta_options.seed = 5;
+  delta_options.rebuild_threshold = 1e9;  // publish only via Refresh()
+  delta_options.engine.theta = theta;
+  delta_options.delta_rebuild = true;
+  cod::ServiceOptions full_options = delta_options;
+  full_options.delta_rebuild = false;
+
+  std::printf("cora-sim: %zu nodes, %zu edges, theta %u, %d rounds/level\n",
+              num_nodes, base_edges, theta, rounds);
+  std::vector<ChurnRow> rows;
+  bool all_identical = true;
+  for (const double churn : churn_levels) {
+    // Fresh services per level so each level measures the same base world.
+    cod::DynamicCodService delta_service(CopyGraph(data->graph), attrs,
+                                         delta_options);
+    cod::DynamicCodService full_service(CopyGraph(data->graph), attrs,
+                                        full_options);
+    EdgeBook book;
+    for (cod::EdgeId e = 0; e < data->graph.NumEdges(); ++e) {
+      const auto [u, v] = data->graph.Endpoints(e);
+      book.Add(u, v);
+    }
+    const size_t batch_edges =
+        std::max<size_t>(1, static_cast<size_t>(churn * base_edges));
+    cod::Rng rng(42 + static_cast<uint64_t>(churn * 1e6));
+
+    ChurnRow row{};
+    row.churn = churn;
+    row.batch_edges = batch_edges;
+    double delta_total_s = 0.0, full_total_s = 0.0, ingest_total_s = 0.0;
+    double reuse_total = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+      const std::vector<Mutation> batch =
+          MakeBatch(book, num_nodes, batch_edges, rng);
+      cod::WallTimer timer;
+      ApplyBatch(delta_service, batch);
+      const double ingest_s = timer.ElapsedSeconds();
+      const uint64_t reused_before =
+          CounterValue("cod_rebuild_delta_samples_reused_total");
+      const uint64_t resampled_before =
+          CounterValue("cod_rebuild_delta_samples_resampled_total");
+      const uint64_t replayed_before =
+          CounterValue("cod_rebuild_delta_samples_replayed_total");
+      timer.Restart();
+      if (!delta_service.Refresh().ok()) {
+        std::fprintf(stderr, "delta refresh failed\n");
+        return 1;
+      }
+      const double delta_s = timer.ElapsedSeconds();
+      const double reused = static_cast<double>(
+          CounterValue("cod_rebuild_delta_samples_reused_total") -
+          reused_before);
+      const double touched =
+          reused +
+          static_cast<double>(
+              CounterValue("cod_rebuild_delta_samples_resampled_total") -
+              resampled_before) +
+          static_cast<double>(
+              CounterValue("cod_rebuild_delta_samples_replayed_total") -
+              replayed_before);
+      ApplyBatch(full_service, batch);
+      timer.Restart();
+      if (!full_service.Refresh().ok()) {
+        std::fprintf(stderr, "full refresh failed\n");
+        return 1;
+      }
+      const double full_s = timer.ElapsedSeconds();
+      delta_total_s += delta_s;
+      full_total_s += full_s;
+      ingest_total_s += ingest_s;
+      reuse_total += touched > 0.0 ? reused / touched : 0.0;
+    }
+    row.delta_publish_ms = 1e3 * delta_total_s / rounds;
+    row.full_publish_ms = 1e3 * full_total_s / rounds;
+    row.speedup = row.delta_publish_ms > 0.0
+                      ? row.full_publish_ms / row.delta_publish_ms
+                      : 0.0;
+    row.reuse_fraction = reuse_total / rounds;
+    row.staleness_ms = row.delta_publish_ms;
+    const double cycle_s = (ingest_total_s + delta_total_s) / rounds;
+    row.sustained_updates_per_sec =
+        cycle_s > 0.0 ? static_cast<double>(batch_edges) / cycle_s : 0.0;
+
+    // Bit-identity canary: the delta chain's epoch must match a cold
+    // delta-mode service built directly on the final edge set.
+    const auto evolved = delta_service.Snapshot();
+    cod::DynamicCodService cold(CopyGraph(evolved.core->graph()), attrs,
+                                delta_options);
+    const auto cold_snap = cold.Snapshot();
+    row.bit_identical =
+        HierarchyBytes(*evolved.core) == HierarchyBytes(*cold_snap.core) &&
+        HimorBytes(*evolved.core) == HimorBytes(*cold_snap.core);
+    all_identical = all_identical && row.bit_identical;
+
+    std::printf(
+        "churn %.3f%% (%zu edges/batch): delta %.2fms, full %.2fms, "
+        "%.1fx, reuse %.1f%%, %s\n",
+        100.0 * churn, batch_edges, row.delta_publish_ms, row.full_publish_ms,
+        row.speedup, 100.0 * row.reuse_fraction,
+        row.bit_identical ? "bit-identical" : "MISMATCH");
+    rows.push_back(row);
+  }
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"dynamic_stream_delta_rebuild\",\n"
+               "  \"dataset\": \"cora-sim\",\n  \"num_nodes\": %zu,\n"
+               "  \"num_edges\": %zu,\n  \"theta\": %u,\n"
+               "  \"rounds_per_level\": %d,\n  \"smoke\": %s,\n"
+               "  \"churn_levels\": [\n",
+               num_nodes, base_edges, theta, rounds, smoke ? "true" : "false");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ChurnRow& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"churn\": %.4f, \"batch_edges\": %zu,\n"
+        "     \"delta_publish_ms\": %.3f, \"full_publish_ms\": %.3f,\n"
+        "     \"speedup\": %.2f, \"rr_sample_reuse_fraction\": %.4f,\n"
+        "     \"sustained_updates_per_sec\": %.1f, \"staleness_ms\": %.3f,\n"
+        "     \"bit_identical_to_cold_rebuild\": %s}%s\n",
+        r.churn, r.batch_edges, r.delta_publish_ms, r.full_publish_ms,
+        r.speedup, r.reuse_fraction, r.sustained_updates_per_sec,
+        r.staleness_ms, r.bit_identical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: delta epoch diverged from cold rebuild bytes\n");
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "--bench") == 0 ||
+                   std::strcmp(argv[1], "--smoke") == 0)) {
+    return RunBench(std::strcmp(argv[1], "--smoke") == 0,
+                    argc > 2 ? argv[2] : "BENCH_PR9.json");
+  }
   const size_t num_events =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 600;
   const uint32_t num_shards =

@@ -970,6 +970,20 @@ Status EngineCore::TryBuildHimor(Rng& rng, const Budget& budget) {
   return Status::Ok();
 }
 
+Status EngineCore::TryBuildHimorDelta(uint64_t seed, const Budget& budget,
+                                      const std::vector<char>* dirty,
+                                      HimorSampleCache* prev,
+                                      HimorSampleCache* next,
+                                      HimorDeltaStats* stats) {
+  Result<HimorIndex> built = HimorIndex::BuildDelta(
+      model_, base_, lca_, options_.theta, seed, options_.himor_max_rank,
+      budget, options_.component_scoped ? &comp_size_of_node_ : nullptr,
+      dirty, prev, next, stats);
+  if (!built.ok()) return built.status();
+  himor_ = std::move(built).value();
+  return Status::Ok();
+}
+
 void EngineCore::MarkIndexAbsent() {
   COD_CHECK(!himor_.has_value());  // an existing index is never discarded
   index_absent_degraded_ = true;

@@ -295,6 +295,17 @@ class EngineCore {
   Status TryBuildHimor(Rng& rng, const Budget& budget);
   Status TryBuildHimorParallel(uint64_t seed, size_t num_threads,
                                const Budget& budget);
+  // Incremental build on the counter-seeded per-sample schedule (see
+  // HimorIndex::BuildDelta): with a valid `prev` cache plus the dirty-vertex
+  // bitmap, only samples touching dirty vertices are redrawn; with
+  // prev == nullptr this IS the delta-mode cold build. `next` (required)
+  // receives the carry state for the following epoch; on success the build
+  // consumes prev's bucket-row carry (moved into next). Honors
+  // options_.component_scoped like the other builders.
+  Status TryBuildHimorDelta(uint64_t seed, const Budget& budget,
+                            const std::vector<char>* dirty,
+                            HimorSampleCache* prev,
+                            HimorSampleCache* next, HimorDeltaStats* stats);
   Status LoadHimor(const std::string& path);
   // Declares that this core intentionally serves WITHOUT a HIMOR index (the
   // budgeted build failed and the epoch is being published degraded). CODL

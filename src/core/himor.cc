@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <queue>
-#include <unordered_map>
 
 #include "common/binary_io.h"
 #include "common/failpoint.h"
@@ -11,6 +10,8 @@
 
 namespace cod {
 namespace {
+
+constexpr uint32_t kNoPos = static_cast<uint32_t>(-1);
 
 // (count, node) runs sorted by descending count, ascending node id on ties.
 using Run = std::vector<std::pair<uint32_t, NodeId>>;
@@ -21,26 +22,34 @@ bool RunLess(const std::pair<uint32_t, NodeId>& a,
   return a.second < b.second;
 }
 
-// Merges `a` and `b` into `out` (appending), skipping entries whose node is
-// in `exclude`.
+// Merges `a` and `b` into `out` (appending). When `bucket_stamp` is non-null,
+// entries whose node is stamped with `token` (i.e. present in the current
+// community's bucket) are skipped — they re-enter with fresh totals.
 void MergeRuns(const Run& a, const Run& b,
-               const std::unordered_map<NodeId, uint32_t>& exclude, Run* out) {
+               const std::vector<uint32_t>* bucket_stamp, uint32_t token,
+               Run* out) {
   size_t i = 0;
   size_t j = 0;
   while (i < a.size() || j < b.size()) {
     const bool take_a =
         j == b.size() || (i < a.size() && RunLess(a[i], b[j]));
     const auto& item = take_a ? a[i++] : b[j++];
-    if (exclude.contains(item.second)) continue;
+    if (bucket_stamp != nullptr && (*bucket_stamp)[item.second] == token) {
+      continue;
+    }
     out->push_back(item);
   }
 }
 
-// Stage-1 worker: samples RR graphs from a contiguous source range and
-// performs hierarchical-first search on the tree, emitting one
-// (community, node) pair per first visit. Each worker owns its scratch, so
-// independent workers can run on a thread pool; pairs are merged into
-// count maps afterwards (addition commutes, so any merge order works).
+// Stage-1 worker: samples RR graphs and performs hierarchical-first search
+// on the tree, emitting one (community, node) pair per first visit. Each
+// worker owns its scratch, so independent workers can run on a thread pool;
+// pairs are aggregated into buckets afterwards (addition commutes, so any
+// merge order works).
+//
+// The walk is split from the sampling so the delta builder can re-run it
+// over RR bytes carried from the previous epoch (RrSlabPool::View) as well
+// as over freshly drawn RrGraphs — both expose nodes[] / NeighborsOf().
 class TreeHfsSampler {
  public:
   TreeHfsSampler(const DiffusionModel& model, const Dendrogram& dendrogram,
@@ -51,7 +60,118 @@ class TreeHfsSampler {
       max_depth_ = std::max(max_depth_, dendrogram.Depth(c));
     }
     depth_queue_.resize(max_depth_ + 1);
+    source_chain_.resize(max_depth_ + 1);
   }
+
+  // Loads `source`'s ancestor chain; must precede Walk / SampleAndWalk.
+  // Ancestor depths are contiguous (a parent is exactly one level
+  // shallower), so the chain occupies slots [0, source_level_] and stale
+  // entries above it are never read — no per-source clear needed.
+  void BeginSource(NodeId source) {
+    const Dendrogram& dendrogram = *dendrogram_;
+    source_ = source;
+    CommunityId c = dendrogram.Parent(dendrogram.LeafOf(source));
+    source_level_ = dendrogram.Depth(c);
+    while (c != kInvalidCommunity) {
+      source_chain_[dendrogram.Depth(c)] = c;
+      c = dendrogram.Parent(c);
+    }
+  }
+
+  // Number of non-leaf ancestors of the current source (= chain length).
+  uint32_t source_level() const { return source_level_; }
+
+  // The current source's ancestor at leaf-up position `pos` (0 = the leaf's
+  // parent, source_level() - 1 = the root).
+  CommunityId ChainAtLeafUp(uint32_t pos) const {
+    return source_chain_[source_level_ - pos];
+  }
+
+  // Leaf-up slot of lca(w, source) on the current source's chain — the
+  // position the walk would assign `w` before any clamping.
+  uint32_t SlotOf(NodeId w) const {
+    if (w == source_) return 0;
+    return source_level_ - dendrogram_->Depth(lca_->LcaOfNodes(w, source_));
+  }
+
+  // Hierarchical-first search over one RR graph of the current source:
+  // depth queues drained deepest-first, each node emitted once at the
+  // shallowest depth its live path has been clamped to. When `cache` is
+  // non-null, each emission also records (pos, tag, node) in LEAF-UP chain
+  // positions — see HimorSampleCache. `pairs` may be null when only the
+  // cache records are wanted (the delta builder maintains its bucket rows
+  // incrementally instead of re-aggregating raw pairs).
+  template <typename RrT>
+  void Walk(const RrT& rr, std::vector<std::pair<CommunityId, NodeId>>* pairs,
+            HimorSampleCache* cache) {
+    WalkClamped(
+        rr,
+        [this](NodeId v) {
+          return dendrogram_->Depth(lca_->LcaOfNodes(v, source_));
+        },
+        pairs, cache);
+  }
+
+  // The clamped hierarchical-first search with node depths supplied by
+  // `lvl_of` instead of LCA queries. The delta rebuild's replay path knows
+  // every node's new chain slot already, so it walks without touching the
+  // LCA tables; results are bit-identical to Walk when `lvl_of` returns
+  // Depth(lca(v, source)).
+  template <typename RrT, typename LvlFn>
+  void WalkClamped(const RrT& rr, LvlFn lvl_of,
+                   std::vector<std::pair<CommunityId, NodeId>>* pairs,
+                   HimorSampleCache* cache) {
+    const size_t n_local = rr.NumNodes();
+    if (queued_.size() < n_local) {
+      queued_.resize(n_local);
+      pos_depth_.resize(n_local);
+    }
+    std::fill(queued_.begin(), queued_.begin() + n_local, 0);
+
+    queued_[0] = 1;
+    pos_depth_[0] = source_level_;
+    depth_queue_[source_level_].push_back(0);
+    pending_.push(source_level_);
+    while (!pending_.empty()) {
+      const uint32_t d = pending_.top();
+      pending_.pop();
+      auto& queue = depth_queue_[d];
+      const CommunityId community = source_chain_[d];
+      for (size_t idx = 0; idx < queue.size(); ++idx) {
+        const uint32_t i = queue[idx];
+        if (pairs != nullptr) pairs->emplace_back(community, rr.nodes[i]);
+        if (cache != nullptr) {
+          cache->pair_pos.push_back(source_level_ - pos_depth_[i]);
+          cache->pair_tag.push_back(source_level_ - d);
+          cache->pair_node.push_back(rr.nodes[i]);
+        }
+        for (uint32_t u : rr.NeighborsOf(i)) {
+          if (queued_[u]) continue;
+          queued_[u] = 1;
+          // Smallest source-ancestor containing u has depth
+          // Depth(lca(u, source)); the live path so far is within depth
+          // d, so u's tag is the shallower of the two.
+          const uint32_t lvl_u = lvl_of(rr.nodes[u]);
+          pos_depth_[u] = lvl_u;
+          const uint32_t d2 = std::min(d, lvl_u);
+          if (d2 != d && depth_queue_[d2].empty()) pending_.push(d2);
+          depth_queue_[d2].push_back(u);
+        }
+      }
+      queue.clear();
+    }
+  }
+
+  // Draws one RR graph for the current source from `rng` and walks it. The
+  // drawn bytes stay available via last_rr() until the next draw.
+  void SampleAndWalk(Rng& rng,
+                     std::vector<std::pair<CommunityId, NodeId>>* pairs,
+                     HimorSampleCache* cache) {
+    sampler_.Sample(source_, rng, &rr_);
+    Walk(rr_, pairs, cache);
+  }
+
+  const RrGraph& last_rr() const { return rr_; }
 
   // Returns kOk, or the first exhausted-budget/abort code observed. The
   // budget is polled once per source (a source's theta RR graphs are the
@@ -62,7 +182,6 @@ class TreeHfsSampler {
                             std::vector<std::pair<CommunityId, NodeId>>* pairs,
                             const Budget& budget,
                             std::atomic<int>* abort_code) {
-    const Dendrogram& dendrogram = *dendrogram_;
     for (NodeId source = begin; source < end; ++source) {
       if (abort_code != nullptr) {
         const int aborted = abort_code->load(std::memory_order_relaxed);
@@ -78,49 +197,9 @@ class TreeHfsSampler {
         }
         return budget_code;
       }
-      // Ancestors of the source, indexed by depth.
-      source_chain_.assign(max_depth_ + 1, kInvalidCommunity);
-      uint32_t source_level = 0;
-      {
-        CommunityId c = dendrogram.Parent(dendrogram.LeafOf(source));
-        source_level = dendrogram.Depth(c);
-        while (c != kInvalidCommunity) {
-          source_chain_[dendrogram.Depth(c)] = c;
-          c = dendrogram.Parent(c);
-        }
-      }
+      BeginSource(source);
       for (uint32_t t = 0; t < theta; ++t) {
-        sampler_.Sample(source, rng, &rr_);
-        const size_t n_local = rr_.NumNodes();
-        if (queued_.size() < n_local) queued_.resize(n_local);
-        std::fill(queued_.begin(), queued_.begin() + n_local, 0);
-
-        queued_[0] = 1;
-        depth_queue_[source_level].push_back(0);
-        pending_.push(source_level);
-        while (!pending_.empty()) {
-          const uint32_t d = pending_.top();
-          pending_.pop();
-          auto& queue = depth_queue_[d];
-          const CommunityId community = source_chain_[d];
-          for (size_t idx = 0; idx < queue.size(); ++idx) {
-            const uint32_t i = queue[idx];
-            pairs->emplace_back(community, rr_.nodes[i]);
-            for (uint32_t u : rr_.NeighborsOf(i)) {
-              if (queued_[u]) continue;
-              queued_[u] = 1;
-              // Smallest source-ancestor containing u has depth
-              // Depth(lca(u, source)); the live path so far is within depth
-              // d, so u's tag is the shallower of the two.
-              const uint32_t lvl_u =
-                  dendrogram.Depth(lca_->LcaOfNodes(rr_.nodes[u], source));
-              const uint32_t d2 = std::min(d, lvl_u);
-              if (d2 != d && depth_queue_[d2].empty()) pending_.push(d2);
-              depth_queue_[d2].push_back(u);
-            }
-          }
-          queue.clear();
-        }
+        SampleAndWalk(rng, pairs, /*cache=*/nullptr);
       }
     }
     return StatusCode::kOk;
@@ -135,7 +214,10 @@ class TreeHfsSampler {
   std::vector<std::vector<uint32_t>> depth_queue_;
   std::priority_queue<uint32_t> pending_;  // max-heap: deepest first
   std::vector<char> queued_;
+  std::vector<uint32_t> pos_depth_;  // per local node, Depth(lca(., source))
   std::vector<CommunityId> source_chain_;
+  NodeId source_ = kInvalidNode;
+  uint32_t source_level_ = 0;
 };
 
 // Error for a build aborted with the (non-ok) budget code recorded at the
@@ -146,12 +228,64 @@ Status BudgetStatus(StatusCode code, const char* what) {
              : Status::Timeout(std::string(what) + " deadline exceeded");
 }
 
+// Member-set fingerprint of a leaf. Internal vertices sum (mod 2^64) their
+// children's fingerprints, so equal hashes mean equal leaf sets regardless
+// of tree shape (up to collisions; DESIGN.md Sec. 15).
+uint64_t LeafFingerprint(NodeId v) {
+  uint64_t mix = 0x9e3779b97f4a7c15ULL * (uint64_t{v} + 1);
+  return SplitMix64(mix);
+}
+
 }  // namespace
 
-// Stage 2 entry point shared by the serial and parallel builders.
-HimorIndex HimorIndex::BuildFromBuckets(
-    const Dendrogram& dendrogram, uint32_t max_rank,
-    std::vector<std::unordered_map<NodeId, uint32_t>> buckets,
+HimorIndex::BucketTable HimorIndex::BuildBuckets(
+    std::span<const std::pair<CommunityId, NodeId>> pairs,
+    size_t num_vertices, size_t num_nodes) {
+  BucketTable table;
+  table.item_begin.assign(num_vertices + 1, 0);
+
+  // Counting sort of the tag pairs by community.
+  std::vector<size_t> start(num_vertices + 1, 0);
+  for (const auto& [community, node] : pairs) ++start[community + 1];
+  for (size_t c = 1; c <= num_vertices; ++c) start[c] += start[c - 1];
+  std::vector<NodeId> sorted(pairs.size());
+  {
+    std::vector<size_t> cursor(start.begin(), start.end() - 1);
+    for (const auto& [community, node] : pairs) sorted[cursor[community]++] = node;
+  }
+
+  // Per-community aggregation: node stamps (token = community + 1, unique
+  // per segment) turn dedup into O(1) array probes.
+  std::vector<uint32_t> stamp(num_nodes, 0);
+  std::vector<size_t> slot(num_nodes, 0);
+  for (size_t c = 0; c < num_vertices; ++c) {
+    table.item_begin[c] = table.node.size();
+    const uint32_t token = static_cast<uint32_t>(c) + 1;
+    for (size_t i = start[c]; i < start[c + 1]; ++i) {
+      const NodeId v = sorted[i];
+      if (stamp[v] != token) {
+        stamp[v] = token;
+        slot[v] = table.node.size();
+        table.node.push_back(v);
+        table.count.push_back(1);
+      } else {
+        ++table.count[slot[v]];
+      }
+    }
+  }
+  table.item_begin[num_vertices] = table.node.size();
+  return table;
+}
+
+// Stage 2 core, templated over the bucket-item source: `items_of(c, emit)`
+// must call emit(node, count) once per aggregated bucket item of community
+// c (non-leaf communities only; emission order within a bucket is free —
+// `updated` is re-sorted and the accumulators commute). The batch builders
+// feed it a BucketTable; the delta builder feeds it the fingerprint-keyed
+// rows it maintains incrementally.
+template <typename ItemsOf>
+HimorIndex HimorIndex::BuildFromItems(
+    const Dendrogram& dendrogram, uint32_t max_rank, ItemsOf&& items_of,
     const std::vector<uint32_t>* comp_size_of_node) {
   const size_t n = dendrogram.NumLeaves();
   const size_t num_vertices = dendrogram.NumVertices();
@@ -164,6 +298,8 @@ HimorIndex HimorIndex::BuildFromBuckets(
   std::vector<uint32_t> rank_of(n, 0);    // scratch, epoch-guarded
   std::vector<uint32_t> rank_epoch(n, 0);
   uint32_t epoch = 0;
+  // "In the current community's bucket" stamps, consulted on the merge path.
+  std::vector<uint32_t> bucket_stamp(n, 0);
 
   std::vector<std::vector<Entry>> per_node(n);
   for (NodeId v = 0; v < n; ++v) {
@@ -171,18 +307,19 @@ HimorIndex HimorIndex::BuildFromBuckets(
   }
 
   Run scratch;
+  Run updated;
   for (CommunityId c = 0; c < num_vertices; ++c) {
     if (dendrogram.IsLeaf(c)) continue;
-    auto& bucket = buckets[c];
+    const uint32_t token = c + 1;
 
     // Nodes recorded at c get their accumulated totals bumped; they will be
     // re-inserted with fresh values, so child-run copies are excluded.
-    Run updated;
-    updated.reserve(bucket.size());
-    for (const auto& [v, count] : bucket) {
+    updated.clear();
+    items_of(c, [&](NodeId v, uint32_t count) {
       acc[v] += count;
       updated.emplace_back(acc[v], v);
-    }
+      bucket_stamp[v] = token;
+    });
     std::sort(updated.begin(), updated.end(), RunLess);
 
     // Merge child runs (2-way cascade; agglomerative trees are binary except
@@ -194,17 +331,17 @@ HimorIndex HimorIndex::BuildFromBuckets(
       Run& child_run = runs[child];
       if (first) {
         merged.clear();
-        MergeRuns(child_run, Run{}, bucket, &merged);
+        MergeRuns(child_run, Run{}, &bucket_stamp, token, &merged);
         first = false;
       } else {
         scratch.clear();
-        MergeRuns(merged, child_run, bucket, &scratch);
+        MergeRuns(merged, child_run, &bucket_stamp, token, &scratch);
         merged.swap(scratch);
       }
       Run().swap(child_run);  // free child memory
     }
     scratch.clear();
-    MergeRuns(merged, updated, /*exclude=*/{}, &scratch);
+    MergeRuns(merged, updated, /*bucket_stamp=*/nullptr, 0, &scratch);
     merged.swap(scratch);
 
     // Ranks in c: position of the first entry with the same count.
@@ -241,7 +378,6 @@ HimorIndex HimorIndex::BuildFromBuckets(
       }
     }
     runs[c] = std::move(merged);
-    bucket.clear();
   }
 
   // ---- CSR-pack the per-node entry lists. ----
@@ -257,6 +393,22 @@ HimorIndex HimorIndex::BuildFromBuckets(
               index.entries_.begin() + index.offsets_[v]);
   }
   return index;
+}
+
+// Stage 2 entry point shared by the batch builders.
+HimorIndex HimorIndex::BuildFromBuckets(
+    const Dendrogram& dendrogram, uint32_t max_rank,
+    const BucketTable& buckets,
+    const std::vector<uint32_t>* comp_size_of_node) {
+  return BuildFromItems(
+      dendrogram, max_rank,
+      [&buckets](CommunityId c, auto&& emit) {
+        for (size_t i = buckets.item_begin[c]; i < buckets.item_begin[c + 1];
+             ++i) {
+          emit(buckets.node[i], buckets.count[i]);
+        }
+      },
+      comp_size_of_node);
 }
 
 HimorIndex HimorIndex::Build(const DiffusionModel& model,
@@ -298,10 +450,9 @@ Result<HimorIndex> HimorIndex::Build(const DiffusionModel& model,
       0, static_cast<NodeId>(model.graph().NumNodes()), theta, rng, &pairs,
       budget, /*abort_code=*/nullptr);
   if (code != StatusCode::kOk) return BudgetStatus(code, "HIMOR build");
-  std::vector<std::unordered_map<NodeId, uint32_t>> buckets(
-      dendrogram.NumVertices());
-  for (const auto& [community, node] : pairs) ++buckets[community][node];
-  return BuildFromBuckets(dendrogram, max_rank, std::move(buckets));
+  const BucketTable buckets =
+      BuildBuckets(pairs, dendrogram.NumVertices(), dendrogram.NumLeaves());
+  return BuildFromBuckets(dendrogram, max_rank, buckets);
 }
 
 Result<HimorIndex> HimorIndex::BuildScoped(
@@ -333,11 +484,8 @@ Result<HimorIndex> HimorIndex::BuildScoped(
       return BudgetStatus(code, "HIMOR scoped build");
     }
   }
-  std::vector<std::unordered_map<NodeId, uint32_t>> buckets(
-      dendrogram.NumVertices());
-  for (const auto& [community, node] : pairs) ++buckets[community][node];
-  return BuildFromBuckets(dendrogram, max_rank, std::move(buckets),
-                          &comp_size_of_node);
+  const BucketTable buckets = BuildBuckets(pairs, dendrogram.NumVertices(), n);
+  return BuildFromBuckets(dendrogram, max_rank, buckets, &comp_size_of_node);
 }
 
 Result<HimorIndex> HimorIndex::BuildParallel(const DiffusionModel& model,
@@ -388,12 +536,587 @@ Result<HimorIndex> HimorIndex::BuildParallel(const DiffusionModel& model,
     return BudgetStatus(static_cast<StatusCode>(aborted),
                         "HIMOR parallel build");
   }
-  std::vector<std::unordered_map<NodeId, uint32_t>> buckets(
-      dendrogram.NumVertices());
-  for (const auto& pairs : batch_pairs) {
-    for (const auto& [community, node] : pairs) ++buckets[community][node];
+  std::vector<std::pair<CommunityId, NodeId>> pairs;
+  {
+    size_t total = 0;
+    for (const auto& batch : batch_pairs) total += batch.size();
+    pairs.reserve(total);
+    for (const auto& batch : batch_pairs) {
+      pairs.insert(pairs.end(), batch.begin(), batch.end());
+    }
   }
-  return BuildFromBuckets(dendrogram, max_rank, std::move(buckets));
+  const BucketTable buckets = BuildBuckets(pairs, dendrogram.NumVertices(), n);
+  return BuildFromBuckets(dendrogram, max_rank, buckets);
+}
+
+Result<HimorIndex> HimorIndex::BuildDelta(
+    const DiffusionModel& model, const Dendrogram& dendrogram,
+    const LcaIndex& lca, uint32_t theta, uint64_t seed, uint32_t max_rank,
+    const Budget& budget, const std::vector<uint32_t>* comp_size_of_node,
+    const std::vector<char>* dirty, HimorSampleCache* prev,
+    HimorSampleCache* next, HimorDeltaStats* stats) {
+  COD_CHECK(theta > 0);
+  COD_CHECK(max_rank > 0);
+  const size_t n = model.graph().NumNodes();
+  COD_CHECK_EQ(n, dendrogram.NumLeaves());
+  COD_CHECK(next != nullptr);
+  COD_CHECK(next != prev);
+  if (comp_size_of_node != nullptr) {
+    COD_CHECK_EQ(n, comp_size_of_node->size());
+  }
+  if (COD_FAILPOINT("himor/build")) {
+    return Status::IoError("failpoint himor/build armed");
+  }
+
+  const uint64_t num_samples = uint64_t{n} * theta;
+
+  // `next` is valid only once the build fully succeeds.
+  next->valid = false;
+  next->theta = theta;
+  next->seed = seed;
+  next->max_rank = max_rank;
+  next->num_leaves = n;
+  next->rr.Clear();
+  next->rows.clear();
+  next->pair_begin.clear();
+  next->pair_begin.reserve(num_samples + 1);
+  next->pair_begin.push_back(0);
+  next->pair_pos.clear();
+  next->pair_tag.clear();
+  next->pair_node.clear();
+
+  // A previous-epoch cache is only consulted when it was produced by the
+  // same (theta, seed, max_rank) schedule on a same-sized graph, together
+  // with a dirty bitmap relating the two graphs. The rows check is
+  // defensive: a cache whose bucket rows were already consumed must never
+  // re-enter the reuse path. Anything else (including a node-count change,
+  // which invalidates the whole id space) falls back to sampling
+  // everything — which is exactly the cold build.
+  const bool reusable =
+      prev != nullptr && prev->valid && prev->theta == theta &&
+      prev->seed == seed && prev->max_rank == max_rank &&
+      prev->num_leaves == n && prev->rr.NumSamples() == num_samples &&
+      prev->pair_begin.size() == num_samples + 1 && !prev->rows.empty() &&
+      dirty != nullptr && dirty->size() == n;
+
+  // New dendrogram shape + member-set fingerprints: carried in `next` for
+  // the following epoch, and matched against `prev`'s below.
+  const size_t num_vertices = dendrogram.NumVertices();
+  next->parent.resize(num_vertices);
+  next->set_hash.resize(num_vertices);
+  next->set_size.resize(num_vertices);
+  for (CommunityId c = 0; c < num_vertices; ++c) {
+    next->parent[c] = dendrogram.Parent(c);
+    next->set_size[c] = dendrogram.LeafCount(c);
+    if (dendrogram.IsLeaf(c)) {
+      next->set_hash[c] = LeafFingerprint(dendrogram.LeafNode(c));
+    } else {
+      uint64_t h = 0;
+      for (CommunityId child : dendrogram.Children(c)) {
+        h += next->set_hash[child];
+      }
+      next->set_hash[c] = h;
+    }
+  }
+
+  TreeHfsSampler worker(model, dendrogram, lca);
+  HimorDeltaStats tally;
+  tally.samples_total = num_samples;
+
+  // Converts a freshly aggregated bucket table into the fingerprint-keyed
+  // rows the next delta build carries forward (cold builds, and incremental
+  // builds whose delta volume makes re-aggregation the cheaper move).
+  const auto rows_from_buckets = [&](const BucketTable& buckets) {
+    next->rows.clear();
+    for (CommunityId c = 0; c < num_vertices; ++c) {
+      const size_t ib = buckets.item_begin[c];
+      const size_t ie = buckets.item_begin[c + 1];
+      if (ib == ie) continue;
+      HimorSampleCache::BucketRow& row = next->rows[next->set_hash[c]];
+      row.node.insert(row.node.end(), buckets.node.begin() + ib,
+                      buckets.node.begin() + ie);
+      row.count.insert(row.count.end(), buckets.count.begin() + ib,
+                       buckets.count.begin() + ie);
+    }
+  };
+
+  if (!reusable) {
+    // Cold build on the delta schedule: draw and walk everything, then
+    // aggregate buckets the batch way.
+    std::vector<std::pair<CommunityId, NodeId>> pairs;
+    for (NodeId source = 0; source < n; ++source) {
+      const StatusCode budget_code = budget.ExhaustedCode();
+      if (budget_code != StatusCode::kOk) {
+        return BudgetStatus(budget_code, "HIMOR delta build");
+      }
+      worker.BeginSource(source);
+      for (uint32_t j = 0; j < theta; ++j) {
+        Rng rng(RrSampleSeed(seed, uint64_t{source} * theta + j));
+        worker.SampleAndWalk(rng, &pairs, next);
+        next->rr.Append(worker.last_rr());
+        next->pair_begin.push_back(next->pair_node.size());
+      }
+    }
+    tally.samples_resampled = num_samples;
+    const BucketTable buckets = BuildBuckets(pairs, num_vertices, n);
+    rows_from_buckets(buckets);
+    HimorIndex index =
+        BuildFromBuckets(dendrogram, max_rank, buckets, comp_size_of_node);
+    next->valid = true;
+    if (stats != nullptr) *stats = tally;
+    return index;
+  }
+
+  // ---- Incremental path. ----
+  // At low churn the new pair population is close to the old one; one
+  // up-front reservation keeps the hot loop free of geometric regrowth.
+  next->pair_pos.reserve(prev->pair_pos.size());
+  next->pair_tag.reserve(prev->pair_tag.size());
+  next->pair_node.reserve(prev->pair_node.size());
+
+  // Per-source scratch for the old-chain -> new-chain position match.
+  std::vector<CommunityId> old_chain;
+  std::vector<uint32_t> match;
+  std::vector<char> pos_valid;
+
+  // Per-source memo of each node's new chain slot (SlotOf), filled lazily:
+  // pairs at preserved positions read `match`, pairs at damaged positions
+  // pay one LCA query per distinct node per source.
+  std::vector<uint32_t> new_slot(n, 0);
+  std::vector<NodeId> new_slot_stamp(n, kInvalidNode);
+  // Per-sample old-slot -> new-slot map (stamped by sample index + 1) for
+  // the monotone-remap rescue below; old slots are bounded by chain length
+  // and chains are shorter than n. The same arrays double as the per-row
+  // node index when the bucket deltas are applied after the loop (tokens
+  // there start past num_samples).
+  std::vector<uint32_t> slot_to(n, 0);
+  std::vector<uint64_t> slot_stamp(n, 0);
+  std::vector<uint32_t> sample_slots;  // distinct old slots of one sample
+  // Per-sample node -> old tag fingerprint memo for the replay diff: the
+  // re-walk visits the exact node set of the cached sample, so a node whose
+  // tag fingerprint is unchanged owes no bucket delta.
+  std::vector<uint64_t> node_old_hash(n, 0);
+  std::vector<uint64_t> node_hash_stamp(n, 0);
+
+  // Sparse bucket maintenance: a sample whose every tag sits at a
+  // member-set-preserved chain position contributes the SAME
+  // (fingerprint, node) multiset in both epochs — no bucket change at all.
+  // Only resampled and replayed samples, plus the restructured-tag pairs of
+  // rescued samples, push +-1 deltas here; they are aggregated and applied
+  // to the carried rows once the loop is done.
+  struct BucketDelta {
+    uint64_t hash;
+    NodeId node;
+    int32_t d;
+  };
+  std::vector<BucketDelta> deltas;
+  const auto sub_pair = [&](uint32_t old_tag, NodeId v) {
+    deltas.push_back({prev->set_hash[old_chain[old_tag]], v, -1});
+  };
+  const auto add_pair = [&](uint32_t new_tag, NodeId v) {
+    deltas.push_back({next->set_hash[worker.ChainAtLeafUp(new_tag)], v, +1});
+  };
+
+  // Cached RR bytes are carried over in maximal contiguous sample-index
+  // runs: one AppendRange per run instead of one Append per sample keeps
+  // the slab copy at memcpy speed. A run is flushed whenever a sample has
+  // to be redrawn (its bytes differ) so the slab stays in sample order.
+  uint64_t run_lo = 0, run_hi = 0;
+  const auto flush_run = [&] {
+    if (run_hi > run_lo) next->rr.AppendRange(prev->rr, run_lo, run_hi);
+    run_lo = run_hi = 0;
+  };
+  const auto carry_rr = [&](uint64_t lo, uint64_t hi) {
+    if (run_hi == lo && run_hi > run_lo) {
+      run_hi = hi;
+    } else {
+      flush_run();
+      run_lo = lo;
+      run_hi = hi;
+    }
+  };
+  // Same batching for the cached pair records of verbatim samples (the
+  // common case at low churn): three bulk inserts plus a pair_begin rebase
+  // per run, instead of three pushes per pair.
+  uint64_t prun_lo = 0, prun_hi = 0;
+  const auto flush_pairs = [&] {
+    if (prun_hi > prun_lo) {
+      const uint64_t kb = prev->pair_begin[prun_lo];
+      const uint64_t ke = prev->pair_begin[prun_hi];
+      const uint64_t base = next->pair_node.size();
+      next->pair_pos.insert(next->pair_pos.end(),
+                            prev->pair_pos.begin() + kb,
+                            prev->pair_pos.begin() + ke);
+      next->pair_tag.insert(next->pair_tag.end(),
+                            prev->pair_tag.begin() + kb,
+                            prev->pair_tag.begin() + ke);
+      next->pair_node.insert(next->pair_node.end(),
+                             prev->pair_node.begin() + kb,
+                             prev->pair_node.begin() + ke);
+      for (uint64_t s = prun_lo; s < prun_hi; ++s) {
+        next->pair_begin.push_back(base + prev->pair_begin[s + 1] - kb);
+      }
+    }
+    prun_lo = prun_hi = 0;
+  };
+  const auto carry_pairs = [&](uint64_t idx) {
+    if (prun_hi == idx && prun_hi > prun_lo) {
+      prun_hi = idx + 1;
+    } else {
+      flush_pairs();
+      prun_lo = idx;
+      prun_hi = idx + 1;
+    }
+  };
+
+  for (NodeId source = 0; source < n; ++source) {
+    const StatusCode budget_code = budget.ExhaustedCode();
+    if (budget_code != StatusCode::kOk) {
+      return BudgetStatus(budget_code, "HIMOR delta build");
+    }
+    worker.BeginSource(source);
+    const uint32_t new_len = worker.source_level();
+
+    // Old ancestor chain of `source`, leaf-up (deepest first).
+    old_chain.clear();
+    for (CommunityId c = prev->parent[source]; c != kInvalidCommunity;
+         c = prev->parent[c]) {
+      old_chain.push_back(c);
+    }
+    // Two-pointer match on (size, fingerprint): member counts strictly
+    // increase along both chains, so each new position is considered for
+    // at most one old position and vice versa.
+    match.assign(old_chain.size(), kNoPos);
+    uint32_t q = 0;
+    for (size_t p = 0; p < old_chain.size(); ++p) {
+      const uint32_t sz = prev->set_size[old_chain[p]];
+      while (q < new_len && next->set_size[worker.ChainAtLeafUp(q)] < sz) {
+        ++q;
+      }
+      if (q < new_len) {
+        const CommunityId nc = worker.ChainAtLeafUp(q);
+        if (next->set_size[nc] == sz &&
+            next->set_hash[nc] == prev->set_hash[old_chain[p]]) {
+          match[p] = q++;
+        }
+      }
+    }
+    // Position p is PRESERVED when both the community at p and the one
+    // directly below it survive with their member sets intact and still
+    // adjacent: then "deepest ancestor containing w is at p" transfers to
+    // match[p] verbatim (w is in the new community at match[p], not in
+    // the one below it, and everything deeper is a subset of that). For
+    // p == 0 the community below is the singleton leaf, so the match must
+    // land on the new leaf parent. Preservation of every position a
+    // sample referenced makes the remap order-preserving, which is all
+    // the walk's min/max clamps observe — hence tier 3's verbatim reuse.
+    pos_valid.assign(old_chain.size(), 0);
+    for (size_t p = 0; p < old_chain.size(); ++p) {
+      if (match[p] == kNoPos) continue;
+      const bool below_ok = p == 0
+                                ? match[0] == 0
+                                : (match[p - 1] != kNoPos &&
+                                   match[p] == match[p - 1] + 1);
+      if (below_ok) pos_valid[p] = 1;
+    }
+    // `first_bad` is the first chain position NOT preserved. Below it the
+    // below-adjacency rule forces `match` to be the identity (match[0] == 0
+    // and match[p] == match[p - 1] + 1 by induction), so a clean sample
+    // whose deepest tag stays below first_bad is this epoch's sample
+    // VERBATIM. Cached pairs are tag-sorted (the walk drains depths
+    // deepest-first) and pos <= tag per pair, so the sample's last tag
+    // bounds every slot it references — an O(1) crossing test.
+    uint32_t first_bad = static_cast<uint32_t>(old_chain.size());
+    for (uint32_t p = 0; p < first_bad; ++p) {
+      if (!pos_valid[p]) {
+        first_bad = p;
+        break;
+      }
+    }
+
+    for (uint32_t j = 0; j < theta; ++j) {
+      const uint64_t idx = uint64_t{source} * theta + j;
+      const RrSlabPool::View view = prev->rr.Sample(idx);
+      bool clean = view.source == source;
+      for (uint32_t i = 0; clean && i < view.node_count; ++i) {
+        clean = (*dirty)[view.nodes[i]] == 0;
+      }
+      const uint64_t kb = prev->pair_begin[idx];
+      const uint64_t ke = prev->pair_begin[idx + 1];
+      if (!clean) {
+        // Tier 1: a dirty vertex was visited — redraw from the sample's
+        // own seed, exactly as a cold build, and swap the sample's bucket
+        // contribution (unchanged (fingerprint, node) entries cancel when
+        // the deltas are aggregated).
+        flush_pairs();
+        flush_run();
+        const uint64_t pair_base = next->pair_node.size();
+        Rng rng(RrSampleSeed(seed, idx));
+        worker.SampleAndWalk(rng, /*pairs=*/nullptr, next);
+        next->rr.Append(worker.last_rr());
+        for (uint64_t k = kb; k < ke; ++k) {
+          sub_pair(prev->pair_tag[k], prev->pair_node[k]);
+        }
+        for (uint64_t k = pair_base; k < next->pair_node.size(); ++k) {
+          add_pair(next->pair_tag[k], next->pair_node[k]);
+        }
+        next->pair_begin.push_back(next->pair_node.size());
+        ++tally.samples_resampled;
+        continue;
+      }
+      // The sampler consumes randomness per visited node as a function of
+      // that node's adjacency only, so a clean visited set replays
+      // bit-identically: the cached bytes ARE this epoch's sample.
+      if (kb == ke || prev->pair_tag[ke - 1] < first_bad) {
+        // Every referenced slot is identity-preserved: carry the pair
+        // records and RR bytes verbatim, zero bucket change.
+        carry_pairs(idx);
+        carry_rr(idx, idx + 1);
+        ++tally.samples_reused;
+        continue;
+      }
+      flush_pairs();
+      bool all_valid = true;
+      for (uint64_t k = kb; all_valid && k < ke; ++k) {
+        const uint32_t p = prev->pair_pos[k];
+        const uint32_t t = prev->pair_tag[k];
+        all_valid = p < pos_valid.size() && pos_valid[p] &&
+                    t < pos_valid.size() && pos_valid[t];
+      }
+      if (all_valid) {
+        // Tier 3: every referenced chain position is preserved (the sample
+        // straddles the damaged stretch without touching it) — emit the
+        // cached tags at their shifted positions. Preserved fingerprints
+        // mean no bucket change.
+        for (uint64_t k = kb; k < ke; ++k) {
+          next->pair_pos.push_back(match[prev->pair_pos[k]]);
+          next->pair_tag.push_back(match[prev->pair_tag[k]]);
+          next->pair_node.push_back(prev->pair_node[k]);
+        }
+        ++tally.samples_reused;
+      } else {
+        // Some referenced position was damaged. Resolve every node's TRUE
+        // new slot (preserved positions via `match`, damaged ones via one
+        // memoized LCA query per node) and collect the induced old-slot ->
+        // new-slot map. Tags are path bottlenecks — a pure min/max
+        // function of the nodes' slots — so whenever that map is
+        // single-valued and strictly monotone over the sample's slots, the
+        // cached tags transfer through it verbatim and the walk is
+        // skipped. Emission order survives too: pairs sort by tag, and a
+        // monotone remap preserves that order.
+        const uint64_t sample_stamp = idx + 1;
+        bool remap_ok = true;
+        sample_slots.clear();
+        for (uint64_t k = kb; remap_ok && k < ke; ++k) {
+          const uint32_t p = prev->pair_pos[k];
+          const NodeId w = prev->pair_node[k];
+          uint32_t np;
+          if (p < pos_valid.size() && pos_valid[p]) {
+            np = match[p];
+          } else {
+            if (new_slot_stamp[w] != source) {
+              new_slot_stamp[w] = source;
+              new_slot[w] = worker.SlotOf(w);
+            }
+            np = new_slot[w];
+          }
+          if (slot_stamp[p] != sample_stamp) {
+            slot_stamp[p] = sample_stamp;
+            slot_to[p] = np;
+            sample_slots.push_back(p);
+          } else if (slot_to[p] != np) {
+            remap_ok = false;  // two nodes at one old slot diverged
+          }
+        }
+        if (remap_ok) {
+          // Every tag is some sample node's slot (the bottleneck is
+          // attained on the path), so it must already be mapped.
+          for (uint64_t k = kb; remap_ok && k < ke; ++k) {
+            remap_ok = slot_stamp[prev->pair_tag[k]] == sample_stamp;
+          }
+        }
+        if (remap_ok && sample_slots.size() > 1) {
+          std::sort(sample_slots.begin(), sample_slots.end());
+          for (size_t i = 1; remap_ok && i < sample_slots.size(); ++i) {
+            remap_ok =
+                slot_to[sample_slots[i - 1]] < slot_to[sample_slots[i]];
+          }
+        }
+        if (remap_ok) {
+          // Only pairs whose tag community's fingerprint genuinely moved
+          // change buckets. A tag slot can fail pos_valid merely because
+          // ADJACENCY below it broke; when the old community still sits
+          // (by fingerprint) exactly at the new tag position, the pair's
+          // (fingerprint, node) key is unchanged and no delta is owed.
+          for (uint64_t k = kb; k < ke; ++k) {
+            const uint32_t t_old = prev->pair_tag[k];
+            const uint32_t t = slot_to[t_old];
+            const NodeId v = prev->pair_node[k];
+            next->pair_pos.push_back(slot_to[prev->pair_pos[k]]);
+            next->pair_tag.push_back(t);
+            next->pair_node.push_back(v);
+            if (!(t_old < pos_valid.size() && pos_valid[t_old]) &&
+                match[t_old] != t) {
+              sub_pair(t_old, v);
+              add_pair(t, v);
+            }
+          }
+          ++tally.samples_reused;
+        } else {
+          // Tier 2: the sample genuinely restructured — re-walk it on the
+          // cached RR bytes. Slots resolved above seed the walk, so it
+          // runs without LCA queries; finish the memo first for nodes
+          // whose pairs sat at preserved positions (the loop above may
+          // have bailed before reaching them).
+          for (uint64_t k = kb; k < ke; ++k) {
+            const NodeId w = prev->pair_node[k];
+            if (new_slot_stamp[w] != source) {
+              new_slot_stamp[w] = source;
+              const uint32_t p = prev->pair_pos[k];
+              new_slot[w] = p < pos_valid.size() && pos_valid[p]
+                                ? match[p]
+                                : worker.SlotOf(w);
+            }
+          }
+          const uint64_t pair_base = next->pair_node.size();
+          worker.WalkClamped(
+              view, [&](NodeId v) { return new_len - new_slot[v]; },
+              /*pairs=*/nullptr, next);
+          // Both walks emit every visited node exactly once, so diffing the
+          // per-node tag fingerprints finds the (few) moved pairs without
+          // flooding the delta list with cancelling entries.
+          for (uint64_t k = kb; k < ke; ++k) {
+            const NodeId v = prev->pair_node[k];
+            node_hash_stamp[v] = sample_stamp;
+            node_old_hash[v] = prev->set_hash[old_chain[prev->pair_tag[k]]];
+          }
+          for (uint64_t k = pair_base; k < next->pair_node.size(); ++k) {
+            const NodeId v = next->pair_node[k];
+            const uint64_t h =
+                next->set_hash[worker.ChainAtLeafUp(next->pair_tag[k])];
+            if (node_hash_stamp[v] == sample_stamp &&
+                node_old_hash[v] == h) {
+              continue;
+            }
+            if (node_hash_stamp[v] == sample_stamp) {
+              deltas.push_back({node_old_hash[v], v, -1});
+            }
+            deltas.push_back({h, v, +1});
+          }
+          ++tally.samples_replayed;
+        }
+      }
+      carry_rr(idx, idx + 1);
+      next->pair_begin.push_back(next->pair_node.size());
+    }
+  }
+  flush_pairs();
+  flush_run();
+
+  // ---- Produce this epoch's bucket rows. ----
+  // A heavily restructured epoch (tags moved for a sizable fraction of all
+  // pairs) re-aggregates from scratch: the counting sort costs a flat pass
+  // over the pair arrays, while sorted delta application scales with the
+  // delta volume and loses past roughly a fifth of the pairs. Both branches
+  // produce the same row multisets, so the choice never shows in the index.
+  if (deltas.size() * 5 > next->pair_node.size()) {
+    prev->rows.clear();  // retired either way on success; free it early
+    std::vector<std::pair<CommunityId, NodeId>> pairs;
+    pairs.reserve(next->pair_node.size());
+    for (NodeId source = 0; source < n; ++source) {
+      worker.BeginSource(source);
+      const uint64_t pb = next->pair_begin[uint64_t{source} * theta];
+      const uint64_t pe = next->pair_begin[uint64_t{source} * theta + theta];
+      for (uint64_t k = pb; k < pe; ++k) {
+        pairs.emplace_back(worker.ChainAtLeafUp(next->pair_tag[k]),
+                           next->pair_node[k]);
+      }
+    }
+    const BucketTable buckets = BuildBuckets(pairs, num_vertices, n);
+    rows_from_buckets(buckets);
+    HimorIndex index =
+        BuildFromBuckets(dendrogram, max_rank, buckets, comp_size_of_node);
+    next->valid = true;
+    if (stats != nullptr) *stats = tally;
+    return index;
+  }
+
+  // Sparse case: carry the rows across and apply the delta. Stealing (not
+  // copying) the row map is what makes benign epochs cheap; it happens only
+  // here, past every failure point, so an aborted build leaves `prev`
+  // fully reusable.
+  next->rows = std::move(prev->rows);
+  prev->rows.clear();  // moved-from: make it deterministically empty
+
+  if (!deltas.empty()) {
+    std::sort(deltas.begin(), deltas.end(),
+              [](const BucketDelta& a, const BucketDelta& b) {
+                if (a.hash != b.hash) return a.hash < b.hash;
+                return a.node < b.node;
+              });
+    uint64_t token = num_samples;  // continues past the per-sample stamps
+    size_t g = 0;
+    while (g < deltas.size()) {
+      const uint64_t h = deltas[g].hash;
+      size_t ge = g;
+      while (ge < deltas.size() && deltas[ge].hash == h) ++ge;
+      HimorSampleCache::BucketRow& row = next->rows[h];
+      ++token;
+      for (size_t i = 0; i < row.node.size(); ++i) {
+        slot_stamp[row.node[i]] = token;
+        slot_to[row.node[i]] = static_cast<uint32_t>(i);
+      }
+      for (size_t i = g; i < ge;) {
+        const NodeId v = deltas[i].node;
+        int64_t d = 0;
+        for (; i < ge && deltas[i].node == v; ++i) d += deltas[i].d;
+        if (d == 0) continue;
+        if (slot_stamp[v] == token) {
+          const int64_t updated = int64_t{row.count[slot_to[v]]} + d;
+          COD_CHECK(updated >= 0);
+          row.count[slot_to[v]] = static_cast<uint32_t>(updated);
+        } else {
+          COD_CHECK(d > 0);  // subtracting a pair the row never held
+          slot_stamp[v] = token;
+          slot_to[v] = static_cast<uint32_t>(row.node.size());
+          row.node.push_back(v);
+          row.count.push_back(static_cast<uint32_t>(d));
+        }
+      }
+      // Compact: zero-count entries would be semantically neutral
+      // downstream, but dropping them keeps rows from growing across
+      // epochs and lets an emptied row (a vanished community) be erased.
+      size_t w = 0;
+      for (size_t i = 0; i < row.node.size(); ++i) {
+        if (row.count[i] == 0) continue;
+        row.node[w] = row.node[i];
+        row.count[w] = row.count[i];
+        ++w;
+      }
+      if (w == 0) {
+        next->rows.erase(h);
+      } else {
+        row.node.resize(w);
+        row.count.resize(w);
+      }
+      g = ge;
+    }
+  }
+
+  HimorIndex index = BuildFromItems(
+      dendrogram, max_rank,
+      [&](CommunityId c, auto&& emit) {
+        const auto it = next->rows.find(next->set_hash[c]);
+        if (it == next->rows.end()) return;
+        const HimorSampleCache::BucketRow& row = it->second;
+        for (size_t i = 0; i < row.node.size(); ++i) {
+          emit(row.node[i], row.count[i]);
+        }
+      },
+      comp_size_of_node);
+  next->valid = true;
+  if (stats != nullptr) *stats = tally;
+  return index;
 }
 
 

@@ -15,6 +15,15 @@
 // containing a live source path); buckets are then merged bottom-up as
 // sorted runs, producing every community's full ranking in
 // O(Theta*omega + |R| log |V| + sum_v dep(v)).
+//
+// Incremental construction (BuildDelta, DESIGN.md Sec. 15): under a small
+// edge delta, most RR graphs and most of their hierarchical-first tags are
+// unchanged. BuildDelta draws every sample from the counter-seeded schedule
+// RrSampleSeed(seed, source * theta + j) — independent of epoch and of
+// every other sample — and reuses, per sample, as much of the previous
+// epoch's work as a dirty-vertex bitmap and a member-set comparison of the
+// two dendrograms prove safe. A delta build is bit-identical to a cold
+// BuildDelta on the same graph.
 
 #ifndef COD_CORE_HIMOR_H_
 #define COD_CORE_HIMOR_H_
@@ -30,8 +39,70 @@
 #include "hierarchy/dendrogram.h"
 #include "hierarchy/lca.h"
 #include "influence/rr_graph.h"
+#include "influence/rr_pool.h"
 
 namespace cod {
+
+// Cross-epoch carry state for BuildDelta: everything epoch N's build must
+// remember so epoch N+1 can skip the untouched fraction. Owned by the
+// serving layer (one double-buffered pair per service), opaque to queries.
+//
+//  * `rr` holds every RR graph of the epoch, sample (s, j) at slab index
+//    s * theta + j. A sample whose visited set avoids the dirty bitmap
+//    replays bit-identically (the sampler consumes randomness per VISITED
+//    node, as a function of that node's adjacency only), so its bytes are
+//    carried forward instead of resampled.
+//  * The pair arrays record, per visited node of each sample, its
+//    hierarchical-first tag: `pair_pos` is the chain position (distance
+//    from the leaf, 0 = the source's leaf parent) of the deepest source
+//    ancestor containing the node, `pair_tag` the position the node was
+//    emitted at (the path-bottleneck clamp of pos), `pair_node` the node.
+//    When the source's old and new ancestor chains agree (by member-set
+//    size + fingerprint) at every position a sample referenced, the cached
+//    pairs remap to the new chain without re-walking the RR graph.
+//  * `parent` / `set_hash` / `set_size` describe the OLD dendrogram's
+//    ancestor structure, so the matching needs no reference to the previous
+//    epoch's engine core.
+//  * `rows` carries the aggregated bucket contents, keyed by community
+//    member-set fingerprint rather than community id so the key survives
+//    dendrogram renumbering. A sample whose every tag sits at a member-set
+//    preserved chain position contributes the identical (fingerprint, node)
+//    multiset in both epochs, so BuildDelta moves the whole map forward
+//    (stealing it from `prev`) and applies only the sparse sub/add delta of
+//    the samples that actually changed. A cross-community fingerprint
+//    collision would merge two buckets — the same ~2^-60 risk class as the
+//    chain match (DESIGN.md Sec. 15). Cache-only carry state, never
+//    serialized.
+struct HimorSampleCache {
+  struct BucketRow {
+    std::vector<NodeId> node;
+    std::vector<uint32_t> count;  // parallel to `node`; entries stay > 0
+  };
+
+  uint32_t theta = 0;
+  uint64_t seed = 0;
+  uint32_t max_rank = 0;
+  size_t num_leaves = 0;
+  std::vector<CommunityId> parent;  // per old dendrogram vertex
+  std::vector<uint64_t> set_hash;   // commutative member-set fingerprint
+  std::vector<uint32_t> set_size;   // leaf count
+  RrSlabPool rr;
+  std::vector<uint64_t> pair_begin;  // per sample, CSR into the pair arrays
+  std::vector<uint32_t> pair_pos;
+  std::vector<uint32_t> pair_tag;
+  std::vector<NodeId> pair_node;
+  std::unordered_map<uint64_t, BucketRow> rows;
+  bool valid = false;
+};
+
+// Per-build reuse accounting (BuildDelta outputs; the serving layer turns
+// these into cod_rebuild_delta_samples_* counters).
+struct HimorDeltaStats {
+  uint64_t samples_total = 0;
+  uint64_t samples_resampled = 0;  // RR set touched a dirty vertex
+  uint64_t samples_replayed = 0;   // RR bytes reused, HFS walk re-run
+  uint64_t samples_reused = 0;     // RR bytes and cached tags both reused
+};
 
 class HimorIndex {
  public:
@@ -108,6 +179,41 @@ class HimorIndex {
       const LcaIndex& lca, uint32_t theta, uint64_t seed, uint32_t max_rank,
       const Budget& budget, const std::vector<uint32_t>& comp_size_of_node);
 
+  // Incremental builder (the delta-rebuild serving mode). Samples on the
+  // counter-seeded per-sample schedule RrSampleSeed(seed, s * theta + j) —
+  // note this is a DIFFERENT (epoch- and order-independent) schedule than
+  // Build/BuildScoped, which is why delta mode joins the service options
+  // fingerprint. With prev == nullptr (or an unusable cache) every sample
+  // is drawn fresh: the cold build. With a valid `prev` plus the `dirty`
+  // bitmap of vertices incident to any edge changed since prev's epoch,
+  // each sample takes the cheapest sound tier:
+  //
+  //   1. resample — some visited vertex is dirty; redraw from the sample's
+  //      own seed and re-walk (identical to what the cold build does);
+  //   2. replay  — the RR bytes are clean but the source's ancestor chain
+  //      changed at a referenced position; reuse the bytes, re-run the
+  //      hierarchical-first walk against the new dendrogram;
+  //   3. reuse   — bytes clean and every chain position the sample's tags
+  //      reference is member-set-preserved at a consecutively shifted new
+  //      position; the cached (pos, node) pairs are emitted directly.
+  //
+  // The produced index is bit-identical to the prev == nullptr build on the
+  // same graph (the delta-vs-cold equivalence suite pins this; set
+  // fingerprints have a ~2^-60 collision risk, see DESIGN.md Sec. 15).
+  // `next` (required, != prev) receives the carry state for the following
+  // epoch; it is valid only when the build returns Ok. A SUCCESSFUL build
+  // consumes prev->rows (the bucket carry is moved, not copied — prev is
+  // retired by the caller's double-buffer flip anyway); a failed build
+  // leaves `prev` fully reusable.
+  // `comp_size_of_node` enables BuildScoped's component-pure
+  // materialization (nullptr = materialize everything, the mono behavior).
+  static Result<HimorIndex> BuildDelta(
+      const DiffusionModel& model, const Dendrogram& dendrogram,
+      const LcaIndex& lca, uint32_t theta, uint64_t seed, uint32_t max_rank,
+      const Budget& budget, const std::vector<uint32_t>* comp_size_of_node,
+      const std::vector<char>* dirty, HimorSampleCache* prev,
+      HimorSampleCache* next, HimorDeltaStats* stats);
+
   uint32_t max_rank() const { return max_rank_; }
 
   // v's stored (community, rank) pairs along its ancestor chain, deepest
@@ -145,12 +251,34 @@ class HimorIndex {
   static Result<HimorIndex> Deserialize(BinarySpanReader& in);
 
  private:
+  // Stage-1 output in community-major CSR form: bucket c's aggregated
+  // (node, count) items live at [item_begin[c], item_begin[c + 1]).
+  struct BucketTable {
+    std::vector<size_t> item_begin;  // num_vertices + 1
+    std::vector<NodeId> node;
+    std::vector<uint32_t> count;
+  };
+
+  // Aggregates raw (community, node) tag pairs into the CSR bucket table
+  // (counting sort by community, then per-segment dedup with node stamps).
+  static BucketTable BuildBuckets(
+      std::span<const std::pair<CommunityId, NodeId>> pairs,
+      size_t num_vertices, size_t num_nodes);
+
   // Stage 2 (bottom-up bucket merging), shared by all builders. When
   // `comp_size_of_node` is non-null, only pure communities (see BuildScoped)
-  // are materialized into per-node entries.
+  // are materialized into per-node entries. `items_of(c, emit)` supplies the
+  // aggregated bucket items of non-leaf community c in any order;
+  // BuildFromBuckets adapts a BucketTable onto it, the delta builder its
+  // incrementally maintained fingerprint-keyed rows.
+  template <typename ItemsOf>
+  static HimorIndex BuildFromItems(
+      const Dendrogram& dendrogram, uint32_t max_rank, ItemsOf&& items_of,
+      const std::vector<uint32_t>* comp_size_of_node);
+
   static HimorIndex BuildFromBuckets(
       const Dendrogram& dendrogram, uint32_t max_rank,
-      std::vector<std::unordered_map<NodeId, uint32_t>> buckets,
+      const BucketTable& buckets,
       const std::vector<uint32_t>* comp_size_of_node = nullptr);
 
   uint32_t max_rank_ = 0;

@@ -360,18 +360,16 @@ std::vector<CodResult> RunShardedQueryBatch(
     // a count get a deterministic set of missed shards. The shard's queries
     // become degraded non-answers without touching its core.
     if (COD_FAILPOINT("serving/shard_deadline")) {
-      BatchStats local;
+      // Outcome buckets partition: a shard-missed query counts ONLY in
+      // shard_missed, never also in degraded / per_rung (the result object
+      // still carries degraded=true for the caller).
+      size_t missed = 0;
       for (size_t index : shard.indices) {
         results[index] = ShardMissedResult(specs[index]);
-        ++local.shard_missed;
-        TallyResult(results[index], &local);
+        ++missed;
       }
       std::lock_guard<std::mutex> lock(mu);
-      merged.degraded += local.degraded;
-      merged.shard_missed += local.shard_missed;
-      for (size_t r = 0; r < BatchStats::kMaxRungs; ++r) {
-        merged.per_rung[r] += local.per_rung[r];
-      }
+      merged.shard_missed += missed;
       continue;
     }
     const EngineCore& core = *shard.core;
@@ -405,9 +403,12 @@ std::vector<CodResult> RunShardedQueryBatch(
                                                 BatchQuerySeed(batch_seed, i));
             if (results[i].code == StatusCode::kTimeout) {
               // Shard-aware degradation: the deadline ate every rung —
-              // serve the degraded non-answer instead of an error.
+              // serve the degraded non-answer instead of an error. Counts
+              // only as shard_missed; TallyResult would re-bucket it as
+              // degraded and double it into the partition.
               results[i] = ShardMissedResult(specs[i]);
               ++local.shard_missed;
+              continue;
             }
           }
           TallyResult(results[i], &local);

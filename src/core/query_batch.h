@@ -87,6 +87,10 @@ struct BatchOptions {
 // locally and merge once at the end, so filling this costs nothing per
 // query; the same totals feed the process-wide MetricsRegistry
 // (cod_batch_queries_total{outcome=...}, cod_batch_degraded_total{rung=...}).
+// Per-batch outcome tallies. The five outcome counters PARTITION the batch:
+// served_ok + degraded + timeout + cancelled + shard_missed equals the
+// number of specs, with every query in exactly one bucket. (`shed` is an
+// orthogonal flag on the whole batch, not a bucket.)
 struct BatchStats {
   uint64_t served_ok = 0;    // kOk from the requested variant (rung 0)
   uint64_t degraded = 0;     // kOk from a cheaper rung (degraded = true)
@@ -94,6 +98,7 @@ struct BatchStats {
   uint64_t cancelled = 0;    // cancellation (skips remaining rungs)
   // Served answers by ladder rung; rung 0 is the requested variant. The
   // ladder never exceeds 4 rungs (see DegradationLadder in the .cc).
+  // Shard-missed non-answers never ran a rung, so they do not appear here.
   static constexpr size_t kMaxRungs = 4;
   uint64_t per_rung[kMaxRungs] = {0, 0, 0, 0};
   // True when scheduler admission control shed this batch down the ladder
@@ -101,10 +106,12 @@ struct BatchStats {
   bool shed = false;
   // Sharded batches only (RunShardedQueryBatch): queries whose shard missed
   // the deadline (or tripped the "serving/shard_deadline" failpoint) and
-  // were served as degraded non-answers instead of errors. Every
-  // shard-missed query is also counted in `degraded`.
+  // were served as degraded NON-answers instead of errors. Its own bucket:
+  // such a query is not also counted in `degraded` (the CodResult still
+  // carries degraded = true so callers can tell it from a real answer).
   uint64_t shard_missed = 0;
 
+  // Real answers only — shard-missed non-answers are excluded.
   uint64_t Served() const { return served_ok + degraded; }
 };
 

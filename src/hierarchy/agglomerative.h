@@ -13,12 +13,19 @@
 //  * Cluster adjacency lives in hash maps; a merge folds the smaller map into
 //    the larger and keeps the larger cluster's id, so total map traffic is
 //    O(|E| log |V|) expected.
-//  * Disconnected inputs are handled: when a chain tip has no neighbor left,
-//    its component is finished; finished component roots are merged into the
-//    root in a final pass (similarity 0), keeping the output a single tree.
+//  * Execution is canonicalized per connected component: components run to
+//    completion one at a time, in order of their smallest node id, and their
+//    roots are merged into the tree root in that same order (similarity 0).
+//    NN chains never cross components and each component's chain restarts at
+//    its smallest active cluster, so on a connected graph this is *exactly*
+//    the classic global NN-chain run; on disconnected graphs the merge SETS
+//    are identical and only the internal vertex numbering differs. The
+//    canonical order is what makes per-component replay (below) possible.
 
 #ifndef COD_HIERARCHY_AGGLOMERATIVE_H_
 #define COD_HIERARCHY_AGGLOMERATIVE_H_
+
+#include <vector>
 
 #include "common/deadline.h"
 #include "common/status.h"
@@ -48,6 +55,29 @@ struct AgglomerativeOptions {
   // keeps runs deterministic.
 };
 
+// Replayable record of one clustering run, keyed by connected component
+// (DESIGN.md Sec. 15). The NN-chain run of a component is a pure function of
+// that component's internal edges and weights, so a component none of whose
+// members touch a changed edge replays its recorded merge list verbatim —
+// no adjacency maps, no NN scans. Merge operands are refs: a ref < num_nodes
+// is a leaf (node id == leaf vertex id); a ref >= num_nodes denotes the
+// (ref - num_nodes)-th earlier merge of the SAME component.
+struct ClusterReplay {
+  struct MergeRec {
+    uint32_t a = 0;
+    uint32_t b = 0;
+  };
+  struct ComponentRec {
+    NodeId anchor = kInvalidNode;  // smallest node id in the component
+    uint32_t num_nodes = 0;
+    std::vector<MergeRec> merges;  // in execution order
+  };
+  size_t num_nodes = 0;
+  Linkage linkage = Linkage::kUnweightedAverage;
+  std::vector<ComponentRec> components;  // in anchor (= label) order
+  bool valid = false;
+};
+
 // Clusters `g` (using its edge weights) into a binary-until-the-last-pass
 // dendrogram. Works for any graph with at least one node.
 Dendrogram AgglomerativeCluster(const Graph& g,
@@ -63,6 +93,21 @@ Dendrogram AgglomerativeCluster(const Graph& g,
 Result<Dendrogram> AgglomerativeCluster(const Graph& g,
                                         const AgglomerativeOptions& options,
                                         const Budget& budget);
+
+// Incremental form. With `prev` (a valid record from the previous epoch,
+// same node count and linkage) and `dirty` (vertices incident to any edge
+// added, removed, or reweighted since), components with no dirty member are
+// replayed from the record; only dirty components pay the NN-chain run. The
+// result is bit-identical to the plain form on the same graph. `next`
+// (nullable; != prev) receives the record of THIS run for the following
+// epoch, and is valid only when the build returns Ok. Pass nulls for a cold
+// run that still produces a record.
+Result<Dendrogram> AgglomerativeClusterDelta(const Graph& g,
+                                             const AgglomerativeOptions& options,
+                                             const Budget& budget,
+                                             const std::vector<char>* dirty,
+                                             const ClusterReplay* prev,
+                                             ClusterReplay* next);
 
 }  // namespace cod
 

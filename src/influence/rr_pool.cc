@@ -35,6 +35,24 @@ void RrSlabPool::Append(const RrGraph& g) {
   extents_.push_back(e);
 }
 
+void RrSlabPool::Append(const View& v) {
+  const size_t edge_count = v.offsets[v.node_count];
+  Extent e;
+  e.source = v.source;
+  e.node_begin = static_cast<uint32_t>(nodes_.size());
+  e.node_count = v.node_count;
+  e.edge_begin = static_cast<uint32_t>(neighbors_.size());
+  e.off_begin = static_cast<uint32_t>(offsets_.size());
+  NoteGrowth(nodes_, nodes_.size() + v.node_count);
+  NoteGrowth(offsets_, offsets_.size() + v.node_count + 1);
+  NoteGrowth(neighbors_, neighbors_.size() + edge_count);
+  NoteGrowth(extents_, extents_.size() + 1);
+  nodes_.insert(nodes_.end(), v.nodes, v.nodes + v.node_count);
+  offsets_.insert(offsets_.end(), v.offsets, v.offsets + v.node_count + 1);
+  neighbors_.insert(neighbors_.end(), v.neighbors, v.neighbors + edge_count);
+  extents_.push_back(e);
+}
+
 void RrSlabPool::AppendPool(const RrSlabPool& other) {
   const size_t node_base = nodes_.size();
   const size_t edge_base = neighbors_.size();
@@ -53,6 +71,42 @@ void RrSlabPool::AppendPool(const RrSlabPool& other) {
         e.source, static_cast<uint32_t>(e.node_begin + node_base),
         e.node_count, static_cast<uint32_t>(e.edge_begin + edge_base),
         static_cast<uint32_t>(e.off_begin + off_base)});
+  }
+}
+
+void RrSlabPool::AppendRange(const RrSlabPool& other, size_t begin,
+                             size_t end) {
+  if (begin >= end) return;
+  const Extent& first = other.extents_[begin];
+  const bool to_back = end == other.extents_.size();
+  const size_t node_end =
+      to_back ? other.nodes_.size() : other.extents_[end].node_begin;
+  const size_t edge_end =
+      to_back ? other.neighbors_.size() : other.extents_[end].edge_begin;
+  const size_t off_end =
+      to_back ? other.offsets_.size() : other.extents_[end].off_begin;
+  const size_t node_base = nodes_.size();
+  const size_t edge_base = neighbors_.size();
+  const size_t off_base = offsets_.size();
+  NoteGrowth(nodes_, node_base + (node_end - first.node_begin));
+  NoteGrowth(offsets_, off_base + (off_end - first.off_begin));
+  NoteGrowth(neighbors_, edge_base + (edge_end - first.edge_begin));
+  NoteGrowth(extents_, extents_.size() + (end - begin));
+  nodes_.insert(nodes_.end(), other.nodes_.begin() + first.node_begin,
+                other.nodes_.begin() + node_end);
+  offsets_.insert(offsets_.end(), other.offsets_.begin() + first.off_begin,
+                  other.offsets_.begin() + off_end);
+  neighbors_.insert(neighbors_.end(),
+                    other.neighbors_.begin() + first.edge_begin,
+                    other.neighbors_.begin() + edge_end);
+  for (size_t i = begin; i < end; ++i) {
+    const Extent& e = other.extents_[i];
+    extents_.push_back(Extent{
+        e.source,
+        static_cast<uint32_t>(e.node_begin - first.node_begin + node_base),
+        e.node_count,
+        static_cast<uint32_t>(e.edge_begin - first.edge_begin + edge_base),
+        static_cast<uint32_t>(e.off_begin - first.off_begin + off_base)});
   }
 }
 

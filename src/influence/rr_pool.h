@@ -83,8 +83,16 @@ class RrSlabPool {
   // Appends `g` as the next sample. `g.offsets` must be self-relative
   // (offsets[0] == 0), which is what RrSampler produces.
   void Append(const RrGraph& g);
+  // Appends a stored sample (typically from another pool, e.g. carrying a
+  // still-valid RR graph across epochs).
+  void Append(const View& v);
   // Appends every sample of `other` in order (chunk merge).
   void AppendPool(const RrSlabPool& other);
+  // Appends samples [begin, end) of `other` in order. Samples are stored in
+  // append order, so the range occupies one contiguous stretch of each slab
+  // and copies as three bulk inserts — the delta rebuild's whole-source
+  // reuse path leans on this.
+  void AppendRange(const RrSlabPool& other, size_t begin, size_t end);
 
   // Drops all samples, keeping slab capacity for reuse.
   void Clear() {

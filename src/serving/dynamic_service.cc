@@ -21,16 +21,33 @@ struct RebuildSites {
   Counter* retries;
   Counter* published;
   Counter* published_degraded;
+  // Delta-mode decision and reuse counters: attempts counts every rebuild
+  // that ran under delta_rebuild; fallbacks counts the ones that had a base
+  // cache but built cold anyway (dirty fraction over threshold, the
+  // "core/delta_rebuild" failpoint, or a failed reuse attempt). The three
+  // sample counters partition every RR sample of every delta-mode build by
+  // how it was obtained (see HimorDeltaStats).
+  Counter* delta_attempts;
+  Counter* delta_fallbacks;
+  Counter* delta_samples_reused;
+  Counter* delta_samples_replayed;
+  Counter* delta_samples_resampled;
 };
 
 const RebuildSites& RebuildMetrics() {
   static const RebuildSites sites = [] {
     MetricsRegistry& reg = MetricsRegistry::Instance();
-    return RebuildSites{reg.GetCounter("cod_rebuild_attempts_total"),
-                        reg.GetCounter("cod_rebuild_failures_total"),
-                        reg.GetCounter("cod_rebuild_retries_total"),
-                        reg.GetCounter("cod_epochs_published_total"),
-                        reg.GetCounter("cod_epochs_degraded_total")};
+    return RebuildSites{
+        reg.GetCounter("cod_rebuild_attempts_total"),
+        reg.GetCounter("cod_rebuild_failures_total"),
+        reg.GetCounter("cod_rebuild_retries_total"),
+        reg.GetCounter("cod_epochs_published_total"),
+        reg.GetCounter("cod_epochs_degraded_total"),
+        reg.GetCounter("cod_rebuild_delta_attempts_total"),
+        reg.GetCounter("cod_rebuild_delta_fallbacks_total"),
+        reg.GetCounter("cod_rebuild_delta_samples_reused_total"),
+        reg.GetCounter("cod_rebuild_delta_samples_replayed_total"),
+        reg.GetCounter("cod_rebuild_delta_samples_resampled_total")};
   }();
   return sites;
 }
@@ -90,6 +107,10 @@ DynamicCodService::DynamicCodService(
     const auto [u, v] = initial_graph.Endpoints(e);
     edges_[EdgeKey(u, v, num_nodes_)] = initial_graph.Weight(e);
   }
+  if (options_.delta_rebuild) {
+    dirty_pending_.assign(num_nodes_, 0);
+    dirty_since_cache_.assign(num_nodes_, 0);
+  }
   // The first epoch is always built synchronously; with no previous epoch
   // to fall back to, a failure here is fatal (arm rebuild failpoints only
   // after construction).
@@ -116,6 +137,13 @@ DynamicCodService::DynamicCodService(
     edges_[EdgeKey(u, v, num_nodes_)] = g.Weight(e);
   }
   snapshot_edges_ = edges_.size();
+  if (options_.delta_rebuild) {
+    // The reuse caches are not persisted (delta_cur_ stays -1), so the
+    // first rebuild after a warm restart runs cold — bit-identity holds
+    // regardless, because the delta schedule is epoch-independent.
+    dirty_pending_.assign(num_nodes_, 0);
+    dirty_since_cache_.assign(num_nodes_, 0);
+  }
   // Rebuild tickets continue AFTER the snapshot's: replaying the same
   // update sequence against the recovered service draws the same per-ticket
   // seed streams the original would have.
@@ -224,6 +252,12 @@ bool DynamicCodService::AddEdge(NodeId u, NodeId v, double weight) {
   std::lock_guard<std::mutex> lock(mu_);
   edges_[EdgeKey(u, v, num_nodes_)] = weight;
   ++pending_updates_;
+  if (!dirty_pending_.empty()) {
+    // Both endpoints: adding, removing, or reweighting (u, v) changes the
+    // incident edge sets — and hence the RR sampling streams — of u AND v.
+    dirty_pending_[u] = 1;
+    dirty_pending_[v] = 1;
+  }
   return true;
 }
 
@@ -233,7 +267,20 @@ bool DynamicCodService::RemoveEdge(NodeId u, NodeId v) {
   std::lock_guard<std::mutex> lock(mu_);
   if (edges_.erase(EdgeKey(u, v, num_nodes_)) == 0) return false;
   ++pending_updates_;
+  if (!dirty_pending_.empty()) {
+    dirty_pending_[u] = 1;
+    dirty_pending_[v] = 1;
+  }
   return true;
+}
+
+void DynamicCodService::FoldDirtyLocked() {
+  for (size_t v = 0; v < dirty_pending_.size(); ++v) {
+    if (dirty_pending_[v] != 0) {
+      dirty_since_cache_[v] = 1;
+      dirty_pending_[v] = 0;
+    }
+  }
 }
 
 size_t DynamicCodService::pending_updates() const {
@@ -271,7 +318,7 @@ bool DynamicCodService::RetryScheduled() const {
 }
 
 Result<DynamicCodService::EpochBuild> DynamicCodService::BuildEpochCore(
-    const EdgeMap& edges, uint64_t build_index) const {
+    const EdgeMap& edges, uint64_t build_index) {
   if (COD_FAILPOINT("dynamic_service/rebuild")) {
     return Status::IoError("failpoint dynamic_service/rebuild armed");
   }
@@ -281,6 +328,12 @@ Result<DynamicCodService::EpochBuild> DynamicCodService::BuildEpochCore(
                     static_cast<NodeId>(key % num_nodes_), weight);
   }
   auto graph = std::make_shared<const Graph>(std::move(builder).Build());
+  if (options_.delta_rebuild) {
+    // The delta schedule ignores the ticket number by design (see
+    // BuildEpochCoreDelta); build_index still matters for publication
+    // bookkeeping, which the callers own.
+    return BuildEpochCoreDelta(std::move(graph));
+  }
   auto core = std::make_shared<EngineCore>(graph, attrs_, options_.engine);
   // Per-ticket deterministic sampling stream (failed tickets are consumed).
   Rng rng(options_.seed + build_index);
@@ -300,6 +353,111 @@ Result<DynamicCodService::EpochBuild> DynamicCodService::BuildEpochCore(
   }
   return EpochBuild{std::shared_ptr<const EngineCore>(std::move(core)),
                     /*degraded=*/false};
+}
+
+Result<DynamicCodService::EpochBuild> DynamicCodService::BuildEpochCoreDelta(
+    std::shared_ptr<const Graph> graph) {
+  const RebuildSites& rm = RebuildMetrics();
+  rm.delta_attempts->Increment();
+
+  const int cur = delta_cur_;
+  const int nxt = cur < 0 ? 0 : 1 - cur;
+
+  // Decide reuse vs cold. A cold delta build runs the exact same
+  // counter-seeded schedule with no previous cache, so both paths answer
+  // bit-identically — the choice is latency-only. Fallbacks count only
+  // decisions where a base existed but was not used; the very first build
+  // (no base at all) is just a cold build.
+  bool use_prev =
+      cur >= 0 && sample_cache_[cur].valid && cluster_replay_[cur].valid;
+  if (use_prev) {
+    if (COD_FAILPOINT("core/delta_rebuild")) {
+      use_prev = false;
+      rm.delta_fallbacks->Increment();
+    } else {
+      // A sample is invalidated when its RR set touches ANY dirty vertex,
+      // so vertex dirtiness amplifies by the (heavy-tailed) RR membership
+      // distribution and no closed-form estimate tracks it. Count the
+      // invalidated samples exactly instead: one early-exit pass over the
+      // cached RR slabs costs ~1% of a rebuild and makes the fallback a
+      // deterministic function of published state, so both replicas of an
+      // epoch make the same choice.
+      const RrSlabPool& rr = sample_cache_[cur].rr;
+      const size_t num_samples = rr.NumSamples();
+      size_t dirty_samples = 0;
+      for (size_t i = 0; i < num_samples; ++i) {
+        const RrSlabPool::View view = rr.Sample(i);
+        for (uint32_t k = 0; k < view.node_count; ++k) {
+          if (dirty_since_cache_[view.nodes[k]] != 0) {
+            ++dirty_samples;
+            break;
+          }
+        }
+      }
+      if (static_cast<double>(dirty_samples) >
+          options_.delta_max_dirty_fraction *
+              static_cast<double>(num_samples)) {
+        use_prev = false;
+        rm.delta_fallbacks->Increment();
+      }
+    }
+  }
+
+  const Budget budget{options_.rebuild_budget_seconds > 0.0
+                          ? Deadline::After(options_.rebuild_budget_seconds)
+                          : Deadline::Infinite()};
+  for (;;) {
+    const std::vector<char>* dirty = use_prev ? &dirty_since_cache_ : nullptr;
+    const ClusterReplay* replay_prev =
+        use_prev ? &cluster_replay_[cur] : nullptr;
+    HimorSampleCache* cache_prev = use_prev ? &sample_cache_[cur] : nullptr;
+
+    // Clustering runs unbudgeted, matching the cold EngineCore constructor;
+    // the rebuild budget bounds the HIMOR build, which dominates.
+    Result<Dendrogram> hierarchy =
+        AgglomerativeClusterDelta(*graph, AgglomerativeOptions{}, Budget{},
+                                  dirty, replay_prev, &cluster_replay_[nxt]);
+    COD_CHECK(hierarchy.ok());  // an unlimited budget never aborts
+    Result<std::unique_ptr<EngineCore>> made = EngineCore::FromPrebuilt(
+        graph, attrs_, options_.engine, std::move(hierarchy).value(),
+        /*himor=*/std::nullopt, /*index_absent_degraded=*/false);
+    if (!made.ok()) return made.status();
+    std::shared_ptr<EngineCore> core(std::move(made).value());
+
+    // Constant seed: the delta schedule derives every sample's stream from
+    // (seed, source, j) alone — NOT from the rebuild ticket — so cached RR
+    // bytes equal what resampling would produce this epoch.
+    HimorDeltaStats dstats;
+    const Status himor =
+        core->TryBuildHimorDelta(options_.seed, budget, dirty, cache_prev,
+                                 &sample_cache_[nxt], &dstats);
+    if (himor.ok()) {
+      rm.delta_samples_reused->Increment(dstats.samples_reused);
+      rm.delta_samples_replayed->Increment(dstats.samples_replayed);
+      rm.delta_samples_resampled->Increment(dstats.samples_resampled);
+      delta_cur_ = nxt;
+      std::fill(dirty_since_cache_.begin(), dirty_since_cache_.end(), 0);
+      return EpochBuild{std::shared_ptr<const EngineCore>(std::move(core)),
+                        /*degraded=*/false};
+    }
+    const bool budget_failure = himor.code() == StatusCode::kTimeout ||
+                                himor.code() == StatusCode::kCancelled;
+    if (use_prev && !budget_failure) {
+      // Defensive half of the delta contract: a reuse attempt that fails
+      // for any non-budget reason retries once as a full cold build before
+      // the normal failure handling applies.
+      use_prev = false;
+      rm.delta_fallbacks->Increment();
+      continue;
+    }
+    if (!options_.publish_without_index) return himor;
+    // Degraded publication, as in the non-delta path. The caches do NOT
+    // advance: the next rebuild deltas from the last fully indexed epoch,
+    // with dirty_since_cache_ still covering everything since then.
+    core->MarkIndexAbsent();
+    return EpochBuild{std::shared_ptr<const EngineCore>(std::move(core)),
+                      /*degraded=*/true};
+  }
 }
 
 void DynamicCodService::PublishEpoch(std::shared_ptr<const EngineCore> core,
@@ -329,17 +487,17 @@ void DynamicCodService::ScheduleSnapshot(uint64_t epoch, uint64_t build_index,
     // if a newer epoch retires it meanwhile.
     options_.scheduler->Submit(
         TaskPriority::kMaintenance, *sched_group_,
-        [this, epoch, build_index, degraded, core = std::move(core)] {
-          WriteSnapshotNow(epoch, build_index, degraded, *core);
+        [this, epoch, build_index, degraded, core = std::move(core)]() mutable {
+          WriteSnapshotNow(epoch, build_index, degraded, std::move(core));
         });
     return;
   }
-  WriteSnapshotNow(epoch, build_index, degraded, *core);
+  WriteSnapshotNow(epoch, build_index, degraded, std::move(core));
 }
 
-void DynamicCodService::WriteSnapshotNow(uint64_t epoch, uint64_t build_index,
-                                         bool degraded,
-                                         const EngineCore& core) {
+void DynamicCodService::WriteSnapshotNow(
+    uint64_t epoch, uint64_t build_index, bool degraded,
+    std::shared_ptr<const EngineCore> core) {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   // A queued write for an epoch the disk already covers (a newer write ran
   // first, or the epoch was itself restored from disk) is a no-op. A FAILED
@@ -352,7 +510,7 @@ void DynamicCodService::WriteSnapshotNow(uint64_t epoch, uint64_t build_index,
   meta.seed = options_.seed;
   meta.degraded = degraded;
   meta.options_fingerprint = options_.Fingerprint();
-  if (snapshot_store_->Write(meta, core).ok()) {
+  if (snapshot_store_->Write(meta, std::move(core)).ok()) {
     last_snapshot_epoch_ = epoch;
   }
 }
@@ -386,6 +544,7 @@ Status DynamicCodService::Refresh() {
   captured_pending = pending_updates_ + absorbed;
   snapshot_edges_ = edges_.size();
   pending_updates_ = 0;
+  FoldDirtyLocked();
   ++stats_.attempts;
   rm.attempts->Increment();
   lock.unlock();
@@ -437,6 +596,7 @@ bool DynamicCodService::RefreshAsync() {
     captured_pending = pending_updates_;
     snapshot_edges_ = edges_.size();
     pending_updates_ = 0;
+    FoldDirtyLocked();
   }
   options_.scheduler->Submit(
       TaskPriority::kRebuild, *sched_group_,

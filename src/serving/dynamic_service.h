@@ -34,6 +34,18 @@
 // the ticket number — determinism is per replayed sequence, not per epoch
 // number.)
 //
+// Incremental rebuilds (ServiceOptions::delta_rebuild): every rebuild runs
+// the counter-seeded per-sample schedule instead (RrSampleSeed(seed,
+// source * theta + j) — the same seeds every epoch), which makes an epoch's
+// bytes a pure function of its GRAPH, independent of the ticket or of which
+// update batches led there. That is the property that lets a delta rebuild
+// reuse the previous epoch's RR samples and dendrogram merges wherever the
+// dirty-vertex bitmap proves them untouched: a delta-rebuilt epoch is
+// bit-identical to a cold rebuild on the same final edge set. The service
+// decides delta vs full per batch (dirty fraction vs delta_max_dirty_
+// fraction; any delta failure falls back to full) and counts decisions in
+// cod_rebuild_delta_{attempts,fallbacks}_total.
+//
 // Failure containment and degraded publication: a rebuild can fail — a
 // failpoint ("dynamic_service/rebuild", "himor/build"; see
 // common/failpoint.h) simulates an infrastructure error, or the HIMOR build
@@ -230,12 +242,27 @@ class DynamicCodService : public CodServiceInterface {
   bool RebuildInFlightLocked() const {
     return attempt_running_ || retry_.has_value();
   }
-  // Builds an epoch core from an edge snapshot (no locks held). Fails on
-  // the "dynamic_service/rebuild" failpoint or — unless
-  // publish_without_index turns it into a degraded success — an
-  // over-budget / failpointed HIMOR build.
+  // Builds an epoch core from an edge snapshot. Runs on the single-flight
+  // build ticket with no locks held; non-const because delta mode advances
+  // the ticket-owned reuse caches below. Fails on the
+  // "dynamic_service/rebuild" failpoint or — unless publish_without_index
+  // turns it into a degraded success — an over-budget / failpointed HIMOR
+  // build.
   Result<EpochBuild> BuildEpochCore(const EdgeMap& edges,
-                                    uint64_t build_index) const;
+                                    uint64_t build_index);
+  // Delta-mode tail of BuildEpochCore: replays clean dendrogram components
+  // and reuses clean RR samples against dirty_since_cache_ (see
+  // HimorIndex::BuildDelta). Falls back to a cold build — same
+  // counter-seeded schedule, no reuse, bit-identical answers — when there
+  // is no base cache, the estimated invalidated-sample fraction exceeds
+  // delta_max_dirty_fraction,
+  // the "core/delta_rebuild" failpoint is armed, or a reuse attempt fails
+  // with a non-budget error.
+  Result<EpochBuild> BuildEpochCoreDelta(std::shared_ptr<const Graph> graph);
+  // Folds dirty_pending_ into dirty_since_cache_ and clears it. Called at
+  // build capture (mu_ held, this thread owns the ticket); the fold is a
+  // union, so a ticket that fails and is re-captured stays correct.
+  void FoldDirtyLocked();
   // One async attempt: build, publish on success, otherwise schedule the
   // retry deadline (or give up past the cap) — and return to the pool
   // either way.
@@ -271,8 +298,10 @@ class DynamicCodService : public CodServiceInterface {
   // snapshot_dir.
   void ScheduleSnapshot(uint64_t epoch, uint64_t build_index, bool degraded,
                         std::shared_ptr<const EngineCore> core);
+  // Takes the core by shared_ptr so the snapshot store can keep it pinned
+  // as the source of its section-reuse cache (delta snapshots).
   void WriteSnapshotNow(uint64_t epoch, uint64_t build_index, bool degraded,
-                        const EngineCore& core);
+                        std::shared_ptr<const EngineCore> core);
 
   std::shared_ptr<const AttributeTable> attrs_;  // shared by every epoch
   ServiceOptions options_;
@@ -320,6 +349,23 @@ class DynamicCodService : public CodServiceInterface {
   std::unique_ptr<SnapshotStore> snapshot_store_;
   std::mutex snapshot_mu_;
   uint64_t last_snapshot_epoch_ = 0;
+
+  // ---- Incremental-rebuild state (ServiceOptions::delta_rebuild; the
+  // vectors stay empty and the caches invalid when the flag is off).
+  // dirty_pending_ is guarded by mu_: AddEdge / RemoveEdge mark BOTH
+  // endpoints of every APPLIED mutation. Everything below it is owned by
+  // the single-flight build ticket (attempt_running_ serializes attempts)
+  // and needs no lock: dirty_since_cache_ holds the union of dirty bits
+  // relative to the last cache-advancing build — cleared only then; failed
+  // and degraded builds leave it in place — and the double-buffered
+  // sample / merge-replay caches flip on each successful non-degraded
+  // build. delta_cur_ is the live slot; -1 means no base yet (cold
+  // construction or warm restart), so the next build runs cold.
+  std::vector<char> dirty_pending_;
+  std::vector<char> dirty_since_cache_;
+  HimorSampleCache sample_cache_[2];
+  ClusterReplay cluster_replay_[2];
+  int delta_cur_ = -1;
 };
 
 }  // namespace cod

@@ -40,6 +40,10 @@ Status ServiceOptions::Validate() const {
     return Status::InvalidArgument(
         "ServiceOptions: rebuild_budget_seconds must be >= 0");
   }
+  if (delta_max_dirty_fraction < 0.0 || delta_max_dirty_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "ServiceOptions: delta_max_dirty_fraction must be in [0, 1]");
+  }
   return Status::Ok();
 }
 
@@ -73,6 +77,11 @@ uint64_t ServiceOptions::Fingerprint() const {
   Mix(h, static_cast<uint64_t>(engine.transform.transform));
   Mix(h, DoubleBits(engine.transform.beta));
   Mix(h, engine.component_scoped ? 1 : 0);
+  // Delta mode changes the RR sampling schedule (counter-seeded per sample
+  // vs per-ticket streams), so its answers differ from non-delta answers
+  // for the same seed — it must gate snapshot compatibility. The dirty
+  // threshold does NOT: both sides of it answer identically.
+  Mix(h, delta_rebuild ? 1 : 0);
   Mix(h, num_shards);
   Mix(h, static_cast<uint64_t>(partitioner));
   return h;

@@ -85,6 +85,26 @@ struct ServiceOptions {
   std::string snapshot_dir;
   size_t snapshots_keep = 2;
 
+  // Incremental epoch rebuilds. When true, every rebuild (including the
+  // first) runs on the counter-seeded per-sample schedule
+  // RrSampleSeed(seed, source * theta + j) — the SAME seeds every epoch —
+  // and a rebuild after update batches reuses the previous epoch's RR
+  // samples, dendrogram merges, and hierarchical-first tags wherever the
+  // dirty-vertex bitmap proves them untouched (see HimorIndex::BuildDelta).
+  // Delta-rebuilt epochs are bit-identical to cold rebuilds on the same
+  // graph, but the schedule differs from the non-delta mode's
+  // seed-plus-ticket streams, so this flag joins the fingerprint.
+  bool delta_rebuild = false;
+  // Fall back to a full (cold) rebuild when the fraction of cached RR
+  // samples invalidated by the batch exceeds this bound. A sample dies if
+  // its RR set touches ANY dirty vertex, so the service counts casualties
+  // exactly with one early-exit pass over the cached slabs (~1% of a
+  // rebuild). The default sits at the measured break-even on cora-sim:
+  // past ~15% invalidation the reuse bookkeeping costs more than it
+  // saves. Latency-only knob: both paths produce identical answers, so it
+  // stays out of the options fingerprint.
+  double delta_max_dirty_fraction = 0.15;
+
   // When the budgeted HIMOR build fails but the epoch's graph and
   // hierarchy built fine, publish the epoch anyway WITHOUT the index
   // (degraded): fresh answers via the compressed-evaluation fallback beat

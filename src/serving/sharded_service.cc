@@ -128,11 +128,23 @@ size_t ShardedCodService::pending_updates() const {
 }
 
 uint64_t ShardedCodService::epoch() const {
-  uint64_t min_epoch = shards_.front()->epoch();
-  for (const auto& shard : shards_) {
-    min_epoch = std::min(min_epoch, shard->epoch());
+  // The merged epoch is the freshness FLOOR across shards — but only across
+  // shards that own nodes. When the graph has fewer components than shards,
+  // the surplus shards are structurally empty: no update can ever route to
+  // them, their epoch stays pinned at its initial value forever, and
+  // including them would cap the reported epoch of the whole service at
+  // that constant no matter how many rebuilds the real shards publish.
+  uint64_t min_epoch = 0;
+  bool any = false;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (partition_.shard_nodes[s] == 0) continue;
+    const uint64_t e = shards_[s]->epoch();
+    min_epoch = any ? std::min(min_epoch, e) : e;
+    any = true;
   }
-  return min_epoch;
+  // All shards empty only for a node-less partition; report shard 0 rather
+  // than inventing an epoch.
+  return any ? min_epoch : shards_.front()->epoch();
 }
 
 bool ShardedCodService::epoch_degraded() const {
@@ -150,8 +162,12 @@ size_t ShardedCodService::NumEdges() const {
 
 RebuildStats ShardedCodService::rebuild_stats() const {
   RebuildStats total;
-  for (const auto& shard : shards_) {
-    const RebuildStats s = shard->rebuild_stats();
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    // Structurally empty shards (see epoch()) never rebuild after their
+    // construction-time epoch; folding that constant baseline into the
+    // aggregates would skew per-shard staleness ratios derived from them.
+    if (partition_.shard_nodes[i] == 0) continue;
+    const RebuildStats s = shards_[i]->rebuild_stats();
     total.attempts += s.attempts;
     total.failures += s.failures;
     total.retries += s.retries;

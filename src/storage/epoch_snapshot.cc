@@ -100,6 +100,13 @@ Status CloseAndFail(int fd, const std::string& tmp, const std::string& why) {
 
 std::string EncodeEpochSnapshot(EpochSnapshotMeta meta,
                                 const EngineCore& core) {
+  return EncodeEpochSnapshot(std::move(meta), core, /*cache=*/nullptr,
+                             /*sections_reused=*/nullptr);
+}
+
+std::string EncodeEpochSnapshot(EpochSnapshotMeta meta, const EngineCore& core,
+                                SnapshotSectionCache* cache,
+                                uint64_t* sections_reused) {
   // The fingerprint always reflects the core actually being persisted.
   const EngineOptions& opts = core.options();
   meta.engine_k = opts.k;
@@ -112,21 +119,61 @@ std::string EncodeEpochSnapshot(EpochSnapshotMeta meta,
 
   struct Section {
     uint32_t id;
-    BinaryBufferWriter payload;
+    std::string payload;
+    uint32_t crc;
   };
   std::vector<Section> sections;
-  sections.emplace_back(Section{kMeta, {}});
-  SerializeMeta(meta, sections.back().payload);
-  sections.emplace_back(Section{kGraph, {}});
-  SerializeGraph(core.graph(), sections.back().payload);
-  sections.emplace_back(Section{kAttributes, {}});
-  SerializeAttributes(core.attributes(), sections.back().payload);
-  sections.emplace_back(Section{kHierarchy, {}});
-  SerializeDendrogram(core.base_hierarchy(), sections.back().payload);
+  uint64_t reused = 0;
+  // One section: from the cache when the source object is the one the cache
+  // was filled from (the published parts of a core are immutable, so pointer
+  // identity implies byte identity), serialized and checksummed fresh — and
+  // cached for the next epoch — otherwise.
+  const auto add = [&](uint32_t id, const void* source,
+                       SnapshotSectionCache::Entry* slot,
+                       const auto& serialize) {
+    if (slot != nullptr && slot->source == source && source != nullptr) {
+      ++reused;
+      sections.push_back(Section{id, slot->payload, slot->crc});
+      return;
+    }
+    BinaryBufferWriter w;
+    serialize(w);
+    Section s{id, std::move(w).TakeBytes(), 0};
+    s.crc = Crc32c(s.payload);
+    if (slot != nullptr) {
+      slot->source = source;
+      slot->payload = s.payload;
+      slot->crc = s.crc;
+    }
+    sections.push_back(std::move(s));
+  };
+  const auto slot = [&](SnapshotSectionCache::Entry SnapshotSectionCache::* m)
+      -> SnapshotSectionCache::Entry* {
+    return cache != nullptr ? &(cache->*m) : nullptr;
+  };
+
+  // Meta is a few dozen bytes and changes every epoch (epoch number,
+  // ticket): always fresh, never cached.
+  add(kMeta, nullptr, nullptr,
+      [&](BinaryBufferWriter& w) { SerializeMeta(meta, w); });
+  add(kGraph, &core.graph(), slot(&SnapshotSectionCache::graph),
+      [&](BinaryBufferWriter& w) { SerializeGraph(core.graph(), w); });
+  add(kAttributes, &core.attributes(), slot(&SnapshotSectionCache::attributes),
+      [&](BinaryBufferWriter& w) { SerializeAttributes(core.attributes(), w); });
+  add(kHierarchy, &core.base_hierarchy(), slot(&SnapshotSectionCache::hierarchy),
+      [&](BinaryBufferWriter& w) {
+        SerializeDendrogram(core.base_hierarchy(), w);
+      });
   if (core.himor() != nullptr) {
-    sections.emplace_back(Section{kHimor, {}});
-    core.himor()->SerializeTo(sections.back().payload);
+    add(kHimor, core.himor(), slot(&SnapshotSectionCache::himor),
+        [&](BinaryBufferWriter& w) { core.himor()->SerializeTo(w); });
+  } else if (cache != nullptr) {
+    // No HIMOR section this epoch, so nothing overwrites the slot: clear it
+    // explicitly. Once cache->holder moves on, a later core's index could
+    // be allocated at the stale address and alias the entry.
+    cache->himor = SnapshotSectionCache::Entry{};
   }
+  if (sections_reused != nullptr) *sections_reused += reused;
 
   BinaryBufferWriter header;
   header.WritePod<uint32_t>(kMagic);
@@ -142,7 +189,7 @@ std::string EncodeEpochSnapshot(EpochSnapshotMeta meta,
     entry.id = s.id;
     entry.offset = offset;
     entry.length = s.payload.size();
-    entry.crc = Crc32c(s.payload.bytes());
+    entry.crc = s.crc;
     header.WritePod(entry);
     offset += entry.length;
   }
@@ -150,7 +197,7 @@ std::string EncodeEpochSnapshot(EpochSnapshotMeta meta,
 
   std::string file = std::move(header).TakeBytes();
   file.reserve(offset);
-  for (Section& s : sections) file += std::move(s.payload).TakeBytes();
+  for (Section& s : sections) file += s.payload;
   return file;
 }
 

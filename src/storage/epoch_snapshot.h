@@ -36,6 +36,7 @@
 #define COD_STORAGE_EPOCH_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -84,11 +85,43 @@ struct DecodedEpochSnapshot {
   std::optional<HimorIndex> himor;
 };
 
+// Per-section payload cache for delta snapshots. A section whose source
+// object is the SAME OBJECT the cache serialized last time (pointer
+// identity) has byte-identical payload and CRC — EngineCore parts are
+// immutable once published — so the encoder copies the cached bytes
+// instead of re-serializing and re-checksumming them. `holder` pins the
+// core the cached pointers point into, so an address can never be
+// recycled by a later epoch while its entry is still live (ABA). In the
+// serving tier the attributes table is shared by every epoch of a
+// service, so that section — typically the largest stable one — hits on
+// every delta snapshot.
+struct SnapshotSectionCache {
+  struct Entry {
+    const void* source = nullptr;
+    std::string payload;
+    uint32_t crc = 0;
+  };
+  std::shared_ptr<const EngineCore> holder;
+  Entry graph;
+  Entry attributes;
+  Entry hierarchy;
+  Entry himor;
+};
+
 // Serializes `core` (graph, attributes, hierarchy, HIMOR when present) and
 // `meta` into the container byte format. Pure in-memory encoding — no I/O.
 // meta's fingerprint fields are filled from the core; callers set only the
 // identity fields (epoch / build_index / seed / degraded).
 std::string EncodeEpochSnapshot(EpochSnapshotMeta meta, const EngineCore& core);
+
+// Cache-aware form: reuses and refreshes `cache` (which must outlive the
+// call; pass the SAME cache across epochs of the same service), and adds
+// the number of sections served from it to *sections_reused when set. The
+// caller owns updating cache->holder to the shared_ptr of `core` AFTER
+// encoding — the entries written here point into `core`.
+std::string EncodeEpochSnapshot(EpochSnapshotMeta meta, const EngineCore& core,
+                                SnapshotSectionCache* cache,
+                                uint64_t* sections_reused);
 
 // Decodes and validates `bytes`: header CRC, section table geometry, every
 // section CRC, then the payload decoders' structural validation. Any

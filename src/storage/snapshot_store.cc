@@ -19,6 +19,7 @@ struct SnapshotSites {
   Counter* write_failures;
   Counter* loads;
   Counter* quarantined;
+  Counter* sections_reused;
   Gauge* bytes;
   Histogram* write_seconds;
   Histogram* load_seconds;
@@ -32,6 +33,7 @@ const SnapshotSites& Sites() {
     s.write_failures = reg.GetCounter("cod_snapshot_write_failures_total");
     s.loads = reg.GetCounter("cod_snapshot_loads_total");
     s.quarantined = reg.GetCounter("cod_snapshot_corrupt_quarantined_total");
+    s.sections_reused = reg.GetCounter("cod_snapshot_sections_reused_total");
     s.bytes = reg.GetGauge("cod_snapshot_bytes");
     // Writes span tiny test worlds to multi-GB production epochs; stretch
     // the buckets past the default latency range.
@@ -112,8 +114,28 @@ Status SnapshotStore::Write(const EpochSnapshotMeta& meta,
   const SnapshotSites& sites = Sites();
   ScopedTimer timer(sites.write_seconds);
   const std::string bytes = EncodeEpochSnapshot(meta, core);
-  const Status status = WriteEpochSnapshotFile(PathForEpoch(meta.epoch),
-                                               bytes);
+  return FinishWrite(meta.epoch, bytes);
+}
+
+Status SnapshotStore::Write(const EpochSnapshotMeta& meta,
+                            std::shared_ptr<const EngineCore> core) {
+  COD_CHECK(core != nullptr);
+  const SnapshotSites& sites = Sites();
+  ScopedTimer timer(sites.write_seconds);
+  uint64_t reused = 0;
+  const std::string bytes =
+      EncodeEpochSnapshot(meta, *core, &section_cache_, &reused);
+  // Re-pin immediately after encoding: the refreshed cache entries point
+  // into THIS core, and the hit counter stands even if the file write below
+  // fails (the encode work was saved regardless).
+  section_cache_.holder = std::move(core);
+  if (reused != 0) sites.sections_reused->Increment(reused);
+  return FinishWrite(meta.epoch, bytes);
+}
+
+Status SnapshotStore::FinishWrite(uint64_t epoch, const std::string& bytes) {
+  const SnapshotSites& sites = Sites();
+  const Status status = WriteEpochSnapshotFile(PathForEpoch(epoch), bytes);
   if (!status.ok()) {
     sites.write_failures->Increment();
     return status;

@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,16 @@ class SnapshotStore {
   // on a maintenance task with its own ordering lock).
   Status Write(const EpochSnapshotMeta& meta, const EngineCore& core);
 
+  // Delta-snapshot form: sections whose source object is shared with the
+  // previously written core (pointer identity — the store keeps the
+  // previous core alive to make that sound, see SnapshotSectionCache) are
+  // copied from the store's section cache instead of re-serialized and
+  // re-checksummed. The file bytes are identical either way; reuse only
+  // cuts encode time, and cod_snapshot_sections_reused_total counts the
+  // hits. Same serialization contract as the reference overload.
+  Status Write(const EpochSnapshotMeta& meta,
+               std::shared_ptr<const EngineCore> core);
+
   struct LoadedSnapshot {
     DecodedEpochSnapshot snapshot;
     std::string path;  // the file that recovered
@@ -78,6 +89,14 @@ class SnapshotStore {
  private:
   Options options_;
   void PruneOld();
+  // Shared tail of both Write overloads: crash-safe publish + metrics +
+  // retention.
+  Status FinishWrite(uint64_t epoch, const std::string& bytes);
+
+  // Section payloads of the last core written through the shared_ptr
+  // overload; its `holder` pins that core so cached source pointers stay
+  // valid. Touched only inside Write, which callers already serialize.
+  SnapshotSectionCache section_cache_;
 
   // steady-clock ns of the last successful Write, 0 if none yet; feeds the
   // age callback gauge.

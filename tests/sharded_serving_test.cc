@@ -402,7 +402,14 @@ TEST(ShardDegradationTest, DeadlineMissedShardDegradesDeterministically) {
   BatchStats stats;
   const std::vector<CodResult> first = run_degraded(&stats);
   EXPECT_EQ(stats.shard_missed, on_shard0);
-  EXPECT_EQ(stats.Served(), specs.size());  // degraded, never errored
+  // Outcomes partition: the missed shard's queries live ONLY in
+  // shard_missed; the rest are real answers. Nothing errored.
+  EXPECT_EQ(stats.Served(), specs.size() - on_shard0);
+  EXPECT_EQ(stats.Served() + stats.shard_missed + stats.timeout +
+                stats.cancelled,
+            specs.size());
+  EXPECT_EQ(stats.timeout, 0u);
+  EXPECT_EQ(stats.cancelled, 0u);
 
   for (size_t i = 0; i < specs.size(); ++i) {
     if (service.ShardOf(specs[i].node) == 0) {
@@ -681,6 +688,42 @@ TEST(ShardedAggregateTest, EpochIsTheMinimumAndEdgesTheSum) {
   // Refresh() lifts every shard, and the floor with it.
   ASSERT_TRUE(service.Refresh().ok());
   EXPECT_GE(service.epoch(), 2u);
+}
+
+TEST(ShardedAggregateTest, EmptyShardsDoNotPinTheEpochFloor) {
+  // One connected component spread across two shards: component-atomic
+  // partitioning leaves shard 1 with zero nodes. No update can ever route
+  // to it, so its epoch is pinned at 1 forever — the aggregate freshness
+  // floor (and the aggregate rebuild stats) must ignore it, or the service
+  // would report itself permanently stale no matter how often the real
+  // shard republishes.
+  constexpr size_t kN = 60;
+  GraphBuilder gb(kN);
+  std::vector<uint32_t> block(kN);
+  Rng rng(77);
+  for (NodeId v = 0; v < kN; ++v) {
+    gb.AddEdge(v, (v + 1) % kN, 1.0);  // ring: connected by construction
+    block[v] = v / 15;
+  }
+  World w;
+  w.graph = std::move(gb).Build();
+  w.attrs = AssignCorrelatedAttributes(block, 5, 0.8, 0.1, rng);
+  ShardedCodService service(std::move(w.graph), std::move(w.attrs),
+                            BaseOptions(2));
+  ASSERT_EQ(service.partition().shard_nodes[0], kN);
+  ASSERT_EQ(service.partition().shard_nodes[1], 0u);
+  EXPECT_EQ(service.epoch(), 1u);
+
+  // Refresh only the populated shard — exactly what threshold-driven
+  // refreshes do, since the empty shard can never become due.
+  ASSERT_TRUE(service.shard(0).Refresh().ok());
+  EXPECT_EQ(service.shard(0).epoch(), 2u);
+  EXPECT_EQ(service.shard(1).epoch(), 1u);
+  EXPECT_EQ(service.epoch(), 2u);  // the empty shard does not cap the floor
+
+  // Stats likewise: shard 0's first build + refresh only; the empty
+  // shard's constant publish baseline is excluded.
+  EXPECT_EQ(service.rebuild_stats().published, 2u);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 // CI shards shift the fuzz offsets via COD_FUZZ_SEED; failing corruption
 // cases copy the offending bytes to COD_SNAPSHOT_ARTIFACT_DIR when set.
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -217,6 +218,80 @@ TEST(SnapshotTest, WarmRestartServesBitIdenticalAnswers) {
   for (size_t i = 0; i < cold_answers.size(); ++i) {
     EXPECT_TRUE(warm_answers[i] == cold_answers[i]) << "probe " << i;
   }
+}
+
+TEST(SnapshotTest, WarmRestartDoesNotRewriteTheRecoveredEpoch) {
+  // A warm restart serves the epoch it loaded; re-snapshotting it would be
+  // a byte-identical duplicate write (and, with snapshots_keep pruning,
+  // could evict an older epoch for nothing). Recovery must initialize the
+  // dedupe watermark to the recovered epoch so no write happens until a
+  // NEW epoch publishes.
+  const std::string dir = FreshDir("warm_restart_dedupe");
+  const ServiceOptions options = SnapshotOptions(dir);
+  {
+    World w = MakeWorld(6);
+    DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                              options);
+    ASSERT_TRUE(service.AddEdge(2, 90));
+    ASSERT_TRUE(service.Refresh().ok());
+  }  // crash: only the disk remains
+
+  const auto list_files = [&dir] {
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+  const std::vector<std::string> files_before = list_files();
+  Counter* writes =
+      MetricsRegistry::Instance().GetCounter("cod_snapshot_writes_total");
+  const uint64_t writes_before = writes->Value();
+
+  Result<std::unique_ptr<DynamicCodService>> recovered =
+      DynamicCodService::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  DynamicCodService& service = **recovered;
+  // Serving traffic must not trigger a write either.
+  Probe(*service.Snapshot().core, /*seed=*/99);
+  EXPECT_EQ(writes->Value(), writes_before);
+  EXPECT_EQ(list_files(), files_before);
+
+  // The next real publish resumes snapshotting as usual.
+  ASSERT_TRUE(service.AddEdge(3, 80));
+  ASSERT_TRUE(service.Refresh().ok());
+  EXPECT_EQ(writes->Value(), writes_before + 1);
+}
+
+TEST(SnapshotTest, DeltaSnapshotsReuseUnchangedSections) {
+  // Consecutive epochs of one service share the attribute table (and often
+  // more) by pointer; the store's section cache must skip re-serializing
+  // those sections while producing byte-identical files — reuse is an
+  // encode-time shortcut, never a format change.
+  const std::string dir = FreshDir("section_reuse");
+  World w = MakeWorld(8);
+  DynamicCodService service(std::move(w.graph), std::move(w.attrs),
+                            SnapshotOptions(dir));
+  Counter* reused = MetricsRegistry::Instance().GetCounter(
+      "cod_snapshot_sections_reused_total");
+  const uint64_t before = reused->Value();
+  ASSERT_TRUE(service.AddEdge(2, 90));
+  ASSERT_TRUE(service.Refresh().ok());
+  // The attribute table is shared across epochs, so the second write
+  // reuses at least that section's cached bytes.
+  EXPECT_GT(reused->Value(), before);
+
+  // Reuse is invisible in the bytes: the file decodes cleanly and carries
+  // the same world the live core serves.
+  SnapshotStore store({dir, 2});
+  Result<DecodedEpochSnapshot> snap =
+      LoadEpochSnapshotFile(store.PathForEpoch(2));
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->meta.epoch, 2u);
+  EXPECT_EQ(snap->graph.NumEdges(), service.engine().graph().NumEdges());
+  EXPECT_EQ(snap->attributes.NumAttributes(),
+            service.engine().attributes().NumAttributes());
 }
 
 TEST(SnapshotTest, RecoveredServiceKeepsRebuildDeterminism) {
