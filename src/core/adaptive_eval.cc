@@ -11,13 +11,15 @@ AdaptiveEvaluator::AdaptiveEvaluator(const DiffusionModel& model,
 }
 
 AdaptiveOutcome AdaptiveEvaluator::Evaluate(const CodChain& chain, NodeId q,
-                                            uint32_t k, Rng& rng) {
+                                            uint32_t k, Rng& rng,
+                                            const SketchPruneGuide* guide) {
   AdaptiveOutcome result;
   int agreement = 0;
   int previous_best = -2;  // sentinel distinct from "not found" (-1)
   for (uint32_t theta = options_.initial_theta;; theta *= 2) {
     CompressedEvaluator evaluator(*model_, theta);
-    result.outcome = evaluator.Evaluate(chain, q, k, rng);
+    result.outcome =
+        evaluator.Evaluate(chain, q, k, rng, Budget{}, nullptr, guide);
     result.final_theta = theta;
     ++result.rounds;
     if (result.outcome.best_level == previous_best) {

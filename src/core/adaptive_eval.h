@@ -34,8 +34,12 @@ class AdaptiveEvaluator {
  public:
   AdaptiveEvaluator(const DiffusionModel& model, const AdaptiveOptions& options);
 
+  // `guide`, when non-null, is forwarded to every round's compressed
+  // evaluation. It only bites on the round whose theta matches the sketch's
+  // build theta (CompressedEvaluator checks); other rounds run unguided, so
+  // the adaptive ladder's doubling schedule is unchanged.
   AdaptiveOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
-                           Rng& rng);
+                           Rng& rng, const SketchPruneGuide* guide = nullptr);
 
  private:
   const DiffusionModel* model_;

@@ -27,6 +27,16 @@ struct CodChain {
   std::vector<NodeId> universe;   // members of C_{L-1}
   std::vector<uint32_t> community_size;  // |C_h| per level, non-decreasing
 
+  // Optional: the dendrogram community id of each level, in the SAME
+  // dendrogram the engine's CoverageSketchIndex was built against. Empty
+  // (the default) means "unknown" and disables sketch guidance for this
+  // chain. Only call sites that can vouch for the mapping fill it (engine
+  // CODU chains, and the spliced-level tail of CODL chains); the chain
+  // builders below never do — a reclustered chain's local communities live
+  // in a different dendrogram, and kInvalidCommunity entries mark exactly
+  // those levels as unprunable.
+  std::vector<CommunityId> level_community;
+
   size_t NumLevels() const { return community_size.size(); }
 
   // Materializes the members of C_h (all universe nodes with level <= h).

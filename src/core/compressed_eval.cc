@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <span>
 
 namespace cod {
 namespace {
@@ -90,6 +91,8 @@ void CompressedEvaluator::Rebind(const DiffusionModel& model, uint32_t theta) {
   last_merge_seconds_ = 0.0;
   last_eval_seconds_ = 0.0;
   last_parallel_chunks_ = 0;
+  last_levels_pruned_ = 0;
+  last_levels_considered_ = 0;
   // The stamp arrays are query-scoped; capacity survives (they only regrow
   // when the new graph is larger), so epoch swaps between same-sized graphs
   // stay allocation-free.
@@ -98,22 +101,83 @@ void CompressedEvaluator::Rebind(const DiffusionModel& model, uint32_t theta) {
 ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
                                                uint32_t k, Rng& rng,
                                                const Budget& budget,
-                                               TaskScheduler* scheduler) {
+                                               TaskScheduler* scheduler,
+                                               const SketchPruneGuide* guide) {
   const size_t num_levels = chain.NumLevels();
   COD_CHECK(num_levels >= 1);
   COD_CHECK(chain.in_universe[q]);
   COD_CHECK_EQ(chain.level[q], 0u);
   COD_CHECK(k >= 1);
 
-  // The only draw consumed from the caller's stream: every RR sample i then
-  // derives its own Rng from RrSampleSeed(pool_seed, i), making the pool
-  // independent of sampling order and thread placement.
-  const uint64_t pool_seed = rng.Next();
+  // One draw is consumed from the caller's stream whether or not it ends up
+  // seeding the pool — callers rely on Evaluate advancing rng by exactly one
+  // draw per call. Every RR sample then derives its own Rng from
+  // RrSampleSeed(pool_seed, source * theta + j), making the pool
+  // independent of sampling order, thread placement, and source filtering.
+  const uint64_t drawn_seed = rng.Next();
+
+  // An active guide pins the pool to the sketch's build schedule (same seed,
+  // same theta, source-keyed), so the sketch's exact per-community bounds
+  // apply verbatim to the pool this evaluation will draw. Pinning is
+  // deliberately independent of guide->prune: prune on and off evaluate the
+  // very same pool, which is what makes them bit-comparable.
+  const CoverageSketchIndex* sketch =
+      guide != nullptr ? guide->sketch : nullptr;
+  const bool pinned = sketch != nullptr && sketch->theta() == theta_ &&
+                      chain.level_community.size() == num_levels &&
+                      q < sketch->NumNodes();
+  const uint64_t pool_seed = pinned ? sketch->schedule_seed() : drawn_seed;
+
+  // Top-down prune pass: the top-contiguous run of levels whose sketch
+  // thresholds prove rank_C(q) == k (clamped) is skipped entirely — their
+  // sources never sample and their occurrence lists are never scanned. Only
+  // a SUFFIX is pruned: a sample's contributions land at levels >= its
+  // source's level, so dropping sources of pruned levels leaves every
+  // retained level's data byte-identical.
+  last_levels_pruned_ = 0;
+  last_levels_considered_ = 0;
+  size_t keep = num_levels;
+  if (pinned && guide->prune) {
+    const uint32_t tq = sketch->TopCountOf(q);
+    while (keep > 0 &&
+           sketch->ProvesNotTopK(chain.level_community[keep - 1], k, tq)) {
+      --keep;
+    }
+    last_levels_considered_ = num_levels;
+    last_levels_pruned_ = num_levels - keep;
+  }
+
+  if (keep == 0) {
+    // Every level proved: q is outside the top-k everywhere, with zero
+    // sampling. Mirror the pool builder's entry poll so an exhausted budget
+    // still reports as such.
+    last_samples_ = 0;
+    last_explored_nodes_ = 0;
+    last_sample_seconds_ = 0.0;
+    last_merge_seconds_ = 0.0;
+    last_eval_seconds_ = 0.0;
+    last_parallel_chunks_ = 0;
+    ChainEvalOutcome outcome;
+    outcome.code = budget.ExhaustedCode();
+    if (outcome.code == StatusCode::kOk) {
+      outcome.rank_per_level.assign(num_levels, k);
+    }
+    return outcome;
+  }
+
+  std::span<const NodeId> sources(chain.universe);
+  if (keep < num_levels) {
+    pruned_sources_.clear();
+    for (const NodeId v : chain.universe) {
+      if (chain.level[v] < keep) pruned_sources_.push_back(v);
+    }
+    sources = pruned_sources_;
+  }
 
   // --- Stage 1: shared sample generation into the slab pool. ---
   ParallelRrPool::BuildStats build_stats;
   const StatusCode code =
-      pool_builder_.Build(chain.universe, theta_, chain.in_universe, pool_seed,
+      pool_builder_.Build(sources, theta_, chain.in_universe, pool_seed,
                           budget, scheduler, &slab_, &build_stats);
   last_samples_ = build_stats.samples;
   last_explored_nodes_ = build_stats.explored_nodes;
@@ -199,11 +263,16 @@ ChainEvalOutcome CompressedEvaluator::Evaluate(const CodChain& chain, NodeId q,
   }
   ++query_epoch_;
 
+  // Levels >= keep were proved by the sketch: the unpruned run would report
+  // rank exactly k (clamped) there, so write that directly. Their occurrence
+  // lists may hold spill from retained-level sources (h2 rounds up) but are
+  // incomplete without the dropped sources, so they must not be scanned.
   ChainEvalOutcome outcome;
   outcome.rank_per_level.resize(num_levels);
+  for (size_t h = keep; h < num_levels; ++h) outcome.rank_per_level[h] = k;
   TopKCandidates candidates(k, &topk_items_);
   uint32_t tau_q = 0;
-  for (uint32_t h = 0; h < num_levels; ++h) {
+  for (uint32_t h = 0; h < keep; ++h) {
     ++level_epoch_;
     touched_.clear();
     for (const NodeId v : level_nodes_[h]) {

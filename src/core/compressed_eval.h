@@ -5,9 +5,10 @@
 //
 //  1. Shared sample generation: theta RR graphs are sampled from each
 //     universe node into a contiguous slab pool (see influence/rr_pool.h).
-//     Sample i always draws from Rng(RrSampleSeed(pool_seed, i)) where
-//     pool_seed is ONE draw from the caller's RNG, so the pool is identical
-//     whether it was built serially or sharded across a thread pool.
+//     The j-th sample of source s always draws from
+//     Rng(RrSampleSeed(pool_seed, s * theta + j)) where pool_seed is ONE
+//     draw from the caller's RNG, so the pool is identical whether it was
+//     built serially or sharded across a thread pool.
 //  2. Hierarchical-first search (HFS) + incremental top-k evaluation: each
 //     stored RR graph is traversed level-by-level so that every reached node
 //     is recorded exactly once, at the smallest chain community containing a
@@ -28,11 +29,33 @@
 
 #include "common/deadline.h"
 #include "core/cod_chain.h"
+#include "influence/coverage_sketch.h"
 #include "influence/rr_pool.h"
 
 namespace cod {
 
 class TaskScheduler;
+
+// Optional sketch guidance for Evaluate (core/engine_core.cc wires it when
+// the engine carries a CoverageSketchIndex and the chain knows its level
+// communities). Activating the guide PINS the pool seed to the sketch's
+// schedule seed — the evaluation samples the exact pool the index build
+// proved its bounds against — which is what makes `prune` answer-preserving:
+// a pruned level is one where >= k universe nodes provably beat q's best
+// possible cumulative count, so the unpruned run would have reported rank k
+// (clamped) there anyway, and the retained levels draw byte-identical
+// samples because the source-keyed schedule is position-independent.
+//
+// The guide only takes effect when the sketch's (schedule_seed, theta)
+// matches the evaluator's theta and the chain carries level communities for
+// every level; otherwise Evaluate silently falls back to the normal
+// rng-seeded pool. With `prune` false the schedule is still pinned but no
+// level is skipped — the prune-on/prune-off property tests compare exactly
+// these two modes.
+struct SketchPruneGuide {
+  const CoverageSketchIndex* sketch = nullptr;
+  bool prune = true;
+};
 
 // Per-level outcome of a chain evaluation, shared with IndependentEvaluator.
 struct ChainEvalOutcome {
@@ -88,7 +111,10 @@ class CompressedEvaluator {
   // sub-nanosecond test budgets deterministic (see common/deadline.h).
   ChainEvalOutcome Evaluate(const CodChain& chain, NodeId q, uint32_t k,
                             Rng& rng, const Budget& budget,
-                            TaskScheduler* scheduler);
+                            TaskScheduler* scheduler,
+                            const SketchPruneGuide* guide = nullptr);
+
+  uint32_t theta() const { return theta_; }
 
   // Total RR-graph nodes explored by the last Evaluate call (|R| in the
   // paper's analysis); exposed for the Fig. 8 sample-cost comparison.
@@ -105,6 +131,12 @@ class CompressedEvaluator {
   double last_eval_seconds() const { return last_eval_seconds_; }
   // Parallel chunks used by the last pool build (0 = serial path).
   size_t last_parallel_chunks() const { return last_parallel_chunks_; }
+
+  // Sketch pruning on the last Evaluate: chain levels the guide proved
+  // skippable / total levels a prune pass considered (0 when no active
+  // guide — see SketchPruneGuide for the activation conditions).
+  size_t last_levels_pruned() const { return last_levels_pruned_; }
+  size_t last_levels_considered() const { return last_levels_considered_; }
 
   // Slab growth events across the pool and all chunk scratch — stable across
   // repeated same-shape queries once warmed (the zero-allocation contract).
@@ -123,6 +155,8 @@ class CompressedEvaluator {
   double last_merge_seconds_ = 0.0;
   double last_eval_seconds_ = 0.0;
   size_t last_parallel_chunks_ = 0;
+  size_t last_levels_pruned_ = 0;
+  size_t last_levels_considered_ = 0;
 
   // Reusable per-query scratch (sized lazily to the graph / chain).
   std::vector<std::vector<uint32_t>> level_queue_;  // local node ids per level
@@ -139,6 +173,7 @@ class CompressedEvaluator {
   std::vector<NodeId> touched_;      // nodes first seen at the current level
   std::vector<uint32_t> heap_;       // pending_levels min-heap storage
   std::vector<std::pair<uint32_t, NodeId>> topk_items_;  // TopK storage
+  std::vector<NodeId> pruned_sources_;  // universe minus pruned-level sources
 };
 
 }  // namespace cod

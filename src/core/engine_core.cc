@@ -80,8 +80,8 @@ struct VariantSites {
 };
 
 const VariantSites& SitesFor(CodVariant variant) {
-  static const std::array<VariantSites, 5> sites = [] {
-    std::array<VariantSites, 5> s{};
+  static const std::array<VariantSites, 6> sites = [] {
+    std::array<VariantSites, 6> s{};
     MetricsRegistry& reg = MetricsRegistry::Instance();
     for (size_t i = 0; i < s.size(); ++i) {
       const std::string v = CodVariantName(static_cast<CodVariant>(i));
@@ -115,6 +115,11 @@ struct StageSites {
   Counter* codr_cache_builds;
   Counter* codr_cache_evictions;
   Counter* codr_fallbacks;
+  Histogram* sketch_merge;
+  Histogram* sketch_finalize;
+  Counter* sketch_prune_skipped;
+  Counter* sketch_prune_considered;
+  Counter* sketch_rung_served;
 };
 
 const StageSites& Stages() {
@@ -144,6 +149,28 @@ const StageSites& Stages() {
     s.codr_cache_builds = reg.GetCounter("cod_codr_cache_builds_total");
     s.codr_cache_evictions = reg.GetCounter("cod_codr_cache_evictions_total");
     s.codr_fallbacks = reg.GetCounter("cod_codr_fallbacks_total");
+    // Sketch build stages: merge tracks the bottom-up signature folding
+    // inside the index build's bucket pass, finalize the CSR pack.
+    s.sketch_merge = reg.GetHistogram(
+        "cod_sketch_build_stage_seconds{stage=\"merge\"}");
+    s.sketch_finalize = reg.GetHistogram(
+        "cod_sketch_build_stage_seconds{stage=\"finalize\"}");
+    s.sketch_prune_skipped =
+        reg.GetCounter("cod_sketch_prune_levels_skipped_total");
+    s.sketch_prune_considered =
+        reg.GetCounter("cod_sketch_prune_levels_considered_total");
+    s.sketch_rung_served = reg.GetCounter("cod_sketch_rung_served_total");
+    // Process-wide prune rate, derived at scrape time from the two counters
+    // above (Counter::Value() merges shards without the registry lock, so
+    // reading them inside a scrape is deadlock-free). Registered once for
+    // the process lifetime, like the counter handles themselves.
+    Counter* skipped = s.sketch_prune_skipped;
+    Counter* considered = s.sketch_prune_considered;
+    reg.RegisterCallbackGauge("cod_sketch_prune_rate", [skipped, considered] {
+      const double total = static_cast<double>(considered->Value());
+      if (total <= 0.0) return 0.0;
+      return static_cast<double>(skipped->Value()) / total;
+    });
     return s;
   }();
   return sites;
@@ -163,6 +190,8 @@ const char* CodVariantName(CodVariant variant) {
       return "codl";
     case CodVariant::kCodUIndexed:
       return "codu_indexed";
+    case CodVariant::kCodSketch:
+      return "codsketch";
   }
   COD_CHECK(false);
   return "unknown";
@@ -202,7 +231,7 @@ Result<std::unique_ptr<EngineCore>> EngineCore::FromPrebuilt(
     std::shared_ptr<const Graph> graph,
     std::shared_ptr<const AttributeTable> attrs, const EngineOptions& options,
     Dendrogram base_hierarchy, std::optional<HimorIndex> himor,
-    bool index_absent_degraded) {
+    std::optional<CoverageSketchIndex> sketch, bool index_absent_degraded) {
   if (graph == nullptr || attrs == nullptr) {
     return Status::InvalidArgument("FromPrebuilt requires graph and attrs");
   }
@@ -226,11 +255,27 @@ Result<std::unique_ptr<EngineCore>> EngineCore::FromPrebuilt(
     return Status::InvalidArgument(
         "a core with an index cannot be index-absent degraded");
   }
+  if (sketch.has_value()) {
+    if (!himor.has_value()) {
+      return Status::InvalidArgument(
+          "a coverage sketch requires the HIMOR index it was built with");
+    }
+    if (sketch->NumNodes() != graph->NumNodes()) {
+      return Status::InvalidArgument(
+          "coverage sketch was built for a different graph (node count "
+          "mismatch)");
+    }
+    if (sketch->theta() != options.theta) {
+      return Status::InvalidArgument(
+          "coverage sketch was built under a different theta");
+    }
+  }
   std::unique_ptr<EngineCore> core(new EngineCore(
       PrebuiltTag{}, std::move(graph), std::move(attrs), options,
       std::move(base_hierarchy)));
   if (himor.has_value()) {
     core->himor_ = std::move(himor);
+    core->sketch_ = std::move(sketch);
   } else if (index_absent_degraded) {
     core->MarkIndexAbsent();
   }
@@ -255,7 +300,20 @@ CommunityId EngineCore::ScopeTopFor(const Dendrogram& dendrogram,
 }
 
 CodChain EngineCore::BuildCoduChain(NodeId q) const {
-  return BuildChainFromDendrogram(base_, q, ScopeTopFor(base_, q));
+  const CommunityId top = ScopeTopFor(base_, q);
+  CodChain chain = BuildChainFromDendrogram(base_, q, top);
+  // CODU chains live in the BASE dendrogram — the one the coverage sketch
+  // (when built) indexes — so record the community id of every level to
+  // enable sketch-guided pruning. The chain builder itself never fills this
+  // (other callers hand it foreign dendrograms).
+  chain.level_community.reserve(chain.NumLevels());
+  for (CommunityId c = base_.Parent(base_.LeafOf(q)); c != kInvalidCommunity;
+       c = base_.Parent(c)) {
+    chain.level_community.push_back(c);
+    if (c == top) break;
+  }
+  COD_DCHECK(chain.level_community.size() == chain.NumLevels());
+  return chain;
 }
 
 CodChain EngineCore::BuildCodrChain(NodeId q, AttributeId attr) const {
@@ -399,6 +457,12 @@ Result<LoreChain> EngineCore::BuildCodlChainFromScores(
   out.chain = BuildChainFromDendrogram(*local, local_q, kInvalidCommunity,
                                        &sub.to_parent, graph_->NumNodes());
   out.local_levels = out.chain.NumLevels();
+  // The local levels come from a private reclustered dendrogram the sketch
+  // knows nothing about (kInvalidCommunity = unprunable); the global
+  // ancestors spliced below ARE base communities. Since pruning only ever
+  // drops a top-contiguous suffix, the spliced tail is exactly the prunable
+  // region.
+  out.chain.level_community.assign(out.local_levels, kInvalidCommunity);
 
   // Splice the untouched global ancestors of C_ell on top. Each ancestor's
   // fresh nodes are the prefix + suffix of its member span around its
@@ -421,6 +485,7 @@ Result<LoreChain> EngineCore::BuildCodlChainFromScores(
     fresh.insert(fresh.end(), prev_end, end);
     AppendLevelWithNewMembers(&out.chain, fresh,
                               static_cast<uint32_t>(span.size()));
+    out.chain.level_community.push_back(a);
     prev_begin = begin;
     prev_end = end;
   }
@@ -430,8 +495,16 @@ Result<LoreChain> EngineCore::BuildCodlChainFromScores(
 CodResult EngineCore::EvaluateChain(const CodChain& chain, NodeId q,
                                     uint32_t k, QueryWorkspace& ws) const {
   COD_DCHECK(ws.bound_core() == this);  // Rebind the workspace to this core
-  const ChainEvalOutcome outcome = ws.evaluator().Evaluate(
-      chain, q, k, ws.rng(), ws.budget(), ws.effective_sampling_pool());
+  // Sketch guidance only makes sense when the chain names its communities in
+  // the base dendrogram (CODU chains, and the spliced tail of CODL- chains);
+  // the evaluator re-checks theta and pins the pool to the sketch schedule.
+  const SketchPruneGuide guide{sketch(), options_.sketch_prune};
+  const SketchPruneGuide* guide_ptr =
+      guide.sketch != nullptr && !chain.level_community.empty() ? &guide
+                                                                : nullptr;
+  const ChainEvalOutcome outcome =
+      ws.evaluator().Evaluate(chain, q, k, ws.rng(), ws.budget(),
+                              ws.effective_sampling_pool(), guide_ptr);
   QueryStats& st = ws.stats();
   st.sample_seconds += ws.evaluator().last_sample_seconds();
   st.merge_seconds += ws.evaluator().last_merge_seconds();
@@ -439,6 +512,8 @@ CodResult EngineCore::EvaluateChain(const CodChain& chain, NodeId q,
   st.rr_samples += ws.evaluator().last_samples();
   st.explored_nodes += ws.evaluator().last_explored_nodes();
   st.parallel_chunks += ws.evaluator().last_parallel_chunks();
+  st.sketch_levels_pruned += ws.evaluator().last_levels_pruned();
+  st.sketch_levels_considered += ws.evaluator().last_levels_considered();
   CodResult result;
   result.num_levels = chain.NumLevels();
   result.code = outcome.code;
@@ -494,6 +569,9 @@ CodResult EngineCore::Query(const QuerySpec& spec, QueryWorkspace& ws) const {
       case CodVariant::kCodL:
         result = DoCodL(spec.node, spec.attrs, k, ws);
         break;
+      case CodVariant::kCodSketch:
+        result = DoCodSketch(spec.node, k);
+        break;
     }
   }
   QueryStats& st = ws.stats();
@@ -534,6 +612,13 @@ CodResult EngineCore::Query(const QuerySpec& spec, QueryWorkspace& ws) const {
       ss.rr_parallel_chunks->Increment(st.parallel_chunks);
     }
     if (st.index_hit) ss.index_hits->Increment();
+    if (st.sketch_levels_considered > 0) {
+      ss.sketch_prune_considered->Increment(st.sketch_levels_considered);
+      ss.sketch_prune_skipped->Increment(st.sketch_levels_pruned);
+    }
+    if (result.variant_served == CodVariant::kCodSketch) {
+      ss.sketch_rung_served->Increment();
+    }
     if (spec.variant == CodVariant::kCodR && spec.attrs.size() == 1 &&
         options_.cache_codr_hierarchies) {
       (st.codr_cache_hit ? ss.codr_cache_hits : ss.codr_cache_misses)
@@ -821,6 +906,47 @@ CodResult EngineCore::DoCodUIndexed(NodeId q, uint32_t k) const {
   return result;
 }
 
+CodResult EngineCore::DoCodSketch(NodeId q, uint32_t k) const {
+  // The degradation ladder only appends this rung when sketch() exists and
+  // k fits the stored rank depth; direct callers get the same contract.
+  COD_CHECK(sketch_.has_value());
+  const CoverageSketchIndex& sk = *sketch_;
+  COD_CHECK(k >= 1 && k <= sk.rank_depth());
+  CodResult result;
+  result.variant_served = CodVariant::kCodSketch;
+  // An estimate from precomputed tables, not an evaluation: ALWAYS tagged
+  // degraded, even when it happens to match the exact answer.
+  result.degraded = true;
+  if (IsSingletonComponent(q)) return result;
+  const CommunityId top = ScopeTopFor(base_, q);
+  // Ancestors of q, deepest first (same walk as the CODU chain).
+  std::vector<CommunityId> chain;
+  for (CommunityId c = base_.Parent(base_.LeafOf(q)); c != kInvalidCommunity;
+       c = base_.Parent(c)) {
+    chain.push_back(c);
+    if (c == top) break;
+  }
+  result.num_levels = chain.size();
+  const uint32_t tq = q < sk.NumNodes() ? sk.TopCountOf(q) : 0;
+  // Largest (topmost) ancestor whose threshold table estimates q inside the
+  // top-k. Zero-support communities (not materialized under the purity
+  // rule, or never reached by any sample) carry no evidence — skip them.
+  for (size_t i = chain.size(); i-- > 0;) {
+    const CommunityId c = chain[i];
+    if (c >= sk.NumCommunities() || sk.SupportOf(c) == 0) continue;
+    const uint32_t rank = sk.EstimatedRank(c, tq);
+    if (rank < k) {
+      result.found = true;
+      result.answered_from_index = true;
+      result.rank = rank;
+      const auto span = base_.Members(c);
+      result.members.assign(span.begin(), span.end());
+      break;
+    }
+  }
+  return result;
+}
+
 QueryExplanation EngineCore::ExplainCodL(NodeId q, AttributeId attr,
                                          uint32_t k,
                                          QueryWorkspace& ws) const {
@@ -925,48 +1051,71 @@ Status EngineCore::LoadHimor(const std::string& path) {
         "HIMOR index was built for a different graph (node count mismatch)");
   }
   himor_ = std::move(loaded).value();
+  // Any resident sketch belongs to the REPLACED index's build (its rung
+  // estimates would disagree with the loaded entries), so drop it. Pruning
+  // and the sketch rung just switch off.
+  sketch_.reset();
   return Status::Ok();
 }
 
+void EngineCore::AdoptSketch(std::optional<CoverageSketchIndex> sketch) {
+  sketch_ = std::move(sketch);
+  if (sketch_.has_value() && MetricsRegistry::enabled()) {
+    const StageSites& ss = Stages();
+    ss.sketch_merge->Observe(sketch_->build_merge_seconds());
+    ss.sketch_finalize->Observe(sketch_->build_finalize_seconds());
+  }
+}
+
 void EngineCore::BuildHimor(Rng& rng) {
-  if (options_.component_scoped) {
-    Result<HimorIndex> built = HimorIndex::BuildScoped(
-        model_, base_, lca_, options_.theta, rng.Next(),
-        options_.himor_max_rank, Budget{}, comp_size_of_node_);
-    COD_CHECK(built.ok());
-    himor_ = std::move(built).value();
-    return;
-  }
-  himor_ = HimorIndex::Build(model_, base_, lca_, options_.theta, rng,
-                             options_.himor_max_rank);
-}
-
-void EngineCore::BuildHimorParallel(uint64_t seed, size_t num_threads) {
-  if (options_.component_scoped) {
-    // The scoped builder seeds per source, so it is already thread-count
-    // independent; num_threads is moot.
-    Result<HimorIndex> built = HimorIndex::BuildScoped(
-        model_, base_, lca_, options_.theta, seed, options_.himor_max_rank,
-        Budget{}, comp_size_of_node_);
-    COD_CHECK(built.ok());
-    himor_ = std::move(built).value();
-    return;
-  }
-  himor_ = HimorIndex::BuildParallel(model_, base_, lca_, options_.theta,
-                                     seed, options_.himor_max_rank,
-                                     num_threads);
-}
-
-Status EngineCore::TryBuildHimor(Rng& rng, const Budget& budget) {
+  std::optional<CoverageSketchIndex> sketch;
   Result<HimorIndex> built =
       options_.component_scoped
           ? HimorIndex::BuildScoped(model_, base_, lca_, options_.theta,
                                     rng.Next(), options_.himor_max_rank,
-                                    budget, comp_size_of_node_)
+                                    Budget{}, comp_size_of_node_,
+                                    options_.sketch_bits, &sketch)
           : HimorIndex::Build(model_, base_, lca_, options_.theta, rng,
-                              options_.himor_max_rank, budget);
+                              options_.himor_max_rank, Budget{},
+                              options_.sketch_bits, &sketch);
+  COD_CHECK(built.ok());
+  himor_ = std::move(built).value();
+  AdoptSketch(std::move(sketch));
+}
+
+void EngineCore::BuildHimorParallel(uint64_t seed, size_t num_threads) {
+  std::optional<CoverageSketchIndex> sketch;
+  // Under component scoping the scoped builder already seeds per source, so
+  // it is thread-count independent; num_threads is moot.
+  Result<HimorIndex> built =
+      options_.component_scoped
+          ? HimorIndex::BuildScoped(model_, base_, lca_, options_.theta,
+                                    seed, options_.himor_max_rank, Budget{},
+                                    comp_size_of_node_, options_.sketch_bits,
+                                    &sketch)
+          : HimorIndex::BuildParallel(model_, base_, lca_, options_.theta,
+                                      seed, options_.himor_max_rank,
+                                      num_threads, Budget{},
+                                      options_.sketch_bits, &sketch);
+  COD_CHECK(built.ok());
+  himor_ = std::move(built).value();
+  AdoptSketch(std::move(sketch));
+}
+
+Status EngineCore::TryBuildHimor(Rng& rng, const Budget& budget) {
+  std::optional<CoverageSketchIndex> sketch;
+  Result<HimorIndex> built =
+      options_.component_scoped
+          ? HimorIndex::BuildScoped(model_, base_, lca_, options_.theta,
+                                    rng.Next(), options_.himor_max_rank,
+                                    budget, comp_size_of_node_,
+                                    options_.sketch_bits, &sketch)
+          : HimorIndex::Build(model_, base_, lca_, options_.theta, rng,
+                              options_.himor_max_rank, budget,
+                              options_.sketch_bits, &sketch);
   if (!built.ok()) return built.status();
   himor_ = std::move(built).value();
+  AdoptSketch(std::move(sketch));
   return Status::Ok();
 }
 
@@ -975,32 +1124,39 @@ Status EngineCore::TryBuildHimorDelta(uint64_t seed, const Budget& budget,
                                       HimorSampleCache* prev,
                                       HimorSampleCache* next,
                                       HimorDeltaStats* stats) {
+  std::optional<CoverageSketchIndex> sketch;
   Result<HimorIndex> built = HimorIndex::BuildDelta(
       model_, base_, lca_, options_.theta, seed, options_.himor_max_rank,
       budget, options_.component_scoped ? &comp_size_of_node_ : nullptr,
-      dirty, prev, next, stats);
+      dirty, prev, next, stats, options_.sketch_bits, &sketch);
   if (!built.ok()) return built.status();
   himor_ = std::move(built).value();
+  AdoptSketch(std::move(sketch));
   return Status::Ok();
 }
 
 void EngineCore::MarkIndexAbsent() {
   COD_CHECK(!himor_.has_value());  // an existing index is never discarded
+  sketch_.reset();  // sketch without index would be unreachable anyway
   index_absent_degraded_ = true;
 }
 
 Status EngineCore::TryBuildHimorParallel(uint64_t seed, size_t num_threads,
                                          const Budget& budget) {
+  std::optional<CoverageSketchIndex> sketch;
   Result<HimorIndex> built =
       options_.component_scoped
           ? HimorIndex::BuildScoped(model_, base_, lca_, options_.theta,
                                     seed, options_.himor_max_rank, budget,
-                                    comp_size_of_node_)
+                                    comp_size_of_node_, options_.sketch_bits,
+                                    &sketch)
           : HimorIndex::BuildParallel(model_, base_, lca_, options_.theta,
                                       seed, options_.himor_max_rank,
-                                      num_threads, budget);
+                                      num_threads, budget,
+                                      options_.sketch_bits, &sketch);
   if (!built.ok()) return built.status();
   himor_ = std::move(built).value();
+  AdoptSketch(std::move(sketch));
   return Status::Ok();
 }
 

@@ -95,6 +95,26 @@ struct EngineOptions {
   // found=false. Off by default: mono serving keeps the historical
   // whole-graph chains (root included even across components).
   bool component_scoped = false;
+  // Coverage-sketch index (influence/coverage_sketch.h): log2 of the
+  // bottom-k signature capacity. 0 (default) disables the sketch entirely;
+  // otherwise every HIMOR build co-builds a CoverageSketchIndex in the same
+  // merge pass, enabling sketch_prune and sketch_rung below. Memory is
+  // O(2^sketch_bits) u64 per materialized community plus the exact
+  // threshold/top-count tables; 6-8 bits is plenty for pruning (the prune
+  // bound uses only the EXACT tables, so sketch_bits sizes the approximate
+  // rung's accuracy, not prune correctness).
+  uint32_t sketch_bits = 0;
+  // Answer-preserving pruning of exact HIMOR-schedule evaluations: levels
+  // whose sketch thresholds prove rank >= k are skipped (sources unsampled,
+  // occurrence lists unscanned) with bit-identical results — see
+  // SketchPruneGuide in core/compressed_eval.h for the argument. Latency
+  // knob only; excluded from the service fingerprint.
+  bool sketch_prune = true;
+  // Enables the CODSKETCH degradation rung (core/query_batch.h): a
+  // zero-sampling, index-only approximate answer from the sketch tables,
+  // always tagged degraded. Latency/availability knob only; excluded from
+  // the service fingerprint.
+  bool sketch_rung = true;
 };
 
 // The COD variants the serving stack can run (paper Sec. V-A), ordered by
@@ -104,8 +124,14 @@ enum class CodVariant : uint8_t {
   kCodU,
   kCodR,
   kCodLMinus,
-  kCodL,        // requires the core's HIMOR index
-  kCodUIndexed  // requires the core's HIMOR index
+  kCodL,         // requires the core's HIMOR index
+  kCodUIndexed,  // requires the core's HIMOR index
+  // Approximate index-only answer from the coverage sketch (requires
+  // sketch() and k <= sketch rank depth): the largest base-hierarchy
+  // community whose sketch tables estimate q inside the top-k. Zero
+  // sampling, O(dep(q)); ALWAYS tagged degraded — it is the bottom rung of
+  // the degradation ladder, never an exact variant.
+  kCodSketch
 };
 
 // Lower-case label value used for per-variant metrics (e.g.
@@ -206,11 +232,17 @@ class EngineCore {
   // bit-identically to the one that wrote it. Fails with InvalidArgument
   // when the parts disagree (node counts, leaf counts) instead of
   // CHECK-crashing: snapshot bytes are hostile input.
+  // `sketch` restores the coverage-sketch index persisted alongside the
+  // HIMOR index (snapshot section kSketch); it requires `himor` to be
+  // present and is validated against the graph/hierarchy shape. A missing
+  // sketch is never an error — the core just serves without pruning or the
+  // sketch rung (sketch loss degrades latency, not answers).
   static Result<std::unique_ptr<EngineCore>> FromPrebuilt(
       std::shared_ptr<const Graph> graph,
       std::shared_ptr<const AttributeTable> attrs,
       const EngineOptions& options, Dendrogram base_hierarchy,
-      std::optional<HimorIndex> himor, bool index_absent_degraded);
+      std::optional<HimorIndex> himor,
+      std::optional<CoverageSketchIndex> sketch, bool index_absent_degraded);
 
   EngineCore(const EngineCore&) = delete;
   EngineCore& operator=(const EngineCore&) = delete;
@@ -318,6 +350,13 @@ class EngineCore {
   const HimorIndex* himor() const {
     return himor_.has_value() ? &*himor_ : nullptr;
   }
+  // Coverage-sketch index co-built with the HIMOR index when
+  // options().sketch_bits > 0 (null otherwise, including when the
+  // "influence/sketch_build" failpoint dropped it — the index itself still
+  // builds). Non-null implies himor() is non-null.
+  const CoverageSketchIndex* sketch() const {
+    return sketch_.has_value() ? &*sketch_ : nullptr;
+  }
   // True when the HIMOR index exists; false only on cores published in the
   // explicit index-absent degraded mode (see MarkIndexAbsent).
   bool index_present() const { return himor_.has_value(); }
@@ -353,6 +392,7 @@ class EngineCore {
   CodResult DoCodL(NodeId q, std::span<const AttributeId> attrs, uint32_t k,
                    QueryWorkspace& ws) const;
   CodResult DoCodUIndexed(NodeId q, uint32_t k) const;
+  CodResult DoCodSketch(NodeId q, uint32_t k) const;
 
   // The CODR cache lookup-or-build: returns the attribute's dendrogram,
   // electing this thread as the single-flight builder on a cold miss (the
@@ -374,6 +414,12 @@ class EngineCore {
   bool IsSingletonComponent(NodeId q) const {
     return options_.component_scoped && comp_size_of_node_[q] <= 1;
   }
+  // Commits a freshly co-built coverage sketch (possibly empty — failpoint
+  // or sketch_bits == 0) after a SUCCESSFUL index build, observing its
+  // build-stage histograms. Failed builds never reach this, keeping the
+  // previous index+sketch pair intact together.
+  void AdoptSketch(std::optional<CoverageSketchIndex> sketch);
+
   // Drops least-recently-used READY entries until the cache fits
   // options_.codr_cache_capacity; in-flight builds are never evicted.
   // Requires codr_mu_ held.
@@ -386,6 +432,7 @@ class EngineCore {
   Dendrogram base_;
   LcaIndex lca_;
   std::optional<HimorIndex> himor_;
+  std::optional<CoverageSketchIndex> sketch_;
   bool index_absent_degraded_ = false;
   // Per-node connected-component sizes, filled only when
   // options_.component_scoped (empty otherwise).

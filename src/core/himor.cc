@@ -7,6 +7,7 @@
 #include "common/binary_io.h"
 #include "common/failpoint.h"
 #include "common/task_scheduler.h"
+#include "hierarchy/sketch_builder.h"
 
 namespace cod {
 namespace {
@@ -177,8 +178,11 @@ class TreeHfsSampler {
   // budget is polled once per source (a source's theta RR graphs are the
   // check interval); `abort_code`, when non-null, is shared across parallel
   // workers so one worker's failure stops the rest at their next source.
+  // Sample (source, t) draws from Rng(RrSampleSeed(seed, source * theta +
+  // t)) — the one schedule every HIMOR builder shares, so any source range
+  // partition (serial, batched, per-source) produces identical bytes.
   StatusCode ProcessSources(NodeId begin, NodeId end, uint32_t theta,
-                            Rng& rng,
+                            uint64_t seed,
                             std::vector<std::pair<CommunityId, NodeId>>* pairs,
                             const Budget& budget,
                             std::atomic<int>* abort_code) {
@@ -199,6 +203,7 @@ class TreeHfsSampler {
       }
       BeginSource(source);
       for (uint32_t t = 0; t < theta; ++t) {
+        Rng rng(RrSampleSeed(seed, uint64_t{source} * theta + t));
         SampleAndWalk(rng, pairs, /*cache=*/nullptr);
       }
     }
@@ -234,6 +239,23 @@ Status BudgetStatus(StatusCode code, const char* what) {
 uint64_t LeafFingerprint(NodeId v) {
   uint64_t mix = 0x9e3779b97f4a7c15ULL * (uint64_t{v} + 1);
   return SplitMix64(mix);
+}
+
+// Shared sketch co-build gate. An armed "influence/sketch_build" failpoint
+// (or sketch_bits == 0, or no output slot) drops the sketch while the index
+// itself still builds — sketch loss degrades pruning, never correctness.
+std::optional<CoverageSketchBuilder> MaybeSketchBuilder(
+    const Dendrogram& dendrogram, uint64_t schedule_seed, uint32_t theta,
+    uint32_t max_rank, uint32_t sketch_bits,
+    std::optional<CoverageSketchIndex>* sketch) {
+  if (sketch != nullptr) sketch->reset();
+  if (sketch == nullptr || sketch_bits == 0 ||
+      COD_FAILPOINT("influence/sketch_build")) {
+    return std::nullopt;
+  }
+  return std::make_optional<CoverageSketchBuilder>(
+      dendrogram.NumVertices(), dendrogram.NumLeaves(), schedule_seed, theta,
+      sketch_bits, max_rank);
 }
 
 }  // namespace
@@ -286,7 +308,8 @@ HimorIndex::BucketTable HimorIndex::BuildBuckets(
 template <typename ItemsOf>
 HimorIndex HimorIndex::BuildFromItems(
     const Dendrogram& dendrogram, uint32_t max_rank, ItemsOf&& items_of,
-    const std::vector<uint32_t>* comp_size_of_node) {
+    const std::vector<uint32_t>* comp_size_of_node,
+    CoverageSketchBuilder* sketch) {
   const size_t n = dendrogram.NumLeaves();
   const size_t num_vertices = dendrogram.NumVertices();
   // ---- Stage 2: bottom-up merge of tree-structured buckets. ----
@@ -322,10 +345,15 @@ HimorIndex HimorIndex::BuildFromItems(
     });
     std::sort(updated.begin(), updated.end(), RunLess);
 
+    const auto kids = dendrogram.Children(c);
+    // The bucket run is exactly the nodes first covered at c, so the sketch
+    // union (children's signatures + this bucket) sees c's full covered set
+    // without any extra traversal.
+    if (sketch != nullptr) sketch->MergeUp(c, kids, updated);
+
     // Merge child runs (2-way cascade; agglomerative trees are binary except
     // possibly at the root).
     Run merged;
-    const auto kids = dendrogram.Children(c);
     bool first = true;
     for (CommunityId child : kids) {
       Run& child_run = runs[child];
@@ -375,7 +403,13 @@ HimorIndex HimorIndex::BuildFromItems(
         // ever need. An ancestor absent from v's list implies rank >=
         // max_rank.
         if (r < max_rank) per_node[v].push_back(Entry{c, r});
+        // acc[v] is v's exact cumulative count at c; the ascending sweep
+        // overwrites, so each node ends at its TOPMOST materialized
+        // ancestor — the monotone upper bound sketch pruning compares
+        // thresholds against.
+        if (sketch != nullptr) sketch->SetTopCount(v, acc[v]);
       }
+      if (sketch != nullptr) sketch->RecordCommunity(c, merged);
     }
     runs[c] = std::move(merged);
   }
@@ -399,7 +433,8 @@ HimorIndex HimorIndex::BuildFromItems(
 HimorIndex HimorIndex::BuildFromBuckets(
     const Dendrogram& dendrogram, uint32_t max_rank,
     const BucketTable& buckets,
-    const std::vector<uint32_t>* comp_size_of_node) {
+    const std::vector<uint32_t>* comp_size_of_node,
+    CoverageSketchBuilder* sketch) {
   return BuildFromItems(
       dendrogram, max_rank,
       [&buckets](CommunityId c, auto&& emit) {
@@ -408,7 +443,7 @@ HimorIndex HimorIndex::BuildFromBuckets(
           emit(buckets.node[i], buckets.count[i]);
         }
       },
-      comp_size_of_node);
+      comp_size_of_node, sketch);
 }
 
 HimorIndex HimorIndex::Build(const DiffusionModel& model,
@@ -436,56 +471,76 @@ Result<HimorIndex> HimorIndex::Build(const DiffusionModel& model,
                                      const Dendrogram& dendrogram,
                                      const LcaIndex& lca, uint32_t theta,
                                      Rng& rng, uint32_t max_rank,
-                                     const Budget& budget) {
+                                     const Budget& budget,
+                                     uint32_t sketch_bits,
+                                     std::optional<CoverageSketchIndex>*
+                                         sketch) {
   COD_CHECK(theta > 0);
   COD_CHECK(max_rank > 0);
   COD_CHECK_EQ(model.graph().NumNodes(), dendrogram.NumLeaves());
+  if (sketch != nullptr) sketch->reset();
   if (COD_FAILPOINT("himor/build")) {
     return Status::IoError("failpoint himor/build armed");
   }
 
+  // The entire build runs off one schedule seed — the only draw taken from
+  // the caller's rng.
+  const uint64_t seed = rng.Next();
   TreeHfsSampler worker(model, dendrogram, lca);
   std::vector<std::pair<CommunityId, NodeId>> pairs;
   const StatusCode code = worker.ProcessSources(
-      0, static_cast<NodeId>(model.graph().NumNodes()), theta, rng, &pairs,
+      0, static_cast<NodeId>(model.graph().NumNodes()), theta, seed, &pairs,
       budget, /*abort_code=*/nullptr);
   if (code != StatusCode::kOk) return BudgetStatus(code, "HIMOR build");
+  std::optional<CoverageSketchBuilder> sb =
+      MaybeSketchBuilder(dendrogram, seed, theta, max_rank, sketch_bits,
+                         sketch);
   const BucketTable buckets =
       BuildBuckets(pairs, dendrogram.NumVertices(), dendrogram.NumLeaves());
-  return BuildFromBuckets(dendrogram, max_rank, buckets);
+  HimorIndex index = BuildFromBuckets(dendrogram, max_rank, buckets,
+                                      /*comp_size_of_node=*/nullptr,
+                                      sb ? &*sb : nullptr);
+  if (sb) *sketch = sb->Finish();
+  return index;
 }
 
 Result<HimorIndex> HimorIndex::BuildScoped(
     const DiffusionModel& model, const Dendrogram& dendrogram,
     const LcaIndex& lca, uint32_t theta, uint64_t seed, uint32_t max_rank,
-    const Budget& budget, const std::vector<uint32_t>& comp_size_of_node) {
+    const Budget& budget, const std::vector<uint32_t>& comp_size_of_node,
+    uint32_t sketch_bits, std::optional<CoverageSketchIndex>* sketch) {
   COD_CHECK(theta > 0);
   COD_CHECK(max_rank > 0);
   const size_t n = model.graph().NumNodes();
   COD_CHECK_EQ(n, dendrogram.NumLeaves());
   COD_CHECK_EQ(n, comp_size_of_node.size());
+  if (sketch != nullptr) sketch->reset();
   if (COD_FAILPOINT("himor/build")) {
     return Status::IoError("failpoint himor/build armed");
   }
 
-  // One private RNG stream per source: a source's samples never depend on
-  // how many RR graphs other sources (possibly in other components) drew
-  // before it. ProcessSources polls the budget once per call, which at one
-  // source per call is exactly the serial builder's check cadence.
+  // The source-keyed schedule already gives every source its private
+  // sample streams — a source's samples never depend on how many RR graphs
+  // other sources (possibly in other components) drew before it.
+  // ProcessSources polls the budget once per source, the serial builder's
+  // check cadence.
   TreeHfsSampler worker(model, dendrogram, lca);
   std::vector<std::pair<CommunityId, NodeId>> pairs;
-  for (NodeId source = 0; source < n; ++source) {
-    uint64_t mix = seed + source;
-    Rng rng(SplitMix64(mix));
-    const StatusCode code = worker.ProcessSources(source, source + 1, theta,
-                                                  rng, &pairs, budget,
-                                                  /*abort_code=*/nullptr);
-    if (code != StatusCode::kOk) {
-      return BudgetStatus(code, "HIMOR scoped build");
-    }
+  const StatusCode code =
+      worker.ProcessSources(0, static_cast<NodeId>(n), theta, seed, &pairs,
+                            budget, /*abort_code=*/nullptr);
+  if (code != StatusCode::kOk) {
+    return BudgetStatus(code, "HIMOR scoped build");
   }
+  std::optional<CoverageSketchBuilder> sb =
+      MaybeSketchBuilder(dendrogram, seed, theta, max_rank, sketch_bits,
+                         sketch);
   const BucketTable buckets = BuildBuckets(pairs, dendrogram.NumVertices(), n);
-  return BuildFromBuckets(dendrogram, max_rank, buckets, &comp_size_of_node);
+  HimorIndex index = BuildFromBuckets(dendrogram, max_rank, buckets,
+                                      &comp_size_of_node,
+                                      sb ? &*sb : nullptr);
+  if (sb) *sketch = sb->Finish();
+  return index;
 }
 
 Result<HimorIndex> HimorIndex::BuildParallel(const DiffusionModel& model,
@@ -494,18 +549,23 @@ Result<HimorIndex> HimorIndex::BuildParallel(const DiffusionModel& model,
                                              uint32_t theta, uint64_t seed,
                                              uint32_t max_rank,
                                              size_t num_threads,
-                                             const Budget& budget) {
+                                             const Budget& budget,
+                                             uint32_t sketch_bits,
+                                             std::optional<CoverageSketchIndex>*
+                                                 sketch) {
   COD_CHECK(theta > 0);
   COD_CHECK(max_rank > 0);
   const size_t n = model.graph().NumNodes();
   COD_CHECK_EQ(n, dendrogram.NumLeaves());
+  if (sketch != nullptr) sketch->reset();
   if (COD_FAILPOINT("himor/build")) {
     return Status::IoError("failpoint himor/build armed");
   }
 
-  // Fixed batching (independent of thread count) with one RNG stream per
-  // batch makes the result a pure function of (seed, theta): running with 1
-  // or 16 threads produces the identical index.
+  // Fixed batching (independent of thread count) over the source-keyed
+  // sample schedule makes the result a pure function of (seed, theta):
+  // running with 1 or 16 threads produces the identical index, and it is
+  // byte-identical to the serial Build at the same schedule seed.
   const size_t num_batches = std::min<size_t>(64, n);
   std::vector<std::vector<std::pair<CommunityId, NodeId>>> batch_pairs(
       num_batches);
@@ -519,11 +579,9 @@ Result<HimorIndex> HimorIndex::BuildParallel(const DiffusionModel& model,
     for (size_t b = 0; b < num_batches; ++b) {
       scheduler.Submit(TaskPriority::kRebuild, group, [&, b] {
         TreeHfsSampler worker(model, dendrogram, lca);
-        uint64_t mix = seed + b;
-        Rng rng(SplitMix64(mix));
         const NodeId begin = static_cast<NodeId>(b * n / num_batches);
         const NodeId end = static_cast<NodeId>((b + 1) * n / num_batches);
-        worker.ProcessSources(begin, end, theta, rng, &batch_pairs[b],
+        worker.ProcessSources(begin, end, theta, seed, &batch_pairs[b],
                               budget, &abort_code);
       });
     }
@@ -545,8 +603,15 @@ Result<HimorIndex> HimorIndex::BuildParallel(const DiffusionModel& model,
       pairs.insert(pairs.end(), batch.begin(), batch.end());
     }
   }
+  std::optional<CoverageSketchBuilder> sb =
+      MaybeSketchBuilder(dendrogram, seed, theta, max_rank, sketch_bits,
+                         sketch);
   const BucketTable buckets = BuildBuckets(pairs, dendrogram.NumVertices(), n);
-  return BuildFromBuckets(dendrogram, max_rank, buckets);
+  HimorIndex index = BuildFromBuckets(dendrogram, max_rank, buckets,
+                                      /*comp_size_of_node=*/nullptr,
+                                      sb ? &*sb : nullptr);
+  if (sb) *sketch = sb->Finish();
+  return index;
 }
 
 Result<HimorIndex> HimorIndex::BuildDelta(
@@ -554,7 +619,8 @@ Result<HimorIndex> HimorIndex::BuildDelta(
     const LcaIndex& lca, uint32_t theta, uint64_t seed, uint32_t max_rank,
     const Budget& budget, const std::vector<uint32_t>* comp_size_of_node,
     const std::vector<char>* dirty, HimorSampleCache* prev,
-    HimorSampleCache* next, HimorDeltaStats* stats) {
+    HimorSampleCache* next, HimorDeltaStats* stats,
+    uint32_t sketch_bits, std::optional<CoverageSketchIndex>* sketch) {
   COD_CHECK(theta > 0);
   COD_CHECK(max_rank > 0);
   const size_t n = model.graph().NumNodes();
@@ -564,6 +630,7 @@ Result<HimorIndex> HimorIndex::BuildDelta(
   if (comp_size_of_node != nullptr) {
     COD_CHECK_EQ(n, comp_size_of_node->size());
   }
+  if (sketch != nullptr) sketch->reset();
   if (COD_FAILPOINT("himor/build")) {
     return Status::IoError("failpoint himor/build armed");
   }
@@ -660,8 +727,11 @@ Result<HimorIndex> HimorIndex::BuildDelta(
     tally.samples_resampled = num_samples;
     const BucketTable buckets = BuildBuckets(pairs, num_vertices, n);
     rows_from_buckets(buckets);
-    HimorIndex index =
-        BuildFromBuckets(dendrogram, max_rank, buckets, comp_size_of_node);
+    std::optional<CoverageSketchBuilder> sb = MaybeSketchBuilder(
+        dendrogram, seed, theta, max_rank, sketch_bits, sketch);
+    HimorIndex index = BuildFromBuckets(dendrogram, max_rank, buckets,
+                                        comp_size_of_node, sb ? &*sb : nullptr);
+    if (sb) *sketch = sb->Finish();
     next->valid = true;
     if (stats != nullptr) *stats = tally;
     return index;
@@ -1034,8 +1104,11 @@ Result<HimorIndex> HimorIndex::BuildDelta(
     }
     const BucketTable buckets = BuildBuckets(pairs, num_vertices, n);
     rows_from_buckets(buckets);
-    HimorIndex index =
-        BuildFromBuckets(dendrogram, max_rank, buckets, comp_size_of_node);
+    std::optional<CoverageSketchBuilder> sb = MaybeSketchBuilder(
+        dendrogram, seed, theta, max_rank, sketch_bits, sketch);
+    HimorIndex index = BuildFromBuckets(dendrogram, max_rank, buckets,
+                                        comp_size_of_node, sb ? &*sb : nullptr);
+    if (sb) *sketch = sb->Finish();
     next->valid = true;
     if (stats != nullptr) *stats = tally;
     return index;
@@ -1103,6 +1176,13 @@ Result<HimorIndex> HimorIndex::BuildDelta(
     }
   }
 
+  // Stage 2 always re-runs over the (carried + refreshed) bucket rows, so
+  // the sketch co-build inherits the delta discipline for free: clean
+  // components feed byte-identical rows, dirty components freshly
+  // recomputed ones, and the resulting sketch equals a cold build's.
+  std::optional<CoverageSketchBuilder> sb =
+      MaybeSketchBuilder(dendrogram, seed, theta, max_rank, sketch_bits,
+                         sketch);
   HimorIndex index = BuildFromItems(
       dendrogram, max_rank,
       [&](CommunityId c, auto&& emit) {
@@ -1113,7 +1193,8 @@ Result<HimorIndex> HimorIndex::BuildDelta(
           emit(row.node[i], row.count[i]);
         }
       },
-      comp_size_of_node);
+      comp_size_of_node, sb ? &*sb : nullptr);
+  if (sb) *sketch = sb->Finish();
   next->valid = true;
   if (stats != nullptr) *stats = tally;
   return index;

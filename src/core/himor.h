@@ -16,11 +16,17 @@
 // sorted runs, producing every community's full ranking in
 // O(Theta*omega + |R| log |V| + sum_v dep(v)).
 //
+// Every builder draws sample (source, j) from the counter-seeded schedule
+// RrSampleSeed(seed, source * theta + j) — independent of epoch, thread
+// placement, and every other sample. That one schedule is what makes the
+// parallel/scoped/delta builders bit-compatible, lets BuildDelta reuse any
+// subset of samples byte-identically, and lets the coverage-sketch index
+// (influence/coverage_sketch.h) prove query-time pruning bounds against the
+// very pool a pinned evaluation will draw.
+//
 // Incremental construction (BuildDelta, DESIGN.md Sec. 15): under a small
 // edge delta, most RR graphs and most of their hierarchical-first tags are
-// unchanged. BuildDelta draws every sample from the counter-seeded schedule
-// RrSampleSeed(seed, source * theta + j) — independent of epoch and of
-// every other sample — and reuses, per sample, as much of the previous
+// unchanged. BuildDelta reuses, per sample, as much of the previous
 // epoch's work as a dirty-vertex bitmap and a member-set comparison of the
 // two dendrograms prove safe. A delta build is bit-identical to a cold
 // BuildDelta on the same graph.
@@ -28,6 +34,7 @@
 #ifndef COD_CORE_HIMOR_H_
 #define COD_CORE_HIMOR_H_
 
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -38,10 +45,13 @@
 #include "common/status.h"
 #include "hierarchy/dendrogram.h"
 #include "hierarchy/lca.h"
+#include "influence/coverage_sketch.h"
 #include "influence/rr_graph.h"
 #include "influence/rr_pool.h"
 
 namespace cod {
+
+class CoverageSketchBuilder;
 
 // Cross-epoch carry state for BuildDelta: everything epoch N's build must
 // remember so epoch N+1 can skip the untouched fraction. Owned by the
@@ -145,26 +155,41 @@ class HimorIndex {
   // never a partial index. The unbudgeted builders above forward here with
   // an infinite budget and CHECK success, so they also observe the
   // failpoint (arm it only around code using these Result forms).
+  //
+  // Every budgeted builder optionally co-builds the coverage-sketch index:
+  // with sketch_bits > 0 and `sketch` non-null, *sketch receives a
+  // CoverageSketchIndex built from the very same RR samples and bucket
+  // runs, at seed = the schedule seed the samples were drawn from. An armed
+  // "influence/sketch_build" failpoint (or sketch_bits == 0) leaves *sketch
+  // empty while the index itself still builds — sketch loss degrades
+  // pruning, never correctness. Build(rng) spends exactly one rng.Next()
+  // draw on the schedule seed.
   static Result<HimorIndex> Build(const DiffusionModel& model,
                                   const Dendrogram& dendrogram,
                                   const LcaIndex& lca, uint32_t theta,
                                   Rng& rng, uint32_t max_rank,
-                                  const Budget& budget);
+                                  const Budget& budget,
+                                  uint32_t sketch_bits = 0,
+                                  std::optional<CoverageSketchIndex>* sketch =
+                                      nullptr);
   static Result<HimorIndex> BuildParallel(const DiffusionModel& model,
                                           const Dendrogram& dendrogram,
                                           const LcaIndex& lca, uint32_t theta,
                                           uint64_t seed, uint32_t max_rank,
                                           size_t num_threads,
-                                          const Budget& budget);
+                                          const Budget& budget,
+                                          uint32_t sketch_bits = 0,
+                                          std::optional<CoverageSketchIndex>*
+                                              sketch = nullptr);
 
   // Component-scoped builder (sharded serving; see
   // EngineOptions::component_scoped). Two differences from Build:
   //
-  //  1. Every source draws its RR graphs from a PRIVATE RNG stream seeded by
-  //     SplitMix64(seed + source), so a node's samples — and therefore every
-  //     within-component rank — are a pure function of (seed, theta, its own
-  //     component's subgraph), independent of which other components share
-  //     the shard graph.
+  //  1. Samples come from the shared source-keyed schedule
+  //     RrSampleSeed(seed, source * theta + j), so a node's samples — and
+  //     therefore every within-component rank — are a pure function of
+  //     (seed, theta, its own component's subgraph), independent of which
+  //     other components share the shard graph.
   //  2. Only "pure" communities (LeafCount <= the size of their members'
   //     connected component, i.e. subtrees that never cross a component
   //     boundary) are materialized into the per-node entry lists. The
@@ -173,17 +198,21 @@ class HimorIndex {
   //
   // `comp_size_of_node[v]` is v's connected-component size (from
   // graph::ConnectedComponents). On a connected graph every community is
-  // pure and the entry set matches Build with the per-source seeding.
+  // pure and the entry set matches Build at the same schedule seed.
   static Result<HimorIndex> BuildScoped(
       const DiffusionModel& model, const Dendrogram& dendrogram,
       const LcaIndex& lca, uint32_t theta, uint64_t seed, uint32_t max_rank,
-      const Budget& budget, const std::vector<uint32_t>& comp_size_of_node);
+      const Budget& budget, const std::vector<uint32_t>& comp_size_of_node,
+      uint32_t sketch_bits = 0,
+      std::optional<CoverageSketchIndex>* sketch = nullptr);
 
   // Incremental builder (the delta-rebuild serving mode). Samples on the
-  // counter-seeded per-sample schedule RrSampleSeed(seed, s * theta + j) —
-  // note this is a DIFFERENT (epoch- and order-independent) schedule than
-  // Build/BuildScoped, which is why delta mode joins the service options
-  // fingerprint. With prev == nullptr (or an unusable cache) every sample
+  // same counter-seeded schedule RrSampleSeed(seed, s * theta + j) as every
+  // other builder — delta mode still joins the service options fingerprint
+  // because the serving layer derives the SEED VALUE differently per epoch
+  // (seed + ticket vs a ticket-seeded rng draw; see
+  // ServiceOptions::delta_rebuild). With prev == nullptr (or an unusable
+  // cache) every sample
   // is drawn fresh: the cold build. With a valid `prev` plus the `dirty`
   // bitmap of vertices incident to any edge changed since prev's epoch,
   // each sample takes the cheapest sound tier:
@@ -212,7 +241,9 @@ class HimorIndex {
       const LcaIndex& lca, uint32_t theta, uint64_t seed, uint32_t max_rank,
       const Budget& budget, const std::vector<uint32_t>* comp_size_of_node,
       const std::vector<char>* dirty, HimorSampleCache* prev,
-      HimorSampleCache* next, HimorDeltaStats* stats);
+      HimorSampleCache* next, HimorDeltaStats* stats,
+      uint32_t sketch_bits = 0,
+      std::optional<CoverageSketchIndex>* sketch = nullptr);
 
   uint32_t max_rank() const { return max_rank_; }
 
@@ -270,16 +301,21 @@ class HimorIndex {
   // are materialized into per-node entries. `items_of(c, emit)` supplies the
   // aggregated bucket items of non-leaf community c in any order;
   // BuildFromBuckets adapts a BucketTable onto it, the delta builder its
-  // incrementally maintained fingerprint-keyed rows.
+  // incrementally maintained fingerprint-keyed rows. A non-null `sketch`
+  // observes every community's bucket run, merged run, and (for
+  // materialized communities) member counts — the coverage-sketch build
+  // rides stage 2 instead of re-walking anything.
   template <typename ItemsOf>
   static HimorIndex BuildFromItems(
       const Dendrogram& dendrogram, uint32_t max_rank, ItemsOf&& items_of,
-      const std::vector<uint32_t>* comp_size_of_node);
+      const std::vector<uint32_t>* comp_size_of_node,
+      CoverageSketchBuilder* sketch = nullptr);
 
   static HimorIndex BuildFromBuckets(
       const Dendrogram& dendrogram, uint32_t max_rank,
       const BucketTable& buckets,
-      const std::vector<uint32_t>* comp_size_of_node = nullptr);
+      const std::vector<uint32_t>* comp_size_of_node = nullptr,
+      CoverageSketchBuilder* sketch = nullptr);
 
   uint32_t max_rank_ = 0;
   std::vector<size_t> offsets_;  // per node, into entries_

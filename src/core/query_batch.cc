@@ -20,12 +20,16 @@ struct LadderStep {
 };
 
 // Cost-DECREASING ladder per the paper's Fig. 9 query-time ordering
-// (CODR >> CODL- > CODL > index-only; see DESIGN.md "Failure taxonomy and
-// graceful degradation"). Index rungs are only offered when the core has a
-// HIMOR index that can answer rank k — on an index-absent (degraded) core
-// they vanish and the ladder is exactly the no-index subset; the core's own
-// in-variant fallbacks (CODL -> CODL-) then mark rung-0 answers degraded
-// themselves.
+// (CODR >> CODL- > CODL > index-only > sketch; see DESIGN.md "Failure
+// taxonomy and graceful degradation"). Index rungs are only offered when
+// the core has a HIMOR index that can answer rank k — on an index-absent
+// (degraded) core they vanish and the ladder is exactly the no-index
+// subset; the core's own in-variant fallbacks (CODL -> CODL-) then mark
+// rung-0 answers degraded themselves. When the core carries a
+// coverage-sketch index deep enough for rank k (and sketch_rung is on),
+// every ladder additionally bottoms out in the approximate sketch rung —
+// an answer read straight off the sketch tables, microseconds instead of
+// milliseconds, always tagged degraded.
 std::vector<LadderStep> DegradationLadder(const EngineCore& core,
                                           CodVariant requested, uint32_t k,
                                           bool allow_degradation) {
@@ -61,7 +65,16 @@ std::vector<LadderStep> DegradationLadder(const EngineCore& core,
       }
       break;
     case CodVariant::kCodUIndexed:
-      break;  // already the cheapest rung
+      break;  // cheapest exact rung
+    case CodVariant::kCodSketch:
+      break;  // already approximate; nothing cheaper exists
+  }
+  // The sketch rung bottoms out EVERY ladder (when available): it cannot
+  // time out in practice, so a batch under a hopeless deadline still
+  // returns approximate answers instead of kTimeout.
+  if (requested != CodVariant::kCodSketch && core.sketch() != nullptr &&
+      core.options().sketch_rung && k <= core.sketch()->rank_depth()) {
+    ladder.push_back(LadderStep{CodVariant::kCodSketch, 1});
   }
   return ladder;
 }

@@ -97,10 +97,12 @@ struct BatchStats {
   uint64_t timeout = 0;      // every rung timed out
   uint64_t cancelled = 0;    // cancellation (skips remaining rungs)
   // Served answers by ladder rung; rung 0 is the requested variant. The
-  // ladder never exceeds 4 rungs (see DegradationLadder in the .cc).
-  // Shard-missed non-answers never ran a rung, so they do not appear here.
-  static constexpr size_t kMaxRungs = 4;
-  uint64_t per_rung[kMaxRungs] = {0, 0, 0, 0};
+  // ladder never exceeds 5 rungs (see DegradationLadder in the .cc; the
+  // fifth is the approximate sketch rung, offered only when the core
+  // carries a coverage-sketch index). Shard-missed non-answers never ran a
+  // rung, so they do not appear here.
+  static constexpr size_t kMaxRungs = 5;
+  uint64_t per_rung[kMaxRungs] = {0, 0, 0, 0, 0};
   // True when scheduler admission control shed this batch down the ladder
   // (see BatchOptions::shed_rungs).
   bool shed = false;

@@ -40,6 +40,12 @@ struct QueryStats {
   bool index_hit = false;        // HIMOR alone answered (CODL fast path)
   bool codr_cache_hit = false;   // CODR hierarchy served from the cache
 
+  // Sketch-guided pruning (core/compressed_eval.h): chain levels skipped by
+  // the coverage-sketch bound / levels a prune pass considered. Both stay 0
+  // when the engine has no sketch or the chain carries no community ids.
+  size_t sketch_levels_pruned = 0;
+  size_t sketch_levels_considered = 0;
+
   double TotalStageSeconds() const {
     return chain_build_seconds + lore_scan_seconds + sample_seconds +
            merge_seconds + eval_seconds;

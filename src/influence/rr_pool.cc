@@ -151,8 +151,9 @@ StatusCode ParallelRrPool::BuildSerial(std::span<const NodeId> sources,
       out->Clear();
       return code;
     }
-    Rng rng(RrSampleSeed(pool_seed, s));
-    cs.sampler.SampleRestricted(sources[s / theta], allowed, rng, &cs.rr);
+    const NodeId source = sources[s / theta];
+    Rng rng(RrSampleSeed(pool_seed, uint64_t{source} * theta + s % theta));
+    cs.sampler.SampleRestricted(source, allowed, rng, &cs.rr);
     out->Append(cs.rr);
     ++stats->samples;
     stats->explored_nodes += cs.rr.NumNodes();
@@ -205,8 +206,9 @@ StatusCode ParallelRrPool::Build(std::span<const NodeId> sources,
               std::memory_order_relaxed);
           break;
         }
-        Rng rng(RrSampleSeed(pool_seed, s));
-        cs.sampler.SampleRestricted(sources[s / theta], allowed, rng, &cs.rr);
+        const NodeId source = sources[s / theta];
+        Rng rng(RrSampleSeed(pool_seed, uint64_t{source} * theta + s % theta));
+        cs.sampler.SampleRestricted(source, allowed, rng, &cs.rr);
         cs.slab.Append(cs.rr);
         ++cs.samples;
         cs.explored_nodes += cs.rr.NumNodes();

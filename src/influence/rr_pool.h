@@ -11,11 +11,14 @@
 //
 //  * ParallelRrPool — builds the full pool for a chain evaluation, either
 //    serially or sharded into contiguous sample-index chunks on a *borrowed*
-//    TaskScheduler. Sample `i` always draws from
-//    Rng(RrSampleSeed(pool_seed, i)) regardless of which thread runs it, and
-//    chunks merge back in sample order, so the slab contents are
-//    bit-identical for any worker count and any stealing interleaving — the
-//    same seed-only determinism discipline as HimorIndex::BuildParallel.
+//    TaskScheduler. The j-th sample of source `s` always draws from
+//    Rng(RrSampleSeed(pool_seed, s * theta + j)) — keyed by the SOURCE NODE,
+//    not the position in the source list — regardless of which thread runs
+//    it, and chunks merge back in sample order, so the slab contents are
+//    bit-identical for any worker count and any stealing interleaving, and a
+//    pool built over a filtered source subset draws exactly the samples the
+//    full pool would for those sources (what sketch pruning relies on). Same
+//    schedule as every HimorIndex builder.
 //
 // The borrowing rule: ParallelRrPool never owns a scheduler; chunks are
 // interactive-priority tasks tracked by a private TaskGroup. Calling from a
@@ -129,7 +132,8 @@ class RrSlabPool {
 };
 
 // Builds one query's RR pool: sources.size() * theta samples, sample i
-// drawing source sources[i / theta] under Rng(RrSampleSeed(pool_seed, i)).
+// drawing source sources[i / theta] under
+// Rng(RrSampleSeed(pool_seed, sources[i / theta] * theta + i % theta)).
 // Owns per-chunk sampler scratch (grown lazily to the thread count seen), so
 // it is not thread-safe itself — one instance per workspace.
 class ParallelRrPool {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "influence/rr_pool.h"
+
 namespace cod {
 namespace {
 
@@ -43,11 +45,21 @@ std::vector<double> SketchInfluence(const DiffusionModel& model,
   // influence DAG = rev adjacency below.
   std::vector<std::pair<NodeId, NodeId>> live;  // (from, to) influence edges
 
+  // Counter-seeded world schedule (same discipline as the RR pools): ONE
+  // draw from the caller's stream anchors the whole run, then world w's
+  // live-edge stream seeds from RrSampleSeed(base_seed, 2w) and its rank
+  // schedule from RrSampleSeed(base_seed, 2w + 1). Each world is a pure
+  // function of (base_seed, w) — independent of how many draws other
+  // worlds consumed — instead of every world's randomness shifting with
+  // the live-edge draw count of all worlds before it.
+  const uint64_t base_seed = rng.Next();
+
   for (size_t world = 0; world < options.num_worlds; ++world) {
+    Rng live_rng(RrSampleSeed(base_seed, 2 * uint64_t{world}));
     live.clear();
     if (is_lt) {
       for (NodeId v = 0; v < n; ++v) {
-        double r = rng.UniformDouble();
+        double r = live_rng.UniformDouble();
         for (const AdjEntry& a : g.Neighbors(v)) {
           r -= model.ProbToward(a.edge, v);
           if (r < 0.0) {
@@ -59,8 +71,12 @@ std::vector<double> SketchInfluence(const DiffusionModel& model,
     } else {
       for (EdgeId e = 0; e < g.NumEdges(); ++e) {
         const auto [lo, hi] = g.Endpoints(e);
-        if (rng.Bernoulli(model.ProbToward(e, hi))) live.emplace_back(lo, hi);
-        if (rng.Bernoulli(model.ProbToward(e, lo))) live.emplace_back(hi, lo);
+        if (live_rng.Bernoulli(model.ProbToward(e, hi))) {
+          live.emplace_back(lo, hi);
+        }
+        if (live_rng.Bernoulli(model.ProbToward(e, lo))) {
+          live.emplace_back(hi, lo);
+        }
       }
     }
 
@@ -78,8 +94,14 @@ std::vector<double> SketchInfluence(const DiffusionModel& model,
       }
     }
 
-    // Random ranks, processed ascending with pruned reverse BFS.
-    for (NodeId v = 0; v < n; ++v) by_rank[v] = {rng.UniformDouble(), v};
+    // Random ranks from the world's counter-seeded rank schedule (node v's
+    // rank is RrSampleSeed(rank_base, v) folded to [0, 1) exactly like
+    // Rng::UniformDouble), processed ascending with pruned reverse BFS.
+    const uint64_t rank_base = RrSampleSeed(base_seed, 2 * uint64_t{world} + 1);
+    for (NodeId v = 0; v < n; ++v) {
+      const uint64_t bits = RrSampleSeed(rank_base, v);
+      by_rank[v] = {static_cast<double>(bits >> 11) * 0x1.0p-53, v};
+    }
     std::sort(by_rank.begin(), by_rank.end());
     for (Sketch& s : sketch) s = Sketch{};
 

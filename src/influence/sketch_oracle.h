@@ -12,6 +12,12 @@
 // W world samples (useful as node weights for ICS or promoter shortlists),
 // at the cost of O(W * (|E| + |V| k log k)) preprocessing and community-
 // obliviousness (global influence only).
+//
+// Determinism: SketchInfluence consumes exactly ONE draw from the caller's
+// Rng; every world's live-edge stream and rank schedule derive from that
+// draw by counter (RrSampleSeed), so world w is a pure function of
+// (anchor draw, w) — independent of num_worlds ordering or how many draws
+// other worlds consume.
 
 #ifndef COD_INFLUENCE_SKETCH_ORACLE_H_
 #define COD_INFLUENCE_SKETCH_ORACLE_H_

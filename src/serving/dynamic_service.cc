@@ -212,7 +212,7 @@ Result<std::unique_ptr<DynamicCodService>> DynamicCodService::Recover(
       std::make_shared<const AttributeTable>(std::move(snap.attributes));
   Result<std::unique_ptr<EngineCore>> core = EngineCore::FromPrebuilt(
       graph, attrs, eng, std::move(*snap.hierarchy), std::move(snap.himor),
-      snap.meta.degraded);
+      std::move(snap.sketch), snap.meta.degraded);
   if (!core.ok()) return core.status();
   return std::unique_ptr<DynamicCodService>(new DynamicCodService(
       RecoveredTag{}, std::move(attrs), options,
@@ -420,7 +420,8 @@ Result<DynamicCodService::EpochBuild> DynamicCodService::BuildEpochCoreDelta(
     COD_CHECK(hierarchy.ok());  // an unlimited budget never aborts
     Result<std::unique_ptr<EngineCore>> made = EngineCore::FromPrebuilt(
         graph, attrs_, options_.engine, std::move(hierarchy).value(),
-        /*himor=*/std::nullopt, /*index_absent_degraded=*/false);
+        /*himor=*/std::nullopt, /*sketch=*/std::nullopt,
+        /*index_absent_degraded=*/false);
     if (!made.ok()) return made.status();
     std::shared_ptr<EngineCore> core(std::move(made).value());
 

@@ -32,6 +32,11 @@ Status ServiceOptions::Validate() const {
     return Status::InvalidArgument(
         "ServiceOptions: engine.himor_max_rank must be >= 1");
   }
+  if (engine.sketch_bits > 16) {
+    return Status::InvalidArgument(
+        "ServiceOptions: engine.sketch_bits must be <= 16 (signature "
+        "capacity 2^bits u64 per community)");
+  }
   if (rebuild_threshold < 0.0) {
     return Status::InvalidArgument(
         "ServiceOptions: rebuild_threshold must be >= 0");
@@ -77,6 +82,12 @@ uint64_t ServiceOptions::Fingerprint() const {
   Mix(h, static_cast<uint64_t>(engine.transform.transform));
   Mix(h, DoubleBits(engine.transform.beta));
   Mix(h, engine.component_scoped ? 1 : 0);
+  // sketch_bits shapes the PERSISTED state (the kSketch snapshot section and
+  // the rung's answer surface), so it gates warm-restore compatibility.
+  // sketch_prune and sketch_rung deliberately do NOT: pruning is proven
+  // answer-preserving, and the rung only changes which degraded tier answers
+  // under pressure — both are runtime latency knobs a restart may flip.
+  Mix(h, engine.sketch_bits);
   // Delta mode changes the RR sampling schedule (counter-seeded per sample
   // vs per-ticket streams), so its answers differ from non-delta answers
   // for the same seed — it must gate snapshot compatibility. The dirty

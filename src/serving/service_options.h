@@ -124,12 +124,18 @@ struct ServiceOptions {
   // Rejects nonsense before any engine is built: num_shards == 0,
   // async_rebuild without a scheduler, snapshots_keep == 0, a backoff
   // window that shrinks (initial > max), k / theta / himor_max_rank == 0,
-  // or a negative rebuild_threshold / rebuild_budget_seconds.
+  // engine.sketch_bits > 16, or a negative rebuild_threshold /
+  // rebuild_budget_seconds.
   Status Validate() const;
 
   // Order-independent 64-bit digest of every field that shapes ANSWERS:
   // seed, engine.{k, theta, himor_max_rank, diffusion, transform.beta,
-  // transform.transform, component_scoped}, num_shards, partitioner.
+  // transform.transform, component_scoped, sketch_bits}, delta_rebuild,
+  // num_shards, partitioner. engine.sketch_bits joins because it shapes the
+  // persisted kSketch snapshot section and the sketch rung's answers;
+  // engine.sketch_prune / engine.sketch_rung stay out (pruning is
+  // answer-preserving and the rung only selects a degraded tier — pure
+  // latency knobs a restart may flip).
   // Written into each epoch snapshot (EpochSnapshotMeta::options_fingerprint)
   // and checked on recovery, so a snapshot from a different layout or
   // parameterization is refused with kFailedPrecondition instead of being

@@ -19,9 +19,10 @@ namespace {
 
 constexpr uint32_t kMagic = 0x434F4453;  // "CODS"
 // v2: kMeta section gained options_fingerprint (the ServiceOptions
-// fingerprint, which covers the sharding layout). v1 files fail the version
-// check and recover via quarantine + cold rebuild.
-constexpr uint32_t kVersion = 2;
+// fingerprint, which covers the sharding layout). v3: optional kSketch
+// section (the coverage-sketch index co-built with HIMOR). Older files fail
+// the version check and recover via quarantine + cold rebuild.
+constexpr uint32_t kVersion = 3;
 
 constexpr uint32_t kFlagDegraded = 1u << 0;
 
@@ -31,6 +32,7 @@ enum SectionId : uint32_t {
   kAttributes = 3,
   kHierarchy = 4,
   kHimor = 5,
+  kSketch = 6,
 };
 
 const char* SectionName(uint32_t id) {
@@ -45,6 +47,8 @@ const char* SectionName(uint32_t id) {
       return "hierarchy";
     case kHimor:
       return "himor";
+    case kSketch:
+      return "sketch";
   }
   return "unknown";
 }
@@ -173,6 +177,12 @@ std::string EncodeEpochSnapshot(EpochSnapshotMeta meta, const EngineCore& core,
     // be allocated at the stale address and alias the entry.
     cache->himor = SnapshotSectionCache::Entry{};
   }
+  if (core.sketch() != nullptr) {
+    add(kSketch, core.sketch(), slot(&SnapshotSectionCache::sketch),
+        [&](BinaryBufferWriter& w) { core.sketch()->SerializeTo(w); });
+  } else if (cache != nullptr) {
+    cache->sketch = SnapshotSectionCache::Entry{};  // same ABA guard as himor
+  }
   if (sections_reused != nullptr) *sections_reused += reused;
 
   BinaryBufferWriter header;
@@ -227,7 +237,7 @@ Result<DecodedEpochSnapshot> DecodeEpochSnapshot(std::string_view bytes,
     return in.status();
   }
   snap.meta.degraded = (flags & kFlagDegraded) != 0;
-  // v2 writes at most 5 sections; a larger count is corruption, not growth
+  // v3 writes at most 6 sections; a larger count is corruption, not growth
   // (growth bumps the version).
   if (section_count == 0 || section_count > 8) {
     in.Fail("implausible section count");
@@ -289,6 +299,11 @@ Result<DecodedEpochSnapshot> DecodeEpochSnapshot(std::string_view bytes,
     return Status::InvalidArgument(
         origin + ": HIMOR section presence contradicts the degraded flag");
   }
+  const SectionEntry* sketch_entry = find_section(kSketch);
+  if (sketch_entry != nullptr && himor_entry == nullptr) {
+    return Status::InvalidArgument(
+        origin + ": sketch section without the HIMOR index it belongs to");
+  }
 
   // Decode, requiring each decoder to consume its section exactly.
   {
@@ -339,6 +354,17 @@ Result<DecodedEpochSnapshot> DecodeEpochSnapshot(std::string_view bytes,
     }
     snap.himor.emplace(std::move(himor).value());
   }
+  if (sketch_entry != nullptr) {
+    BinarySpanReader sketch_in = section_reader(*sketch_entry);
+    Result<CoverageSketchIndex> sketch =
+        CoverageSketchIndex::Deserialize(sketch_in);
+    if (!sketch.ok()) return sketch.status();
+    if (!sketch_in.exhausted()) {
+      sketch_in.Fail("trailing bytes");
+      return sketch_in.status();
+    }
+    snap.sketch.emplace(std::move(sketch).value());
+  }
 
   // Cross-section consistency: the fingerprint and every decoded part must
   // describe the same world.
@@ -347,7 +373,10 @@ Result<DecodedEpochSnapshot> DecodeEpochSnapshot(std::string_view bytes,
       snap.meta.num_edges != snap.graph.NumEdges() ||
       snap.attributes.NumNodes() != num_nodes ||
       snap.hierarchy->NumLeaves() != num_nodes ||
-      (snap.himor.has_value() && snap.himor->NumNodes() != num_nodes)) {
+      (snap.himor.has_value() && snap.himor->NumNodes() != num_nodes) ||
+      (snap.sketch.has_value() &&
+       (snap.sketch->NumNodes() != num_nodes ||
+        snap.sketch->theta() != snap.meta.engine_theta))) {
     return Status::InvalidArgument(origin +
                                    ": sections describe different graphs");
   }

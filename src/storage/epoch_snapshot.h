@@ -13,7 +13,9 @@
 //
 // Sections: kMeta (engine-option and topology fingerprint), kGraph,
 // kAttributes, kHierarchy, and — unless the epoch was published
-// index-absent degraded (flags bit 0) — kHimor. Each section's CRC32C
+// index-absent degraded (flags bit 0) — kHimor, plus kSketch (v3) when the
+// core carries a coverage-sketch index (requires kHimor: the sketch is
+// co-built with the index and meaningless without it). Each section's CRC32C
 // covers its exact payload bytes, so a bit flip anywhere in the file is
 // caught either by the header CRC (metadata damage) or by one section CRC
 // (payload damage) before any of the payload is interpreted. The payload
@@ -76,13 +78,17 @@ struct EpochSnapshotMeta {
 };
 
 // A fully decoded and validated snapshot. `himor` is empty exactly when
-// meta.degraded — the index-absent epoch restores index-absent.
+// meta.degraded — the index-absent epoch restores index-absent. `sketch` is
+// present only when the writing core carried one (which implies himor);
+// absence is normal (sketch_bits == 0, or the co-build was failpointed) and
+// only disables pruning and the sketch rung, never answers.
 struct DecodedEpochSnapshot {
   EpochSnapshotMeta meta;
   Graph graph;
   AttributeTable attributes;
   std::optional<Dendrogram> hierarchy;  // engaged on every successful decode
   std::optional<HimorIndex> himor;
+  std::optional<CoverageSketchIndex> sketch;
 };
 
 // Per-section payload cache for delta snapshots. A section whose source
@@ -106,6 +112,7 @@ struct SnapshotSectionCache {
   Entry attributes;
   Entry hierarchy;
   Entry himor;
+  Entry sketch;
 };
 
 // Serializes `core` (graph, attributes, hierarchy, HIMOR when present) and
